@@ -1,0 +1,24 @@
+//! # scc-apps — application workloads for the MetalSVM reproduction
+//!
+//! * [`laplace`] — the paper's evaluation workload (§7.2.2): the
+//!   two-dimensional Laplace problem (heat distribution on a square metal
+//!   sheet) solved by Jacobi over-relaxation, in three variants:
+//!   shared-memory on the SVM system under the **strong** and **lazy
+//!   release** models, and the message-passing baseline on **iRCCE** with
+//!   non-blocking halo exchange.
+//! * [`histogram`] — lock-protected shared updates under lazy release
+//!   consistency (exercises `SvmLock`).
+//! * [`dotprod`] — read-mostly data sealed with `mprotect_readonly`
+//!   (exercises §6.4 and the L2 path).
+//! * [`matmul`] — dense matrix product with sealed input matrices.
+//! * [`pipeline`] — a token pipeline over the raw mailbox system.
+
+pub mod dotprod;
+pub mod histogram;
+pub mod laplace;
+pub mod matmul;
+pub mod pipeline;
+
+pub use laplace::{
+    laplace_ircce, laplace_reference, laplace_svm, LaplaceParams, LaplaceResult,
+};

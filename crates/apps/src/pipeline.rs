@@ -1,0 +1,132 @@
+//! A software pipeline over the mailbox system: stage *i* transforms each
+//! token and mails it to stage *i+1*. Exercises sustained point-to-point
+//! mailbox traffic (send-side stalls, receive ordering) rather than the
+//! SVM path.
+
+use scc_hw::CoreId;
+use scc_kernel::Kernel;
+use scc_mailbox::{MailKind, Mailbox, Notify};
+
+/// Drive `tokens` items through a pipeline over all participating cores
+/// (rank 0 is the source, the last rank the sink). Returns, on the sink,
+/// the folded checksum of everything that came through; other ranks
+/// return 0.
+pub fn pipeline(k: &mut Kernel<'_>, mbx: &Mailbox, tokens: u32) -> u64 {
+    let rank = k.rank();
+    let n = k.nranks();
+    assert!(n >= 2, "a pipeline needs at least two stages");
+    let next = (rank + 1 < n).then(|| k.participants()[rank + 1]);
+    let prev = (rank > 0).then(|| k.participants()[rank - 1]);
+
+    let stage = |v: u64, r: usize| v.wrapping_mul(2862933555777941757).wrapping_add(r as u64);
+
+    if rank == 0 {
+        for t in 0..tokens {
+            let v = stage(u64::from(t), 0);
+            mbx.send(k, next.unwrap(), MailKind::USER, &v.to_le_bytes());
+            // Source-side work per token.
+            k.hw.advance(500);
+        }
+        0
+    } else {
+        let mut acc = 0u64;
+        for _ in 0..tokens {
+            let m = mbx.recv_from(k, prev.unwrap());
+            let v = u64::from_le_bytes(m.data()[0..8].try_into().unwrap());
+            let v = stage(v, rank);
+            k.hw.advance(800); // per-stage compute
+            match next {
+                Some(nx) => mbx.send(k, nx, MailKind::USER, &v.to_le_bytes()),
+                None => acc = acc.wrapping_add(v),
+            }
+        }
+        acc
+    }
+}
+
+/// Host-side reference for the sink checksum.
+pub fn pipeline_reference(tokens: u32, stages: usize) -> u64 {
+    let stage = |v: u64, r: usize| v.wrapping_mul(2862933555777941757).wrapping_add(r as u64);
+    let mut acc = 0u64;
+    for t in 0..tokens {
+        let mut v = stage(u64::from(t), 0);
+        for r in 1..stages {
+            v = stage(v, r);
+        }
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+/// Convenience: which notification strategy suits a pipeline is measured
+/// by the `ablation_notify` harness; both work.
+pub fn default_notify() -> Notify {
+    Notify::Ipi
+}
+
+/// Placement helper used by examples: the pipeline's stage cores.
+pub fn stage_cores(n: usize) -> Vec<CoreId> {
+    (0..n).map(CoreId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::SccConfig;
+    use scc_kernel::Cluster;
+    use scc_mailbox::install;
+
+    #[test]
+    fn pipeline_delivers_all_tokens_in_order() {
+        for stages in [2usize, 3, 5] {
+            let cl = Cluster::new(SccConfig::small()).unwrap();
+            let res = cl
+                .run(stages, move |k| {
+                    let mbx = install(k, Notify::Ipi);
+                    pipeline(k, &mbx, 40)
+                })
+                .unwrap();
+            let sink = res.last().unwrap().result;
+            assert_eq!(
+                sink,
+                pipeline_reference(40, stages),
+                "{stages}-stage pipeline checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_works_with_polling_too() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(3, |k| {
+                let mbx = install(k, Notify::Poll);
+                pipeline(k, &mbx, 25)
+            })
+            .unwrap();
+        assert_eq!(res[2].result, pipeline_reference(25, 3));
+    }
+
+    #[test]
+    fn backpressure_stalls_fast_source() {
+        // A slow sink forces the single-slot mailboxes to exert
+        // backpressure all the way to the source.
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(2, |k| {
+                let mbx = install(k, Notify::Ipi);
+                if k.rank() == 1 {
+                    // Make the sink very slow.
+                    k.hw.advance(1);
+                }
+                let r = pipeline(k, &mbx, 30);
+                (r, mbx.stats().snapshot().3) // send_stalls
+            })
+            .unwrap();
+        assert_eq!(res[1].result.0, pipeline_reference(30, 2));
+        assert!(
+            res[0].result.1 > 0,
+            "the source must have hit a full mailbox at least once"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion bench: one small Laplace cell per variant (simulator
+//! throughput; the paper's Figure 9 comes from the `fig9` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scc_apps::laplace::LaplaceParams;
+use scc_bench::{laplace_run, LaplaceVariant};
+
+fn bench_laplace(c: &mut Criterion) {
+    let p = LaplaceParams {
+        width: 128,
+        height: 64,
+        iters: 4,
+    };
+    let mut g = c.benchmark_group("laplace_128x64x4_4cores");
+    g.sample_size(10);
+    for v in [
+        LaplaceVariant::Ircce,
+        LaplaceVariant::SvmStrong,
+        LaplaceVariant::SvmLazy,
+    ] {
+        g.bench_function(v.label(), |b| b.iter(|| laplace_run(v, 4, p)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_laplace);
+criterion_main!(benches);

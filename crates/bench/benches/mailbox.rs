@@ -1,0 +1,25 @@
+//! Criterion bench: host-side throughput of the simulated mailbox
+//! ping-pong (guards the simulator itself against regressions; the paper
+//! numbers come from the `fig6`/`fig7` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scc_bench::{pingpong_latency_us, PingPongSetup};
+use scc_hw::CoreId;
+use scc_mailbox::Notify;
+
+fn bench_mailbox(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mailbox");
+    g.sample_size(10);
+    g.bench_function("pingpong_ipi_5hops_20rounds", |b| {
+        let s = PingPongSetup::pair(CoreId::new(0), CoreId::new(30), Notify::Ipi, 20);
+        b.iter(|| pingpong_latency_us(&s));
+    });
+    g.bench_function("pingpong_poll_5hops_20rounds", |b| {
+        let s = PingPongSetup::pair(CoreId::new(0), CoreId::new(30), Notify::Poll, 20);
+        b.iter(|| pingpong_latency_us(&s));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mailbox);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: RCCE collective operations on the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcce::{allreduce_f64, RcceComm, ReduceOp};
+use scc_hw::SccConfig;
+use scc_kernel::Cluster;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcce");
+    g.sample_size(10);
+    g.bench_function("barrier_8cores_x16", |b| {
+        b.iter(|| {
+            let cl = Cluster::new(SccConfig::small()).unwrap();
+            cl.run(8, |k| {
+                let mut comm = RcceComm::init(k);
+                for _ in 0..16 {
+                    comm.barrier(k);
+                }
+            })
+            .unwrap();
+        });
+    });
+    g.bench_function("allreduce_8cores_64doubles", |b| {
+        b.iter(|| {
+            let cl = Cluster::new(SccConfig::small()).unwrap();
+            cl.run(8, |k| {
+                let mut comm = RcceComm::init(k);
+                let va = k.kalloc_pages(1);
+                for i in 0..64u32 {
+                    k.vwrite_f64(va + i * 8, (k.rank() + 1) as f64);
+                }
+                allreduce_f64(k, &mut comm, va, 64, ReduceOp::Sum);
+            })
+            .unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

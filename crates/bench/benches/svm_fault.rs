@@ -1,0 +1,21 @@
+//! Criterion bench: the SVM fault paths (first touch, mapping, ownership
+//! retrieval) exercised through the Table 1 microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metalsvm::{Consistency, ScratchLocation};
+use scc_bench::svm_overhead;
+
+fn bench_svm_fault(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svm_fault");
+    g.sample_size(10);
+    g.bench_function("table1_strong", |b| {
+        b.iter(|| svm_overhead(Consistency::Strong, ScratchLocation::Mpb));
+    });
+    g.bench_function("table1_lazy", |b| {
+        b.iter(|| svm_overhead(Consistency::LazyRelease, ScratchLocation::Mpb));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_svm_fault);
+criterion_main!(benches);

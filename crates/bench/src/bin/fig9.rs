@@ -1,0 +1,64 @@
+//! Figure 9: runtimes of the Laplace benchmark over the core count.
+//!
+//! The 1024 × 512 heat-distribution grid (JOR), solved by the iRCCE
+//! message-passing baseline and by the SVM system under both consistency
+//! models. The paper iterates 5000 times; because this reproduction
+//! simulates every memory access functionally, the default is 50
+//! iterations (runtime curves are shape-invariant in the iteration count
+//! after the first iteration's cold faults — see EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p scc-bench --release --bin fig9 [--quick] [--iters N]`
+
+use scc_apps::laplace::LaplaceParams;
+use scc_bench::{laplace_run, HarnessArgs, LaplaceVariant, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let iters = args.iters.unwrap_or(if args.quick { 8 } else { 50 });
+    let p = LaplaceParams::paper(iters);
+    let counts: &[usize] = if args.quick {
+        &[1, 2, 8, 32, 48]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 48]
+    };
+
+    println!("Figure 9 — runtimes of the Laplace benchmark");
+    println!(
+        "(grid {}x{}, {} iterations, simulated ms)\n",
+        p.width, p.height, p.iters
+    );
+    let mut t = Table::new(&[
+        "cores",
+        "iRCCE (ms)",
+        "SVM strong (ms)",
+        "SVM lazy (ms)",
+        "iRCCE (J)",
+        "SVM lazy (J)",
+        "checksums equal",
+    ]);
+    for &n in counts {
+        let mp = laplace_run(LaplaceVariant::Ircce, n, p);
+        let strong = laplace_run(LaplaceVariant::SvmStrong, n, p);
+        let lazy = laplace_run(LaplaceVariant::SvmLazy, n, p);
+        let agree = mp.checksum == strong.checksum && strong.checksum == lazy.checksum;
+        t.row(&[
+            format!("{n}"),
+            format!("{:10.2}", mp.sim_ms),
+            format!("{:10.2}", strong.sim_ms),
+            format!("{:10.2}", lazy.sim_ms),
+            format!("{:8.3}", mp.energy_j),
+            format!("{:8.3}", lazy.energy_j),
+            format!("{agree}"),
+        ]);
+        // Print incrementally: full sweeps take a while.
+        println!("{}", t.render().lines().last().unwrap());
+    }
+    println!("\n{}", t.render());
+    println!(
+        "paper shape: the two SVM curves are nearly identical; iRCCE is\n\
+         slower up to 32 cores (its matrix write misses go to DDR3 word by\n\
+         word, while the SVM variants combine them in the WCB); beyond 32\n\
+         cores the per-core rows fit the L2, which only the message-passing\n\
+         variant may use, giving it a superlinear drop."
+    );
+}

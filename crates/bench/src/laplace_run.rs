@@ -1,0 +1,140 @@
+//! Runner for the Figure 9 Laplace experiment: one function per variant,
+//! returning checksum and simulated runtime.
+
+use metalsvm::{install as svm_install, Consistency, SvmConfig};
+use rcce::RcceComm;
+use scc_apps::laplace::{laplace_ircce, laplace_svm, LaplaceParams};
+use scc_hw::SccConfig;
+use scc_kernel::Cluster;
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Which implementation solves the grid.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LaplaceVariant {
+    /// Message passing over iRCCE (the paper's baseline under SCC Linux).
+    Ircce,
+    /// Shared memory on the SVM system, strong model.
+    SvmStrong,
+    /// Shared memory on the SVM system, lazy release consistency.
+    SvmLazy,
+}
+
+impl LaplaceVariant {
+    pub fn label(self) -> &'static str {
+        match self {
+            LaplaceVariant::Ircce => "iRCCE",
+            LaplaceVariant::SvmStrong => "SVM strong",
+            LaplaceVariant::SvmLazy => "SVM lazy",
+        }
+    }
+}
+
+/// Outcome of one (variant, cores) cell of Figure 9.
+#[derive(Copy, Clone, Debug)]
+pub struct LaplaceRun {
+    pub checksum: f64,
+    /// Simulated wall time of the iteration loop: the maximum over the
+    /// participating cores, in milliseconds.
+    pub sim_ms: f64,
+    /// Estimated energy over all active cores (whole run, J) under the
+    /// default `scc_hw::power` model.
+    pub energy_j: f64,
+}
+
+/// Machine configuration sized for the experiment: the MP variant keeps
+/// two full row blocks (plus halos) in private memory.
+pub fn laplace_config(n: usize, p: LaplaceParams) -> SccConfig {
+    let block_bytes = ((p.height / n + 2) * (p.width + scc_apps::laplace::ROW_PAD) * 8 * 2) as usize;
+    SccConfig {
+        private_bytes_per_core: (block_bytes + 2 * 1024 * 1024).next_multiple_of(4096),
+        shared_bytes: 64 * 1024 * 1024,
+        ..SccConfig::default()
+    }
+}
+
+/// Run one cell of Figure 9 on a fresh machine.
+pub fn laplace_run(variant: LaplaceVariant, n: usize, p: LaplaceParams) -> LaplaceRun {
+    laplace_run_cfg(variant, n, p, Notify::Ipi, SvmConfig::default())
+}
+
+/// Like [`laplace_run`], with explicit mailbox notification strategy and
+/// SVM configuration (used by the ablation harnesses).
+pub fn laplace_run_cfg(
+    variant: LaplaceVariant,
+    n: usize,
+    p: LaplaceParams,
+    notify: Notify,
+    svm_cfg: SvmConfig,
+) -> LaplaceRun {
+    let cfg = laplace_config(n, p);
+    let mhz = cfg.timing.core_mhz as f64;
+    let cl = Cluster::new(cfg).expect("machine");
+    let res = cl
+        .run(n, move |k| match variant {
+            LaplaceVariant::Ircce => {
+                let mut comm = RcceComm::init(k);
+                laplace_ircce(k, &mut comm, p)
+            }
+            LaplaceVariant::SvmStrong | LaplaceVariant::SvmLazy => {
+                let mbx = mbx_install(k, notify);
+                let mut svm = svm_install(k, &mbx, svm_cfg);
+                let model = if variant == LaplaceVariant::SvmStrong {
+                    Consistency::Strong
+                } else {
+                    Consistency::LazyRelease
+                };
+                laplace_svm(k, &mut svm, model, p)
+            }
+        })
+        .expect("laplace must not deadlock");
+    let checksum = res[0].result.checksum;
+    let max_cycles = res.iter().map(|r| r.result.cycles).max().unwrap();
+    let timing = scc_hw::TimingParams::default();
+    let pw = scc_hw::power::PowerParams::default();
+    let energy_j = res
+        .iter()
+        .map(|r| scc_hw::power::estimate(&r.perf, r.clock.as_u64(), &timing, &pw).total_j())
+        .sum();
+    LaplaceRun {
+        checksum,
+        sim_ms: max_cycles as f64 / mhz / 1000.0,
+        energy_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_on_checksum_small() {
+        let p = LaplaceParams {
+            width: 64,
+            height: 32,
+            iters: 5,
+        };
+        let a = laplace_run(LaplaceVariant::Ircce, 2, p);
+        let b = laplace_run(LaplaceVariant::SvmStrong, 2, p);
+        let c = laplace_run(LaplaceVariant::SvmLazy, 2, p);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(b.checksum, c.checksum);
+        assert!(a.sim_ms > 0.0 && b.sim_ms > 0.0 && c.sim_ms > 0.0);
+    }
+
+    #[test]
+    fn more_cores_run_faster_lazy() {
+        let p = LaplaceParams {
+            width: 128,
+            height: 64,
+            iters: 4,
+        };
+        let one = laplace_run(LaplaceVariant::SvmLazy, 1, p);
+        let four = laplace_run(LaplaceVariant::SvmLazy, 4, p);
+        assert!(
+            four.sim_ms < one.sim_ms,
+            "4 cores ({} ms) must beat 1 core ({} ms)",
+            four.sim_ms,
+            one.sim_ms
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # scc-bench — harness library for regenerating the paper's tables and
+//! figures
+//!
+//! Each binary in `src/bin/` reproduces one table or figure (see
+//! `DESIGN.md` §4 for the index); the shared measurement machinery lives
+//! here so it can be unit-tested and reused by the Criterion benches.
+//!
+//! All numbers reported by the harnesses are **simulated** microseconds at
+//! the paper's platform configuration (533 MHz cores, 800 MHz mesh and
+//! memory) — wall-clock time of the host is irrelevant.
+
+pub mod laplace_run;
+pub mod pingpong;
+pub mod report;
+pub mod svm_micro;
+
+pub use laplace_run::{laplace_run, LaplaceRun, LaplaceVariant};
+pub use pingpong::{pingpong_latency_us, PingPongSetup};
+pub use report::{fmt_us, Table};
+pub use svm_micro::{svm_overhead, SvmOverhead};
+
+/// Parse `--quick` / `--iters N` style flags shared by the harnesses.
+pub struct HarnessArgs {
+    pub quick: bool,
+    pub iters: Option<usize>,
+}
+
+impl HarnessArgs {
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut iters = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--iters" => {
+                    iters = Some(
+                        args.next()
+                            .expect("--iters needs a value")
+                            .parse()
+                            .expect("--iters needs a number"),
+                    )
+                }
+                other => panic!("unknown argument {other} (try --quick or --iters N)"),
+            }
+        }
+        HarnessArgs { quick, iters }
+    }
+}

@@ -1,0 +1,157 @@
+//! The mailbox ping-pong measurement used by Figures 6 and 7 and the
+//! notification ablation.
+
+use scc_hw::{CoreId, SccConfig};
+use scc_kernel::Cluster;
+use scc_mailbox::{install, MailKind, Notify};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// What the other activated cores do while the pair ping-pongs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Background {
+    /// Sit in the kernel idle loop.
+    Idle,
+    /// Permanently exchange mails pairwise ("background noise", the third
+    /// curve of Figure 7).
+    Noise,
+}
+
+/// A ping-pong experiment definition.
+#[derive(Clone, Debug)]
+pub struct PingPongSetup {
+    /// The measuring core (sends first).
+    pub a: CoreId,
+    /// The echoing core.
+    pub b: CoreId,
+    /// All activated cores (must contain `a` and `b`).
+    pub active: Vec<CoreId>,
+    pub notify: Notify,
+    pub background: Background,
+    pub rounds: u64,
+}
+
+impl PingPongSetup {
+    /// Two cores only.
+    pub fn pair(a: CoreId, b: CoreId, notify: Notify, rounds: u64) -> Self {
+        PingPongSetup {
+            a,
+            b,
+            active: vec![a, b],
+            notify,
+            background: Background::Idle,
+            rounds,
+        }
+    }
+}
+
+/// Run the experiment on a fresh machine; returns the **half round-trip**
+/// latency in simulated microseconds, averaged over all rounds — exactly
+/// the quantity of the paper's Figures 6 and 7.
+pub fn pingpong_latency_us(setup: &PingPongSetup) -> f64 {
+    let cfg = SccConfig::small();
+    let core_mhz = cfg.timing.core_mhz;
+    let cl = Cluster::new(cfg).expect("machine");
+    let done = Arc::new(AtomicBool::new(false));
+    let setup = setup.clone();
+    let s = &setup;
+    let res = cl
+        .run_on(&setup.active, move |k| {
+            let mbx = install(k, s.notify);
+            let me = k.id();
+            if me == s.a {
+                // Warm-up round to populate caches and flags.
+                mbx.send(k, s.b, MailKind::USER, &[0]);
+                let _ = mbx.recv_from(k, s.b);
+                let t0 = k.hw.now();
+                for _ in 0..s.rounds {
+                    mbx.send(k, s.b, MailKind::USER, &[1]);
+                    let _ = mbx.recv_from(k, s.b);
+                }
+                let dt = k.hw.now() - t0;
+                done.store(true, Ordering::Release);
+                dt as f64 / (2 * s.rounds) as f64
+            } else if me == s.b {
+                for _ in 0..=s.rounds {
+                    let _ = mbx.recv_from(k, s.a);
+                    mbx.send(k, s.a, MailKind::USER, &[2]);
+                }
+                0.0
+            } else {
+                match s.background {
+                    Background::Idle => {
+                        // Park responsively: the cluster teardown keeps the
+                        // kernel (and thus mailbox scans) alive, which is
+                        // what makes these cores "activated".
+                        let done = Arc::clone(&done);
+                        k.wait_event("benchmark end", move || {
+                            done.load(Ordering::Acquire).then_some(((), 0))
+                        });
+                    }
+                    Background::Noise => {
+                        // Fire mails at a partner without expecting replies
+                        // (the partner's mailbox hook drains them into its
+                        // inbox). Deterministic partner pairing over the
+                        // non-measuring cores.
+                        let others: Vec<CoreId> = s
+                            .active
+                            .iter()
+                            .copied()
+                            .filter(|c| *c != s.a && *c != s.b)
+                            .collect();
+                        let idx = others.iter().position(|c| *c == me).unwrap();
+                        let pidx = idx ^ 1;
+                        if pidx >= others.len() {
+                            // Odd one out: just stay activated.
+                            let done = Arc::clone(&done);
+                            k.wait_event("benchmark end", move || {
+                                done.load(Ordering::Acquire).then_some(((), 0))
+                            });
+                        } else {
+                            let partner = others[pidx];
+                            while !done.load(Ordering::Acquire) {
+                                mbx.send(k, partner, MailKind::USER, &[9]);
+                                k.hw.advance(5_000);
+                            }
+                        }
+                    }
+                }
+                0.0
+            }
+        })
+        .expect("ping-pong must not deadlock");
+    let cycles = res
+        .iter()
+        .find(|r| r.core == setup.a)
+        .expect("core a ran")
+        .result;
+    cycles / core_mhz as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_latency_positive_and_stable() {
+        let s = PingPongSetup::pair(CoreId::new(0), CoreId::new(30), Notify::Ipi, 20);
+        let us = pingpong_latency_us(&s);
+        assert!(us > 0.5 && us < 50.0, "latency {us} out of plausible range");
+        assert_eq!(us, pingpong_latency_us(&s), "must be deterministic");
+    }
+
+    #[test]
+    fn noise_background_terminates() {
+        let active: Vec<CoreId> = vec![0, 30, 1, 2, 3, 4].into_iter().map(CoreId::new).collect();
+        let s = PingPongSetup {
+            a: CoreId::new(0),
+            b: CoreId::new(30),
+            active,
+            notify: Notify::Ipi,
+            background: Background::Noise,
+            rounds: 10,
+        };
+        let us = pingpong_latency_us(&s);
+        assert!(us > 0.0);
+    }
+}

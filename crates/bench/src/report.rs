@@ -1,0 +1,81 @@
+//! Plain-text table output in the style of the paper's tables/figures.
+
+/// Format simulated microseconds with three decimals.
+pub fn fmt_us(us: f64) -> String {
+    format!("{us:10.3}")
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with per-column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>w$}", cell, w = widths[c]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "bee"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["100".into(), "20000".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("    2"));
+        assert!(lines[3].ends_with("20000"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_rejected() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

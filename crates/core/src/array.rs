@@ -1,0 +1,170 @@
+//! Typed access to SVM regions.
+//!
+//! User-space Rust cannot trap raw loads and stores, so applications read
+//! and write shared memory through [`SvmArray`] — the moral equivalent of
+//! a hardware MMU access: each element access translates through the
+//! per-core page table and may enter the SVM fault handler, with identical
+//! simulated costs.
+
+use crate::region::SvmRegion;
+use scc_kernel::Kernel;
+use std::marker::PhantomData;
+
+/// Scalar types storable in an [`SvmArray`].
+pub trait SvmScalar: Copy {
+    /// Encoded width in bytes (1, 2, 4 or 8).
+    const BYTES: u32;
+    fn to_bits(self) -> u64;
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $bytes:expr) => {
+        impl SvmScalar for $t {
+            const BYTES: u32 = $bytes;
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, 1);
+impl_scalar!(u16, 2);
+impl_scalar!(u32, 4);
+impl_scalar!(u64, 8);
+impl_scalar!(i32, 4);
+impl_scalar!(i64, 8);
+
+impl SvmScalar for f64 {
+    const BYTES: u32 = 8;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        f64::to_bits(self)
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl SvmScalar for f32 {
+    const BYTES: u32 = 4;
+    #[inline]
+    fn to_bits(self) -> u64 {
+        u64::from(f32::to_bits(self))
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+/// A typed view over (part of) an SVM region.
+#[derive(Copy, Clone, Debug)]
+pub struct SvmArray<T: SvmScalar> {
+    va: u32,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: SvmScalar> SvmArray<T> {
+    /// View the whole region as `len` elements of `T`.
+    pub fn new(region: SvmRegion, len: usize) -> Self {
+        assert!(
+            len as u64 * u64::from(T::BYTES) <= u64::from(region.pages()) * 4096,
+            "array of {len} x {}B does not fit the region",
+            T::BYTES
+        );
+        SvmArray {
+            va: region.va,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// A sub-view starting at element `offset`.
+    pub fn slice(&self, offset: usize, len: usize) -> SvmArray<T> {
+        assert!(offset + len <= self.len);
+        SvmArray {
+            va: self.va + (offset as u32) * T::BYTES,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the array empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Virtual address of element `i`.
+    #[inline]
+    pub fn va_of(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len, "index {i} out of {}", self.len);
+        self.va + (i as u32) * T::BYTES
+    }
+
+    /// Read element `i` (may fault / migrate ownership).
+    #[inline]
+    pub fn get(&self, k: &mut Kernel<'_>, i: usize) -> T {
+        T::from_bits(k.vread(self.va_of(i), T::BYTES as usize))
+    }
+
+    /// Write element `i` (may fault / migrate ownership).
+    #[inline]
+    pub fn set(&self, k: &mut Kernel<'_>, i: usize, v: T) {
+        k.vwrite(self.va_of(i), T::BYTES as usize, v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{Consistency, SvmRegion};
+
+    fn region() -> SvmRegion {
+        SvmRegion {
+            va: scc_kernel::SVM_VA_BASE,
+            bytes: 8192,
+            model: Consistency::LazyRelease,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn addressing() {
+        let a = SvmArray::<f64>::new(region(), 1024);
+        assert_eq!(a.va_of(0), scc_kernel::SVM_VA_BASE);
+        assert_eq!(a.va_of(10), scc_kernel::SVM_VA_BASE + 80);
+        let s = a.slice(512, 512);
+        assert_eq!(s.va_of(0), a.va_of(512));
+        assert_eq!(s.len(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_array_rejected() {
+        SvmArray::<f64>::new(region(), 1025);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(<f64 as SvmScalar>::from_bits(SvmScalar::to_bits(1.5f64)), 1.5);
+        assert_eq!(<f32 as SvmScalar>::from_bits(SvmScalar::to_bits(2.5f32)), 2.5);
+        assert_eq!(<i32 as SvmScalar>::from_bits(SvmScalar::to_bits(-7i32)), -7);
+        assert_eq!(<u16 as SvmScalar>::from_bits(SvmScalar::to_bits(0xBEEFu16)), 0xBEEF);
+    }
+}

@@ -1,0 +1,59 @@
+//! # metalsvm — shared virtual memory for non-coherent memory-coupled cores
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Lankes, Reble, Sinnen, Clauss: *Revisiting Shared Virtual Memory
+//! Systems for Non-Coherent Memory-Coupled Cores*, PMAM 2012): an SVM
+//! system that gives the 48 non-coherent cores of the SCC a coherent
+//! shared address space, managed entirely in software inside the per-core
+//! kernels.
+//!
+//! ## Consistency models (§6)
+//!
+//! * [`Consistency::Strong`] — at every point in time a page has exactly
+//!   one owner, which alone may read or write it. Ownership is registered
+//!   in a dedicated **owner vector** in off-die memory. A page fault sends
+//!   a request mail to the current owner, which flushes its write-combine
+//!   buffer, withdraws its own access, records the new owner and sends an
+//!   acknowledgement back — the five steps of the paper's Figure 5. The
+//!   requesting core never polls the owner vector (the improvement over
+//!   the authors' earlier prototype that "ran against the memory wall").
+//! * [`Consistency::LazyRelease`] — every access to shared data is assumed
+//!   to be protected by a lock. Entering a critical section invalidates
+//!   tagged cache lines (`CL1INVMB`); leaving it flushes the write-combine
+//!   buffer. Pages are mapped read-write everywhere after first touch.
+//!
+//! ## Placement (§6.3)
+//!
+//! Physical frames are allocated on **first touch**, near the touching
+//! core's memory controller. The bookkeeping table (16 bits per shared
+//! page) lives in the top kilobyte of the MPBs — on-die memory used as a
+//! scratch pad — protected by the SCC's test-and-set registers. It can be
+//! relocated to off-die memory ([`ScratchLocation::OffDie`]), which the
+//! paper notes costs performance; the `ablation_scratchpad` bench
+//! quantifies exactly that.
+//!
+//! ## Read-only regions (§6.4) and affinity-on-next-touch (§8)
+//!
+//! [`SvmCtx::mprotect_readonly`] collectively seals a region: writes
+//! become hard faults (a debugging aid the paper highlights) and the MPBT
+//! tag is cleared so the otherwise sacrificed L2 cache serves these pages
+//! again. [`SvmCtx::arm_next_touch`] implements the paper's future-work
+//! *affinity-on-next-touch*: the next toucher of each page migrates it to
+//! its own memory controller.
+
+pub mod array;
+pub mod next_touch;
+pub mod readonly;
+pub mod region;
+pub mod scratchpad;
+pub mod stats;
+pub mod svm;
+pub mod sync;
+pub mod write_invalidate;
+
+pub use array::SvmArray;
+pub use region::{Consistency, SvmRegion};
+pub use scratchpad::ScratchLocation;
+pub use stats::SvmStats;
+pub use svm::{install, Placement, SvmConfig, SvmCtx};
+pub use sync::SvmLock;

@@ -1,0 +1,42 @@
+//! Affinity-on-next-touch (§8, the paper's announced future work,
+//! following Noordergraaf/van der Pas and the authors' own Linux-kernel
+//! extension [13]).
+//!
+//! Arming a region invalidates every core's mappings of it; the *next*
+//! core to touch each page migrates the backing frame to its own memory
+//! controller (unless it is already local). Later touchers map the
+//! migrated frame. This gives applications a dynamic re-distribution
+//! point, e.g. between the phases of an adaptive computation.
+
+use crate::region::{Consistency, SvmRegion};
+use crate::svm::SvmCtx;
+use scc_kernel::Kernel;
+
+impl SvmCtx {
+    /// Collectively arm next-touch migration for `region`.
+    ///
+    /// Supported for [`Consistency::LazyRelease`] regions: the strong
+    /// model's ownership migration already moves access (though not the
+    /// frame), and combining both would require a cross-protocol dance the
+    /// paper leaves to future work as well.
+    pub fn arm_next_touch(&self, k: &mut Kernel<'_>, region: SvmRegion) {
+        assert_eq!(
+            region.model,
+            Consistency::LazyRelease,
+            "next-touch is supported for lazy-release regions"
+        );
+        k.hw.flush_wcb();
+        k.hw.cl1invmb();
+        // Drop our mappings so the next access faults.
+        let first = region.first_page();
+        for p in first..first + region.pages() {
+            let va = scc_kernel::SVM_VA_BASE + p * 4096;
+            k.unmap_page(va);
+        }
+        scc_kernel::ram_barrier(k, "svm.nt.pre");
+        if k.rank() == 0 {
+            self.sh.table.lock().regions[region.index].nt_epoch += 1;
+        }
+        scc_kernel::ram_barrier(k, "svm.nt.post");
+    }
+}

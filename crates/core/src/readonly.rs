@@ -1,0 +1,37 @@
+//! Read-only memory regions (§6.4).
+//!
+//! After initialisation, data that is never written again can be sealed:
+//! a collective system call clears the `read/write` bit — so stray writes
+//! become hard page faults, catching bugs "by their first occurrence and
+//! not by a wrong final result" — and clears the `MPBT` bit, which
+//! re-enables the otherwise sacrificed L2 cache for these pages.
+
+use crate::region::SvmRegion;
+use crate::svm::SvmCtx;
+use scc_kernel::{Kernel, PageFlags};
+
+impl SvmCtx {
+    /// Collectively seal `region` read-only and L2-cacheable.
+    ///
+    /// All participants must call this together; each core remaps its view
+    /// of every already-backed page. Pages never touched anywhere remain
+    /// unmapped and are mapped read-only on their first (read) fault.
+    pub fn mprotect_readonly(&self, k: &mut Kernel<'_>, region: SvmRegion) {
+        // Make our own modifications globally visible, then forget our
+        // (possibly stale) tagged cache lines before re-reading through L2.
+        k.hw.flush_wcb();
+        k.hw.cl1invmb();
+        scc_kernel::ram_barrier(k, "svm.ro.pre");
+        if k.rank() == 0 {
+            self.sh.table.lock().regions[region.index].readonly = true;
+        }
+        let first = region.first_page();
+        for p in first..first + region.pages() {
+            if let Some(pfn) = self.sh.frame_peek(p) {
+                let va = scc_kernel::SVM_VA_BASE + p * 4096;
+                k.map_page(va, pfn, PageFlags::readonly_l2());
+            }
+        }
+        scc_kernel::ram_barrier(k, "svm.ro.post");
+    }
+}

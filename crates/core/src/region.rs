@@ -1,0 +1,170 @@
+//! SVM regions and the shared region table.
+
+use scc_kernel::SVM_VA_BASE;
+use serde::{Deserialize, Serialize};
+
+/// The memory consistency model of one SVM region (§6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Consistency {
+    /// Single-owner pages, ownership migrates on fault via the mailbox
+    /// system ("Strong Memory Consistency Model").
+    Strong,
+    /// Lazy release consistency: correctness relies on lock/barrier
+    /// acquire–release pairs; pages are writable everywhere.
+    LazyRelease,
+    /// IVY-style multiple-reader/single-writer write-invalidate (the
+    /// paper's announced "other memory models" direction; see
+    /// `write_invalidate.rs`).
+    WriteInvalidate,
+}
+
+/// One allocated SVM region (a contiguous run of shared virtual pages).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SvmRegion {
+    /// Base virtual address (page-aligned, inside the SVM window).
+    pub va: u32,
+    /// Requested size in bytes.
+    pub bytes: u32,
+    /// Consistency model chosen at allocation.
+    pub model: Consistency,
+    /// Index in the region table.
+    pub index: usize,
+}
+
+impl SvmRegion {
+    /// Number of pages spanned.
+    pub fn pages(&self) -> u32 {
+        self.bytes.div_ceil(4096)
+    }
+
+    /// Global SVM page index of the first page.
+    pub fn first_page(&self) -> u32 {
+        (self.va - SVM_VA_BASE) / 4096
+    }
+
+    /// Does `va` fall inside this region?
+    pub fn contains(&self, va: u32) -> bool {
+        va >= self.va && va < self.va + self.pages() * 4096
+    }
+}
+
+/// Mutable per-region state shared by all cores (host-side).
+#[derive(Debug)]
+pub struct RegionState {
+    pub region: SvmRegion,
+    /// Sealed read-only by `mprotect_readonly`.
+    pub readonly: bool,
+    /// Current next-touch epoch (see `next_touch.rs`); 0 = never armed.
+    pub nt_epoch: u32,
+}
+
+/// The shared region table: deterministic bump allocation over the SVM
+/// virtual window.
+#[derive(Debug, Default)]
+pub struct RegionTable {
+    pub regions: Vec<RegionState>,
+    next_off: u32,
+}
+
+impl RegionTable {
+    /// Create-or-fetch region number `index` (cores call in the same order,
+    /// so the first arrival creates and the rest validate).
+    pub fn get_or_create(
+        &mut self,
+        index: usize,
+        bytes: u32,
+        model: Consistency,
+        max_bytes: u32,
+    ) -> SvmRegion {
+        assert!(bytes > 0, "svm_alloc of zero bytes");
+        if index == self.regions.len() {
+            let pages = bytes.div_ceil(4096);
+            let va = SVM_VA_BASE + self.next_off;
+            assert!(
+                self.next_off + pages * 4096 <= max_bytes,
+                "SVM window exhausted: {} + {} pages > {max_bytes} bytes",
+                self.next_off,
+                pages
+            );
+            self.next_off += pages * 4096;
+            self.regions.push(RegionState {
+                region: SvmRegion {
+                    va,
+                    bytes,
+                    model,
+                    index,
+                },
+                readonly: false,
+                nt_epoch: 0,
+            });
+        }
+        let r = &self.regions[index].region;
+        assert!(
+            r.bytes == bytes && r.model == model,
+            "collective svm_alloc mismatch at index {index}: \
+             {bytes}B/{model:?} here vs {}B/{:?} first",
+            r.bytes,
+            r.model
+        );
+        *r
+    }
+
+    /// The region containing `va`, if any.
+    pub fn find(&self, va: u32) -> Option<SvmRegion> {
+        self.regions
+            .iter()
+            .map(|s| s.region)
+            .find(|r| r.contains(va))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_page_rounded_and_contiguous() {
+        let mut t = RegionTable::default();
+        let a = t.get_or_create(0, 100, Consistency::Strong, 1 << 20);
+        let b = t.get_or_create(1, 8192, Consistency::LazyRelease, 1 << 20);
+        assert_eq!(a.va, SVM_VA_BASE);
+        assert_eq!(a.pages(), 1);
+        assert_eq!(b.va, SVM_VA_BASE + 4096);
+        assert_eq!(b.pages(), 2);
+        assert_eq!(b.first_page(), 1);
+    }
+
+    #[test]
+    fn second_caller_gets_same_region() {
+        let mut t = RegionTable::default();
+        let a1 = t.get_or_create(0, 4096, Consistency::Strong, 1 << 20);
+        let a2 = t.get_or_create(0, 4096, Consistency::Strong, 1 << 20);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_collective_alloc_panics() {
+        let mut t = RegionTable::default();
+        t.get_or_create(0, 4096, Consistency::Strong, 1 << 20);
+        t.get_or_create(0, 8192, Consistency::Strong, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn window_exhaustion_panics() {
+        let mut t = RegionTable::default();
+        t.get_or_create(0, 8192, Consistency::Strong, 4096);
+    }
+
+    #[test]
+    fn contains_and_find() {
+        let mut t = RegionTable::default();
+        let r = t.get_or_create(0, 10000, Consistency::Strong, 1 << 20);
+        assert!(r.contains(SVM_VA_BASE));
+        assert!(r.contains(SVM_VA_BASE + 3 * 4096 - 1));
+        assert!(!r.contains(SVM_VA_BASE + 3 * 4096));
+        assert_eq!(t.find(SVM_VA_BASE + 5), Some(r));
+        assert_eq!(t.find(SVM_VA_BASE + 4 * 4096), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! The first-touch scratch pad (§6.3).
+//!
+//! Each shared page has a 16-bit entry recording which physical frame backs
+//! it (0 = not yet allocated). The paper places this table in the on-die
+//! MPBs — "the SCC's on-die memory partly as scratch pad" — striped across
+//! the cores, and notes that relocating it to off-die memory would lift the
+//! 256 MByte limit at the price of slower faults. Both variants are
+//! implemented; the off-die one doubles as the A1 ablation.
+//!
+//! Entries are read/written uncached (one word each); allocation races are
+//! excluded by an SCC test-and-set register.
+
+use scc_hw::mpb::MpbArray;
+use scc_hw::{CoreId, MemAttr};
+use scc_kernel::Kernel;
+
+/// Bytes reserved at the top of each MPB for the scratch pad.
+pub const SCRATCH_BYTES_PER_CORE: u32 = 1024;
+/// Offset of the scratch pad inside each MPB.
+pub const SCRATCH_OFF: u32 = scc_hw::config::MPB_BYTES as u32 - SCRATCH_BYTES_PER_CORE;
+
+/// Where the scratch pad lives.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ScratchLocation {
+    /// Striped over the MPBs (the paper's design: fast, capacity-limited).
+    Mpb,
+    /// One flat table in off-die shared memory (unlimited, slower).
+    OffDie,
+}
+
+/// The scratch pad accessor.
+#[derive(Clone, Debug)]
+pub struct Scratchpad {
+    loc: ScratchLocation,
+    ncores: u32,
+    /// Base PA of the off-die table (when `loc == OffDie`).
+    offdie_pa: u32,
+    pages: u32,
+    /// First frame of the shared region (entries are relative to it).
+    base_pfn: u32,
+}
+
+impl Scratchpad {
+    /// Capacity (pages) of the MPB variant for `ncores` cores.
+    pub fn mpb_capacity(ncores: usize) -> u32 {
+        ncores as u32 * SCRATCH_BYTES_PER_CORE / 2
+    }
+
+    pub fn new(
+        loc: ScratchLocation,
+        ncores: usize,
+        pages: u32,
+        offdie_pa: u32,
+        base_pfn: u32,
+    ) -> Self {
+        if loc == ScratchLocation::Mpb {
+            assert!(
+                pages <= Self::mpb_capacity(ncores),
+                "shared region too large for the MPB scratch pad \
+                 ({pages} pages > {}); use ScratchLocation::OffDie",
+                Self::mpb_capacity(ncores)
+            );
+        }
+        Scratchpad {
+            loc,
+            ncores: ncores as u32,
+            offdie_pa,
+            pages,
+            base_pfn,
+        }
+    }
+
+    /// Where this scratch pad lives.
+    pub fn location(&self) -> ScratchLocation {
+        self.loc
+    }
+
+    /// Physical address of page `p`'s entry.
+    #[inline]
+    fn entry_pa(&self, p: u32) -> u32 {
+        debug_assert!(p < self.pages, "page {p} beyond scratch pad");
+        match self.loc {
+            ScratchLocation::Mpb => {
+                let core = CoreId::new((p % self.ncores) as usize);
+                MpbArray::pa(core, (SCRATCH_OFF + (p / self.ncores) * 2) as usize)
+            }
+            ScratchLocation::OffDie => self.offdie_pa + p * 2,
+        }
+    }
+
+    /// The test-and-set register protecting page `p`'s entry.
+    #[inline]
+    pub fn lock_of(&self, p: u32) -> CoreId {
+        CoreId::new((p % self.ncores) as usize)
+    }
+
+    /// Timed read of page `p`'s entry: `Some(pfn)` if allocated.
+    pub fn read(&self, k: &mut Kernel<'_>, p: u32) -> Option<u32> {
+        let v = k.hw.read(self.entry_pa(p), 2, MemAttr::UNCACHED) as u32;
+        (v != 0).then(|| self.decode(v))
+    }
+
+    /// Raw (untimed) peek for tests and wait conditions.
+    pub fn peek(&self, mach: &scc_hw::machine::MachineInner, p: u32) -> Option<u32> {
+        let pa = self.entry_pa(p);
+        let v = match mach.map.resolve(pa) {
+            scc_hw::ram::Backing::Mpb { .. } => mach.mpb.read(pa, 2),
+            scc_hw::ram::Backing::Ram { .. } => mach.ram.read(pa, 2),
+        } as u32;
+        (v != 0).then(|| self.decode(v))
+    }
+
+    /// Timed write of page `p`'s entry.
+    pub fn write(&self, k: &mut Kernel<'_>, p: u32, pfn: u32) {
+        let enc = self.encode(pfn);
+        k.hw.write(self.entry_pa(p), 2, enc as u64, MemAttr::UNCACHED);
+    }
+
+    /// Clear page `p`'s entry (used by next-touch migration).
+    pub fn clear(&self, k: &mut Kernel<'_>, p: u32) {
+        k.hw.write(self.entry_pa(p), 2, 0, MemAttr::UNCACHED);
+    }
+
+    /// Encode a shared-region frame as a 16-bit entry. The paper stores a
+    /// "16 bit representation" from which the physical address can be
+    /// rebuilt — here: the frame index relative to the shared base, plus 1.
+    fn encode(&self, pfn: u32) -> u32 {
+        let rel = pfn
+            .checked_sub(self.base_pfn)
+            .expect("frame below the shared region");
+        assert!(rel + 1 <= u16::MAX as u32, "frame beyond 16-bit scratch range");
+        rel + 1
+    }
+
+    fn decode(&self, entry: u32) -> u32 {
+        self.base_pfn + entry - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pad(loc: ScratchLocation) -> Scratchpad {
+        Scratchpad::new(loc, 48, 1000, 0x100000, 0x4000)
+    }
+
+    #[test]
+    fn mpb_entries_stripe_across_cores() {
+        let s = pad(ScratchLocation::Mpb);
+        // Pages p and p+48 land in the same core's MPB, 2 bytes apart.
+        let a = s.entry_pa(5);
+        let b = s.entry_pa(5 + 48);
+        assert_eq!(b - a, 2);
+        // Consecutive pages land on different cores.
+        assert_ne!(
+            MpbArray::owner_and_offset(s.entry_pa(5)).0,
+            MpbArray::owner_and_offset(s.entry_pa(6)).0
+        );
+    }
+
+    #[test]
+    fn offdie_entries_flat() {
+        let s = pad(ScratchLocation::OffDie);
+        assert_eq!(s.entry_pa(0), 0x100000);
+        assert_eq!(s.entry_pa(7), 0x100000 + 14);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = pad(ScratchLocation::OffDie);
+        for pfn in [0x4000, 0x4001, 0x4000 + 60000] {
+            assert_eq!(s.decode(s.encode(pfn)), pfn);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit")]
+    fn encode_overflow_panics() {
+        let s = pad(ScratchLocation::OffDie);
+        s.encode(0x4000 + 70000);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large for the MPB")]
+    fn mpb_capacity_enforced() {
+        Scratchpad::new(ScratchLocation::Mpb, 48, 100_000, 0, 0);
+    }
+
+    #[test]
+    fn lock_striping() {
+        let s = pad(ScratchLocation::Mpb);
+        assert_eq!(s.lock_of(0), CoreId::new(0));
+        assert_eq!(s.lock_of(49), CoreId::new(1));
+    }
+}

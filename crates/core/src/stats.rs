@@ -1,0 +1,72 @@
+//! SVM event counters (shared across the cores of one machine).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters over all cores; per-core attribution is available through the
+/// kernel's hardware counters.
+#[derive(Default, Debug)]
+pub struct SvmStats {
+    /// Page faults taken inside the SVM window.
+    pub faults: AtomicU64,
+    /// Frames allocated on first touch.
+    pub first_touch_allocs: AtomicU64,
+    /// Ownership transfers completed (strong model).
+    pub ownership_transfers: AtomicU64,
+    /// Ownership requests forwarded because the addressee no longer owned
+    /// the page.
+    pub forwards: AtomicU64,
+    /// Pages migrated by affinity-on-next-touch.
+    pub migrations: AtomicU64,
+    /// Read replicas granted (write-invalidate model).
+    pub read_replicas: AtomicU64,
+    /// Replica invalidations performed (write-invalidate model).
+    pub invalidations: AtomicU64,
+}
+
+impl SvmStats {
+    pub fn snapshot(&self) -> SvmStatsSnapshot {
+        SvmStatsSnapshot {
+            faults: self.faults.load(Ordering::Relaxed),
+            first_touch_allocs: self.first_touch_allocs.load(Ordering::Relaxed),
+            ownership_transfers: self.ownership_transfers.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            read_replicas: self.read_replicas.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A plain copy of the counters at one instant.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SvmStatsSnapshot {
+    pub faults: u64,
+    pub first_touch_allocs: u64,
+    pub ownership_transfers: u64,
+    pub forwards: u64,
+    pub migrations: u64,
+    pub read_replicas: u64,
+    pub invalidations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = SvmStats::default();
+        SvmStats::bump(&s.faults);
+        SvmStats::bump(&s.faults);
+        SvmStats::bump(&s.migrations);
+        let snap = s.snapshot();
+        assert_eq!(snap.faults, 2);
+        assert_eq!(snap.migrations, 1);
+        assert_eq!(snap.ownership_transfers, 0);
+    }
+}

@@ -1,0 +1,532 @@
+//! The SVM system proper: installation, collective allocation, the page
+//! fault path and the five-step ownership-transfer protocol of Figure 5.
+
+use crate::region::{Consistency, RegionTable, SvmRegion};
+use crate::scratchpad::{ScratchLocation, Scratchpad};
+use crate::stats::SvmStats;
+use parking_lot::Mutex;
+use scc_hw::machine::MachineInner;
+use scc_hw::{CoreId, MemAttr};
+use scc_kernel::{Access, FaultHandler, Kernel, PageFlags, SVM_VA_BASE};
+use scc_mailbox::{Mail, MailHandler, MailKind, Mailbox};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Frame placement policy on first touch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Allocate behind the toucher's quadrant controller — the paper's
+    /// affinity-on-first-touch (§6.3).
+    NearToucher,
+    /// Stripe pages round-robin over the four controllers regardless of
+    /// who touches (the A4 ablation baseline).
+    RoundRobin,
+}
+
+/// Configuration of the SVM system.
+#[derive(Copy, Clone, Debug)]
+pub struct SvmConfig {
+    /// Where the first-touch scratch pad lives (§6.3; `OffDie` is the
+    /// paper's capacity/performance trade-off and our A1 ablation).
+    pub scratch: ScratchLocation,
+    /// Frame placement on first touch.
+    pub placement: Placement,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            scratch: ScratchLocation::Mpb,
+            placement: Placement::NearToucher,
+        }
+    }
+}
+
+/// Machine-wide shared state of the SVM system.
+pub struct SvmShared {
+    mach: Arc<MachineInner>,
+    /// Owner vector: one u32 per shared page (core id + 1; 0 = unowned),
+    /// in off-die memory, always accessed uncached.
+    owner_pa: u32,
+    /// Copyset vector (write-invalidate model): u64 bitmask per page.
+    copyset_pa: u32,
+    /// Version vector (write-invalidate model): u32 per page.
+    version_pa: u32,
+    scratch: Scratchpad,
+    pub(crate) table: Mutex<RegionTable>,
+    /// Per-page next-touch epoch (see `next_touch.rs`).
+    pub(crate) page_nt: Vec<AtomicU32>,
+    /// Upper bound of the SVM window in bytes.
+    max_bytes: u32,
+    placement: Placement,
+    pub stats: SvmStats,
+}
+
+impl SvmShared {
+    /// Timed uncached read of the owner vector.
+    pub(crate) fn owner_read(&self, k: &mut Kernel<'_>, p: u32) -> Option<CoreId> {
+        let v = k.hw.read(self.owner_pa + 4 * p, 4, MemAttr::UNCACHED) as u32;
+        (v != 0).then(|| CoreId::new(v as usize - 1))
+    }
+
+    /// Timed uncached write of the owner vector.
+    pub(crate) fn owner_write(&self, k: &mut Kernel<'_>, p: u32, owner: CoreId) {
+        k.hw.write(
+            self.owner_pa + 4 * p,
+            4,
+            owner.idx() as u64 + 1,
+            MemAttr::UNCACHED,
+        );
+    }
+
+    /// Raw peek of the owner vector (tests, diagnostics).
+    pub fn owner_peek(&self, p: u32) -> Option<CoreId> {
+        let v = self.mach.ram.read(self.owner_pa + 4 * p, 4) as u32;
+        (v != 0).then(|| CoreId::new(v as usize - 1))
+    }
+
+    /// Raw peek of the scratch pad.
+    pub fn frame_peek(&self, p: u32) -> Option<u32> {
+        self.scratch.peek(&self.mach, p)
+    }
+
+    /// Virtual address of SVM page `p`.
+    #[inline]
+    pub(crate) fn va_of_page(p: u32) -> u32 {
+        SVM_VA_BASE + p * 4096
+    }
+
+    #[inline]
+    pub(crate) fn copyset_pa(&self) -> u32 {
+        self.copyset_pa
+    }
+
+    #[inline]
+    pub(crate) fn version_pa(&self) -> u32 {
+        self.version_pa
+    }
+
+    /// Global SVM page index of `va`.
+    #[inline]
+    fn page_of(va: u32) -> u32 {
+        (va - SVM_VA_BASE) / 4096
+    }
+}
+
+/// The per-core acknowledgement cell: which page's ownership ack arrived.
+struct AckCell {
+    page: AtomicU32,
+    stamp: AtomicU64,
+}
+
+const NO_ACK: u32 = u32::MAX;
+
+/// Per-core handle to the SVM system, returned by [`install`].
+pub struct SvmCtx {
+    pub(crate) sh: Arc<SvmShared>,
+    mbx: Mailbox,
+    alloc_cursor: usize,
+    pub(crate) lock_cursor: u32,
+}
+
+/// Install the SVM system on this kernel. Requires an installed mailbox
+/// system (the SVM protocols ride on it). Collective.
+pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
+    let mach = Arc::clone(k.hw.machine());
+    let pages = mach.map.shared_pages() as u32;
+    let owner_pa = k.shared.named_header("svm.owner", pages * 4, 64);
+    let scratch_pa = k.shared.named_header("svm.scratch", pages * 2, 64);
+    let copyset_pa = k.shared.named_header("svm.copyset", pages * 8, 64);
+    let version_pa = k.shared.named_header("svm.version", pages * 4, 64);
+    let header_pages = scc_kernel::cluster::header_bytes(&mach) / 4096;
+    let base_pfn = (mach.map.shared_base() >> 12) + header_pages;
+    let shared = Arc::clone(&k.shared);
+    let sh = shared.service_get_or_init("svm", || {
+        // First core on this machine: wipe the MPB scratch areas of all
+        // cores (boot-time provisioning, untimed).
+        for c in CoreId::all().take(mach.cfg.ncores) {
+            for off in (crate::scratchpad::SCRATCH_OFF..scc_hw::config::MPB_BYTES as u32)
+                .step_by(4)
+            {
+                mach.mpb
+                    .write(scc_hw::mpb::MpbArray::pa(c, off as usize), 4, 0);
+            }
+        }
+        let mut page_nt = Vec::with_capacity(pages as usize);
+        page_nt.resize_with(pages as usize, || AtomicU32::new(0));
+        Arc::new(SvmShared {
+            scratch: Scratchpad::new(cfg.scratch, mach.cfg.ncores, pages, scratch_pa, base_pfn),
+            owner_pa,
+            copyset_pa,
+            version_pa,
+            table: Mutex::new(RegionTable::default()),
+            page_nt,
+            max_bytes: pages * 4096,
+            placement: cfg.placement,
+            stats: SvmStats::default(),
+            mach: Arc::clone(&mach),
+        })
+    });
+    let ack = Arc::new(AckCell {
+        page: AtomicU32::new(NO_ACK),
+        stamp: AtomicU64::new(0),
+    });
+    let wi_cells = crate::write_invalidate::WiCells::new();
+    // Fault handler over the whole SVM window.
+    k.register_fault_handler(
+        SVM_VA_BASE..SVM_VA_BASE + sh.max_bytes,
+        Arc::new(SvmFaultHandler {
+            sh: Arc::clone(&sh),
+            mbx: mbx.clone(),
+            ack: Arc::clone(&ack),
+            wi: Arc::clone(&wi_cells),
+        }),
+    );
+    // Protocol mail handlers.
+    mbx.register_handler(
+        MailKind::SVM_REQUEST,
+        Arc::new(RequestHandler {
+            sh: Arc::clone(&sh),
+            mbx: mbx.clone(),
+        }),
+    );
+    mbx.register_handler(MailKind::SVM_ACK, Arc::new(AckHandler { ack: Arc::clone(&ack) }));
+    // Write-invalidate protocol handlers.
+    {
+        use crate::write_invalidate as wi;
+        let req = Arc::new(wi::WiRequestHandler {
+            sh: Arc::clone(&sh),
+            mbx: mbx.clone(),
+        });
+        mbx.register_handler(wi::WI_READ_REQ, Arc::new(wi::WiReadHandler(Arc::clone(&req))));
+        mbx.register_handler(wi::WI_WRITE_REQ, Arc::new(wi::WiWriteHandler(req)));
+        mbx.register_handler(
+            wi::WI_GRANT,
+            Arc::new(wi::WiGrantHandler {
+                cells: Arc::clone(&wi_cells),
+            }),
+        );
+        mbx.register_handler(
+            wi::WI_INV,
+            Arc::new(wi::WiInvHandler {
+                sh: Arc::clone(&sh),
+                mbx: mbx.clone(),
+            }),
+        );
+        mbx.register_handler(
+            wi::WI_INV_ACK,
+            Arc::new(wi::WiInvAckHandler {
+                cells: Arc::clone(&wi_cells),
+            }),
+        );
+    }
+    scc_kernel::ram_barrier(k, "svm.install");
+    SvmCtx {
+        sh,
+        mbx: mbx.clone(),
+        alloc_cursor: 0,
+        lock_cursor: 0,
+    }
+}
+
+impl SvmCtx {
+    /// Shared SVM state (stats, peeks).
+    pub fn shared(&self) -> &Arc<SvmShared> {
+        &self.sh
+    }
+
+    /// The mailbox system the protocols ride on.
+    pub fn mailbox(&self) -> &Mailbox {
+        &self.mbx
+    }
+
+    /// Collective allocation of `bytes` of shared virtual memory under the
+    /// given consistency model (the paper's `svm_alloc`). Only address
+    /// space is reserved; frames appear on first touch.
+    pub fn alloc(&mut self, k: &mut Kernel<'_>, bytes: u32, model: Consistency) -> SvmRegion {
+        let idx = self.alloc_cursor;
+        self.alloc_cursor += 1;
+        let region = self
+            .sh
+            .table
+            .lock()
+            .get_or_create(idx, bytes, model, self.sh.max_bytes);
+        let c = k.hw.machine().cfg.timing.vma_reserve_per_page * u64::from(region.pages());
+        k.hw.advance(c);
+        scc_kernel::ram_barrier(k, "svm.alloc");
+        region
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fault path
+// ----------------------------------------------------------------------
+
+struct SvmFaultHandler {
+    sh: Arc<SvmShared>,
+    mbx: Mailbox,
+    ack: Arc<AckCell>,
+    wi: Arc<crate::write_invalidate::WiCells>,
+}
+
+impl FaultHandler for SvmFaultHandler {
+    fn name(&self) -> &'static str {
+        "svm"
+    }
+
+    fn on_fault(&self, k: &mut Kernel<'_>, va: u32, access: Access) -> bool {
+        let sh = &self.sh;
+        SvmStats::bump(&sh.stats.faults);
+        let (region, readonly, nt_epoch) = {
+            let t = sh.table.lock();
+            let Some(region) = t.find(va) else {
+                return false; // hole in the SVM window: unmapped
+            };
+            let st = &t.regions[region.index];
+            (region, st.readonly, st.nt_epoch)
+        };
+        let p = SvmShared::page_of(va);
+        let page_va = va & !0xfff;
+
+        if readonly {
+            if access == Access::Write {
+                // §6.4: "an undesired write access to these regions
+                // triggers a page fault" — a hard error by design.
+                return false;
+            }
+            let pfn = self.ensure_frame(k, p, nt_epoch, region.model);
+            k.map_page(page_va, pfn, PageFlags::readonly_l2());
+            return true;
+        }
+
+        match region.model {
+            Consistency::LazyRelease => {
+                let pfn = self.ensure_frame(k, p, nt_epoch, region.model);
+                k.map_page(page_va, pfn, PageFlags::shared_rw());
+            }
+            Consistency::WriteInvalidate => {
+                let stale = k.page_table().lookup(va);
+                let pfn = if stale != scc_kernel::Pte::EMPTY
+                    && nt_epoch <= sh.page_nt[p as usize].load(Ordering::Acquire)
+                {
+                    stale.pfn()
+                } else {
+                    self.ensure_frame(k, p, nt_epoch, region.model)
+                };
+                crate::write_invalidate::wi_fault(
+                    &self.sh,
+                    &self.mbx,
+                    &self.wi,
+                    k,
+                    p,
+                    pfn,
+                    page_va,
+                    access == Access::Write,
+                );
+            }
+            Consistency::Strong => {
+                // A permission-withdrawn PTE still carries the frame number
+                // (see the grant path), sparing the scratch-pad lookup.
+                let stale = k.page_table().lookup(va);
+                let pfn = if stale != scc_kernel::Pte::EMPTY
+                    && nt_epoch <= sh.page_nt[p as usize].load(Ordering::Acquire)
+                {
+                    stale.pfn()
+                } else {
+                    self.ensure_frame(k, p, nt_epoch, region.model)
+                };
+                self.acquire_ownership(k, p, pfn, page_va);
+            }
+        }
+        true
+    }
+}
+
+impl SvmFaultHandler {
+    /// First-touch allocation (and next-touch migration) of page `p`.
+    fn ensure_frame(&self, k: &mut Kernel<'_>, p: u32, nt_epoch: u32, _model: Consistency) -> u32 {
+        let sh = &self.sh;
+
+        // Fast path: the page is backed and no next-touch epoch is pending.
+        if let Some(pfn) = sh.scratch.read(k, p) {
+            if nt_epoch <= sh.page_nt[p as usize].load(Ordering::Acquire) {
+                return pfn;
+            }
+        }
+
+        let my_mc = k.id().nearest_mc();
+        let needs_migration = |pfn: u32| {
+            nt_epoch > sh.page_nt[p as usize].load(Ordering::Acquire) && {
+                // Only migrate frames that are not already local.
+                let scc_hw::ram::Backing::Ram { mc } = sh.mach.map.resolve(pfn << 12) else {
+                    unreachable!()
+                };
+                mc != my_mc
+            }
+        };
+
+        let reg = sh.scratch.lock_of(p);
+        k.hw.tas_lock(reg);
+        let existing = sh.scratch.read(k, p);
+        let pfn = match existing {
+            None => {
+                // First touch: allocate per placement policy, zero through
+                // the uncached path (the dominant cost of Table 1's
+                // "physical allocation of a page frame"), publish.
+                let pfn = match sh.placement {
+                    Placement::NearToucher => k.shared.frames.alloc_near(k.id()),
+                    Placement::RoundRobin => k.shared.frames.alloc_at((p % 4) as usize),
+                }
+                .expect("out of shared frames");
+                let c = k.hw.machine().cfg.timing.frame_alloc;
+                k.hw.advance(c);
+                k.zero_frame_uncached(pfn);
+                sh.scratch.write(k, p, pfn);
+                sh.owner_write(k, p, k.id());
+                if _model == Consistency::WriteInvalidate {
+                    let me = k.id().idx();
+                    k.hw.write(sh.copyset_pa + 8 * p, 8, 1 << me, MemAttr::UNCACHED);
+                    k.hw.write(sh.version_pa + 4 * p, 4, 0, MemAttr::UNCACHED);
+                }
+                sh.page_nt[p as usize].store(nt_epoch, Ordering::Release);
+                SvmStats::bump(&sh.stats.first_touch_allocs);
+                pfn
+            }
+            Some(old) => {
+                if needs_migration(old) {
+                    // Affinity-on-next-touch: move the frame next to us.
+                    let new = k
+                        .shared
+                        .frames
+                        .alloc_near(k.id())
+                        .expect("out of shared frames");
+                    let c = k.hw.machine().cfg.timing.frame_alloc;
+                    k.hw.advance(c);
+                    for off in (0..4096).step_by(4) {
+                        let v = k.hw.read((old << 12) + off, 4, MemAttr::UNCACHED);
+                        k.hw.write((new << 12) + off, 4, v, MemAttr::UNCACHED);
+                    }
+                    k.shared.frames.free(&sh.mach, old);
+                    sh.scratch.write(k, p, new);
+                    SvmStats::bump(&sh.stats.migrations);
+                    sh.page_nt[p as usize].store(nt_epoch, Ordering::Release);
+                    new
+                } else {
+                    sh.page_nt[p as usize]
+                        .fetch_max(nt_epoch, Ordering::AcqRel);
+                    old
+                }
+            }
+        };
+        k.hw.tas_unlock(reg);
+        pfn
+    }
+
+    /// The strong model's ownership acquisition: the five steps of the
+    /// paper's Figure 5, from the requester's side.
+    fn acquire_ownership(&self, k: &mut Kernel<'_>, p: u32, pfn: u32, page_va: u32) {
+        let sh = &self.sh;
+        let me = k.id();
+        loop {
+            // Step 2: look up the owner.
+            let owner = sh
+                .owner_read(k, p)
+                .expect("strong page must have an owner after first touch");
+            if owner == me {
+                k.map_page(page_va, pfn, PageFlags::shared_rw());
+                // Our cached lines may predate the previous owner's writes.
+                k.hw.cl1invmb();
+                return;
+            }
+            // ... and send a request mail (possibly forwarded along stale
+            // owners by the receivers).
+            let mut payload = [0u8; 8];
+            payload[0..4].copy_from_slice(&p.to_le_bytes());
+            payload[4..8].copy_from_slice(&(me.idx() as u32).to_le_bytes());
+            self.mbx.send(k, owner, MailKind::SVM_REQUEST, &payload);
+
+            // Step 5: wait for the acknowledgement — event-driven, no
+            // polling on the owner vector (the paper's key improvement
+            // over its earlier prototype).
+            let ack = Arc::clone(&self.ack);
+            let want = p;
+            k.wait_event("SVM ownership ack", move || {
+                (ack.page.load(Ordering::Acquire) == want)
+                    .then(|| ((), ack.stamp.load(Ordering::Acquire)))
+            });
+            self.ack.page.store(NO_ACK, Ordering::Release);
+
+            // The grant already recorded us in the owner vector — unless a
+            // concurrent request stole the page while we waited (our own
+            // interrupt handler may have granted it away again).
+            if sh.owner_read(k, p) == Some(me) {
+                let c = k.hw.machine().cfg.timing.dsm_handler;
+                k.hw.advance(c);
+                k.map_page(page_va, pfn, PageFlags::shared_rw());
+                k.hw.cl1invmb();
+                SvmStats::bump(&sh.stats.ownership_transfers);
+                return;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Owner-side protocol handlers
+// ----------------------------------------------------------------------
+
+struct RequestHandler {
+    sh: Arc<SvmShared>,
+    mbx: Mailbox,
+}
+
+impl MailHandler for RequestHandler {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
+        let sh = &self.sh;
+        let p = mail.u32_at(0);
+        let requester = CoreId::new(mail.u32_at(4) as usize);
+        let me = k.id();
+        let cur = sh.owner_read(k, p).expect("request for unowned page");
+        if cur == requester {
+            // The requester became the owner while this (stale or
+            // duplicate) request travelled; nothing to do.
+            return;
+        }
+        if cur != me {
+            // We no longer own the page: forward to the current owner
+            // instead of making the requester re-poll the vector.
+            SvmStats::bump(&sh.stats.forwards);
+            self.mbx.send(k, cur, MailKind::SVM_REQUEST, mail.data());
+            return;
+        }
+        let c = k.hw.machine().cfg.timing.dsm_handler;
+        k.hw.advance(c);
+        // Step 3: flush (write-through ⇒ only the write-combine buffer)
+        // and withdraw our own access. The frame number stays in the PTE
+        // (only the permission is cleared), so re-acquiring later needs no
+        // scratch-pad lookup — this is what makes Table 1's "retrieve the
+        // access permission" cheaper than a full "mapping of a page frame".
+        k.hw.flush_wcb();
+        let va = SvmShared::va_of_page(p);
+        if !k.protect_page(va, scc_kernel::PageFlags(scc_kernel::PageFlags::PWT | scc_kernel::PageFlags::MPBT)) {
+            k.unmap_page(va);
+        }
+        // Step 4: record the new owner in the vector...
+        sh.owner_write(k, p, requester);
+        // Step 5: ...and signal the requester.
+        self.mbx
+            .send(k, requester, MailKind::SVM_ACK, &p.to_le_bytes());
+    }
+}
+
+struct AckHandler {
+    ack: Arc<AckCell>,
+}
+
+impl MailHandler for AckHandler {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
+        let p = mail.u32_at(0);
+        self.ack.stamp.store(k.hw.now(), Ordering::Release);
+        self.ack.page.store(p, Ordering::Release);
+    }
+}

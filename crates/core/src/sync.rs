@@ -1,0 +1,71 @@
+//! SVM synchronisation primitives: locks and barriers with the
+//! acquire/release cache actions of the lazy release consistency model.
+//!
+//! In MetalSVM the lazy model "extends our synchronization primitives":
+//! entering a critical section invalidates the tagged cache lines via
+//! `CL1INVMB`; leaving it flushes the write-combine buffer. The same hooks
+//! are harmless (and cheap) under the strong model, so they run always.
+
+use crate::svm::SvmCtx;
+use scc_hw::CoreId;
+use scc_kernel::Kernel;
+
+/// A global SVM lock, realised by one of the SCC's test-and-set registers
+/// (as in §6.3), carrying the lazy-release cache actions.
+#[derive(Copy, Clone, Debug)]
+pub struct SvmLock {
+    reg: CoreId,
+}
+
+impl SvmCtx {
+    /// Create a lock. Collective in the SPMD sense: every core must create
+    /// its locks in the same order to agree on register assignment.
+    pub fn lock_new(&mut self, k: &mut Kernel<'_>) -> SvmLock {
+        let ncores = k.hw.machine().cfg.ncores as u32;
+        // Skip register 0, which backs the RAM barrier and scratch-pad
+        // slice 0, to reduce contention (correctness does not depend on
+        // this: none of the users nest acquisitions).
+        let reg = CoreId::new((1 + self.lock_cursor % (ncores - 1)) as usize);
+        self.lock_cursor += 1;
+        SvmLock { reg }
+    }
+
+    /// Barrier over all participating cores with release/acquire cache
+    /// semantics: flush the WCB before waiting, invalidate after release.
+    pub fn barrier(&self, k: &mut Kernel<'_>) {
+        k.hw.flush_wcb();
+        scc_kernel::ram_barrier(k, "svm.barrier");
+        k.hw.cl1invmb();
+    }
+
+    /// A barrier *without* the acquire-side invalidation. Exists so tests
+    /// and demos can exhibit the staleness that the lazy release model's
+    /// hooks prevent; not part of the paper's API.
+    pub fn barrier_no_invalidate_for_test(&self, k: &mut Kernel<'_>) {
+        k.hw.flush_wcb();
+        scc_kernel::ram_barrier(k, "svm.barrier");
+    }
+}
+
+impl SvmLock {
+    /// Enter the critical section: acquire the register, then invalidate
+    /// tagged lines so all prior writers' data becomes visible.
+    pub fn acquire(&self, k: &mut Kernel<'_>) {
+        k.hw.tas_lock(self.reg);
+        k.hw.cl1invmb();
+    }
+
+    /// Leave the critical section: push out combined writes, release.
+    pub fn release(&self, k: &mut Kernel<'_>) {
+        k.hw.flush_wcb();
+        k.hw.tas_unlock(self.reg);
+    }
+
+    /// Run `f` inside the critical section.
+    pub fn with<R>(&self, k: &mut Kernel<'_>, f: impl FnOnce(&mut Kernel<'_>) -> R) -> R {
+        self.acquire(k);
+        let r = f(k);
+        self.release(k);
+        r
+    }
+}

@@ -1,0 +1,363 @@
+//! The IVY-style **write-invalidate** consistency model
+//! ([`Consistency::WriteInvalidate`]): multiple readers / single writer.
+//!
+//! The paper's outlook (§8) announces the investigation of further memory
+//! models beyond its two; the natural next step — and the model of the
+//! IVY system the paper builds upon [15] — is page-grained MRSW:
+//!
+//! * a page has one **owner** (its last writer) and a **copyset** of cores
+//!   holding read-only replicas;
+//! * a *read* fault asks the owner, which downgrades itself to read-only,
+//!   adds the requester to the copyset and grants a replica — after which
+//!   reads on all sharers are pure cache hits, with **no protocol traffic
+//!   at all** (the weakness of the strong model, which migrates the page
+//!   even between readers);
+//! * a *write* fault asks the owner for ownership plus the copyset, then
+//!   invalidates every replica and waits for their acknowledgements before
+//!   mapping read-write.
+//!
+//! A per-page **version counter** (bumped on every write grant) closes the
+//! window where a read grant races a concurrent invalidation: a reader
+//! whose grant carries a stale version unmaps and retries.
+//!
+//! All protocol mails ride on the mailbox system, like the strong model's.
+
+use crate::stats::SvmStats;
+use crate::svm::SvmShared;
+use scc_hw::{CoreId, MemAttr};
+use scc_kernel::{Kernel, PageFlags};
+use scc_mailbox::{Mail, MailHandler, MailKind, Mailbox};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Mail kinds of the write-invalidate protocol.
+pub const WI_READ_REQ: MailKind = MailKind(3);
+pub const WI_WRITE_REQ: MailKind = MailKind(4);
+pub const WI_GRANT: MailKind = MailKind(5);
+pub const WI_INV: MailKind = MailKind(6);
+pub const WI_INV_ACK: MailKind = MailKind(7);
+
+const NO_PAGE: u32 = u32::MAX;
+
+/// Per-core cells for in-flight protocol state (one outstanding fault per
+/// core, so single cells suffice).
+pub(crate) struct WiCells {
+    /// Which page's grant arrived (NO_PAGE = none), with its payload.
+    grant_page: AtomicU32,
+    grant_write: AtomicU32,
+    grant_version: AtomicU32,
+    grant_copyset: AtomicU64,
+    grant_stamp: AtomicU64,
+    /// Invalidation-acknowledgement countdown.
+    inv_page: AtomicU32,
+    inv_remaining: AtomicU32,
+    inv_stamp: AtomicU64,
+}
+
+impl WiCells {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(WiCells {
+            grant_page: AtomicU32::new(NO_PAGE),
+            grant_write: AtomicU32::new(0),
+            grant_version: AtomicU32::new(0),
+            grant_copyset: AtomicU64::new(0),
+            grant_stamp: AtomicU64::new(0),
+            inv_page: AtomicU32::new(NO_PAGE),
+            inv_remaining: AtomicU32::new(0),
+            inv_stamp: AtomicU64::new(0),
+        })
+    }
+}
+
+impl SvmShared {
+    /// Timed uncached read of a page's copyset (bitmask of replica holders).
+    fn copyset_read(&self, k: &mut Kernel<'_>, p: u32) -> u64 {
+        k.hw.read(self.copyset_pa() + 8 * p, 8, MemAttr::UNCACHED)
+    }
+
+    fn copyset_write(&self, k: &mut Kernel<'_>, p: u32, cs: u64) {
+        k.hw.write(self.copyset_pa() + 8 * p, 8, cs, MemAttr::UNCACHED);
+    }
+
+    /// Timed uncached read of a page's version counter.
+    fn version_read(&self, k: &mut Kernel<'_>, p: u32) -> u32 {
+        k.hw.read(self.version_pa() + 4 * p, 4, MemAttr::UNCACHED) as u32
+    }
+
+    fn version_write(&self, k: &mut Kernel<'_>, p: u32, v: u32) {
+        k.hw
+            .write(self.version_pa() + 4 * p, 4, u64::from(v), MemAttr::UNCACHED);
+    }
+}
+
+fn req_payload(p: u32, requester: CoreId) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out[0..4].copy_from_slice(&p.to_le_bytes());
+    out[4..8].copy_from_slice(&(requester.idx() as u32).to_le_bytes());
+    out
+}
+
+fn grant_payload(p: u32, write: bool, version: u32, copyset: u64) -> [u8; 17] {
+    let mut out = [0u8; 17];
+    out[0..4].copy_from_slice(&p.to_le_bytes());
+    out[4..8].copy_from_slice(&version.to_le_bytes());
+    out[8..16].copy_from_slice(&copyset.to_le_bytes());
+    out[16] = u8::from(write);
+    out
+}
+
+/// The requester-side fault logic; called by the SVM fault handler for
+/// pages of a write-invalidate region.
+pub(crate) fn wi_fault(
+    sh: &Arc<SvmShared>,
+    mbx: &Mailbox,
+    cells: &Arc<WiCells>,
+    k: &mut Kernel<'_>,
+    p: u32,
+    pfn: u32,
+    page_va: u32,
+    write: bool,
+) {
+    let me = k.id();
+    loop {
+        let owner = sh
+            .owner_read(k, p)
+            .expect("write-invalidate page must have an owner after first touch");
+        if owner == me {
+            if !write {
+                // The owner always has the freshest data; a read-fault with
+                // ownership means our mapping was dropped (e.g. next-touch)
+                // — remap read-only if replicas exist, read-write otherwise.
+                let cs = sh.copyset_read(k, p) & !(1 << me.idx());
+                let flags = if cs == 0 {
+                    PageFlags::shared_rw()
+                } else {
+                    PageFlags::shared_ro_mpbt()
+                };
+                k.map_page(page_va, pfn, flags);
+                k.hw.cl1invmb();
+                return;
+            }
+            // Owner upgrading from shared to exclusive: invalidate every
+            // replica ourselves.
+            k.hw.flush_wcb();
+            let cs = sh.copyset_read(k, p) & !(1 << me.idx());
+            let v = sh.version_read(k, p);
+            sh.version_write(k, p, v.wrapping_add(1));
+            sh.copyset_write(k, p, 1 << me.idx());
+            invalidate_replicas(mbx, cells, k, p, cs);
+            // Ownership might have been granted away by our own interrupt
+            // handler while we waited for the acknowledgements.
+            if sh.owner_read(k, p) == Some(me) {
+                k.map_page(page_va, pfn, PageFlags::shared_rw());
+                k.hw.cl1invmb();
+                return;
+            }
+            continue;
+        }
+
+        // Ask the owner.
+        let kind = if write { WI_WRITE_REQ } else { WI_READ_REQ };
+        cells.grant_page.store(NO_PAGE, Ordering::Release);
+        mbx.send(k, owner, kind, &req_payload(p, me));
+        let cells2 = Arc::clone(cells);
+        let want_write = u32::from(write);
+        k.wait_event("write-invalidate grant", move || {
+            (cells2.grant_page.load(Ordering::Acquire) == p
+                && cells2.grant_write.load(Ordering::Acquire) == want_write)
+                .then(|| ((), cells2.grant_stamp.load(Ordering::Acquire)))
+        });
+        cells.grant_page.store(NO_PAGE, Ordering::Release);
+        let c = k.hw.machine().cfg.timing.dsm_handler;
+        k.hw.advance(c);
+
+        if write {
+            let cs = cells.grant_copyset.load(Ordering::Acquire);
+            invalidate_replicas(mbx, cells, k, p, cs);
+            if sh.owner_read(k, p) == Some(me) {
+                k.map_page(page_va, pfn, PageFlags::shared_rw());
+                k.hw.cl1invmb();
+                SvmStats::bump(&sh.stats.ownership_transfers);
+                return;
+            }
+            continue;
+        }
+
+        // Read grant: map the replica, then verify no write grant raced us
+        // (the version would have moved on).
+        let granted_version = cells.grant_version.load(Ordering::Acquire);
+        k.map_page(page_va, pfn, PageFlags::shared_ro_mpbt());
+        k.hw.cl1invmb();
+        if sh.version_read(k, p) == granted_version {
+            SvmStats::bump(&sh.stats.read_replicas);
+            return;
+        }
+        k.unmap_page(page_va);
+    }
+}
+
+/// Send `WI_INV` to every core in `copyset` (excluding ourselves) and wait
+/// for all acknowledgements.
+fn invalidate_replicas(
+    mbx: &Mailbox,
+    cells: &Arc<WiCells>,
+    k: &mut Kernel<'_>,
+    p: u32,
+    copyset: u64,
+) {
+    let me = k.id();
+    let targets = copyset & !(1 << me.idx());
+    let n = targets.count_ones();
+    if n == 0 {
+        return;
+    }
+    cells.inv_page.store(p, Ordering::Release);
+    cells.inv_remaining.store(n, Ordering::Release);
+    let mut m = targets;
+    while m != 0 {
+        let core = CoreId::new(m.trailing_zeros() as usize);
+        m &= m - 1;
+        mbx.send(k, core, WI_INV, &p.to_le_bytes());
+    }
+    let cells2 = Arc::clone(cells);
+    k.wait_event("replica invalidation acks", move || {
+        (cells2.inv_remaining.load(Ordering::Acquire) == 0)
+            .then(|| ((), cells2.inv_stamp.load(Ordering::Acquire)))
+    });
+    cells.inv_page.store(NO_PAGE, Ordering::Release);
+}
+
+// ----------------------------------------------------------------------
+// Mail handlers
+// ----------------------------------------------------------------------
+
+/// Owner side: read and write requests.
+pub(crate) struct WiRequestHandler {
+    pub(crate) sh: Arc<SvmShared>,
+    pub(crate) mbx: Mailbox,
+}
+
+impl WiRequestHandler {
+    fn handle(&self, k: &mut Kernel<'_>, mail: Mail, write: bool) {
+        let sh = &self.sh;
+        let p = mail.u32_at(0);
+        let requester = CoreId::new(mail.u32_at(4) as usize);
+        let me = k.id();
+        let cur = sh.owner_read(k, p).expect("request for unowned page");
+        if cur == requester {
+            return; // raced: requester already became owner
+        }
+        if cur != me {
+            SvmStats::bump(&sh.stats.forwards);
+            let kind = if write { WI_WRITE_REQ } else { WI_READ_REQ };
+            self.mbx.send(k, cur, kind, mail.data());
+            return;
+        }
+        let c = k.hw.machine().cfg.timing.dsm_handler;
+        k.hw.advance(c);
+        k.hw.flush_wcb();
+        let va = crate::svm::SvmShared::va_of_page(p);
+        let version = sh.version_read(k, p);
+        if write {
+            // Hand over ownership; the requester runs the invalidation.
+            if !k.protect_page(
+                va,
+                PageFlags(PageFlags::PWT | PageFlags::MPBT),
+            ) {
+                k.unmap_page(va);
+            }
+            let cs = sh.copyset_read(k, p) & !(1 << requester.idx()) & !(1 << me.idx());
+            let new_version = version.wrapping_add(1);
+            sh.version_write(k, p, new_version);
+            sh.owner_write(k, p, requester);
+            sh.copyset_write(k, p, 1 << requester.idx());
+            self.mbx.send(
+                k,
+                requester,
+                WI_GRANT,
+                &grant_payload(p, true, new_version, cs),
+            );
+        } else {
+            // Stay owner, downgrade to a shared replica, extend the copyset.
+            k.protect_page(va, PageFlags::shared_ro_mpbt());
+            let cs = sh.copyset_read(k, p) | (1 << requester.idx()) | (1 << me.idx());
+            sh.copyset_write(k, p, cs);
+            self.mbx.send(
+                k,
+                requester,
+                WI_GRANT,
+                &grant_payload(p, false, version, 0),
+            );
+        }
+    }
+}
+
+pub(crate) struct WiReadHandler(pub(crate) Arc<WiRequestHandler>);
+impl MailHandler for WiReadHandler {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
+        self.0.handle(k, mail, false);
+    }
+}
+
+pub(crate) struct WiWriteHandler(pub(crate) Arc<WiRequestHandler>);
+impl MailHandler for WiWriteHandler {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
+        self.0.handle(k, mail, true);
+    }
+}
+
+/// Requester side: grants.
+pub(crate) struct WiGrantHandler {
+    pub(crate) cells: Arc<WiCells>,
+}
+
+impl MailHandler for WiGrantHandler {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
+        let d = mail.data();
+        let version = u32::from_le_bytes(d[4..8].try_into().unwrap());
+        let copyset = u64::from_le_bytes(d[8..16].try_into().unwrap());
+        let write = d[16] != 0;
+        self.cells.grant_version.store(version, Ordering::Release);
+        self.cells.grant_copyset.store(copyset, Ordering::Release);
+        self.cells
+            .grant_write
+            .store(u32::from(write), Ordering::Release);
+        self.cells.grant_stamp.store(k.hw.now(), Ordering::Release);
+        self.cells.grant_page.store(mail.u32_at(0), Ordering::Release);
+    }
+}
+
+/// Replica side: invalidations.
+pub(crate) struct WiInvHandler {
+    pub(crate) sh: Arc<SvmShared>,
+    pub(crate) mbx: Mailbox,
+}
+
+impl MailHandler for WiInvHandler {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
+        let p = mail.u32_at(0);
+        let va = crate::svm::SvmShared::va_of_page(p);
+        // Drop the replica (keep the frame number for cheap re-mapping).
+        if !k.protect_page(va, PageFlags(PageFlags::PWT | PageFlags::MPBT)) {
+            k.unmap_page(va);
+        }
+        k.hw.cl1invmb();
+        SvmStats::bump(&self.sh.stats.invalidations);
+        self.mbx.send(k, mail.from, WI_INV_ACK, &p.to_le_bytes());
+    }
+}
+
+/// Writer side: invalidation acknowledgements.
+pub(crate) struct WiInvAckHandler {
+    pub(crate) cells: Arc<WiCells>,
+}
+
+impl MailHandler for WiInvAckHandler {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
+        let p = mail.u32_at(0);
+        if self.cells.inv_page.load(Ordering::Acquire) == p {
+            self.cells.inv_stamp.store(k.hw.now(), Ordering::Release);
+            self.cells.inv_remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}

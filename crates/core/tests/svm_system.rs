@@ -1,0 +1,369 @@
+//! Integration tests of the SVM system: both consistency models, the
+//! affinity policies, read-only regions, and the protocol edge cases.
+
+use metalsvm::{install, Consistency, SvmArray, SvmConfig, SvmCtx};
+use scc_hw::{CoreId, SccConfig};
+use scc_kernel::{Cluster, Kernel};
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Boot the full stack on `n` cores and run `body`.
+fn with_svm<R, F>(n: usize, notify: Notify, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Kernel<'_>, &mut SvmCtx) -> R + Send + Sync,
+{
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    cl.run(n, |k| {
+        let mbx = mbx_install(k, notify);
+        let mut svm = install(k, &mbx, SvmConfig::default());
+        body(k, &mut svm)
+    })
+    .unwrap()
+    .into_iter()
+    .map(|r| r.result)
+    .collect()
+}
+
+#[test]
+fn alloc_is_collective_and_reserving_only() {
+    with_svm(2, Notify::Ipi, |k, svm| {
+        let before = k.page_table().mapped_pages();
+        let r = svm.alloc(k, 4 * 1024 * 1024, Consistency::LazyRelease);
+        assert_eq!(r.pages(), 1024);
+        assert_eq!(
+            k.page_table().mapped_pages(),
+            before,
+            "svm_alloc must reserve only; frames appear on first touch"
+        );
+    });
+}
+
+#[test]
+fn lazy_first_touch_then_remote_read() {
+    with_svm(2, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 8192, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 1024);
+        if k.rank() == 0 {
+            for i in 0..1024 {
+                a.set(k, i, 0xC0FFEE00 + i as u64);
+            }
+        }
+        svm.barrier(k); // release (flush) + acquire (invalidate)
+        if k.rank() == 1 {
+            for i in 0..1024 {
+                assert_eq!(a.get(k, i), 0xC0FFEE00 + i as u64);
+            }
+        }
+        svm.barrier(k);
+    });
+}
+
+#[test]
+fn strong_ownership_migrates_and_data_follows() {
+    let results = with_svm(2, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 111); // first touch: core 0 owns the page
+            svm.barrier(k);
+            // Core 1 now writes; we read it back after the next barrier.
+            svm.barrier(k);
+            let v = a.get(k, 0); // ownership comes back to core 0
+            svm.barrier(k);
+            v
+        } else {
+            svm.barrier(k);
+            assert_eq!(a.get(k, 0), 111, "must see core 0's write");
+            a.set(k, 0, 222);
+            svm.barrier(k);
+            svm.barrier(k);
+            0
+        }
+    });
+    assert_eq!(results[0], 222);
+}
+
+#[test]
+fn strong_transfer_counts_recorded() {
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    let res = cl
+        .run(2, |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = install(k, &mbx, SvmConfig::default());
+            let r = svm.alloc(k, 4096, Consistency::Strong);
+            let a = SvmArray::<u64>::new(r, 8);
+            for round in 0..10u64 {
+                if k.rank() == (round % 2) as usize {
+                    a.set(k, 0, round);
+                }
+                svm.barrier(k);
+            }
+            svm.shared().stats.snapshot()
+        })
+        .unwrap();
+    let snap = res[0].result;
+    assert!(
+        snap.ownership_transfers >= 9,
+        "page must have ping-ponged: {snap:?}"
+    );
+    assert_eq!(snap.first_touch_allocs, 1);
+}
+
+#[test]
+fn first_touch_places_frame_near_toucher() {
+    // Core 47 (quadrant mc3) first-touches: the frame must be behind mc3.
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    let res = cl
+        .run_on(&[CoreId::new(0), CoreId::new(47)], |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = install(k, &mbx, SvmConfig::default());
+            let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+            let a = SvmArray::<u64>::new(r, 8);
+            if k.id() == CoreId::new(47) {
+                a.set(k, 0, 1);
+            }
+            svm.barrier(k);
+            let pfn = svm.shared().frame_peek(r.first_page()).unwrap();
+            let scc_hw::ram::Backing::Ram { mc } =
+                k.hw.machine().map.resolve(pfn << 12)
+            else {
+                panic!()
+            };
+            mc
+        })
+        .unwrap();
+    assert_eq!(res[0].result, 3, "frame must live behind controller 3");
+}
+
+#[test]
+fn readonly_region_enables_l2_and_serves_reads() {
+    with_svm(2, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 8192, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 16);
+        if k.rank() == 0 {
+            for i in 0..16 {
+                a.set(k, i, 0xD00D + i as u64);
+            }
+        }
+        svm.barrier(k);
+        svm.mprotect_readonly(k, r);
+        // Reads work everywhere, twice (second read from cache).
+        for i in 0..16 {
+            assert_eq!(a.get(k, i), 0xD00D + i as u64);
+        }
+        for i in 0..16 {
+            assert_eq!(a.get(k, i), 0xD00D + i as u64);
+        }
+        // The mapping now allows L2: check via the attr of the PTE.
+        let pte = k.page_table().lookup(r.va);
+        assert!(pte.flags().present());
+        assert!(!pte.flags().writable());
+        assert!(!pte.flags().mpbt(), "MPBT must be cleared for RO regions");
+        svm.barrier(k);
+    });
+}
+
+#[test]
+#[should_panic(expected = "unhandled Write fault")]
+fn readonly_write_is_a_hard_fault() {
+    with_svm(1, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 8);
+        a.set(k, 0, 1);
+        svm.mprotect_readonly(k, r);
+        a.set(k, 0, 2); // must panic
+    });
+}
+
+#[test]
+fn next_touch_migrates_frame() {
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    let res = cl
+        .run_on(&[CoreId::new(0), CoreId::new(47)], |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = install(k, &mbx, SvmConfig::default());
+            let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+            let a = SvmArray::<u64>::new(r, 8);
+            // Core 0 initialises: frame lands near mc0.
+            if k.rank() == 0 {
+                a.set(k, 0, 42);
+                k.hw.flush_wcb();
+            }
+            svm.barrier(k);
+            svm.arm_next_touch(k, r);
+            // Now core 47 touches first.
+            if k.id() == CoreId::new(47) {
+                assert_eq!(a.get(k, 0), 42, "data must survive migration");
+            }
+            svm.barrier(k);
+            if k.rank() == 0 {
+                assert_eq!(a.get(k, 0), 42);
+            }
+            let pfn = svm.shared().frame_peek(r.first_page()).unwrap();
+            let scc_hw::ram::Backing::Ram { mc } =
+                k.hw.machine().map.resolve(pfn << 12)
+            else {
+                panic!()
+            };
+            (mc, svm.shared().stats.snapshot().migrations)
+        })
+        .unwrap();
+    assert_eq!(res[0].result.0, 3, "frame must have migrated to mc3");
+    assert_eq!(res[0].result.1, 1, "exactly one migration");
+}
+
+#[test]
+fn locks_protect_a_shared_counter_lazy() {
+    let n = 4;
+    let rounds = 25u64;
+    let results = with_svm(n, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 8);
+        let lock = svm.lock_new(k);
+        if k.rank() == 0 {
+            a.set(k, 0, 0);
+            k.hw.flush_wcb();
+        }
+        svm.barrier(k);
+        for _ in 0..rounds {
+            lock.acquire(k);
+            let v = a.get(k, 0);
+            a.set(k, 0, v + 1);
+            lock.release(k);
+        }
+        svm.barrier(k);
+        a.get(k, 0)
+    });
+    for r in &results {
+        assert_eq!(*r, n as u64 * rounds, "increments must not be lost");
+    }
+}
+
+#[test]
+fn strong_many_cores_rotating_writer() {
+    let n = 6;
+    let results = with_svm(n, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 4);
+        if k.rank() == 0 {
+            a.set(k, 0, 0);
+        }
+        svm.barrier(k);
+        for round in 0..12u64 {
+            if k.rank() == (round % n as u64) as usize {
+                let v = a.get(k, 0);
+                a.set(k, 0, v + round);
+            }
+            svm.barrier(k);
+        }
+        a.get(k, 0)
+    });
+    let expect: u64 = (0..12).sum();
+    for r in &results {
+        assert_eq!(*r, expect);
+    }
+}
+
+#[test]
+fn poll_mode_works_for_strong_model() {
+    // The ownership protocol must also work without IPIs (tick/idle scan).
+    let results = with_svm(2, Notify::Poll, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 4);
+        if k.rank() == 0 {
+            a.set(k, 0, 5);
+        }
+        svm.barrier(k);
+        if k.rank() == 1 {
+            let v = a.get(k, 0);
+            a.set(k, 0, v * 3);
+        }
+        svm.barrier(k);
+        a.get(k, 0)
+    });
+    assert_eq!(results[0], 15);
+}
+
+#[test]
+fn two_regions_different_models_coexist() {
+    with_svm(2, Notify::Ipi, |k, svm| {
+        let strong = svm.alloc(k, 4096, Consistency::Strong);
+        let lazy = svm.alloc(k, 4096, Consistency::LazyRelease);
+        let s = SvmArray::<u32>::new(strong, 4);
+        let l = SvmArray::<u32>::new(lazy, 4);
+        if k.rank() == 0 {
+            s.set(k, 0, 10);
+            l.set(k, 0, 20);
+        }
+        svm.barrier(k);
+        if k.rank() == 1 {
+            assert_eq!(s.get(k, 0), 10);
+            assert_eq!(l.get(k, 0), 20);
+        }
+        svm.barrier(k);
+    });
+}
+
+#[test]
+fn offdie_scratchpad_variant_works() {
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    cl.run(2, |k| {
+        let mbx = mbx_install(k, Notify::Ipi);
+        let mut svm = install(
+            k,
+            &mbx,
+            SvmConfig {
+                scratch: metalsvm::ScratchLocation::OffDie,
+                ..Default::default()
+            },
+        );
+        let r = svm.alloc(k, 16384, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 2048);
+        if k.rank() == 0 {
+            for i in (0..2048).step_by(512) {
+                a.set(k, i, i as u64);
+            }
+        }
+        svm.barrier(k);
+        if k.rank() == 1 {
+            for i in (0..2048).step_by(512) {
+                assert_eq!(a.get(k, i), i as u64);
+            }
+        }
+        svm.barrier(k);
+    })
+    .unwrap();
+}
+
+#[test]
+fn staleness_without_invalidate_lazy_model() {
+    // Negative test: lazy release WITHOUT the acquire-invalidate shows the
+    // stale value — the bug class the consistency hooks exist to fix.
+    let results = with_svm(2, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 1);
+            k.hw.flush_wcb();
+        }
+        svm.barrier(k);
+        // Both cores now cache the line. From here on, barriers must not
+        // invalidate, or there would be nothing stale to observe.
+        let _ = a.get(k, 0);
+        svm.barrier_no_invalidate_for_test(k);
+        if k.rank() == 0 {
+            a.set(k, 0, 2);
+            k.hw.flush_wcb();
+        }
+        svm.barrier_no_invalidate_for_test(k);
+        if k.rank() == 1 {
+            let stale = a.get(k, 0);
+            k.hw.cl1invmb();
+            let fresh = a.get(k, 0);
+            (stale, fresh)
+        } else {
+            (0, 0)
+        }
+    });
+    assert_eq!(results[1], (1, 2), "stale read then fresh read");
+}

@@ -1,0 +1,178 @@
+//! Tests of the IVY-style write-invalidate consistency model.
+
+use metalsvm::{install, Consistency, SvmArray, SvmConfig};
+use scc_hw::SccConfig;
+use scc_kernel::Cluster;
+use scc_mailbox::{install as mbx_install, Notify};
+
+fn with_wi<R, F>(n: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut scc_kernel::Kernel<'_>, &mut metalsvm::SvmCtx) -> R + Send + Sync,
+{
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    cl.run(n, |k| {
+        let mbx = mbx_install(k, Notify::Ipi);
+        let mut svm = install(k, &mbx, SvmConfig::default());
+        body(k, &mut svm)
+    })
+    .unwrap()
+    .into_iter()
+    .map(|r| r.result)
+    .collect()
+}
+
+#[test]
+fn basic_write_then_remote_reads() {
+    with_wi(4, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::WriteInvalidate);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 77);
+            k.hw.flush_wcb();
+        }
+        svm.barrier(k);
+        assert_eq!(a.get(k, 0), 77, "all cores read the replica");
+        svm.barrier(k);
+    });
+}
+
+#[test]
+fn readers_share_without_protocol_traffic() {
+    // The decisive advantage over the strong model: once every core holds
+    // a replica, repeated reads cause no ownership transfers at all.
+    let results = with_wi(4, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::WriteInvalidate);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 5);
+            k.hw.flush_wcb();
+        }
+        svm.barrier(k);
+        let _ = a.get(k, 0); // fault in the replica
+        svm.barrier(k);
+        let before = svm.shared().stats.snapshot();
+        for _ in 0..50 {
+            assert_eq!(a.get(k, 0), 5);
+        }
+        svm.barrier(k);
+        let after = svm.shared().stats.snapshot();
+        (
+            after.faults - before.faults,
+            after.ownership_transfers - before.ownership_transfers,
+        )
+    });
+    for (faults, transfers) in results {
+        assert_eq!(faults, 0, "warm replicas must not fault");
+        assert_eq!(transfers, 0, "reads must not migrate ownership");
+    }
+}
+
+#[test]
+fn write_invalidates_all_replicas() {
+    let results = with_wi(3, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::WriteInvalidate);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 1);
+            k.hw.flush_wcb();
+        }
+        svm.barrier(k);
+        let first = a.get(k, 0); // everyone replicates
+        svm.barrier(k);
+        if k.rank() == 2 {
+            a.set(k, 0, 2); // invalidates replicas on 0 and 1
+        }
+        svm.barrier(k);
+        let second = a.get(k, 0); // re-faults, sees the new value
+        svm.barrier(k);
+        (first, second, svm.shared().stats.snapshot().invalidations)
+    });
+    for (first, second, _) in &results {
+        assert_eq!(*first, 1);
+        assert_eq!(*second, 2, "replicas must observe the invalidating write");
+    }
+    // Core 0's own replica is dropped inside the ownership grant, so only
+    // core 1's replica goes through a WI_INV mail.
+    assert!(
+        results[0].2 >= 1,
+        "the third party's replica must have been invalidated: {results:?}"
+    );
+}
+
+#[test]
+fn rotating_writers_stay_coherent() {
+    let n = 4;
+    let results = with_wi(n, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::WriteInvalidate);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 0);
+        }
+        svm.barrier(k);
+        for round in 0..12u64 {
+            // Everyone reads (builds replicas), one writes.
+            let v = a.get(k, 0);
+            svm.barrier(k);
+            if k.rank() == (round % n as u64) as usize {
+                a.set(k, 0, v + round);
+            }
+            svm.barrier(k);
+        }
+        a.get(k, 0)
+    });
+    let expect: u64 = (0..12).sum();
+    for r in &results {
+        assert_eq!(*r, expect);
+    }
+}
+
+#[test]
+fn owner_upgrade_from_shared_works() {
+    // The first toucher keeps ownership while others replicate; its next
+    // write must invalidate the replicas without asking anyone for
+    // ownership.
+    let results = with_wi(3, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::WriteInvalidate);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 10);
+            k.hw.flush_wcb();
+        }
+        svm.barrier(k);
+        let _ = a.get(k, 0);
+        svm.barrier(k);
+        if k.rank() == 0 {
+            a.set(k, 0, 20); // owner upgrade: rank 0 still owns the page
+        }
+        svm.barrier(k);
+        a.get(k, 0)
+    });
+    for r in &results {
+        assert_eq!(*r, 20);
+    }
+}
+
+#[test]
+fn wi_coexists_with_other_models() {
+    with_wi(2, |k, svm| {
+        let s = svm.alloc(k, 4096, Consistency::Strong);
+        let l = svm.alloc(k, 4096, Consistency::LazyRelease);
+        let w = svm.alloc(k, 4096, Consistency::WriteInvalidate);
+        let sa = SvmArray::<u32>::new(s, 4);
+        let la = SvmArray::<u32>::new(l, 4);
+        let wa = SvmArray::<u32>::new(w, 4);
+        if k.rank() == 0 {
+            sa.set(k, 0, 1);
+            la.set(k, 0, 2);
+            wa.set(k, 0, 3);
+        }
+        svm.barrier(k);
+        if k.rank() == 1 {
+            assert_eq!(sa.get(k, 0), 1);
+            assert_eq!(la.get(k, 0), 2);
+            assert_eq!(wa.get(k, 0), 3);
+        }
+        svm.barrier(k);
+    });
+}

@@ -1,0 +1,34 @@
+//! # scc-mailbox — the asynchronous mailbox system of MetalSVM (§5)
+//!
+//! For each communication path between two cores, one cache-line-sized
+//! (32-byte) mailbox is reserved in the **receiver's** MPB. With 48 cores
+//! this costs 48 × 32 B = 1.5 KiB of each MPB; the remaining 6.5 KiB stay
+//! available to the RCCE allocator.
+//!
+//! The access protocol makes every mailbox a *single-reader/single-writer*
+//! channel: only the sender writes mail data and sets the send flag; only
+//! the receiver reads and clears it. A full mailbox makes the sender (busy-)
+//! wait until the receiver consumed the mail.
+//!
+//! Two notification strategies are implemented, matching the two curves of
+//! the paper's Figures 6 and 7:
+//!
+//! * [`Notify::Poll`] — the receiver scans **all** receive buffers at every
+//!   timer tick and in the idle loop. One check costs 100 processor cycles
+//!   (paper, footnote 2), so detection latency grows linearly with the
+//!   number of active cores.
+//! * [`Notify::Ipi`] — after posting a mail the sender rings the target's
+//!   doorbell in the Global Interrupt Controller. The GIC tells the
+//!   receiver *which* core raised the interrupt, so the handler checks only
+//!   that one buffer: latency stays flat in the core count.
+
+pub mod mail;
+pub mod system;
+
+pub use mail::{Mail, MailKind, MAX_PAYLOAD};
+pub use system::{install, MailHandler, MailStats, Mailbox, Notify};
+
+use scc_hw::topology::MAX_CORES;
+
+/// Bytes of each MPB reserved for the mailbox system (one line per sender).
+pub const MAILBOX_REGION_BYTES: usize = MAX_CORES * 32;

@@ -1,0 +1,115 @@
+//! Wire format of one mail: exactly one 32-byte cache line.
+//!
+//! ```text
+//! byte  0      : send flag (0 = empty, 1 = full)
+//! byte  1      : mail kind
+//! bytes 2..4   : payload length (LE u16, <= 20)
+//! bytes 4..12  : sender cycle stamp (LE u64); receivers reuse the field
+//!                as a "freed at" stamp when clearing the flag
+//! bytes 12..32 : payload
+//! ```
+
+use scc_hw::mpb::MpbArray;
+use scc_hw::topology::CoreId;
+
+/// Maximum payload bytes per mail.
+pub const MAX_PAYLOAD: usize = 20;
+
+/// Well-known mail kinds. Applications may use any value not listed here.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MailKind(pub u8);
+
+impl MailKind {
+    /// Plain application data (queued to the local inbox).
+    pub const USER: MailKind = MailKind(0);
+    /// SVM: page-ownership request.
+    pub const SVM_REQUEST: MailKind = MailKind(1);
+    /// SVM: page-ownership acknowledgement.
+    pub const SVM_ACK: MailKind = MailKind(2);
+}
+
+/// One received mail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mail {
+    pub from: CoreId,
+    pub kind: MailKind,
+    pub stamp: u64,
+    len: u8,
+    payload: [u8; MAX_PAYLOAD],
+}
+
+impl Mail {
+    pub fn new(from: CoreId, kind: MailKind, stamp: u64, data: &[u8]) -> Self {
+        assert!(data.len() <= MAX_PAYLOAD, "payload too large");
+        let mut payload = [0u8; MAX_PAYLOAD];
+        payload[..data.len()].copy_from_slice(data);
+        Mail {
+            from,
+            kind,
+            stamp,
+            len: data.len() as u8,
+            payload,
+        }
+    }
+
+    /// The payload bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.payload[..self.len as usize]
+    }
+
+    /// Decode a little-endian u32 at payload offset `off`.
+    pub fn u32_at(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.payload[off..off + 4].try_into().unwrap())
+    }
+}
+
+/// Physical address of the mailbox line for mails from `sender` to
+/// `receiver` (inside the receiver's MPB).
+#[inline]
+pub fn slot_pa(receiver: CoreId, sender: CoreId) -> u32 {
+    MpbArray::pa(receiver, sender.idx() * 32)
+}
+
+/// Field offsets within a slot.
+pub mod field {
+    pub const FLAG: u32 = 0;
+    pub const KIND: u32 = 1;
+    pub const LEN: u32 = 2;
+    pub const STAMP: u32 = 4;
+    pub const PAYLOAD: u32 = 12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mail_roundtrip_payload() {
+        let m = Mail::new(CoreId::new(3), MailKind::USER, 42, &[1, 2, 3]);
+        assert_eq!(m.data(), &[1, 2, 3]);
+        assert_eq!(m.from, CoreId::new(3));
+        assert_eq!(m.stamp, 42);
+    }
+
+    #[test]
+    fn mail_u32_decode() {
+        let m = Mail::new(CoreId::new(0), MailKind::SVM_REQUEST, 0, &0xDEAD_BEEFu32.to_le_bytes());
+        assert_eq!(m.u32_at(0), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn oversized_payload_rejected() {
+        Mail::new(CoreId::new(0), MailKind::USER, 0, &[0u8; 21]);
+    }
+
+    #[test]
+    fn slot_addresses_distinct_lines() {
+        let r = CoreId::new(5);
+        let a = slot_pa(r, CoreId::new(0));
+        let b = slot_pa(r, CoreId::new(1));
+        assert_eq!(b - a, 32);
+        // Slots of different receivers live in different MPBs.
+        assert_ne!(slot_pa(CoreId::new(6), CoreId::new(0)), a);
+    }
+}

@@ -1,0 +1,536 @@
+//! The mailbox system: install, send, receive, notification strategies.
+
+use crate::mail::{field, slot_pa, Mail, MailKind, MAX_PAYLOAD};
+use parking_lot::Mutex;
+use scc_hw::machine::MachineInner;
+use scc_hw::{CoreId, MemAttr};
+use scc_kernel::{Kernel, KernelHook};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How a receiver learns about new mail.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Notify {
+    /// Scan all receive buffers at every tick / idle-loop turn
+    /// (the paper's original, pre-sccKit-1.4 approach).
+    Poll,
+    /// Sender raises a directed IPI through the GIC; the receiver checks
+    /// only the indicated buffer (the paper's event-driven design).
+    Ipi,
+}
+
+/// A kernel-level consumer for a mail kind (the SVM system registers
+/// handlers for its request/ack kinds). Mails without a registered handler
+/// are queued to the local inbox for [`Mailbox::recv`].
+pub trait MailHandler: Send + Sync {
+    fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail);
+}
+
+/// Event counters of one core's mailbox system.
+#[derive(Default)]
+pub struct MailStats {
+    pub sent: AtomicU64,
+    pub received: AtomicU64,
+    pub checks: AtomicU64,
+    pub send_stalls: AtomicU64,
+}
+
+impl MailStats {
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.received.load(Ordering::Relaxed),
+            self.checks.load(Ordering::Relaxed),
+            self.send_stalls.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Shared {
+    me: CoreId,
+    notify: Notify,
+    /// Scan order: all participants except `me`.
+    senders: Vec<CoreId>,
+    inbox_len: AtomicUsize,
+    /// Total mails ever queued; lets receivers wait for "a new push"
+    /// rather than "non-empty" (which would livelock a filtered receive).
+    inbox_pushes: AtomicUsize,
+    inbox: Mutex<VecDeque<Mail>>,
+    handlers: Mutex<HashMap<u8, Arc<dyn MailHandler>>>,
+    stats: MailStats,
+    mach: Arc<MachineInner>,
+}
+
+/// Per-core handle to the mailbox system, returned by [`install`].
+#[derive(Clone)]
+pub struct Mailbox {
+    sh: Arc<Shared>,
+}
+
+struct MailboxHook {
+    sh: Arc<Shared>,
+}
+
+/// Install the mailbox system on this kernel. Clears this core's receive
+/// slots, registers the interrupt/idle hook and (in polling mode) a wake
+/// probe, and returns the send/receive handle.
+pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
+    let me = k.id();
+    let senders: Vec<CoreId> = k
+        .participants()
+        .iter()
+        .copied()
+        .filter(|c| *c != me)
+        .collect();
+    let mach = Arc::clone(k.hw.machine());
+    // Reset this core's receive slots (machine memory persists across runs).
+    for s in scc_hw::topology::CoreId::all() {
+        let pa = slot_pa(me, s);
+        for w in 0..8 {
+            mach.mpb.write(pa + w * 4, 4, 0);
+        }
+    }
+    // Collective: nobody may send before every participant cleared its
+    // slots, or an early mail would be wiped.
+    scc_kernel::ram_barrier(k, "mailbox.install");
+    let sh = Arc::new(Shared {
+        me,
+        notify,
+        senders,
+        inbox_len: AtomicUsize::new(0),
+        inbox_pushes: AtomicUsize::new(0),
+        inbox: Mutex::new(VecDeque::new()),
+        handlers: Mutex::new(HashMap::new()),
+        stats: MailStats::default(),
+        mach,
+    });
+    k.register_hook(Arc::new(MailboxHook { sh: Arc::clone(&sh) }));
+    Mailbox { sh }
+}
+
+impl KernelHook for MailboxHook {
+    fn on_tick(&self, k: &mut Kernel<'_>) {
+        if self.sh.notify == Notify::Poll {
+            let senders = self.sh.senders.clone();
+            for s in senders {
+                self.check_slot(k, s);
+            }
+        }
+    }
+
+    fn on_ipi(&self, k: &mut Kernel<'_>, src: CoreId) {
+        if self.sh.notify == Notify::Ipi {
+            self.check_slot(k, src);
+        }
+    }
+
+    fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send>> {
+        if self.sh.notify != Notify::Poll {
+            return None;
+        }
+        let mach = Arc::clone(&self.sh.mach);
+        let me = self.sh.me;
+        let senders = self.sh.senders.clone();
+        Some(Box::new(move || {
+            senders
+                .iter()
+                .any(|s| mach.mpb.read(slot_pa(me, *s), 1) != 0)
+        }))
+    }
+}
+
+impl MailboxHook {
+    /// Check one receive buffer; process the mail if the flag is set.
+    fn check_slot(&self, k: &mut Kernel<'_>, sender: CoreId) -> bool {
+        let sh = &self.sh;
+        let pa = slot_pa(sh.me, sender);
+        let t = &k.hw.machine().cfg.timing;
+        let (check_cost, mpb_cost, n_scan) = (
+            t.mbox_check,
+            t.mpb_cost(sh.me.hops_to(sender)),
+            sh.senders.len().max(1) as u64,
+        );
+        sh.stats.checks.fetch_add(1, Ordering::Relaxed);
+        k.hw.advance(check_cost);
+        if sh.mach.mpb.read(pa + field::FLAG, 1) == 0 {
+            return false;
+        }
+        let stamp = sh.mach.mpb.read(pa + field::STAMP, 8);
+        let arrival = stamp + mpb_cost;
+        if k.hw.now() < arrival {
+            // The core was idle when the mail arrived. In polling mode its
+            // idle loop is somewhere inside a scan round of n buffers; model
+            // the detection delay as a deterministic pseudo-uniform phase.
+            let phase = match sh.notify {
+                Notify::Poll => ((arrival / check_cost) % n_scan) * check_cost,
+                Notify::Ipi => 0,
+            };
+            k.hw.sync_to(arrival + phase);
+        }
+        // Read the mail through the cache path (fresh after CL1INVMB).
+        k.hw.cl1invmb();
+        let kind = k.hw.read(pa + field::KIND, 1, MemAttr::MPB) as u8;
+        let len = (k.hw.read(pa + field::LEN, 2, MemAttr::MPB) as usize).min(MAX_PAYLOAD);
+        let mut payload = [0u8; MAX_PAYLOAD];
+        let p0 = k.hw.read(pa + field::PAYLOAD, 8, MemAttr::MPB);
+        let p1 = k.hw.read(pa + field::PAYLOAD + 8, 8, MemAttr::MPB);
+        let p2 = k.hw.read(pa + field::PAYLOAD + 16, 4, MemAttr::MPB);
+        payload[0..8].copy_from_slice(&p0.to_le_bytes());
+        payload[8..16].copy_from_slice(&p1.to_le_bytes());
+        payload[16..20].copy_from_slice(&(p2 as u32).to_le_bytes());
+        // Free the slot: record the freed-at stamp, clear the flag, push out.
+        let now = k.hw.now();
+        k.hw.write(pa + field::STAMP, 8, now, MemAttr::MPB);
+        k.hw.write(pa + field::FLAG, 1, 0, MemAttr::MPB);
+        k.hw.flush_wcb();
+        sh.stats.received.fetch_add(1, Ordering::Relaxed);
+
+        let mail = Mail::new(sender, MailKind(kind), stamp, &payload[..len]);
+        let handler = sh.handlers.lock().get(&kind).cloned();
+        match handler {
+            Some(h) => h.on_mail(k, mail),
+            None => {
+                sh.inbox.lock().push_back(mail);
+                sh.inbox_len.fetch_add(1, Ordering::Release);
+                sh.inbox_pushes.fetch_add(1, Ordering::Release);
+            }
+        }
+        true
+    }
+}
+
+impl Mailbox {
+    /// This core's id.
+    pub fn me(&self) -> CoreId {
+        self.sh.me
+    }
+
+    /// The active notification strategy.
+    pub fn notify(&self) -> Notify {
+        self.sh.notify
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &MailStats {
+        &self.sh.stats
+    }
+
+    /// Register a kernel-level handler for a mail kind. Mails of this kind
+    /// are consumed inside the interrupt/idle path instead of being queued.
+    pub fn register_handler(&self, kind: MailKind, h: Arc<dyn MailHandler>) {
+        let old = self.sh.handlers.lock().insert(kind.0, h);
+        assert!(old.is_none(), "handler for mail kind {} installed twice", kind.0);
+    }
+
+    /// Post a mail to `dst`, blocking (responsively) while the slot is full.
+    pub fn send(&self, k: &mut Kernel<'_>, dst: CoreId, kind: MailKind, data: &[u8]) {
+        let sh = &self.sh;
+        assert_ne!(dst, sh.me, "no self-mail");
+        assert!(data.len() <= MAX_PAYLOAD);
+        let pa = slot_pa(dst, sh.me);
+        let hops = sh.me.hops_to(dst);
+        let mpb_cost = k.hw.machine().cfg.timing.mpb_cost(hops);
+
+        if sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
+            sh.stats.send_stalls.fetch_add(1, Ordering::Relaxed);
+            let mach = Arc::clone(&sh.mach);
+            k.wait_event("mailbox slot to drain", move || {
+                if mach.mpb.read(pa + field::FLAG, 1) == 0 {
+                    Some(((), mach.mpb.read(pa + field::STAMP, 8)))
+                } else {
+                    None
+                }
+            });
+            // Observing the freed flag costs one remote MPB read.
+            k.hw.advance(mpb_cost);
+        }
+
+        // Body first (combined in the WCB), then stamp + flag, then push.
+        k.hw.write(pa + field::KIND, 1, kind.0 as u64, MemAttr::MPB);
+        k.hw
+            .write(pa + field::LEN, 2, data.len() as u64, MemAttr::MPB);
+        let mut payload = [0u8; MAX_PAYLOAD];
+        payload[..data.len()].copy_from_slice(data);
+        k.hw.write(
+            pa + field::PAYLOAD,
+            8,
+            u64::from_le_bytes(payload[0..8].try_into().unwrap()),
+            MemAttr::MPB,
+        );
+        k.hw.write(
+            pa + field::PAYLOAD + 8,
+            8,
+            u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+            MemAttr::MPB,
+        );
+        k.hw.write(
+            pa + field::PAYLOAD + 16,
+            4,
+            u32::from_le_bytes(payload[16..20].try_into().unwrap()) as u64,
+            MemAttr::MPB,
+        );
+        k.hw.flush_wcb();
+        let stamp = k.hw.now();
+        k.hw.write(pa + field::STAMP, 8, stamp, MemAttr::MPB);
+        k.hw.write(pa + field::FLAG, 1, 1, MemAttr::MPB);
+        k.hw.flush_wcb();
+        sh.stats.sent.fetch_add(1, Ordering::Relaxed);
+        if sh.notify == Notify::Ipi {
+            k.hw.send_ipi(dst);
+        }
+    }
+
+    /// Pop a queued mail without blocking.
+    pub fn try_recv(&self, _k: &mut Kernel<'_>) -> Option<Mail> {
+        let m = self.sh.inbox.lock().pop_front();
+        if m.is_some() {
+            self.sh.inbox_len.fetch_sub(1, Ordering::Release);
+        }
+        m
+    }
+
+    /// Blockingly receive the next queued mail (any sender, any kind not
+    /// claimed by a handler).
+    pub fn recv(&self, k: &mut Kernel<'_>) -> Mail {
+        loop {
+            if let Some(m) = self.try_recv(k) {
+                return m;
+            }
+            let len = Arc::clone(&self.sh);
+            k.wait_event("incoming mail", move || {
+                (len.inbox_len.load(Ordering::Acquire) > 0).then_some(((), 0))
+            });
+        }
+    }
+
+    /// Blockingly receive the next queued mail from a specific sender.
+    pub fn recv_from(&self, k: &mut Kernel<'_>, from: CoreId) -> Mail {
+        loop {
+            let seen = {
+                let mut q = self.sh.inbox.lock();
+                if let Some(i) = q.iter().position(|m| m.from == from) {
+                    self.sh.inbox_len.fetch_sub(1, Ordering::Release);
+                    return q.remove(i).expect("index valid");
+                }
+                self.sh.inbox_pushes.load(Ordering::Acquire)
+            };
+            let sh = Arc::clone(&self.sh);
+            k.wait_event("mail from specific core", move || {
+                (sh.inbox_pushes.load(Ordering::Acquire) > seen).then_some(((), 0))
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::SccConfig;
+    use scc_kernel::Cluster;
+
+    fn pingpong_latency(notify: Notify, cores: &[CoreId], rounds: u64) -> f64 {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let a = cores[0];
+        let b = cores[1];
+        let res = cl
+            .run_on(cores, move |k| {
+                let mbx = install(k, notify);
+                let me = k.id();
+                if me == a {
+                    let t0 = k.hw.now();
+                    for _ in 0..rounds {
+                        mbx.send(k, b, MailKind::USER, &[1]);
+                        let _ = mbx.recv_from(k, b);
+                    }
+                    // Half round trips: 2 * rounds legs.
+                    (k.hw.now() - t0) as f64 / (2 * rounds) as f64
+                } else if me == b {
+                    for _ in 0..rounds {
+                        let _ = mbx.recv_from(k, a);
+                        mbx.send(k, a, MailKind::USER, &[2]);
+                    }
+                    0.0
+                } else {
+                    // Extra activated cores sit in the idle loop until the
+                    // ping-pong pair finishes.
+                    let mach = Arc::clone(k.hw.machine());
+                    let done = slot_pa(a, b); // b's last reply lands here
+                    let _ = mach; let _ = done;
+                    0.0
+                }
+            })
+            .unwrap();
+        res[0].result
+    }
+
+    #[test]
+    fn send_recv_roundtrip_poll() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(2, |k| {
+                let mbx = install(k, Notify::Poll);
+                if k.id().idx() == 0 {
+                    mbx.send(k, CoreId::new(1), MailKind::USER, b"hello");
+                    0
+                } else {
+                    let m = mbx.recv(k);
+                    assert_eq!(m.data(), b"hello");
+                    assert_eq!(m.from, CoreId::new(0));
+                    1
+                }
+            })
+            .unwrap();
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn send_recv_roundtrip_ipi() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mbx = install(k, Notify::Ipi);
+            if k.id().idx() == 0 {
+                mbx.send(k, CoreId::new(1), MailKind::USER, &[9, 8, 7]);
+            } else {
+                let m = mbx.recv(k);
+                assert_eq!(m.data(), &[9, 8, 7]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn payload_sizes_roundtrip() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mbx = install(k, Notify::Ipi);
+            if k.id().idx() == 0 {
+                for len in 0..=MAX_PAYLOAD {
+                    let data: Vec<u8> = (0..len as u8).collect();
+                    mbx.send(k, CoreId::new(1), MailKind::USER, &data);
+                }
+            } else {
+                for len in 0..=MAX_PAYLOAD {
+                    let m = mbx.recv(k);
+                    let want: Vec<u8> = (0..len as u8).collect();
+                    assert_eq!(m.data(), &want[..], "length {len}");
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn sender_stalls_on_full_slot() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(2, |k| {
+                let mbx = install(k, Notify::Ipi);
+                if k.id().idx() == 0 {
+                    for i in 0..5u8 {
+                        mbx.send(k, CoreId::new(1), MailKind::USER, &[i]);
+                    }
+                    mbx.stats().snapshot().3 // send_stalls
+                } else {
+                    // Consume slowly: burn simulated time between receives.
+                    for i in 0..5u8 {
+                        k.hw.advance(2_000_000);
+                        let m = mbx.recv(k);
+                        assert_eq!(m.data(), &[i], "mails must stay ordered");
+                    }
+                    0
+                }
+            })
+            .unwrap();
+        assert!(res[0].result >= 1, "sender must have stalled at least once");
+    }
+
+    struct Bumper(AtomicU64);
+    impl MailHandler for Bumper {
+        fn on_mail(&self, _k: &mut Kernel<'_>, mail: Mail) {
+            self.0.fetch_add(mail.data()[0] as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn handler_consumes_instead_of_inbox() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let total = Arc::new(Bumper(AtomicU64::new(0)));
+        let t2 = Arc::clone(&total);
+        cl.run(2, move |k| {
+            let mbx = install(k, Notify::Ipi);
+            if k.id().idx() == 0 {
+                mbx.register_handler(MailKind(7), t2.clone());
+                // Wait until the handler has run.
+                let t3 = t2.clone();
+                k.wait_event("handled", move || {
+                    (t3.0.load(Ordering::Relaxed) == 5).then_some(((), 0))
+                });
+                assert!(mbx.try_recv(k).is_none(), "handled mail must not queue");
+            } else {
+                mbx.send(k, CoreId::new(0), MailKind(7), &[5]);
+            }
+        })
+        .unwrap();
+        assert_eq!(total.0.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn recv_from_filters_interleaved_senders() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(3, |k| {
+            let mbx = install(k, Notify::Ipi);
+            match k.id().idx() {
+                0 => {
+                    // Expect specifically core 2 first, though core 1's mail
+                    // may arrive earlier.
+                    let m2 = mbx.recv_from(k, CoreId::new(2));
+                    assert_eq!(m2.data(), &[22]);
+                    let m1 = mbx.recv_from(k, CoreId::new(1));
+                    assert_eq!(m1.data(), &[11]);
+                }
+                1 => mbx.send(k, CoreId::new(0), MailKind::USER, &[11]),
+                2 => {
+                    k.hw.advance(500_000); // let core 1's mail arrive first
+                    mbx.send(k, CoreId::new(0), MailKind::USER, &[22]);
+                }
+                _ => unreachable!(),
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ipi_latency_exceeds_poll_latency_with_two_cores() {
+        // Paper, Figure 6: with only two active cores the polling variant
+        // is *faster* because the event-driven variant pays interrupt entry.
+        let cores = [CoreId::new(0), CoreId::new(2)];
+        let poll = pingpong_latency(Notify::Poll, &cores, 50);
+        let ipi = pingpong_latency(Notify::Ipi, &cores, 50);
+        assert!(
+            ipi > poll,
+            "IPI latency ({ipi:.0} cy) must exceed polling latency ({poll:.0} cy)"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        // Paper, Figure 6: latency increases linearly with hop distance,
+        // with a low gradient.
+        let near = pingpong_latency(Notify::Poll, &[CoreId::new(0), CoreId::new(1)], 50);
+        let far = pingpong_latency(Notify::Poll, &[CoreId::new(0), CoreId::new(47)], 50);
+        assert!(far > near, "8 hops ({far:.0}) must cost more than 0 hops ({near:.0})");
+        assert!(
+            far < near * 3.0,
+            "gradient must stay low: 0 hops {near:.0} cy vs 8 hops {far:.0} cy"
+        );
+    }
+
+    #[test]
+    fn latency_deterministic() {
+        let cores = [CoreId::new(0), CoreId::new(30)];
+        let a = pingpong_latency(Notify::Ipi, &cores, 20);
+        let b = pingpong_latency(Notify::Ipi, &cores, 20);
+        assert_eq!(a, b);
+    }
+}

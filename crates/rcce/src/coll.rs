@@ -1,0 +1,171 @@
+//! RCCE collective operations: barrier (re-exported from the communicator),
+//! broadcast, reduce and allreduce.
+//!
+//! RCCE's collectives are simple compositions of the two-sided primitives;
+//! the broadcast/reduce trees here are the same linear loops the original
+//! library used for its small core counts.
+
+use crate::comm::RcceComm;
+use crate::sendrecv::{recv, send};
+use scc_kernel::Kernel;
+
+/// The reduction operator for `reduce_f64`/`allreduce_f64`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Synchronise all UEs (dissemination barrier over MPB flags).
+pub fn barrier(k: &mut Kernel<'_>, comm: &mut RcceComm) {
+    comm.barrier(k);
+}
+
+/// Broadcast `len` bytes at private VA `va` from UE `root` to everyone.
+pub fn bcast(k: &mut Kernel<'_>, comm: &mut RcceComm, root: usize, va: u32, len: u32) {
+    let me = comm.ue();
+    let n = comm.num_ues();
+    if n == 1 {
+        return;
+    }
+    if me == root {
+        for ue in 0..n {
+            if ue != root {
+                send(k, comm, ue, va, len);
+            }
+        }
+    } else {
+        recv(k, comm, root, va, len);
+    }
+}
+
+/// Reduce `count` doubles at private VA `va` onto UE `root` (in place at
+/// the root). Non-roots keep their input unchanged.
+pub fn reduce_f64(
+    k: &mut Kernel<'_>,
+    comm: &mut RcceComm,
+    root: usize,
+    va: u32,
+    count: u32,
+    op: ReduceOp,
+) {
+    let me = comm.ue();
+    let n = comm.num_ues();
+    if n == 1 {
+        return;
+    }
+    let bytes = count * 8;
+    if me == root {
+        // Receive into a scratch buffer and fold (deterministic UE order).
+        let scratch = k.kalloc_pages(bytes.div_ceil(4096).max(1));
+        for ue in 0..n {
+            if ue == root {
+                continue;
+            }
+            recv(k, comm, ue, scratch, bytes);
+            for i in 0..count {
+                let mine = k.vread_f64(va + i * 8);
+                let theirs = k.vread_f64(scratch + i * 8);
+                k.vwrite_f64(va + i * 8, op.apply(mine, theirs));
+            }
+        }
+    } else {
+        send(k, comm, root, va, bytes);
+    }
+}
+
+/// Allreduce: reduce onto UE 0, then broadcast the result.
+pub fn allreduce_f64(
+    k: &mut Kernel<'_>,
+    comm: &mut RcceComm,
+    va: u32,
+    count: u32,
+    op: ReduceOp,
+) {
+    reduce_f64(k, comm, 0, va, count, op);
+    bcast(k, comm, 0, va, count * 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::SccConfig;
+    use scc_kernel::Cluster;
+
+    #[test]
+    fn bcast_distributes_root_data() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(4, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            if comm.ue() == 2 {
+                for i in 0..16u32 {
+                    k.vwrite(va + i * 8, 8, 0xB0 + i as u64);
+                }
+            }
+            bcast(k, &mut comm, 2, va, 128);
+            for i in 0..16u32 {
+                assert_eq!(k.vread(va + i * 8, 8), 0xB0 + i as u64);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_sums_across_ues() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(3, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            let me = comm.ue() as f64;
+            for i in 0..8u32 {
+                k.vwrite_f64(va + i * 8, me + i as f64);
+            }
+            reduce_f64(k, &mut comm, 0, va, 8, ReduceOp::Sum);
+            if comm.ue() == 0 {
+                for i in 0..8u32 {
+                    // sum over ue of (ue + i) = (0+1+2) + 3i
+                    assert_eq!(k.vread_f64(va + i * 8), 3.0 + 3.0 * i as f64);
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allreduce_max_everywhere() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(5, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            k.vwrite_f64(va, comm.ue() as f64 * 1.5);
+            allreduce_f64(k, &mut comm, va, 1, ReduceOp::Max);
+            assert_eq!(k.vread_f64(va), 6.0, "max of 0,1.5,3,4.5,6");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allreduce_single_ue_noop() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            k.vwrite_f64(va, 42.0);
+            allreduce_f64(k, &mut comm, va, 1, ReduceOp::Min);
+            assert_eq!(k.vread_f64(va), 42.0);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,267 @@
+//! The RCCE communicator: UE numbering, MPB flags, the `RCCE_malloc`
+//! region, and the flag-based dissemination barrier.
+
+use crate::{BARRIER_OFF, READY_FLAG_OFF, SENT_FLAG_OFF, USER_BYTES, USER_OFF};
+use scc_hw::mpb::MpbArray;
+use scc_hw::{CoreId, MemAttr};
+use scc_kernel::Kernel;
+use std::sync::Arc;
+
+/// Flag line layout: `value: u32, aux: u32, stamp: u64` (one 32-byte line).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FlagView {
+    pub value: u32,
+    pub aux: u32,
+    pub stamp: u64,
+}
+
+/// An RCCE communicator over the cores of the current cluster run.
+///
+/// RCCE calls the participants *units of execution* (UEs); UE `i` is the
+/// i-th core of the participant list. The communicator carries the local
+/// pipeline/barrier state, so it is `!Clone` and per-core.
+pub struct RcceComm {
+    ues: Vec<CoreId>,
+    me: usize,
+    /// Monotonic sequence number of this UE's chunk pipeline.
+    pub(crate) send_seq: u32,
+    /// Last chunk sequence acknowledged per source UE.
+    pub(crate) recv_acked: Vec<u32>,
+    barrier_epoch: u32,
+    user_next: u32,
+}
+
+impl RcceComm {
+    /// Collectively create the communicator: clears this UE's flag lines,
+    /// then synchronises through a RAM barrier so nobody races old flags.
+    pub fn init(k: &mut Kernel<'_>) -> RcceComm {
+        let ues = k.participants().to_vec();
+        let me_core = k.id();
+        let me = k.rank();
+        let mach = Arc::clone(k.hw.machine());
+        // Raw-clear this UE's own flag lines (boot-time, untimed).
+        for off in [SENT_FLAG_OFF, READY_FLAG_OFF] {
+            let pa = MpbArray::pa(me_core, off as usize);
+            for w in 0..8 {
+                mach.mpb.write(pa + w * 4, 4, 0);
+            }
+        }
+        for r in 0..8 {
+            let pa = MpbArray::pa(me_core, (BARRIER_OFF + r * 32) as usize);
+            for w in 0..8 {
+                mach.mpb.write(pa + w * 4, 4, 0);
+            }
+        }
+        scc_kernel::ram_barrier(k, "rcce.init");
+        RcceComm {
+            recv_acked: vec![0; ues.len()],
+            ues,
+            me,
+            send_seq: 0,
+            barrier_epoch: 0,
+            user_next: USER_OFF,
+        }
+    }
+
+    /// Number of UEs.
+    #[inline]
+    pub fn num_ues(&self) -> usize {
+        self.ues.len()
+    }
+
+    /// My UE id (rank).
+    #[inline]
+    pub fn ue(&self) -> usize {
+        self.me
+    }
+
+    /// The core hosting UE `rank`.
+    #[inline]
+    pub fn core_of(&self, rank: usize) -> CoreId {
+        self.ues[rank]
+    }
+
+    /// Symmetric MPB allocation (RCCE_malloc): returns an offset valid in
+    /// *every* UE's MPB. All UEs must allocate in the same order.
+    pub fn mpb_alloc(&mut self, bytes: u32) -> u32 {
+        let aligned = (bytes + 31) & !31;
+        let off = self.user_next;
+        assert!(
+            off + aligned <= USER_OFF + USER_BYTES,
+            "RCCE user MPB region exhausted"
+        );
+        self.user_next += aligned;
+        off
+    }
+
+    // ------------------------------------------------------------------
+    // Flag plumbing
+    // ------------------------------------------------------------------
+
+    /// Timed write of a whole flag line in `owner`'s MPB.
+    ///
+    /// The line is pushed out in one WCB flush; the stamp rides in the same
+    /// line. (Under the deterministic executor a half-written line is never
+    /// observed; a free-running executor would need a two-phase publish.)
+    pub(crate) fn write_flag(
+        k: &mut Kernel<'_>,
+        owner: CoreId,
+        off: u32,
+        value: u32,
+        aux: u32,
+    ) {
+        let pa = MpbArray::pa(owner, off as usize);
+        let now = k.hw.now();
+        k.hw.write(pa + 8, 8, now, MemAttr::MPB);
+        k.hw.write(pa + 4, 4, aux as u64, MemAttr::MPB);
+        k.hw.write(pa, 4, value as u64, MemAttr::MPB);
+        k.hw.flush_wcb();
+    }
+
+    /// Raw (untimed) peek of a flag line.
+    pub(crate) fn peek_flag(mach: &scc_hw::machine::MachineInner, owner: CoreId, off: u32) -> FlagView {
+        let pa = MpbArray::pa(owner, off as usize);
+        FlagView {
+            value: mach.mpb.read(pa, 4) as u32,
+            aux: mach.mpb.read(pa + 4, 4) as u32,
+            stamp: mach.mpb.read(pa + 8, 8),
+        }
+    }
+
+    /// Block until `pred(flag)` holds on `owner`'s flag line at `off`, then
+    /// perform the timed (cache-coherent) read and return the view.
+    pub(crate) fn wait_flag(
+        k: &mut Kernel<'_>,
+        owner: CoreId,
+        off: u32,
+        reason: &str,
+        pred: impl Fn(&FlagView) -> bool,
+    ) -> FlagView {
+        let mach = Arc::clone(k.hw.machine());
+        let hops = k.id().hops_to(owner);
+        let cost = k.hw.machine().cfg.timing.mpb_cost(hops);
+        k.wait_event(reason, move || {
+            let f = Self::peek_flag(&mach, owner, off);
+            pred(&f).then_some((f, f.stamp + cost))
+        });
+        // Re-read through the cache path, fresh after CL1INVMB.
+        k.hw.cl1invmb();
+        let pa = MpbArray::pa(owner, off as usize);
+        let value = k.hw.read(pa, 4, MemAttr::MPB) as u32;
+        let aux = k.hw.read(pa + 4, 4, MemAttr::MPB) as u32;
+        let stamp = k.hw.read(pa + 8, 8, MemAttr::MPB);
+        FlagView { value, aux, stamp }
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// The RCCE dissemination barrier: ⌈log₂ n⌉ rounds of MPB flag
+    /// exchanges; round `r` signals the UE `2^r` ranks ahead and waits for
+    /// the one `2^r` ranks behind. Epoch counters make the flag lines
+    /// reusable without resets.
+    pub fn barrier(&mut self, k: &mut Kernel<'_>) {
+        let n = self.ues.len();
+        if n == 1 {
+            return;
+        }
+        self.barrier_epoch += 1;
+        let epoch = self.barrier_epoch;
+        let mut dist = 1usize;
+        let mut round = 0u32;
+        while dist < n {
+            let to = self.ues[(self.me + dist) % n];
+            let from = self.ues[(self.me + n - dist) % n];
+            Self::write_flag(k, to, BARRIER_OFF + round * 32, epoch, self.me as u32);
+            let mine = k.id();
+            Self::wait_flag(k, mine, BARRIER_OFF + round * 32, "barrier round", |f| {
+                f.value >= epoch
+            });
+            let _ = from;
+            dist *= 2;
+            round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::SccConfig;
+    use scc_kernel::Cluster;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn init_is_collective_and_ranks_match() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(3, |k| {
+            let comm = RcceComm::init(k);
+            assert_eq!(comm.num_ues(), 3);
+            assert_eq!(comm.ue(), k.rank());
+            assert_eq!(comm.core_of(comm.ue()), k.id());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mpb_alloc_symmetric_and_bounded() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(2, |k| {
+                let mut comm = RcceComm::init(k);
+                let a = comm.mpb_alloc(8);
+                let b = comm.mpb_alloc(40);
+                (a, b)
+            })
+            .unwrap();
+        assert_eq!(res[0].result, res[1].result, "offsets must be symmetric");
+        let (a, b) = res[0].result;
+        assert_eq!(a % 32, 0);
+        assert_eq!(b, a + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn mpb_alloc_exhaustion() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let _ = cl.run(1, |k| {
+            let mut comm = RcceComm::init(k);
+            for _ in 0..100 {
+                comm.mpb_alloc(32);
+            }
+        });
+    }
+
+    #[test]
+    fn dissemination_barrier_synchronises() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let arrived = AtomicU64::new(0);
+        cl.run(5, |k| {
+            let mut comm = RcceComm::init(k);
+            k.hw.advance(k.rank() as u64 * 77_777);
+            arrived.fetch_add(1, Ordering::Relaxed);
+            comm.barrier(k);
+            assert_eq!(arrived.load(Ordering::Relaxed), 5);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn barrier_many_epochs() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(4, |k| {
+                let mut comm = RcceComm::init(k);
+                for _ in 0..25 {
+                    comm.barrier(k);
+                }
+                k.hw.now()
+            })
+            .unwrap();
+        // All clocks must stay reasonably aligned after 25 barriers.
+        let clocks: Vec<u64> = res.iter().map(|r| r.result).collect();
+        let spread = clocks.iter().max().unwrap() - clocks.iter().min().unwrap();
+        assert!(spread < 50_000, "clock spread {spread} too large: {clocks:?}");
+    }
+}

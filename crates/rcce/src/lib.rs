@@ -1,0 +1,58 @@
+//! # rcce — a reimplementation of Intel's RCCE / iRCCE libraries
+//!
+//! RCCE is the communication library Intel shipped with the SCC: one-sided
+//! `RCCE_put`/`RCCE_get` on the message-passing buffers, blocking two-sided
+//! `RCCE_send`/`RCCE_recv` pipelined through per-core MPB chunks, and a set
+//! of collectives. iRCCE (by the paper's authors) adds non-blocking
+//! `isend`/`irecv` with explicit progress — the paper's Laplace baseline
+//! uses exactly that for its halo exchange.
+//!
+//! ## MPB layout per unit of execution (UE)
+//!
+//! The mailbox system owns the first 1.5 KiB of each MPB (48 slots × 32 B);
+//! RCCE manages the rest:
+//!
+//! ```text
+//! 0    .. 1536 : mailbox system (crate scc-mailbox)
+//! 1536 .. 1600 : send flags: (seq, dst, stamp) of the chunk in the buffer
+//! 1600 .. 1664 : ready flags: (seq, stamp) acknowledgement by the receiver
+//! 1664 .. 1920 : 8 dissemination-barrier flag lines (one per round)
+//! 1920 .. 2432 : user region served by `RcceComm::mpb_alloc` (RCCE_malloc)
+//! 2432 .. 8192 : the pipeline chunk buffer (5760 B) for send/recv
+//! ```
+//!
+//! All flag lines carry a cycle stamp next to the value so that virtual
+//! time stays causal across cores (see `scc-hw`'s executor docs).
+
+pub mod coll;
+pub mod comm;
+pub mod ircce;
+pub mod putget;
+pub mod sendrecv;
+
+pub use coll::{allreduce_f64, barrier, bcast, reduce_f64, ReduceOp};
+pub use comm::RcceComm;
+pub use ircce::{irecv, isend, wait_all, IrecvReq, IsendReq};
+pub use putget::{get, put};
+pub use sendrecv::{recv, send};
+
+/// Offset of the RCCE region inside each MPB (after the mailbox area).
+pub const RCCE_OFF: u32 = scc_mailbox::MAILBOX_REGION_BYTES as u32;
+/// Offset of the per-UE send flag line.
+pub const SENT_FLAG_OFF: u32 = RCCE_OFF;
+/// Offset of the per-UE ready flag line.
+pub const READY_FLAG_OFF: u32 = RCCE_OFF + 64;
+/// Offset of the barrier flag lines (8 rounds).
+pub const BARRIER_OFF: u32 = RCCE_OFF + 128;
+/// Offset of the user (RCCE_malloc) region.
+pub const USER_OFF: u32 = BARRIER_OFF + 8 * 32;
+/// Bytes of the user region.
+pub const USER_BYTES: u32 = 512;
+/// Offset of the pipeline chunk buffer.
+pub const CHUNK_OFF: u32 = USER_OFF + USER_BYTES;
+/// First byte past the chunk buffer: the top 1 KiB of each MPB is reserved
+/// for the SVM first-touch scratch pad (crate `metalsvm`), which coexists
+/// with RCCE exactly as in MetalSVM.
+pub const CHUNK_END: u32 = scc_hw::config::MPB_BYTES as u32 - 1024;
+/// Bytes per pipeline chunk.
+pub const CHUNK_BYTES: u32 = CHUNK_END - CHUNK_OFF;

@@ -1,0 +1,95 @@
+//! One-sided MPB access (`RCCE_put` / `RCCE_get`).
+//!
+//! `put` copies private memory into an MPB window of a (possibly remote)
+//! UE; `get` copies an MPB window into private memory. The offsets come
+//! from [`crate::comm::RcceComm::mpb_alloc`] and are symmetric across UEs.
+//! RCCE leaves all synchronisation to the caller (flags).
+
+use crate::comm::RcceComm;
+use scc_hw::mpb::MpbArray;
+use scc_hw::MemAttr;
+use scc_kernel::Kernel;
+
+/// Copy `len` bytes from private VA `va` into UE `target`'s MPB at `off`.
+pub fn put(k: &mut Kernel<'_>, comm: &RcceComm, target: usize, off: u32, va: u32, len: u32) {
+    let base = MpbArray::pa(comm.core_of(target), off as usize);
+    let mut i = 0;
+    while i + 8 <= len {
+        let v = k.vread(va + i, 8);
+        k.hw.write(base + i, 8, v, MemAttr::MPB);
+        i += 8;
+    }
+    while i < len {
+        let v = k.vread(va + i, 1);
+        k.hw.write(base + i, 1, v, MemAttr::MPB);
+        i += 1;
+    }
+    k.hw.flush_wcb();
+}
+
+/// Copy `len` bytes from UE `source`'s MPB at `off` into private VA `va`.
+///
+/// Invalidates tagged L1 lines first so the copy sees fresh MPB contents.
+pub fn get(k: &mut Kernel<'_>, comm: &RcceComm, source: usize, off: u32, va: u32, len: u32) {
+    let base = MpbArray::pa(comm.core_of(source), off as usize);
+    k.hw.cl1invmb();
+    let mut i = 0;
+    while i + 8 <= len {
+        let v = k.hw.read(base + i, 8, MemAttr::MPB);
+        k.vwrite(va + i, 8, v);
+        i += 8;
+    }
+    while i < len {
+        let v = k.hw.read(base + i, 1, MemAttr::MPB);
+        k.vwrite(va + i, 1, v);
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::SccConfig;
+    use scc_kernel::Cluster;
+
+    #[test]
+    fn put_get_roundtrip_local() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            let mut comm = RcceComm::init(k);
+            let off = comm.mpb_alloc(64);
+            let va = k.kalloc_pages(1);
+            for i in 0..8u32 {
+                k.vwrite(va + i * 8, 8, 0xA0 + i as u64);
+            }
+            put(k, &comm, 0, off, va, 64);
+            let va2 = k.kalloc_pages(1);
+            get(k, &comm, 0, off, va2, 64);
+            for i in 0..8u32 {
+                assert_eq!(k.vread(va2 + i * 8, 8), 0xA0 + i as u64);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn put_remote_get_with_flag_sync() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mut comm = RcceComm::init(k);
+            let off = comm.mpb_alloc(32);
+            let va = k.kalloc_pages(1);
+            if comm.ue() == 0 {
+                k.vwrite(va, 8, 0xFEED);
+                // One-sided: write into UE 1's MPB, then sync via barrier.
+                put(k, &comm, 1, off, va, 8);
+                comm.barrier(k);
+            } else {
+                comm.barrier(k);
+                get(k, &comm, 1, off, va, 8);
+                assert_eq!(k.vread(va, 8), 0xFEED);
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Blocking two-sided communication (`RCCE_send` / `RCCE_recv`).
+//!
+//! These are thin wrappers over the iRCCE request machinery: RCCE's
+//! semantics are blocking and synchronous — `send` returns once the
+//! receiver has drained every chunk, `recv` once all bytes arrived.
+
+use crate::comm::RcceComm;
+use crate::ircce::{irecv, isend, wait_all};
+use scc_kernel::Kernel;
+
+/// Blockingly send `len` bytes at private VA `va` to UE `dst`.
+pub fn send(k: &mut Kernel<'_>, comm: &mut RcceComm, dst: usize, va: u32, len: u32) {
+    let mut reqs = [isend(comm, dst, va, len)];
+    wait_all(k, comm, &mut reqs, &mut []);
+}
+
+/// Blockingly receive `len` bytes into private VA `va` from UE `src`.
+pub fn recv(k: &mut Kernel<'_>, comm: &mut RcceComm, src: usize, va: u32, len: u32) {
+    let mut reqs = [irecv(comm, src, va, len)];
+    wait_all(k, comm, &mut [], &mut reqs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ircce::{irecv, isend, wait_all};
+    use scc_hw::SccConfig;
+    use scc_kernel::Cluster;
+
+    /// Fill private memory with a recognisable pattern.
+    fn fill_pattern(k: &mut Kernel<'_>, va: u32, len: u32, salt: u64) {
+        for i in (0..len).step_by(8) {
+            k.vwrite(va + i, 8, (i as u64) * 0x9E37_79B9 + salt);
+        }
+    }
+
+    fn check_pattern(k: &mut Kernel<'_>, va: u32, len: u32, salt: u64) {
+        for i in (0..len).step_by(8) {
+            assert_eq!(
+                k.vread(va + i, 8),
+                (i as u64) * 0x9E37_79B9 + salt,
+                "mismatch at offset {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_message_roundtrip() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            if comm.ue() == 0 {
+                fill_pattern(k, va, 256, 7);
+                send(k, &mut comm, 1, va, 256);
+            } else {
+                recv(k, &mut comm, 0, va, 256);
+                check_pattern(k, va, 256, 7);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn multi_chunk_message() {
+        // Larger than one chunk buffer -> exercises the pipeline.
+        let len = crate::CHUNK_BYTES * 3 + 40;
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, move |k| {
+            let mut comm = RcceComm::init(k);
+            let pages = len.div_ceil(4096);
+            let va = k.kalloc_pages(pages);
+            if comm.ue() == 0 {
+                fill_pattern(k, va, len, 99);
+                send(k, &mut comm, 1, va, len);
+            } else {
+                recv(k, &mut comm, 0, va, len);
+                check_pattern(k, va, len, 99);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unaligned_length() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            if comm.ue() == 0 {
+                for i in 0..13u32 {
+                    k.vwrite(va + i, 1, (i + 1) as u64);
+                }
+                send(k, &mut comm, 1, va, 13);
+            } else {
+                recv(k, &mut comm, 0, va, 13);
+                for i in 0..13u32 {
+                    assert_eq!(k.vread(va + i, 1), (i + 1) as u64);
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn three_core_ring() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(3, |k| {
+            let mut comm = RcceComm::init(k);
+            let n = comm.num_ues();
+            let me = comm.ue();
+            let va_out = k.kalloc_pages(1);
+            let va_in = k.kalloc_pages(1);
+            fill_pattern(k, va_out, 512, me as u64);
+            // Everyone sends to the right, receives from the left —
+            // non-blocking both ways to avoid the classic ring deadlock.
+            let mut s = [isend(&comm, (me + 1) % n, va_out, 512)];
+            let mut r = [irecv(&comm, (me + n - 1) % n, va_in, 512)];
+            wait_all(k, &mut comm, &mut s, &mut r);
+            check_pattern(k, va_in, 512, ((me + n - 1) % n) as u64);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bidirectional_exchange() {
+        // The Laplace halo pattern: both sides isend+irecv simultaneously.
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mut comm = RcceComm::init(k);
+            let me = comm.ue();
+            let other = 1 - me;
+            let va_out = k.kalloc_pages(2);
+            let va_in = k.kalloc_pages(2);
+            let len = 8000u32;
+            fill_pattern(k, va_out, len, me as u64 + 100);
+            let mut s = [isend(&comm, other, va_out, len)];
+            let mut r = [irecv(&comm, other, va_in, len)];
+            wait_all(k, &mut comm, &mut s, &mut r);
+            check_pattern(k, va_in, len, other as u64 + 100);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn back_to_back_messages_reuse_pipeline() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            for round in 0..8u64 {
+                if comm.ue() == 0 {
+                    fill_pattern(k, va, 128, round);
+                    send(k, &mut comm, 1, va, 128);
+                } else {
+                    recv(k, &mut comm, 0, va, 128);
+                    check_pattern(k, va, 128, round);
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_length_completes_immediately() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            if comm.ue() == 0 {
+                send(k, &mut comm, 1, va, 0);
+            } else {
+                recv(k, &mut comm, 0, va, 0);
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! Machine configuration: memory sizes, cache geometry, clock frequencies.
+
+use crate::timing::TimingParams;
+use crate::topology::MAX_CORES;
+use serde::{Deserialize, Serialize};
+
+/// Cache line size of the P54C in bytes.
+pub const LINE_BYTES: usize = 32;
+/// Page size in bytes.
+pub const PAGE_BYTES: usize = 4096;
+/// Size of one core's message-passing buffer in bytes.
+pub const MPB_BYTES: usize = 8192;
+
+/// Geometry of one cache level.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct CacheGeom {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheGeom {
+    /// Number of sets for a 32-byte line.
+    pub fn sets(&self) -> usize {
+        self.size / LINE_BYTES / self.assoc
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SccConfig {
+    /// Number of cores that exist (always 48 on real silicon; smaller values
+    /// build a cut-down die which is occasionally handy in unit tests).
+    pub ncores: usize,
+    /// L1 data cache geometry (P54C: 8 KiB, 2-way; the other 8 KiB of the
+    /// "16 KiB L1" is the instruction cache, which the model ignores).
+    pub l1: CacheGeom,
+    /// L2 cache geometry (256 KiB, 4-way on the SCC).
+    pub l2: CacheGeom,
+    /// Private off-die memory per core, in bytes.
+    pub private_bytes_per_core: usize,
+    /// Shared off-die memory, in bytes (split evenly over the four memory
+    /// controllers).
+    pub shared_bytes: usize,
+    /// Cycle cost model.
+    pub timing: TimingParams,
+    /// Scheduling quantum of the deterministic executor, in core cycles: a
+    /// core voluntarily yields after running at least this far ahead of the
+    /// globally minimal clock.
+    pub quantum_cycles: u64,
+    /// Period of the per-core timer tick, in core cycles. The paper's
+    /// mailbox system without IPIs relies on this tick (plus the idle loop)
+    /// to scan its receive buffers.
+    pub tick_cycles: u64,
+}
+
+impl Default for SccConfig {
+    fn default() -> Self {
+        SccConfig {
+            ncores: MAX_CORES,
+            l1: CacheGeom {
+                size: 8 * 1024,
+                assoc: 2,
+            },
+            l2: CacheGeom {
+                size: 256 * 1024,
+                assoc: 4,
+            },
+            private_bytes_per_core: 2 * 1024 * 1024,
+            shared_bytes: 64 * 1024 * 1024,
+            timing: TimingParams::default(),
+            quantum_cycles: 20_000,
+            // 1 ms at 533 MHz, the classic 1000 Hz kernel tick.
+            tick_cycles: 533_000,
+        }
+    }
+}
+
+impl SccConfig {
+    /// A configuration with a small memory footprint for unit tests.
+    pub fn small() -> Self {
+        SccConfig {
+            private_bytes_per_core: 256 * 1024,
+            shared_bytes: 4 * 1024 * 1024,
+            ..Self::default()
+        }
+    }
+
+    /// Validate internal consistency; called by `Machine::new`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ncores == 0 || self.ncores > MAX_CORES {
+            return Err(format!("ncores must be in 1..={MAX_CORES}"));
+        }
+        if self.shared_bytes % (4 * PAGE_BYTES) != 0 {
+            return Err("shared_bytes must be a multiple of 4 pages".into());
+        }
+        if self.private_bytes_per_core % PAGE_BYTES != 0 {
+            return Err("private_bytes_per_core must be page-aligned".into());
+        }
+        for (name, g) in [("l1", &self.l1), ("l2", &self.l2)] {
+            if g.size % (LINE_BYTES * g.assoc) != 0 || g.sets() == 0 || !g.sets().is_power_of_two()
+            {
+                return Err(format!("{name}: invalid cache geometry {g:?}"));
+            }
+        }
+        if self.quantum_cycles == 0 || self.tick_cycles == 0 {
+            return Err("quantum_cycles and tick_cycles must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SccConfig::default().validate().unwrap();
+        SccConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeom {
+            size: 8 * 1024,
+            assoc: 2,
+        };
+        assert_eq!(g.sets(), 128);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = SccConfig::default();
+        c.ncores = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SccConfig::default();
+        c.ncores = 49;
+        assert!(c.validate().is_err());
+
+        let mut c = SccConfig::default();
+        c.private_bytes_per_core = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = SccConfig::default();
+        c.l1.assoc = 3;
+        assert!(c.validate().is_err());
+    }
+}

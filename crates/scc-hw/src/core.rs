@@ -1,0 +1,701 @@
+//! The per-core execution context: virtual clock, private cache hierarchy,
+//! and the memory engine that charges calibrated costs for every access.
+//!
+//! A [`CoreCtx`] is handed to each simulated core's program by
+//! [`crate::Machine::run_on`]. All methods that touch memory advance the
+//! core's virtual clock; *raw* `peek`/`poke` accessors (on [`crate::Machine`])
+//! exist for wait conditions and test assertions and are free.
+
+use crate::cache::{Cache, Wcb, WcbFlush};
+use crate::config::LINE_BYTES;
+use crate::exec::Scheduler;
+use crate::machine::MachineInner;
+use crate::perf::PerfCounters;
+use crate::ram::Backing;
+use crate::topology::{mc_coord, CoreId};
+use std::sync::Arc;
+
+/// Cacheability attributes of one access, normally derived from a page-table
+/// entry by the kernel layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemAttr {
+    /// May be cached in L1.
+    pub l1: bool,
+    /// May be cached in L2 (the SCC bypasses L2 for MPBT-tagged pages).
+    pub l2: bool,
+    /// Write-back (private memory) vs write-through (shared memory).
+    pub write_back: bool,
+    /// Tagged with the SCC's new MPBT memory type: L2 bypassed, lines
+    /// invalidated by `CL1INVMB`, stores combined in the WCB.
+    pub mpbt: bool,
+}
+
+impl MemAttr {
+    /// Private off-die memory: full L1+L2, write-back.
+    pub const PRIVATE_WB: MemAttr = MemAttr {
+        l1: true,
+        l2: true,
+        write_back: true,
+        mpbt: false,
+    };
+    /// Shared memory under MetalSVM: L1 only, write-through, MPBT tag,
+    /// stores combined by the WCB.
+    pub const SHARED_MPBT_WT: MemAttr = MemAttr {
+        l1: true,
+        l2: false,
+        write_back: false,
+        mpbt: true,
+    };
+    /// Read-only shared region after the collective `mprotect` of §6.4:
+    /// MPBT cleared, L2 re-enabled, still write-through (writes trap anyway).
+    pub const SHARED_RO_L2: MemAttr = MemAttr {
+        l1: true,
+        l2: true,
+        write_back: false,
+        mpbt: false,
+    };
+    /// The MPB itself: L1-cacheable with MPBT tag, no L2.
+    pub const MPB: MemAttr = MemAttr {
+        l1: true,
+        l2: false,
+        write_back: false,
+        mpbt: true,
+    };
+    /// Uncacheable (device registers, the SVM ownership vector, the default
+    /// for the SCC's shared region under Intel's stock configuration).
+    pub const UNCACHED: MemAttr = MemAttr {
+        l1: false,
+        l2: false,
+        write_back: false,
+        mpbt: false,
+    };
+}
+
+/// Execution context of one simulated core.
+pub struct CoreCtx {
+    id: CoreId,
+    slot: usize,
+    clock: u64,
+    next_yield: u64,
+    l1: Cache,
+    l2: Cache,
+    wcb: Wcb,
+    /// Hardware event counters for this core.
+    pub perf: PerfCounters,
+    mach: Arc<MachineInner>,
+    sched: Arc<Scheduler>,
+}
+
+impl CoreCtx {
+    pub(crate) fn new(
+        id: CoreId,
+        slot: usize,
+        mach: Arc<MachineInner>,
+        sched: Arc<Scheduler>,
+    ) -> Self {
+        let quantum = mach.cfg.quantum_cycles;
+        CoreCtx {
+            id,
+            slot,
+            clock: 0,
+            next_yield: quantum,
+            l1: Cache::new(mach.cfg.l1),
+            l2: Cache::new(mach.cfg.l2),
+            wcb: Wcb::new(),
+            perf: PerfCounters::default(),
+            mach,
+            sched,
+        }
+    }
+
+    /// This core's id.
+    #[inline]
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The machine this core belongs to.
+    #[inline]
+    pub fn machine(&self) -> &Arc<MachineInner> {
+        &self.mach
+    }
+
+    /// Current virtual time in core cycles.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advance the virtual clock (compute time, handler overheads, ...).
+    #[inline]
+    pub fn advance(&mut self, cycles: u64) {
+        self.clock += cycles;
+        if self.clock >= self.next_yield {
+            self.yield_now();
+        }
+    }
+
+    /// Voluntarily hand the baton to the globally minimal core.
+    pub fn yield_now(&mut self) {
+        self.perf.yields += 1;
+        self.sched.yield_now(self.slot, self.clock);
+        self.next_yield = self.clock + self.mach.cfg.quantum_cycles;
+    }
+
+    /// Jump the clock forward to at least `stamp` (event delivery).
+    #[inline]
+    pub fn sync_to(&mut self, stamp: u64) {
+        self.clock = self.clock.max(stamp);
+    }
+
+    /// Block until `cond` yields a value. `cond` must be side-effect-free
+    /// and use only raw (`peek`-style) accessors; it runs with the scheduler
+    /// lock held. The `u64` it returns is the event stamp; the clock is
+    /// advanced to it (the caller charges delivery latency on top).
+    pub fn wait_until<T>(
+        &mut self,
+        reason: &str,
+        cond: impl FnMut() -> Option<(T, u64)>,
+    ) -> T {
+        self.perf.blocks += 1;
+        let (v, stamp) = self
+            .sched
+            .wait_blocked(self.slot, self.clock, reason, cond);
+        self.sync_to(stamp);
+        self.next_yield = self.clock + self.mach.cfg.quantum_cycles;
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Cost helpers
+    // ------------------------------------------------------------------
+
+    /// Cost of one word-granular access to `pa` (uncached path).
+    #[inline]
+    fn word_cost(&self, pa: u32) -> u64 {
+        let t = &self.mach.cfg.timing;
+        match self.mach.map.resolve(pa) {
+            Backing::Ram { mc } => t.ddr_word_cost(self.id.tile().hops_to(mc_coord(mc))),
+            Backing::Mpb { owner } => t.mpb_cost(self.id.tile().hops_to(owner.tile())),
+        }
+    }
+
+    /// Cost of one 32-byte line transfer from/to `pa`'s device.
+    #[inline]
+    fn line_cost(&self, pa: u32) -> u64 {
+        let t = &self.mach.cfg.timing;
+        match self.mach.map.resolve(pa) {
+            Backing::Ram { mc } => t.ddr_line_cost(self.id.tile().hops_to(mc_coord(mc))),
+            Backing::Mpb { owner } => t.mpb_cost(self.id.tile().hops_to(owner.tile())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Backing-store plumbing (functional, no cost)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn backing_read(&mut self, pa: u32, len: usize) -> u64 {
+        match self.mach.map.resolve(pa) {
+            Backing::Ram { .. } => {
+                self.perf.ram_reads += 1;
+                self.mach.ram.read(pa, len)
+            }
+            Backing::Mpb { .. } => {
+                self.perf.mpb_reads += 1;
+                self.mach.mpb.read(pa, len)
+            }
+        }
+    }
+
+    #[inline]
+    fn backing_write(&mut self, pa: u32, len: usize, val: u64) {
+        match self.mach.map.resolve(pa) {
+            Backing::Ram { .. } => {
+                self.perf.ram_writes += 1;
+                self.mach.ram.write(pa, len, val)
+            }
+            Backing::Mpb { .. } => {
+                self.perf.mpb_writes += 1;
+                self.mach.mpb.write(pa, len, val)
+            }
+        }
+    }
+
+    fn backing_line(&mut self, la: u32) -> [u8; LINE_BYTES] {
+        let base = la * LINE_BYTES as u32;
+        let mut out = [0u8; LINE_BYTES];
+        for w in 0..LINE_BYTES / 4 {
+            let v = match self.mach.map.resolve(base) {
+                Backing::Ram { .. } => self.mach.ram.read(base + (w * 4) as u32, 4),
+                Backing::Mpb { .. } => self.mach.mpb.read(base + (w * 4) as u32, 4),
+            };
+            out[w * 4..w * 4 + 4].copy_from_slice(&(v as u32).to_le_bytes());
+        }
+        match self.mach.map.resolve(base) {
+            Backing::Ram { .. } => self.perf.ram_reads += 1,
+            Backing::Mpb { .. } => self.perf.mpb_reads += 1,
+        }
+        out
+    }
+
+    fn apply_wcb_flush(&mut self, f: WcbFlush) {
+        let base = f.line * LINE_BYTES as u32;
+        self.perf.wcb_flushes += 1;
+        for k in 0..LINE_BYTES {
+            if f.mask & (1 << k) != 0 {
+                match self.mach.map.resolve(base) {
+                    Backing::Ram { .. } => {
+                        self.mach.ram.write(base + k as u32, 1, f.data[k] as u64)
+                    }
+                    Backing::Mpb { .. } => {
+                        self.mach.mpb.write(base + k as u32, 1, f.data[k] as u64)
+                    }
+                }
+            }
+        }
+        match self.mach.map.resolve(base) {
+            Backing::Ram { .. } => self.perf.ram_writes += 1,
+            Backing::Mpb { .. } => self.perf.mpb_writes += 1,
+        }
+        let cost = self.line_cost(base);
+        self.advance(cost);
+    }
+
+    /// Final writeback of a dirty line to off-die memory (L2 victims, or L1
+    /// victims whose line is not in the L2).
+    fn writeback_line(&mut self, line: u32, data: [u8; LINE_BYTES]) {
+        let base = line * LINE_BYTES as u32;
+        for w in 0..LINE_BYTES / 4 {
+            let v = u32::from_le_bytes(data[w * 4..w * 4 + 4].try_into().unwrap());
+            self.mach.ram.write(base + (w * 4) as u32, 4, v as u64);
+        }
+        self.perf.ram_writes += 1;
+        let cost = self.line_cost(base);
+        self.advance(cost);
+    }
+
+    /// Writeback of a dirty **L1** victim: it must land in the L2 copy if
+    /// one exists (otherwise a later L1 miss would hit the L2's stale
+    /// data), and go to memory only when the L2 does not hold the line.
+    fn writeback_l1_victim(&mut self, line: u32, data: [u8; LINE_BYTES]) {
+        if self.l2.absorb_writeback(line, data) {
+            let c = self.mach.cfg.timing.l2_hit;
+            self.advance(c);
+        } else {
+            self.writeback_line(line, data);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The memory engine
+    // ------------------------------------------------------------------
+
+    /// Timed read of `len` (1..=8) bytes at physical address `pa`.
+    pub fn read(&mut self, pa: u32, len: usize, attr: MemAttr) -> u64 {
+        debug_assert!((1..=8).contains(&len));
+        // Split accesses that straddle a cache line (rare, unaligned).
+        let off = (pa as usize) % LINE_BYTES;
+        if off + len > LINE_BYTES {
+            let first = LINE_BYTES - off;
+            let lo = self.read(pa, first, attr);
+            let hi = self.read(pa + first as u32, len - first, attr);
+            return lo | (hi << (first * 8));
+        }
+        let la = pa / LINE_BYTES as u32;
+        let t_l1_hit = self.mach.cfg.timing.l1_hit;
+        let t_l2_hit = self.mach.cfg.timing.l2_hit;
+
+        let val = if !attr.l1 {
+            let cost = self.word_cost(pa);
+            self.advance(cost);
+            self.backing_read(pa, len)
+        } else if let Some(v) = self.l1.read(la, off, len) {
+            self.perf.l1_hits += 1;
+            self.advance(t_l1_hit);
+            v
+        } else {
+            self.perf.l1_misses += 1;
+            // L1 miss: consult L2 unless this is an MPBT access.
+            let line = if attr.l2 {
+                if let Some(data) = self.l2.peek_line(la) {
+                    self.perf.l2_hits += 1;
+                    self.l2.read(la, 0, 1); // LRU touch
+                    self.advance(t_l2_hit);
+                    data
+                } else {
+                    self.perf.l2_misses += 1;
+                    let cost = self.line_cost(pa);
+                    self.advance(cost);
+                    let data = self.backing_line(la);
+                    if let Some(wb) = self.l2.fill(la, data, attr.mpbt) {
+                        self.writeback_line(wb.line, wb.data);
+                    }
+                    data
+                }
+            } else {
+                let cost = self.line_cost(pa);
+                self.advance(cost);
+                self.backing_line(la)
+            };
+            if let Some(wb) = self.l1.fill(la, line, attr.mpbt) {
+                self.writeback_l1_victim(wb.line, wb.data);
+            }
+            let mut v = 0u64;
+            for k in 0..len {
+                v |= (line[off + k] as u64) << (k * 8);
+            }
+            v
+        };
+        // The core snoops its own write-combine buffer.
+        self.wcb.overlay(la, off, len, val)
+    }
+
+    /// Timed write of the low `len` (1..=8) bytes of `val` at `pa`.
+    pub fn write(&mut self, pa: u32, len: usize, val: u64, attr: MemAttr) {
+        debug_assert!((1..=8).contains(&len));
+        let off = (pa as usize) % LINE_BYTES;
+        if off + len > LINE_BYTES {
+            let first = LINE_BYTES - off;
+            self.write(pa, first, val, attr);
+            self.write(
+                pa + first as u32,
+                len - first,
+                val >> (first * 8),
+                attr,
+            );
+            return;
+        }
+        let la = pa / LINE_BYTES as u32;
+        let t_l1_hit = self.mach.cfg.timing.l1_hit;
+
+        if !attr.l1 {
+            let cost = self.word_cost(pa);
+            self.advance(cost);
+            self.backing_write(pa, len, val);
+            return;
+        }
+
+        if attr.write_back {
+            // Private memory: write-back, no write-allocate (P54C).
+            if self.l1.write_if_present(la, off, len, val, false) {
+                self.advance(t_l1_hit);
+            } else if attr.l2 && self.l2.write_if_present(la, off, len, val, false) {
+                self.perf.l2_hits += 1;
+                let c = self.mach.cfg.timing.l2_hit;
+                self.advance(c);
+            } else {
+                let cost = self.word_cost(pa);
+                self.advance(cost);
+                self.backing_write(pa, len, val);
+            }
+            return;
+        }
+
+        // Write-through path: keep any cached copies in this core's caches
+        // up to date (they stay clean), then push the store down.
+        self.l1.write_if_present(la, off, len, val, true);
+        if attr.l2 {
+            self.l2.write_if_present(la, off, len, val, true);
+        }
+        if attr.mpbt {
+            // Write-combine buffer: the store costs a cycle; the transfer
+            // is charged when the combined line leaves the buffer.
+            self.advance(t_l1_hit);
+            self.perf.wcb_merges += 1;
+            if let Some(fl) = self.wcb.merge(la, off, len, val) {
+                self.apply_wcb_flush(fl);
+            }
+        } else {
+            let cost = self.word_cost(pa);
+            self.advance(cost);
+            self.backing_write(pa, len, val);
+        }
+    }
+
+    /// Execute `CL1INVMB`: invalidate all MPBT-tagged L1 lines.
+    pub fn cl1invmb(&mut self) {
+        self.perf.cl1invmb_count += 1;
+        self.l1.invalidate_mpbt();
+        let c = self.mach.cfg.timing.cl1invmb;
+        self.advance(c);
+    }
+
+    /// Drain the write-combine buffer to memory.
+    pub fn flush_wcb(&mut self) {
+        if let Some(f) = self.wcb.take() {
+            self.apply_wcb_flush(f);
+        }
+    }
+
+    /// Software flush of both caches (the costly routine the paper avoids):
+    /// every dirty line is written back, everything is invalidated.
+    pub fn flush_all_caches(&mut self) {
+        self.flush_wcb();
+        for wb in self.l1.flush_all() {
+            self.writeback_l1_victim(wb.line, wb.data);
+        }
+        for wb in self.l2.flush_all() {
+            self.writeback_line(wb.line, wb.data);
+        }
+    }
+
+    /// Does this core's L1 currently hold the line containing `pa`?
+    /// (test/diagnostic helper, free)
+    pub fn l1_contains(&self, pa: u32) -> bool {
+        self.l1.contains(pa / LINE_BYTES as u32)
+    }
+
+    /// Does this core's L2 currently hold the line containing `pa`?
+    pub fn l2_contains(&self, pa: u32) -> bool {
+        self.l2.contains(pa / LINE_BYTES as u32)
+    }
+
+    // ------------------------------------------------------------------
+    // Test-and-set registers
+    // ------------------------------------------------------------------
+
+    /// One attempt at the test-and-set register of `reg`'s tile.
+    pub fn tas_try(&mut self, reg: CoreId) -> bool {
+        let hops = self.id.hops_to(reg);
+        let cost = self.mach.cfg.timing.tas_cost(hops);
+        self.advance(cost);
+        match self.mach.tas.test_and_set(reg) {
+            Ok(release_stamp) => {
+                self.perf.tas_acquires += 1;
+                self.sync_to(release_stamp + cost);
+                true
+            }
+            Err(()) => {
+                self.perf.tas_spins += 1;
+                false
+            }
+        }
+    }
+
+    /// Spin (in virtual time: block) until the register is acquired.
+    pub fn tas_lock(&mut self, reg: CoreId) {
+        loop {
+            if self.tas_try(reg) {
+                return;
+            }
+            let tas = Arc::clone(&self.mach);
+            self.wait_until("test-and-set register", move || {
+                (!tas.tas.is_locked(reg)).then_some(((), 0))
+            });
+        }
+    }
+
+    /// Release a test-and-set register.
+    pub fn tas_unlock(&mut self, reg: CoreId) {
+        let hops = self.id.hops_to(reg);
+        let cost = self.mach.cfg.timing.tas_cost(hops);
+        self.advance(cost);
+        self.mach.tas.release(reg, self.clock);
+    }
+
+    // ------------------------------------------------------------------
+    // Inter-processor interrupts
+    // ------------------------------------------------------------------
+
+    /// Ring the GIC doorbell of `dst`.
+    pub fn send_ipi(&mut self, dst: CoreId) {
+        let t = &self.mach.cfg.timing;
+        let cost = t.ipi_raise + t.hop_cost(self.id.hops_to(dst));
+        self.advance(cost);
+        self.perf.ipis_sent += 1;
+        self.mach.gic.raise(self.id, dst, self.clock);
+    }
+
+    /// Cheap check for pending IPIs (one register read, free — the pin is
+    /// wired to the core).
+    #[inline]
+    pub fn has_pending_ipi(&self) -> bool {
+        self.mach.gic.has_pending(self.id)
+    }
+
+    /// Claim all pending IPIs. For each, the clock is advanced past the
+    /// raise stamp plus wire delivery; the caller charges handler entry.
+    pub fn claim_ipis(&mut self) -> Vec<(CoreId, u64)> {
+        let list = self.mach.gic.claim(self.id);
+        let t = self.mach.cfg.timing.clone();
+        for (src, stamp) in &list {
+            self.perf.ipis_received += 1;
+            let deliver = t.ipi_delivery(self.id.hops_to(*src));
+            self.sync_to(stamp + deliver);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SccConfig;
+    use crate::machine::Machine;
+
+    fn one_core<R: Send>(f: impl Fn(&mut CoreCtx) -> R + Send + Sync) -> R {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let mut res = m.run_on(&[CoreId::new(0)], f).unwrap();
+        res.pop().unwrap().result
+    }
+
+    #[test]
+    fn uncached_roundtrip_charges_word_cost() {
+        let (v, cycles) = one_core(|c| {
+            let pa = c.machine().map.shared_base();
+            let t0 = c.now();
+            c.write(pa, 4, 0xfeed_f00d, MemAttr::UNCACHED);
+            let v = c.read(pa, 4, MemAttr::UNCACHED);
+            (v, c.now() - t0)
+        });
+        assert_eq!(v, 0xfeed_f00d);
+        assert!(cycles > 100, "two DDR3 accesses should cost >100 cy, got {cycles}");
+    }
+
+    #[test]
+    fn l1_hit_after_miss() {
+        one_core(|c| {
+            let pa = c.machine().map.shared_base();
+            c.read(pa, 4, MemAttr::SHARED_MPBT_WT); // miss, fills L1
+            let t0 = c.now();
+            c.read(pa, 4, MemAttr::SHARED_MPBT_WT); // hit
+            assert_eq!(c.now() - t0, 1, "L1 hit must cost 1 cycle");
+            assert_eq!(c.perf.l1_hits, 1);
+            assert_eq!(c.perf.l1_misses, 1);
+        });
+    }
+
+    #[test]
+    fn mpbt_read_bypasses_l2() {
+        one_core(|c| {
+            let pa = c.machine().map.shared_base();
+            c.read(pa, 4, MemAttr::SHARED_MPBT_WT);
+            assert!(c.l1_contains(pa));
+            assert!(!c.l2_contains(pa));
+            // Read-only attr goes through L2.
+            let pa2 = pa + 4096;
+            c.read(pa2, 4, MemAttr::SHARED_RO_L2);
+            assert!(c.l2_contains(pa2));
+        });
+    }
+
+    #[test]
+    fn wcb_combines_and_flushes() {
+        one_core(|c| {
+            let pa = c.machine().map.shared_base();
+            c.write(pa, 4, 0x11, MemAttr::SHARED_MPBT_WT);
+            c.write(pa + 4, 4, 0x22, MemAttr::SHARED_MPBT_WT);
+            // Not yet in RAM...
+            assert_eq!(c.machine().ram.read(pa, 4), 0);
+            // ...but visible to this core's own loads.
+            assert_eq!(c.read(pa, 4, MemAttr::SHARED_MPBT_WT), 0x11);
+            c.flush_wcb();
+            assert_eq!(c.machine().ram.read(pa, 4), 0x11);
+            assert_eq!(c.machine().ram.read(pa + 4, 4), 0x22);
+            assert_eq!(c.perf.wcb_flushes, 1, "two stores combined into one flush");
+        });
+    }
+
+    #[test]
+    fn non_mpbt_write_through_goes_straight_to_ram() {
+        one_core(|c| {
+            let pa = c.machine().map.shared_base();
+            c.write(pa, 4, 0x77, MemAttr::SHARED_RO_L2);
+            assert_eq!(c.machine().ram.read(pa, 4), 0x77);
+        });
+    }
+
+    #[test]
+    fn stale_read_until_cl1invmb() {
+        // The essence of non-coherence: a core keeps seeing its cached copy
+        // after memory changed, until it executes CL1INVMB.
+        one_core(|c| {
+            let pa = c.machine().map.shared_base();
+            c.machine().ram.write(pa, 4, 0xAAAA);
+            let _ = c.read(pa, 4, MemAttr::SHARED_MPBT_WT); // cache it
+            // Memory changes behind the core's back (as another core would).
+            c.machine().ram.write(pa, 4, 0xBBBB);
+            assert_eq!(
+                c.read(pa, 4, MemAttr::SHARED_MPBT_WT),
+                0xAAAA,
+                "must read the stale cached copy"
+            );
+            c.cl1invmb();
+            assert_eq!(
+                c.read(pa, 4, MemAttr::SHARED_MPBT_WT),
+                0xBBBB,
+                "after CL1INVMB the fresh value must be fetched"
+            );
+        });
+    }
+
+    #[test]
+    fn l1_victim_updates_stale_l2_copy() {
+        // Regression test: a line is read (filling L1 and L2), dirtied in
+        // L1, evicted from L1 by conflicting reads, then re-read. The
+        // re-read must see the dirty data, not the L2's stale copy.
+        one_core(|c| {
+            let pa = c.machine().map.private_base(c.id());
+            let l1_bytes = c.machine().cfg.l1.size as u32;
+            c.read(pa, 8, MemAttr::PRIVATE_WB); // L1 + L2 now hold the line
+            c.write(pa, 8, 0xDEAD, MemAttr::PRIVATE_WB); // dirty in L1 only
+            // Evict the line from the (much smaller) L1 with conflicting
+            // reads mapping to the same set, while staying inside the L2.
+            for way in 1..=4u32 {
+                c.read(pa + way * l1_bytes, 8, MemAttr::PRIVATE_WB);
+            }
+            assert!(!c.l1_contains(pa), "line must have left the L1");
+            assert_eq!(
+                c.read(pa, 8, MemAttr::PRIVATE_WB),
+                0xDEAD,
+                "the dirty L1 victim must be visible after re-read"
+            );
+        });
+    }
+
+    #[test]
+    fn private_write_back_stays_cached() {
+        one_core(|c| {
+            let pa = c.machine().map.private_base(c.id());
+            c.read(pa, 4, MemAttr::PRIVATE_WB); // allocate line
+            c.write(pa, 4, 0x99, MemAttr::PRIVATE_WB); // dirty in L1
+            assert_eq!(c.machine().ram.read(pa, 4), 0, "write-back: RAM stale");
+            c.flush_all_caches();
+            assert_eq!(c.machine().ram.read(pa, 4), 0x99);
+        });
+    }
+
+    #[test]
+    fn unaligned_cross_line_access() {
+        one_core(|c| {
+            let pa = c.machine().map.shared_base() + 30; // crosses a 32B line
+            c.write(pa, 4, 0x1234_5678, MemAttr::UNCACHED);
+            assert_eq!(c.read(pa, 4, MemAttr::UNCACHED), 0x1234_5678);
+        });
+    }
+
+    #[test]
+    fn tas_lock_unlock() {
+        one_core(|c| {
+            let r = CoreId::new(7);
+            assert!(c.tas_try(r));
+            assert!(!c.tas_try(r));
+            c.tas_unlock(r);
+            assert!(c.tas_try(r));
+        });
+    }
+
+    #[test]
+    fn ipi_self_roundtrip() {
+        one_core(|c| {
+            let me = c.id();
+            assert!(!c.has_pending_ipi());
+            c.send_ipi(me);
+            assert!(c.has_pending_ipi());
+            let got = c.claim_ipis();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].0, me);
+        });
+    }
+}

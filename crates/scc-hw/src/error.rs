@@ -1,0 +1,33 @@
+//! Error type of the hardware model.
+
+use std::fmt;
+
+/// Errors surfaced by the hardware simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwError {
+    /// The machine configuration failed validation.
+    BadConfig(String),
+    /// All live cores are blocked and no wait condition can ever become
+    /// satisfiable — a genuine deadlock in the simulated software.
+    Deadlock {
+        /// One `(core, wait_reason)` pair per blocked core.
+        waiting: Vec<(usize, String)>,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::BadConfig(msg) => write!(f, "invalid machine configuration: {msg}"),
+            HwError::Deadlock { waiting } => {
+                writeln!(f, "simulated deadlock; all live cores are blocked:")?;
+                for (c, why) in waiting {
+                    writeln!(f, "  core {c}: waiting for {why}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwError {}

@@ -1,0 +1,420 @@
+//! The deterministic conservative executor.
+//!
+//! Each simulated core runs on its own OS thread, but only **one thread runs
+//! at a time**: a baton is passed by a scheduler that always resumes the core
+//! with the smallest virtual clock (ties broken by core id). This makes runs
+//! deterministic, keeps virtual clocks tightly coupled, and is also the
+//! fastest honest execution mode on a small host, because simulated cores
+//! never busy-spin against each other in wall-clock time.
+//!
+//! Cores interact with the scheduler at three points:
+//!
+//! * [`Scheduler::yield_now`] — voluntary preemption, called by the memory
+//!   engine once a core has run a full quantum;
+//! * [`Scheduler::wait_blocked`] — a simulated wait ("mail flag set",
+//!   "ownership granted", "barrier released"). The wait *condition* is a
+//!   side-effect-free closure over atomics.
+//! * [`Scheduler::finish`] — the core's program returned.
+//!
+//! ## Decision rounds
+//!
+//! Determinism requires that scheduling never races a blocked core's
+//! condition re-evaluation. Every scheduling event therefore opens a
+//! **decision round**: the baton is parked, every blocked core wakes once,
+//! re-evaluates its condition under the scheduler lock and records whether
+//! it is satisfiable; the last checker picks the minimum-clock core among
+//! the runnable and satisfiable ones. While a core runs, everyone else is
+//! asleep — conditions are only ever evaluated against quiescent state, so
+//! the outcome is a pure function of simulated state, never of host timing.
+//!
+//! **Deadlock detection** falls out naturally: a round in which no core is
+//! runnable and no condition is satisfiable is a proven deadlock of the
+//! simulated software; every thread then unwinds with a report naming each
+//! core's wait reason.
+
+use crate::error::HwError;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    Done,
+}
+
+struct SchedState {
+    clocks: Vec<u64>,
+    status: Vec<Status>,
+    reasons: Vec<String>,
+    /// Which slot currently holds the baton; `None` while a decision round
+    /// is collecting re-checks.
+    current: Option<usize>,
+    /// Decision-round counter; blocked cores re-check when it advances.
+    round: u64,
+    /// Last round in which each slot re-checked its condition.
+    checked: Vec<u64>,
+    /// Whether the slot's condition held when it last re-checked.
+    satisfiable: Vec<bool>,
+    deadlock: Option<Arc<HwError>>,
+}
+
+impl SchedState {
+    fn blocked_unchecked_remaining(&self) -> bool {
+        (0..self.clocks.len())
+            .any(|i| self.status[i] == Status::Blocked && self.checked[i] < self.round)
+    }
+
+    /// Pick the next baton holder among runnable cores and blocked cores
+    /// whose conditions held during this round.
+    fn finalize(&mut self) -> Option<usize> {
+        let winner = (0..self.clocks.len())
+            .filter(|&i| {
+                self.status[i] == Status::Runnable
+                    || (self.status[i] == Status::Blocked && self.satisfiable[i])
+            })
+            .min_by_key(|&i| (self.clocks[i], i));
+        self.current = winner;
+        winner
+    }
+}
+
+/// The scheduler shared by all core threads of one [`crate::Machine::run`].
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// Raised inside a core thread when the simulation deadlocks; carries the
+/// full report. `Machine::run` converts it into [`HwError::Deadlock`].
+pub struct DeadlockUnwind(pub Arc<HwError>);
+
+impl Scheduler {
+    pub fn new(nslots: usize) -> Arc<Self> {
+        Arc::new(Scheduler {
+            state: Mutex::new(SchedState {
+                clocks: vec![0; nslots],
+                status: vec![Status::Runnable; nslots],
+                reasons: vec![String::new(); nslots],
+                current: Some(0),
+                round: 0,
+                checked: vec![0; nslots],
+                satisfiable: vec![false; nslots],
+                deadlock: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Open a decision round. If no blocked cores need re-checking, the
+    /// decision is immediate.
+    fn open_round(&self, st: &mut SchedState) {
+        st.round += 1;
+        st.current = None;
+        if !st.blocked_unchecked_remaining() {
+            self.close_round(st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// All re-checks are in: pick the winner or declare deadlock.
+    fn close_round(&self, st: &mut SchedState) {
+        if st.finalize().is_none() && st.status.iter().any(|s| *s == Status::Blocked) {
+            let waiting = (0..st.clocks.len())
+                .map(|i| {
+                    let why = match st.status[i] {
+                        Status::Blocked => st.reasons[i].clone(),
+                        Status::Done => "<finished>".to_string(),
+                        Status::Runnable => "<runnable?!>".to_string(),
+                    };
+                    (i, why)
+                })
+                .collect();
+            st.deadlock = Some(Arc::new(HwError::Deadlock { waiting }));
+        }
+    }
+
+    fn unwind_deadlock(&self, st: &SchedState) -> ! {
+        let err = st.deadlock.clone().expect("deadlock error set");
+        std::panic::panic_any(DeadlockUnwind(err));
+    }
+
+    /// Wait until this slot holds the baton (used at thread start).
+    pub fn wait_for_turn(&self, slot: usize) {
+        let mut st = self.state.lock();
+        while st.current != Some(slot) {
+            if st.deadlock.is_some() {
+                self.unwind_deadlock(&st);
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Update this slot's clock and open a decision round.
+    pub fn yield_now(&self, slot: usize, clock: u64) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.current, Some(slot), "yield from a non-running core");
+        st.clocks[slot] = clock;
+        self.open_round(&mut st);
+        while st.current != Some(slot) {
+            if st.deadlock.is_some() {
+                self.unwind_deadlock(&st);
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Block until `cond` returns `Some`. The closure must be free of side
+    /// effects and must not charge simulated time (use raw `peek`
+    /// accessors); it runs with the scheduler lock held, against quiescent
+    /// simulated state.
+    ///
+    /// Returns the closure's value; the caller advances its clock past the
+    /// event stamp carried inside.
+    pub fn wait_blocked<T>(
+        &self,
+        slot: usize,
+        clock: u64,
+        reason: &str,
+        mut cond: impl FnMut() -> Option<T>,
+    ) -> T {
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.current, Some(slot), "block from a non-running core");
+        st.clocks[slot] = clock;
+        st.status[slot] = Status::Blocked;
+        st.reasons[slot] = reason.to_string();
+        // We held the baton: hand it over through a decision round.
+        self.open_round(&mut st);
+        // Participate in rounds until we win one with a satisfied condition.
+        loop {
+            if st.deadlock.is_some() {
+                st.status[slot] = Status::Runnable; // avoid poisoning later reports
+                self.unwind_deadlock(&st);
+            }
+            if st.current == Some(slot) {
+                // We won a round on a satisfiable condition: produce the
+                // value. State cannot have changed since the re-check (no
+                // other core ran), so this must succeed.
+                let v = cond().expect("condition regressed between re-check and wake");
+                st.status[slot] = Status::Runnable;
+                st.reasons[slot].clear();
+                return v;
+            }
+            if st.checked[slot] < st.round {
+                st.checked[slot] = st.round;
+                st.satisfiable[slot] = cond().is_some();
+                if !st.blocked_unchecked_remaining() && st.current.is_none() {
+                    self.close_round(&mut st);
+                    self.cv.notify_all();
+                    continue;
+                }
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Mark this slot finished and open a decision round for the rest.
+    pub fn finish(&self, slot: usize) {
+        let mut st = self.state.lock();
+        st.status[slot] = Status::Done;
+        if st.current == Some(slot) {
+            self.open_round(&mut st);
+        }
+    }
+
+    /// The deadlock report, if the run deadlocked.
+    pub fn deadlock_report(&self) -> Option<Arc<HwError>> {
+        self.state.lock().deadlock.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Run `n` slot bodies under the scheduler, catching deadlock unwinds.
+    fn run_slots<F>(n: usize, f: F) -> Result<(), Arc<HwError>>
+    where
+        F: Fn(usize, &Scheduler) + Send + Sync,
+    {
+        let sched = Scheduler::new(n);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for slot in 0..n {
+                let sched = Arc::clone(&sched);
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    sched.wait_for_turn(slot);
+                    f(slot, &sched);
+                    sched.finish(slot);
+                }));
+            }
+            let mut failed = false;
+            for h in handles {
+                failed |= h.join().is_err();
+            }
+            if failed {
+                Err(sched.deadlock_report().expect("non-deadlock panic in test"))
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    #[test]
+    fn single_core_runs_to_completion() {
+        run_slots(1, |_, sched| {
+            sched.yield_now(0, 100);
+            sched.yield_now(0, 200);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn min_clock_core_runs_first() {
+        let order = Mutex::new(Vec::new());
+        run_slots(2, |slot, sched| {
+            if slot == 0 {
+                order.lock().push((0, 0u64));
+                sched.yield_now(0, 1000);
+                order.lock().push((0, 1000));
+                sched.yield_now(0, 2000);
+            } else {
+                sched.yield_now(1, 10);
+                order.lock().push((1, 10));
+                sched.yield_now(1, 1500);
+                order.lock().push((1, 1500));
+            }
+        })
+        .unwrap();
+        let o = order.into_inner();
+        let pos = |e: (usize, u64)| o.iter().position(|&x| x == e).unwrap();
+        assert!(pos((1, 10)) < pos((0, 1000)));
+    }
+
+    #[test]
+    fn flag_wait_wakes_up() {
+        let flag = AtomicU64::new(0);
+        run_slots(2, |slot, sched| {
+            if slot == 0 {
+                sched.yield_now(0, 500);
+                flag.store(777, Ordering::Release);
+                sched.yield_now(0, 1000);
+            } else {
+                let v = sched.wait_blocked(1, 0, "flag", || {
+                    let v = flag.load(Ordering::Acquire);
+                    (v != 0).then_some(v)
+                });
+                assert_eq!(v, 777);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn min_clock_unblocked_core_wins_the_round() {
+        // Two cores block on the same already-true condition with different
+        // clocks; the round must deterministically wake the lower clock
+        // first.
+        let order = Mutex::new(Vec::new());
+        run_slots(3, |slot, sched| {
+            match slot {
+                0 => {
+                    // Let the two waiters block first.
+                    sched.yield_now(0, 10_000);
+                    order.lock().push(0);
+                }
+                s => {
+                    let clock = if s == 1 { 500 } else { 400 };
+                    sched.wait_blocked(s, clock, "always true", || Some(()));
+                    order.lock().push(s);
+                }
+            }
+        })
+        .unwrap();
+        let o = order.into_inner();
+        // Slot 2 (clock 400) must come before slot 1 (clock 500), and both
+        // before slot 0 (clock 10000).
+        assert_eq!(o, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn deadlock_detected_and_reported() {
+        let err = run_slots(2, |slot, sched| {
+            sched.wait_blocked(slot, 0, "a flag that never comes", || None::<()>);
+        })
+        .unwrap_err();
+        match &*err {
+            HwError::Deadlock { waiting } => {
+                assert_eq!(waiting.len(), 2);
+                assert!(waiting[0].1.contains("never comes"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn one_blocked_one_finishing_is_deadlock() {
+        let err = run_slots(2, |slot, sched| {
+            if slot == 1 {
+                sched.wait_blocked(1, 0, "ghost", || None::<()>);
+            }
+        })
+        .unwrap_err();
+        match &*err {
+            HwError::Deadlock { waiting } => assert_eq!(
+                waiting,
+                &[(0, "<finished>".to_string()), (1, "ghost".to_string())]
+            ),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn many_cores_interleave_deterministically() {
+        let trace = Mutex::new(Vec::new());
+        run_slots(8, |slot, sched| {
+            for step in 1..=5u64 {
+                let clk = step * 100 + slot as u64;
+                sched.yield_now(slot, clk);
+                trace.lock().push(clk);
+            }
+        })
+        .unwrap();
+        let t = trace.into_inner();
+        let mut sorted = t.clone();
+        sorted.sort_unstable();
+        assert_eq!(t, sorted, "trace must be globally clock-ordered");
+    }
+
+    #[test]
+    fn racing_unblocks_are_deterministic() {
+        // Stress the decision rounds: many cores block on a shared counter
+        // and are released in waves; the wake order must be identical
+        // across repetitions.
+        let run_once = || {
+            let counter = AtomicU64::new(0);
+            let order = Mutex::new(Vec::new());
+            run_slots(6, |slot, sched| {
+                if slot == 0 {
+                    for wave in 1..=5u64 {
+                        sched.yield_now(0, wave * 1000);
+                        counter.store(wave, Ordering::Release);
+                    }
+                    sched.yield_now(0, 100_000);
+                } else {
+                    for wave in 1..=5u64 {
+                        sched.wait_blocked(slot, wave * 100 + slot as u64, "wave", || {
+                            (counter.load(Ordering::Acquire) >= wave).then_some(())
+                        });
+                        order.lock().push((wave, slot));
+                    }
+                }
+            })
+            .unwrap();
+            order.into_inner()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

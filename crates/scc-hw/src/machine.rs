@@ -1,0 +1,244 @@
+//! The assembled machine: off-die RAM, MPBs, TAS registers, GIC, and the
+//! deterministic executor that runs per-core programs against them.
+
+use crate::config::SccConfig;
+use crate::core::CoreCtx;
+use crate::error::HwError;
+use crate::exec::{DeadlockUnwind, Scheduler};
+use crate::gic::Gic;
+use crate::mpb::MpbArray;
+use crate::perf::PerfCounters;
+use crate::ram::{AtomicWords, MemMap};
+use crate::tas::TasBank;
+use crate::timing::Cycles;
+use crate::topology::CoreId;
+use std::sync::Arc;
+
+/// Shared machine state reachable from every core context.
+///
+/// Raw accessors on `ram` and `mpb` are un-timed; they exist for
+/// wait-condition peeks, harness setup and test assertions. All timed access
+/// goes through [`CoreCtx`].
+pub struct MachineInner {
+    pub cfg: SccConfig,
+    pub map: MemMap,
+    /// Off-die DDR3 memory.
+    pub ram: AtomicWords,
+    /// The 48 on-die message-passing buffers.
+    pub mpb: MpbArray,
+    /// Test-and-set registers.
+    pub tas: TasBank,
+    /// Global interrupt controller.
+    pub gic: Gic,
+}
+
+/// Per-core outcome of a [`Machine::run_on`] call.
+#[derive(Debug)]
+pub struct CoreResult<R> {
+    pub core: CoreId,
+    pub result: R,
+    /// The core's virtual clock when its program returned.
+    pub clock: Cycles,
+    pub perf: PerfCounters,
+}
+
+/// The simulated SCC. One `Machine` owns all globally visible state; each
+/// call to [`Machine::run_on`] boots a set of cores, runs their programs to
+/// completion under the deterministic executor, and returns per-core
+/// results. Machine memory persists across invocations, mirroring hardware
+/// whose DRAM is not cleared between program runs.
+pub struct Machine {
+    inner: Arc<MachineInner>,
+}
+
+impl Machine {
+    /// Build a machine from a validated configuration.
+    pub fn new(cfg: SccConfig) -> Result<Machine, HwError> {
+        cfg.validate().map_err(HwError::BadConfig)?;
+        let map = MemMap::new(&cfg);
+        Ok(Machine {
+            inner: Arc::new(MachineInner {
+                ram: AtomicWords::new(map.ram_bytes()),
+                mpb: MpbArray::new(cfg.ncores),
+                tas: TasBank::new(),
+                gic: Gic::new(),
+                map,
+                cfg,
+            }),
+        })
+    }
+
+    /// Access to the shared state (for peeks in tests and harnesses).
+    pub fn inner(&self) -> &Arc<MachineInner> {
+        &self.inner
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &SccConfig {
+        &self.inner.cfg
+    }
+
+    /// Run `f` on the first `n` cores.
+    pub fn run<R, F>(&self, n: usize, f: F) -> Result<Vec<CoreResult<R>>, HwError>
+    where
+        R: Send,
+        F: Fn(&mut CoreCtx) -> R + Send + Sync,
+    {
+        let cores: Vec<CoreId> = (0..n).map(CoreId::new).collect();
+        self.run_on(&cores, f)
+    }
+
+    /// Run `f` on an explicit set of cores (e.g. cores 0 and 30 for the
+    /// paper's Figure 7). Results are returned in the order of `cores`.
+    pub fn run_on<R, F>(&self, cores: &[CoreId], f: F) -> Result<Vec<CoreResult<R>>, HwError>
+    where
+        R: Send,
+        F: Fn(&mut CoreCtx) -> R + Send + Sync,
+    {
+        assert!(!cores.is_empty(), "need at least one core");
+        let mut seen = [false; crate::topology::MAX_CORES];
+        for c in cores {
+            assert!(
+                c.idx() < self.inner.cfg.ncores,
+                "{c:?} does not exist on this {}-core machine",
+                self.inner.cfg.ncores
+            );
+            assert!(!seen[c.idx()], "{c:?} listed twice");
+            seen[c.idx()] = true;
+        }
+        let sched = Scheduler::new(cores.len());
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(cores.len());
+            for (slot, &core) in cores.iter().enumerate() {
+                let f = &f;
+                let inner = Arc::clone(&self.inner);
+                let sched = Arc::clone(&sched);
+                handles.push(s.spawn(move || {
+                    sched.wait_for_turn(slot);
+                    let mut ctx = CoreCtx::new(core, slot, inner, Arc::clone(&sched));
+                    let result = f(&mut ctx);
+                    sched.finish(slot);
+                    CoreResult {
+                        core,
+                        result,
+                        clock: Cycles(ctx.now()),
+                        perf: ctx.perf,
+                    }
+                }));
+            }
+            let mut out = Vec::with_capacity(handles.len());
+            let mut panic_payload = None;
+            for h in handles {
+                match h.join() {
+                    Ok(r) => out.push(r),
+                    Err(p) => {
+                        if p.downcast_ref::<DeadlockUnwind>().is_none() {
+                            panic_payload.get_or_insert(p);
+                        }
+                    }
+                }
+            }
+            // A non-deadlock panic (assertion failure in a core program)
+            // takes priority: propagate it so tests fail loudly.
+            if let Some(p) = panic_payload {
+                std::panic::resume_unwind(p);
+            }
+            if let Some(err) = sched.deadlock_report() {
+                return Err((*err).clone());
+            }
+            Ok(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::MemAttr;
+
+    #[test]
+    fn two_cores_share_ram() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let shared = m.inner().map.shared_base();
+        let res = m
+            .run(2, |c| {
+                if c.id().idx() == 0 {
+                    c.write(shared, 4, 42, MemAttr::UNCACHED);
+                    0
+                } else {
+                    // Wait until core 0's write lands (uncached: immediate).
+                    let mach = Arc::clone(c.machine());
+                    c.wait_until("the flag word", move || {
+                        let v = mach.ram.read(shared, 4);
+                        (v != 0).then_some((v, 0))
+                    })
+                }
+            })
+            .unwrap();
+        assert_eq!(res[1].result, 42);
+    }
+
+    #[test]
+    fn results_in_core_order() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let cores = [CoreId::new(30), CoreId::new(0), CoreId::new(7)];
+        let res = m.run_on(&cores, |c| c.id().idx()).unwrap();
+        let got: Vec<usize> = res.iter().map(|r| r.result).collect();
+        assert_eq!(got, vec![30, 0, 7]);
+    }
+
+    #[test]
+    fn deadlock_surfaces_as_error() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let err = m
+            .run(2, |c| {
+                c.wait_until::<()>("a mail that never arrives", || None);
+            })
+            .unwrap_err();
+        assert!(matches!(err, HwError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn memory_persists_across_runs() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let shared = m.inner().map.shared_base();
+        m.run(1, |c| c.write(shared, 4, 0xCAFE, MemAttr::UNCACHED))
+            .unwrap();
+        let v = m
+            .run(1, |c| c.read(shared, 4, MemAttr::UNCACHED))
+            .unwrap()
+            .pop()
+            .unwrap()
+            .result;
+        assert_eq!(v, 0xCAFE);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_cores_rejected() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let _ = m.run_on(&[CoreId::new(1), CoreId::new(1)], |_| ());
+    }
+
+    #[test]
+    fn clocks_are_deterministic() {
+        let run = || {
+            let m = Machine::new(SccConfig::small()).unwrap();
+            let shared = m.inner().map.shared_base();
+            let res = m
+                .run(4, |c| {
+                    let me = c.id().idx() as u32;
+                    for i in 0..64u32 {
+                        c.write(shared + 4096 * me + 4 * i, 4, i as u64, MemAttr::SHARED_MPBT_WT);
+                        let _ = c.read(shared + 4096 * me + 4 * i, 4, MemAttr::SHARED_MPBT_WT);
+                    }
+                    c.flush_wcb();
+                    c.now()
+                })
+                .unwrap();
+            res.into_iter().map(|r| r.result).collect::<Vec<u64>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

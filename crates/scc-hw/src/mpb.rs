@@ -1,0 +1,91 @@
+//! The on-die Message-Passing Buffers: 8 KiB of fast SRAM per core, readable
+//! and writable by *every* core. Physically the MPB of core `c` lives on
+//! `c`'s tile, so access latency grows with mesh distance to that tile.
+//!
+//! MPB pages are tagged `MPBT` in the page tables; accesses bypass the L2
+//! cache and are the target of the `CL1INVMB` instruction (see `cache.rs`).
+
+use crate::config::MPB_BYTES;
+use crate::ram::{AtomicWords, MPB_PA_BASE};
+use crate::topology::CoreId;
+
+/// All 48 message-passing buffers.
+pub struct MpbArray {
+    ncores: usize,
+    words: AtomicWords,
+}
+
+impl MpbArray {
+    pub fn new(ncores: usize) -> Self {
+        MpbArray {
+            ncores,
+            words: AtomicWords::new(ncores * MPB_BYTES),
+        }
+    }
+
+    /// Physical address of byte `off` inside core `c`'s MPB.
+    #[inline]
+    pub fn pa(core: CoreId, off: usize) -> u32 {
+        assert!(off < MPB_BYTES, "MPB offset {off:#x} out of range");
+        MPB_PA_BASE + (core.idx() * MPB_BYTES) as u32 + off as u32
+    }
+
+    /// Inverse of [`MpbArray::pa`].
+    #[inline]
+    pub fn owner_and_offset(pa: u32) -> (CoreId, usize) {
+        let off = (pa - MPB_PA_BASE) as usize;
+        (CoreId::new(off / MPB_BYTES), off % MPB_BYTES)
+    }
+
+    #[inline]
+    fn flat(&self, pa: u32) -> u32 {
+        let off = pa - MPB_PA_BASE;
+        assert!(
+            (off as usize) < self.ncores * MPB_BYTES,
+            "MPB PA {pa:#x} out of range"
+        );
+        off
+    }
+
+    /// Raw (un-timed, uncached) read — used by the memory engine and by
+    /// wait-condition peeks.
+    #[inline]
+    pub fn read(&self, pa: u32, len: usize) -> u64 {
+        self.words.read(self.flat(pa), len)
+    }
+
+    /// Raw (un-timed, uncached) write.
+    #[inline]
+    pub fn write(&self, pa: u32, len: usize, val: u64) {
+        self.words.write(self.flat(pa), len, val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_roundtrip() {
+        let pa = MpbArray::pa(CoreId::new(7), 0x123);
+        assert_eq!(
+            MpbArray::owner_and_offset(pa),
+            (CoreId::new(7), 0x123usize)
+        );
+    }
+
+    #[test]
+    fn independent_buffers() {
+        let m = MpbArray::new(48);
+        m.write(MpbArray::pa(CoreId::new(0), 0), 4, 0x11111111);
+        m.write(MpbArray::pa(CoreId::new(1), 0), 4, 0x22222222);
+        assert_eq!(m.read(MpbArray::pa(CoreId::new(0), 0), 4), 0x11111111);
+        assert_eq!(m.read(MpbArray::pa(CoreId::new(1), 0), 4), 0x22222222);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_out_of_range_panics() {
+        MpbArray::pa(CoreId::new(0), MPB_BYTES);
+    }
+}

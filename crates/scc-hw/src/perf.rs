@@ -1,0 +1,87 @@
+//! Per-core performance counters. Upper layers (kernel, mailbox, SVM) keep
+//! their own statistics; these counters cover the hardware model itself.
+
+use serde::{Deserialize, Serialize};
+
+/// Event counters for one simulated core.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PerfCounters {
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    pub ram_reads: u64,
+    pub ram_writes: u64,
+    pub mpb_reads: u64,
+    pub mpb_writes: u64,
+    pub wcb_merges: u64,
+    pub wcb_flushes: u64,
+    pub cl1invmb_count: u64,
+    pub ipis_sent: u64,
+    pub ipis_received: u64,
+    pub tas_acquires: u64,
+    pub tas_spins: u64,
+    pub yields: u64,
+    pub blocks: u64,
+}
+
+impl PerfCounters {
+    /// Merge another counter set into this one (used when aggregating runs).
+    pub fn merge(&mut self, o: &PerfCounters) {
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.ram_reads += o.ram_reads;
+        self.ram_writes += o.ram_writes;
+        self.mpb_reads += o.mpb_reads;
+        self.mpb_writes += o.mpb_writes;
+        self.wcb_merges += o.wcb_merges;
+        self.wcb_flushes += o.wcb_flushes;
+        self.cl1invmb_count += o.cl1invmb_count;
+        self.ipis_sent += o.ipis_sent;
+        self.ipis_received += o.ipis_received;
+        self.tas_acquires += o.tas_acquires;
+        self.tas_spins += o.tas_spins;
+        self.yields += o.yields;
+        self.blocks += o.blocks;
+    }
+
+    /// L1 hit rate in [0, 1]; `None` when no accesses were recorded.
+    pub fn l1_hit_rate(&self) -> Option<f64> {
+        let total = self.l1_hits + self.l1_misses;
+        (total > 0).then(|| self.l1_hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds() {
+        let mut a = PerfCounters {
+            l1_hits: 1,
+            ram_reads: 2,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            l1_hits: 10,
+            wcb_flushes: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.l1_hits, 11);
+        assert_eq!(a.ram_reads, 2);
+        assert_eq!(a.wcb_flushes, 3);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = PerfCounters::default();
+        assert_eq!(c.l1_hit_rate(), None);
+        c.l1_hits = 3;
+        c.l1_misses = 1;
+        assert_eq!(c.l1_hit_rate(), Some(0.75));
+    }
+}

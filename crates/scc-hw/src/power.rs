@@ -1,0 +1,137 @@
+//! A simple energy model for the simulated SCC.
+//!
+//! §3 of the paper: "The power consumption of the full chip depends on the
+//! configuration (frequency and voltage of the mesh and cores) and is
+//! between 25 and 125 W." This module turns a run's event counters and
+//! duration into an energy estimate, so design points (e.g. polling vs
+//! IPI-driven mailboxes, which trade idle scan work against interrupt
+//! overhead) can also be compared in joules.
+//!
+//! The model is deliberately simple — static power plus per-event energies
+//! — and calibrated only to the envelope the paper quotes: a 48-core chip
+//! at 533/800 MHz idles near the lower bound and saturates towards the
+//! upper bound under full memory load.
+
+use crate::perf::PerfCounters;
+use crate::timing::TimingParams;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energies in nanojoules, plus static power.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Chip-level static power (W), spread over 48 cores.
+    pub static_chip_w: f64,
+    /// Active energy per core cycle (nJ) — pipeline + L1.
+    pub core_cycle_nj: f64,
+    /// Energy per L2 access (nJ).
+    pub l2_access_nj: f64,
+    /// Energy per off-die DRAM access (nJ, word or line).
+    pub dram_access_nj: f64,
+    /// Energy per MPB access (nJ).
+    pub mpb_access_nj: f64,
+    /// Energy per interrupt delivery (nJ).
+    pub ipi_nj: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            static_chip_w: 25.0,
+            core_cycle_nj: 0.35,
+            l2_access_nj: 0.6,
+            dram_access_nj: 18.0,
+            mpb_access_nj: 1.2,
+            ipi_nj: 8.0,
+        }
+    }
+}
+
+/// Energy estimate for one core's run.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Energy {
+    /// Static share (this core's 1/48 of chip static power over the run).
+    pub static_j: f64,
+    /// Dynamic energy from the event counters.
+    pub dynamic_j: f64,
+}
+
+impl Energy {
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j
+    }
+
+    /// Average power over the run in watts.
+    pub fn avg_power_w(&self, cycles: u64, timing: &TimingParams) -> f64 {
+        let seconds = cycles as f64 / (timing.core_mhz as f64 * 1e6);
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.total_j() / seconds
+        }
+    }
+}
+
+/// Estimate one core's energy for a run of `cycles` with the given
+/// counters.
+pub fn estimate(perf: &PerfCounters, cycles: u64, t: &TimingParams, p: &PowerParams) -> Energy {
+    let seconds = cycles as f64 / (t.core_mhz as f64 * 1e6);
+    let static_j = p.static_chip_w / crate::topology::MAX_CORES as f64 * seconds;
+    let nj = p.core_cycle_nj * cycles as f64
+        + p.l2_access_nj * (perf.l2_hits + perf.l2_misses) as f64
+        + p.dram_access_nj * (perf.ram_reads + perf.ram_writes) as f64
+        + p.mpb_access_nj * (perf.mpb_reads + perf.mpb_writes) as f64
+        + p.ipi_nj * (perf.ipis_sent + perf.ipis_received) as f64;
+    Energy {
+        static_j,
+        dynamic_j: nj * 1e-9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> TimingParams {
+        TimingParams::default()
+    }
+
+    #[test]
+    fn idle_core_sits_near_static_floor() {
+        let perf = PerfCounters::default();
+        let cycles = 533_000_000; // one second
+        let e = estimate(&perf, cycles, &timing(), &PowerParams::default());
+        let chip_w = e.avg_power_w(cycles, &timing()) * 48.0;
+        // An idle (but clocked) chip must land near the paper's 25 W floor
+        // plus the clock tree: comfortably inside [25, 125].
+        assert!(
+            (25.0..60.0).contains(&chip_w),
+            "idle chip power {chip_w:.1} W out of range"
+        );
+    }
+
+    #[test]
+    fn memory_bound_core_costs_more() {
+        let mut perf = PerfCounters::default();
+        let cycles = 533_000_000u64;
+        perf.ram_reads = 10_000_000; // heavy DRAM traffic
+        perf.ram_writes = 6_000_000;
+        let base = estimate(&PerfCounters::default(), cycles, &timing(), &PowerParams::default());
+        let hot = estimate(&perf, cycles, &timing(), &PowerParams::default());
+        assert!(hot.total_j() > base.total_j() * 1.3);
+        // And the full chip under this load stays under the 125 W ceiling.
+        let chip_w = hot.avg_power_w(cycles, &timing()) * 48.0;
+        assert!(chip_w < 125.0, "chip power {chip_w:.1} W exceeds the envelope");
+    }
+
+    #[test]
+    fn zero_cycles_zero_power() {
+        let e = estimate(
+            &PerfCounters::default(),
+            0,
+            &timing(),
+            &PowerParams::default(),
+        );
+        assert_eq!(e.avg_power_w(0, &timing()), 0.0);
+        assert_eq!(e.total_j(), 0.0);
+    }
+}

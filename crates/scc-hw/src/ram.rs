@@ -1,0 +1,310 @@
+//! Off-die DDR3 memory and the physical address map.
+//!
+//! The SCC splits its off-die memory into one **private** region per core
+//! (exclusively owned, safe to cache write-back) and one **shared** region
+//! reachable by everyone (cache coherence, if desired, is software's
+//! problem — that is the whole point of the paper). Each region physically
+//! lives behind one of the four memory controllers; a core's private region
+//! sits behind the controller of its quadrant, and the shared region is
+//! striped across all four controllers in four contiguous slices.
+//!
+//! The backing store is a flat array of `AtomicU32` words. `Relaxed`
+//! ordering is sufficient: under the deterministic executor, cross-thread
+//! happens-before is established by the scheduler's mutex, and in a
+//! free-running configuration every protocol in the upper layers publishes
+//! data via flag words before signalling, mirroring what real non-coherent
+//! hardware requires anyway.
+
+use crate::config::{SccConfig, PAGE_BYTES};
+use crate::topology::{CoreId, NUM_MCS};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Physical base address of the MPB window (on-die memory, see `mpb.rs`).
+pub const MPB_PA_BASE: u32 = 0xC000_0000;
+
+/// A flat array of atomic 32-bit words with byte-granular accessors.
+pub struct AtomicWords {
+    words: Box<[AtomicU32]>,
+}
+
+impl AtomicWords {
+    /// Allocate `bytes` of zeroed storage (`bytes` must be word-aligned).
+    pub fn new(bytes: usize) -> Self {
+        assert_eq!(bytes % 4, 0, "size must be word aligned");
+        let mut v = Vec::with_capacity(bytes / 4);
+        v.resize_with(bytes / 4, || AtomicU32::new(0));
+        AtomicWords {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Read `len` bytes (1..=8) starting at byte offset `off`, little-endian.
+    #[inline]
+    pub fn read(&self, off: u32, len: usize) -> u64 {
+        debug_assert!(len >= 1 && len <= 8);
+        let off = off as usize;
+        assert!(
+            off + len <= self.len_bytes(),
+            "read of {len}B at {off:#x} out of bounds ({:#x})",
+            self.len_bytes()
+        );
+        if off % 4 == 0 && len == 4 {
+            return self.words[off / 4].load(Ordering::Relaxed) as u64;
+        }
+        if off % 4 == 0 && len == 8 {
+            let lo = self.words[off / 4].load(Ordering::Relaxed) as u64;
+            let hi = self.words[off / 4 + 1].load(Ordering::Relaxed) as u64;
+            return lo | (hi << 32);
+        }
+        let mut out = 0u64;
+        for i in 0..len {
+            let b = off + i;
+            let w = self.words[b / 4].load(Ordering::Relaxed);
+            let byte = (w >> ((b % 4) * 8)) & 0xff;
+            out |= (byte as u64) << (i * 8);
+        }
+        out
+    }
+
+    /// Write the low `len` bytes (1..=8) of `val` at byte offset `off`.
+    #[inline]
+    pub fn write(&self, off: u32, len: usize, val: u64) {
+        debug_assert!(len >= 1 && len <= 8);
+        let off = off as usize;
+        assert!(
+            off + len <= self.len_bytes(),
+            "write of {len}B at {off:#x} out of bounds ({:#x})",
+            self.len_bytes()
+        );
+        if off % 4 == 0 && len == 4 {
+            self.words[off / 4].store(val as u32, Ordering::Relaxed);
+            return;
+        }
+        if off % 4 == 0 && len == 8 {
+            self.words[off / 4].store(val as u32, Ordering::Relaxed);
+            self.words[off / 4 + 1].store((val >> 32) as u32, Ordering::Relaxed);
+            return;
+        }
+        for i in 0..len {
+            let b = off + i;
+            let byte = ((val >> (i * 8)) & 0xff) as u32;
+            let w = &self.words[b / 4];
+            let shift = (b % 4) * 8;
+            let mut cur = w.load(Ordering::Relaxed);
+            loop {
+                let new = (cur & !(0xff << shift)) | (byte << shift);
+                match w.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+    }
+}
+
+/// What kind of device a physical address resolves to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backing {
+    /// Off-die DDR3, served by the given memory controller.
+    Ram { mc: usize },
+    /// On-die message-passing buffer of the given core's tile.
+    Mpb { owner: CoreId },
+}
+
+/// The physical address map of the simulated machine.
+#[derive(Clone, Debug)]
+pub struct MemMap {
+    ncores: usize,
+    private_per_core: u32,
+    shared_base: u32,
+    shared_bytes: u32,
+}
+
+impl MemMap {
+    pub fn new(cfg: &SccConfig) -> Self {
+        MemMap {
+            ncores: cfg.ncores,
+            private_per_core: cfg.private_bytes_per_core as u32,
+            shared_base: (cfg.ncores * cfg.private_bytes_per_core) as u32,
+            shared_bytes: cfg.shared_bytes as u32,
+        }
+    }
+
+    /// Total bytes of off-die RAM.
+    #[inline]
+    pub fn ram_bytes(&self) -> usize {
+        (self.shared_base + self.shared_bytes) as usize
+    }
+
+    /// Base physical address of a core's private region.
+    #[inline]
+    pub fn private_base(&self, core: CoreId) -> u32 {
+        assert!(core.idx() < self.ncores);
+        core.idx() as u32 * self.private_per_core
+    }
+
+    /// Size in bytes of each private region.
+    #[inline]
+    pub fn private_bytes(&self) -> u32 {
+        self.private_per_core
+    }
+
+    /// Base physical address of the shared region.
+    #[inline]
+    pub fn shared_base(&self) -> u32 {
+        self.shared_base
+    }
+
+    /// Size in bytes of the shared region.
+    #[inline]
+    pub fn shared_bytes(&self) -> u32 {
+        self.shared_bytes
+    }
+
+    /// Base of the slice of the shared region behind memory controller `mc`.
+    #[inline]
+    pub fn shared_slice_base(&self, mc: usize) -> u32 {
+        assert!(mc < NUM_MCS);
+        self.shared_base + (self.shared_bytes / NUM_MCS as u32) * mc as u32
+    }
+
+    /// Bytes per shared slice.
+    #[inline]
+    pub fn shared_slice_bytes(&self) -> u32 {
+        self.shared_bytes / NUM_MCS as u32
+    }
+
+    /// Number of 4 KiB pages in the shared region.
+    #[inline]
+    pub fn shared_pages(&self) -> usize {
+        self.shared_bytes as usize / PAGE_BYTES
+    }
+
+    /// Resolve a physical address to its backing device.
+    #[inline]
+    pub fn resolve(&self, pa: u32) -> Backing {
+        if pa >= MPB_PA_BASE {
+            let off = pa - MPB_PA_BASE;
+            let owner = (off as usize) / crate::config::MPB_BYTES;
+            assert!(
+                owner < self.ncores,
+                "PA {pa:#x} beyond the last MPB"
+            );
+            return Backing::Mpb {
+                owner: CoreId::new(owner),
+            };
+        }
+        assert!(
+            (pa as usize) < self.ram_bytes(),
+            "PA {pa:#x} outside RAM ({:#x} bytes)",
+            self.ram_bytes()
+        );
+        let mc = if pa < self.shared_base {
+            // Private region: lives behind the owner's quadrant controller.
+            let core = CoreId::new((pa / self.private_per_core) as usize);
+            core.nearest_mc()
+        } else {
+            ((pa - self.shared_base) / self.shared_slice_bytes().max(1)) as usize
+        };
+        Backing::Ram { mc: mc.min(3) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> MemMap {
+        MemMap::new(&SccConfig::small())
+    }
+
+    #[test]
+    fn words_roundtrip_aligned() {
+        let w = AtomicWords::new(64);
+        w.write(0, 4, 0xdead_beef);
+        assert_eq!(w.read(0, 4), 0xdead_beef);
+        w.write(8, 8, 0x0123_4567_89ab_cdef);
+        assert_eq!(w.read(8, 8), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn words_roundtrip_unaligned() {
+        let w = AtomicWords::new(64);
+        w.write(3, 2, 0xabcd);
+        assert_eq!(w.read(3, 2), 0xabcd);
+        w.write(5, 8, 0x1122_3344_5566_7788);
+        assert_eq!(w.read(5, 8), 0x1122_3344_5566_7788);
+        // Neighbours untouched.
+        assert_eq!(w.read(13, 1), 0);
+    }
+
+    #[test]
+    fn words_byte_writes_do_not_clobber() {
+        let w = AtomicWords::new(8);
+        w.write(0, 4, 0xffff_ffff);
+        w.write(1, 1, 0x00);
+        assert_eq!(w.read(0, 4), 0xffff_00ff);
+    }
+
+    #[test]
+    #[should_panic]
+    fn words_oob_read_panics() {
+        AtomicWords::new(8).read(6, 4);
+    }
+
+    #[test]
+    fn map_private_then_shared() {
+        let m = map();
+        assert_eq!(m.private_base(CoreId::new(0)), 0);
+        assert_eq!(
+            m.private_base(CoreId::new(1)),
+            SccConfig::small().private_bytes_per_core as u32
+        );
+        assert_eq!(
+            m.shared_base(),
+            (48 * SccConfig::small().private_bytes_per_core) as u32
+        );
+    }
+
+    #[test]
+    fn map_resolve_private_uses_quadrant_mc() {
+        let m = map();
+        let pa = m.private_base(CoreId::new(47)) + 16;
+        assert_eq!(m.resolve(pa), Backing::Ram { mc: 3 });
+    }
+
+    #[test]
+    fn map_resolve_shared_slices() {
+        let m = map();
+        for mc in 0..4 {
+            let pa = m.shared_slice_base(mc);
+            assert_eq!(m.resolve(pa), Backing::Ram { mc });
+        }
+        // Last byte of shared belongs to mc 3.
+        let last = m.shared_base() + m.shared_bytes() - 1;
+        assert_eq!(m.resolve(last), Backing::Ram { mc: 3 });
+    }
+
+    #[test]
+    fn map_resolve_mpb() {
+        let m = map();
+        assert_eq!(
+            m.resolve(MPB_PA_BASE),
+            Backing::Mpb {
+                owner: CoreId::new(0)
+            }
+        );
+        assert_eq!(
+            m.resolve(MPB_PA_BASE + 8192 * 30 + 100),
+            Backing::Mpb {
+                owner: CoreId::new(30)
+            }
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Mesh topology of the SCC: 24 tiles in a 6×4 grid, two cores per tile,
+//! four memory controllers attached at the mesh edges.
+//!
+//! Core numbering follows the SCC convention used by RCCE: tile `t` hosts
+//! cores `2t` and `2t + 1`, tiles are numbered row-major with tile 0 at
+//! coordinate (0, 0). Under this numbering core 0 sits at (0, 0) and core 30
+//! at (3, 2) — five hops apart, matching the paper's Figure 7 setup.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of physical cores on the SCC die.
+pub const MAX_CORES: usize = 48;
+/// Mesh width in tiles.
+pub const MESH_X: u32 = 6;
+/// Mesh height in tiles.
+pub const MESH_Y: u32 = 4;
+/// Number of on-die memory controllers.
+pub const NUM_MCS: usize = 4;
+
+/// Identifier of one P54C core (0..48).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// Construct a core id, panicking on out-of-range values.
+    #[inline]
+    pub fn new(id: usize) -> Self {
+        assert!(id < MAX_CORES, "core id {id} out of range");
+        CoreId(id as u8)
+    }
+
+    /// The raw index as `usize`, for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The tile this core sits on.
+    #[inline]
+    pub fn tile(self) -> TileCoord {
+        let t = self.0 as u32 / 2;
+        TileCoord {
+            x: t % MESH_X,
+            y: t / MESH_X,
+        }
+    }
+
+    /// Iterator over all 48 cores.
+    pub fn all() -> impl Iterator<Item = CoreId> {
+        (0..MAX_CORES).map(|i| CoreId(i as u8))
+    }
+
+    /// Manhattan hop distance to another core's tile (XY routing).
+    #[inline]
+    pub fn hops_to(self, other: CoreId) -> u32 {
+        self.tile().hops_to(other.tile())
+    }
+
+    /// Hop distance from this core's tile to a memory controller.
+    #[inline]
+    pub fn hops_to_mc(self, mc: usize) -> u32 {
+        self.tile().hops_to(mc_coord(mc))
+    }
+
+    /// The memory controller "nearest" to this core under the default SCC
+    /// lookup-table configuration: the die is split into four quadrants of
+    /// twelve cores and each quadrant is served by the controller at its
+    /// corner.
+    #[inline]
+    pub fn nearest_mc(self) -> usize {
+        let TileCoord { x, y } = self.tile();
+        let west = x < MESH_X / 2;
+        let south = y < MESH_Y / 2;
+        match (west, south) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (false, false) => 3,
+        }
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Coordinate of a tile (or controller attach point) in the mesh.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileCoord {
+    pub x: u32,
+    pub y: u32,
+}
+
+impl TileCoord {
+    /// Manhattan distance — the SCC routes packets dimension-ordered (XY),
+    /// so hop count equals the Manhattan distance.
+    #[inline]
+    pub fn hops_to(self, other: TileCoord) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// Mesh attach coordinate of memory controller `mc`.
+///
+/// The SCC attaches its four DDR3 controllers at the left and right edges of
+/// mesh rows 0 and 2.
+#[inline]
+pub fn mc_coord(mc: usize) -> TileCoord {
+    match mc {
+        0 => TileCoord { x: 0, y: 0 },
+        1 => TileCoord { x: MESH_X - 1, y: 0 },
+        2 => TileCoord { x: 0, y: MESH_Y - 1 },
+        3 => TileCoord {
+            x: MESH_X - 1,
+            y: MESH_Y - 1,
+        },
+        _ => panic!("memory controller {mc} out of range"),
+    }
+}
+
+/// Find a core whose tile is exactly `hops` away from `from`, if any.
+/// Used by the Figure 6 harness to place ping-pong partners.
+pub fn core_at_distance(from: CoreId, hops: u32) -> Option<CoreId> {
+    CoreId::all().find(|c| *c != from && from.hops_to(*c) == hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core0_is_origin() {
+        assert_eq!(CoreId::new(0).tile(), TileCoord { x: 0, y: 0 });
+        assert_eq!(CoreId::new(1).tile(), TileCoord { x: 0, y: 0 });
+    }
+
+    #[test]
+    fn paper_distance_core0_core30_is_5_hops() {
+        // The paper's Figure 7 states cores 0 and 30 are 5 hops apart.
+        assert_eq!(CoreId::new(0).hops_to(CoreId::new(30)), 5);
+    }
+
+    #[test]
+    fn tile_numbering_row_major() {
+        assert_eq!(CoreId::new(12).tile(), TileCoord { x: 0, y: 1 });
+        assert_eq!(CoreId::new(47).tile(), TileCoord { x: 5, y: 3 });
+    }
+
+    #[test]
+    fn same_tile_zero_hops() {
+        assert_eq!(CoreId::new(4).hops_to(CoreId::new(5)), 0);
+    }
+
+    #[test]
+    fn max_distance_is_8() {
+        // Opposite corners of a 6x4 mesh: 5 + 3 = 8 hops.
+        let max = CoreId::all()
+            .flat_map(|a| CoreId::all().map(move |b| a.hops_to(b)))
+            .max()
+            .unwrap();
+        assert_eq!(max, 8);
+    }
+
+    #[test]
+    fn every_distance_up_to_8_reachable_from_core0() {
+        for d in 0..=8 {
+            assert!(
+                core_at_distance(CoreId::new(0), d).is_some(),
+                "no core at distance {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_mc_quadrants() {
+        assert_eq!(CoreId::new(0).nearest_mc(), 0);
+        assert_eq!(CoreId::new(10).nearest_mc(), 1); // tile 5 = (5,0)
+        assert_eq!(CoreId::new(24).nearest_mc(), 2); // tile 12 = (0,2)
+        assert_eq!(CoreId::new(47).nearest_mc(), 3); // tile 23 = (5,3)
+    }
+
+    #[test]
+    fn nearest_mc_is_actually_nearest() {
+        for c in CoreId::all() {
+            let near = c.hops_to_mc(c.nearest_mc());
+            for mc in 0..NUM_MCS {
+                assert!(
+                    near <= c.hops_to_mc(mc),
+                    "{c:?}: mc{} ({} hops) beats nearest {} ({} hops)",
+                    mc,
+                    c.hops_to_mc(mc),
+                    c.nearest_mc(),
+                    near
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn core_id_out_of_range_panics() {
+        CoreId::new(48);
+    }
+}

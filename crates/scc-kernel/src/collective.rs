@@ -1,0 +1,124 @@
+//! Kernel-level collective primitives over uncached shared memory.
+//!
+//! The RCCE library and the SVM system both need a bootstrap barrier that
+//! works before their own (MPB-based) machinery is initialised. This one
+//! uses a sense-reversing counter in the shared header, serialised by an
+//! SCC test-and-set register, and stays responsive to kernel work (a core
+//! waiting here still answers ownership requests).
+
+use crate::kernel::Kernel;
+use scc_hw::MemAttr;
+
+/// Barrier word layout: `count: u32, sense: u32, stamp: u64` (16 bytes).
+const BARRIER_BYTES: u32 = 16;
+
+/// A sense-reversing barrier over all participants of the cluster run.
+///
+/// `name` selects the barrier instance; every participant must call with
+/// the same name. The test-and-set register of participant 0's core
+/// serialises the counter update.
+pub fn ram_barrier(k: &mut Kernel<'_>, name: &str) {
+    let n = k.nranks() as u64;
+    if n == 1 {
+        return;
+    }
+    let pa = k
+        .shared
+        .named_header(&format!("kbarrier.{name}"), BARRIER_BYTES, 32);
+    let reg = k.participants()[0];
+
+    k.hw.tas_lock(reg);
+    let count = k.hw.read(pa, 4, MemAttr::UNCACHED) + 1;
+    let sense = k.hw.read(pa + 4, 4, MemAttr::UNCACHED);
+    if count == n {
+        // Last arriver: reset the counter and flip the sense. Its clock is
+        // already past every earlier arrival (the TAS release stamps carry
+        // the ordering), so the release stamp is the barrier's exit time.
+        k.hw.write(pa, 4, 0, MemAttr::UNCACHED);
+        let now = k.hw.now();
+        k.hw.write(pa + 8, 8, now, MemAttr::UNCACHED);
+        k.hw.write(pa + 4, 4, sense ^ 1, MemAttr::UNCACHED);
+        k.hw.tas_unlock(reg);
+    } else {
+        k.hw.write(pa, 4, count, MemAttr::UNCACHED);
+        k.hw.tas_unlock(reg);
+        let mach = std::sync::Arc::clone(k.hw.machine());
+        k.wait_event("barrier release", move || {
+            if mach.ram.read(pa + 4, 4) != sense {
+                Some(((), mach.ram.read(pa + 8, 8)))
+            } else {
+                None
+            }
+        });
+        // Observing the flipped sense costs one uncached read.
+        let c = k.hw.machine().cfg.timing.ddr_word_cost(2);
+        k.hw.advance(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use scc_hw::SccConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn barrier_orders_phases() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let phase1 = AtomicU64::new(0);
+        cl.run(4, |k| {
+            phase1.fetch_add(1, Ordering::Relaxed);
+            ram_barrier(k, "t1");
+            assert_eq!(
+                phase1.load(Ordering::Relaxed),
+                4,
+                "no core may pass before all arrived"
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn barrier_reusable() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(3, |k| {
+            for _ in 0..10 {
+                ram_barrier(k, "reuse");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn barrier_single_core_noop() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            let t0 = k.hw.now();
+            ram_barrier(k, "solo");
+            assert_eq!(k.hw.now(), t0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn barrier_exit_clocks_aligned() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(4, |k| {
+                // Skew arrival times heavily.
+                k.hw.advance(k.rank() as u64 * 100_000);
+                ram_barrier(k, "skew");
+                k.hw.now()
+            })
+            .unwrap();
+        let clocks: Vec<u64> = res.iter().map(|r| r.result).collect();
+        let max = *clocks.iter().max().unwrap();
+        let min = *clocks.iter().min().unwrap();
+        assert!(
+            max - min < 10_000,
+            "exit clocks must be close together: {clocks:?}"
+        );
+        assert!(min >= 300_000, "nobody may leave before the last arrival");
+    }
+}

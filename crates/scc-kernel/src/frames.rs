@@ -1,0 +1,184 @@
+//! Physical frame allocators.
+//!
+//! * [`SharedFrames`] manages the shared off-die region with one free list
+//!   per memory controller, so a page can be allocated "near" a core —
+//!   the substrate of the paper's affinity-on-first-touch policy (§6.3).
+//! * [`PrivateBump`] is the trivial per-core allocator for kernel-private
+//!   pages (page tables, buffers).
+
+use parking_lot::Mutex;
+use scc_hw::machine::MachineInner;
+use scc_hw::ram::Backing;
+use scc_hw::topology::{CoreId, NUM_MCS};
+
+/// Page-frame number (physical address >> 12).
+pub type Pfn = u32;
+
+/// Allocator for the shared off-die region, with per-controller free lists.
+pub struct SharedFrames {
+    lists: [Mutex<Vec<Pfn>>; NUM_MCS],
+}
+
+impl SharedFrames {
+    /// Build from the machine's memory map: every page of the shared region
+    /// goes onto the free list of the controller it physically lives behind.
+    /// The first `reserve_prefix_bytes` of the region (system header) are
+    /// excluded.
+    pub fn new(mach: &MachineInner, reserve_prefix_bytes: u32) -> Self {
+        assert_eq!(reserve_prefix_bytes % 4096, 0);
+        let lists: [Mutex<Vec<Pfn>>; NUM_MCS] = Default::default();
+        let base = mach.map.shared_base();
+        let pages = mach.map.shared_pages();
+        for p in (reserve_prefix_bytes / 4096) as usize..pages {
+            let pa = base + (p as u32) * 4096;
+            let Backing::Ram { mc } = mach.map.resolve(pa) else {
+                unreachable!("shared region must be RAM");
+            };
+            lists[mc].lock().push(pa >> 12);
+        }
+        // Pop order: lowest frame first.
+        for l in &lists {
+            l.lock().reverse();
+        }
+        SharedFrames { lists }
+    }
+
+    /// Allocate a frame behind controller `mc`, falling back to the other
+    /// controllers if that list is empty.
+    pub fn alloc_at(&self, mc: usize) -> Option<Pfn> {
+        if let Some(pfn) = self.lists[mc].lock().pop() {
+            return Some(pfn);
+        }
+        for other in 0..NUM_MCS {
+            if other != mc {
+                if let Some(pfn) = self.lists[other].lock().pop() {
+                    return Some(pfn);
+                }
+            }
+        }
+        None
+    }
+
+    /// Allocate a frame near `core` (its quadrant's controller).
+    pub fn alloc_near(&self, core: CoreId) -> Option<Pfn> {
+        self.alloc_at(core.nearest_mc())
+    }
+
+    /// Return a frame to its home controller's free list.
+    pub fn free(&self, mach: &MachineInner, pfn: Pfn) {
+        let Backing::Ram { mc } = mach.map.resolve(pfn << 12) else {
+            panic!("freeing a non-RAM frame {pfn:#x}");
+        };
+        self.lists[mc].lock().push(pfn);
+    }
+
+    /// Remaining free frames per controller (diagnostic).
+    pub fn free_counts(&self) -> [usize; NUM_MCS] {
+        std::array::from_fn(|i| self.lists[i].lock().len())
+    }
+}
+
+/// Bump allocator over one core's private region.
+///
+/// `base_pa` is the first free physical byte (after anything boot reserved);
+/// private frames are never returned.
+pub struct PrivateBump {
+    next: u32,
+    end: u32,
+}
+
+impl PrivateBump {
+    pub fn new(base_pa: u32, end_pa: u32) -> Self {
+        PrivateBump {
+            next: (base_pa + 4095) & !4095,
+            end: end_pa,
+        }
+    }
+
+    /// Allocate `n` contiguous private frames; panics when private memory
+    /// is exhausted (a kernel OOM).
+    pub fn alloc_pages(&mut self, n: u32) -> Pfn {
+        let pa = self.next;
+        let bytes = n * 4096;
+        assert!(
+            pa + bytes <= self.end,
+            "private memory exhausted: want {n} pages at {pa:#x}, end {:#x}",
+            self.end
+        );
+        self.next = pa + bytes;
+        pa >> 12
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u32 {
+        self.end - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::{Machine, SccConfig};
+
+    #[test]
+    fn shared_frames_cover_whole_region() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let f = SharedFrames::new(m.inner(), 0);
+        let total: usize = f.free_counts().iter().sum();
+        assert_eq!(total, m.inner().map.shared_pages());
+        // Evenly striped over the four controllers.
+        let per = m.inner().map.shared_pages() / 4;
+        assert!(f.free_counts().iter().all(|&c| c == per));
+    }
+
+    #[test]
+    fn alloc_near_prefers_quadrant() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let f = SharedFrames::new(m.inner(), 0);
+        let pfn = f.alloc_near(CoreId::new(47)).unwrap(); // quadrant mc3
+        let Backing::Ram { mc } = m.inner().map.resolve(pfn << 12) else {
+            panic!()
+        };
+        assert_eq!(mc, 3);
+    }
+
+    #[test]
+    fn alloc_falls_back_when_exhausted() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let f = SharedFrames::new(m.inner(), 0);
+        let per_mc = m.inner().map.shared_pages() / 4;
+        for _ in 0..per_mc {
+            f.alloc_at(0).unwrap();
+        }
+        assert_eq!(f.free_counts()[0], 0);
+        // Next allocation near an mc0 core falls back to another list.
+        assert!(f.alloc_near(CoreId::new(0)).is_some());
+    }
+
+    #[test]
+    fn free_returns_to_home_list() {
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let f = SharedFrames::new(m.inner(), 0);
+        let before = f.free_counts();
+        let pfn = f.alloc_at(2).unwrap();
+        assert_eq!(f.free_counts()[2], before[2] - 1);
+        f.free(m.inner(), pfn);
+        assert_eq!(f.free_counts(), before);
+    }
+
+    #[test]
+    fn private_bump_allocates_and_exhausts() {
+        let mut b = PrivateBump::new(0x1000, 0x5000);
+        assert_eq!(b.alloc_pages(2), 1);
+        assert_eq!(b.alloc_pages(1), 3);
+        assert_eq!(b.remaining(), 4096);
+        assert_eq!(b.alloc_pages(1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "private memory exhausted")]
+    fn private_bump_oom_panics() {
+        let mut b = PrivateBump::new(0, 0x2000);
+        b.alloc_pages(3);
+    }
+}

@@ -1,0 +1,552 @@
+//! The per-core kernel: virtual memory with page-fault dispatch, interrupt
+//! delivery, and the event-wait primitive that keeps a core responsive to
+//! remote requests while it blocks.
+
+use crate::cluster::ClusterShared;
+use crate::frames::PrivateBump;
+use crate::paging::{PageFlags, PageTable, Pte, PAGE_SIZE};
+use scc_hw::{CoreCtx, CoreId, MemAttr};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Kind of memory access, for fault reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    Write,
+}
+
+/// A page-fault handler for a virtual address range (the SVM system
+/// registers one for the SVM window).
+pub trait FaultHandler: Send + Sync {
+    /// Resolve the fault (map/upgrade the page). Returning `true` means
+    /// "handled — retry the access"; `false` escalates to a kernel panic
+    /// (an unhandled fault, e.g. a write to a read-only region, which the
+    /// paper's §6.4 deliberately turns into a hard error to aid debugging).
+    fn on_fault(&self, k: &mut Kernel<'_>, va: u32, access: Access) -> bool;
+
+    /// Short name for panic messages.
+    fn name(&self) -> &'static str {
+        "anonymous"
+    }
+}
+
+/// A kernel subsystem hook: receives interrupts and idle-loop turns.
+pub trait KernelHook: Send + Sync {
+    /// An IPI from `src` arrived (the GIC tells us who rang).
+    fn on_ipi(&self, _k: &mut Kernel<'_>, _src: CoreId) {}
+
+    /// One timer tick or idle-loop iteration: poll for deferred work.
+    fn on_tick(&self, _k: &mut Kernel<'_>) {}
+
+    /// Build a side-effect-free "is there work for this core?" probe used
+    /// to wake the core out of blocking waits. The probe may only touch
+    /// atomics (raw peeks), never the kernel.
+    fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send>> {
+        None
+    }
+}
+
+/// The kernel instance of one core for the duration of one cluster run.
+pub struct Kernel<'a> {
+    /// The hardware context (clock, caches, memory engine).
+    pub hw: &'a mut CoreCtx,
+    /// Cluster-wide shared state (frame allocators, header arena).
+    pub shared: Arc<ClusterShared>,
+    participants: Arc<Vec<CoreId>>,
+    pt: PageTable,
+    private: PrivateBump,
+    fault_handlers: Vec<(Range<u32>, Arc<dyn FaultHandler>)>,
+    hooks: Vec<Arc<dyn KernelHook>>,
+    probes: Vec<Box<dyn Fn() -> bool + Send>>,
+    ext: HashMap<TypeId, Box<dyn Any + Send>>,
+    last_tick: u64,
+    in_irq: bool,
+}
+
+impl<'a> Kernel<'a> {
+    /// Boot a kernel on this core: identity-map the private region and the
+    /// MPB window, initialise the private allocator.
+    pub fn boot(
+        hw: &'a mut CoreCtx,
+        shared: Arc<ClusterShared>,
+        participants: Arc<Vec<CoreId>>,
+    ) -> Self {
+        let map = &hw.machine().map;
+        let priv_base = map.private_base(hw.id());
+        let priv_bytes = map.private_bytes();
+        let mut pt = PageTable::new();
+        // Private region: VA 0.. maps onto this core's private PA window.
+        for off in (0..priv_bytes).step_by(PAGE_SIZE as usize) {
+            pt.map(off, (priv_base + off) >> 12, PageFlags::private_rw());
+        }
+        // MPB window: identity map (VA == PA) with the MPBT memory type.
+        let ncores = hw.machine().cfg.ncores;
+        let mpb_bytes = (ncores * scc_hw::config::MPB_BYTES) as u32;
+        for off in (0..mpb_bytes).step_by(PAGE_SIZE as usize) {
+            let pa = crate::MPB_VA_BASE + off;
+            pt.map(pa, pa >> 12, PageFlags::shared_rw());
+        }
+        Kernel {
+            hw,
+            shared,
+            participants,
+            pt,
+            private: PrivateBump::new(priv_base, priv_base + priv_bytes),
+            fault_handlers: Vec::new(),
+            hooks: Vec::new(),
+            probes: Vec::new(),
+            ext: HashMap::new(),
+            last_tick: 0,
+            in_irq: false,
+        }
+    }
+
+    /// This core's id.
+    #[inline]
+    pub fn id(&self) -> CoreId {
+        self.hw.id()
+    }
+
+    /// All cores participating in this cluster run.
+    #[inline]
+    pub fn participants(&self) -> &[CoreId] {
+        &self.participants
+    }
+
+    /// This core's rank within the participant list.
+    pub fn rank(&self) -> usize {
+        self.participants
+            .iter()
+            .position(|c| *c == self.id())
+            .expect("running core must be a participant")
+    }
+
+    /// Number of participating cores.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.participants.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Subsystem registration
+    // ------------------------------------------------------------------
+
+    /// Register a page-fault handler for a VA range.
+    pub fn register_fault_handler(&mut self, range: Range<u32>, h: Arc<dyn FaultHandler>) {
+        self.fault_handlers.push((range, h));
+    }
+
+    /// Register an interrupt/idle hook; its wake probe (if any) is armed
+    /// immediately.
+    pub fn register_hook(&mut self, h: Arc<dyn KernelHook>) {
+        if let Some(p) = h.make_wake_probe(self) {
+            self.probes.push(p);
+        }
+        self.hooks.push(h);
+    }
+
+    /// Stash typed subsystem state in the kernel (mailbox queues, SVM
+    /// bookkeeping). One instance per type.
+    pub fn ext_put<T: Any + Send>(&mut self, v: T) {
+        let old = self.ext.insert(TypeId::of::<T>(), Box::new(v));
+        assert!(old.is_none(), "extension installed twice");
+    }
+
+    /// Temporarily take typed state out (take/operate/put-back pattern lets
+    /// subsystem code hold `&mut` to both its state and the kernel).
+    pub fn ext_take<T: Any + Send>(&mut self) -> T {
+        *self
+            .ext
+            .remove(&TypeId::of::<T>())
+            .unwrap_or_else(|| panic!("extension {} not installed", std::any::type_name::<T>()))
+            .downcast::<T>()
+            .expect("extension type mismatch")
+    }
+
+    /// Put typed state back after `ext_take`.
+    pub fn ext_restore<T: Any + Send>(&mut self, v: T) {
+        self.ext.insert(TypeId::of::<T>(), Box::new(v));
+    }
+
+    /// Is an extension of this type installed?
+    pub fn ext_has<T: Any + Send>(&self) -> bool {
+        self.ext.contains_key(&TypeId::of::<T>())
+    }
+
+    // ------------------------------------------------------------------
+    // Paging (charged)
+    // ------------------------------------------------------------------
+
+    /// Read-only view of the page table.
+    #[inline]
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    /// Install a mapping (charges one PTE update).
+    pub fn map_page(&mut self, va: u32, pfn: u32, flags: PageFlags) {
+        self.pt.map(va, pfn, flags);
+        let c = self.hw.machine().cfg.timing.pte_update;
+        self.hw.advance(c);
+    }
+
+    /// Change mapping flags (charges one PTE update). Returns `false` if
+    /// the page was not mapped.
+    pub fn protect_page(&mut self, va: u32, flags: PageFlags) -> bool {
+        let ok = self.pt.protect(va, flags);
+        let c = self.hw.machine().cfg.timing.pte_update;
+        self.hw.advance(c);
+        ok
+    }
+
+    /// Drop a mapping (charges one PTE update); returns the old PTE.
+    pub fn unmap_page(&mut self, va: u32) -> Pte {
+        let pte = self.pt.unmap(va);
+        let c = self.hw.machine().cfg.timing.pte_update;
+        self.hw.advance(c);
+        pte
+    }
+
+    /// Allocate `n` pages of kernel-private memory; returns their VA.
+    pub fn kalloc_pages(&mut self, n: u32) -> u32 {
+        let pfn = self.private.alloc_pages(n);
+        // Private memory is identity-mapped at boot: VA = PA - private_base.
+        (pfn << 12) - self.hw.machine().map.private_base(self.id())
+    }
+
+    /// Zero a (shared) frame through word-granular uncached writes — the
+    /// expensive part of "physical allocation of a page frame" in Table 1.
+    pub fn zero_frame_uncached(&mut self, pfn: u32) {
+        let base = pfn << 12;
+        for off in (0..PAGE_SIZE).step_by(4) {
+            self.hw.write(base + off, 4, 0, MemAttr::UNCACHED);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual memory access
+    // ------------------------------------------------------------------
+
+    /// Translate without faulting.
+    #[inline]
+    pub fn try_translate(&self, va: u32, access: Access) -> Option<Pte> {
+        let pte = self.pt.lookup(va);
+        let f = pte.flags();
+        if !f.present() || (access == Access::Write && !f.writable()) {
+            return None;
+        }
+        Some(pte)
+    }
+
+    /// Read `len` (1..=8) bytes at virtual address `va`, faulting as needed.
+    ///
+    /// Interrupts are polled *after* the access so that a freshly resolved
+    /// fault cannot be stolen (e.g. by an incoming SVM ownership request)
+    /// before the faulting access retries.
+    pub fn vread(&mut self, va: u32, len: usize) -> u64 {
+        loop {
+            if let Some(pte) = self.try_translate(va, Access::Read) {
+                let v = self.hw.read(pte.pa(va), len, pte.flags().attr());
+                self.poll_irqs();
+                return v;
+            }
+            self.handle_fault(va, Access::Read);
+        }
+    }
+
+    /// Write the low `len` (1..=8) bytes of `val` at `va`, faulting as
+    /// needed.
+    pub fn vwrite(&mut self, va: u32, len: usize, val: u64) {
+        loop {
+            if let Some(pte) = self.try_translate(va, Access::Write) {
+                self.hw.write(pte.pa(va), len, val, pte.flags().attr());
+                self.poll_irqs();
+                return;
+            }
+            self.handle_fault(va, Access::Write);
+        }
+    }
+
+    /// Convenience typed accessors.
+    pub fn vread_u32(&mut self, va: u32) -> u32 {
+        self.vread(va, 4) as u32
+    }
+    pub fn vwrite_u32(&mut self, va: u32, v: u32) {
+        self.vwrite(va, 4, v as u64)
+    }
+    pub fn vread_f64(&mut self, va: u32) -> f64 {
+        f64::from_bits(self.vread(va, 8))
+    }
+    pub fn vwrite_f64(&mut self, va: u32, v: f64) {
+        self.vwrite(va, 8, v.to_bits())
+    }
+
+    fn handle_fault(&mut self, va: u32, access: Access) {
+        let c = self.hw.machine().cfg.timing.pagefault_entry;
+        self.hw.advance(c);
+        let handler = self
+            .fault_handlers
+            .iter()
+            .find(|(r, _)| r.contains(&va))
+            .map(|(_, h)| Arc::clone(h));
+        match handler {
+            Some(h) => {
+                if !h.on_fault(self, va, access) {
+                    panic!(
+                        "core {}: unhandled {access:?} fault at {va:#x} (handler {})",
+                        self.id(),
+                        h.name()
+                    );
+                }
+            }
+            None => panic!(
+                "core {}: {access:?} fault at {va:#x} with no registered handler",
+                self.id()
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interrupts and blocking
+    // ------------------------------------------------------------------
+
+    /// Poll for pending interrupts: GIC IPIs first, then the timer tick.
+    /// Called implicitly by `vread`/`vwrite`/`wait_event`; cheap when idle.
+    pub fn poll_irqs(&mut self) {
+        if self.in_irq {
+            return;
+        }
+        if self.hw.has_pending_ipi() {
+            self.in_irq = true;
+            let list = self.hw.claim_ipis();
+            let c = self.hw.machine().cfg.timing.irq_entry;
+            self.hw.advance(c);
+            let hooks = self.hooks.clone();
+            for (src, _stamp) in list {
+                for h in &hooks {
+                    h.on_ipi(self, src);
+                }
+            }
+            self.in_irq = false;
+        }
+        let tick = self.hw.machine().cfg.tick_cycles;
+        if self.hw.now().saturating_sub(self.last_tick) >= tick {
+            self.last_tick = self.hw.now();
+            self.run_idle_hooks();
+        }
+    }
+
+    /// Run one "idle loop" iteration: every hook polls for deferred work.
+    pub fn run_idle_hooks(&mut self) {
+        if self.in_irq {
+            return;
+        }
+        self.in_irq = true;
+        let hooks = self.hooks.clone();
+        for h in &hooks {
+            h.on_tick(self);
+        }
+        self.in_irq = false;
+    }
+
+    /// Block until `cond` yields a value, while staying responsive: the core
+    /// wakes whenever an IPI arrives or any registered wake probe fires,
+    /// services the work (which may be a remote ownership request!), and
+    /// re-evaluates `cond`.
+    ///
+    /// `cond` must be side-effect-free and use only raw peeks; the `u64` it
+    /// returns is the event's cycle stamp.
+    pub fn wait_event<T>(
+        &mut self,
+        reason: &str,
+        mut cond: impl FnMut() -> Option<(T, u64)>,
+    ) -> T {
+        loop {
+            self.poll_irqs();
+            if let Some((v, stamp)) = cond() {
+                self.hw.sync_to(stamp);
+                return v;
+            }
+            // While already inside an interrupt handler, new kernel work
+            // cannot be serviced (no nesting), so waking for it would
+            // livelock — wait on `cond` alone in that case.
+            let allow_work = !self.in_irq;
+            let outcome = {
+                let gic_pending = {
+                    let mach = Arc::clone(self.hw.machine());
+                    let me = self.id();
+                    move || mach.gic.has_pending(me)
+                };
+                let probes = &self.probes;
+                self.hw.wait_until(reason, || {
+                    if let Some((v, stamp)) = cond() {
+                        return Some((Some(v), stamp));
+                    }
+                    if allow_work && (gic_pending() || probes.iter().any(|p| p())) {
+                        return Some((None, 0));
+                    }
+                    None
+                })
+            };
+            match outcome {
+                Some(v) => return v,
+                None => {
+                    // Woken for kernel work: poll_irqs handles IPIs at the
+                    // top of the loop; probe-driven work (polling-mode
+                    // mailboxes) is an idle-loop scan.
+                    let c = self.hw.machine().cfg.timing.idle_loop;
+                    self.hw.advance(c);
+                    self.run_idle_hooks();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use scc_hw::SccConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn boot_maps_private_and_mpb() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            // Private VA 0 is mapped RW.
+            assert!(k.try_translate(0, Access::Write).is_some());
+            // MPB window mapped with MPBT.
+            let pte = k.try_translate(crate::MPB_VA_BASE, Access::Write).unwrap();
+            assert!(pte.flags().mpbt());
+            // SVM window unmapped.
+            assert!(k.try_translate(crate::SVM_VA_BASE, Access::Read).is_none());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn private_memory_roundtrip() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            let va = k.kalloc_pages(1);
+            k.vwrite(va, 8, 0xAABB_CCDD_1122_3344);
+            assert_eq!(k.vread(va, 8), 0xAABB_CCDD_1122_3344);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn private_memories_are_disjoint() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, |k| {
+            let va = k.kalloc_pages(1);
+            let me = k.id().idx() as u64;
+            k.vwrite(va, 8, 0x1000 + me);
+            // Both cores use the same VA; a barrier-free re-read must see
+            // the own value (private regions are disjoint PAs).
+            assert_eq!(k.vread(va, 8), 0x1000 + me);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no registered handler")]
+    fn unhandled_fault_panics() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let _ = cl.run(1, |k| {
+            k.vread(crate::SVM_VA_BASE, 4);
+        });
+    }
+
+    struct CountingHandler(AtomicUsize);
+    impl FaultHandler for CountingHandler {
+        fn on_fault(&self, k: &mut Kernel<'_>, va: u32, _access: Access) -> bool {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            // Map the faulting page to a shared frame.
+            let pfn = k.shared.frames.alloc_near(k.id()).unwrap();
+            k.map_page(va & !0xfff, pfn, PageFlags::shared_rw());
+            true
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn fault_handler_maps_and_retries() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let handler = Arc::new(CountingHandler(AtomicUsize::new(0)));
+        let h2 = Arc::clone(&handler);
+        cl.run(1, move |k| {
+            k.register_fault_handler(
+                crate::SVM_VA_BASE..crate::SVM_VA_BASE + 0x10000,
+                h2.clone(),
+            );
+            k.vwrite(crate::SVM_VA_BASE + 8, 4, 77);
+            assert_eq!(k.vread(crate::SVM_VA_BASE + 8, 4), 77);
+        })
+        .unwrap();
+        assert_eq!(handler.0.load(Ordering::Relaxed), 1, "one fault, then mapped");
+    }
+
+    struct IpiRecorder(AtomicUsize);
+    impl KernelHook for IpiRecorder {
+        fn on_ipi(&self, _k: &mut Kernel<'_>, src: CoreId) {
+            self.0.fetch_add(100 + src.idx(), Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn ipi_dispatched_to_hooks() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let rec = Arc::new(IpiRecorder(AtomicUsize::new(0)));
+        let rec2 = Arc::clone(&rec);
+        cl.run(2, move |k| {
+            k.register_hook(rec2.clone());
+            if k.id().idx() == 0 {
+                k.hw.send_ipi(CoreId::new(1));
+            } else {
+                // Wait until the IPI has been processed by our own hook.
+                let r = rec2.clone();
+                k.wait_event("ipi processed", move || {
+                    (r.0.load(Ordering::Relaxed) != 0).then_some(((), 0))
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(rec.0.load(Ordering::Relaxed), 100, "IPI from core 0 seen once");
+    }
+
+    #[test]
+    fn ext_take_restore() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            k.ext_put::<Vec<u32>>(vec![1, 2]);
+            assert!(k.ext_has::<Vec<u32>>());
+            let mut v = k.ext_take::<Vec<u32>>();
+            v.push(3);
+            k.ext_restore(v);
+            assert_eq!(k.ext_take::<Vec<u32>>(), vec![1, 2, 3]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rank_and_participants() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let cores = [CoreId::new(30), CoreId::new(0)];
+        cl.run_on(&cores, |k| {
+            assert_eq!(k.nranks(), 2);
+            if k.id().idx() == 30 {
+                assert_eq!(k.rank(), 0);
+            } else {
+                assert_eq!(k.rank(), 1);
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! # scc-kernel — the per-core MetalSVM kernel layer
+//!
+//! MetalSVM runs one instance of a small, self-developed monolithic kernel on
+//! every SCC core; the SVM system and the mailbox-based communication layer
+//! are kernel subsystems. This crate reproduces that layer on top of the
+//! [`scc_hw`] machine model:
+//!
+//! * **paging** — per-core two-level page tables with the x86 `PWT` bit plus
+//!   the SCC's `MPBT` extension bit; every core owns a *private* copy of the
+//!   tables, exactly as §6.3 of the paper describes.
+//! * **frames** — a private-memory bump allocator per core and a shared
+//!   frame allocator with per-memory-controller free lists, enabling the
+//!   NUMA-style *allocate near the first toucher* policy.
+//! * **kernel** — the [`Kernel`] object: virtual memory access
+//!   (`vread`/`vwrite`) with page-fault dispatch to registered handlers,
+//!   interrupt polling (timer tick + GIC IPIs) delivered to registered
+//!   hooks, and `wait_event`, the blocking primitive that keeps servicing
+//!   interrupts while an application waits (this is what lets a page owner
+//!   answer ownership requests while it sits in an application barrier).
+//! * **cluster** — collective boot: run one kernel per participating core
+//!   against a shared [`scc_hw::Machine`].
+
+pub mod cluster;
+pub mod collective;
+pub mod frames;
+pub mod kernel;
+pub mod paging;
+
+pub use cluster::{Cluster, ClusterShared};
+pub use collective::ram_barrier;
+pub use kernel::{Access, FaultHandler, Kernel, KernelHook};
+pub use paging::{PageFlags, PageTable, Pte};
+
+/// Virtual base address of the SVM (shared virtual memory) window.
+pub const SVM_VA_BASE: u32 = 0x8000_0000;
+/// Virtual base address of the identity-mapped MPB window.
+pub const MPB_VA_BASE: u32 = 0xC000_0000;

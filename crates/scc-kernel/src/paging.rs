@@ -1,0 +1,251 @@
+//! Per-core two-level page tables.
+//!
+//! Each kernel instance owns private page tables (the paper: "the page
+//! tables are located in the private memory and, consequently, each core
+//! possesses its own version of the page tables"). A PTE carries the usual
+//! x86 bits plus the SCC's `MPBT` memory-type bit; the combination of
+//! `PWT`/`PCD`/`MPBT` maps onto a [`scc_hw::MemAttr`] for the memory engine.
+
+use scc_hw::MemAttr;
+
+/// Page size (4 KiB, as on the P54C).
+pub const PAGE_SIZE: u32 = 4096;
+const ENTRIES: usize = 1024;
+
+/// PTE flag bits (a subset of x86 plus the SCC extension).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PageFlags(pub u32);
+
+impl PageFlags {
+    pub const PRESENT: u32 = 1 << 0;
+    pub const RW: u32 = 1 << 1;
+    /// Write-through (x86 `PWT`).
+    pub const PWT: u32 = 1 << 2;
+    /// Cache disable (x86 `PCD`).
+    pub const PCD: u32 = 1 << 3;
+    /// SCC extension: MPBT memory type (L2 bypass, `CL1INVMB` target,
+    /// write-combine buffer).
+    pub const MPBT: u32 = 1 << 4;
+
+    /// Private memory: present, writable, write-back cached.
+    pub fn private_rw() -> Self {
+        PageFlags(Self::PRESENT | Self::RW)
+    }
+
+    /// SVM shared page with full access: write-through + MPBT (the
+    /// configuration MetalSVM uses for shared pages, §3).
+    pub fn shared_rw() -> Self {
+        PageFlags(Self::PRESENT | Self::RW | Self::PWT | Self::MPBT)
+    }
+
+    /// SVM shared page, read-only (strong model: non-owner; or §6.4
+    /// read-only regions after clearing MPBT).
+    pub fn shared_ro_mpbt() -> Self {
+        PageFlags(Self::PRESENT | Self::PWT | Self::MPBT)
+    }
+
+    /// Read-only region with the L2 enabled (§6.4: MPBT cleared).
+    pub fn readonly_l2() -> Self {
+        PageFlags(Self::PRESENT | Self::PWT)
+    }
+
+    /// Uncacheable mapping.
+    pub fn uncached_rw() -> Self {
+        PageFlags(Self::PRESENT | Self::RW | Self::PCD)
+    }
+
+    #[inline]
+    pub fn present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    #[inline]
+    pub fn writable(self) -> bool {
+        self.0 & Self::RW != 0
+    }
+
+    #[inline]
+    pub fn mpbt(self) -> bool {
+        self.0 & Self::MPBT != 0
+    }
+
+    /// Derive the memory-engine attributes for an access through this PTE.
+    pub fn attr(self) -> MemAttr {
+        if self.0 & Self::PCD != 0 {
+            return MemAttr::UNCACHED;
+        }
+        let mpbt = self.mpbt();
+        MemAttr {
+            l1: true,
+            // The SCC bypasses the L2 for MPBT-typed accesses.
+            l2: !mpbt,
+            write_back: self.0 & Self::PWT == 0,
+            mpbt,
+        }
+    }
+}
+
+/// One page-table entry: flags in the low bits, page-frame number above.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Pte(pub u32);
+
+impl Pte {
+    pub const EMPTY: Pte = Pte(0);
+
+    pub fn new(pfn: u32, flags: PageFlags) -> Self {
+        debug_assert!(flags.0 < PAGE_SIZE);
+        Pte((pfn << 12) | flags.0)
+    }
+
+    #[inline]
+    pub fn flags(self) -> PageFlags {
+        PageFlags(self.0 & 0xfff)
+    }
+
+    #[inline]
+    pub fn pfn(self) -> u32 {
+        self.0 >> 12
+    }
+
+    /// Physical address for a virtual address mapped by this entry.
+    #[inline]
+    pub fn pa(self, va: u32) -> u32 {
+        (self.pfn() << 12) | (va & (PAGE_SIZE - 1))
+    }
+}
+
+/// A two-level page table: 1024 directory slots, each lazily holding a
+/// 1024-entry leaf table (so an unused 4 MiB region costs nothing).
+pub struct PageTable {
+    dir: Vec<Option<Box<[Pte; ENTRIES]>>>,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    pub fn new() -> Self {
+        let mut dir = Vec::with_capacity(ENTRIES);
+        dir.resize_with(ENTRIES, || None);
+        PageTable { dir }
+    }
+
+    #[inline]
+    fn split(va: u32) -> (usize, usize) {
+        ((va >> 22) as usize, ((va >> 12) & 0x3ff) as usize)
+    }
+
+    /// Look up the PTE covering `va`.
+    #[inline]
+    pub fn lookup(&self, va: u32) -> Pte {
+        let (d, t) = Self::split(va);
+        match &self.dir[d] {
+            Some(leaf) => leaf[t],
+            None => Pte::EMPTY,
+        }
+    }
+
+    /// Install a mapping for the page containing `va`.
+    pub fn map(&mut self, va: u32, pfn: u32, flags: PageFlags) {
+        let (d, t) = Self::split(va);
+        let leaf = self.dir[d].get_or_insert_with(|| Box::new([Pte::EMPTY; ENTRIES]));
+        leaf[t] = Pte::new(pfn, flags);
+    }
+
+    /// Remove the mapping for the page containing `va`; returns the old PTE.
+    pub fn unmap(&mut self, va: u32) -> Pte {
+        let (d, t) = Self::split(va);
+        match &mut self.dir[d] {
+            Some(leaf) => std::mem::replace(&mut leaf[t], Pte::EMPTY),
+            None => Pte::EMPTY,
+        }
+    }
+
+    /// Change only the flags of an existing mapping; returns false if the
+    /// page was not mapped.
+    pub fn protect(&mut self, va: u32, flags: PageFlags) -> bool {
+        let (d, t) = Self::split(va);
+        if let Some(leaf) = &mut self.dir[d] {
+            if leaf[t] != Pte::EMPTY {
+                leaf[t] = Pte::new(leaf[t].pfn(), flags);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of present mappings (diagnostic).
+    pub fn mapped_pages(&self) -> usize {
+        self.dir
+            .iter()
+            .flatten()
+            .map(|leaf| leaf.iter().filter(|p| p.flags().present()).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lookup() {
+        let pt = PageTable::new();
+        assert_eq!(pt.lookup(0x8000_0000), Pte::EMPTY);
+        assert!(!pt.lookup(0).flags().present());
+    }
+
+    #[test]
+    fn map_lookup_roundtrip() {
+        let mut pt = PageTable::new();
+        pt.map(0x8000_1000, 0x42, PageFlags::shared_rw());
+        let pte = pt.lookup(0x8000_1234);
+        assert!(pte.flags().present());
+        assert!(pte.flags().writable());
+        assert_eq!(pte.pfn(), 0x42);
+        assert_eq!(pte.pa(0x8000_1234), 0x42234);
+        // Neighbouring page untouched.
+        assert_eq!(pt.lookup(0x8000_2000), Pte::EMPTY);
+    }
+
+    #[test]
+    fn unmap_clears() {
+        let mut pt = PageTable::new();
+        pt.map(0x1000, 7, PageFlags::private_rw());
+        assert_eq!(pt.mapped_pages(), 1);
+        let old = pt.unmap(0x1000);
+        assert_eq!(old.pfn(), 7);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn protect_changes_flags_only() {
+        let mut pt = PageTable::new();
+        pt.map(0x3000, 9, PageFlags::shared_rw());
+        assert!(pt.protect(0x3000, PageFlags::shared_ro_mpbt()));
+        let pte = pt.lookup(0x3000);
+        assert!(!pte.flags().writable());
+        assert_eq!(pte.pfn(), 9);
+        assert!(!pt.protect(0x9999_9000, PageFlags::shared_rw()));
+    }
+
+    #[test]
+    fn attr_derivation() {
+        assert_eq!(PageFlags::private_rw().attr(), MemAttr::PRIVATE_WB);
+        assert_eq!(PageFlags::shared_rw().attr(), MemAttr::SHARED_MPBT_WT);
+        assert_eq!(PageFlags::readonly_l2().attr(), MemAttr::SHARED_RO_L2);
+        assert_eq!(PageFlags::uncached_rw().attr(), MemAttr::UNCACHED);
+    }
+
+    #[test]
+    fn pte_split_boundaries() {
+        let mut pt = PageTable::new();
+        pt.map(0xFFFF_F000, 1, PageFlags::private_rw());
+        pt.map(0x0000_0000, 2, PageFlags::private_rw());
+        assert_eq!(pt.lookup(0xFFFF_FFFF).pfn(), 1);
+        assert_eq!(pt.lookup(0x0000_0FFF).pfn(), 2);
+    }
+}

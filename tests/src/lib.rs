@@ -1,0 +1,25 @@
+//! Shared helpers for the cross-crate integration test suite.
+
+use metalsvm::{install as svm_install, SvmConfig, SvmCtx};
+use scc_hw::SccConfig;
+use scc_kernel::{Cluster, Kernel};
+use scc_mailbox::{install as mbx_install, Mailbox, Notify};
+
+/// Boot the full MetalSVM stack (mailbox + SVM) on `n` cores and run
+/// `body`; returns the per-core results.
+pub fn with_stack<R, F>(n: usize, notify: Notify, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Kernel<'_>, &Mailbox, &mut SvmCtx) -> R + Send + Sync,
+{
+    let cl = Cluster::new(SccConfig::small()).expect("machine");
+    cl.run(n, |k| {
+        let mbx = mbx_install(k, notify);
+        let mut svm = svm_install(k, &mbx, SvmConfig::default());
+        body(k, &mbx, &mut svm)
+    })
+    .expect("no deadlock")
+    .into_iter()
+    .map(|r| r.result)
+    .collect()
+}

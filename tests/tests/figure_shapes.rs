@@ -1,0 +1,178 @@
+//! Shape assertions for every table and figure of the paper, as small
+//! fast versions of the `scc-bench` harnesses. These are the regression
+//! tests that keep the reproduction honest: if a code change breaks a
+//! *qualitative* claim of the paper, one of these fails.
+
+use metalsvm::{Consistency, ScratchLocation};
+use scc_bench::pingpong::{Background, PingPongSetup};
+use scc_bench::{laplace_run, pingpong_latency_us, svm_overhead, LaplaceVariant};
+use scc_hw::topology::core_at_distance;
+use scc_hw::CoreId;
+use scc_mailbox::Notify;
+
+// ---------------------------------------------------------------- Fig 6
+
+#[test]
+fn fig6_latency_increases_linearly_with_distance() {
+    let lat: Vec<f64> = [0u32, 4, 8]
+        .iter()
+        .map(|&h| {
+            let b = core_at_distance(CoreId::new(0), h).unwrap();
+            pingpong_latency_us(&PingPongSetup::pair(CoreId::new(0), b, Notify::Ipi, 40))
+        })
+        .collect();
+    assert!(lat[0] < lat[1] && lat[1] < lat[2], "monotonic: {lat:?}");
+    // "Linear with a very low gradient": going 0 -> 8 hops must not even
+    // double the latency.
+    assert!(lat[2] < 2.0 * lat[0], "gradient too steep: {lat:?}");
+    // And roughly linear: the midpoint lies near the average.
+    let mid = (lat[0] + lat[2]) / 2.0;
+    assert!((lat[1] - mid).abs() / mid < 0.25, "not linear: {lat:?}");
+}
+
+#[test]
+fn fig6_ipi_above_no_ipi_with_two_cores() {
+    let b = core_at_distance(CoreId::new(0), 5).unwrap();
+    let poll = pingpong_latency_us(&PingPongSetup::pair(CoreId::new(0), b, Notify::Poll, 40));
+    let ipi = pingpong_latency_us(&PingPongSetup::pair(CoreId::new(0), b, Notify::Ipi, 40));
+    assert!(
+        ipi > poll,
+        "with 2 active cores the event-driven variant pays interrupt entry: \
+         ipi {ipi:.3} vs poll {poll:.3}"
+    );
+    // "the gap is very low": within a handful of microseconds.
+    assert!(ipi - poll < 5.0, "gap too large: {:.3}", ipi - poll);
+}
+
+// ---------------------------------------------------------------- Fig 7
+
+fn fig7_setup(n: usize, notify: Notify, background: Background) -> PingPongSetup {
+    let mut active = vec![CoreId::new(0), CoreId::new(30)];
+    let mut next = 1;
+    while active.len() < n {
+        if next != 30 {
+            active.push(CoreId::new(next));
+        }
+        next += 1;
+    }
+    PingPongSetup {
+        a: CoreId::new(0),
+        b: CoreId::new(30),
+        active,
+        notify,
+        background,
+        rounds: 40,
+    }
+}
+
+#[test]
+fn fig7_no_ipi_latency_grows_with_active_cores() {
+    let l2 = pingpong_latency_us(&fig7_setup(2, Notify::Poll, Background::Idle));
+    let l16 = pingpong_latency_us(&fig7_setup(16, Notify::Poll, Background::Idle));
+    let l48 = pingpong_latency_us(&fig7_setup(48, Notify::Poll, Background::Idle));
+    assert!(
+        l2 < l16 && l16 < l48,
+        "polling latency must grow with activated cores: {l2:.2} {l16:.2} {l48:.2}"
+    );
+}
+
+#[test]
+fn fig7_ipi_latency_stays_flat() {
+    let l2 = pingpong_latency_us(&fig7_setup(2, Notify::Ipi, Background::Idle));
+    let l48 = pingpong_latency_us(&fig7_setup(48, Notify::Ipi, Background::Idle));
+    assert!(
+        (l48 - l2).abs() / l2 < 0.25,
+        "IPI latency must be nearly constant: {l2:.3} vs {l48:.3}"
+    );
+}
+
+#[test]
+fn fig7_background_noise_does_not_hurt_ipi() {
+    let idle = pingpong_latency_us(&fig7_setup(12, Notify::Ipi, Background::Idle));
+    let noise = pingpong_latency_us(&fig7_setup(12, Notify::Ipi, Background::Noise));
+    // "The average latency is on a similar level ... compared to the
+    // benchmark without background noise."
+    assert!(
+        noise < idle * 2.0,
+        "noise must not wreck the latency: idle {idle:.3} vs noise {noise:.3}"
+    );
+}
+
+// -------------------------------------------------------------- Table 1
+
+#[test]
+fn table1_shape_holds() {
+    let strong = svm_overhead(Consistency::Strong, ScratchLocation::Mpb);
+    let lazy = svm_overhead(Consistency::LazyRelease, ScratchLocation::Mpb);
+
+    // Row 1: equal, and low per page.
+    assert!((strong.alloc_4mib_us - lazy.alloc_4mib_us).abs() < 1.0);
+    // Row 2: equal across models, dominating the table.
+    assert!((strong.physical_alloc_us - lazy.physical_alloc_us).abs() < 2.0);
+    assert!(strong.physical_alloc_us > 4.0 * strong.map_us);
+    // Row 3: lazy mapping is several times cheaper.
+    assert!(lazy.map_us * 2.0 < strong.map_us);
+    // Row 4: strong-only; close below the strong mapping cost.
+    let retrieve = strong.retrieve_us.expect("strong model retrieves");
+    assert!(retrieve < strong.map_us);
+    assert!(retrieve > strong.map_us * 0.4);
+    assert!(lazy.retrieve_us.is_none());
+}
+
+// ---------------------------------------------------------------- Fig 9
+
+#[test]
+fn fig9_svm_variants_nearly_identical() {
+    // At the paper's grid the per-iteration ownership faults (~2 x 9 us)
+    // vanish against the compute time, which is the paper's argument for
+    // the two curves coinciding.
+    let p = scc_apps::laplace::LaplaceParams::paper(3);
+    let strong = laplace_run(LaplaceVariant::SvmStrong, 4, p);
+    let lazy = laplace_run(LaplaceVariant::SvmLazy, 4, p);
+    assert_eq!(strong.checksum, lazy.checksum);
+    let ratio = strong.sim_ms / lazy.sim_ms;
+    assert!(
+        (0.95..1.25).contains(&ratio),
+        "the two SVM curves must be nearly identical (paper): ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn fig9_ircce_slower_than_svm_at_low_core_counts() {
+    // The effect needs the paper's grid: per-core data (2 x 1 MiB at 4
+    // cores) must exceed the 256 KiB L2, so that MP matrix writes go to
+    // DDR3 word by word while the SVM variants combine them in the WCB.
+    let p = scc_apps::laplace::LaplaceParams::paper(3);
+    let mp = laplace_run(LaplaceVariant::Ircce, 4, p);
+    let lazy = laplace_run(LaplaceVariant::SvmLazy, 4, p);
+    assert_eq!(mp.checksum, lazy.checksum);
+    assert!(
+        mp.sim_ms > lazy.sim_ms,
+        "below the L2 crossover the SVM variant must win (WCB): \
+         iRCCE {:.2} ms vs SVM lazy {:.2} ms",
+        mp.sim_ms,
+        lazy.sim_ms
+    );
+}
+
+#[test]
+fn fig9_l2_gives_ircce_superlinear_scaling_at_high_core_counts() {
+    // With 48 cores each MP block fits into the 256 KiB L2, which the SVM
+    // variants must bypass (MPBT): the paper's superlinear MP drop.
+    let p = scc_apps::laplace::LaplaceParams::paper(3);
+    let mp12 = laplace_run(LaplaceVariant::Ircce, 12, p);
+    let mp48 = laplace_run(LaplaceVariant::Ircce, 48, p);
+    let speedup = mp12.sim_ms / mp48.sim_ms;
+    assert!(
+        speedup > 4.0 * 0.9,
+        "12 -> 48 cores must be at least linear for MP (L2 kicks in): {speedup:.2}"
+    );
+    let lazy48 = laplace_run(LaplaceVariant::SvmLazy, 48, p);
+    assert!(
+        mp48.sim_ms < lazy48.sim_ms,
+        "at 48 cores the L2 effect must put iRCCE ahead: \
+         mp {:.2} ms vs svm {:.2} ms",
+        mp48.sim_ms,
+        lazy48.sim_ms
+    );
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests across all crates: mailbox + RCCE + SVM coexisting on
+//! the same machine, the way MetalSVM composes its subsystems.
+
+use integration_tests::with_stack;
+use metalsvm::{Consistency, SvmArray};
+use rcce::{allreduce_f64, RcceComm, ReduceOp};
+use scc_apps::laplace::{laplace_reference, LaplaceParams};
+use scc_bench::{laplace_run, LaplaceVariant};
+use scc_hw::{CoreId, SccConfig};
+use scc_kernel::Cluster;
+use scc_mailbox::{install as mbx_install, MailKind, Notify};
+
+#[test]
+fn svm_and_rcce_share_the_mpb_peacefully() {
+    // The mailbox claims the bottom of each MPB, RCCE the middle, the SVM
+    // scratch pad the top kilobyte. All three must work simultaneously.
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    cl.run(4, |k| {
+        let mbx = mbx_install(k, Notify::Ipi);
+        let mut svm = metalsvm::install(k, &mbx, metalsvm::SvmConfig::default());
+        let mut comm = RcceComm::init(k);
+
+        // SVM traffic: shared array under the strong model.
+        let r = svm.alloc(k, 8192, Consistency::Strong);
+        let a = SvmArray::<f64>::new(r, 64);
+        if k.rank() == 0 {
+            for i in 0..64 {
+                a.set(k, i, i as f64);
+            }
+        }
+        svm.barrier(k);
+
+        // RCCE traffic: an allreduce over the same cores.
+        let va = k.kalloc_pages(1);
+        k.vwrite_f64(va, (k.rank() + 1) as f64);
+        allreduce_f64(k, &mut comm, va, 1, ReduceOp::Sum);
+        assert_eq!(k.vread_f64(va), 10.0); // 1+2+3+4
+
+        // Mailbox traffic: a direct user mail ring.
+        let next = CoreId::new((k.rank() + 1) % 4);
+        let prev = CoreId::new((k.rank() + 3) % 4);
+        mbx.send(k, next, MailKind::USER, &[k.rank() as u8]);
+        let m = mbx.recv_from(k, prev);
+        assert_eq!(m.data(), &[prev.idx() as u8]);
+
+        // And the SVM data is still intact.
+        assert_eq!(a.get(k, 42), 42.0);
+        svm.barrier(k);
+    })
+    .unwrap();
+}
+
+#[test]
+fn laplace_all_variants_all_core_counts_agree() {
+    let p = LaplaceParams {
+        width: 64,
+        height: 32,
+        iters: 6,
+    };
+    let want = laplace_reference(p);
+    for n in [1, 2, 3, 5, 8] {
+        for v in [
+            LaplaceVariant::Ircce,
+            LaplaceVariant::SvmStrong,
+            LaplaceVariant::SvmLazy,
+        ] {
+            let run = laplace_run(v, n, p);
+            assert_eq!(
+                run.checksum,
+                want,
+                "{} on {n} cores deviates from the reference",
+                v.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_model_random_writers_converge() {
+    // Pseudo-random single-writer schedule over multiple pages: the
+    // ownership protocol must serialise correctly whatever the pattern.
+    let n = 5;
+    let pages = 4;
+    let results = with_stack(n, Notify::Ipi, |k, _mbx, svm| {
+        let r = svm.alloc(k, pages * 4096, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, pages as usize * 512);
+        svm.barrier(k);
+        for round in 0..20u64 {
+            // Writer of (round, page) = deterministic hash.
+            for page in 0..pages as u64 {
+                let writer = ((round * 7 + page * 13) % n as u64) as usize;
+                if k.rank() == writer {
+                    let idx = (page as usize) * 512;
+                    let v = a.get(k, idx);
+                    a.set(k, idx, v + round + page);
+                }
+            }
+            svm.barrier(k);
+        }
+        (0..pages as usize).map(|p| a.get(k, p * 512)).collect::<Vec<u64>>()
+    });
+    let expect: Vec<u64> = (0..pages as u64)
+        .map(|page| (0..20u64).map(|round| round + page).sum())
+        .collect();
+    for r in &results {
+        assert_eq!(*r, expect);
+    }
+}
+
+#[test]
+fn per_core_hardware_counters_are_plausible() {
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    let res = cl
+        .run(2, |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = metalsvm::install(k, &mbx, metalsvm::SvmConfig::default());
+            let r = svm.alloc(k, 8192, Consistency::LazyRelease);
+            let a = SvmArray::<u64>::new(r, 1024);
+            if k.rank() == 0 {
+                for i in 0..1024 {
+                    a.set(k, i, 7);
+                }
+            }
+            svm.barrier(k);
+            let mut s = 0;
+            for i in 0..1024 {
+                s += a.get(k, i);
+            }
+            svm.barrier(k);
+            s
+        })
+        .unwrap();
+    for r in &res {
+        assert_eq!(r.result, 7 * 1024);
+        let p = &r.perf;
+        assert!(p.l1_hits > 0, "sequential access must hit L1: {p:?}");
+        assert!(p.wcb_flushes > 0 || r.core.idx() == 1);
+        assert!(
+            p.l1_hit_rate().unwrap() > 0.5,
+            "32-byte lines hold 4 u64s: {p:?}"
+        );
+    }
+}
+
+#[test]
+fn clocks_advance_monotonically_and_deterministically() {
+    let run = || {
+        with_stack(3, Notify::Poll, |k, _mbx, svm| {
+            let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+            let a = SvmArray::<u64>::new(r, 8);
+            a.set(k, k.rank(), k.rank() as u64);
+            svm.barrier(k);
+            let mut s = 0;
+            for i in 0..3 {
+                s += a.get(k, i);
+            }
+            svm.barrier(k);
+            (s, k.hw.now())
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "virtual time must be deterministic");
+    for (s, t) in &a {
+        assert_eq!(*s, 3);
+        assert!(*t > 0);
+    }
+}
+
+#[test]
+fn write_invalidate_laplace_matches_reference() {
+    let p = LaplaceParams::tiny();
+    let want = laplace_reference(p);
+    let results = with_stack(3, Notify::Ipi, move |k, _mbx, svm| {
+        scc_apps::laplace::laplace_svm(k, svm, Consistency::WriteInvalidate, p).checksum
+    });
+    assert_eq!(results[0], want, "WI-model Laplace must match the reference");
+}

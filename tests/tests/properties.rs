@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) on the core data structures and on the
+//! consistency invariants of the full stack.
+
+use proptest::prelude::*;
+use scc_hw::cache::{Cache, Wcb};
+use scc_hw::config::{CacheGeom, LINE_BYTES};
+use scc_hw::ram::AtomicWords;
+use scc_kernel::paging::{PageFlags, PageTable};
+use std::collections::HashMap;
+
+// ------------------------------------------------------------ AtomicWords
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of byte-granular writes behaves like a plain byte
+    /// array.
+    #[test]
+    fn atomic_words_match_byte_array(
+        ops in prop::collection::vec((0u32..252, 1usize..=8, any::<u64>()), 1..64)
+    ) {
+        let w = AtomicWords::new(256);
+        let mut model = [0u8; 256];
+        for (off, len, val) in ops {
+            let off = off.min(256 - len as u32);
+            w.write(off, len, val);
+            for k in 0..len {
+                model[off as usize + k] = (val >> (k * 8)) as u8;
+            }
+            // Read back both the written range and a few byte probes.
+            let got = w.read(off, len);
+            let mut want = 0u64;
+            for k in 0..len {
+                want |= (model[off as usize + k] as u64) << (k * 8);
+            }
+            prop_assert_eq!(got, want);
+        }
+        for i in 0..256u32 {
+            prop_assert_eq!(w.read(i, 1) as u8, model[i as usize]);
+        }
+    }
+
+    /// A cache with any mix of fills, write-through hits and invalidations
+    /// never returns a value that was not the most recent write (single
+    /// core; cross-core staleness is intentional and tested elsewhere).
+    #[test]
+    fn cache_single_core_coherent(
+        ops in prop::collection::vec((0u32..32, 0usize..7, any::<u32>(), any::<bool>()), 1..128)
+    ) {
+        let mut cache = Cache::new(CacheGeom { size: 256, assoc: 2 });
+        let mut backing: HashMap<u32, [u8; LINE_BYTES]> = HashMap::new();
+        for (la, off4, val, mpbt) in ops {
+            let off = off4 * 4; // aligned 4-byte accesses
+            // Read path: fill on miss from backing.
+            if cache.read(la, off, 4).is_none() {
+                let line = *backing.entry(la).or_insert([0; LINE_BYTES]);
+                cache.fill(la, line, mpbt);
+            }
+            // Write-through: update cache if present and backing always.
+            cache.write_if_present(la, off, 4, val as u64, true);
+            let line = backing.entry(la).or_insert([0; LINE_BYTES]);
+            line[off..off + 4].copy_from_slice(&val.to_le_bytes());
+            // The next read must see the write.
+            let got = cache.read(la, off, 4).expect("just filled");
+            prop_assert_eq!(got as u32, val);
+        }
+    }
+
+    /// The WCB's overlay always reflects the newest buffered bytes, and a
+    /// flush carries exactly the buffered bytes.
+    #[test]
+    fn wcb_overlay_and_flush_consistent(
+        ops in prop::collection::vec((0usize..LINE_BYTES, 1usize..=8, any::<u64>()), 1..32)
+    ) {
+        let mut wcb = Wcb::new();
+        let mut model: [Option<u8>; LINE_BYTES] = [None; LINE_BYTES];
+        let la = 7;
+        for (off, len, val) in ops {
+            let off = off.min(LINE_BYTES - len);
+            let flushed = wcb.merge(la, off, len, val);
+            prop_assert!(flushed.is_none(), "single line never self-flushes");
+            for k in 0..len {
+                model[off + k] = Some((val >> (k * 8)) as u8);
+            }
+        }
+        // Overlay over a zero value must reproduce the model.
+        for i in 0..LINE_BYTES {
+            let v = wcb.overlay(la, i, 1, 0) as u8;
+            prop_assert_eq!(v, model[i].unwrap_or(0));
+        }
+        let f = wcb.take().expect("dirty");
+        for i in 0..LINE_BYTES {
+            let buffered = f.mask & (1 << i) != 0;
+            prop_assert_eq!(buffered, model[i].is_some());
+            if buffered {
+                prop_assert_eq!(f.data[i], model[i].unwrap());
+            }
+        }
+    }
+
+    /// The two-level page table behaves like a map from page number to
+    /// (pfn, flags).
+    #[test]
+    fn page_table_matches_map(
+        ops in prop::collection::vec((any::<u32>(), 0u32..0xFFFFF, prop::bool::ANY), 1..128)
+    ) {
+        let mut pt = PageTable::new();
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        for (va, pfn, unmap) in ops {
+            let page = va & !0xfff;
+            if unmap {
+                pt.unmap(page);
+                model.remove(&page);
+            } else {
+                pt.map(page, pfn, PageFlags::shared_rw());
+                model.insert(page, pfn);
+            }
+            match model.get(&page) {
+                Some(&want) => {
+                    let pte = pt.lookup(va);
+                    prop_assert!(pte.flags().present());
+                    prop_assert_eq!(pte.pfn(), want);
+                }
+                None => prop_assert!(!pt.lookup(va).flags().present()),
+            }
+        }
+        prop_assert_eq!(pt.mapped_pages(), model.len());
+    }
+}
+
+// ----------------------------------------------------- full-stack invariants
+
+use integration_tests::with_stack;
+use metalsvm::{Consistency, SvmArray};
+use scc_mailbox::Notify;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Lazy-release SVM with barrier separation behaves like one shared
+    /// array for any single-writer-per-round schedule.
+    #[test]
+    fn svm_lazy_single_writer_rounds_linearise(
+        writes in prop::collection::vec((0usize..3, 0usize..32, any::<u32>()), 1..12)
+    ) {
+        let writes2 = writes.clone();
+        let results = with_stack(3, Notify::Ipi, move |k, _mbx, svm| {
+            let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+            let a = SvmArray::<u32>::new(r, 32);
+            svm.barrier(k);
+            for (writer, idx, val) in &writes2 {
+                if k.rank() == *writer {
+                    a.set(k, *idx, *val);
+                }
+                svm.barrier(k);
+            }
+            (0..32).map(|i| a.get(k, i)).collect::<Vec<u32>>()
+        });
+        let mut model = [0u32; 32];
+        for (_, idx, val) in &writes {
+            model[*idx] = *val;
+        }
+        for r in &results {
+            prop_assert_eq!(&r[..], &model[..]);
+        }
+    }
+
+    /// The same under the strong model (ownership migration per access).
+    #[test]
+    fn svm_strong_single_writer_rounds_linearise(
+        writes in prop::collection::vec((0usize..2, 0usize..16, any::<u32>()), 1..8)
+    ) {
+        let writes2 = writes.clone();
+        let results = with_stack(2, Notify::Ipi, move |k, _mbx, svm| {
+            let r = svm.alloc(k, 4096, Consistency::Strong);
+            let a = SvmArray::<u32>::new(r, 16);
+            svm.barrier(k);
+            for (writer, idx, val) in &writes2 {
+                if k.rank() == *writer {
+                    a.set(k, *idx, *val);
+                }
+                svm.barrier(k);
+            }
+            (0..16).map(|i| a.get(k, i)).collect::<Vec<u32>>()
+        });
+        let mut model = [0u32; 16];
+        for (_, idx, val) in &writes {
+            model[*idx] = *val;
+        }
+        for r in &results {
+            prop_assert_eq!(&r[..], &model[..]);
+        }
+    }
+}
+
+// ------------------------------------------------------- mailbox fuzzing
+
+use scc_hw::{CoreId, SccConfig};
+use scc_kernel::Cluster;
+use scc_mailbox::{install as mbx_install, MailKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random many-to-one mail streams arrive completely and in per-sender
+    /// order, under both notification strategies.
+    #[test]
+    fn mailbox_streams_preserve_per_sender_order(
+        counts in prop::collection::vec(1u8..12, 3),
+        ipi in prop::bool::ANY,
+    ) {
+        let counts2 = counts.clone();
+        let notify = if ipi { Notify::Ipi } else { Notify::Poll };
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let res = cl
+            .run(4, move |k| {
+                let mbx = mbx_install(k, notify);
+                let me = k.rank();
+                if me == 0 {
+                    // Collect everything; senders tag mails with a sequence
+                    // number so order per sender is checkable.
+                    let total: usize = counts2.iter().map(|c| *c as usize).sum();
+                    let mut last = [0u8; 4];
+                    for _ in 0..total {
+                        let m = mbx.recv(k);
+                        let sender = m.from.idx();
+                        let seq = m.data()[0];
+                        assert!(seq > last[sender], "per-sender order violated");
+                        last[sender] = seq;
+                    }
+                    total as u64
+                } else {
+                    for seq in 1..=counts2[me - 1] {
+                        mbx.send(k, CoreId::new(0), MailKind::USER, &[seq]);
+                        k.hw.advance((seq as u64 * 977) % 4000 + 10);
+                    }
+                    0
+                }
+            })
+            .unwrap();
+        let total: usize = counts.iter().map(|c| *c as usize).sum();
+        prop_assert_eq!(res[0].result, total as u64);
+    }
+
+    /// RCCE messages of arbitrary sizes (across the chunk boundary) arrive
+    /// byte-exact.
+    #[test]
+    fn rcce_roundtrip_arbitrary_sizes(
+        sizes in prop::collection::vec(1u32..20_000, 1..4),
+    ) {
+        let sizes2 = sizes.clone();
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(2, move |k| {
+            let mut comm = rcce::RcceComm::init(k);
+            let max = *sizes2.iter().max().unwrap();
+            let va = k.kalloc_pages(max.div_ceil(4096) + 1);
+            for (round, &len) in sizes2.iter().enumerate() {
+                if comm.ue() == 0 {
+                    for i in 0..len {
+                        k.vwrite(va + i, 1, u64::from((i as u8) ^ (round as u8)));
+                    }
+                    rcce::send(k, &mut comm, 1, va, len);
+                } else {
+                    rcce::recv(k, &mut comm, 0, va, len);
+                    for i in (0..len).step_by(97) {
+                        assert_eq!(
+                            k.vread(va + i, 1) as u8,
+                            (i as u8) ^ (round as u8),
+                            "byte {i} of round {round}"
+                        );
+                    }
+                }
+            }
+        })
+        .unwrap();
+    }
+}
