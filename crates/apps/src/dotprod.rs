@@ -40,10 +40,17 @@ pub fn dotprod_opt(
     let rank = k.rank();
     let lo = rank * len / n;
     let hi = (rank + 1) * len / n;
-    for i in lo..hi {
-        x.set(k, i, (i % 97) as f64 * 0.5);
-        y.set(k, i, (i % 89) as f64 - 44.0);
+    let mine = hi - lo;
+    let mut xs = vec![0.0f64; mine];
+    let mut ys = vec![0.0f64; mine];
+    for (off, v) in xs.iter_mut().enumerate() {
+        *v = ((lo + off) % 97) as f64 * 0.5;
     }
+    for (off, v) in ys.iter_mut().enumerate() {
+        *v = ((lo + off) % 89) as f64 - 44.0;
+    }
+    x.write_row(k, lo, &xs);
+    y.write_row(k, lo, &ys);
     svm.barrier(k);
 
     // Seal the inputs: stray writes now fault, L2 is re-enabled.
@@ -54,9 +61,11 @@ pub fn dotprod_opt(
 
     let mut acc = 0.0;
     for _ in 0..passes {
+        x.read_row(k, lo, &mut xs);
+        y.read_row(k, lo, &mut ys);
         let mut s = 0.0;
-        for i in lo..hi {
-            s += x.get(k, i) * y.get(k, i);
+        for i in 0..mine {
+            s += xs[i] * ys[i];
         }
         acc = s;
     }

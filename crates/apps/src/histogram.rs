@@ -41,9 +41,7 @@ pub fn histogram(
     let lock = svm.lock_new(k);
 
     if k.rank() == 0 {
-        for b in 0..p.bins {
-            bins.set(k, b, 0);
-        }
+        bins.fill(k, 0, p.bins, 0);
         k.hw.flush_wcb();
     }
     svm.barrier(k);
@@ -59,24 +57,22 @@ pub fn histogram(
         k.hw.advance(30);
     }
 
-    // Fold the private histogram into the shared one under the lock.
+    // Fold the private histogram into the shared one under the lock: one
+    // bulk read of the bins, add, one bulk write-back.
     lock.with(k, |k| {
+        let mut cur = vec![0u64; p.bins];
+        bins.read_row(k, 0, &mut cur);
         for b in 0..p.bins {
-            let cur = bins.get(k, b);
-            bins.set(k, b, cur + local[b]);
+            cur[b] += local[b];
         }
+        bins.write_row(k, 0, &cur);
     });
     svm.barrier(k);
 
-    let mut out = Vec::new();
-    let mut total = 0;
-    for b in 0..p.bins {
-        let v = bins.get(k, b);
-        if k.rank() == 0 {
-            out.push(v);
-        }
-        total += v;
-    }
+    let mut readback = vec![0u64; p.bins];
+    bins.read_row(k, 0, &mut readback);
+    let total = readback.iter().sum();
+    let out = if k.rank() == 0 { readback } else { Vec::new() };
     svm.barrier(k);
     (out, total)
 }

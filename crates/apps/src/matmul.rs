@@ -39,25 +39,39 @@ pub fn matmul(k: &mut Kernel<'_>, svm: &mut SvmCtx, n: usize) -> f64 {
 
     // A is needed row-wise by its block owner; B column-wise by everyone.
     // First-touch A by row blocks; stripe B the same way (it will be
-    // re-read everywhere through the L2 after sealing).
+    // re-read everywhere through the L2 after sealing). Rows are written
+    // with one bulk store each.
+    let mut row = vec![0.0f64; n];
     for i in lo..hi {
-        for j in 0..n {
-            a.set(k, i * n + j, a_at(i, j));
-            b.set(k, i * n + j, b_at(i, j));
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = a_at(i, j);
         }
+        a.write_row(k, i * n, &row);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = b_at(i, j);
+        }
+        b.write_row(k, i * n, &row);
     }
     svm.barrier(k);
     svm.mprotect_readonly(k, a_r);
     svm.mprotect_readonly(k, b_r);
 
+    // Stream each A row in once per output row; B is accessed column-wise,
+    // which a row-bulk accessor cannot help with, so it stays element-wise
+    // (and is served by the L2 after the seal). The C row is buffered and
+    // written back in one bulk store.
+    let mut a_row = vec![0.0f64; n];
+    let mut c_row = vec![0.0f64; n];
     for i in lo..hi {
+        a.read_row(k, i * n, &mut a_row);
         for j in 0..n {
             let mut s = 0.0;
             for l in 0..n {
-                s += a.get(k, i * n + l) * b.get(k, l * n + j);
+                s += a_row[l] * b.get(k, l * n + j);
             }
-            c.set(k, i * n + j, s);
+            c_row[j] = s;
         }
+        c.write_row(k, i * n, &c_row);
     }
     // Trace contribution of the owned rows.
     let mut t = 0.0;
@@ -116,11 +130,13 @@ mod tests {
     #[test]
     fn inputs_served_by_l2_after_seal() {
         let cl = Cluster::new(SccConfig::small()).unwrap();
+        // n = 48: B is 18 KiB, larger than the 8 KiB L1, so its column
+        // streams must be served by the (seal-re-enabled) L2.
         let res = cl
             .run(2, |k| {
                 let mbx = mbx_install(k, Notify::Ipi);
                 let mut svm = svm_install(k, &mbx, SvmConfig::default());
-                let _ = matmul(k, &mut svm, 32);
+                let _ = matmul(k, &mut svm, 48);
                 k.hw.perf.l2_hits
             })
             .unwrap();

@@ -1,0 +1,93 @@
+//! Criterion bench: host cost of element-wise SVM accessors (`get`/`set`)
+//! versus the bulk accessors (`read_row`/`write_row`/`fill`) that
+//! translate once per page instead of once per element.
+//!
+//! Simulated time is identical between the two shapes (asserted by the
+//! `fastpath_shadow` integration tests); what is measured here is pure
+//! host wall-clock per sweep over the same array.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metalsvm::{install, Consistency, SvmArray, SvmConfig};
+use scc_hw::{HostFastPaths, SccConfig};
+use scc_kernel::Cluster;
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Elements per sweep: 16 pages of f64 keeps one iteration in the
+/// tens-of-milliseconds range on a loaded host.
+const N: usize = 16 * 512;
+
+/// One single-core cluster run sweeping the array `rounds` times with
+/// `body`; the closure decides element-wise vs bulk.
+fn sweep(
+    host_fast: HostFastPaths,
+    rounds: usize,
+    body: impl Fn(&mut scc_kernel::Kernel<'_>, &SvmArray<f64>) + Send + Sync,
+) {
+    let cfg = SccConfig {
+        host_fast,
+        ..SccConfig::small()
+    };
+    let cl = Cluster::new(cfg).unwrap();
+    cl.run(1, |k| {
+        let mbx = mbx_install(k, Notify::Ipi);
+        let mut svm = install(k, &mbx, SvmConfig::default());
+        let r = svm.alloc(k, (N * 8) as u32, Consistency::Strong);
+        let a = SvmArray::<f64>::new(r, N);
+        a.fill(k, 0, N, 1.0); // first-touch every page up front
+        for _ in 0..rounds {
+            body(k, &a);
+        }
+    })
+    .unwrap();
+}
+
+fn bench_svm_bulk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svm_bulk");
+    g.sample_size(10);
+    let rounds = 8;
+
+    g.bench_function("elementwise_get_set", |b| {
+        b.iter(|| {
+            sweep(HostFastPaths::default(), rounds, |k, a| {
+                let mut acc = 0.0;
+                for i in 0..N {
+                    acc += a.get(k, i);
+                }
+                a.set(k, 0, acc);
+            });
+        });
+    });
+    g.bench_function("bulk_read_row_write_row", |b| {
+        b.iter(|| {
+            sweep(HostFastPaths::default(), rounds, |k, a| {
+                let mut row = vec![0.0f64; N];
+                a.read_row(k, 0, &mut row);
+                let acc: f64 = row.iter().sum();
+                a.write_row(k, 0, &row[..1]);
+                a.set(k, 0, acc);
+            });
+        });
+    });
+    g.bench_function("elementwise_walk_path", |b| {
+        b.iter(|| {
+            sweep(HostFastPaths::walk_path(), rounds, |k, a| {
+                let mut acc = 0.0;
+                for i in 0..N {
+                    acc += a.get(k, i);
+                }
+                a.set(k, 0, acc);
+            });
+        });
+    });
+    g.bench_function("bulk_fill", |b| {
+        b.iter(|| {
+            sweep(HostFastPaths::default(), rounds, |k, a| {
+                a.fill(k, 0, N, 2.0);
+            });
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_svm_bulk);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Host wall-clock benchmark of the simulator's fast paths.
+//!
+//! Runs the Figure 9 Laplace cell (paper grid, 48 cores) per variant with
+//! every host fast path disabled (full page-table walk per element, full
+//! decision round per yield) and with the default fast paths (simulated
+//! TLB, bulk accessors, executor fast yield). Simulated results are
+//! asserted bit-identical; only host time differs. Each configuration is
+//! timed `--reps` times and the minimum wall time is reported — the
+//! standard low-noise estimator, which matters because the host may be a
+//! single loaded CPU scheduling all 48 simulated-core threads. Emits
+//! `BENCH_fastpath.json` next to the working directory.
+//!
+//! Usage: `cargo run -p scc-bench --release --bin bench_fastpath
+//!         [--quick] [--iters N] [--reps N]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use scc_apps::laplace::LaplaceParams;
+use scc_bench::{laplace_run_host, HarnessArgs, LaplaceVariant, Table};
+use scc_hw::HostFastPaths;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let iters = args.iters.unwrap_or(if args.quick { 2 } else { 8 });
+    let reps = args.reps.unwrap_or(if args.quick { 2 } else { 3 });
+    let n = 48;
+    let p = LaplaceParams::paper(iters);
+
+    println!(
+        "Fast-path wall-clock benchmark — Laplace {}x{}, {} iterations, {} cores, best of {} reps",
+        p.width, p.height, p.iters, n, reps
+    );
+    let mut t = Table::new(&[
+        "variant",
+        "walk (s)",
+        "fast (s)",
+        "speedup",
+        "sim identical",
+        "TLB hit rate",
+    ]);
+
+    let mut rows_json = String::new();
+    let mut total_walk = 0.0f64;
+    let mut total_fast = 0.0f64;
+    for variant in [
+        LaplaceVariant::Ircce,
+        LaplaceVariant::SvmStrong,
+        LaplaceVariant::SvmLazy,
+    ] {
+        let mut walk_s = f64::INFINITY;
+        let mut fast_s = f64::INFINITY;
+        let mut walk = None;
+        let mut fast = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            walk = Some(laplace_run_host(variant, n, p, HostFastPaths::walk_path()));
+            walk_s = walk_s.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            fast = Some(laplace_run_host(variant, n, p, HostFastPaths::default()));
+            fast_s = fast_s.min(t0.elapsed().as_secs_f64());
+        }
+        let (walk, fast) = (walk.expect("reps >= 1"), fast.expect("reps >= 1"));
+
+        let identical = walk.checksum == fast.checksum && walk.sim_ms == fast.sim_ms;
+        assert!(
+            identical,
+            "{}: fast paths changed simulated results (walk {} ms / {}, \
+             fast {} ms / {})",
+            variant.label(),
+            walk.sim_ms,
+            walk.checksum,
+            fast.sim_ms,
+            fast.checksum
+        );
+        let hits = fast.perf.tlb_hits;
+        let misses = fast.perf.tlb_misses;
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        total_walk += walk_s;
+        total_fast += fast_s;
+        t.row(&[
+            variant.label().to_string(),
+            format!("{walk_s:8.2}"),
+            format!("{fast_s:8.2}"),
+            format!("{:6.2}x", walk_s / fast_s),
+            format!("{identical}"),
+            format!("{:6.2}%", 100.0 * hit_rate),
+        ]);
+        println!("{}", t.render().lines().last().unwrap());
+
+        let _ = write!(
+            rows_json,
+            "{}    {{\"variant\": \"{}\", \"walk_s\": {:.3}, \"fast_s\": {:.3}, \
+             \"speedup\": {:.2}, \"sim_ms\": {:.4}, \"sim_identical\": {}, \
+             \"tlb_hits\": {}, \"tlb_misses\": {}, \"tlb_shootdowns\": {}, \
+             \"fast_yields\": {}}}",
+            if rows_json.is_empty() { "" } else { ",\n" },
+            variant.label(),
+            walk_s,
+            fast_s,
+            walk_s / fast_s,
+            fast.sim_ms,
+            identical,
+            hits,
+            misses,
+            fast.perf.tlb_shootdowns,
+            fast.perf.fast_yields,
+        );
+    }
+
+    let overall = total_walk / total_fast;
+    println!("\n{}", t.render());
+    println!("overall wall-clock speedup: {overall:.2}x (walk {total_walk:.2}s -> fast {total_fast:.2}s)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fastpath\",\n  \"grid\": {{\"width\": {}, \
+         \"height\": {}, \"iters\": {}}},\n  \"cores\": {},\n  \"reps\": {},\n  \
+         \"results\": [\n{}\n  ],\n  \"total_walk_s\": {:.3},\n  \
+         \"total_fast_s\": {:.3},\n  \"overall_speedup\": {:.2}\n}}\n",
+        p.width, p.height, p.iters, n, reps, rows_json, total_walk, total_fast, overall
+    );
+    std::fs::write("BENCH_fastpath.json", &json).expect("write BENCH_fastpath.json");
+    println!("wrote BENCH_fastpath.json");
+}

@@ -36,10 +36,14 @@ fn main() {
         "SVM lazy (J)",
         "checksums equal",
     ]);
+    let mut host = scc_hw::PerfCounters::default();
     for &n in counts {
         let mp = laplace_run(LaplaceVariant::Ircce, n, p);
         let strong = laplace_run(LaplaceVariant::SvmStrong, n, p);
         let lazy = laplace_run(LaplaceVariant::SvmLazy, n, p);
+        for r in [&mp, &strong, &lazy] {
+            host.merge(&r.perf);
+        }
         let agree = mp.checksum == strong.checksum && strong.checksum == lazy.checksum;
         t.row(&[
             format!("{n}"),
@@ -54,6 +58,15 @@ fn main() {
         println!("{}", t.render().lines().last().unwrap());
     }
     println!("\n{}", t.render());
+    println!(
+        "host fast paths (whole sweep): {} TLB hits, {} TLB misses \
+         ({:.1}% hit rate), {} shootdowns, {} fast yields\n",
+        host.tlb_hits,
+        host.tlb_misses,
+        100.0 * host.tlb_hits as f64 / (host.tlb_hits + host.tlb_misses).max(1) as f64,
+        host.tlb_shootdowns,
+        host.fast_yields,
+    );
     println!(
         "paper shape: the two SVM curves are nearly identical; iRCCE is\n\
          slower up to 32 cores (its matrix write misses go to DDR3 word by\n\

@@ -39,6 +39,10 @@ pub struct LaplaceRun {
     /// Estimated energy over all active cores (whole run, J) under the
     /// default `scc_hw::power` model.
     pub energy_j: f64,
+    /// Hardware-model performance counters merged over the participating
+    /// cores (includes the host fast-path statistics: TLB hits/misses/
+    /// shootdowns and executor fast yields).
+    pub perf: scc_hw::PerfCounters,
 }
 
 /// Machine configuration sized for the experiment: the MP variant keeps
@@ -57,6 +61,23 @@ pub fn laplace_run(variant: LaplaceVariant, n: usize, p: LaplaceParams) -> Lapla
     laplace_run_cfg(variant, n, p, Notify::Ipi, SvmConfig::default())
 }
 
+/// Like [`laplace_run`], with the host fast paths (simulated TLB, bulk
+/// accessors, executor fast yield) configured explicitly. Simulated results
+/// are identical for every setting; only host wall-clock changes (the
+/// `bench_fastpath` harness and the shadow tests rely on this).
+pub fn laplace_run_host(
+    variant: LaplaceVariant,
+    n: usize,
+    p: LaplaceParams,
+    host_fast: scc_hw::HostFastPaths,
+) -> LaplaceRun {
+    let cfg = SccConfig {
+        host_fast,
+        ..laplace_config(n, p)
+    };
+    laplace_run_on(cfg, variant, n, p, Notify::Ipi, SvmConfig::default())
+}
+
 /// Like [`laplace_run`], with explicit mailbox notification strategy and
 /// SVM configuration (used by the ablation harnesses).
 pub fn laplace_run_cfg(
@@ -66,7 +87,17 @@ pub fn laplace_run_cfg(
     notify: Notify,
     svm_cfg: SvmConfig,
 ) -> LaplaceRun {
-    let cfg = laplace_config(n, p);
+    laplace_run_on(laplace_config(n, p), variant, n, p, notify, svm_cfg)
+}
+
+fn laplace_run_on(
+    cfg: SccConfig,
+    variant: LaplaceVariant,
+    n: usize,
+    p: LaplaceParams,
+    notify: Notify,
+    svm_cfg: SvmConfig,
+) -> LaplaceRun {
     let mhz = cfg.timing.core_mhz as f64;
     let cl = Cluster::new(cfg).expect("machine");
     let res = cl
@@ -95,10 +126,15 @@ pub fn laplace_run_cfg(
         .iter()
         .map(|r| scc_hw::power::estimate(&r.perf, r.clock.as_u64(), &timing, &pw).total_j())
         .sum();
+    let mut perf = scc_hw::PerfCounters::default();
+    for r in &res {
+        perf.merge(&r.perf);
+    }
     LaplaceRun {
         checksum,
         sim_ms: max_cycles as f64 / mhz / 1000.0,
         energy_j,
+        perf,
     }
 }
 

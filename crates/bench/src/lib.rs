@@ -14,21 +14,24 @@ pub mod pingpong;
 pub mod report;
 pub mod svm_micro;
 
-pub use laplace_run::{laplace_run, LaplaceRun, LaplaceVariant};
+pub use laplace_run::{laplace_config, laplace_run, laplace_run_host, LaplaceRun, LaplaceVariant};
 pub use pingpong::{pingpong_latency_us, PingPongSetup};
 pub use report::{fmt_us, Table};
-pub use svm_micro::{svm_overhead, SvmOverhead};
+pub use svm_micro::{svm_overhead, svm_overhead_host, SvmOverhead};
 
-/// Parse `--quick` / `--iters N` style flags shared by the harnesses.
+/// Parse `--quick` / `--iters N` / `--reps N` style flags shared by the
+/// harnesses.
 pub struct HarnessArgs {
     pub quick: bool,
     pub iters: Option<usize>,
+    pub reps: Option<usize>,
 }
 
 impl HarnessArgs {
     pub fn parse() -> Self {
         let mut quick = false;
         let mut iters = None;
+        let mut reps = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -41,9 +44,19 @@ impl HarnessArgs {
                             .expect("--iters needs a number"),
                     )
                 }
-                other => panic!("unknown argument {other} (try --quick or --iters N)"),
+                "--reps" => {
+                    reps = Some(
+                        args.next()
+                            .expect("--reps needs a value")
+                            .parse()
+                            .expect("--reps needs a number"),
+                    )
+                }
+                other => {
+                    panic!("unknown argument {other} (try --quick, --iters N or --reps N)")
+                }
             }
         }
-        HarnessArgs { quick, iters }
+        HarnessArgs { quick, iters, reps }
     }
 }

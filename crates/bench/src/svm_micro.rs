@@ -24,10 +24,22 @@ pub struct SvmOverhead {
 
 /// Run the §7.2.1 benchmark for one consistency model.
 pub fn svm_overhead(model: Consistency, scratch: metalsvm::ScratchLocation) -> SvmOverhead {
+    svm_overhead_host(model, scratch, scc_hw::HostFastPaths::default())
+}
+
+/// Like [`svm_overhead`], with the host fast paths configured explicitly.
+/// All reported simulated overheads must be identical for every setting
+/// (checked by the fast-path shadow tests).
+pub fn svm_overhead_host(
+    model: Consistency,
+    scratch: metalsvm::ScratchLocation,
+    host_fast: scc_hw::HostFastPaths,
+) -> SvmOverhead {
     // Enough shared memory for the 4 MiB region plus the system header.
     let cfg = SccConfig {
         private_bytes_per_core: 256 * 1024,
         shared_bytes: 16 * 1024 * 1024,
+        host_fast,
         ..SccConfig::default()
     };
     let mhz = cfg.timing.core_mhz as f64;

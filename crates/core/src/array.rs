@@ -128,6 +128,41 @@ impl<T: SvmScalar> SvmArray<T> {
     pub fn set(&self, k: &mut Kernel<'_>, i: usize, v: T) {
         k.vwrite(self.va_of(i), T::BYTES as usize, v.to_bits());
     }
+
+    /// Read `out.len()` consecutive elements starting at `offset` into
+    /// `out`. Simulated cost is identical to element-wise `get` calls; the
+    /// kernel's bulk path translates once per page instead of per element.
+    pub fn read_row(&self, k: &mut Kernel<'_>, offset: usize, out: &mut [T]) {
+        assert!(offset + out.len() <= self.len, "row read out of bounds");
+        if out.is_empty() {
+            return;
+        }
+        k.vread_block(self.va_of(offset), T::BYTES as usize, out.len(), |i, v| {
+            out[i] = T::from_bits(v);
+        });
+    }
+
+    /// Write `vals` to consecutive elements starting at `offset`. Bulk
+    /// counterpart of element-wise `set`.
+    pub fn write_row(&self, k: &mut Kernel<'_>, offset: usize, vals: &[T]) {
+        assert!(offset + vals.len() <= self.len, "row write out of bounds");
+        if vals.is_empty() {
+            return;
+        }
+        k.vwrite_block(self.va_of(offset), T::BYTES as usize, vals.len(), |i| {
+            vals[i].to_bits()
+        });
+    }
+
+    /// Store `v` into `len` consecutive elements starting at `offset`.
+    pub fn fill(&self, k: &mut Kernel<'_>, offset: usize, len: usize, v: T) {
+        assert!(offset + len <= self.len, "fill out of bounds");
+        if len == 0 {
+            return;
+        }
+        let bits = v.to_bits();
+        k.vwrite_block(self.va_of(offset), T::BYTES as usize, len, |_| bits);
+    }
 }
 
 #[cfg(test)]

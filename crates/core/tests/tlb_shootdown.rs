@@ -1,0 +1,145 @@
+//! TLB shootdown correctness: every PTE mutation must drop the matching
+//! simulated-TLB entry, so a core can never read (or write) through a
+//! stale cached translation — neither after a strong-model ownership
+//! migration nor after a region is sealed read-only.
+
+use metalsvm::{install, Consistency, SvmArray, SvmConfig};
+use scc_hw::{PerfCounters, SccConfig};
+use scc_kernel::{Cluster, Kernel};
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Boot the full stack on `n` cores and run `body`; returns the per-core
+/// results together with the merged hardware perf counters.
+fn with_svm_perf<R, F>(n: usize, body: F) -> (Vec<R>, PerfCounters)
+where
+    R: Send,
+    F: Fn(&mut Kernel<'_>, &mut metalsvm::SvmCtx) -> R + Send + Sync,
+{
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    let res = cl
+        .run(n, |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = install(k, &mbx, SvmConfig::default());
+            body(k, &mut svm)
+        })
+        .unwrap();
+    let mut perf = PerfCounters::default();
+    for r in &res {
+        perf.merge(&r.perf);
+    }
+    (res.into_iter().map(|r| r.result).collect(), perf)
+}
+
+#[test]
+fn strong_migration_invalidates_the_old_owners_tlb() {
+    // Core 0 first-touches the page: its TLB caches a writable
+    // translation. Core 1 then writes, migrating ownership — the
+    // invalidation request executed on core 0 must also shoot down core
+    // 0's TLB entry, so its next read faults and fetches the fresh data
+    // instead of reading through the stale mapping.
+    let (results, perf) = with_svm_perf(2, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 111); // first touch: own the page, warm the TLB
+            let warm = a.get(k, 0); // guaranteed TLB hit path
+            assert_eq!(warm, 111);
+            svm.barrier(k);
+            svm.barrier(k);
+            let v = a.get(k, 0); // stale TLB would miss core 1's write
+            svm.barrier(k);
+            v
+        } else {
+            svm.barrier(k);
+            assert_eq!(a.get(k, 0), 111, "must see core 0's write");
+            a.set(k, 0, 222);
+            svm.barrier(k);
+            svm.barrier(k);
+            0
+        }
+    });
+    assert_eq!(results[0], 222, "read after migration must see fresh data");
+    assert!(
+        perf.tlb_hits > 0,
+        "the TLB fast path must have been exercised: {perf:?}"
+    );
+    assert!(
+        perf.tlb_shootdowns > 0,
+        "ownership migration must shoot down TLB entries: {perf:?}"
+    );
+}
+
+#[test]
+fn strong_ping_pong_never_reads_stale_data() {
+    // Tighter variant: the page ping-pongs between two writers for many
+    // rounds; each round both cores re-read through their (potentially
+    // cached) translations. Any missed shootdown surfaces as a stale value.
+    let rounds = 16u64;
+    let (results, perf) = with_svm_perf(2, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 8);
+        if k.rank() == 0 {
+            a.set(k, 0, 0);
+        }
+        svm.barrier(k);
+        for round in 1..=rounds {
+            if k.rank() == (round % 2) as usize {
+                assert_eq!(a.get(k, 0), round - 1, "stale read in round {round}");
+                a.set(k, 0, round);
+            }
+            svm.barrier(k);
+        }
+        a.get(k, 0)
+    });
+    for v in &results {
+        assert_eq!(*v, rounds);
+    }
+    // The TLB is direct-mapped, so conflict evictions may beat some
+    // shootdowns to the entry — but the ping-pong must trigger plenty.
+    assert!(perf.tlb_shootdowns > 0, "migrations must invalidate: {perf:?}");
+}
+
+#[test]
+#[should_panic(expected = "unhandled Write fault")]
+fn mprotect_readonly_shoots_down_cached_writable_translation() {
+    // The write caches a *writable* translation in the TLB; the seal
+    // rewrites the PTE to read-only. A missed shootdown would let the
+    // second write slip through the stale writable entry instead of
+    // hard-faulting.
+    with_svm_perf(1, |k, svm| {
+        let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 8);
+        a.set(k, 0, 1); // TLB now holds a writable entry for the page
+        svm.mprotect_readonly(k, r);
+        a.set(k, 0, 2); // must panic: the entry was shot down
+    });
+}
+
+#[test]
+fn mprotect_readonly_counts_shootdowns_and_still_serves_reads() {
+    let (results, perf) = with_svm_perf(2, |k, svm| {
+        let r = svm.alloc(k, 8192, Consistency::LazyRelease);
+        let a = SvmArray::<u64>::new(r, 16);
+        if k.rank() == 0 {
+            for i in 0..16 {
+                a.set(k, i, 0xFEED + i as u64);
+            }
+        }
+        svm.barrier(k);
+        svm.mprotect_readonly(k, r);
+        // Reads go through the re-inserted read-only TLB entries.
+        let mut sum = 0;
+        for i in 0..16 {
+            sum += a.get(k, i);
+        }
+        svm.barrier(k);
+        sum
+    });
+    let want: u64 = (0..16).map(|i| 0xFEED + i as u64).sum();
+    assert_eq!(results[0], want);
+    assert_eq!(results[1], want);
+    assert!(
+        perf.tlb_shootdowns > 0,
+        "sealing rewrites PTEs and must invalidate TLB entries: {perf:?}"
+    );
+}

@@ -125,7 +125,7 @@ impl KernelHook for MailboxHook {
         }
     }
 
-    fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send>> {
+    fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send + Sync>> {
         if self.sh.notify != Notify::Poll {
             return None;
         }

@@ -135,7 +135,7 @@ impl RcceComm {
         owner: CoreId,
         off: u32,
         reason: &str,
-        pred: impl Fn(&FlagView) -> bool,
+        pred: impl Fn(&FlagView) -> bool + Send,
     ) -> FlagView {
         let mach = Arc::clone(k.hw.machine());
         let hops = k.id().hops_to(owner);

@@ -24,25 +24,57 @@ use crate::config::{CacheGeom, LINE_BYTES};
 /// Index of a 32-byte line in physical address space (`pa / 32`).
 pub type LineAddr = u32;
 
-/// One cache line.
-#[derive(Clone)]
-struct Line {
-    valid: bool,
-    dirty: bool,
-    mpbt: bool,
+/// Per-line bookkeeping, packed into 16 bytes so a tag probe touches a
+/// minimal slice of the line struct.
+#[derive(Clone, Copy)]
+struct Meta {
     tag: u32,
+    /// Bit 0 valid, bit 1 dirty, bit 2 MPBT.
+    flags: u32,
     lru: u64,
+}
+
+const F_VALID: u32 = 1;
+const F_DIRTY: u32 = 2;
+const F_MPBT: u32 = 4;
+
+impl Meta {
+    fn empty() -> Self {
+        Meta {
+            tag: 0,
+            flags: 0,
+            lru: 0,
+        }
+    }
+
+    #[inline]
+    fn valid(&self) -> bool {
+        self.flags & F_VALID != 0
+    }
+
+    #[inline]
+    fn dirty(&self) -> bool {
+        self.flags & F_DIRTY != 0
+    }
+
+    #[inline]
+    fn mpbt(&self) -> bool {
+        self.flags & F_MPBT != 0
+    }
+}
+
+/// One cache line: bookkeeping and data kept adjacent (48 bytes) so that a
+/// hit touches one or two host cache lines, not one per array.
+#[derive(Clone, Copy)]
+struct Line {
+    meta: Meta,
     data: [u8; LINE_BYTES],
 }
 
 impl Line {
     fn empty() -> Self {
         Line {
-            valid: false,
-            dirty: false,
-            mpbt: false,
-            tag: 0,
-            lru: 0,
+            meta: Meta::empty(),
             data: [0; LINE_BYTES],
         }
     }
@@ -57,6 +89,9 @@ pub struct Writeback {
 /// A set-associative, true-LRU, data-carrying cache model.
 pub struct Cache {
     sets: usize,
+    /// `log2(sets)`: the tag is `la >> set_shift` (sets is a power of two;
+    /// a shift keeps the per-access lookup free of integer division).
+    set_shift: u32,
     assoc: usize,
     lines: Vec<Line>,
     tick: u64,
@@ -68,6 +103,7 @@ impl Cache {
         assert!(sets.is_power_of_two());
         Cache {
             sets,
+            set_shift: sets.trailing_zeros(),
             assoc: geom.assoc,
             lines: vec![Line::empty(); sets * geom.assoc],
             tick: 0,
@@ -81,7 +117,7 @@ impl Cache {
 
     #[inline]
     fn tag_of(&self, la: LineAddr) -> u32 {
-        la / self.sets as u32
+        la >> self.set_shift
     }
 
     #[inline]
@@ -89,10 +125,14 @@ impl Cache {
         set * self.assoc..(set + 1) * self.assoc
     }
 
+    #[inline]
     fn find(&self, la: LineAddr) -> Option<usize> {
         let tag = self.tag_of(la);
-        self.ways(self.set_of(la))
-            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+        let base = self.set_of(la) * self.assoc;
+        let ways = &self.lines[base..base + self.assoc];
+        ways.iter()
+            .position(|l| l.meta.valid() && l.meta.tag == tag)
+            .map(|w| base + w)
     }
 
     /// Probe without touching LRU state (used by tests and snoops).
@@ -102,15 +142,21 @@ impl Cache {
 
     /// Read `len` bytes at `offset` within line `la`, if cached.
     /// Updates LRU on hit.
+    #[inline]
     pub fn read(&mut self, la: LineAddr, offset: usize, len: usize) -> Option<u64> {
-        let i = self.find(la)?;
-        self.tick += 1;
-        self.lines[i].lru = self.tick;
-        let mut out = 0u64;
-        for k in 0..len {
-            out |= (self.lines[i].data[offset + k] as u64) << (k * 8);
+        let tag = la >> self.set_shift;
+        let base = ((la as usize) & (self.sets - 1)) * self.assoc;
+        let tick = self.tick + 1;
+        for l in &mut self.lines[base..base + self.assoc] {
+            if l.meta.valid() && l.meta.tag == tag {
+                self.tick = tick;
+                l.meta.lru = tick;
+                let mut buf = [0u8; 8];
+                buf[..len].copy_from_slice(&l.data[offset..offset + len]);
+                return Some(u64::from_le_bytes(buf));
+            }
         }
-        Some(out)
+        None
     }
 
     /// Write `len` bytes into line `la` **iff present** (no write-allocate).
@@ -120,6 +166,7 @@ impl Cache {
     /// simultaneously sent down the hierarchy by the memory engine.
     ///
     /// Returns `true` when the line was present (a write hit).
+    #[inline]
     pub fn write_if_present(
         &mut self,
         la: LineAddr,
@@ -128,18 +175,21 @@ impl Cache {
         val: u64,
         write_through: bool,
     ) -> bool {
-        let Some(i) = self.find(la) else {
-            return false;
-        };
-        self.tick += 1;
-        self.lines[i].lru = self.tick;
-        for k in 0..len {
-            self.lines[i].data[offset + k] = (val >> (k * 8)) as u8;
+        let tag = la >> self.set_shift;
+        let base = ((la as usize) & (self.sets - 1)) * self.assoc;
+        let tick = self.tick + 1;
+        for l in &mut self.lines[base..base + self.assoc] {
+            if l.meta.valid() && l.meta.tag == tag {
+                self.tick = tick;
+                l.meta.lru = tick;
+                l.data[offset..offset + len].copy_from_slice(&val.to_le_bytes()[..len]);
+                if !write_through {
+                    l.meta.flags |= F_DIRTY;
+                }
+                return true;
+            }
         }
-        if !write_through {
-            self.lines[i].dirty = true;
-        }
-        true
+        false
     }
 
     /// Install line `la` with `data`, returning the victim if it was dirty.
@@ -149,20 +199,27 @@ impl Cache {
         let set = self.set_of(la);
         let victim = self
             .ways(set)
-            .min_by_key(|&i| if self.lines[i].valid { self.lines[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                let m = &self.lines[i].meta;
+                if m.valid() {
+                    m.lru
+                } else {
+                    0
+                }
+            })
             .expect("cache set has at least one way");
         let tag = self.tag_of(la);
-        let old = &mut self.lines[victim];
-        let wb = (old.valid && old.dirty).then(|| Writeback {
+        let old = self.lines[victim].meta;
+        let wb = (old.valid() && old.dirty()).then(|| Writeback {
             line: (old.tag * self.sets as u32) + set as u32,
-            data: old.data,
+            data: self.lines[victim].data,
         });
-        *old = Line {
-            valid: true,
-            dirty: false,
-            mpbt,
-            tag,
-            lru: self.tick,
+        self.lines[victim] = Line {
+            meta: Meta {
+                tag,
+                flags: F_VALID | if mpbt { F_MPBT } else { 0 },
+                lru: self.tick,
+            },
             data,
         };
         wb
@@ -180,9 +237,9 @@ impl Cache {
     pub fn absorb_writeback(&mut self, la: LineAddr, data: [u8; LINE_BYTES]) -> bool {
         if let Some(i) = self.find(la) {
             self.tick += 1;
-            self.lines[i].lru = self.tick;
+            self.lines[i].meta.lru = self.tick;
             self.lines[i].data = data;
-            self.lines[i].dirty = true;
+            self.lines[i].meta.flags |= F_DIRTY;
             true
         } else {
             false
@@ -195,8 +252,8 @@ impl Cache {
     pub fn invalidate_mpbt(&mut self) -> usize {
         let mut n = 0;
         for l in &mut self.lines {
-            if l.valid && l.mpbt {
-                l.valid = false;
+            if l.meta.valid() && l.meta.mpbt() {
+                l.meta.flags &= !F_VALID;
                 n += 1;
             }
         }
@@ -207,7 +264,7 @@ impl Cache {
     /// whether it was present.
     pub fn invalidate_line(&mut self, la: LineAddr) -> bool {
         if let Some(i) = self.find(la) {
-            self.lines[i].valid = false;
+            self.lines[i].meta.flags &= !F_VALID;
             true
         } else {
             false
@@ -220,20 +277,20 @@ impl Cache {
         let sets = self.sets as u32;
         let mut out = Vec::new();
         for (i, l) in self.lines.iter_mut().enumerate() {
-            if l.valid && l.dirty {
+            if l.meta.valid() && l.meta.dirty() {
                 out.push(Writeback {
-                    line: l.tag * sets + (i / self.assoc) as u32,
+                    line: l.meta.tag * sets + (i / self.assoc) as u32,
                     data: l.data,
                 });
             }
-            l.valid = false;
+            l.meta.flags &= !F_VALID;
         }
         out
     }
 
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.meta.valid()).count()
     }
 }
 
@@ -279,10 +336,8 @@ impl Wcb {
             None
         };
         self.line = Some(la);
-        for k in 0..len {
-            self.data[offset + k] = (val >> (k * 8)) as u8;
-            self.mask |= 1 << (offset + k);
-        }
+        self.data[offset..offset + len].copy_from_slice(&val.to_le_bytes()[..len]);
+        self.mask |= (((1u64 << len) - 1) as u32) << offset;
         flushed
     }
 
@@ -305,6 +360,7 @@ impl Wcb {
 
     /// Overlay buffered bytes onto a value read from below (the core snoops
     /// its own write buffer, so its loads always see its own stores).
+    #[inline]
     pub fn overlay(&self, la: LineAddr, offset: usize, len: usize, val: u64) -> u64 {
         if self.line != Some(la) {
             return val;

@@ -27,6 +27,47 @@ impl CacheGeom {
     }
 }
 
+/// Host-performance fast-path toggles.
+///
+/// These switch purely host-side shortcuts (software TLB, bulk translation
+/// reuse, direct baton hand-off in the executor) that leave simulated
+/// virtual time bit-identical — see DESIGN.md §6. They default to on; the
+/// walk-path configuration exists for the shadow-mode equivalence tests
+/// and the `bench_fastpath` harness.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct HostFastPaths {
+    /// Per-core software TLB in the kernel layer (skips the page-table
+    /// walk on translation hits).
+    pub tlb: bool,
+    /// Bulk `vread_block`/`vwrite_block` translate once per page instead
+    /// of once per element.
+    pub bulk: bool,
+    /// `yield_now` hands the baton directly to the min-clock runnable
+    /// core when no core is blocked, skipping the decision round.
+    pub fast_yield: bool,
+}
+
+impl Default for HostFastPaths {
+    fn default() -> Self {
+        HostFastPaths {
+            tlb: true,
+            bulk: true,
+            fast_yield: true,
+        }
+    }
+}
+
+impl HostFastPaths {
+    /// Every shortcut disabled: the reference walk path.
+    pub fn walk_path() -> Self {
+        HostFastPaths {
+            tlb: false,
+            bulk: false,
+            fast_yield: false,
+        }
+    }
+}
+
 /// Full machine configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SccConfig {
@@ -53,6 +94,8 @@ pub struct SccConfig {
     /// mailbox system without IPIs relies on this tick (plus the idle loop)
     /// to scan its receive buffers.
     pub tick_cycles: u64,
+    /// Host-side fast-path toggles (simulation-invisible).
+    pub host_fast: HostFastPaths,
 }
 
 impl Default for SccConfig {
@@ -73,6 +116,7 @@ impl Default for SccConfig {
             quantum_cycles: 20_000,
             // 1 ms at 533 MHz, the classic 1000 Hz kernel tick.
             tick_cycles: 533_000,
+            host_fast: HostFastPaths::default(),
         }
     }
 }

@@ -12,6 +12,7 @@ use crate::exec::Scheduler;
 use crate::machine::MachineInner;
 use crate::perf::PerfCounters;
 use crate::ram::Backing;
+use crate::timing::TimingParams;
 use crate::topology::{mc_coord, CoreId};
 use std::sync::Arc;
 
@@ -80,6 +81,11 @@ pub struct CoreCtx {
     l1: Cache,
     l2: Cache,
     wcb: Wcb,
+    /// Copies of `mach.cfg.timing` / `mach.cfg.quantum_cycles`: the memory
+    /// model reads these on every access, and a local copy avoids chasing
+    /// the `Arc` on the hot path.
+    timing: TimingParams,
+    quantum: u64,
     /// Hardware event counters for this core.
     pub perf: PerfCounters,
     mach: Arc<MachineInner>,
@@ -102,6 +108,8 @@ impl CoreCtx {
             l1: Cache::new(mach.cfg.l1),
             l2: Cache::new(mach.cfg.l2),
             wcb: Wcb::new(),
+            timing: mach.cfg.timing.clone(),
+            quantum,
             perf: PerfCounters::default(),
             mach,
             sched,
@@ -138,8 +146,10 @@ impl CoreCtx {
     /// Voluntarily hand the baton to the globally minimal core.
     pub fn yield_now(&mut self) {
         self.perf.yields += 1;
-        self.sched.yield_now(self.slot, self.clock);
-        self.next_yield = self.clock + self.mach.cfg.quantum_cycles;
+        if self.sched.yield_now(self.slot, self.clock) {
+            self.perf.fast_yields += 1;
+        }
+        self.next_yield = self.clock + self.quantum;
     }
 
     /// Jump the clock forward to at least `stamp` (event delivery).
@@ -152,17 +162,17 @@ impl CoreCtx {
     /// and use only raw (`peek`-style) accessors; it runs with the scheduler
     /// lock held. The `u64` it returns is the event stamp; the clock is
     /// advanced to it (the caller charges delivery latency on top).
-    pub fn wait_until<T>(
+    pub fn wait_until<T: Send>(
         &mut self,
         reason: &str,
-        cond: impl FnMut() -> Option<(T, u64)>,
+        cond: impl FnMut() -> Option<(T, u64)> + Send,
     ) -> T {
         self.perf.blocks += 1;
         let (v, stamp) = self
             .sched
             .wait_blocked(self.slot, self.clock, reason, cond);
         self.sync_to(stamp);
-        self.next_yield = self.clock + self.mach.cfg.quantum_cycles;
+        self.next_yield = self.clock + self.quantum;
         v
     }
 
@@ -173,7 +183,7 @@ impl CoreCtx {
     /// Cost of one word-granular access to `pa` (uncached path).
     #[inline]
     fn word_cost(&self, pa: u32) -> u64 {
-        let t = &self.mach.cfg.timing;
+        let t = &self.timing;
         match self.mach.map.resolve(pa) {
             Backing::Ram { mc } => t.ddr_word_cost(self.id.tile().hops_to(mc_coord(mc))),
             Backing::Mpb { owner } => t.mpb_cost(self.id.tile().hops_to(owner.tile())),
@@ -183,7 +193,7 @@ impl CoreCtx {
     /// Cost of one 32-byte line transfer from/to `pa`'s device.
     #[inline]
     fn line_cost(&self, pa: u32) -> u64 {
-        let t = &self.mach.cfg.timing;
+        let t = &self.timing;
         match self.mach.map.resolve(pa) {
             Backing::Ram { mc } => t.ddr_line_cost(self.id.tile().hops_to(mc_coord(mc))),
             Backing::Mpb { owner } => t.mpb_cost(self.id.tile().hops_to(owner.tile())),
@@ -224,39 +234,30 @@ impl CoreCtx {
 
     fn backing_line(&mut self, la: u32) -> [u8; LINE_BYTES] {
         let base = la * LINE_BYTES as u32;
-        let mut out = [0u8; LINE_BYTES];
-        for w in 0..LINE_BYTES / 4 {
-            let v = match self.mach.map.resolve(base) {
-                Backing::Ram { .. } => self.mach.ram.read(base + (w * 4) as u32, 4),
-                Backing::Mpb { .. } => self.mach.mpb.read(base + (w * 4) as u32, 4),
-            };
-            out[w * 4..w * 4 + 4].copy_from_slice(&(v as u32).to_le_bytes());
-        }
         match self.mach.map.resolve(base) {
-            Backing::Ram { .. } => self.perf.ram_reads += 1,
-            Backing::Mpb { .. } => self.perf.mpb_reads += 1,
+            Backing::Ram { .. } => {
+                self.perf.ram_reads += 1;
+                self.mach.ram.read_line(base)
+            }
+            Backing::Mpb { .. } => {
+                self.perf.mpb_reads += 1;
+                self.mach.mpb.read_line(base)
+            }
         }
-        out
     }
 
     fn apply_wcb_flush(&mut self, f: WcbFlush) {
         let base = f.line * LINE_BYTES as u32;
         self.perf.wcb_flushes += 1;
-        for k in 0..LINE_BYTES {
-            if f.mask & (1 << k) != 0 {
-                match self.mach.map.resolve(base) {
-                    Backing::Ram { .. } => {
-                        self.mach.ram.write(base + k as u32, 1, f.data[k] as u64)
-                    }
-                    Backing::Mpb { .. } => {
-                        self.mach.mpb.write(base + k as u32, 1, f.data[k] as u64)
-                    }
-                }
-            }
-        }
         match self.mach.map.resolve(base) {
-            Backing::Ram { .. } => self.perf.ram_writes += 1,
-            Backing::Mpb { .. } => self.perf.mpb_writes += 1,
+            Backing::Ram { .. } => {
+                self.mach.ram.write_line_masked(base, &f.data, f.mask);
+                self.perf.ram_writes += 1;
+            }
+            Backing::Mpb { .. } => {
+                self.mach.mpb.write_line_masked(base, &f.data, f.mask);
+                self.perf.mpb_writes += 1;
+            }
         }
         let cost = self.line_cost(base);
         self.advance(cost);
@@ -266,10 +267,7 @@ impl CoreCtx {
     /// victims whose line is not in the L2).
     fn writeback_line(&mut self, line: u32, data: [u8; LINE_BYTES]) {
         let base = line * LINE_BYTES as u32;
-        for w in 0..LINE_BYTES / 4 {
-            let v = u32::from_le_bytes(data[w * 4..w * 4 + 4].try_into().unwrap());
-            self.mach.ram.write(base + (w * 4) as u32, 4, v as u64);
-        }
+        self.mach.ram.write_line(base, &data);
         self.perf.ram_writes += 1;
         let cost = self.line_cost(base);
         self.advance(cost);
@@ -280,7 +278,7 @@ impl CoreCtx {
     /// data), and go to memory only when the L2 does not hold the line.
     fn writeback_l1_victim(&mut self, line: u32, data: [u8; LINE_BYTES]) {
         if self.l2.absorb_writeback(line, data) {
-            let c = self.mach.cfg.timing.l2_hit;
+            let c = self.timing.l2_hit;
             self.advance(c);
         } else {
             self.writeback_line(line, data);
@@ -292,6 +290,7 @@ impl CoreCtx {
     // ------------------------------------------------------------------
 
     /// Timed read of `len` (1..=8) bytes at physical address `pa`.
+    #[inline]
     pub fn read(&mut self, pa: u32, len: usize, attr: MemAttr) -> u64 {
         debug_assert!((1..=8).contains(&len));
         // Split accesses that straddle a cache line (rare, unaligned).
@@ -303,8 +302,8 @@ impl CoreCtx {
             return lo | (hi << (first * 8));
         }
         let la = pa / LINE_BYTES as u32;
-        let t_l1_hit = self.mach.cfg.timing.l1_hit;
-        let t_l2_hit = self.mach.cfg.timing.l2_hit;
+        let t_l1_hit = self.timing.l1_hit;
+        let t_l2_hit = self.timing.l2_hit;
 
         let val = if !attr.l1 {
             let cost = self.word_cost(pa);
@@ -352,6 +351,7 @@ impl CoreCtx {
     }
 
     /// Timed write of the low `len` (1..=8) bytes of `val` at `pa`.
+    #[inline]
     pub fn write(&mut self, pa: u32, len: usize, val: u64, attr: MemAttr) {
         debug_assert!((1..=8).contains(&len));
         let off = (pa as usize) % LINE_BYTES;
@@ -367,7 +367,7 @@ impl CoreCtx {
             return;
         }
         let la = pa / LINE_BYTES as u32;
-        let t_l1_hit = self.mach.cfg.timing.l1_hit;
+        let t_l1_hit = self.timing.l1_hit;
 
         if !attr.l1 {
             let cost = self.word_cost(pa);
@@ -382,7 +382,7 @@ impl CoreCtx {
                 self.advance(t_l1_hit);
             } else if attr.l2 && self.l2.write_if_present(la, off, len, val, false) {
                 self.perf.l2_hits += 1;
-                let c = self.mach.cfg.timing.l2_hit;
+                let c = self.timing.l2_hit;
                 self.advance(c);
             } else {
                 let cost = self.word_cost(pa);
@@ -417,7 +417,7 @@ impl CoreCtx {
     pub fn cl1invmb(&mut self) {
         self.perf.cl1invmb_count += 1;
         self.l1.invalidate_mpbt();
-        let c = self.mach.cfg.timing.cl1invmb;
+        let c = self.timing.cl1invmb;
         self.advance(c);
     }
 
@@ -458,7 +458,7 @@ impl CoreCtx {
     /// One attempt at the test-and-set register of `reg`'s tile.
     pub fn tas_try(&mut self, reg: CoreId) -> bool {
         let hops = self.id.hops_to(reg);
-        let cost = self.mach.cfg.timing.tas_cost(hops);
+        let cost = self.timing.tas_cost(hops);
         self.advance(cost);
         match self.mach.tas.test_and_set(reg) {
             Ok(release_stamp) => {
@@ -489,7 +489,7 @@ impl CoreCtx {
     /// Release a test-and-set register.
     pub fn tas_unlock(&mut self, reg: CoreId) {
         let hops = self.id.hops_to(reg);
-        let cost = self.mach.cfg.timing.tas_cost(hops);
+        let cost = self.timing.tas_cost(hops);
         self.advance(cost);
         self.mach.tas.release(reg, self.clock);
     }
@@ -500,7 +500,7 @@ impl CoreCtx {
 
     /// Ring the GIC doorbell of `dst`.
     pub fn send_ipi(&mut self, dst: CoreId) {
-        let t = &self.mach.cfg.timing;
+        let t = &self.timing;
         let cost = t.ipi_raise + t.hop_cost(self.id.hops_to(dst));
         self.advance(cost);
         self.perf.ipis_sent += 1;
@@ -518,7 +518,7 @@ impl CoreCtx {
     /// raise stamp plus wire delivery; the caller charges handler entry.
     pub fn claim_ipis(&mut self) -> Vec<(CoreId, u64)> {
         let list = self.mach.gic.claim(self.id);
-        let t = self.mach.cfg.timing.clone();
+        let t = self.timing.clone();
         for (src, stamp) in &list {
             self.perf.ipis_received += 1;
             let deliver = t.ipi_delivery(self.id.hops_to(*src));

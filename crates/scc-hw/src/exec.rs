@@ -31,6 +31,35 @@
 //! runnable and no condition is satisfiable is a proven deadlock of the
 //! simulated software; every thread then unwinds with a report naming each
 //! core's wait reason.
+//!
+//! ## Fast-path yields
+//!
+//! When **no core is blocked**, a decision round is pure bookkeeping: there
+//! are no conditions to re-check, and the winner is simply the minimum-clock
+//! runnable core — the exact value `finalize` would compute. With the
+//! `fast_yield` host fast path enabled, `yield_now` computes that winner
+//! inline and hands the baton over directly (or keeps it, if the yielder is
+//! still minimal), skipping the round counter, the re-check sweep, and the
+//! broadcast wakeup. Virtual time is bit-identical either way; only host
+//! wall-clock changes. Wakeups are targeted per slot (one condvar each, all
+//! guarding the same mutex) so a hand-off wakes one thread, not all N.
+//!
+//! ## Inline condition evaluation
+//!
+//! With blocked cores present, the historical protocol wakes every blocked
+//! thread once per scheduling event so it re-evaluates its condition under
+//! the lock — two context switches per blocked core per yield, which
+//! dominates host time at high core counts (47 sleepers woken per quantum
+//! of the one runnable core). Under `fast_yield`, each blocked core instead
+//! *registers* its condition with the scheduler, and whichever thread
+//! performs the scheduling event evaluates all registered conditions inline
+//! while holding the lock. The state observed is identical (quiescent, same
+//! critical section) and the winner is the same pure function of
+//! (clock, status, satisfiability), so the schedule — and therefore every
+//! virtual clock — is bit-identical to the historical protocol; blocked
+//! threads simply stay asleep until they actually win. With `fast_yield`
+//! off, the historical wake-everyone protocol runs unchanged, which is what
+//! the shadow tests compare against.
 
 use crate::error::HwError;
 use parking_lot::{Condvar, Mutex};
@@ -56,6 +85,15 @@ struct SchedState {
     checked: Vec<u64>,
     /// Whether the slot's condition held when it last re-checked.
     satisfiable: Vec<bool>,
+    /// Count of slots in `Status::Blocked`; the fast yield path is only
+    /// legal while this is zero.
+    nblocked: usize,
+    /// Registered wait conditions (fast path only): `Some` for each blocked
+    /// slot, evaluated inline by whichever thread schedules. The boxes
+    /// borrow state on their owning threads' stacks (lifetime-erased); the
+    /// owning thread removes its box, under this scheduler's lock, before
+    /// leaving `wait_blocked` by any path.
+    checkers: Vec<Option<Box<dyn FnMut() -> bool + Send>>>,
     deadlock: Option<Arc<HwError>>,
 }
 
@@ -82,7 +120,12 @@ impl SchedState {
 /// The scheduler shared by all core threads of one [`crate::Machine::run`].
 pub struct Scheduler {
     state: Mutex<SchedState>,
-    cv: Condvar,
+    /// One condvar per slot, all guarding `state`. Each slot's thread only
+    /// ever waits on its own condvar, so wakeups can be targeted at exactly
+    /// the thread that must act next.
+    cvs: Vec<Condvar>,
+    /// Host fast path: direct baton hand-off when no core is blocked.
+    fast_yield: bool,
 }
 
 /// Raised inside a core thread when the simulation deadlocks; carries the
@@ -91,6 +134,10 @@ pub struct DeadlockUnwind(pub Arc<HwError>);
 
 impl Scheduler {
     pub fn new(nslots: usize) -> Arc<Self> {
+        Self::with_fast_yield(nslots, true)
+    }
+
+    pub fn with_fast_yield(nslots: usize, fast_yield: bool) -> Arc<Self> {
         Arc::new(Scheduler {
             state: Mutex::new(SchedState {
                 clocks: vec![0; nslots],
@@ -100,10 +147,36 @@ impl Scheduler {
                 round: 0,
                 checked: vec![0; nslots],
                 satisfiable: vec![false; nslots],
+                nblocked: 0,
+                checkers: (0..nslots).map(|_| None).collect(),
                 deadlock: None,
             }),
-            cv: Condvar::new(),
+            cvs: (0..nslots).map(|_| Condvar::new()).collect(),
+            fast_yield,
         })
+    }
+
+    /// Wake the threads that must act on the state just produced by
+    /// `open_round`/`close_round`: everyone on deadlock (all must unwind),
+    /// the winner once a round is decided, or the blocked-unchecked slots
+    /// while a round is still collecting re-checks.
+    fn wake_after_open(&self, st: &SchedState) {
+        if st.deadlock.is_some() {
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+            return;
+        }
+        match st.current {
+            Some(w) => self.cvs[w].notify_all(),
+            None => {
+                for i in 0..st.clocks.len() {
+                    if st.status[i] == Status::Blocked && st.checked[i] < st.round {
+                        self.cvs[i].notify_all();
+                    }
+                }
+            }
+        }
     }
 
     /// Open a decision round. If no blocked cores need re-checking, the
@@ -114,7 +187,38 @@ impl Scheduler {
         if !st.blocked_unchecked_remaining() {
             self.close_round(st);
         }
-        self.cv.notify_all();
+        self.wake_after_open(st);
+    }
+
+    /// Fast-path equivalent of a full decision round: evaluate every
+    /// blocked core's registered condition inline (the lock is held and no
+    /// core is running, so the state is exactly as quiescent as it is for
+    /// the historical re-check-on-wake), then pick the winner. Same inputs,
+    /// same winner function — same schedule — without waking any sleeper
+    /// that doesn't win.
+    fn elect(&self, st: &mut SchedState) {
+        st.current = None;
+        if st.deadlock.is_none() {
+            for i in 0..st.clocks.len() {
+                if st.status[i] == Status::Blocked {
+                    let mut checker =
+                        st.checkers[i].take().expect("blocked slot must register");
+                    st.satisfiable[i] = checker();
+                    st.checkers[i] = Some(checker);
+                }
+            }
+        }
+        self.close_round(st);
+        self.wake_after_open(st);
+    }
+
+    /// Dispatch a scheduling event to the protocol in force.
+    fn schedule_next(&self, st: &mut SchedState) {
+        if self.fast_yield {
+            self.elect(st);
+        } else {
+            self.open_round(st);
+        }
     }
 
     /// All re-checks are in: pick the winner or declare deadlock.
@@ -146,49 +250,82 @@ impl Scheduler {
             if st.deadlock.is_some() {
                 self.unwind_deadlock(&st);
             }
-            self.cv.wait(&mut st);
+            self.cvs[slot].wait(&mut st);
         }
     }
 
-    /// Update this slot's clock and open a decision round.
-    pub fn yield_now(&self, slot: usize, clock: u64) {
+    /// Update this slot's clock and pass the baton.
+    ///
+    /// Returns `true` when the fast protocol resolved the yield — direct
+    /// hand-off with nobody blocked, or an inline election with no sleeper
+    /// wakeups — and `false` when a historical wake-everyone decision round
+    /// ran. Virtual-time behaviour is identical either way.
+    pub fn yield_now(&self, slot: usize, clock: u64) -> bool {
         let mut st = self.state.lock();
         debug_assert_eq!(st.current, Some(slot), "yield from a non-running core");
         st.clocks[slot] = clock;
-        self.open_round(&mut st);
+        if self.fast_yield && st.nblocked == 0 {
+            // With nobody blocked, a round would trivially re-elect the
+            // min-clock runnable core — compute it inline instead.
+            let winner = (0..st.clocks.len())
+                .filter(|&i| st.status[i] == Status::Runnable)
+                .min_by_key(|&i| (st.clocks[i], i))
+                .expect("the yielding core is runnable");
+            if winner == slot {
+                return true; // still minimal: keep the baton
+            }
+            st.current = Some(winner);
+            self.cvs[winner].notify_all();
+            while st.current != Some(slot) {
+                if st.deadlock.is_some() {
+                    self.unwind_deadlock(&st);
+                }
+                self.cvs[slot].wait(&mut st);
+            }
+            return true;
+        }
+        self.schedule_next(&mut st);
         while st.current != Some(slot) {
             if st.deadlock.is_some() {
                 self.unwind_deadlock(&st);
             }
-            self.cv.wait(&mut st);
+            self.cvs[slot].wait(&mut st);
         }
+        self.fast_yield
     }
 
     /// Block until `cond` returns `Some`. The closure must be free of side
     /// effects and must not charge simulated time (use raw `peek`
     /// accessors); it runs with the scheduler lock held, against quiescent
-    /// simulated state.
+    /// simulated state (under the fast path it may run on *another core's*
+    /// thread, hence the `Send` bounds).
     ///
     /// Returns the closure's value; the caller advances its clock past the
     /// event stamp carried inside.
-    pub fn wait_blocked<T>(
+    pub fn wait_blocked<T: Send>(
         &self,
         slot: usize,
         clock: u64,
         reason: &str,
-        mut cond: impl FnMut() -> Option<T>,
+        mut cond: impl FnMut() -> Option<T> + Send,
     ) -> T {
         let mut st = self.state.lock();
         debug_assert_eq!(st.current, Some(slot), "block from a non-running core");
         st.clocks[slot] = clock;
         st.status[slot] = Status::Blocked;
+        st.nblocked += 1;
         st.reasons[slot] = reason.to_string();
-        // We held the baton: hand it over through a decision round.
+        if self.fast_yield {
+            return self.wait_registered(st, slot, cond);
+        }
+        // Historical protocol: we held the baton, hand it over through a
+        // decision round, then participate in rounds until we win one with
+        // a satisfied condition.
         self.open_round(&mut st);
-        // Participate in rounds until we win one with a satisfied condition.
         loop {
             if st.deadlock.is_some() {
                 st.status[slot] = Status::Runnable; // avoid poisoning later reports
+                st.nblocked -= 1;
                 self.unwind_deadlock(&st);
             }
             if st.current == Some(slot) {
@@ -197,6 +334,7 @@ impl Scheduler {
                 // other core ran), so this must succeed.
                 let v = cond().expect("condition regressed between re-check and wake");
                 st.status[slot] = Status::Runnable;
+                st.nblocked -= 1;
                 st.reasons[slot].clear();
                 return v;
             }
@@ -205,11 +343,71 @@ impl Scheduler {
                 st.satisfiable[slot] = cond().is_some();
                 if !st.blocked_unchecked_remaining() && st.current.is_none() {
                     self.close_round(&mut st);
-                    self.cv.notify_all();
+                    self.wake_after_open(&st);
                     continue;
                 }
             }
-            self.cv.wait(&mut st);
+            self.cvs[slot].wait(&mut st);
+        }
+    }
+
+    /// Fast-path tail of [`Self::wait_blocked`]: register the condition for
+    /// inline evaluation and sleep until this slot wins an election.
+    fn wait_registered<T: Send>(
+        &self,
+        mut st: parking_lot::MutexGuard<'_, SchedState>,
+        slot: usize,
+        mut cond: impl FnMut() -> Option<T> + Send,
+    ) -> T {
+        // The evaluated value is produced under the scheduler lock by
+        // whichever thread runs the election and consumed — still under
+        // the same lock — by this thread once it wins, so the inner mutex
+        // is never contended; it exists to carry `T` across threads.
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let checker: Box<dyn FnMut() -> bool + Send + '_> = {
+            let result = Arc::clone(&result);
+            Box::new(move || match cond() {
+                Some(v) => {
+                    *result.lock() = Some(v);
+                    true
+                }
+                None => {
+                    *result.lock() = None;
+                    false
+                }
+            })
+        };
+        // SAFETY: the box borrows `cond`'s captures, which live on this
+        // thread's stack below this frame. Every exit from this function —
+        // winning or deadlock unwind — removes the box from the scheduler
+        // state while holding the lock all evaluations run under, so the
+        // scheduler can never invoke it after the borrowed frame is gone.
+        let checker: Box<dyn FnMut() -> bool + Send + 'static> =
+            unsafe { std::mem::transmute(checker) };
+        st.checkers[slot] = Some(checker);
+        // We held the baton: hand it over.
+        self.elect(&mut st);
+        loop {
+            if st.deadlock.is_some() {
+                st.checkers[slot] = None;
+                st.status[slot] = Status::Runnable; // avoid poisoning later reports
+                st.nblocked -= 1;
+                self.unwind_deadlock(&st);
+            }
+            if st.current == Some(slot) {
+                // We won an election: the electing thread evaluated our
+                // condition in the same critical section, so the stashed
+                // value reflects exactly the state we now observe.
+                st.checkers[slot] = None;
+                st.status[slot] = Status::Runnable;
+                st.nblocked -= 1;
+                st.reasons[slot].clear();
+                return result
+                    .lock()
+                    .take()
+                    .expect("condition regressed between election and wake");
+            }
+            self.cvs[slot].wait(&mut st);
         }
     }
 
@@ -218,7 +416,7 @@ impl Scheduler {
         let mut st = self.state.lock();
         st.status[slot] = Status::Done;
         if st.current == Some(slot) {
-            self.open_round(&mut st);
+            self.schedule_next(&mut st);
         }
     }
 
@@ -234,11 +432,11 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     /// Run `n` slot bodies under the scheduler, catching deadlock unwinds.
-    fn run_slots<F>(n: usize, f: F) -> Result<(), Arc<HwError>>
+    fn run_slots_fast<F>(n: usize, fast_yield: bool, f: F) -> Result<(), Arc<HwError>>
     where
         F: Fn(usize, &Scheduler) + Send + Sync,
     {
-        let sched = Scheduler::new(n);
+        let sched = Scheduler::with_fast_yield(n, fast_yield);
         std::thread::scope(|s| {
             let mut handles = Vec::new();
             for slot in 0..n {
@@ -260,6 +458,13 @@ mod tests {
                 Ok(())
             }
         })
+    }
+
+    fn run_slots<F>(n: usize, f: F) -> Result<(), Arc<HwError>>
+    where
+        F: Fn(usize, &Scheduler) + Send + Sync,
+    {
+        run_slots_fast(n, true, f)
     }
 
     #[test]
@@ -416,5 +621,44 @@ mod tests {
             order.into_inner()
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn fast_and_slow_yield_paths_schedule_identically() {
+        // The fast yield path must pick exactly the core a full decision
+        // round would pick: an identical workload produces an identical
+        // global execution trace with the fast path on and off.
+        let trace_with = |fast: bool| {
+            let counter = AtomicU64::new(0);
+            let trace = Mutex::new(Vec::new());
+            run_slots_fast(5, fast, |slot, sched| {
+                if slot == 0 {
+                    for wave in 1..=4u64 {
+                        sched.yield_now(0, wave * 1000);
+                        trace.lock().push((0, wave * 1000));
+                        counter.store(wave, Ordering::Release);
+                    }
+                    sched.yield_now(0, 50_000);
+                } else if slot == 1 {
+                    // One core that blocks, forcing fallback to rounds.
+                    for wave in 1..=4u64 {
+                        sched.wait_blocked(1, wave * 900, "wave", || {
+                            (counter.load(Ordering::Acquire) >= wave).then_some(())
+                        });
+                        trace.lock().push((1, wave * 900));
+                    }
+                } else {
+                    // Pure yielders exercising the fast path.
+                    for step in 1..=6u64 {
+                        let clk = step * 700 + slot as u64;
+                        sched.yield_now(slot, clk);
+                        trace.lock().push((slot, clk));
+                    }
+                }
+            })
+            .unwrap();
+            trace.into_inner()
+        };
+        assert_eq!(trace_with(true), trace_with(false));
     }
 }

@@ -54,8 +54,9 @@ pub mod timing;
 pub mod topology;
 
 pub use crate::core::{CoreCtx, MemAttr};
-pub use config::SccConfig;
+pub use config::{HostFastPaths, SccConfig};
 pub use error::HwError;
 pub use machine::Machine;
+pub use perf::PerfCounters;
 pub use timing::{Cycles, TimingParams};
 pub use topology::{CoreId, TileCoord, MAX_CORES};

@@ -106,7 +106,7 @@ impl Machine {
             assert!(!seen[c.idx()], "{c:?} listed twice");
             seen[c.idx()] = true;
         }
-        let sched = Scheduler::new(cores.len());
+        let sched = Scheduler::with_fast_yield(cores.len(), self.inner.cfg.host_fast.fast_yield);
 
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(cores.len());

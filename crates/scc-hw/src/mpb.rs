@@ -59,6 +59,18 @@ impl MpbArray {
     pub fn write(&self, pa: u32, len: usize, val: u64) {
         self.words.write(self.flat(pa), len, val)
     }
+
+    /// Read one 32-byte line (see [`AtomicWords::read_line`]).
+    #[inline]
+    pub fn read_line(&self, pa: u32) -> [u8; 32] {
+        self.words.read_line(self.flat(pa))
+    }
+
+    /// Masked 32-byte line write (see [`AtomicWords::write_line_masked`]).
+    #[inline]
+    pub fn write_line_masked(&self, pa: u32, data: &[u8; 32], mask: u32) {
+        self.words.write_line_masked(self.flat(pa), data, mask)
+    }
 }
 
 #[cfg(test)]

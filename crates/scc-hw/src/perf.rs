@@ -23,6 +23,15 @@ pub struct PerfCounters {
     pub tas_spins: u64,
     pub yields: u64,
     pub blocks: u64,
+    /// Kernel-layer software-TLB translation hits (host fast path).
+    pub tlb_hits: u64,
+    /// Kernel-layer software-TLB misses (page-table walks taken).
+    pub tlb_misses: u64,
+    /// TLB entries dropped by PTE-mutation shootdowns.
+    pub tlb_shootdowns: u64,
+    /// `yield_now` calls resolved by the executor's fast scheduling
+    /// protocol (direct hand-off or inline election — no sleeper wakeups).
+    pub fast_yields: u64,
 }
 
 impl PerfCounters {
@@ -45,6 +54,10 @@ impl PerfCounters {
         self.tas_spins += o.tas_spins;
         self.yields += o.yields;
         self.blocks += o.blocks;
+        self.tlb_hits += o.tlb_hits;
+        self.tlb_misses += o.tlb_misses;
+        self.tlb_shootdowns += o.tlb_shootdowns;
+        self.fast_yields += o.fast_yields;
     }
 
     /// L1 hit rate in [0, 1]; `None` when no accesses were recorded.

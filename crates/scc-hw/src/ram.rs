@@ -106,6 +106,73 @@ impl AtomicWords {
             }
         }
     }
+
+    /// Read one 32-byte line starting at word-aligned `off`: one bounds
+    /// check, eight relaxed word loads. The memory engine moves whole cache
+    /// lines this way; going through [`AtomicWords::read`] per word costs a
+    /// bounds check and an alignment test each.
+    #[inline]
+    pub fn read_line(&self, off: u32) -> [u8; 32] {
+        assert_eq!(off % 4, 0, "line read must be word aligned");
+        let w0 = off as usize / 4;
+        assert!(
+            w0 + 8 <= self.words.len(),
+            "line read at {off:#x} out of bounds ({:#x})",
+            self.len_bytes()
+        );
+        let mut out = [0u8; 32];
+        for i in 0..8 {
+            let v = self.words[w0 + i].load(Ordering::Relaxed);
+            out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Write a full 32-byte line at word-aligned `off` (eight word stores).
+    #[inline]
+    pub fn write_line(&self, off: u32, data: &[u8; 32]) {
+        self.write_line_masked(off, data, u32::MAX);
+    }
+
+    /// Write the bytes of `data` selected by `mask` (one bit per byte) at
+    /// word-aligned `off`. Fully-selected words are plain stores; partial
+    /// words go through one compare-exchange to leave the unselected bytes
+    /// of the word untouched.
+    pub fn write_line_masked(&self, off: u32, data: &[u8; 32], mask: u32) {
+        assert_eq!(off % 4, 0, "line write must be word aligned");
+        let w0 = off as usize / 4;
+        assert!(
+            w0 + 8 <= self.words.len(),
+            "line write at {off:#x} out of bounds ({:#x})",
+            self.len_bytes()
+        );
+        for i in 0..8 {
+            let m = (mask >> (i * 4)) & 0xf;
+            if m == 0 {
+                continue;
+            }
+            let val = u32::from_le_bytes(data[i * 4..i * 4 + 4].try_into().unwrap());
+            let w = &self.words[w0 + i];
+            if m == 0xf {
+                w.store(val, Ordering::Relaxed);
+                continue;
+            }
+            let mut bmask = 0u32;
+            for k in 0..4 {
+                if m & (1 << k) != 0 {
+                    bmask |= 0xff << (k * 8);
+                }
+            }
+            let mut cur = w.load(Ordering::Relaxed);
+            loop {
+                let new = (cur & !bmask) | (val & bmask);
+                match w.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+    }
 }
 
 /// What kind of device a physical address resolves to.
@@ -124,15 +191,29 @@ pub struct MemMap {
     private_per_core: u32,
     shared_base: u32,
     shared_bytes: u32,
+    /// `log2(private_per_core)` when it is a power of two: `resolve` sits
+    /// on the modelled memory engine's miss path, and a shift beats the
+    /// integer division there.
+    private_shift: Option<u32>,
+    /// Same for the per-memory-controller slice of the shared region.
+    slice_shift: Option<u32>,
+}
+
+fn shift_of(n: u32) -> Option<u32> {
+    (n > 0 && n.is_power_of_two()).then(|| n.trailing_zeros())
 }
 
 impl MemMap {
     pub fn new(cfg: &SccConfig) -> Self {
+        let private_per_core = cfg.private_bytes_per_core as u32;
+        let shared_bytes = cfg.shared_bytes as u32;
         MemMap {
             ncores: cfg.ncores,
-            private_per_core: cfg.private_bytes_per_core as u32,
+            private_per_core,
             shared_base: (cfg.ncores * cfg.private_bytes_per_core) as u32,
-            shared_bytes: cfg.shared_bytes as u32,
+            shared_bytes,
+            private_shift: shift_of(private_per_core),
+            slice_shift: shift_of(shared_bytes / NUM_MCS as u32),
         }
     }
 
@@ -207,10 +288,17 @@ impl MemMap {
         );
         let mc = if pa < self.shared_base {
             // Private region: lives behind the owner's quadrant controller.
-            let core = CoreId::new((pa / self.private_per_core) as usize);
-            core.nearest_mc()
+            let idx = match self.private_shift {
+                Some(s) => pa >> s,
+                None => pa / self.private_per_core,
+            };
+            CoreId::new(idx as usize).nearest_mc()
         } else {
-            ((pa - self.shared_base) / self.shared_slice_bytes().max(1)) as usize
+            let off = pa - self.shared_base;
+            (match self.slice_shift {
+                Some(s) => off >> s,
+                None => off / self.shared_slice_bytes().max(1),
+            }) as usize
         };
         Backing::Ram { mc: mc.min(3) }
     }

@@ -5,6 +5,7 @@
 use crate::cluster::ClusterShared;
 use crate::frames::PrivateBump;
 use crate::paging::{PageFlags, PageTable, Pte, PAGE_SIZE};
+use crate::tlb::Tlb;
 use scc_hw::{CoreCtx, CoreId, MemAttr};
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -44,7 +45,7 @@ pub trait KernelHook: Send + Sync {
     /// Build a side-effect-free "is there work for this core?" probe used
     /// to wake the core out of blocking waits. The probe may only touch
     /// atomics (raw peeks), never the kernel.
-    fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send>> {
+    fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send + Sync>> {
         None
     }
 }
@@ -57,10 +58,22 @@ pub struct Kernel<'a> {
     pub shared: Arc<ClusterShared>,
     participants: Arc<Vec<CoreId>>,
     pt: PageTable,
+    /// Software TLB memoizing page-table walks (host fast path; always
+    /// coherent with `pt` via shootdowns in the PTE-mutation funnel).
+    tlb: Tlb,
+    /// Bumped on every PTE mutation; bulk accessors re-translate when it
+    /// moves under them (an interrupt handler may remap mid-stream).
+    pt_epoch: u64,
+    fast_tlb: bool,
+    fast_bulk: bool,
+    /// Copy of `cfg.tick_cycles`: `poll_irqs` runs after every access and
+    /// should not chase the machine `Arc` for a constant.
+    tick_cycles: u64,
     private: PrivateBump,
+    /// Sorted by `range.start`, non-overlapping; looked up by binary search.
     fault_handlers: Vec<(Range<u32>, Arc<dyn FaultHandler>)>,
     hooks: Vec<Arc<dyn KernelHook>>,
-    probes: Vec<Box<dyn Fn() -> bool + Send>>,
+    probes: Vec<Box<dyn Fn() -> bool + Send + Sync>>,
     ext: HashMap<TypeId, Box<dyn Any + Send>>,
     last_tick: u64,
     in_irq: bool,
@@ -89,11 +102,18 @@ impl<'a> Kernel<'a> {
             let pa = crate::MPB_VA_BASE + off;
             pt.map(pa, pa >> 12, PageFlags::shared_rw());
         }
+        let fast = hw.machine().cfg.host_fast;
+        let tick_cycles = hw.machine().cfg.tick_cycles;
         Kernel {
             hw,
             shared,
             participants,
             pt,
+            tlb: Tlb::new(),
+            pt_epoch: 0,
+            fast_tlb: fast.tlb,
+            fast_bulk: fast.bulk,
+            tick_cycles,
             private: PrivateBump::new(priv_base, priv_base + priv_bytes),
             fault_handlers: Vec::new(),
             hooks: Vec::new(),
@@ -134,9 +154,21 @@ impl<'a> Kernel<'a> {
     // Subsystem registration
     // ------------------------------------------------------------------
 
-    /// Register a page-fault handler for a VA range.
+    /// Register a page-fault handler for a VA range. The list is kept
+    /// sorted by range start (ranges must not overlap) so fault dispatch is
+    /// a binary search rather than a linear scan.
     pub fn register_fault_handler(&mut self, range: Range<u32>, h: Arc<dyn FaultHandler>) {
-        self.fault_handlers.push((range, h));
+        assert!(range.start < range.end, "empty fault-handler range");
+        let pos = self
+            .fault_handlers
+            .partition_point(|(r, _)| r.start < range.start);
+        if let Some((prev, _)) = pos.checked_sub(1).map(|p| &self.fault_handlers[p]) {
+            assert!(prev.end <= range.start, "overlapping fault-handler ranges");
+        }
+        if let Some((next, _)) = self.fault_handlers.get(pos) {
+            assert!(range.end <= next.start, "overlapping fault-handler ranges");
+        }
+        self.fault_handlers.insert(pos, (range, h));
     }
 
     /// Register an interrupt/idle hook; its wake probe (if any) is armed
@@ -186,9 +218,20 @@ impl<'a> Kernel<'a> {
         &self.pt
     }
 
+    /// TLB shootdown + epoch bump; every PTE mutation must pass through
+    /// here so cached translations can never go stale.
+    #[inline]
+    fn pte_mutated(&mut self, va: u32) {
+        self.pt_epoch += 1;
+        if self.tlb.invalidate_page(va >> 12) {
+            self.hw.perf.tlb_shootdowns += 1;
+        }
+    }
+
     /// Install a mapping (charges one PTE update).
     pub fn map_page(&mut self, va: u32, pfn: u32, flags: PageFlags) {
         self.pt.map(va, pfn, flags);
+        self.pte_mutated(va);
         let c = self.hw.machine().cfg.timing.pte_update;
         self.hw.advance(c);
     }
@@ -197,6 +240,7 @@ impl<'a> Kernel<'a> {
     /// the page was not mapped.
     pub fn protect_page(&mut self, va: u32, flags: PageFlags) -> bool {
         let ok = self.pt.protect(va, flags);
+        self.pte_mutated(va);
         let c = self.hw.machine().cfg.timing.pte_update;
         self.hw.advance(c);
         ok
@@ -205,6 +249,7 @@ impl<'a> Kernel<'a> {
     /// Drop a mapping (charges one PTE update); returns the old PTE.
     pub fn unmap_page(&mut self, va: u32) -> Pte {
         let pte = self.pt.unmap(va);
+        self.pte_mutated(va);
         let c = self.hw.machine().cfg.timing.pte_update;
         self.hw.advance(c);
         pte
@@ -230,7 +275,7 @@ impl<'a> Kernel<'a> {
     // Virtual memory access
     // ------------------------------------------------------------------
 
-    /// Translate without faulting.
+    /// Translate without faulting (always walks the page table).
     #[inline]
     pub fn try_translate(&self, va: u32, access: Access) -> Option<Pte> {
         let pte = self.pt.lookup(va);
@@ -241,6 +286,29 @@ impl<'a> Kernel<'a> {
         Some(pte)
     }
 
+    /// Translate through the software TLB, falling back to (and memoizing)
+    /// the walk on a miss. Neither path charges simulated time — the walk
+    /// never did — so the TLB is invisible to virtual clocks.
+    #[inline]
+    fn translate_fast(&mut self, va: u32, access: Access) -> Option<Pte> {
+        if !self.fast_tlb {
+            return self.try_translate(va, access);
+        }
+        let vpn = va >> 12;
+        if let Some(pte) = self.tlb.lookup(vpn) {
+            // A cached non-writable entry mirrors a non-writable PTE, but
+            // take the walk path anyway so the miss/fault flow is uniform.
+            if access == Access::Read || pte.flags().writable() {
+                self.hw.perf.tlb_hits += 1;
+                return Some(pte);
+            }
+        }
+        self.hw.perf.tlb_misses += 1;
+        let pte = self.try_translate(va, access)?;
+        self.tlb.insert(vpn, pte);
+        Some(pte)
+    }
+
     /// Read `len` (1..=8) bytes at virtual address `va`, faulting as needed.
     ///
     /// Interrupts are polled *after* the access so that a freshly resolved
@@ -248,7 +316,7 @@ impl<'a> Kernel<'a> {
     /// before the faulting access retries.
     pub fn vread(&mut self, va: u32, len: usize) -> u64 {
         loop {
-            if let Some(pte) = self.try_translate(va, Access::Read) {
+            if let Some(pte) = self.translate_fast(va, Access::Read) {
                 let v = self.hw.read(pte.pa(va), len, pte.flags().attr());
                 self.poll_irqs();
                 return v;
@@ -261,12 +329,100 @@ impl<'a> Kernel<'a> {
     /// needed.
     pub fn vwrite(&mut self, va: u32, len: usize, val: u64) {
         loop {
-            if let Some(pte) = self.try_translate(va, Access::Write) {
+            if let Some(pte) = self.translate_fast(va, Access::Write) {
                 self.hw.write(pte.pa(va), len, val, pte.flags().attr());
                 self.poll_irqs();
                 return;
             }
             self.handle_fault(va, Access::Write);
+        }
+    }
+
+    /// Bulk read of `n` elements of `elem` bytes starting at `va`,
+    /// delivering each value to `sink(index, value)`.
+    ///
+    /// Simulated behaviour (faults, per-element hardware access, interrupt
+    /// polling cadence) is exactly that of `n` individual `vread` calls;
+    /// with the `bulk` host fast path on, the translation is reused across
+    /// each page instead of being recomputed per element. If an interrupt
+    /// handler mutates this core's page table mid-stream (SVM ownership
+    /// migration, lazy-release invalidation), the epoch check forces a
+    /// re-translation before the next element.
+    pub fn vread_block(&mut self, va: u32, elem: usize, n: usize, mut sink: impl FnMut(usize, u64)) {
+        assert!(elem.is_power_of_two() && elem <= 8, "elem must be 1/2/4/8");
+        assert_eq!(va as usize % elem, 0, "bulk access must be element-aligned");
+        if !self.fast_bulk {
+            for i in 0..n {
+                let v = self.vread(va + (i * elem) as u32, elem);
+                sink(i, v);
+            }
+            return;
+        }
+        let mut i = 0usize;
+        while i < n {
+            let a = va + (i * elem) as u32;
+            let pte = loop {
+                if let Some(pte) = self.translate_fast(a, Access::Read) {
+                    break pte;
+                }
+                self.handle_fault(a, Access::Read);
+            };
+            let attr = pte.flags().attr();
+            let page_end = ((a >> 12) + 1) << 12;
+            let last = n.min(i + (page_end - a) as usize / elem);
+            let epoch = self.pt_epoch;
+            while i < last {
+                let v = self.hw.read(pte.pa(va + (i * elem) as u32), elem, attr);
+                self.poll_irqs();
+                sink(i, v);
+                i += 1;
+                if self.pt_epoch != epoch {
+                    break; // a handler remapped something: re-translate
+                }
+            }
+        }
+    }
+
+    /// Bulk write of `n` elements of `elem` bytes starting at `va`, pulling
+    /// each value from `src(index)`. Mirror image of [`Self::vread_block`].
+    pub fn vwrite_block(
+        &mut self,
+        va: u32,
+        elem: usize,
+        n: usize,
+        mut src: impl FnMut(usize) -> u64,
+    ) {
+        assert!(elem.is_power_of_two() && elem <= 8, "elem must be 1/2/4/8");
+        assert_eq!(va as usize % elem, 0, "bulk access must be element-aligned");
+        if !self.fast_bulk {
+            for i in 0..n {
+                let v = src(i);
+                self.vwrite(va + (i * elem) as u32, elem, v);
+            }
+            return;
+        }
+        let mut i = 0usize;
+        while i < n {
+            let a = va + (i * elem) as u32;
+            let pte = loop {
+                if let Some(pte) = self.translate_fast(a, Access::Write) {
+                    break pte;
+                }
+                self.handle_fault(a, Access::Write);
+            };
+            let attr = pte.flags().attr();
+            let page_end = ((a >> 12) + 1) << 12;
+            let last = n.min(i + (page_end - a) as usize / elem);
+            let epoch = self.pt_epoch;
+            while i < last {
+                let v = src(i);
+                self.hw.write(pte.pa(va + (i * elem) as u32), elem, v, attr);
+                self.poll_irqs();
+                i += 1;
+                if self.pt_epoch != epoch {
+                    break; // a handler remapped something: re-translate
+                }
+            }
         }
     }
 
@@ -287,10 +443,13 @@ impl<'a> Kernel<'a> {
     fn handle_fault(&mut self, va: u32, access: Access) {
         let c = self.hw.machine().cfg.timing.pagefault_entry;
         self.hw.advance(c);
-        let handler = self
-            .fault_handlers
-            .iter()
-            .find(|(r, _)| r.contains(&va))
+        // The list is sorted by start: the only candidate is the last range
+        // starting at or below `va`.
+        let idx = self.fault_handlers.partition_point(|(r, _)| r.start <= va);
+        let handler = idx
+            .checked_sub(1)
+            .map(|p| &self.fault_handlers[p])
+            .filter(|(r, _)| r.contains(&va))
             .map(|(_, h)| Arc::clone(h));
         match handler {
             Some(h) => {
@@ -332,7 +491,7 @@ impl<'a> Kernel<'a> {
             }
             self.in_irq = false;
         }
-        let tick = self.hw.machine().cfg.tick_cycles;
+        let tick = self.tick_cycles;
         if self.hw.now().saturating_sub(self.last_tick) >= tick {
             self.last_tick = self.hw.now();
             self.run_idle_hooks();
@@ -359,10 +518,10 @@ impl<'a> Kernel<'a> {
     ///
     /// `cond` must be side-effect-free and use only raw peeks; the `u64` it
     /// returns is the event's cycle stamp.
-    pub fn wait_event<T>(
+    pub fn wait_event<T: Send>(
         &mut self,
         reason: &str,
-        mut cond: impl FnMut() -> Option<(T, u64)>,
+        mut cond: impl FnMut() -> Option<(T, u64)> + Send,
     ) -> T {
         loop {
             self.poll_irqs();
@@ -533,6 +692,85 @@ mod tests {
             assert_eq!(k.ext_take::<Vec<u32>>(), vec![1, 2, 3]);
         })
         .unwrap();
+    }
+
+    #[test]
+    fn bulk_accessors_roundtrip_and_count_tlb_hits() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            // Two pages of u64s, crossing a page boundary mid-stream.
+            let va = k.kalloc_pages(2);
+            let n = 2 * PAGE_SIZE as usize / 8;
+            k.vwrite_block(va, 8, n, |i| (i as u64) * 3 + 1);
+            let mut got = vec![0u64; n];
+            k.vread_block(va, 8, n, |i, v| got[i] = v);
+            for (i, v) in got.iter().enumerate() {
+                assert_eq!(*v, (i as u64) * 3 + 1);
+            }
+            assert!(k.hw.perf.tlb_hits > 0, "private pages hit the TLB");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bulk_matches_elementwise_values() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        cl.run(1, |k| {
+            let va = k.kalloc_pages(1);
+            for i in 0..64u32 {
+                k.vwrite(va + i * 4, 4, u64::from(i) * 7);
+            }
+            let mut got = vec![0u64; 64];
+            k.vread_block(va, 4, 64, |i, v| got[i] = v);
+            for i in 0..64usize {
+                assert_eq!(got[i], (i as u64) * 7);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_dispatch_picks_the_right_sorted_handler() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let low = Arc::new(CountingHandler(AtomicUsize::new(0)));
+        let high = Arc::new(CountingHandler(AtomicUsize::new(0)));
+        let (l2, h2) = (Arc::clone(&low), Arc::clone(&high));
+        cl.run(1, move |k| {
+            // Register out of order; dispatch must still bisect correctly.
+            let base = crate::SVM_VA_BASE;
+            k.register_fault_handler(base + 0x20000..base + 0x30000, h2.clone());
+            k.register_fault_handler(base..base + 0x10000, l2.clone());
+            k.vwrite(base + 0x100, 4, 1); // low range
+            k.vwrite(base + 0x20100, 4, 2); // high range
+        })
+        .unwrap();
+        assert_eq!(low.0.load(Ordering::Relaxed), 1);
+        assert_eq!(high.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no registered handler")]
+    fn fault_in_gap_between_handlers_panics() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let h = Arc::new(CountingHandler(AtomicUsize::new(0)));
+        let _ = cl.run(1, move |k| {
+            let base = crate::SVM_VA_BASE;
+            k.register_fault_handler(base..base + 0x10000, h.clone());
+            k.register_fault_handler(base + 0x20000..base + 0x30000, h.clone());
+            k.vread(base + 0x18000, 4); // in the gap
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping fault-handler ranges")]
+    fn overlapping_handler_ranges_rejected() {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let h = Arc::new(CountingHandler(AtomicUsize::new(0)));
+        let _ = cl.run(1, move |k| {
+            let base = crate::SVM_VA_BASE;
+            k.register_fault_handler(base..base + 0x10000, h.clone());
+            k.register_fault_handler(base + 0x8000..base + 0x18000, h.clone());
+        });
     }
 
     #[test]

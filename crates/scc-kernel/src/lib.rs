@@ -25,6 +25,7 @@ pub mod collective;
 pub mod frames;
 pub mod kernel;
 pub mod paging;
+pub mod tlb;
 
 pub use cluster::{Cluster, ClusterShared};
 pub use collective::ram_barrier;

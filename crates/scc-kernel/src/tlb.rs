@@ -1,0 +1,128 @@
+//! Per-core software TLB — a host-performance fast path.
+//!
+//! The real P54C of course has a hardware TLB; the simulator historically
+//! walked the two-level page table on every virtual access because the walk
+//! is free in *simulated* time (only faults and PTE updates are charged).
+//! On the host, though, that walk plus the fault-handler range scan is the
+//! hottest code in the whole stack. This direct-mapped TLB memoizes
+//! translations so the `vread`/`vwrite` hit path touches one array slot.
+//!
+//! Correctness contract: the kernel invalidates the affected entry on
+//! **every** PTE mutation (`Kernel::{map_page, protect_page, unmap_page}`
+//! are the single funnel all subsystems use — SVM ownership migration,
+//! lazy-release invalidation, write-invalidate copyset drops, read-only
+//! sealing). An entry therefore always mirrors the live page table, and the
+//! fast path is invisible to simulated time: hits skip work that was never
+//! charged a cycle.
+
+use crate::paging::Pte;
+
+/// Number of direct-mapped entries. 64 covers the working set of a page or
+/// two per array in the paper's kernels while keeping the table in one or
+/// two host cache lines.
+pub const TLB_ENTRIES: usize = 64;
+
+/// Tag value marking an empty slot; virtual page numbers are at most 20
+/// bits, so this can never collide with a real VPN.
+const EMPTY_TAG: u32 = u32::MAX;
+
+/// A direct-mapped translation cache keyed by virtual page number.
+pub struct Tlb {
+    tags: [u32; TLB_ENTRIES],
+    ptes: [Pte; TLB_ENTRIES],
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tlb {
+    pub fn new() -> Self {
+        Tlb {
+            tags: [EMPTY_TAG; TLB_ENTRIES],
+            ptes: [Pte::EMPTY; TLB_ENTRIES],
+        }
+    }
+
+    #[inline]
+    fn slot(vpn: u32) -> usize {
+        vpn as usize % TLB_ENTRIES
+    }
+
+    /// Cached translation for `vpn`, if any. Permission checking is the
+    /// caller's job (the kernel treats a cached non-writable entry as a
+    /// miss for write accesses).
+    #[inline]
+    pub fn lookup(&self, vpn: u32) -> Option<Pte> {
+        let s = Self::slot(vpn);
+        (self.tags[s] == vpn).then(|| self.ptes[s])
+    }
+
+    /// Cache a translation (evicts whatever shared the slot).
+    #[inline]
+    pub fn insert(&mut self, vpn: u32, pte: Pte) {
+        let s = Self::slot(vpn);
+        self.tags[s] = vpn;
+        self.ptes[s] = pte;
+    }
+
+    /// Shootdown: drop the entry for `vpn` if present. Returns whether an
+    /// entry was actually dropped (feeds the `tlb_shootdowns` counter).
+    #[inline]
+    pub fn invalidate_page(&mut self, vpn: u32) -> bool {
+        let s = Self::slot(vpn);
+        if self.tags[s] == vpn {
+            self.tags[s] = EMPTY_TAG;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop every entry; returns how many were live.
+    pub fn flush(&mut self) -> usize {
+        let live = self.tags.iter().filter(|&&t| t != EMPTY_TAG).count();
+        self.tags = [EMPTY_TAG; TLB_ENTRIES];
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::PageFlags;
+
+    #[test]
+    fn insert_lookup_invalidate() {
+        let mut t = Tlb::new();
+        assert_eq!(t.lookup(5), None);
+        let pte = Pte::new(0x123, PageFlags::shared_rw());
+        t.insert(5, pte);
+        assert_eq!(t.lookup(5).map(|p| p.0), Some(pte.0));
+        assert!(t.invalidate_page(5));
+        assert!(!t.invalidate_page(5), "second shootdown finds nothing");
+        assert_eq!(t.lookup(5), None);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_evict() {
+        let mut t = Tlb::new();
+        let a = Pte::new(1, PageFlags::shared_rw());
+        let b = Pte::new(2, PageFlags::shared_rw());
+        t.insert(3, a);
+        t.insert(3 + TLB_ENTRIES as u32, b); // same slot
+        assert_eq!(t.lookup(3), None, "evicted by the conflicting insert");
+        assert_eq!(t.lookup(3 + TLB_ENTRIES as u32).map(|p| p.0), Some(b.0));
+    }
+
+    #[test]
+    fn flush_counts_live_entries() {
+        let mut t = Tlb::new();
+        t.insert(1, Pte::new(1, PageFlags::shared_rw()));
+        t.insert(2, Pte::new(2, PageFlags::shared_rw()));
+        assert_eq!(t.flush(), 2);
+        assert_eq!(t.lookup(1), None);
+    }
+}

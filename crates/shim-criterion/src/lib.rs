@@ -1,0 +1,129 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the bench-authoring API this workspace uses
+//! (`Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros and
+//! `black_box`). Instead of criterion's statistical machinery it times a
+//! short warmup plus `sample_size` measured iterations and prints
+//! min/mean/max per iteration — enough to track the perf trajectory
+//! without a registry dependency.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup { sample_size: 10 }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, 10, f);
+        self
+    }
+
+    /// Accepted for API compatibility; configuration comes from the
+    /// `--bench` harness in real criterion and is ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+    rounds: usize,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // One unmeasured warmup iteration, then the measured rounds.
+        black_box(f());
+        for _ in 0..self.rounds {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_bench(name: &str, rounds: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        rounds,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name}: no samples");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "  {name}: mean {:.3} ms  min {:.3} ms  max {:.3} ms  ({} samples)",
+        mean * 1e3,
+        min * 1e3,
+        max * 1e3,
+        b.samples.len()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("counting", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 4, "1 warmup + 3 samples");
+    }
+}

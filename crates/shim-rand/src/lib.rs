@@ -1,0 +1,119 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds without network access, so the handful of `rand`
+//! APIs actually used (seeded `StdRng` + `Rng::gen`) are reimplemented here
+//! on top of SplitMix64. The streams are deterministic and stable across
+//! platforms, which is all the simulator's workloads need — they use the
+//! RNG as a reproducible input generator, not for statistical quality.
+
+/// Types that `Rng::gen` can produce.
+pub trait Standard {
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the same construction
+    /// real `rand` uses).
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits >> 63 != 0
+    }
+}
+
+/// Minimal `Rng` facade.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Uniform in `[0, bound)` (used by tests for index generation).
+    fn gen_range_u64(&mut self, bound: u64) -> u64
+    where
+        Self: Sized,
+    {
+        self.next_u64() % bound
+    }
+}
+
+/// Minimal `SeedableRng` facade.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    /// SplitMix64: tiny, full-period, and excellent for seeding-style use.
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

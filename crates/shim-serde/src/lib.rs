@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the local
+//! `serde_derive` shim. The workspace uses the derives purely as markers;
+//! no code path serialises through serde traits.
+
+pub use serde_derive::{Deserialize, Serialize};

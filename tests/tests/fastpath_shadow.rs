@@ -1,0 +1,173 @@
+//! Shadow-mode determinism for the host fast paths.
+//!
+//! The simulated TLB, the bulk accessors and the executor's fast yield are
+//! host-performance optimisations only: simulated time must stay
+//! bit-identical with every combination of them enabled or disabled. These
+//! tests run the same workloads once per configuration and compare the
+//! final per-core virtual clocks (and results) exactly.
+
+use metalsvm::{install as svm_install, Consistency, ScratchLocation, SvmConfig};
+use rcce::RcceComm;
+use scc_apps::laplace::{laplace_ircce, laplace_svm, LaplaceParams};
+use scc_bench::{laplace_config, svm_overhead_host, LaplaceVariant};
+use scc_hw::{HostFastPaths, SccConfig};
+use scc_kernel::Cluster;
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// One Laplace run; returns (checksum, final per-core clocks, merged perf).
+fn laplace_shadow(
+    variant: LaplaceVariant,
+    n: usize,
+    p: LaplaceParams,
+    host_fast: HostFastPaths,
+) -> (f64, Vec<u64>, scc_hw::PerfCounters) {
+    let cfg = SccConfig {
+        host_fast,
+        ..laplace_config(n, p)
+    };
+    let cl = Cluster::new(cfg).expect("machine");
+    let res = cl
+        .run(n, move |k| match variant {
+            LaplaceVariant::Ircce => {
+                let mut comm = RcceComm::init(k);
+                laplace_ircce(k, &mut comm, p)
+            }
+            LaplaceVariant::SvmStrong | LaplaceVariant::SvmLazy => {
+                let mbx = mbx_install(k, Notify::Ipi);
+                let mut svm = svm_install(k, &mbx, SvmConfig::default());
+                let model = if variant == LaplaceVariant::SvmStrong {
+                    Consistency::Strong
+                } else {
+                    Consistency::LazyRelease
+                };
+                laplace_svm(k, &mut svm, model, p)
+            }
+        })
+        .expect("no deadlock");
+    let mut perf = scc_hw::PerfCounters::default();
+    for r in &res {
+        perf.merge(&r.perf);
+    }
+    (
+        res[0].result.checksum,
+        res.iter().map(|r| r.clock.as_u64()).collect(),
+        perf,
+    )
+}
+
+/// The interesting points of the fast-path configuration space: each layer
+/// alone (for bisection) and all of them together.
+fn fast_configs() -> [(&'static str, HostFastPaths); 4] {
+    let walk = HostFastPaths::walk_path();
+    [
+        ("tlb", HostFastPaths { tlb: true, ..walk }),
+        ("bulk", HostFastPaths { bulk: true, ..walk }),
+        ("fast_yield", HostFastPaths { fast_yield: true, ..walk }),
+        ("all", HostFastPaths::default()),
+    ]
+}
+
+#[test]
+fn laplace_clocks_identical_walk_vs_fast_all_variants() {
+    let p = LaplaceParams::tiny();
+    let n = 4;
+    for variant in [
+        LaplaceVariant::Ircce,
+        LaplaceVariant::SvmStrong,
+        LaplaceVariant::SvmLazy,
+    ] {
+        let (ref_sum, ref_clocks, ref_perf) =
+            laplace_shadow(variant, n, p, HostFastPaths::walk_path());
+        assert_eq!(
+            ref_perf.tlb_hits, 0,
+            "walk path must not consult the TLB ({})",
+            variant.label()
+        );
+        for (name, host) in fast_configs() {
+            let (sum, clocks, _) = laplace_shadow(variant, n, p, host);
+            assert_eq!(
+                sum,
+                ref_sum,
+                "checksum diverged ({}, {name})",
+                variant.label()
+            );
+            assert_eq!(
+                clocks,
+                ref_clocks,
+                "per-core clocks diverged ({}, {name})",
+                variant.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn laplace_fast_run_actually_exercises_the_tlb() {
+    let p = LaplaceParams::tiny();
+    let (_, _, perf) = laplace_shadow(
+        LaplaceVariant::SvmLazy,
+        4,
+        p,
+        HostFastPaths::default(),
+    );
+    assert!(perf.tlb_hits > 0, "TLB must serve translations: {perf:?}");
+    assert!(
+        perf.tlb_hits > 100 * perf.tlb_misses,
+        "the streaming stencil must hit overwhelmingly: {perf:?}"
+    );
+}
+
+#[test]
+fn uncontended_yields_take_the_executor_fast_path() {
+    // Pure compute loops never block, so with the fast path enabled every
+    // baton handoff skips the decision round — and simulated clocks still
+    // match the walk path exactly.
+    let run = |host_fast: HostFastPaths| {
+        let cfg = SccConfig {
+            host_fast,
+            ..SccConfig::small()
+        };
+        let cl = Cluster::new(cfg).expect("machine");
+        let res = cl
+            .run(4, |k| {
+                for i in 0..200u64 {
+                    k.hw.advance(10 + (i % 7));
+                    k.hw.yield_now();
+                }
+            })
+            .expect("no deadlock");
+        let clocks: Vec<u64> = res.iter().map(|r| r.clock.as_u64()).collect();
+        let mut perf = scc_hw::PerfCounters::default();
+        for r in &res {
+            perf.merge(&r.perf);
+        }
+        (clocks, perf)
+    };
+    let (walk_clocks, walk_perf) = run(HostFastPaths::walk_path());
+    let (fast_clocks, fast_perf) = run(HostFastPaths::default());
+    assert_eq!(walk_clocks, fast_clocks, "fast yield changed simulated time");
+    assert_eq!(walk_perf.fast_yields, 0);
+    assert!(
+        fast_perf.fast_yields > 500,
+        "4 cores x 200 uncontended yields must mostly take the fast path: \
+         {fast_perf:?}"
+    );
+}
+
+#[test]
+fn table1_overheads_identical_walk_vs_fast() {
+    // The §7.2.1 microbenchmark measures simulated time directly; every
+    // reported overhead must be bit-identical between the walk path and
+    // the full fast path, for both consistency models.
+    for model in [Consistency::Strong, Consistency::LazyRelease] {
+        let walk = svm_overhead_host(model, ScratchLocation::Mpb, HostFastPaths::walk_path());
+        let fast = svm_overhead_host(model, ScratchLocation::Mpb, HostFastPaths::default());
+        assert_eq!(walk.alloc_4mib_us, fast.alloc_4mib_us, "{model:?} alloc");
+        assert_eq!(
+            walk.physical_alloc_us, fast.physical_alloc_us,
+            "{model:?} physical alloc"
+        );
+        assert_eq!(walk.map_us, fast.map_us, "{model:?} map");
+        assert_eq!(walk.retrieve_us, fast.retrieve_us, "{model:?} retrieve");
+    }
+}

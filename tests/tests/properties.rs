@@ -1,56 +1,85 @@
-//! Property-based tests (proptest) on the core data structures and on the
+//! Randomised-input tests on the core data structures and on the
 //! consistency invariants of the full stack.
+//!
+//! Formerly written against proptest; the build environment is offline, so
+//! the same properties are now driven by a small deterministic generator.
+//! Coverage is equivalent in spirit: each property runs many independently
+//! seeded cases over the same input domains, and a failing case is
+//! reproducible from its printed seed.
 
-use proptest::prelude::*;
 use scc_hw::cache::{Cache, Wcb};
 use scc_hw::config::{CacheGeom, LINE_BYTES};
 use scc_hw::ram::AtomicWords;
 use scc_kernel::paging::{PageFlags, PageTable};
 use std::collections::HashMap;
 
+/// SplitMix64 — the deterministic case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+    fn bool(&mut self) -> bool {
+        self.next() & 1 != 0
+    }
+}
+
 // ------------------------------------------------------------ AtomicWords
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any sequence of byte-granular writes behaves like a plain byte
-    /// array.
-    #[test]
-    fn atomic_words_match_byte_array(
-        ops in prop::collection::vec((0u32..252, 1usize..=8, any::<u64>()), 1..64)
-    ) {
+/// Any sequence of byte-granular writes behaves like a plain byte array.
+#[test]
+fn atomic_words_match_byte_array() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(case);
         let w = AtomicWords::new(256);
         let mut model = [0u8; 256];
-        for (off, len, val) in ops {
-            let off = off.min(256 - len as u32);
+        for _ in 0..g.range(1, 64) {
+            let len = g.range(1, 9) as usize;
+            let off = (g.range(0, 252) as u32).min(256 - len as u32);
+            let val = g.next();
             w.write(off, len, val);
             for k in 0..len {
                 model[off as usize + k] = (val >> (k * 8)) as u8;
             }
-            // Read back both the written range and a few byte probes.
             let got = w.read(off, len);
             let mut want = 0u64;
             for k in 0..len {
                 want |= (model[off as usize + k] as u64) << (k * 8);
             }
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
         for i in 0..256u32 {
-            prop_assert_eq!(w.read(i, 1) as u8, model[i as usize]);
+            assert_eq!(w.read(i, 1) as u8, model[i as usize], "case {case}");
         }
     }
+}
 
-    /// A cache with any mix of fills, write-through hits and invalidations
-    /// never returns a value that was not the most recent write (single
-    /// core; cross-core staleness is intentional and tested elsewhere).
-    #[test]
-    fn cache_single_core_coherent(
-        ops in prop::collection::vec((0u32..32, 0usize..7, any::<u32>(), any::<bool>()), 1..128)
-    ) {
+/// A cache with any mix of fills, write-through hits and invalidations
+/// never returns a value that was not the most recent write (single core;
+/// cross-core staleness is intentional and tested elsewhere).
+#[test]
+fn cache_single_core_coherent() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(0x1000 + case);
         let mut cache = Cache::new(CacheGeom { size: 256, assoc: 2 });
         let mut backing: HashMap<u32, [u8; LINE_BYTES]> = HashMap::new();
-        for (la, off4, val, mpbt) in ops {
-            let off = off4 * 4; // aligned 4-byte accesses
+        for _ in 0..g.range(1, 128) {
+            let la = g.range(0, 32) as u32;
+            let off = g.range(0, 7) as usize * 4; // aligned 4-byte accesses
+            let val = g.next() as u32;
+            let mpbt = g.bool();
             // Read path: fill on miss from backing.
             if cache.read(la, off, 4).is_none() {
                 let line = *backing.entry(la).or_insert([0; LINE_BYTES]);
@@ -62,23 +91,26 @@ proptest! {
             line[off..off + 4].copy_from_slice(&val.to_le_bytes());
             // The next read must see the write.
             let got = cache.read(la, off, 4).expect("just filled");
-            prop_assert_eq!(got as u32, val);
+            assert_eq!(got as u32, val, "case {case}");
         }
     }
+}
 
-    /// The WCB's overlay always reflects the newest buffered bytes, and a
-    /// flush carries exactly the buffered bytes.
-    #[test]
-    fn wcb_overlay_and_flush_consistent(
-        ops in prop::collection::vec((0usize..LINE_BYTES, 1usize..=8, any::<u64>()), 1..32)
-    ) {
+/// The WCB's overlay always reflects the newest buffered bytes, and a
+/// flush carries exactly the buffered bytes.
+#[test]
+fn wcb_overlay_and_flush_consistent() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(0x2000 + case);
         let mut wcb = Wcb::new();
         let mut model: [Option<u8>; LINE_BYTES] = [None; LINE_BYTES];
         let la = 7;
-        for (off, len, val) in ops {
-            let off = off.min(LINE_BYTES - len);
+        for _ in 0..g.range(1, 32) {
+            let len = g.range(1, 9) as usize;
+            let off = (g.range(0, LINE_BYTES as u64) as usize).min(LINE_BYTES - len);
+            let val = g.next();
             let flushed = wcb.merge(la, off, len, val);
-            prop_assert!(flushed.is_none(), "single line never self-flushes");
+            assert!(flushed.is_none(), "single line never self-flushes");
             for k in 0..len {
                 model[off + k] = Some((val >> (k * 8)) as u8);
             }
@@ -86,27 +118,31 @@ proptest! {
         // Overlay over a zero value must reproduce the model.
         for i in 0..LINE_BYTES {
             let v = wcb.overlay(la, i, 1, 0) as u8;
-            prop_assert_eq!(v, model[i].unwrap_or(0));
+            assert_eq!(v, model[i].unwrap_or(0), "case {case}");
         }
         let f = wcb.take().expect("dirty");
         for i in 0..LINE_BYTES {
             let buffered = f.mask & (1 << i) != 0;
-            prop_assert_eq!(buffered, model[i].is_some());
+            assert_eq!(buffered, model[i].is_some(), "case {case}");
             if buffered {
-                prop_assert_eq!(f.data[i], model[i].unwrap());
+                assert_eq!(f.data[i], model[i].unwrap(), "case {case}");
             }
         }
     }
+}
 
-    /// The two-level page table behaves like a map from page number to
-    /// (pfn, flags).
-    #[test]
-    fn page_table_matches_map(
-        ops in prop::collection::vec((any::<u32>(), 0u32..0xFFFFF, prop::bool::ANY), 1..128)
-    ) {
+/// The two-level page table behaves like a map from page number to
+/// (pfn, flags).
+#[test]
+fn page_table_matches_map() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(0x3000 + case);
         let mut pt = PageTable::new();
         let mut model: HashMap<u32, u32> = HashMap::new();
-        for (va, pfn, unmap) in ops {
+        for _ in 0..g.range(1, 128) {
+            let va = g.next() as u32;
+            let pfn = g.range(0, 0xFFFFF) as u32;
+            let unmap = g.bool();
             let page = va & !0xfff;
             if unmap {
                 pt.unmap(page);
@@ -118,13 +154,13 @@ proptest! {
             match model.get(&page) {
                 Some(&want) => {
                     let pte = pt.lookup(va);
-                    prop_assert!(pte.flags().present());
-                    prop_assert_eq!(pte.pfn(), want);
+                    assert!(pte.flags().present(), "case {case}");
+                    assert_eq!(pte.pfn(), want, "case {case}");
                 }
-                None => prop_assert!(!pt.lookup(va).flags().present()),
+                None => assert!(!pt.lookup(va).flags().present(), "case {case}"),
             }
         }
-        prop_assert_eq!(pt.mapped_pages(), model.len());
+        assert_eq!(pt.mapped_pages(), model.len(), "case {case}");
     }
 }
 
@@ -134,15 +170,21 @@ use integration_tests::with_stack;
 use metalsvm::{Consistency, SvmArray};
 use scc_mailbox::Notify;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Lazy-release SVM with barrier separation behaves like one shared
-    /// array for any single-writer-per-round schedule.
-    #[test]
-    fn svm_lazy_single_writer_rounds_linearise(
-        writes in prop::collection::vec((0usize..3, 0usize..32, any::<u32>()), 1..12)
-    ) {
+/// Lazy-release SVM with barrier separation behaves like one shared array
+/// for any single-writer-per-round schedule.
+#[test]
+fn svm_lazy_single_writer_rounds_linearise() {
+    for case in 0..8u64 {
+        let mut g = Gen::new(0x4000 + case);
+        let writes: Vec<(usize, usize, u32)> = (0..g.range(1, 12))
+            .map(|_| {
+                (
+                    g.range(0, 3) as usize,
+                    g.range(0, 32) as usize,
+                    g.next() as u32,
+                )
+            })
+            .collect();
         let writes2 = writes.clone();
         let results = with_stack(3, Notify::Ipi, move |k, _mbx, svm| {
             let r = svm.alloc(k, 4096, Consistency::LazyRelease);
@@ -161,15 +203,25 @@ proptest! {
             model[*idx] = *val;
         }
         for r in &results {
-            prop_assert_eq!(&r[..], &model[..]);
+            assert_eq!(&r[..], &model[..], "case {case}");
         }
     }
+}
 
-    /// The same under the strong model (ownership migration per access).
-    #[test]
-    fn svm_strong_single_writer_rounds_linearise(
-        writes in prop::collection::vec((0usize..2, 0usize..16, any::<u32>()), 1..8)
-    ) {
+/// The same under the strong model (ownership migration per access).
+#[test]
+fn svm_strong_single_writer_rounds_linearise() {
+    for case in 0..8u64 {
+        let mut g = Gen::new(0x5000 + case);
+        let writes: Vec<(usize, usize, u32)> = (0..g.range(1, 8))
+            .map(|_| {
+                (
+                    g.range(0, 2) as usize,
+                    g.range(0, 16) as usize,
+                    g.next() as u32,
+                )
+            })
+            .collect();
         let writes2 = writes.clone();
         let results = with_stack(2, Notify::Ipi, move |k, _mbx, svm| {
             let r = svm.alloc(k, 4096, Consistency::Strong);
@@ -188,7 +240,7 @@ proptest! {
             model[*idx] = *val;
         }
         for r in &results {
-            prop_assert_eq!(&r[..], &model[..]);
+            assert_eq!(&r[..], &model[..], "case {case}");
         }
     }
 }
@@ -199,18 +251,15 @@ use scc_hw::{CoreId, SccConfig};
 use scc_kernel::Cluster;
 use scc_mailbox::{install as mbx_install, MailKind};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Random many-to-one mail streams arrive completely and in per-sender
-    /// order, under both notification strategies.
-    #[test]
-    fn mailbox_streams_preserve_per_sender_order(
-        counts in prop::collection::vec(1u8..12, 3),
-        ipi in prop::bool::ANY,
-    ) {
+/// Random many-to-one mail streams arrive completely and in per-sender
+/// order, under both notification strategies.
+#[test]
+fn mailbox_streams_preserve_per_sender_order() {
+    for case in 0..6u64 {
+        let mut g = Gen::new(0x6000 + case);
+        let counts: Vec<u8> = (0..3).map(|_| g.range(1, 12) as u8).collect();
+        let notify = if g.bool() { Notify::Ipi } else { Notify::Poll };
         let counts2 = counts.clone();
-        let notify = if ipi { Notify::Ipi } else { Notify::Poll };
         let cl = Cluster::new(SccConfig::small()).unwrap();
         let res = cl
             .run(4, move |k| {
@@ -239,15 +288,17 @@ proptest! {
             })
             .unwrap();
         let total: usize = counts.iter().map(|c| *c as usize).sum();
-        prop_assert_eq!(res[0].result, total as u64);
+        assert_eq!(res[0].result, total as u64, "case {case}");
     }
+}
 
-    /// RCCE messages of arbitrary sizes (across the chunk boundary) arrive
-    /// byte-exact.
-    #[test]
-    fn rcce_roundtrip_arbitrary_sizes(
-        sizes in prop::collection::vec(1u32..20_000, 1..4),
-    ) {
+/// RCCE messages of arbitrary sizes (across the chunk boundary) arrive
+/// byte-exact.
+#[test]
+fn rcce_roundtrip_arbitrary_sizes() {
+    for case in 0..6u64 {
+        let mut g = Gen::new(0x7000 + case);
+        let sizes: Vec<u32> = (0..g.range(1, 4)).map(|_| g.range(1, 20_000) as u32).collect();
         let sizes2 = sizes.clone();
         let cl = Cluster::new(SccConfig::small()).unwrap();
         cl.run(2, move |k| {
@@ -266,7 +317,7 @@ proptest! {
                         assert_eq!(
                             k.vread(va + i, 1) as u8,
                             (i as u8) ^ (round as u8),
-                            "byte {i} of round {round}"
+                            "byte {i} of round {round} (case {case})"
                         );
                     }
                 }
