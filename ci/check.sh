@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the instrumentation feature matrix.
+#
+# The structured-event trace (scc-hw's `trace` cargo feature) claims to be
+# zero-cost when disabled: the same call sites compile in both
+# configurations, with `TraceRing` collapsing to a zero-sized type. That
+# claim only holds while both halves of the matrix keep building, so CI
+# exercises default and `--features trace` on every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: default features =="
+cargo build --release
+cargo test -q
+
+echo "== trace feature: release build =="
+cargo build --release --features trace \
+    -p scc-hw -p scc-kernel -p scc-mailbox -p metalsvm \
+    -p scc-bench -p integration-tests
+
+echo "== trace feature: tests (ring + shadow-clock identity) =="
+cargo test -q --features trace -p scc-hw
+cargo test -q --features trace -p integration-tests --test instrumentation
+
+echo "ci/check.sh: all green"

@@ -30,20 +30,20 @@ fn main() {
             n,
             p,
             Notify::Ipi,
-            SvmConfig {
-                placement: Placement::NearToucher,
-                ..Default::default()
-            },
+            SvmConfig::builder()
+                .placement(Placement::NearToucher)
+                .build()
+                .expect("svm config"),
         );
         let rr = laplace_run_cfg(
             LaplaceVariant::SvmLazy,
             n,
             p,
             Notify::Ipi,
-            SvmConfig {
-                placement: Placement::RoundRobin,
-                ..Default::default()
-            },
+            SvmConfig::builder()
+                .placement(Placement::RoundRobin)
+                .build()
+                .expect("svm config"),
         );
         assert_eq!(near.checksum, rr.checksum);
         t.row(&[

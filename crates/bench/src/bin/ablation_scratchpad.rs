@@ -47,10 +47,7 @@ fn main() {
             n,
             p,
             Notify::Ipi,
-            SvmConfig {
-                scratch: loc,
-                ..Default::default()
-            },
+            SvmConfig::builder().scratch(loc).build().expect("svm config"),
         )
     };
     let a = run(ScratchLocation::Mpb);

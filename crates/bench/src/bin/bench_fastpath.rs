@@ -74,9 +74,12 @@ fn main() {
             fast.sim_ms,
             fast.checksum
         );
-        let hits = fast.perf.tlb_hits;
-        let misses = fast.perf.tlb_misses;
-        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        let hits = fast.metrics.get("kernel.tlb_hits");
+        let misses = fast.metrics.get("kernel.tlb_misses");
+        let hit_rate = fast
+            .metrics
+            .hit_rate("kernel.tlb_hits", "kernel.tlb_misses")
+            .unwrap_or(0.0);
         total_walk += walk_s;
         total_fast += fast_s;
         t.row(&[
@@ -104,8 +107,8 @@ fn main() {
             identical,
             hits,
             misses,
-            fast.perf.tlb_shootdowns,
-            fast.perf.fast_yields,
+            fast.metrics.get("kernel.tlb_shootdowns"),
+            fast.metrics.get("exec.fast_yields"),
         );
     }
 

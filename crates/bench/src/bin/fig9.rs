@@ -36,13 +36,13 @@ fn main() {
         "SVM lazy (J)",
         "checksums equal",
     ]);
-    let mut host = scc_hw::PerfCounters::default();
+    let mut sweep = scc_hw::MetricsSnapshot::new();
     for &n in counts {
         let mp = laplace_run(LaplaceVariant::Ircce, n, p);
         let strong = laplace_run(LaplaceVariant::SvmStrong, n, p);
         let lazy = laplace_run(LaplaceVariant::SvmLazy, n, p);
         for r in [&mp, &strong, &lazy] {
-            host.merge(&r.perf);
+            sweep.merge(&r.metrics);
         }
         let agree = mp.checksum == strong.checksum && strong.checksum == lazy.checksum;
         t.row(&[
@@ -58,14 +58,16 @@ fn main() {
         println!("{}", t.render().lines().last().unwrap());
     }
     println!("\n{}", t.render());
+    println!("metrics registry (whole sweep, all variants merged):");
+    println!("{}", sweep.render());
     println!(
-        "host fast paths (whole sweep): {} TLB hits, {} TLB misses \
-         ({:.1}% hit rate), {} shootdowns, {} fast yields\n",
-        host.tlb_hits,
-        host.tlb_misses,
-        100.0 * host.tlb_hits as f64 / (host.tlb_hits + host.tlb_misses).max(1) as f64,
-        host.tlb_shootdowns,
-        host.fast_yields,
+        "host fast paths: {:.1}% TLB hit rate, {} shootdowns, {} fast yields\n",
+        100.0
+            * sweep
+                .hit_rate("kernel.tlb_hits", "kernel.tlb_misses")
+                .unwrap_or(0.0),
+        sweep.get("kernel.tlb_shootdowns"),
+        sweep.get("exec.fast_yields"),
     );
     println!(
         "paper shape: the two SVM curves are nearly identical; iRCCE is\n\

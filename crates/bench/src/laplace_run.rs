@@ -4,7 +4,8 @@
 use metalsvm::{install as svm_install, Consistency, SvmConfig};
 use rcce::RcceComm;
 use scc_apps::laplace::{laplace_ircce, laplace_svm, LaplaceParams};
-use scc_hw::SccConfig;
+use scc_hw::instr::TraceConfig;
+use scc_hw::{CoreId, MetricsSnapshot, MetricsSource, SccConfig, TraceRing};
 use scc_kernel::Cluster;
 use scc_mailbox::{install as mbx_install, Notify};
 
@@ -30,7 +31,7 @@ impl LaplaceVariant {
 }
 
 /// Outcome of one (variant, cores) cell of Figure 9.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct LaplaceRun {
     pub checksum: f64,
     /// Simulated wall time of the iteration loop: the maximum over the
@@ -39,10 +40,11 @@ pub struct LaplaceRun {
     /// Estimated energy over all active cores (whole run, J) under the
     /// default `scc_hw::power` model.
     pub energy_j: f64,
-    /// Hardware-model performance counters merged over the participating
-    /// cores (includes the host fast-path statistics: TLB hits/misses/
-    /// shootdowns and executor fast yields).
-    pub perf: scc_hw::PerfCounters,
+    /// The unified metrics registry for the whole run: hardware counters
+    /// (`hw.*`, `exec.*`, `kernel.*`) merged over the participating cores,
+    /// plus the mailbox (`mbx.*`) and SVM protocol (`svm.*`) counters for
+    /// the SVM variants.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Machine configuration sized for the experiment: the MP variant keeps
@@ -75,7 +77,7 @@ pub fn laplace_run_host(
         host_fast,
         ..laplace_config(n, p)
     };
-    laplace_run_on(cfg, variant, n, p, Notify::Ipi, SvmConfig::default())
+    laplace_run_on(cfg, variant, n, p, Notify::Ipi, SvmConfig::default()).0
 }
 
 /// Like [`laplace_run`], with explicit mailbox notification strategy and
@@ -87,7 +89,25 @@ pub fn laplace_run_cfg(
     notify: Notify,
     svm_cfg: SvmConfig,
 ) -> LaplaceRun {
-    laplace_run_on(laplace_config(n, p), variant, n, p, notify, svm_cfg)
+    laplace_run_on(laplace_config(n, p), variant, n, p, notify, svm_cfg).0
+}
+
+/// Like [`laplace_run`], with structured-event tracing configured, also
+/// returning each participating core's trace ring. Rings are empty unless
+/// the `trace` cargo feature is compiled in (`TraceRing::compiled_in()`)
+/// and `trace.per_core_capacity > 0`. Export with
+/// [`scc_hw::instr::chrome_trace_json`] or [`scc_hw::instr::protocol_log`].
+pub fn laplace_run_traced(
+    variant: LaplaceVariant,
+    n: usize,
+    p: LaplaceParams,
+    trace: TraceConfig,
+) -> (LaplaceRun, Vec<(CoreId, TraceRing)>) {
+    let cfg = SccConfig {
+        trace,
+        ..laplace_config(n, p)
+    };
+    laplace_run_on(cfg, variant, n, p, Notify::Ipi, SvmConfig::default())
 }
 
 fn laplace_run_on(
@@ -97,14 +117,14 @@ fn laplace_run_on(
     p: LaplaceParams,
     notify: Notify,
     svm_cfg: SvmConfig,
-) -> LaplaceRun {
+) -> (LaplaceRun, Vec<(CoreId, TraceRing)>) {
     let mhz = cfg.timing.core_mhz as f64;
     let cl = Cluster::new(cfg).expect("machine");
     let res = cl
         .run(n, move |k| match variant {
             LaplaceVariant::Ircce => {
                 let mut comm = RcceComm::init(k);
-                laplace_ircce(k, &mut comm, p)
+                (laplace_ircce(k, &mut comm, p), MetricsSnapshot::new())
             }
             LaplaceVariant::SvmStrong | LaplaceVariant::SvmLazy => {
                 let mbx = mbx_install(k, notify);
@@ -114,28 +134,39 @@ fn laplace_run_on(
                 } else {
                     Consistency::LazyRelease
                 };
-                laplace_svm(k, &mut svm, model, p)
+                let out = laplace_svm(k, &mut svm, model, p);
+                // Mailbox counters are per core; the SVM protocol counters
+                // are machine-global, so only rank 0 contributes them (the
+                // merge below would otherwise count them n times).
+                let mut m = mbx.stats().metrics();
+                if k.rank() == 0 {
+                    svm.shared().stats.metrics_into(&mut m);
+                }
+                (out, m)
             }
         })
         .expect("laplace must not deadlock");
-    let checksum = res[0].result.checksum;
-    let max_cycles = res.iter().map(|r| r.result.cycles).max().unwrap();
+    let checksum = res[0].result.0.checksum;
+    let max_cycles = res.iter().map(|r| r.result.0.cycles).max().unwrap();
     let timing = scc_hw::TimingParams::default();
     let pw = scc_hw::power::PowerParams::default();
     let energy_j = res
         .iter()
         .map(|r| scc_hw::power::estimate(&r.perf, r.clock.as_u64(), &timing, &pw).total_j())
         .sum();
-    let mut perf = scc_hw::PerfCounters::default();
+    let mut metrics = MetricsSnapshot::new();
     for r in &res {
-        perf.merge(&r.perf);
+        r.perf.metrics_into(&mut metrics);
+        metrics.merge(&r.result.1);
     }
-    LaplaceRun {
+    let run = LaplaceRun {
         checksum,
         sim_ms: max_cycles as f64 / mhz / 1000.0,
         energy_j,
-        perf,
-    }
+        metrics,
+    };
+    let traces = res.into_iter().map(|r| (r.core, r.trace)).collect();
+    (run, traces)
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@ pub mod pingpong;
 pub mod report;
 pub mod svm_micro;
 
-pub use laplace_run::{laplace_config, laplace_run, laplace_run_host, LaplaceRun, LaplaceVariant};
+pub use laplace_run::{
+    laplace_config, laplace_run, laplace_run_host, laplace_run_traced, LaplaceRun, LaplaceVariant,
+};
 pub use pingpong::{pingpong_latency_us, PingPongSetup};
 pub use report::{fmt_us, Table};
 pub use svm_micro::{svm_overhead, svm_overhead_host, SvmOverhead};

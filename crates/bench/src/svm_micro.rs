@@ -51,7 +51,8 @@ pub fn svm_overhead_host(
     let res = cl
         .run_on(&cores, move |k| {
             let mbx = mbx_install(k, Notify::Ipi);
-            let mut svm = svm_install(k, &mbx, SvmConfig { scratch, ..Default::default() });
+            let svm_cfg = SvmConfig::builder().scratch(scratch).build().expect("svm config");
+            let mut svm = svm_install(k, &mbx, svm_cfg);
             let mut out = SvmOverhead::default();
 
             // Step 1: collective reservation of 4 MiB.

@@ -54,6 +54,8 @@ pub mod write_invalidate;
 pub use array::SvmArray;
 pub use region::{Consistency, SvmRegion};
 pub use scratchpad::ScratchLocation;
-pub use stats::SvmStats;
-pub use svm::{install, Placement, SvmConfig, SvmCtx};
+pub use stats::{SvmStats, SvmStatsSnapshot};
+pub use svm::{
+    install, PageInfo, Placement, SvmConfig, SvmConfigBuilder, SvmConfigError, SvmCtx,
+};
 pub use sync::SvmLock;

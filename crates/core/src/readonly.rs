@@ -27,7 +27,7 @@ impl SvmCtx {
         }
         let first = region.first_page();
         for p in first..first + region.pages() {
-            if let Some(pfn) = self.sh.frame_peek(p) {
+            if let Some(pfn) = self.sh.page_info(p).frame {
                 let va = scc_kernel::SVM_VA_BASE + p * 4096;
                 k.map_page(va, pfn, PageFlags::readonly_l2());
             }

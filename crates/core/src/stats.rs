@@ -1,5 +1,6 @@
 //! SVM event counters (shared across the cores of one machine).
 
+use scc_hw::metrics::{MetricsSnapshot, MetricsSource};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters over all cores; per-core attribution is available through the
@@ -54,6 +55,24 @@ pub struct SvmStatsSnapshot {
     pub invalidations: u64,
 }
 
+impl MetricsSource for SvmStatsSnapshot {
+    fn metrics_into(&self, m: &mut MetricsSnapshot) {
+        m.add("svm.faults", self.faults);
+        m.add("svm.first_touch_allocs", self.first_touch_allocs);
+        m.add("svm.ownership_transfers", self.ownership_transfers);
+        m.add("svm.forwards", self.forwards);
+        m.add("svm.migrations", self.migrations);
+        m.add("svm.read_replicas", self.read_replicas);
+        m.add("svm.invalidations", self.invalidations);
+    }
+}
+
+impl MetricsSource for SvmStats {
+    fn metrics_into(&self, m: &mut MetricsSnapshot) {
+        self.snapshot().metrics_into(m);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +87,17 @@ mod tests {
         assert_eq!(snap.faults, 2);
         assert_eq!(snap.migrations, 1);
         assert_eq!(snap.ownership_transfers, 0);
+    }
+
+    #[test]
+    fn metrics_labels() {
+        let s = SvmStats::default();
+        SvmStats::bump(&s.faults);
+        SvmStats::bump(&s.read_replicas);
+        let m = s.metrics();
+        assert_eq!(m.get("svm.faults"), 1);
+        assert_eq!(m.get("svm.read_replicas"), 1);
+        assert_eq!(m.get("svm.invalidations"), 0);
+        assert_eq!(m.len(), 7);
     }
 }

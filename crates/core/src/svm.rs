@@ -5,6 +5,7 @@ use crate::region::{Consistency, RegionTable, SvmRegion};
 use crate::scratchpad::{ScratchLocation, Scratchpad};
 use crate::stats::SvmStats;
 use parking_lot::Mutex;
+use scc_hw::instr::EventKind;
 use scc_hw::machine::MachineInner;
 use scc_hw::{CoreId, MemAttr};
 use scc_kernel::{Access, FaultHandler, Kernel, PageFlags, SVM_VA_BASE};
@@ -23,14 +24,14 @@ pub enum Placement {
     RoundRobin,
 }
 
-/// Configuration of the SVM system.
-#[derive(Copy, Clone, Debug)]
+/// Configuration of the SVM system. Construct via [`SvmConfig::builder`]
+/// (validated) or [`SvmConfig::default`] (the paper's configuration:
+/// MPB scratch pad, affinity-on-first-touch, whole shared region).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct SvmConfig {
-    /// Where the first-touch scratch pad lives (§6.3; `OffDie` is the
-    /// paper's capacity/performance trade-off and our A1 ablation).
-    pub scratch: ScratchLocation,
-    /// Frame placement on first touch.
-    pub placement: Placement,
+    scratch: ScratchLocation,
+    placement: Placement,
+    max_pages: Option<u32>,
 }
 
 impl Default for SvmConfig {
@@ -38,7 +39,103 @@ impl Default for SvmConfig {
         SvmConfig {
             scratch: ScratchLocation::Mpb,
             placement: Placement::NearToucher,
+            max_pages: None,
         }
+    }
+}
+
+impl SvmConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> SvmConfigBuilder {
+        SvmConfigBuilder::default()
+    }
+
+    /// Where the first-touch scratch pad lives (§6.3; `OffDie` is the
+    /// paper's capacity/performance trade-off and our A1 ablation).
+    pub fn scratch(&self) -> ScratchLocation {
+        self.scratch
+    }
+
+    /// Frame placement on first touch.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Cap on the number of SVM pages (`None` = the whole shared region).
+    pub fn max_pages(&self) -> Option<u32> {
+        self.max_pages
+    }
+}
+
+/// Validation failure from [`SvmConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvmConfigError {
+    /// `pages(0)` — an SVM window with no pages cannot back any region.
+    ZeroPages,
+    /// Round-robin striping needs at least one page per memory controller
+    /// (4 on the SCC) to be meaningful.
+    StripingTooFewPages { pages: u32 },
+}
+
+impl std::fmt::Display for SvmConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvmConfigError::ZeroPages => write!(f, "SVM window must have at least one page"),
+            SvmConfigError::StripingTooFewPages { pages } => write!(
+                f,
+                "round-robin placement stripes over 4 memory controllers but only {pages} page(s) were configured"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SvmConfigError {}
+
+/// Builder for [`SvmConfig`] — the validated construction path replacing
+/// struct literals.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SvmConfigBuilder {
+    scratch: Option<ScratchLocation>,
+    placement: Option<Placement>,
+    max_pages: Option<u32>,
+}
+
+impl SvmConfigBuilder {
+    /// Scratch-pad location (default: the MPB, the paper's design).
+    pub fn scratch(mut self, s: ScratchLocation) -> Self {
+        self.scratch = Some(s);
+        self
+    }
+
+    /// First-touch placement policy (default: near the toucher).
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.placement = Some(p);
+        self
+    }
+
+    /// Cap the SVM window at `pages` 4 KiB pages (default: the whole
+    /// shared region).
+    pub fn pages(mut self, pages: u32) -> Self {
+        self.max_pages = Some(pages);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SvmConfig, SvmConfigError> {
+        let cfg = SvmConfig {
+            scratch: self.scratch.unwrap_or(ScratchLocation::Mpb),
+            placement: self.placement.unwrap_or(Placement::NearToucher),
+            max_pages: self.max_pages,
+        };
+        if let Some(pages) = cfg.max_pages {
+            if pages == 0 {
+                return Err(SvmConfigError::ZeroPages);
+            }
+            if cfg.placement == Placement::RoundRobin && pages < 4 {
+                return Err(SvmConfigError::StripingTooFewPages { pages });
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -79,15 +176,32 @@ impl SvmShared {
         );
     }
 
-    /// Raw peek of the owner vector (tests, diagnostics).
-    pub fn owner_peek(&self, p: u32) -> Option<CoreId> {
+    /// Raw, untimed snapshot of everything the SVM system knows about page
+    /// `p`: owner, backing frame, write-invalidate copyset/version and the
+    /// next-touch epoch, in one coherent struct. This replaces the loose
+    /// `owner_peek`/`frame_peek` accessors (tests, diagnostics).
+    pub fn page_info(&self, p: u32) -> PageInfo {
         let v = self.mach.ram.read(self.owner_pa + 4 * p, 4) as u32;
-        (v != 0).then(|| CoreId::new(v as usize - 1))
+        PageInfo {
+            page: p,
+            owner: (v != 0).then(|| CoreId::new(v as usize - 1)),
+            frame: self.scratch.peek(&self.mach, p),
+            copyset: self.mach.ram.read(self.copyset_pa + 8 * p, 8),
+            version: self.mach.ram.read(self.version_pa + 4 * p, 4) as u32,
+            nt_epoch: self.page_nt[p as usize].load(Ordering::Acquire),
+        }
+    }
+
+    /// Raw peek of the owner vector (tests, diagnostics).
+    #[deprecated(since = "0.2.0", note = "use `page_info(p).owner` instead")]
+    pub fn owner_peek(&self, p: u32) -> Option<CoreId> {
+        self.page_info(p).owner
     }
 
     /// Raw peek of the scratch pad.
+    #[deprecated(since = "0.2.0", note = "use `page_info(p).frame` instead")]
     pub fn frame_peek(&self, p: u32) -> Option<u32> {
-        self.scratch.peek(&self.mach, p)
+        self.page_info(p).frame
     }
 
     /// Virtual address of SVM page `p`.
@@ -113,6 +227,24 @@ impl SvmShared {
     }
 }
 
+/// One coherent, untimed view of an SVM page's metadata, returned by
+/// [`SvmShared::page_info`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PageInfo {
+    /// Global SVM page index.
+    pub page: u32,
+    /// Current owner, if the page was ever touched.
+    pub owner: Option<CoreId>,
+    /// Backing physical frame, if allocated.
+    pub frame: Option<u32>,
+    /// Write-invalidate replica bitmask (bit = core index).
+    pub copyset: u64,
+    /// Write-invalidate version counter.
+    pub version: u32,
+    /// Next-touch epoch last applied to the page.
+    pub nt_epoch: u32,
+}
+
 /// The per-core acknowledgement cell: which page's ownership ack arrived.
 struct AckCell {
     page: AtomicU32,
@@ -133,7 +265,10 @@ pub struct SvmCtx {
 /// system (the SVM protocols ride on it). Collective.
 pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
     let mach = Arc::clone(k.hw.machine());
-    let pages = mach.map.shared_pages() as u32;
+    let pages = {
+        let avail = mach.map.shared_pages() as u32;
+        cfg.max_pages.map_or(avail, |cap| cap.min(avail))
+    };
     let owner_pa = k.shared.named_header("svm.owner", pages * 4, 64);
     let scratch_pa = k.shared.named_header("svm.scratch", pages * 2, 64);
     let copyset_pa = k.shared.named_header("svm.copyset", pages * 8, 64);
@@ -390,6 +525,7 @@ impl SvmFaultHandler {
                 }
                 sh.page_nt[p as usize].store(nt_epoch, Ordering::Release);
                 SvmStats::bump(&sh.stats.first_touch_allocs);
+                k.hw.trace(EventKind::FirstTouch, p, pfn);
                 pfn
             }
             Some(old) => {
@@ -409,6 +545,7 @@ impl SvmFaultHandler {
                     k.shared.frames.free(&sh.mach, old);
                     sh.scratch.write(k, p, new);
                     SvmStats::bump(&sh.stats.migrations);
+                    k.hw.trace(EventKind::Migrate, p, new);
                     sh.page_nt[p as usize].store(nt_epoch, Ordering::Release);
                     new
                 } else {
@@ -443,6 +580,7 @@ impl SvmFaultHandler {
             let mut payload = [0u8; 8];
             payload[0..4].copy_from_slice(&p.to_le_bytes());
             payload[4..8].copy_from_slice(&(me.idx() as u32).to_le_bytes());
+            k.hw.trace(EventKind::OwnRequest, p, owner.idx() as u32);
             self.mbx.send(k, owner, MailKind::SVM_REQUEST, &payload);
 
             // Step 5: wait for the acknowledgement — event-driven, no
@@ -465,6 +603,7 @@ impl SvmFaultHandler {
                 k.map_page(page_va, pfn, PageFlags::shared_rw());
                 k.hw.cl1invmb();
                 SvmStats::bump(&sh.stats.ownership_transfers);
+                k.hw.trace(EventKind::OwnAcquired, p, pfn);
                 return;
             }
         }
@@ -496,6 +635,7 @@ impl MailHandler for RequestHandler {
             // We no longer own the page: forward to the current owner
             // instead of making the requester re-poll the vector.
             SvmStats::bump(&sh.stats.forwards);
+            k.hw.trace(EventKind::OwnForward, p, cur.idx() as u32);
             self.mbx.send(k, cur, MailKind::SVM_REQUEST, mail.data());
             return;
         }
@@ -513,6 +653,7 @@ impl MailHandler for RequestHandler {
         }
         // Step 4: record the new owner in the vector...
         sh.owner_write(k, p, requester);
+        k.hw.trace(EventKind::OwnGrant, p, requester.idx() as u32);
         // Step 5: ...and signal the requester.
         self.mbx
             .send(k, requester, MailKind::SVM_ACK, &p.to_le_bytes());
@@ -526,6 +667,7 @@ struct AckHandler {
 impl MailHandler for AckHandler {
     fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
         let p = mail.u32_at(0);
+        k.hw.trace(EventKind::OwnAck, p, 0);
         self.ack.stamp.store(k.hw.now(), Ordering::Release);
         self.ack.page.store(p, Ordering::Release);
     }

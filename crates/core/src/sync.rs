@@ -7,6 +7,7 @@
 //! are harmless (and cheap) under the strong model, so they run always.
 
 use crate::svm::SvmCtx;
+use scc_hw::instr::EventKind;
 use scc_hw::CoreId;
 use scc_kernel::Kernel;
 
@@ -33,6 +34,7 @@ impl SvmCtx {
     /// Barrier over all participating cores with release/acquire cache
     /// semantics: flush the WCB before waiting, invalidate after release.
     pub fn barrier(&self, k: &mut Kernel<'_>) {
+        k.hw.trace(EventKind::Barrier, 0, 0);
         k.hw.flush_wcb();
         scc_kernel::ram_barrier(k, "svm.barrier");
         k.hw.cl1invmb();
@@ -52,11 +54,13 @@ impl SvmLock {
     /// tagged lines so all prior writers' data becomes visible.
     pub fn acquire(&self, k: &mut Kernel<'_>) {
         k.hw.tas_lock(self.reg);
+        k.hw.trace(EventKind::AcquireInv, self.reg.idx() as u32, 0);
         k.hw.cl1invmb();
     }
 
     /// Leave the critical section: push out combined writes, release.
     pub fn release(&self, k: &mut Kernel<'_>) {
+        k.hw.trace(EventKind::ReleaseFlush, self.reg.idx() as u32, 0);
         k.hw.flush_wcb();
         k.hw.tas_unlock(self.reg);
     }

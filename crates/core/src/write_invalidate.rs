@@ -24,6 +24,7 @@
 
 use crate::stats::SvmStats;
 use crate::svm::SvmShared;
+use scc_hw::instr::EventKind;
 use scc_hw::{CoreId, MemAttr};
 use scc_kernel::{Kernel, PageFlags};
 use scc_mailbox::{Mail, MailHandler, MailKind, Mailbox};
@@ -190,6 +191,7 @@ pub(crate) fn wi_fault(
         k.hw.cl1invmb();
         if sh.version_read(k, p) == granted_version {
             SvmStats::bump(&sh.stats.read_replicas);
+            k.hw.trace(EventKind::ReadReplica, p, granted_version);
             return;
         }
         k.unmap_page(page_va);
@@ -213,6 +215,7 @@ fn invalidate_replicas(
     }
     cells.inv_page.store(p, Ordering::Release);
     cells.inv_remaining.store(n, Ordering::Release);
+    k.hw.trace(EventKind::WiInvSend, p, n);
     let mut m = targets;
     while m != 0 {
         let core = CoreId::new(m.trailing_zeros() as usize);
@@ -317,6 +320,8 @@ impl MailHandler for WiGrantHandler {
         let version = u32::from_le_bytes(d[4..8].try_into().unwrap());
         let copyset = u64::from_le_bytes(d[8..16].try_into().unwrap());
         let write = d[16] != 0;
+        k.hw
+            .trace(EventKind::WiGrant, mail.u32_at(0), u32::from(write));
         self.cells.grant_version.store(version, Ordering::Release);
         self.cells.grant_copyset.store(copyset, Ordering::Release);
         self.cells
@@ -343,6 +348,7 @@ impl MailHandler for WiInvHandler {
         }
         k.hw.cl1invmb();
         SvmStats::bump(&self.sh.stats.invalidations);
+        k.hw.trace(EventKind::WiInvRecv, p, 0);
         self.mbx.send(k, mail.from, WI_INV_ACK, &p.to_le_bytes());
     }
 }

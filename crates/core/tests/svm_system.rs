@@ -123,7 +123,7 @@ fn first_touch_places_frame_near_toucher() {
                 a.set(k, 0, 1);
             }
             svm.barrier(k);
-            let pfn = svm.shared().frame_peek(r.first_page()).unwrap();
+            let pfn = svm.shared().page_info(r.first_page()).frame.unwrap();
             let scc_hw::ram::Backing::Ram { mc } =
                 k.hw.machine().map.resolve(pfn << 12)
             else {
@@ -199,7 +199,7 @@ fn next_touch_migrates_frame() {
             if k.rank() == 0 {
                 assert_eq!(a.get(k, 0), 42);
             }
-            let pfn = svm.shared().frame_peek(r.first_page()).unwrap();
+            let pfn = svm.shared().page_info(r.first_page()).frame.unwrap();
             let scc_hw::ram::Backing::Ram { mc } =
                 k.hw.machine().map.resolve(pfn << 12)
             else {
@@ -312,10 +312,10 @@ fn offdie_scratchpad_variant_works() {
         let mut svm = install(
             k,
             &mbx,
-            SvmConfig {
-                scratch: metalsvm::ScratchLocation::OffDie,
-                ..Default::default()
-            },
+            SvmConfig::builder()
+                .scratch(metalsvm::ScratchLocation::OffDie)
+                .build()
+                .unwrap(),
         );
         let r = svm.alloc(k, 16384, Consistency::LazyRelease);
         let a = SvmArray::<u64>::new(r, 2048);
@@ -366,4 +366,70 @@ fn staleness_without_invalidate_lazy_model() {
         }
     });
     assert_eq!(results[1], (1, 2), "stale read then fresh read");
+}
+
+#[test]
+fn svm_config_builder_validates() {
+    use metalsvm::{Placement, SvmConfig, SvmConfigError};
+
+    // The builder defaults match `SvmConfig::default()`.
+    let built = SvmConfig::builder().build().unwrap();
+    assert_eq!(built, SvmConfig::default());
+
+    // Explicit page caps are carried through.
+    let capped = SvmConfig::builder().pages(128).build().unwrap();
+    assert_eq!(capped.max_pages(), Some(128));
+
+    // Zero shared pages can never work.
+    assert_eq!(
+        SvmConfig::builder().pages(0).build().unwrap_err(),
+        SvmConfigError::ZeroPages
+    );
+
+    // Round-robin striping over fewer pages than memory controllers is a
+    // configuration error, not a silent no-op.
+    assert_eq!(
+        SvmConfig::builder()
+            .placement(Placement::RoundRobin)
+            .pages(2)
+            .build()
+            .unwrap_err(),
+        SvmConfigError::StripingTooFewPages { pages: 2 }
+    );
+    assert!(SvmConfig::builder()
+        .placement(Placement::RoundRobin)
+        .pages(4)
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn page_info_reports_owner_frame_and_copyset() {
+    let owners = with_svm(2, Notify::Ipi, |k, svm| {
+        let r = svm.alloc(k, 8192, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 16);
+        if k.rank() == 0 {
+            a.set(k, 0, 7);
+        }
+        svm.barrier(k);
+
+        let info = svm.shared().page_info(r.first_page());
+        assert_eq!(info.page, r.first_page());
+        assert_eq!(info.owner, Some(CoreId::new(0)), "core 0 touched first");
+        assert!(info.frame.is_some(), "touched page must be backed");
+        // Untouched page of the same region: no owner, no frame.
+        let untouched = svm.shared().page_info(r.first_page() + 1);
+        assert_eq!(untouched.owner, None);
+        assert_eq!(untouched.frame, None);
+
+        // The deprecated peeks must agree with the unified view.
+        #[allow(deprecated)]
+        {
+            assert_eq!(svm.shared().owner_peek(r.first_page()), info.owner);
+            assert_eq!(svm.shared().frame_peek(r.first_page()), info.frame);
+        }
+        svm.barrier(k);
+        info.owner
+    });
+    assert_eq!(owners, vec![Some(CoreId::new(0)); 2]);
 }

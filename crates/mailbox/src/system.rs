@@ -2,7 +2,9 @@
 
 use crate::mail::{field, slot_pa, Mail, MailKind, MAX_PAYLOAD};
 use parking_lot::Mutex;
+use scc_hw::instr::EventKind;
 use scc_hw::machine::MachineInner;
+use scc_hw::metrics::{MetricsSnapshot, MetricsSource};
 use scc_hw::{CoreId, MemAttr};
 use scc_kernel::{Kernel, KernelHook};
 use std::collections::{HashMap, VecDeque};
@@ -44,6 +46,16 @@ impl MailStats {
             self.checks.load(Ordering::Relaxed),
             self.send_stalls.load(Ordering::Relaxed),
         )
+    }
+}
+
+impl MetricsSource for MailStats {
+    fn metrics_into(&self, m: &mut MetricsSnapshot) {
+        let (sent, received, checks, send_stalls) = self.snapshot();
+        m.add("mbx.sent", sent);
+        m.add("mbx.received", received);
+        m.add("mbx.checks", checks);
+        m.add("mbx.send_stalls", send_stalls);
     }
 }
 
@@ -185,6 +197,8 @@ impl MailboxHook {
         k.hw.write(pa + field::FLAG, 1, 0, MemAttr::MPB);
         k.hw.flush_wcb();
         sh.stats.received.fetch_add(1, Ordering::Relaxed);
+        k.hw
+            .trace(EventKind::MailRecv, sender.idx() as u32, kind as u32);
 
         let mail = Mail::new(sender, MailKind(kind), stamp, &payload[..len]);
         let handler = sh.handlers.lock().get(&kind).cloned();
@@ -276,6 +290,8 @@ impl Mailbox {
         k.hw.write(pa + field::FLAG, 1, 1, MemAttr::MPB);
         k.hw.flush_wcb();
         sh.stats.sent.fetch_add(1, Ordering::Relaxed);
+        k.hw
+            .trace(EventKind::MailSend, dst.idx() as u32, kind.0 as u32);
         if sh.notify == Notify::Ipi {
             k.hw.send_ipi(dst);
         }

@@ -1,5 +1,6 @@
 //! Machine configuration: memory sizes, cache geometry, clock frequencies.
 
+use crate::instr::TraceConfig;
 use crate::timing::TimingParams;
 use crate::topology::MAX_CORES;
 use serde::{Deserialize, Serialize};
@@ -96,6 +97,9 @@ pub struct SccConfig {
     pub tick_cycles: u64,
     /// Host-side fast-path toggles (simulation-invisible).
     pub host_fast: HostFastPaths,
+    /// Structured-event trace configuration (simulation-invisible; inert
+    /// unless the `trace` cargo feature is compiled in).
+    pub trace: TraceConfig,
 }
 
 impl Default for SccConfig {
@@ -117,6 +121,7 @@ impl Default for SccConfig {
             // 1 ms at 533 MHz, the classic 1000 Hz kernel tick.
             tick_cycles: 533_000,
             host_fast: HostFastPaths::default(),
+            trace: TraceConfig::default(),
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::cache::{Cache, Wcb, WcbFlush};
 use crate::config::LINE_BYTES;
 use crate::exec::Scheduler;
+use crate::instr::{EventKind, TraceRing};
 use crate::machine::MachineInner;
 use crate::perf::PerfCounters;
 use crate::ram::Backing;
@@ -88,6 +89,9 @@ pub struct CoreCtx {
     quantum: u64,
     /// Hardware event counters for this core.
     pub perf: PerfCounters,
+    /// Structured-event ring for this core (zero-sized without the `trace`
+    /// feature).
+    ring: TraceRing,
     mach: Arc<MachineInner>,
     sched: Arc<Scheduler>,
 }
@@ -111,9 +115,29 @@ impl CoreCtx {
             timing: mach.cfg.timing.clone(),
             quantum,
             perf: PerfCounters::default(),
+            ring: TraceRing::new(&mach.cfg.trace),
             mach,
             sched,
         }
+    }
+
+    /// Record a structured trace event stamped with this core's current
+    /// simulated clock. Compiles to nothing without the `trace` feature;
+    /// call sites stay unconditional. Never touches the virtual clock.
+    #[inline(always)]
+    pub fn trace(&mut self, kind: EventKind, a: u32, b: u32) {
+        self.ring.record(self.clock, kind, a, b);
+    }
+
+    /// This core's trace ring (empty without the `trace` feature).
+    pub fn trace_ring(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// Detach the trace ring (used by the machine when a core's program
+    /// finishes, to carry the events out in its `CoreResult`).
+    pub(crate) fn take_trace(&mut self) -> TraceRing {
+        std::mem::take(&mut self.ring)
     }
 
     /// This core's id.
@@ -168,11 +192,13 @@ impl CoreCtx {
         cond: impl FnMut() -> Option<(T, u64)> + Send,
     ) -> T {
         self.perf.blocks += 1;
+        self.trace(EventKind::BlockEnter, 0, 0);
         let (v, stamp) = self
             .sched
             .wait_blocked(self.slot, self.clock, reason, cond);
         self.sync_to(stamp);
         self.next_yield = self.clock + self.quantum;
+        self.trace(EventKind::BlockExit, 0, 0);
         v
     }
 
@@ -249,6 +275,7 @@ impl CoreCtx {
     fn apply_wcb_flush(&mut self, f: WcbFlush) {
         let base = f.line * LINE_BYTES as u32;
         self.perf.wcb_flushes += 1;
+        self.trace(EventKind::WcbFlush, f.line, 0);
         match self.mach.map.resolve(base) {
             Backing::Ram { .. } => {
                 self.mach.ram.write_line_masked(base, &f.data, f.mask);
@@ -416,6 +443,7 @@ impl CoreCtx {
     /// Execute `CL1INVMB`: invalidate all MPBT-tagged L1 lines.
     pub fn cl1invmb(&mut self) {
         self.perf.cl1invmb_count += 1;
+        self.trace(EventKind::Cl1Invmb, 0, 0);
         self.l1.invalidate_mpbt();
         let c = self.timing.cl1invmb;
         self.advance(c);
@@ -504,6 +532,7 @@ impl CoreCtx {
         let cost = t.ipi_raise + t.hop_cost(self.id.hops_to(dst));
         self.advance(cost);
         self.perf.ipis_sent += 1;
+        self.trace(EventKind::IpiSend, dst.idx() as u32, 0);
         self.mach.gic.raise(self.id, dst, self.clock);
     }
 
@@ -523,6 +552,7 @@ impl CoreCtx {
             self.perf.ipis_received += 1;
             let deliver = t.ipi_delivery(self.id.hops_to(*src));
             self.sync_to(stamp + deliver);
+            self.trace(EventKind::IpiRecv, src.idx() as u32, 0);
         }
         list
     }

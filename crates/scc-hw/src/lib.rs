@@ -44,7 +44,9 @@ pub mod core;
 pub mod error;
 pub mod exec;
 pub mod gic;
+pub mod instr;
 pub mod machine;
+pub mod metrics;
 pub mod mpb;
 pub mod perf;
 pub mod power;
@@ -56,7 +58,9 @@ pub mod topology;
 pub use crate::core::{CoreCtx, MemAttr};
 pub use config::{HostFastPaths, SccConfig};
 pub use error::HwError;
+pub use instr::{EventKind, TraceConfig, TraceEvent, TraceRing};
 pub use machine::Machine;
+pub use metrics::{MetricsSnapshot, MetricsSource};
 pub use perf::PerfCounters;
 pub use timing::{Cycles, TimingParams};
 pub use topology::{CoreId, TileCoord, MAX_CORES};

@@ -6,6 +6,7 @@ use crate::core::CoreCtx;
 use crate::error::HwError;
 use crate::exec::{DeadlockUnwind, Scheduler};
 use crate::gic::Gic;
+use crate::instr::TraceRing;
 use crate::mpb::MpbArray;
 use crate::perf::PerfCounters;
 use crate::ram::{AtomicWords, MemMap};
@@ -40,6 +41,9 @@ pub struct CoreResult<R> {
     /// The core's virtual clock when its program returned.
     pub clock: Cycles,
     pub perf: PerfCounters,
+    /// The core's structured-event ring (empty without the `trace`
+    /// feature).
+    pub trace: TraceRing,
 }
 
 /// The simulated SCC. One `Machine` owns all globally visible state; each
@@ -124,6 +128,7 @@ impl Machine {
                         result,
                         clock: Cycles(ctx.now()),
                         perf: ctx.perf,
+                        trace: ctx.take_trace(),
                     }
                 }));
             }

@@ -1,0 +1,193 @@
+//! The single metrics registry — labeled counters with merge/diff
+//! semantics, the other half of the unified instrumentation layer (see
+//! [`crate::instr`] for event tracing).
+//!
+//! Every stats producer in the stack ([`crate::PerfCounters`], the
+//! kernel's TLB snapshot, the SVM protocol stats, the mailbox stats)
+//! implements [`MetricsSource`] and folds itself into one
+//! [`MetricsSnapshot`] under a dotted label namespace:
+//!
+//! | prefix    | producer                                   |
+//! |-----------|--------------------------------------------|
+//! | `hw.`     | cache/MPB/GIC/TAS hardware model counters  |
+//! | `exec.`   | executor scheduling counters               |
+//! | `kernel.` | software-TLB counters                      |
+//! | `svm.`    | ownership/placement protocol counters      |
+//! | `mbx.`    | mailbox system counters                    |
+//!
+//! Consumers (`fig9`, `bench_fastpath`, tests) read labels from the one
+//! snapshot instead of reaching into three bespoke structs. Snapshots
+//! merge (aggregate across cores or runs) and diff (interval measurement
+//! around a phase of interest).
+
+use std::collections::BTreeMap;
+
+/// An immutable-ish bag of labeled `u64` counters. Labels are `'static`
+/// dotted strings (`"svm.faults"`, `"kernel.tlb_hits"`); ordering is
+/// lexicographic, which keeps rendered output stable across runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    vals: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsSnapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collect a snapshot from one source (sugar for
+    /// [`MetricsSource::metrics`]).
+    pub fn of(src: &dyn MetricsSource) -> Self {
+        src.metrics()
+    }
+
+    /// Add `v` to the counter `name` (creating it at zero first).
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.vals.entry(name).or_insert(0) += v;
+    }
+
+    /// Overwrite the counter `name` with `v`.
+    pub fn set(&mut self, name: &'static str, v: u64) {
+        self.vals.insert(name, v);
+    }
+
+    /// Value of `name`, or 0 if never recorded.
+    pub fn get(&self, name: &str) -> u64 {
+        self.vals.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of `name`, or `None` if never recorded (distinguishes "zero"
+    /// from "absent").
+    pub fn try_get(&self, name: &str) -> Option<u64> {
+        self.vals.get(name).copied()
+    }
+
+    /// Fold another snapshot in, adding counters label-wise. This is the
+    /// cross-core / cross-run aggregation primitive.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.vals {
+            *self.vals.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Counter-wise `self - earlier` (saturating), keeping every label
+    /// present in either snapshot. Use to measure one phase: snapshot
+    /// before, snapshot after, diff.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (k, v) in &self.vals {
+            out.vals.insert(k, v.saturating_sub(earlier.get(k)));
+        }
+        for (k, _) in &earlier.vals {
+            out.vals.entry(k).or_insert(0);
+        }
+        out
+    }
+
+    /// Labels and values in lexicographic label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.vals.iter().map(|(k, v)| (*k, *v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// `hits / (hits + misses)` over two counters; `None` when both are
+    /// zero. The common derived statistic (L1 hit rate, TLB hit rate).
+    pub fn hit_rate(&self, hits: &str, misses: &str) -> Option<f64> {
+        let h = self.get(hits);
+        let total = h + self.get(misses);
+        (total > 0).then(|| h as f64 / total as f64)
+    }
+
+    /// Render as an aligned two-column table, one counter per line,
+    /// sorted by label.
+    pub fn render(&self) -> String {
+        let width = self.vals.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.vals {
+            out.push_str(&format!("  {k:<width$}  {v:>12}\n"));
+        }
+        out
+    }
+}
+
+/// Anything that can contribute labeled counters to a [`MetricsSnapshot`].
+pub trait MetricsSource {
+    /// Fold this source's counters into `m` (adding to existing labels).
+    fn metrics_into(&self, m: &mut MetricsSnapshot);
+
+    /// Collect this source alone into a fresh snapshot.
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        self.metrics_into(&mut m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge_diff() {
+        let mut a = MetricsSnapshot::new();
+        a.add("svm.faults", 3);
+        a.add("svm.faults", 2);
+        a.set("hw.l1_hits", 100);
+        assert_eq!(a.get("svm.faults"), 5);
+        assert_eq!(a.get("missing"), 0);
+        assert_eq!(a.try_get("missing"), None);
+
+        let mut b = MetricsSnapshot::new();
+        b.add("svm.faults", 10);
+        b.add("mbx.sent", 7);
+        a.merge(&b);
+        assert_eq!(a.get("svm.faults"), 15);
+        assert_eq!(a.get("mbx.sent"), 7);
+        assert_eq!(a.get("hw.l1_hits"), 100);
+
+        let d = a.diff(&b);
+        assert_eq!(d.get("svm.faults"), 5);
+        assert_eq!(d.get("mbx.sent"), 0);
+        assert_eq!(d.get("hw.l1_hits"), 100);
+    }
+
+    #[test]
+    fn diff_keeps_labels_from_both_sides() {
+        let mut a = MetricsSnapshot::new();
+        a.set("x", 1);
+        let mut b = MetricsSnapshot::new();
+        b.set("y", 4);
+        let d = a.diff(&b);
+        assert_eq!(d.try_get("x"), Some(1));
+        assert_eq!(d.try_get("y"), Some(0), "labels only in `earlier` survive at 0");
+    }
+
+    #[test]
+    fn hit_rate_and_render() {
+        let mut m = MetricsSnapshot::new();
+        m.set("kernel.tlb_hits", 3);
+        m.set("kernel.tlb_misses", 1);
+        assert_eq!(m.hit_rate("kernel.tlb_hits", "kernel.tlb_misses"), Some(0.75));
+        assert_eq!(m.hit_rate("a", "b"), None);
+        let r = m.render();
+        assert!(r.contains("kernel.tlb_hits"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut m = MetricsSnapshot::new();
+        m.set("z.last", 1);
+        m.set("a.first", 2);
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a.first", "z.last"]);
+    }
+}

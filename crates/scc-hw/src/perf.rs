@@ -1,65 +1,77 @@
 //! Per-core performance counters. Upper layers (kernel, mailbox, SVM) keep
 //! their own statistics; these counters cover the hardware model itself.
+//! All of them surface through the unified registry ([`crate::metrics`])
+//! under the `hw.` / `exec.` / `kernel.` label prefixes.
 
+use crate::metrics::{MetricsSnapshot, MetricsSource};
 use serde::{Deserialize, Serialize};
 
-/// Event counters for one simulated core.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
-pub struct PerfCounters {
-    pub l1_hits: u64,
-    pub l1_misses: u64,
-    pub l2_hits: u64,
-    pub l2_misses: u64,
-    pub ram_reads: u64,
-    pub ram_writes: u64,
-    pub mpb_reads: u64,
-    pub mpb_writes: u64,
-    pub wcb_merges: u64,
-    pub wcb_flushes: u64,
-    pub cl1invmb_count: u64,
-    pub ipis_sent: u64,
-    pub ipis_received: u64,
-    pub tas_acquires: u64,
-    pub tas_spins: u64,
-    pub yields: u64,
-    pub blocks: u64,
-    /// Kernel-layer software-TLB translation hits (host fast path).
-    pub tlb_hits: u64,
-    /// Kernel-layer software-TLB misses (page-table walks taken).
-    pub tlb_misses: u64,
-    /// TLB entries dropped by PTE-mutation shootdowns.
-    pub tlb_shootdowns: u64,
-    /// `yield_now` calls resolved by the executor's fast scheduling
-    /// protocol (direct hand-off or inline election — no sleeper wakeups).
-    pub fast_yields: u64,
+/// Defines the counter struct once and derives `merge` plus the
+/// [`MetricsSource`] labeling from the same field list, so the three can
+/// never drift apart.
+macro_rules! counters {
+    (
+        $(#[$smeta:meta])*
+        pub struct $name:ident {
+            $( $(#[$fmeta:meta])* $field:ident => $label:literal ),+ $(,)?
+        }
+    ) => {
+        $(#[$smeta])*
+        pub struct $name {
+            $( $(#[$fmeta])* pub $field: u64, )+
+        }
+
+        impl $name {
+            /// Merge another counter set into this one (used when
+            /// aggregating runs).
+            pub fn merge(&mut self, o: &$name) {
+                $( self.$field += o.$field; )+
+            }
+        }
+
+        impl MetricsSource for $name {
+            fn metrics_into(&self, m: &mut MetricsSnapshot) {
+                $( m.add($label, self.$field); )+
+            }
+        }
+    };
+}
+
+counters! {
+    /// Event counters for one simulated core.
+    #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+    pub struct PerfCounters {
+        l1_hits => "hw.l1_hits",
+        l1_misses => "hw.l1_misses",
+        l2_hits => "hw.l2_hits",
+        l2_misses => "hw.l2_misses",
+        ram_reads => "hw.ram_reads",
+        ram_writes => "hw.ram_writes",
+        mpb_reads => "hw.mpb_reads",
+        mpb_writes => "hw.mpb_writes",
+        wcb_merges => "hw.wcb_merges",
+        wcb_flushes => "hw.wcb_flushes",
+        cl1invmb_count => "hw.cl1invmb",
+        ipis_sent => "hw.ipis_sent",
+        ipis_received => "hw.ipis_received",
+        tas_acquires => "hw.tas_acquires",
+        tas_spins => "hw.tas_spins",
+        yields => "exec.yields",
+        blocks => "exec.blocks",
+        /// Kernel-layer software-TLB translation hits (host fast path).
+        tlb_hits => "kernel.tlb_hits",
+        /// Kernel-layer software-TLB misses (page-table walks taken).
+        tlb_misses => "kernel.tlb_misses",
+        /// TLB entries dropped by PTE-mutation shootdowns.
+        tlb_shootdowns => "kernel.tlb_shootdowns",
+        /// `yield_now` calls resolved by the executor's fast scheduling
+        /// protocol (direct hand-off or inline election — no sleeper
+        /// wakeups).
+        fast_yields => "exec.fast_yields",
+    }
 }
 
 impl PerfCounters {
-    /// Merge another counter set into this one (used when aggregating runs).
-    pub fn merge(&mut self, o: &PerfCounters) {
-        self.l1_hits += o.l1_hits;
-        self.l1_misses += o.l1_misses;
-        self.l2_hits += o.l2_hits;
-        self.l2_misses += o.l2_misses;
-        self.ram_reads += o.ram_reads;
-        self.ram_writes += o.ram_writes;
-        self.mpb_reads += o.mpb_reads;
-        self.mpb_writes += o.mpb_writes;
-        self.wcb_merges += o.wcb_merges;
-        self.wcb_flushes += o.wcb_flushes;
-        self.cl1invmb_count += o.cl1invmb_count;
-        self.ipis_sent += o.ipis_sent;
-        self.ipis_received += o.ipis_received;
-        self.tas_acquires += o.tas_acquires;
-        self.tas_spins += o.tas_spins;
-        self.yields += o.yields;
-        self.blocks += o.blocks;
-        self.tlb_hits += o.tlb_hits;
-        self.tlb_misses += o.tlb_misses;
-        self.tlb_shootdowns += o.tlb_shootdowns;
-        self.fast_yields += o.fast_yields;
-    }
-
     /// L1 hit rate in [0, 1]; `None` when no accesses were recorded.
     pub fn l1_hit_rate(&self) -> Option<f64> {
         let total = self.l1_hits + self.l1_misses;
@@ -96,5 +108,19 @@ mod tests {
         c.l1_hits = 3;
         c.l1_misses = 1;
         assert_eq!(c.l1_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn metrics_labels_cover_all_layers() {
+        let mut c = PerfCounters::default();
+        c.l1_hits = 7;
+        c.tlb_hits = 5;
+        c.fast_yields = 2;
+        let m = c.metrics();
+        assert_eq!(m.get("hw.l1_hits"), 7);
+        assert_eq!(m.get("kernel.tlb_hits"), 5);
+        assert_eq!(m.get("exec.fast_yields"), 2);
+        // One label per field.
+        assert_eq!(m.len(), 21);
     }
 }

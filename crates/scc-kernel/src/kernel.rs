@@ -5,7 +5,8 @@
 use crate::cluster::ClusterShared;
 use crate::frames::PrivateBump;
 use crate::paging::{PageFlags, PageTable, Pte, PAGE_SIZE};
-use crate::tlb::Tlb;
+use crate::tlb::{Tlb, TlbSnapshot, TLB_ENTRIES};
+use scc_hw::instr::EventKind;
 use scc_hw::{CoreCtx, CoreId, MemAttr};
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -225,6 +226,7 @@ impl<'a> Kernel<'a> {
         self.pt_epoch += 1;
         if self.tlb.invalidate_page(va >> 12) {
             self.hw.perf.tlb_shootdowns += 1;
+            self.hw.trace(EventKind::TlbShootdown, va >> 12, 0);
         }
     }
 
@@ -232,6 +234,7 @@ impl<'a> Kernel<'a> {
     pub fn map_page(&mut self, va: u32, pfn: u32, flags: PageFlags) {
         self.pt.map(va, pfn, flags);
         self.pte_mutated(va);
+        self.hw.trace(EventKind::PageMap, va, pfn);
         let c = self.hw.machine().cfg.timing.pte_update;
         self.hw.advance(c);
     }
@@ -241,6 +244,7 @@ impl<'a> Kernel<'a> {
     pub fn protect_page(&mut self, va: u32, flags: PageFlags) -> bool {
         let ok = self.pt.protect(va, flags);
         self.pte_mutated(va);
+        self.hw.trace(EventKind::PageProtect, va, 0);
         let c = self.hw.machine().cfg.timing.pte_update;
         self.hw.advance(c);
         ok
@@ -250,9 +254,23 @@ impl<'a> Kernel<'a> {
     pub fn unmap_page(&mut self, va: u32) -> Pte {
         let pte = self.pt.unmap(va);
         self.pte_mutated(va);
+        self.hw.trace(EventKind::PageUnmap, va, 0);
         let c = self.hw.machine().cfg.timing.pte_update;
         self.hw.advance(c);
         pte
+    }
+
+    /// One coherent view of this core's software-TLB state — activity
+    /// counters plus current occupancy. The single accessor replacing
+    /// hand-picking `hw.perf.tlb_*` fields.
+    pub fn tlb_snapshot(&self) -> TlbSnapshot {
+        TlbSnapshot {
+            hits: self.hw.perf.tlb_hits,
+            misses: self.hw.perf.tlb_misses,
+            shootdowns: self.hw.perf.tlb_shootdowns,
+            live_entries: self.tlb.live_count(),
+            capacity: TLB_ENTRIES,
+        }
     }
 
     /// Allocate `n` pages of kernel-private memory; returns their VA.
@@ -300,10 +318,12 @@ impl<'a> Kernel<'a> {
             // take the walk path anyway so the miss/fault flow is uniform.
             if access == Access::Read || pte.flags().writable() {
                 self.hw.perf.tlb_hits += 1;
+                self.hw.trace(EventKind::TlbHit, vpn, 0);
                 return Some(pte);
             }
         }
         self.hw.perf.tlb_misses += 1;
+        self.hw.trace(EventKind::TlbMiss, vpn, 0);
         let pte = self.try_translate(va, access)?;
         self.tlb.insert(vpn, pte);
         Some(pte)
@@ -443,6 +463,8 @@ impl<'a> Kernel<'a> {
     fn handle_fault(&mut self, va: u32, access: Access) {
         let c = self.hw.machine().cfg.timing.pagefault_entry;
         self.hw.advance(c);
+        self.hw
+            .trace(EventKind::PageFault, va, (access == Access::Write) as u32);
         // The list is sorted by start: the only candidate is the last range
         // starting at or below `va`.
         let idx = self.fault_handlers.partition_point(|(r, _)| r.start <= va);

@@ -31,6 +31,7 @@ pub use cluster::{Cluster, ClusterShared};
 pub use collective::ram_barrier;
 pub use kernel::{Access, FaultHandler, Kernel, KernelHook};
 pub use paging::{PageFlags, PageTable, Pte};
+pub use tlb::TlbSnapshot;
 
 /// Virtual base address of the SVM (shared virtual memory) window.
 pub const SVM_VA_BASE: u32 = 0x8000_0000;

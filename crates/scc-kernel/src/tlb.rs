@@ -16,6 +16,7 @@
 //! charged a cycle.
 
 use crate::paging::Pte;
+use scc_hw::metrics::{MetricsSnapshot, MetricsSource};
 
 /// Number of direct-mapped entries. 64 covers the working set of a page or
 /// two per array in the paper's kernels while keeping the table in one or
@@ -87,6 +88,46 @@ impl Tlb {
         self.tags = [EMPTY_TAG; TLB_ENTRIES];
         live
     }
+
+    /// Number of currently live entries.
+    pub fn live_count(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
+    }
+}
+
+/// One coherent snapshot of a core's software-TLB state: the activity
+/// counters (which accumulate in the hardware perf block) together with
+/// the current occupancy. Obtained via `Kernel::tlb_snapshot`; replaces
+/// picking loose counters out of `PerfCounters` by hand.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TlbSnapshot {
+    /// Translations served from the TLB.
+    pub hits: u64,
+    /// Page-table walks taken.
+    pub misses: u64,
+    /// Entries dropped by PTE-mutation shootdowns.
+    pub shootdowns: u64,
+    /// Entries currently live.
+    pub live_entries: usize,
+    /// Total slots ([`TLB_ENTRIES`]).
+    pub capacity: usize,
+}
+
+impl TlbSnapshot {
+    /// Hit rate in [0, 1]; `None` when no translations were recorded.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+impl MetricsSource for TlbSnapshot {
+    fn metrics_into(&self, m: &mut MetricsSnapshot) {
+        m.add("kernel.tlb_hits", self.hits);
+        m.add("kernel.tlb_misses", self.misses);
+        m.add("kernel.tlb_shootdowns", self.shootdowns);
+        m.add("kernel.tlb_live_entries", self.live_entries as u64);
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +163,25 @@ mod tests {
         let mut t = Tlb::new();
         t.insert(1, Pte::new(1, PageFlags::shared_rw()));
         t.insert(2, Pte::new(2, PageFlags::shared_rw()));
+        assert_eq!(t.live_count(), 2);
         assert_eq!(t.flush(), 2);
+        assert_eq!(t.live_count(), 0);
         assert_eq!(t.lookup(1), None);
+    }
+
+    #[test]
+    fn snapshot_metrics_and_hit_rate() {
+        let s = TlbSnapshot {
+            hits: 9,
+            misses: 1,
+            shootdowns: 2,
+            live_entries: 5,
+            capacity: TLB_ENTRIES,
+        };
+        assert_eq!(s.hit_rate(), Some(0.9));
+        assert_eq!(TlbSnapshot::default().hit_rate(), None);
+        let m = s.metrics();
+        assert_eq!(m.get("kernel.tlb_hits"), 9);
+        assert_eq!(m.get("kernel.tlb_live_entries"), 5);
     }
 }
