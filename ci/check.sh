@@ -22,4 +22,14 @@ echo "== trace feature: tests (ring + shadow-clock identity) =="
 cargo test -q --features trace -p scc-hw
 cargo test -q --features trace -p integration-tests --test instrumentation
 
+# The parallel conservative executor (host_fast.parallel, DESIGN.md §8)
+# must replay the serial baton schedule bit for bit. The shadow suite runs
+# both executors on every workload; crossing it with the trace feature also
+# compares the per-core event rings event for event.
+echo "== parallel executor: shadow suite, default features =="
+cargo test -q -p integration-tests --test parallel_shadow
+
+echo "== parallel executor: shadow suite, trace feature =="
+cargo test -q --features trace -p integration-tests --test parallel_shadow
+
 echo "ci/check.sh: all green"

@@ -10,6 +10,15 @@
 //! single loaded CPU scheduling all 48 simulated-core threads. Emits
 //! `BENCH_fastpath.json` next to the working directory.
 //!
+//! A second phase benchmarks the parallel conservative executor
+//! (`host_fast.parallel`, DESIGN.md §8) against the serial baton executor,
+//! both in polling notify mode (the parallel engine does not support
+//! IPIs), asserting bit-identical simulated results and emitting
+//! `BENCH_parallel.json`. The wall-clock speedup scales with the host's
+//! core count (recorded as `host_cores`): on a single-CPU host the
+//! parallel engine can only add synchronisation overhead, so the speedup
+//! criterion is meaningful only where `host_cores > 1`.
+//!
 //! Usage: `cargo run -p scc-bench --release --bin bench_fastpath
 //!         [--quick] [--iters N] [--reps N]`
 
@@ -17,8 +26,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use scc_apps::laplace::LaplaceParams;
-use scc_bench::{laplace_run_host, HarnessArgs, LaplaceVariant, Table};
+use scc_bench::{laplace_run_host, laplace_run_host_notify, HarnessArgs, LaplaceVariant, Table};
+use scc_hw::instr::TraceConfig;
 use scc_hw::HostFastPaths;
+use scc_mailbox::Notify;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -125,4 +136,131 @@ fn main() {
     );
     std::fs::write("BENCH_fastpath.json", &json).expect("write BENCH_fastpath.json");
     println!("wrote BENCH_fastpath.json");
+
+    bench_parallel(n, p, reps);
+}
+
+/// Phase 2: serial baton executor vs parallel conservative executor, both
+/// with the default fast paths and polling-mode mailboxes.
+fn bench_parallel(n: usize, p: LaplaceParams, reps: usize) {
+    let host_cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "\nParallel-executor wall-clock benchmark — same grid, {n} simulated cores \
+         on {host_cores} host core(s)"
+    );
+    let mut t = Table::new(&[
+        "variant",
+        "serial (s)",
+        "parallel (s)",
+        "speedup",
+        "sim identical",
+        "windows",
+        "stalls",
+    ]);
+
+    let mut rows_json = String::new();
+    let mut total_ser = 0.0f64;
+    let mut total_par = 0.0f64;
+    for variant in [
+        LaplaceVariant::Ircce,
+        LaplaceVariant::SvmStrong,
+        LaplaceVariant::SvmLazy,
+    ] {
+        let mut ser_s = f64::INFINITY;
+        let mut par_s = f64::INFINITY;
+        let mut ser = None;
+        let mut par = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            ser = Some(
+                laplace_run_host_notify(
+                    variant,
+                    n,
+                    p,
+                    HostFastPaths::default(),
+                    Notify::Poll,
+                    TraceConfig::disabled(),
+                )
+                .0,
+            );
+            ser_s = ser_s.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            par = Some(
+                laplace_run_host_notify(
+                    variant,
+                    n,
+                    p,
+                    HostFastPaths::parallel(),
+                    Notify::Poll,
+                    TraceConfig::disabled(),
+                )
+                .0,
+            );
+            par_s = par_s.min(t0.elapsed().as_secs_f64());
+        }
+        let (ser, par) = (ser.expect("reps >= 1"), par.expect("reps >= 1"));
+        let identical = ser.checksum == par.checksum && ser.sim_ms == par.sim_ms;
+        assert!(
+            identical,
+            "{}: parallel executor changed simulated results (serial {} ms / {}, \
+             parallel {} ms / {})",
+            variant.label(),
+            ser.sim_ms,
+            ser.checksum,
+            par.sim_ms,
+            par.checksum
+        );
+        let windows = par.metrics.get("exec.par.windows");
+        let visible = par.metrics.get("exec.par.visible_ops");
+        let stalls = par.metrics.get("exec.par.horizon_stalls");
+        total_ser += ser_s;
+        total_par += par_s;
+        t.row(&[
+            variant.label().to_string(),
+            format!("{ser_s:8.2}"),
+            format!("{par_s:8.2}"),
+            format!("{:6.2}x", ser_s / par_s),
+            format!("{identical}"),
+            format!("{windows}"),
+            format!("{stalls}"),
+        ]);
+        println!("{}", t.render().lines().last().unwrap());
+
+        let _ = write!(
+            rows_json,
+            "{}    {{\"variant\": \"{}\", \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \
+             \"speedup\": {:.2}, \"sim_ms\": {:.4}, \"sim_identical\": {}, \
+             \"par_windows\": {}, \"par_visible_ops\": {}, \"par_horizon_stalls\": {}}}",
+            if rows_json.is_empty() { "" } else { ",\n" },
+            variant.label(),
+            ser_s,
+            par_s,
+            ser_s / par_s,
+            par.sim_ms,
+            identical,
+            windows,
+            visible,
+            stalls,
+        );
+    }
+
+    let overall = total_ser / total_par;
+    println!("\n{}", t.render());
+    println!(
+        "overall wall-clock speedup: {overall:.2}x (serial {total_ser:.2}s -> parallel \
+         {total_par:.2}s) on {host_cores} host core(s)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"grid\": {{\"width\": {}, \
+         \"height\": {}, \"iters\": {}}},\n  \"cores\": {},\n  \"reps\": {},\n  \
+         \"host_cores\": {},\n  \"results\": [\n{}\n  ],\n  \"total_serial_s\": {:.3},\n  \
+         \"total_parallel_s\": {:.3},\n  \"overall_speedup\": {:.2}\n}}\n",
+        p.width, p.height, p.iters, n, reps, host_cores, rows_json, total_ser, total_par, overall
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
 }

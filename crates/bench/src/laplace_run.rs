@@ -80,6 +80,35 @@ pub fn laplace_run_host(
     laplace_run_on(cfg, variant, n, p, Notify::Ipi, SvmConfig::default()).0
 }
 
+/// Per-core observables of one run, for bit-identity comparisons across
+/// executor modes: final virtual clock and structured-event ring.
+pub struct LaplaceCoreObs {
+    pub core: CoreId,
+    pub clock: u64,
+    pub trace: TraceRing,
+}
+
+/// Like [`laplace_run_host`], with an explicit mailbox notification
+/// strategy and trace configuration, also returning each core's final
+/// clock and trace ring. The parallel shadow tests use this with
+/// [`Notify::Poll`] (the parallel executor does not support IPIs) to
+/// compare serial and parallel executions bit for bit.
+pub fn laplace_run_host_notify(
+    variant: LaplaceVariant,
+    n: usize,
+    p: LaplaceParams,
+    host_fast: scc_hw::HostFastPaths,
+    notify: Notify,
+    trace: TraceConfig,
+) -> (LaplaceRun, Vec<LaplaceCoreObs>) {
+    let cfg = SccConfig {
+        host_fast,
+        trace,
+        ..laplace_config(n, p)
+    };
+    laplace_run_on(cfg, variant, n, p, notify, SvmConfig::default())
+}
+
 /// Like [`laplace_run`], with explicit mailbox notification strategy and
 /// SVM configuration (used by the ablation harnesses).
 pub fn laplace_run_cfg(
@@ -107,7 +136,8 @@ pub fn laplace_run_traced(
         trace,
         ..laplace_config(n, p)
     };
-    laplace_run_on(cfg, variant, n, p, Notify::Ipi, SvmConfig::default())
+    let (run, obs) = laplace_run_on(cfg, variant, n, p, Notify::Ipi, SvmConfig::default());
+    (run, obs.into_iter().map(|o| (o.core, o.trace)).collect())
 }
 
 fn laplace_run_on(
@@ -117,7 +147,7 @@ fn laplace_run_on(
     p: LaplaceParams,
     notify: Notify,
     svm_cfg: SvmConfig,
-) -> (LaplaceRun, Vec<(CoreId, TraceRing)>) {
+) -> (LaplaceRun, Vec<LaplaceCoreObs>) {
     let mhz = cfg.timing.core_mhz as f64;
     let cl = Cluster::new(cfg).expect("machine");
     let res = cl
@@ -165,8 +195,15 @@ fn laplace_run_on(
         energy_j,
         metrics,
     };
-    let traces = res.into_iter().map(|r| (r.core, r.trace)).collect();
-    (run, traces)
+    let obs = res
+        .into_iter()
+        .map(|r| LaplaceCoreObs {
+            core: r.core,
+            clock: r.clock.as_u64(),
+            trace: r.trace,
+        })
+        .collect();
+    (run, obs)
 }
 
 #[cfg(test)]

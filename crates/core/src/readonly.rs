@@ -25,11 +25,19 @@ impl SvmCtx {
         if k.rank() == 0 {
             self.sh.table.lock().regions[region.index].readonly = true;
         }
+        // The page_info peeks below read frozen metadata (nothing mutates
+        // between the two barriers), but take the safe window once so the
+        // first peek happens at a deterministic point under the parallel
+        // engine.
+        k.hw.host_order_point();
         let first = region.first_page();
         for p in first..first + region.pages() {
             if let Some(pfn) = self.sh.page_info(p).frame {
                 let va = scc_kernel::SVM_VA_BASE + p * 4096;
                 k.map_page(va, pfn, PageFlags::readonly_l2());
+                // Sealed pages are mapped on every core: drop any strong-
+                // model exclusivity claim (reads are now globally shared).
+                k.hw.frame_release_exclusive(pfn);
             }
         }
         scc_kernel::ram_barrier(k, "svm.ro.post");

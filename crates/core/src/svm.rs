@@ -192,18 +192,6 @@ impl SvmShared {
         }
     }
 
-    /// Raw peek of the owner vector (tests, diagnostics).
-    #[deprecated(since = "0.2.0", note = "use `page_info(p).owner` instead")]
-    pub fn owner_peek(&self, p: u32) -> Option<CoreId> {
-        self.page_info(p).owner
-    }
-
-    /// Raw peek of the scratch pad.
-    #[deprecated(since = "0.2.0", note = "use `page_info(p).frame` instead")]
-    pub fn frame_peek(&self, p: u32) -> Option<u32> {
-        self.page_info(p).frame
-    }
-
     /// Virtual address of SVM page `p`.
     #[inline]
     pub(crate) fn va_of_page(p: u32) -> u32 {
@@ -269,6 +257,9 @@ pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
         let avail = mach.map.shared_pages() as u32;
         cfg.max_pages.map_or(avail, |cap| cap.min(avail))
     };
+    // The header arena is a host-side bump allocator: pin the allocation
+    // (and service-init) order to the deterministic election order.
+    k.hw.host_order_point();
     let owner_pa = k.shared.named_header("svm.owner", pages * 4, 64);
     let scratch_pa = k.shared.named_header("svm.scratch", pages * 2, 64);
     let copyset_pa = k.shared.named_header("svm.copyset", pages * 8, 64);
@@ -508,6 +499,10 @@ impl SvmFaultHandler {
                 // First touch: allocate per placement policy, zero through
                 // the uncached path (the dominant cost of Table 1's
                 // "physical allocation of a page frame"), publish.
+                // The frame free-lists are host-side: pop order must follow
+                // election order (holding the page-group TAS lock is not
+                // enough — a quantum yield can close the window first).
+                k.hw.host_order_point();
                 let pfn = match sh.placement {
                     Placement::NearToucher => k.shared.frames.alloc_near(k.id()),
                     Placement::RoundRobin => k.shared.frames.alloc_at((p % 4) as usize),
@@ -531,6 +526,7 @@ impl SvmFaultHandler {
             Some(old) => {
                 if needs_migration(old) {
                     // Affinity-on-next-touch: move the frame next to us.
+                    k.hw.host_order_point();
                     let new = k
                         .shared
                         .frames
@@ -542,6 +538,8 @@ impl SvmFaultHandler {
                         let v = k.hw.read((old << 12) + off, 4, MemAttr::UNCACHED);
                         k.hw.write((new << 12) + off, 4, v, MemAttr::UNCACHED);
                     }
+                    k.hw.frame_release_exclusive(old);
+                    k.hw.host_order_point();
                     k.shared.frames.free(&sh.mach, old);
                     sh.scratch.write(k, p, new);
                     SvmStats::bump(&sh.stats.migrations);
@@ -571,6 +569,9 @@ impl SvmFaultHandler {
                 .expect("strong page must have an owner after first touch");
             if owner == me {
                 k.map_page(page_va, pfn, PageFlags::shared_rw());
+                // Strong-model exclusivity: register the frame so the
+                // parallel engine treats our accesses as core-private.
+                k.hw.frame_claim_exclusive(pfn);
                 // Our cached lines may predate the previous owner's writes.
                 k.hw.cl1invmb();
                 return;
@@ -601,6 +602,7 @@ impl SvmFaultHandler {
                 let c = k.hw.machine().cfg.timing.dsm_handler;
                 k.hw.advance(c);
                 k.map_page(page_va, pfn, PageFlags::shared_rw());
+                k.hw.frame_claim_exclusive(pfn);
                 k.hw.cl1invmb();
                 SvmStats::bump(&sh.stats.ownership_transfers);
                 k.hw.trace(EventKind::OwnAcquired, p, pfn);
@@ -648,6 +650,14 @@ impl MailHandler for RequestHandler {
         // access permission" cheaper than a full "mapping of a page frame".
         k.hw.flush_wcb();
         let va = SvmShared::va_of_page(p);
+        // Hand the frame's exclusivity to the requester *before* dropping
+        // our own access: the transfer runs on the old owner's thread, so
+        // no window exists in which both sides could consider the frame
+        // core-private. The withdrawn PTE still carries the frame number.
+        let pte = k.page_table().lookup(va);
+        if pte != scc_kernel::Pte::EMPTY {
+            k.hw.frame_transfer_exclusive(pte.pfn(), requester);
+        }
         if !k.protect_page(va, scc_kernel::PageFlags(scc_kernel::PageFlags::PWT | scc_kernel::PageFlags::MPBT)) {
             k.unmap_page(va);
         }

@@ -422,12 +422,6 @@ fn page_info_reports_owner_frame_and_copyset() {
         assert_eq!(untouched.owner, None);
         assert_eq!(untouched.frame, None);
 
-        // The deprecated peeks must agree with the unified view.
-        #[allow(deprecated)]
-        {
-            assert_eq!(svm.shared().owner_peek(r.first_page()), info.owner);
-            assert_eq!(svm.shared().frame_peek(r.first_page()), info.frame);
-        }
         svm.barrier(k);
         info.owner
     });

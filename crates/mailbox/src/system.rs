@@ -36,6 +36,9 @@ pub struct MailStats {
     pub received: AtomicU64,
     pub checks: AtomicU64,
     pub send_stalls: AtomicU64,
+    /// Sends issued from handler context against a full slot, parked in
+    /// the software outbox instead of blocking (see [`Mailbox::send`]).
+    pub deferred_sends: AtomicU64,
 }
 
 impl MailStats {
@@ -56,7 +59,20 @@ impl MetricsSource for MailStats {
         m.add("mbx.received", received);
         m.add("mbx.checks", checks);
         m.add("mbx.send_stalls", send_stalls);
+        m.add(
+            "mbx.deferred_sends",
+            self.deferred_sends.load(Ordering::Relaxed),
+        );
     }
+}
+
+/// A mail whose destination slot was full while the sender could not
+/// block (handler context): parked until the slot drains.
+struct Pending {
+    dst: CoreId,
+    kind: MailKind,
+    len: usize,
+    payload: [u8; MAX_PAYLOAD],
 }
 
 struct Shared {
@@ -69,6 +85,9 @@ struct Shared {
     /// rather than "non-empty" (which would livelock a filtered receive).
     inbox_pushes: AtomicUsize,
     inbox: Mutex<VecDeque<Mail>>,
+    /// Deferred outgoing mail, FIFO (per-destination order is part of the
+    /// protocol contract). Only this core's own thread ever touches it.
+    outbox: Mutex<VecDeque<Pending>>,
     handlers: Mutex<HashMap<u8, Arc<dyn MailHandler>>>,
     stats: MailStats,
     mach: Arc<MachineInner>,
@@ -113,6 +132,7 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
         inbox_len: AtomicUsize::new(0),
         inbox_pushes: AtomicUsize::new(0),
         inbox: Mutex::new(VecDeque::new()),
+        outbox: Mutex::new(VecDeque::new()),
         handlers: Mutex::new(HashMap::new()),
         stats: MailStats::default(),
         mach,
@@ -123,6 +143,12 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
 
 impl KernelHook for MailboxHook {
     fn on_tick(&self, k: &mut Kernel<'_>) {
+        // Retry deferred sends first: freeing our outbox may be exactly
+        // what a remote core is waiting on.
+        Mailbox {
+            sh: Arc::clone(&self.sh),
+        }
+        .try_flush_outbox(k);
         if self.sh.notify == Notify::Poll {
             let senders = self.sh.senders.clone();
             for s in senders {
@@ -138,16 +164,24 @@ impl KernelHook for MailboxHook {
     }
 
     fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send + Sync>> {
-        if self.sh.notify != Notify::Poll {
-            return None;
-        }
-        let mach = Arc::clone(&self.sh.mach);
-        let me = self.sh.me;
-        let senders = self.sh.senders.clone();
+        let sh = Arc::clone(&self.sh);
+        let poll = sh.notify == Notify::Poll;
         Some(Box::new(move || {
-            senders
+            // A deferred send whose destination slot has drained is kernel
+            // work in every notify mode (nobody raises an IPI for a slot
+            // becoming free).
+            let flushable = sh.outbox.lock().front().is_some_and(|m| {
+                sh.mach.mpb.read(slot_pa(m.dst, sh.me) + field::FLAG, 1) == 0
+            });
+            if flushable {
+                return true;
+            }
+            // Incoming mail is probe-driven only in polling mode (IPIs
+            // cover it otherwise).
+            poll && sh
+                .senders
                 .iter()
-                .any(|s| mach.mpb.read(slot_pa(me, *s), 1) != 0)
+                .any(|s| sh.mach.mpb.read(slot_pa(sh.me, *s), 1) != 0)
         }))
     }
 }
@@ -165,6 +199,10 @@ impl MailboxHook {
         );
         sh.stats.checks.fetch_add(1, Ordering::Relaxed);
         k.hw.advance(check_cost);
+        // The raw flag peek below decides whether timed MPB accesses
+        // follow; under the parallel engine it must observe the MPB at
+        // this core's deterministic position in the election order.
+        k.hw.host_order_point();
         if sh.mach.mpb.read(pa + field::FLAG, 1) == 0 {
             return false;
         }
@@ -237,15 +275,63 @@ impl Mailbox {
         assert!(old.is_none(), "handler for mail kind {} installed twice", kind.0);
     }
 
-    /// Post a mail to `dst`, blocking (responsively) while the slot is full.
+    /// Post a mail to `dst`.
+    ///
+    /// From ordinary (non-handler) context this blocks responsively while
+    /// the destination slot is full: incoming mail keeps being serviced.
+    /// From handler context (`k.in_irq()`) blocking would wedge the whole
+    /// protocol — [`Kernel::wait_event`] refuses nested kernel work, so a
+    /// cycle of owners granting/forwarding into each other's full slots
+    /// could never drain (a hard deadlock, first observed on ≥32-core SVM
+    /// runs). A handler send against a full slot is therefore parked in a
+    /// per-core software outbox and retried from the idle loop (a wake
+    /// probe fires when the head's destination slot drains, in every
+    /// notify mode).
     pub fn send(&self, k: &mut Kernel<'_>, dst: CoreId, kind: MailKind, data: &[u8]) {
         let sh = &self.sh;
         assert_ne!(dst, sh.me, "no self-mail");
         assert!(data.len() <= MAX_PAYLOAD);
-        let pa = slot_pa(dst, sh.me);
-        let hops = sh.me.hops_to(dst);
-        let mpb_cost = k.hw.machine().cfg.timing.mpb_cost(hops);
 
+        if k.in_irq() {
+            // Raw full-slot peek: order it (and the post that may follow)
+            // into the deterministic election order under the parallel
+            // engine.
+            k.hw.host_order_point();
+            let backlog = !sh.outbox.lock().is_empty();
+            if backlog || sh.mach.mpb.read(slot_pa(dst, sh.me) + field::FLAG, 1) != 0 {
+                // Slot full — or an earlier deferred mail must not be
+                // overtaken (FIFO). Park it; the idle loop retries.
+                sh.stats.deferred_sends.fetch_add(1, Ordering::Relaxed);
+                let mut payload = [0u8; MAX_PAYLOAD];
+                payload[..data.len()].copy_from_slice(data);
+                sh.outbox.lock().push_back(Pending {
+                    dst,
+                    kind,
+                    len: data.len(),
+                    payload,
+                });
+                return;
+            }
+            self.post(k, dst, kind, data);
+            return;
+        }
+
+        // Ordinary context: earlier deferred mail goes out first (FIFO),
+        // then this one, blocking responsively on full slots.
+        self.drain_outbox_blocking(k);
+        self.wait_slot_free(k, dst);
+        self.post(k, dst, kind, data);
+    }
+
+    /// Block (responsively) until `dst`'s receive slot for us is free.
+    /// Must not be called from handler context.
+    fn wait_slot_free(&self, k: &mut Kernel<'_>, dst: CoreId) {
+        let sh = &self.sh;
+        let pa = slot_pa(dst, sh.me);
+        let mpb_cost = k.hw.machine().cfg.timing.mpb_cost(sh.me.hops_to(dst));
+        // Raw full-slot peek: order it (and the send that follows) into
+        // the deterministic election order under the parallel engine.
+        k.hw.host_order_point();
         if sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
             sh.stats.send_stalls.fetch_add(1, Ordering::Relaxed);
             let mach = Arc::clone(&sh.mach);
@@ -259,7 +345,48 @@ impl Mailbox {
             // Observing the freed flag costs one remote MPB read.
             k.hw.advance(mpb_cost);
         }
+    }
 
+    /// Retry deferred sends without blocking: post while the head's
+    /// destination slot is free, stop at the first full one (global FIFO,
+    /// which also preserves the per-destination order the protocol needs).
+    fn try_flush_outbox(&self, k: &mut Kernel<'_>) {
+        loop {
+            let (dst, kind, len, payload) = {
+                let ob = self.sh.outbox.lock();
+                match ob.front() {
+                    Some(m) => (m.dst, m.kind, m.len, m.payload),
+                    None => return,
+                }
+            };
+            let pa = slot_pa(dst, self.sh.me);
+            k.hw.host_order_point();
+            if self.sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
+                return;
+            }
+            self.post(k, dst, kind, &payload[..len]);
+            self.sh.outbox.lock().pop_front();
+        }
+    }
+
+    /// Drain the outbox completely, blocking responsively on full slots
+    /// (ordinary context only).
+    fn drain_outbox_blocking(&self, k: &mut Kernel<'_>) {
+        loop {
+            self.try_flush_outbox(k);
+            let dst = match self.sh.outbox.lock().front() {
+                Some(m) => m.dst,
+                None => return,
+            };
+            self.wait_slot_free(k, dst);
+        }
+    }
+
+    /// The timed slot-write sequence: body, stamp, flag, push, notify.
+    /// The caller has established that the slot is free.
+    fn post(&self, k: &mut Kernel<'_>, dst: CoreId, kind: MailKind, data: &[u8]) {
+        let sh = &self.sh;
+        let pa = slot_pa(dst, sh.me);
         // Body first (combined in the WCB), then stamp + flag, then push.
         k.hw.write(pa + field::KIND, 1, kind.0 as u64, MemAttr::MPB);
         k.hw

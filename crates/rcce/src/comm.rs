@@ -134,7 +134,7 @@ impl RcceComm {
         k: &mut Kernel<'_>,
         owner: CoreId,
         off: u32,
-        reason: &str,
+        reason: &'static str,
         pred: impl Fn(&FlagView) -> bool + Send,
     ) -> FlagView {
         let mach = Arc::clone(k.hw.machine());

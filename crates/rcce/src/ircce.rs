@@ -113,6 +113,9 @@ impl IsendReq {
             return false;
         }
         let me = comm.core_of(comm.ue());
+        // The raw flag peek steers timed MPB traffic: order it into the
+        // parallel engine's election sequence (no-op in serial mode).
+        k.hw.host_order_point();
         let ready = RcceComm::peek_flag(k.hw.machine(), me, READY_FLAG_OFF);
         // The pipeline is free when every chunk published so far was acked.
         if ready.value != comm.send_seq {
@@ -154,6 +157,7 @@ impl IrecvReq {
             return false;
         }
         let src_core = comm.core_of(self.src);
+        k.hw.host_order_point();
         let sent = RcceComm::peek_flag(k.hw.machine(), src_core, SENT_FLAG_OFF);
         let acked = comm.recv_acked[self.src];
         if sent.value <= acked {
@@ -220,6 +224,10 @@ pub fn wait_all(
         // different receiver: the predicate stays true without any
         // progress being possible here.)
         let mach = Arc::clone(k.hw.machine());
+        // Snapshot the watched flags at this core's deterministic position
+        // in the election order, so "changed since the snapshot" means the
+        // same thing under both executors.
+        k.hw.host_order_point();
         let mut watch: Vec<(CoreId, u32, u32, u32)> = Vec::new();
         if sends.iter().any(|s| !s.done) {
             let me_core = comm.core_of(comm.ue());

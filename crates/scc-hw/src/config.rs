@@ -46,6 +46,12 @@ pub struct HostFastPaths {
     /// `yield_now` hands the baton directly to the min-clock runnable
     /// core when no core is blocked, skipping the decision round.
     pub fast_yield: bool,
+    /// Parallel conservative execution: cores run concurrently on host
+    /// threads inside safe windows and serialise only at globally visible
+    /// operations (see DESIGN.md §8). Off by default; the serial baton
+    /// executor remains the reference oracle. Requires polling-mode
+    /// notification (no IPIs) and is validated by the shadow tests.
+    pub parallel: bool,
 }
 
 impl Default for HostFastPaths {
@@ -54,6 +60,7 @@ impl Default for HostFastPaths {
             tlb: true,
             bulk: true,
             fast_yield: true,
+            parallel: false,
         }
     }
 }
@@ -65,6 +72,15 @@ impl HostFastPaths {
             tlb: false,
             bulk: false,
             fast_yield: false,
+            parallel: false,
+        }
+    }
+
+    /// The default fast paths plus the parallel conservative executor.
+    pub fn parallel() -> Self {
+        HostFastPaths {
+            parallel: true,
+            ..Self::default()
         }
     }
 }

@@ -7,12 +7,12 @@
 //! exist for wait conditions and test assertions and are free.
 
 use crate::cache::{Cache, Wcb, WcbFlush};
-use crate::config::LINE_BYTES;
-use crate::exec::Scheduler;
+use crate::config::{LINE_BYTES, PAGE_BYTES};
 use crate::instr::{EventKind, TraceRing};
 use crate::machine::MachineInner;
+use crate::par::Engine;
 use crate::perf::PerfCounters;
-use crate::ram::Backing;
+use crate::ram::{Backing, MPB_PA_BASE};
 use crate::timing::TimingParams;
 use crate::topology::{mc_coord, CoreId};
 use std::sync::Arc;
@@ -93,7 +93,14 @@ pub struct CoreCtx {
     /// feature).
     ring: TraceRing,
     mach: Arc<MachineInner>,
-    sched: Arc<Scheduler>,
+    sched: Arc<Engine>,
+    /// True under the parallel conservative engine: every globally visible
+    /// operation must hold the open safe window (see [`crate::par`]).
+    par: bool,
+    /// Cached region bounds for the private/visible access classifier.
+    shared_base: u32,
+    priv_base: u32,
+    priv_end: u32,
 }
 
 impl CoreCtx {
@@ -101,9 +108,11 @@ impl CoreCtx {
         id: CoreId,
         slot: usize,
         mach: Arc<MachineInner>,
-        sched: Arc<Scheduler>,
+        sched: Arc<Engine>,
     ) -> Self {
         let quantum = mach.cfg.quantum_cycles;
+        let par = matches!(&*sched, Engine::Parallel(_));
+        let priv_base = mach.map.private_base(id);
         CoreCtx {
             id,
             slot,
@@ -116,8 +125,12 @@ impl CoreCtx {
             quantum,
             perf: PerfCounters::default(),
             ring: TraceRing::new(&mach.cfg.trace),
+            shared_base: mach.map.shared_base(),
+            priv_base,
+            priv_end: priv_base + mach.map.private_bytes(),
             mach,
             sched,
+            par,
         }
     }
 
@@ -167,11 +180,22 @@ impl CoreCtx {
         }
     }
 
-    /// Voluntarily hand the baton to the globally minimal core.
+    /// Voluntarily end the current scheduling segment: under the serial
+    /// executor this hands the baton to the globally minimal core; under
+    /// the parallel engine it publishes the segment end (and keeps running
+    /// ahead).
     pub fn yield_now(&mut self) {
         self.perf.yields += 1;
-        if self.sched.yield_now(self.slot, self.clock) {
-            self.perf.fast_yields += 1;
+        match &*self.sched {
+            Engine::Serial(s) => {
+                if s.yield_now(self.slot, self.clock) {
+                    self.perf.fast_yields += 1;
+                }
+            }
+            Engine::Parallel(p) => {
+                self.perf.par_windows += 1;
+                p.yield_now(self.slot, self.clock);
+            }
         }
         self.next_yield = self.clock + self.quantum;
     }
@@ -188,18 +212,121 @@ impl CoreCtx {
     /// advanced to it (the caller charges delivery latency on top).
     pub fn wait_until<T: Send>(
         &mut self,
-        reason: &str,
+        reason: &'static str,
         cond: impl FnMut() -> Option<(T, u64)> + Send,
     ) -> T {
         self.perf.blocks += 1;
         self.trace(EventKind::BlockEnter, 0, 0);
-        let (v, stamp) = self
-            .sched
-            .wait_blocked(self.slot, self.clock, reason, cond);
+        let (v, stamp) = match &*self.sched {
+            Engine::Serial(s) => s.wait_blocked(self.slot, self.clock, reason, cond),
+            Engine::Parallel(p) => {
+                self.perf.par_windows += 1;
+                p.wait_blocked(self.slot, self.clock, reason, cond)
+            }
+        };
         self.sync_to(stamp);
         self.next_yield = self.clock + self.quantum;
         self.trace(EventKind::BlockExit, 0, 0);
         v
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel-engine access classification
+    // ------------------------------------------------------------------
+
+    /// May this core touch `pa` outside the safe window? True for its own
+    /// private region and for shared frames it is the registered exclusive
+    /// owner of (strong-model SVM pages mapped on exactly one core). The
+    /// MPB, other cores' private regions and unowned shared memory are
+    /// globally visible.
+    #[inline]
+    fn is_core_private(&self, pa: u32) -> bool {
+        if pa >= MPB_PA_BASE {
+            return false;
+        }
+        if pa < self.shared_base {
+            return pa >= self.priv_base && pa < self.priv_end;
+        }
+        let frame = ((pa - self.shared_base) as usize) / PAGE_BYTES;
+        self.mach.frame_owners.owned_by(frame, self.id.idx())
+    }
+
+    /// Wait for this core's safe window (parallel engine only): after this
+    /// returns, the core's election key is globally minimal and it may
+    /// perform visible operations until its segment ends. Free in
+    /// simulated time.
+    #[inline]
+    fn host_sync(&mut self) {
+        if let Engine::Parallel(p) = &*self.sched {
+            self.perf.par_visible_ops += 1;
+            if p.visible(self.slot) {
+                self.perf.par_horizon_stalls += 1;
+            }
+        }
+    }
+
+    /// Gate an access to `pa` on the safe window unless it is core-private.
+    /// No-op under the serial executor.
+    #[inline]
+    fn sync_visible(&mut self, pa: u32) {
+        if self.par && !self.is_core_private(pa) {
+            self.host_sync();
+        }
+    }
+
+    /// Public order-point for host-side shared structures (bump allocators,
+    /// raw flag peeks that precede timed accesses): under the parallel
+    /// engine this acquires the safe window so the caller's next host-side
+    /// effect lands in deterministic election order. No-op (and free) under
+    /// the serial executor.
+    #[inline]
+    pub fn host_order_point(&mut self) {
+        if self.par {
+            self.host_sync();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-frame ownership registry (host-side, free)
+    // ------------------------------------------------------------------
+
+    /// Index of `pfn` (an absolute physical frame number) in the shared
+    /// region's ownership registry.
+    #[inline]
+    fn shared_frame_index(&self, pfn: u32) -> Option<usize> {
+        let pa = (pfn as u64) * PAGE_BYTES as u64;
+        if pa < self.shared_base as u64 {
+            return None;
+        }
+        let idx = ((pa - self.shared_base as u64) as usize) / PAGE_BYTES;
+        (idx < self.mach.frame_owners.len()).then_some(idx)
+    }
+
+    /// Register this core as exclusive owner of shared frame `pfn`: its
+    /// accesses to the frame become core-private under the parallel engine.
+    /// Callers must guarantee protocol-level exclusivity (strong-model SVM
+    /// ownership). Host-side bookkeeping only — free in simulated time,
+    /// no-op for non-shared frames.
+    pub fn frame_claim_exclusive(&mut self, pfn: u32) {
+        if let Some(idx) = self.shared_frame_index(pfn) {
+            self.mach.frame_owners.claim(idx, self.id.idx());
+        }
+    }
+
+    /// Hand exclusive ownership of shared frame `pfn` to core `to` (called
+    /// by the *current* owner while granting the page away).
+    pub fn frame_transfer_exclusive(&mut self, pfn: u32, to: CoreId) {
+        if let Some(idx) = self.shared_frame_index(pfn) {
+            self.mach.frame_owners.claim(idx, to.idx());
+        }
+    }
+
+    /// Drop any exclusivity claim on shared frame `pfn` (frame freed or
+    /// page demoted to a shared mapping).
+    pub fn frame_release_exclusive(&mut self, pfn: u32) {
+        if let Some(idx) = self.shared_frame_index(pfn) {
+            self.mach.frame_owners.release(idx);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -232,6 +359,7 @@ impl CoreCtx {
 
     #[inline]
     fn backing_read(&mut self, pa: u32, len: usize) -> u64 {
+        self.sync_visible(pa);
         match self.mach.map.resolve(pa) {
             Backing::Ram { .. } => {
                 self.perf.ram_reads += 1;
@@ -246,6 +374,7 @@ impl CoreCtx {
 
     #[inline]
     fn backing_write(&mut self, pa: u32, len: usize, val: u64) {
+        self.sync_visible(pa);
         match self.mach.map.resolve(pa) {
             Backing::Ram { .. } => {
                 self.perf.ram_writes += 1;
@@ -260,6 +389,7 @@ impl CoreCtx {
 
     fn backing_line(&mut self, la: u32) -> [u8; LINE_BYTES] {
         let base = la * LINE_BYTES as u32;
+        self.sync_visible(base);
         match self.mach.map.resolve(base) {
             Backing::Ram { .. } => {
                 self.perf.ram_reads += 1;
@@ -276,6 +406,7 @@ impl CoreCtx {
         let base = f.line * LINE_BYTES as u32;
         self.perf.wcb_flushes += 1;
         self.trace(EventKind::WcbFlush, f.line, 0);
+        self.sync_visible(base);
         match self.mach.map.resolve(base) {
             Backing::Ram { .. } => {
                 self.mach.ram.write_line_masked(base, &f.data, f.mask);
@@ -294,6 +425,7 @@ impl CoreCtx {
     /// victims whose line is not in the L2).
     fn writeback_line(&mut self, line: u32, data: [u8; LINE_BYTES]) {
         let base = line * LINE_BYTES as u32;
+        self.sync_visible(base);
         self.mach.ram.write_line(base, &data);
         self.perf.ram_writes += 1;
         let cost = self.line_cost(base);
@@ -488,6 +620,7 @@ impl CoreCtx {
         let hops = self.id.hops_to(reg);
         let cost = self.timing.tas_cost(hops);
         self.advance(cost);
+        self.host_order_point(); // TAS registers are always globally visible
         match self.mach.tas.test_and_set(reg) {
             Ok(release_stamp) => {
                 self.perf.tas_acquires += 1;
@@ -519,6 +652,7 @@ impl CoreCtx {
         let hops = self.id.hops_to(reg);
         let cost = self.timing.tas_cost(hops);
         self.advance(cost);
+        self.host_order_point();
         self.mach.tas.release(reg, self.clock);
     }
 
@@ -527,7 +661,17 @@ impl CoreCtx {
     // ------------------------------------------------------------------
 
     /// Ring the GIC doorbell of `dst`.
+    ///
+    /// Unsupported under the parallel executor: an IPI interrupts the
+    /// receiver at an *asynchronous* point in its instruction stream, which
+    /// a run-ahead receiver cannot honour without rollback. Parallel runs
+    /// must use polling-mode notification (see DESIGN.md §8).
     pub fn send_ipi(&mut self, dst: CoreId) {
+        assert!(
+            !self.par,
+            "send_ipi is unsupported under the parallel executor; \
+             configure polling-mode notification instead"
+        );
         let t = &self.timing;
         let cost = t.ipi_raise + t.hop_cost(self.id.hops_to(dst));
         self.advance(cost);

@@ -75,7 +75,7 @@ enum Status {
 struct SchedState {
     clocks: Vec<u64>,
     status: Vec<Status>,
-    reasons: Vec<String>,
+    reasons: Vec<&'static str>,
     /// Which slot currently holds the baton; `None` while a decision round
     /// is collecting re-checks.
     current: Option<usize>,
@@ -142,7 +142,7 @@ impl Scheduler {
             state: Mutex::new(SchedState {
                 clocks: vec![0; nslots],
                 status: vec![Status::Runnable; nslots],
-                reasons: vec![String::new(); nslots],
+                reasons: vec![""; nslots],
                 current: Some(0),
                 round: 0,
                 checked: vec![0; nslots],
@@ -161,18 +161,20 @@ impl Scheduler {
     /// the winner once a round is decided, or the blocked-unchecked slots
     /// while a round is still collecting re-checks.
     fn wake_after_open(&self, st: &SchedState) {
+        // Each slot's thread is the only waiter on its condvar, so a
+        // targeted notify_one suffices everywhere.
         if st.deadlock.is_some() {
             for cv in &self.cvs {
-                cv.notify_all();
+                cv.notify_one();
             }
             return;
         }
         match st.current {
-            Some(w) => self.cvs[w].notify_all(),
+            Some(w) => self.cvs[w].notify_one(),
             None => {
                 for i in 0..st.clocks.len() {
                     if st.status[i] == Status::Blocked && st.checked[i] < st.round {
-                        self.cvs[i].notify_all();
+                        self.cvs[i].notify_one();
                     }
                 }
             }
@@ -227,7 +229,7 @@ impl Scheduler {
             let waiting = (0..st.clocks.len())
                 .map(|i| {
                     let why = match st.status[i] {
-                        Status::Blocked => st.reasons[i].clone(),
+                        Status::Blocked => st.reasons[i].to_string(),
                         Status::Done => "<finished>".to_string(),
                         Status::Runnable => "<runnable?!>".to_string(),
                     };
@@ -275,7 +277,7 @@ impl Scheduler {
                 return true; // still minimal: keep the baton
             }
             st.current = Some(winner);
-            self.cvs[winner].notify_all();
+            self.cvs[winner].notify_one();
             while st.current != Some(slot) {
                 if st.deadlock.is_some() {
                     self.unwind_deadlock(&st);
@@ -306,7 +308,7 @@ impl Scheduler {
         &self,
         slot: usize,
         clock: u64,
-        reason: &str,
+        reason: &'static str,
         mut cond: impl FnMut() -> Option<T> + Send,
     ) -> T {
         let mut st = self.state.lock();
@@ -314,7 +316,7 @@ impl Scheduler {
         st.clocks[slot] = clock;
         st.status[slot] = Status::Blocked;
         st.nblocked += 1;
-        st.reasons[slot] = reason.to_string();
+        st.reasons[slot] = reason;
         if self.fast_yield {
             return self.wait_registered(st, slot, cond);
         }
@@ -335,7 +337,7 @@ impl Scheduler {
                 let v = cond().expect("condition regressed between re-check and wake");
                 st.status[slot] = Status::Runnable;
                 st.nblocked -= 1;
-                st.reasons[slot].clear();
+                st.reasons[slot] = "";
                 return v;
             }
             if st.checked[slot] < st.round {
@@ -401,7 +403,7 @@ impl Scheduler {
                 st.checkers[slot] = None;
                 st.status[slot] = Status::Runnable;
                 st.nblocked -= 1;
-                st.reasons[slot].clear();
+                st.reasons[slot] = "";
                 return result
                     .lock()
                     .take()

@@ -48,6 +48,7 @@ pub mod instr;
 pub mod machine;
 pub mod metrics;
 pub mod mpb;
+pub mod par;
 pub mod perf;
 pub mod power;
 pub mod ram;

@@ -8,8 +8,9 @@ use crate::exec::{DeadlockUnwind, Scheduler};
 use crate::gic::Gic;
 use crate::instr::TraceRing;
 use crate::mpb::MpbArray;
+use crate::par::{Engine, ParEngine};
 use crate::perf::PerfCounters;
-use crate::ram::{AtomicWords, MemMap};
+use crate::ram::{AtomicWords, FrameOwners, MemMap};
 use crate::tas::TasBank;
 use crate::timing::Cycles;
 use crate::topology::CoreId;
@@ -31,6 +32,10 @@ pub struct MachineInner {
     pub tas: TasBank,
     /// Global interrupt controller.
     pub gic: Gic,
+    /// Host-side exclusive-ownership registry over the shared region's
+    /// frames, maintained by the SVM layer and consulted by the parallel
+    /// engine's access classifier (unused — all zero — in serial mode).
+    pub frame_owners: FrameOwners,
 }
 
 /// Per-core outcome of a [`Machine::run_on`] call.
@@ -66,6 +71,7 @@ impl Machine {
                 mpb: MpbArray::new(cfg.ncores),
                 tas: TasBank::new(),
                 gic: Gic::new(),
+                frame_owners: FrameOwners::new(map.shared_pages()),
                 map,
                 cfg,
             }),
@@ -110,19 +116,26 @@ impl Machine {
             assert!(!seen[c.idx()], "{c:?} listed twice");
             seen[c.idx()] = true;
         }
-        let sched = Scheduler::with_fast_yield(cores.len(), self.inner.cfg.host_fast.fast_yield);
+        let engine = Arc::new(if self.inner.cfg.host_fast.parallel {
+            Engine::Parallel(ParEngine::new(cores.len()))
+        } else {
+            Engine::Serial(Scheduler::with_fast_yield(
+                cores.len(),
+                self.inner.cfg.host_fast.fast_yield,
+            ))
+        });
 
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(cores.len());
             for (slot, &core) in cores.iter().enumerate() {
                 let f = &f;
                 let inner = Arc::clone(&self.inner);
-                let sched = Arc::clone(&sched);
+                let engine = Arc::clone(&engine);
                 handles.push(s.spawn(move || {
-                    sched.wait_for_turn(slot);
-                    let mut ctx = CoreCtx::new(core, slot, inner, Arc::clone(&sched));
+                    engine.wait_for_turn(slot);
+                    let mut ctx = CoreCtx::new(core, slot, inner, Arc::clone(&engine));
                     let result = f(&mut ctx);
-                    sched.finish(slot);
+                    engine.finish(slot);
                     CoreResult {
                         core,
                         result,
@@ -149,7 +162,7 @@ impl Machine {
             if let Some(p) = panic_payload {
                 std::panic::resume_unwind(p);
             }
-            if let Some(err) = sched.deadlock_report() {
+            if let Some(err) = engine.deadlock_report() {
                 return Err((*err).clone());
             }
             Ok(out)

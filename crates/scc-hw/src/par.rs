@@ -1,0 +1,607 @@
+//! The parallel conservative execution engine.
+//!
+//! The serial executor ([`crate::exec::Scheduler`]) passes one baton: a
+//! single core thread runs at a time, elected as the minimum of
+//! (virtual clock, slot) over runnable cores and blocked cores whose wait
+//! condition holds. That schedule is the *specification*. This module
+//! executes the same schedule while letting host threads actually run in
+//! parallel, exploiting one observation: a core's execution between two
+//! scheduler interactions (a **segment**) only needs to be serialised
+//! against other cores at its *globally visible* operations. Everything
+//! else — clock arithmetic, L1/L2/TLB simulation, WCB merges, reads and
+//! writes to memory no other core may legally touch — commutes with every
+//! other core's work and can run ahead freely.
+//!
+//! ## How the election sequence is reproduced exactly
+//!
+//! Per slot the engine keeps the key of its *oldest un-retired segment*
+//! (`keys[slot]`, the virtual clock published when the previous segment
+//! ended) and a FIFO of already-completed segment ends (`pending`). Threads
+//! never wait to *end* a segment: a yield pushes its end and keeps running
+//! the next segment (run-ahead). The engine replays the serial election
+//! loop whenever no window is open:
+//!
+//! * evaluate every blocked slot's registered condition (the state is
+//!   quiescent: no window is open, so no visible mutation is in flight);
+//! * the winner is min-(key, slot) over runnable slots and satisfiable
+//!   blocked slots — the exact serial `finalize`;
+//! * a winner whose segment end is already queued is **retired instantly**
+//!   (its published clock becomes current, a queued block takes effect, a
+//!   queued finish marks it done) and the loop elects again — this is where
+//!   the parallelism comes from: segments that already ran are replayed
+//!   through the election order at bookkeeping speed;
+//! * a winner that is still mid-segment gets the **window**: until that
+//!   segment ends, the winner alone may perform globally visible
+//!   operations. Its thread is notified in case it is parked in
+//!   [`ParEngine::visible`].
+//!
+//! A core reaching a visible operation calls [`ParEngine::visible`] and
+//! proceeds only once it holds the open window; it keeps the window (and
+//! the licence for further visible ops) until its segment ends. By
+//! induction over the election index, every election sees the same
+//! (key, status, satisfiability) vector as the serial scheduler, so
+//! winners, wait values, virtual clocks and traces are bit-identical.
+//!
+//! Deadlock detection is the serial rule verbatim: an election with no
+//! winner while some slot is blocked. A blocked thread parks until it wins
+//! an election; a mid-segment thread can always run to its next engine
+//! interaction (the quantum bounds segments), so the engine adds no host
+//! deadlocks of its own.
+//!
+//! ## Memory-ordering soundness
+//!
+//! All simulated memory is relaxed atomics. Every segment end and every
+//! election happens under the one engine mutex, so a visible operation in
+//! an open window happens-after all earlier-elected segments' private
+//! writes (their threads pushed the segment end — in program order after
+//! the writes — before the election that ordered them). Ownership-based
+//! classification (see `CoreCtx`) guarantees private accesses never race
+//! visible ones for protocol-correct programs.
+
+use crate::error::HwError;
+use crate::exec::DeadlockUnwind;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    Done,
+}
+
+/// A completed-but-not-yet-retired segment end, queued by a run-ahead
+/// thread.
+enum SegEnd {
+    /// The segment ended in a yield; the next segment starts at `next_key`.
+    Yield { next_key: u64 },
+    /// The segment ended in a wait: key is the block-time clock.
+    Block {
+        key: u64,
+        reason: &'static str,
+        checker: Box<dyn FnMut() -> bool + Send>,
+    },
+    /// The core's program returned.
+    Done,
+}
+
+struct ParState {
+    /// Key (published clock) of each slot's oldest un-retired segment.
+    keys: Vec<u64>,
+    status: Vec<Status>,
+    reasons: Vec<&'static str>,
+    /// Completed segment ends awaiting retirement, oldest first.
+    pending: Vec<VecDeque<SegEnd>>,
+    /// Registered wait conditions of retired-blocked slots; evaluated
+    /// inline by whichever thread runs the election loop. Lifetime-erased
+    /// borrows of the owning thread's stack — removed, under this lock, on
+    /// every exit path of `wait_blocked`.
+    checkers: Vec<Option<Box<dyn FnMut() -> bool + Send>>>,
+    /// Scratch: last condition evaluation per blocked slot.
+    satisfiable: Vec<bool>,
+    /// Slot holding the open window, if any.
+    open: Option<usize>,
+    deadlock: Option<Arc<HwError>>,
+}
+
+/// The parallel conservative engine shared by all core threads of one run.
+pub struct ParEngine {
+    state: Mutex<ParState>,
+    /// One condvar per slot; each slot's thread is its only waiter.
+    cvs: Vec<Condvar>,
+}
+
+impl ParEngine {
+    pub fn new(nslots: usize) -> Arc<Self> {
+        Arc::new(ParEngine {
+            state: Mutex::new(ParState {
+                keys: vec![0; nslots],
+                status: vec![Status::Runnable; nslots],
+                reasons: vec![""; nslots],
+                pending: (0..nslots).map(|_| VecDeque::new()).collect(),
+                checkers: (0..nslots).map(|_| None).collect(),
+                satisfiable: vec![false; nslots],
+                open: None,
+                deadlock: None,
+            }),
+            cvs: (0..nslots).map(|_| Condvar::new()).collect(),
+        })
+    }
+
+    /// Replay the serial election loop until a window opens, a blocked
+    /// winner is woken, the run is over, or deadlock is proven. Must be
+    /// called with no window open.
+    fn advance_elections(&self, st: &mut ParState) {
+        debug_assert!(st.open.is_none());
+        let n = st.keys.len();
+        while st.deadlock.is_none() {
+            // Quiescent point: evaluate every blocked condition inline,
+            // exactly like the serial `elect`.
+            for i in 0..n {
+                if st.status[i] == Status::Blocked {
+                    let mut checker = st.checkers[i].take().expect("blocked slot must register");
+                    st.satisfiable[i] = checker();
+                    st.checkers[i] = Some(checker);
+                }
+            }
+            let winner = (0..n)
+                .filter(|&i| {
+                    st.status[i] == Status::Runnable
+                        || (st.status[i] == Status::Blocked && st.satisfiable[i])
+                })
+                .min_by_key(|&i| (st.keys[i], i));
+            let Some(w) = winner else {
+                if st.status.iter().any(|s| *s == Status::Blocked) {
+                    let waiting = (0..n)
+                        .map(|i| {
+                            let why = match st.status[i] {
+                                Status::Blocked => st.reasons[i].to_string(),
+                                Status::Done => "<finished>".to_string(),
+                                Status::Runnable => "<runnable?!>".to_string(),
+                            };
+                            (i, why)
+                        })
+                        .collect();
+                    st.deadlock = Some(Arc::new(HwError::Deadlock { waiting }));
+                    for cv in &self.cvs {
+                        cv.notify_one();
+                    }
+                }
+                return; // all done, or deadlock
+            };
+            if st.status[w] == Status::Blocked {
+                // The winner's wait is satisfied: it resumes a new segment
+                // at its block key. Its thread removes the checker box
+                // itself, under this lock, when it wakes.
+                st.status[w] = Status::Runnable;
+                st.reasons[w] = "";
+                st.open = Some(w);
+                self.cvs[w].notify_one();
+                return;
+            }
+            match st.pending[w].pop_front() {
+                Some(SegEnd::Yield { next_key }) => st.keys[w] = next_key,
+                Some(SegEnd::Block { key, reason, checker }) => {
+                    st.keys[w] = key;
+                    st.status[w] = Status::Blocked;
+                    st.reasons[w] = reason;
+                    st.checkers[w] = Some(checker);
+                }
+                Some(SegEnd::Done) => st.status[w] = Status::Done,
+                None => {
+                    // Mid-segment: open the winner's window. It may be
+                    // running ahead (the notify is then lost, harmlessly)
+                    // or parked in `visible`.
+                    st.open = Some(w);
+                    self.cvs[w].notify_one();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn unwind_deadlock(&self, st: &ParState) -> ! {
+        let err = st.deadlock.clone().expect("deadlock error set");
+        std::panic::panic_any(DeadlockUnwind(err));
+    }
+
+    /// Gate a globally visible operation: returns once this slot holds the
+    /// open window (it keeps it until the segment ends). Returns `true`
+    /// when the thread had to park — the horizon stall counter.
+    pub fn visible(&self, slot: usize) -> bool {
+        let mut st = self.state.lock();
+        let mut stalled = false;
+        loop {
+            if st.deadlock.is_some() {
+                self.unwind_deadlock(&st);
+            }
+            if st.open == Some(slot) {
+                return stalled;
+            }
+            if st.open.is_none() {
+                self.advance_elections(&mut st);
+                continue;
+            }
+            stalled = true;
+            self.cvs[slot].wait(&mut st);
+        }
+    }
+
+    /// End the current segment with a yield; the next segment starts at
+    /// `next_clock`. Never parks: a thread that does not hold the window
+    /// queues the end and runs ahead.
+    pub fn yield_now(&self, slot: usize, next_clock: u64) {
+        let mut st = self.state.lock();
+        if st.deadlock.is_some() {
+            self.unwind_deadlock(&st);
+        }
+        if st.open == Some(slot) {
+            st.open = None;
+            st.keys[slot] = next_clock;
+            self.advance_elections(&mut st);
+        } else {
+            st.pending[slot].push_back(SegEnd::Yield { next_key: next_clock });
+            if st.open.is_none() {
+                self.advance_elections(&mut st);
+            }
+        }
+    }
+
+    /// End the current segment in a wait. Parks until the wait is
+    /// satisfied *and* this slot wins an election; returns the condition's
+    /// value, evaluated by the electing thread in the same critical
+    /// section.
+    pub fn wait_blocked<T: Send>(
+        &self,
+        slot: usize,
+        clock: u64,
+        reason: &'static str,
+        mut cond: impl FnMut() -> Option<T> + Send,
+    ) -> T {
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let checker: Box<dyn FnMut() -> bool + Send + '_> = {
+            let result = Arc::clone(&result);
+            Box::new(move || match cond() {
+                Some(v) => {
+                    *result.lock() = Some(v);
+                    true
+                }
+                None => {
+                    *result.lock() = None;
+                    false
+                }
+            })
+        };
+        // SAFETY: the box borrows `cond`'s captures on this thread's stack
+        // below this frame. Every exit — winning or deadlock unwind —
+        // removes the box (from the checker slot or the pending queue)
+        // while holding the lock all evaluations run under, so the engine
+        // can never invoke it after the borrowed frame is gone.
+        let checker: Box<dyn FnMut() -> bool + Send + 'static> =
+            unsafe { std::mem::transmute(checker) };
+
+        let mut st = self.state.lock();
+        if st.deadlock.is_some() {
+            self.unwind_deadlock(&st);
+        }
+        if st.open == Some(slot) {
+            // Retire inline: the block takes effect at the serial position.
+            st.open = None;
+            st.keys[slot] = clock;
+            st.status[slot] = Status::Blocked;
+            st.reasons[slot] = reason;
+            st.checkers[slot] = Some(checker);
+            self.advance_elections(&mut st);
+        } else {
+            st.pending[slot].push_back(SegEnd::Block { key: clock, reason, checker });
+            if st.open.is_none() {
+                self.advance_elections(&mut st);
+            }
+        }
+        loop {
+            if st.deadlock.is_some() {
+                // Drop our checker wherever it lives before unwinding.
+                st.checkers[slot] = None;
+                st.pending[slot].clear();
+                if st.status[slot] == Status::Blocked {
+                    st.status[slot] = Status::Runnable; // don't poison later reports
+                }
+                self.unwind_deadlock(&st);
+            }
+            if st.open == Some(slot) && st.status[slot] == Status::Runnable && st.checkers[slot].is_some() {
+                // We won an election on a satisfied condition (the electing
+                // thread flipped us Runnable and left our checker in place).
+                st.checkers[slot] = None;
+                return result
+                    .lock()
+                    .take()
+                    .expect("condition regressed between election and wake");
+            }
+            self.cvs[slot].wait(&mut st);
+        }
+    }
+
+    /// The core's program returned. Never parks.
+    pub fn finish(&self, slot: usize) {
+        let mut st = self.state.lock();
+        if st.deadlock.is_some() {
+            return; // the run is over; let the thread exit normally
+        }
+        if st.open == Some(slot) {
+            st.open = None;
+            st.status[slot] = Status::Done;
+            self.advance_elections(&mut st);
+        } else {
+            st.pending[slot].push_back(SegEnd::Done);
+            if st.open.is_none() {
+                self.advance_elections(&mut st);
+            }
+        }
+    }
+
+    /// The deadlock report, if the run deadlocked.
+    pub fn deadlock_report(&self) -> Option<Arc<HwError>> {
+        self.state.lock().deadlock.clone()
+    }
+}
+
+/// The executor behind a [`crate::CoreCtx`]: the serial baton scheduler or
+/// the parallel conservative engine, selected by `host_fast.parallel`.
+pub enum Engine {
+    Serial(Arc<crate::exec::Scheduler>),
+    Parallel(Arc<ParEngine>),
+}
+
+impl Engine {
+    /// Block until this slot may start running (serial: holds the baton;
+    /// parallel: immediately — the first election orders everything).
+    pub fn wait_for_turn(&self, slot: usize) {
+        match self {
+            Engine::Serial(s) => s.wait_for_turn(slot),
+            Engine::Parallel(_) => {}
+        }
+    }
+
+    pub fn deadlock_report(&self) -> Option<Arc<HwError>> {
+        match self {
+            Engine::Serial(s) => s.deadlock_report(),
+            Engine::Parallel(p) => p.deadlock_report(),
+        }
+    }
+
+    /// The slot's program returned.
+    pub fn finish(&self, slot: usize) {
+        match self {
+            Engine::Serial(s) => s.finish(slot),
+            Engine::Parallel(p) => p.finish(slot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Scheduler;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A harness running the same slot bodies under either engine. Bodies
+    /// call `yield_to`, `wait`, and `visibly` — under the serial scheduler
+    /// `visibly` is the identity (the baton holder is always alone).
+    enum AnyEngine {
+        Serial(Arc<Scheduler>),
+        Par(Arc<ParEngine>),
+    }
+
+    impl AnyEngine {
+        fn yield_now(&self, slot: usize, clock: u64) {
+            match self {
+                AnyEngine::Serial(s) => {
+                    s.yield_now(slot, clock);
+                }
+                AnyEngine::Par(p) => p.yield_now(slot, clock),
+            }
+        }
+        fn visible(&self, slot: usize) {
+            match self {
+                AnyEngine::Serial(_) => {}
+                AnyEngine::Par(p) => {
+                    p.visible(slot);
+                }
+            }
+        }
+        fn wait<T: Send>(
+            &self,
+            slot: usize,
+            clock: u64,
+            reason: &'static str,
+            cond: impl FnMut() -> Option<T> + Send,
+        ) -> T {
+            match self {
+                AnyEngine::Serial(s) => s.wait_blocked(slot, clock, reason, cond),
+                AnyEngine::Par(p) => p.wait_blocked(slot, clock, reason, cond),
+            }
+        }
+    }
+
+    fn run_engine<F>(n: usize, parallel: bool, f: F) -> Result<(), Arc<HwError>>
+    where
+        F: Fn(usize, &AnyEngine) + Send + Sync,
+    {
+        let eng = if parallel {
+            AnyEngine::Par(ParEngine::new(n))
+        } else {
+            AnyEngine::Serial(Scheduler::new(n))
+        };
+        let report = |e: &AnyEngine| match e {
+            AnyEngine::Serial(s) => s.deadlock_report(),
+            AnyEngine::Par(p) => p.deadlock_report(),
+        };
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for slot in 0..n {
+                let eng = &eng;
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    match eng {
+                        AnyEngine::Serial(sch) => sch.wait_for_turn(slot),
+                        AnyEngine::Par(_) => {}
+                    }
+                    f(slot, eng);
+                    match eng {
+                        AnyEngine::Serial(sch) => sch.finish(slot),
+                        AnyEngine::Par(p) => p.finish(slot),
+                    }
+                }));
+            }
+            let mut failed = false;
+            for h in handles {
+                failed |= h.join().is_err();
+            }
+            if failed {
+                Err(report(&eng).expect("non-deadlock panic in test"))
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    /// The global order of visible events must match the serial schedule.
+    /// Events are recorded *while the window is open* (in parallel mode the
+    /// recording thread holds the window until its segment ends, so pushes
+    /// are election-ordered).
+    fn wave_trace(parallel: bool) -> Vec<(usize, u64)> {
+        let counter = AtomicU64::new(0);
+        let trace = Mutex::new(Vec::new());
+        run_engine(6, parallel, |slot, eng| {
+            if slot == 0 {
+                for wave in 1..=5u64 {
+                    eng.yield_now(0, wave * 1000);
+                    eng.visible(0);
+                    counter.store(wave, Ordering::Relaxed);
+                    trace.lock().push((0, wave * 1000));
+                }
+                eng.yield_now(0, 100_000);
+            } else {
+                for wave in 1..=5u64 {
+                    eng.wait(slot, wave * 100 + slot as u64, "wave", || {
+                        (counter.load(Ordering::Relaxed) >= wave).then_some(())
+                    });
+                    trace.lock().push((slot, wave * 100 + slot as u64));
+                }
+            }
+        })
+        .unwrap();
+        trace.into_inner()
+    }
+
+    #[test]
+    fn wave_schedule_matches_serial() {
+        assert_eq!(wave_trace(true), wave_trace(false));
+    }
+
+    #[test]
+    fn single_core_runs_to_completion() {
+        run_engine(1, true, |_, eng| {
+            eng.yield_now(0, 100);
+            eng.visible(0);
+            eng.yield_now(0, 200);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pure_yielders_run_ahead_without_blocking() {
+        // No visible ops at all: every thread may run to completion
+        // immediately, in any host order — the engine must retire all
+        // queued ends and terminate.
+        run_engine(8, true, |slot, eng| {
+            for step in 1..=50u64 {
+                eng.yield_now(slot, step * 100 + slot as u64);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn visible_order_is_clock_sorted() {
+        // Cores at staggered clocks doing visible ops: the recorded global
+        // order must be sorted by (clock, slot), like the serial baton.
+        let order = Mutex::new(Vec::new());
+        run_engine(4, true, |slot, eng| {
+            for step in 1..=10u64 {
+                let clk = step * 1000 + slot as u64 * 13;
+                eng.yield_now(slot, clk);
+                eng.visible(slot);
+                order.lock().push((clk, slot));
+            }
+        })
+        .unwrap();
+        let o = order.into_inner();
+        let mut sorted = o.clone();
+        sorted.sort_unstable();
+        assert_eq!(o, sorted, "visible ops must retire in election order");
+    }
+
+    #[test]
+    fn deadlock_detected_and_reported_identically() {
+        let report = |parallel| {
+            run_engine(2, parallel, |slot, eng| {
+                if slot == 1 {
+                    eng.wait(1, 0, "a flag that never comes", || None::<()>);
+                } else {
+                    eng.yield_now(0, 50);
+                }
+            })
+            .unwrap_err()
+        };
+        let (par, ser) = (report(true), report(false));
+        match (&*par, &*ser) {
+            (HwError::Deadlock { waiting: a }, HwError::Deadlock { waiting: b }) => {
+                assert_eq!(a, b, "reports must match the serial oracle");
+                assert_eq!(a.len(), 2);
+                assert!(a[1].1.contains("never comes"));
+            }
+            other => panic!("wrong errors: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_winner_resumes_at_block_key() {
+        // A core blocking at a *low* clock must be elected before a runnable
+        // core at a higher clock once its condition holds — the election
+        // key sequence is not monotonic, and the engine must reproduce that.
+        let flag = AtomicU64::new(0);
+        let order = Mutex::new(Vec::new());
+        run_engine(3, true, |slot, eng| {
+            match slot {
+                0 => {
+                    eng.yield_now(0, 10_000);
+                    eng.visible(0);
+                    flag.store(1, Ordering::Relaxed);
+                    eng.yield_now(0, 20_000);
+                    eng.visible(0);
+                    order.lock().push((0, 20_000u64));
+                }
+                1 => {
+                    eng.wait(1, 5, "flag", || {
+                        (flag.load(Ordering::Relaxed) != 0).then_some(())
+                    });
+                    // Resumes at key 5 — far below core 0's clock.
+                    order.lock().push((1, 5u64));
+                }
+                _ => {
+                    eng.yield_now(2, 15_000);
+                    eng.visible(2);
+                    order.lock().push((2, 15_000u64));
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            order.into_inner(),
+            vec![(1, 5), (2, 15_000), (0, 20_000)],
+            "woken waiter must precede higher-clock runnables"
+        );
+    }
+}

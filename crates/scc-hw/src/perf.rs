@@ -68,6 +68,15 @@ counters! {
         /// protocol (direct hand-off or inline election — no sleeper
         /// wakeups).
         fast_yields => "exec.fast_yields",
+        /// Safe windows this core executed under the parallel conservative
+        /// engine (segments between scheduler interactions).
+        par_windows => "exec.par.windows",
+        /// Globally visible operations that had to synchronise with the
+        /// parallel engine's election order.
+        par_visible_ops => "exec.par.visible_ops",
+        /// Visible operations that actually parked waiting for the safe
+        /// horizon (the rest found their window already open).
+        par_horizon_stalls => "exec.par.horizon_stalls",
     }
 }
 
@@ -121,6 +130,7 @@ mod tests {
         assert_eq!(m.get("kernel.tlb_hits"), 5);
         assert_eq!(m.get("exec.fast_yields"), 2);
         // One label per field.
-        assert_eq!(m.len(), 21);
+        assert_eq!(m.len(), 24);
+        assert_eq!(m.get("exec.par.windows"), 0);
     }
 }

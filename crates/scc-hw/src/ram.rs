@@ -175,6 +175,72 @@ impl AtomicWords {
     }
 }
 
+/// Exclusive-ownership registry over the shared region's 4 KiB frames,
+/// mirroring the SVM layer's strong-model owner vector on the host side.
+///
+/// The parallel conservative engine ([`crate::par`]) uses it to classify
+/// accesses: a frame whose registered owner is the accessing core is
+/// *core-private* — no other core may legally touch it until an ownership
+/// hand-off, which itself is a globally visible operation — so reads and
+/// writes to it can run ahead outside the safe window. The registry is
+/// advisory for correctness of the *simulation* (an unregistered frame is
+/// simply treated as visible) but must never claim exclusivity that the
+/// protocol does not guarantee.
+///
+/// Entries store `owner_index + 1`, with 0 meaning unowned/shared. All
+/// accesses are relaxed: claims and releases happen on the owning core's
+/// own thread, and cross-thread ordering comes from the engine's mutex.
+pub struct FrameOwners {
+    owners: Box<[AtomicU32]>,
+}
+
+impl FrameOwners {
+    pub fn new(frames: usize) -> Self {
+        let mut v = Vec::with_capacity(frames);
+        v.resize_with(frames, || AtomicU32::new(0));
+        FrameOwners {
+            owners: v.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Register `owner` as the exclusive owner of `frame`. Out-of-range
+    /// frames are ignored (callers pass raw pfns; only shared frames have
+    /// entries).
+    #[inline]
+    pub fn claim(&self, frame: usize, owner: usize) {
+        if let Some(slot) = self.owners.get(frame) {
+            slot.store(owner as u32 + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop any exclusivity claim on `frame`.
+    #[inline]
+    pub fn release(&self, frame: usize) {
+        if let Some(slot) = self.owners.get(frame) {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Is `owner` the registered exclusive owner of `frame`?
+    #[inline]
+    pub fn owned_by(&self, frame: usize, owner: usize) -> bool {
+        match self.owners.get(frame) {
+            Some(slot) => slot.load(Ordering::Relaxed) == owner as u32 + 1,
+            None => false,
+        }
+    }
+}
+
 /// What kind of device a physical address resolves to.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Backing {

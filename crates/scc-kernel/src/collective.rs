@@ -22,6 +22,10 @@ pub fn ram_barrier(k: &mut Kernel<'_>, name: &str) {
     if n == 1 {
         return;
     }
+    // The header arena is a host-side bump allocator; pin the (first)
+    // allocation of this barrier's words to the deterministic election
+    // order under the parallel engine.
+    k.hw.host_order_point();
     let pa = k
         .shared
         .named_header(&format!("kbarrier.{name}"), BARRIER_BYTES, 32);

@@ -137,6 +137,15 @@ impl<'a> Kernel<'a> {
         &self.participants
     }
 
+    /// Is the kernel currently inside an interrupt/idle-hook handler?
+    /// Handlers cannot block responsively ([`Kernel::wait_event`] refuses
+    /// nested kernel work), so subsystems use this to decide between a
+    /// blocking operation and a deferred one.
+    #[inline]
+    pub fn in_irq(&self) -> bool {
+        self.in_irq
+    }
+
     /// This core's rank within the participant list.
     pub fn rank(&self) -> usize {
         self.participants
@@ -542,7 +551,7 @@ impl<'a> Kernel<'a> {
     /// returns is the event's cycle stamp.
     pub fn wait_event<T: Send>(
         &mut self,
-        reason: &str,
+        reason: &'static str,
         mut cond: impl FnMut() -> Option<(T, u64)> + Send,
     ) -> T {
         loop {
