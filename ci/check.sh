@@ -13,6 +13,14 @@ echo "== tier 1: default features =="
 cargo build --release
 cargo test -q
 
+echo "== clippy: workspace, default features =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== clippy: workspace, trace feature =="
+cargo clippy --workspace --all-targets \
+    --features scc-hw/trace,scc-kernel/trace,scc-mailbox/trace,metalsvm/trace,scc-bench/trace,integration-tests/trace \
+    -- -D warnings
+
 echo "== trace feature: release build =="
 cargo build --release --features trace \
     -p scc-hw -p scc-kernel -p scc-mailbox -p metalsvm \
@@ -31,5 +39,35 @@ cargo test -q -p integration-tests --test parallel_shadow
 
 echo "== parallel executor: shadow suite, trace feature =="
 cargo test -q --features trace -p integration-tests --test parallel_shadow
+
+# The svm-check consistency checker (DESIGN.md §9). The test suite covers
+# both halves of its story: with the trace feature every clean app must be
+# finding-free and every buggy fixture must yield exactly its planted
+# finding (online sink and offline replay agreeing); without it the
+# checker must be a perfect no-op.
+echo "== svmcheck: checker suite, trace feature =="
+cargo test -q --features trace -p integration-tests --test checker
+cargo test -q -p scc-checker
+
+echo "== svmcheck: checker suite, no-op without the trace feature =="
+cargo test -q -p integration-tests --test checker
+
+# End-to-end offline path: trace the clean 48-core Laplace run and every
+# buggy fixture, then re-parse the logs with the svmcheck binary. The
+# Laplace log must be clean; each fixture log must contain exactly its
+# planted finding.
+echo "== svmcheck: offline gate over captured traces =="
+cargo build -q --release --features trace -p scc-bench \
+    --bin trace_laplace --bin trace_fixture
+cargo build -q --release -p scc-checker --bin svmcheck
+./target/release/trace_laplace --quick
+./target/release/trace_fixture
+./target/release/svmcheck results/TRACE_laplace.log
+./target/release/svmcheck --expect stale-read results/TRACE_stale_read.log
+./target/release/svmcheck --expect grant-by-non-owner results/TRACE_forged_grant.log
+./target/release/svmcheck --expect unreleased-lock results/TRACE_unreleased_lock.log
+./target/release/svmcheck --expect release-not-held results/TRACE_double_release.log
+./target/release/svmcheck --expect acquire-without-invalidate results/TRACE_acquire_no_invalidate.log
+./target/release/svmcheck --expect release-without-flush results/TRACE_release_no_flush.log
 
 echo "ci/check.sh: all green"

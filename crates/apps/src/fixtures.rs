@@ -1,0 +1,172 @@
+//! Deliberately buggy fixture kernels for the `svmcheck` consistency
+//! checker.
+//!
+//! Each fixture plants exactly one bug of a kind the checker's detectors
+//! are specified to catch, and nothing else — run traced, each must
+//! produce exactly one finding with the slug in its [`Fixture::expect`]
+//! field (the checker test suite and `ci/check.sh` assert this). The
+//! misuse helpers they call (`*_for_test`) live in the sync layer and are
+//! not part of the paper's API.
+//!
+//! The fixtures are ordinary SPMD kernels and run fine without the `trace`
+//! feature — they just leave no events behind, which is exactly the
+//! checker's no-op story.
+
+use metalsvm::{
+    install as svm_install, Consistency, SvmArray, SvmConfig, SvmCtx,
+};
+use scc_hw::instr::{EventKind, TraceConfig};
+use scc_hw::{CoreId, SccConfig, TraceRing};
+use scc_kernel::{Cluster, Kernel};
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// One buggy kernel plus what the checker must say about it.
+pub struct Fixture {
+    /// Stable name (`svmcheck` trace files are named after it).
+    pub name: &'static str,
+    /// Cores the kernel runs on.
+    pub cores: usize,
+    /// Detector expected to fire: `race`, `protocol` or `lint`.
+    pub detector: &'static str,
+    /// The single finding slug the checker must report.
+    pub expect: &'static str,
+    pub run: fn(&mut Kernel<'_>, &mut SvmCtx),
+}
+
+/// All checker fixtures, in stable order.
+pub const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "stale_read",
+        cores: 2,
+        detector: "race",
+        expect: "stale-read",
+        run: stale_read,
+    },
+    Fixture {
+        name: "forged_grant",
+        cores: 2,
+        detector: "protocol",
+        expect: "grant-by-non-owner",
+        run: forged_grant,
+    },
+    Fixture {
+        name: "unreleased_lock",
+        cores: 1,
+        detector: "lint",
+        expect: "unreleased-lock",
+        run: unreleased_lock,
+    },
+    Fixture {
+        name: "double_release",
+        cores: 1,
+        detector: "lint",
+        expect: "release-not-held",
+        run: double_release,
+    },
+    Fixture {
+        name: "acquire_no_invalidate",
+        cores: 1,
+        detector: "lint",
+        expect: "acquire-without-invalidate",
+        run: acquire_no_invalidate,
+    },
+    Fixture {
+        name: "release_no_flush",
+        cores: 1,
+        detector: "lint",
+        expect: "release-without-flush",
+        run: release_no_flush,
+    },
+];
+
+/// Look a fixture up by name.
+pub fn fixture(name: &str) -> Option<&'static Fixture> {
+    FIXTURES.iter().find(|f| f.name == name)
+}
+
+/// Run a fixture on a fresh small machine with tracing configured,
+/// returning each core's event ring for the checker.
+pub fn run_fixture_traced(f: &Fixture, trace: TraceConfig) -> Vec<(CoreId, TraceRing)> {
+    let cfg = SccConfig {
+        trace,
+        ..SccConfig::small()
+    };
+    let cl = Cluster::new(cfg).expect("machine");
+    let run = f.run;
+    let res = cl
+        .run(f.cores, move |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = svm_install(k, &mbx, SvmConfig::default());
+            run(k, &mut svm);
+        })
+        .expect("fixture must not deadlock");
+    res.into_iter().map(|r| (r.core, r.trace)).collect()
+}
+
+/// Core 0 writes a lazy-release page; both cores pass a barrier *without*
+/// the acquire-side invalidate; core 1 reads the page. No happens-before
+/// edge connects write and read → one `stale-read` (race detector),
+/// writer core 0, reader core 1.
+fn stale_read(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let r = svm.alloc(k, 4096, Consistency::LazyRelease);
+    let a = SvmArray::<f64>::new(r, 8);
+    if k.rank() == 0 {
+        a.set(k, 0, 42.0);
+    }
+    svm.barrier_no_invalidate_for_test(k);
+    if k.rank() == 1 {
+        let _ = a.get(k, 0);
+    }
+}
+
+/// Core 0 first-touches a strong page and owns it; core 1 then injects a
+/// forged `OwnGrant` for that page without being its owner → one
+/// `grant-by-non-owner` (protocol monitor), owner core 0, granter core 1.
+fn forged_grant(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let r = svm.alloc(k, 4096, Consistency::Strong);
+    let a = SvmArray::<f64>::new(r, 8);
+    if k.rank() == 0 {
+        a.set(k, 0, 1.0);
+    }
+    svm.barrier(k);
+    if k.rank() == 1 {
+        // A grant event for a page this core does not own — the 5-step
+        // protocol never produces this.
+        k.hw.trace(EventKind::OwnGrant, r.first_page(), 0);
+    }
+    svm.barrier(k);
+}
+
+/// Acquire a lock and end the run without releasing it → one
+/// `unreleased-lock` (linter).
+fn unreleased_lock(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let lock = svm.lock_new(k);
+    lock.acquire(k).expect("first acquire is legal");
+}
+
+/// Acquire, release, release again. The second release is refused by the
+/// sync layer and recorded as a typed `SyncErr` → one `release-not-held`
+/// (linter).
+fn double_release(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let lock = svm.lock_new(k);
+    lock.acquire(k).expect("first acquire is legal");
+    lock.release(k).expect("first release is legal");
+    lock.release(k)
+        .expect_err("double release must be refused");
+}
+
+/// Take the lock without the acquire-side `CL1INVMB`, then release
+/// properly → one `acquire-without-invalidate` (linter).
+fn acquire_no_invalidate(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let lock = svm.lock_new(k);
+    lock.acquire_no_invalidate_for_test(k);
+    lock.release(k).expect("release of a held lock is legal");
+}
+
+/// Take the lock properly, then release without the release-side WCB
+/// flush → one `release-without-flush` (linter).
+fn release_no_flush(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let lock = svm.lock_new(k);
+    lock.acquire(k).expect("acquire is legal");
+    lock.release_no_flush_for_test(k);
+}

@@ -226,9 +226,7 @@ pub fn laplace_ircce(
             // sources (and refreshed by the first exchange anyway). The
             // value is constant along the row.
             let gi = (lo + r).wrapping_sub(1);
-            let v = if r == 0 && lo == 0 {
-                0.0
-            } else if r == block_rows - 1 && hi == h {
+            let v = if (r == 0 && lo == 0) || (r == block_rows - 1 && hi == h) {
                 0.0
             } else {
                 boundary(gi, 0, h)

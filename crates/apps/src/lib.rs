@@ -12,8 +12,11 @@
 //!   (exercises §6.4 and the L2 path).
 //! * [`matmul`] — dense matrix product with sealed input matrices.
 //! * [`pipeline`] — a token pipeline over the raw mailbox system.
+//! * [`fixtures`] — deliberately buggy kernels, one planted finding each,
+//!   for the `svmcheck` consistency checker.
 
 pub mod dotprod;
+pub mod fixtures;
 pub mod histogram;
 pub mod laplace;
 pub mod matmul;

@@ -64,12 +64,12 @@ pub fn matmul(k: &mut Kernel<'_>, svm: &mut SvmCtx, n: usize) -> f64 {
     let mut c_row = vec![0.0f64; n];
     for i in lo..hi {
         a.read_row(k, i * n, &mut a_row);
-        for j in 0..n {
+        for (j, cj) in c_row.iter_mut().enumerate() {
             let mut s = 0.0;
-            for l in 0..n {
-                s += a_row[l] * b.get(k, l * n + j);
+            for (l, &al) in a_row.iter().enumerate() {
+                s += al * b.get(k, l * n + j);
             }
-            c_row[j] = s;
+            *cj = s;
         }
         c.write_row(k, i * n, &c_row);
     }

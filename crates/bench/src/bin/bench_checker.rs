@@ -1,0 +1,147 @@
+//! Checker-overhead benchmark: what does it cost to watch a run?
+//!
+//! Two phases over the Figure 9 Laplace cell (paper grid, 48 cores,
+//! strong model — the protocol-heaviest variant):
+//!
+//! 1. **Capture overhead** — wall-clock of the traced run vs the same run
+//!    with recording disabled, min of `--reps`, asserting bit-identical
+//!    simulated results (tracing must never perturb the simulation, only
+//!    host time may differ).
+//! 2. **Analysis throughput** — feeding the captured rings through all
+//!    three `svmcheck` detectors (`scc_checker::check_rings`), reported
+//!    as events/second; the run is clean, so the report must be
+//!    finding-free.
+//!
+//! Emits `BENCH_checker.json`. Without the `trace` feature the rings stay
+//! empty and the numbers only prove the no-op path is free.
+//!
+//! Usage: `cargo run -p scc-bench --release --features trace
+//!         --bin bench_checker [--quick] [--iters N] [--reps N]`
+
+use std::time::Instant;
+
+use scc_apps::laplace::LaplaceParams;
+use scc_bench::{laplace_run_traced, HarnessArgs, LaplaceVariant, Table};
+use scc_hw::instr::{EventKind, TraceConfig};
+use scc_hw::TraceRing;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let iters = args.iters.unwrap_or(if args.quick { 2 } else { 8 });
+    let reps = args.reps.unwrap_or(if args.quick { 2 } else { 3 });
+    let n = 48;
+    let p = LaplaceParams::paper(iters);
+
+    if !TraceRing::compiled_in() {
+        eprintln!(
+            "warning: built without the `trace` feature — rings stay empty \
+             and the overhead measured is the no-op path."
+        );
+    }
+    println!(
+        "Checker-overhead benchmark — Laplace strong, {}x{}, {} iterations, \
+         {} cores, best of {} reps",
+        p.width, p.height, p.iters, n, reps
+    );
+
+    let trace_cfg = TraceConfig {
+        per_core_capacity: 1 << 16,
+        mask: EventKind::default_mask(),
+    };
+
+    // Phase 1: capture overhead (traced vs recording disabled).
+    let mut off_s = f64::INFINITY;
+    let mut on_s = f64::INFINITY;
+    let mut off = None;
+    let mut traced = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        off = Some(laplace_run_traced(LaplaceVariant::SvmStrong, n, p, TraceConfig::disabled()).0);
+        off_s = off_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        traced = Some(laplace_run_traced(LaplaceVariant::SvmStrong, n, p, trace_cfg));
+        on_s = on_s.min(t0.elapsed().as_secs_f64());
+    }
+    let off = off.expect("reps >= 1");
+    let (on, rings) = traced.expect("reps >= 1");
+    assert_eq!(off.checksum, on.checksum, "tracing changed the result");
+    assert_eq!(off.sim_ms, on.sim_ms, "tracing changed simulated time");
+    assert_eq!(off.metrics, on.metrics, "tracing changed the counters");
+
+    let events: usize = rings.iter().map(|(_, r)| r.len()).sum();
+    let dropped: u64 = rings.iter().map(|(_, r)| r.overwritten()).sum();
+    let capture_delta = on_s - off_s;
+    let capture_pct = 100.0 * capture_delta / off_s;
+
+    // Phase 2: analysis throughput over the captured rings.
+    let mut check_s = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        report = Some(scc_checker::check_rings(
+            rings.iter().map(|(c, r)| (*c, r)),
+        ));
+        check_s = check_s.min(t0.elapsed().as_secs_f64());
+    }
+    let report = report.expect("reps >= 1");
+    assert!(
+        report.findings.is_empty(),
+        "clean Laplace must be finding-free, got: {}",
+        report.render_text()
+    );
+    let events_per_s = if check_s > 0.0 { events as f64 / check_s } else { 0.0 };
+
+    let mut t = Table::new(&[
+        "untraced (s)",
+        "traced (s)",
+        "capture overhead",
+        "events",
+        "check (s)",
+        "events/s",
+        "findings",
+    ]);
+    t.row(&[
+        format!("{off_s:8.3}"),
+        format!("{on_s:8.3}"),
+        format!("{capture_delta:+.3}s ({capture_pct:+.1}%)"),
+        format!("{events}"),
+        format!("{check_s:8.4}"),
+        format!("{events_per_s:10.0}"),
+        format!("{}", report.findings.len()),
+    ]);
+    println!("\n{}", t.render());
+    println!(
+        "capture: {capture_delta:+.3}s over {off_s:.3}s untraced; analysis: \
+         {events} events in {check_s:.4}s = {events_per_s:.0} events/s \
+         ({dropped} dropped to ring wrap)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"checker\",\n  \"grid\": {{\"width\": {}, \
+         \"height\": {}, \"iters\": {}}},\n  \"cores\": {},\n  \"reps\": {},\n  \
+         \"trace_compiled_in\": {},\n  \"untraced_s\": {:.4},\n  \
+         \"traced_s\": {:.4},\n  \"capture_delta_s\": {:.4},\n  \
+         \"capture_overhead_pct\": {:.2},\n  \"events\": {},\n  \
+         \"events_dropped\": {},\n  \"check_s\": {:.5},\n  \
+         \"events_per_s\": {:.0},\n  \"findings\": {},\n  \
+         \"sim_identical\": true\n}}\n",
+        p.width,
+        p.height,
+        p.iters,
+        n,
+        reps,
+        TraceRing::compiled_in(),
+        off_s,
+        on_s,
+        capture_delta,
+        capture_pct,
+        events,
+        dropped,
+        check_s,
+        events_per_s,
+        report.findings.len(),
+    );
+    std::fs::write("BENCH_checker.json", &json).expect("write BENCH_checker.json");
+    println!("wrote BENCH_checker.json");
+}

@@ -4,9 +4,10 @@
 //! simulated time, checksum and every counter to a run with recording
 //! disabled.
 //!
-//! Emits `TRACE_laplace.json` (Chrome `trace_event` format — open in
-//! `chrome://tracing` or <https://ui.perfetto.dev>) and
-//! `TRACE_laplace.log` (a flat, time-sorted protocol log).
+//! Emits `results/TRACE_laplace.json` (Chrome `trace_event` format — open
+//! in `chrome://tracing` or <https://ui.perfetto.dev>) and
+//! `results/TRACE_laplace.log` (a flat, time-sorted protocol log). Both
+//! re-parse with `svmcheck` for offline consistency checking.
 //!
 //! Usage: `cargo run -p scc-bench --release --features trace
 //!         --bin trace_laplace [--quick] [--iters N]`
@@ -58,12 +59,13 @@ fn main() {
     );
 
     let mhz = scc_hw::SccConfig::default().timing.core_mhz;
+    std::fs::create_dir_all("results").expect("create results/");
     let json = chrome_trace_json(rings.iter().map(|(c, r)| (*c, r)), mhz);
-    std::fs::write("TRACE_laplace.json", &json).expect("write TRACE_laplace.json");
+    std::fs::write("results/TRACE_laplace.json", &json).expect("write results/TRACE_laplace.json");
     let log = protocol_log(rings.iter().map(|(c, r)| (*c, r)));
-    std::fs::write("TRACE_laplace.log", &log).expect("write TRACE_laplace.log");
+    std::fs::write("results/TRACE_laplace.log", &log).expect("write results/TRACE_laplace.log");
     println!(
-        "wrote TRACE_laplace.json ({} KiB) and TRACE_laplace.log ({} lines)",
+        "wrote results/TRACE_laplace.json ({} KiB) and results/TRACE_laplace.log ({} lines)",
         json.len() / 1024,
         log.lines().count()
     );

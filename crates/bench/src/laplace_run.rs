@@ -50,7 +50,7 @@ pub struct LaplaceRun {
 /// Machine configuration sized for the experiment: the MP variant keeps
 /// two full row blocks (plus halos) in private memory.
 pub fn laplace_config(n: usize, p: LaplaceParams) -> SccConfig {
-    let block_bytes = ((p.height / n + 2) * (p.width + scc_apps::laplace::ROW_PAD) * 8 * 2) as usize;
+    let block_bytes = (p.height / n + 2) * (p.width + scc_apps::laplace::ROW_PAD) * 8 * 2;
     SccConfig {
         private_bytes_per_core: (block_bytes + 2 * 1024 * 1024).next_multiple_of(4096),
         shared_bytes: 64 * 1024 * 1024,

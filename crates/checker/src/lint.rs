@@ -1,0 +1,197 @@
+//! Synchronization linter over the per-core lock event streams.
+//!
+//! Consumes `LockAcquire` / `LockRelease` (the TAS register halves of
+//! `SvmLock`), `AcquireInv` / `ReleaseFlush` (the cache-action halves),
+//! `WcbFlush`, `Barrier`, and the typed `SyncErr` misuse events recorded
+//! by the sync layer itself. Checks:
+//!
+//! - `acquire-without-invalidate` — a `LockAcquire` not immediately
+//!   followed by its `AcquireInv`: the critical section starts with
+//!   possibly-stale tagged cache lines.
+//! - `release-without-flush` — a `LockRelease` not preceded by its
+//!   `ReleaseFlush` (intervening WCB drains are fine): combined writes
+//!   may still sit in the WCB when the next owner takes the lock.
+//! - `acquire-reentry` / `release-not-held` — the typed `SyncErr` events
+//!   (codes 1 and 2) recorded when `SvmLock` refuses a misuse.
+//! - `lock-held-at-barrier` — a core enters an SVM barrier while holding
+//!   a lock (classic deadlock/ordering hazard), reported once per
+//!   (core, register).
+//! - `unreleased-lock` — a lock still held when the stream ends.
+
+use crate::report::{Detector, Finding};
+use crate::{Rec, StreamInfo};
+use scc_hw::instr::EventKind;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Default)]
+struct CoreState {
+    /// reg -> the LockAcquire line (for excerpts).
+    held: HashMap<u32, (u64, String)>,
+    /// A LockAcquire whose AcquireInv has not arrived yet.
+    pending_inv: Option<(u32, u64, String)>,
+    /// The register whose ReleaseFlush is still "fresh" (only WCB drains
+    /// since), i.e. a LockRelease of it is properly flushed.
+    flush_ok: Option<u32>,
+    /// (reg) already reported held-at-barrier.
+    barrier_flagged: HashSet<u32>,
+}
+
+fn sync_err_slug(code: u32) -> &'static str {
+    match code {
+        1 => "acquire-reentry",
+        _ => "release-not-held",
+    }
+}
+
+pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut cores: HashMap<usize, CoreState> = HashMap::new();
+    let _ = info;
+
+    for r in recs {
+        let st = cores.entry(r.core).or_default();
+        let k = r.e.kind;
+        // A pending acquire must be completed by the very next event on
+        // this core, and that event must be the matching invalidate.
+        if let Some((reg, t, line)) = st.pending_inv.take() {
+            if !(k == EventKind::AcquireInv && r.e.a == reg) {
+                findings.push(Finding {
+                    detector: Detector::Lint,
+                    slug: "acquire-without-invalidate",
+                    page: None,
+                    cores: vec![r.core],
+                    t,
+                    message: format!(
+                        "core {:02} took lock reg {} without the acquire-side CL1INVMB \
+                         invalidate: the critical section may read stale tagged lines",
+                        r.core, reg
+                    ),
+                    excerpt: vec![line],
+                });
+            }
+        }
+        // The flush-freshness window survives only WCB drains and
+        // scheduler block/unblock events.
+        if !matches!(
+            k,
+            EventKind::WcbFlush
+                | EventKind::BlockEnter
+                | EventKind::BlockExit
+                | EventKind::ReleaseFlush
+                | EventKind::LockRelease
+        ) {
+            st.flush_ok = None;
+        }
+        match k {
+            EventKind::LockAcquire => {
+                st.held.insert(r.e.a, (r.t, r.line()));
+                st.pending_inv = Some((r.e.a, r.t, r.line()));
+            }
+            EventKind::ReleaseFlush => {
+                st.flush_ok = Some(r.e.a);
+            }
+            EventKind::LockRelease => {
+                if st.flush_ok != Some(r.e.a) {
+                    findings.push(Finding {
+                        detector: Detector::Lint,
+                        slug: "release-without-flush",
+                        page: None,
+                        cores: vec![r.core],
+                        t: r.t,
+                        message: format!(
+                            "core {:02} released lock reg {} without the release-side WCB \
+                             flush: combined writes may not be visible to the next owner",
+                            r.core, r.e.a
+                        ),
+                        excerpt: vec![r.line()],
+                    });
+                }
+                st.flush_ok = None;
+                st.held.remove(&r.e.a);
+            }
+            EventKind::SyncErr => {
+                findings.push(Finding {
+                    detector: Detector::Lint,
+                    slug: sync_err_slug(r.e.b),
+                    page: None,
+                    cores: vec![r.core],
+                    t: r.t,
+                    message: format!(
+                        "core {:02} hit a typed sync misuse on lock reg {}: {}",
+                        r.core,
+                        r.e.a,
+                        if r.e.b == 1 {
+                            "acquire re-entry on a lock it already holds"
+                        } else {
+                            "release of a lock it does not hold"
+                        }
+                    ),
+                    excerpt: vec![r.line()],
+                });
+            }
+            EventKind::Barrier => {
+                let mut regs: Vec<u32> = st.held.keys().copied().collect();
+                regs.sort_unstable();
+                for reg in regs {
+                    if st.barrier_flagged.insert(reg) {
+                        let (at, aline) = st.held[&reg].clone();
+                        let _ = at;
+                        findings.push(Finding {
+                            detector: Detector::Lint,
+                            slug: "lock-held-at-barrier",
+                            page: None,
+                            cores: vec![r.core],
+                            t: r.t,
+                            message: format!(
+                                "core {:02} entered an SVM barrier while holding lock reg \
+                                 {} — any other core contending for it deadlocks the \
+                                 barrier",
+                                r.core, reg
+                            ),
+                            excerpt: vec![aline, r.line()],
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // End of stream: dangling acquires.
+    let mut core_ids: Vec<usize> = cores.keys().copied().collect();
+    core_ids.sort_unstable();
+    for c in core_ids {
+        let st = &cores[&c];
+        if let Some((reg, t, line)) = &st.pending_inv {
+            findings.push(Finding {
+                detector: Detector::Lint,
+                slug: "acquire-without-invalidate",
+                page: None,
+                cores: vec![c],
+                t: *t,
+                message: format!(
+                    "core {c:02} took lock reg {reg} without the acquire-side CL1INVMB \
+                     invalidate: the critical section may read stale tagged lines"
+                ),
+                excerpt: vec![line.clone()],
+            });
+        }
+        let mut regs: Vec<u32> = st.held.keys().copied().collect();
+        regs.sort_unstable();
+        for reg in regs {
+            let (t, line) = st.held[&reg].clone();
+            findings.push(Finding {
+                detector: Detector::Lint,
+                slug: "unreleased-lock",
+                page: None,
+                cores: vec![c],
+                t,
+                message: format!(
+                    "core {c:02} still holds lock reg {reg} at the end of the run"
+                ),
+                excerpt: vec![line],
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,250 @@
+//! Strong-model ownership-migration protocol monitor.
+//!
+//! Tracks the 5-step migration state machine per strong-model page
+//! (PAPER.md §4) from the protocol events:
+//!
+//! - `FirstTouch` / `OwnAcquired` / `OwnGrant` establish who owns a page;
+//! - `OwnRequest` (emitted by the requester) and `OwnForward` (carrying
+//!   the original requester in its third payload slot) feed the pending
+//!   request set;
+//! - `PageProtect` / `PageUnmap` on the granter mark that access was
+//!   withdrawn before the grant;
+//! - `FrameOwner` events mirror the advisory `FrameOwners` registry;
+//! - `MailSend` / `MailRecv` carry the send-time stamp as a correlation
+//!   id.
+//!
+//! Checks, in order (a page stops being analyzed after its first finding,
+//! so one planted bug yields exactly one finding):
+//!
+//! 1. `grant-by-non-owner` — an `OwnGrant` from a core that is not the
+//!    page's current owner (single-owner invariant).
+//! 2. `grant-without-request` — a grant to a core with no outstanding
+//!    request (only when the stream is complete).
+//! 3. `grant-without-withdraw` — the granter did not protect or unmap its
+//!    own mapping (TLB shootdown) before granting the page away.
+//! 4. `acquired-not-owner` — an `OwnAcquired` on a core the grant history
+//!    says is not the owner.
+//! 5. `frame-registry-mismatch` — at `OwnAcquired`, the latest
+//!    `FrameOwner` record for the page's frame names a different core.
+//! 6. `recv-without-send` — a `MailRecv` with no matching `MailSend`
+//!    (same source, destination, kind and stamp; only when the stream is
+//!    complete).
+//!
+//! Ownership state is initialised lazily from positive evidence — a page
+//! whose early history predates the trace window is adopted, not flagged.
+
+use crate::report::{Detector, Finding};
+use crate::{Rec, StreamInfo, MODEL_STRONG};
+use scc_hw::instr::EventKind;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Default)]
+struct PageState {
+    owner: Option<usize>,
+    /// The event line that established the current owner (for excerpts).
+    owner_line: Option<String>,
+    /// Cores with an outstanding ownership request.
+    pending: HashSet<u32>,
+    /// First finding already reported — stop analyzing this page.
+    dead: bool,
+}
+
+pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut pages: HashMap<u32, PageState> = HashMap::new();
+    // (core, page) pairs whose mapping was withdrawn (protect/unmap) and
+    // not yet consumed by a grant from that core.
+    let mut withdrawn: HashMap<(usize, u32), String> = HashMap::new();
+    // frame -> (owner, line) from FrameOwner events (owner == u32::MAX on
+    // release is represented by removal).
+    let mut frame_owner: HashMap<u32, (u32, String)> = HashMap::new();
+    // (src, dst, kind, stamp) -> outstanding send count.
+    let mut sends: HashMap<(usize, usize, u32, u32), u32> = HashMap::new();
+
+    let strong = |page: u32| info.model(page) == Some(MODEL_STRONG);
+
+    for r in recs {
+        let c = r.core;
+        match r.e.kind {
+            EventKind::FirstTouch if strong(r.e.a) => {
+                let st = pages.entry(r.e.a).or_default();
+                if st.owner.is_none() {
+                    st.owner = Some(c);
+                    st.owner_line = Some(r.line());
+                }
+            }
+            EventKind::OwnRequest if strong(r.e.a) => {
+                pages.entry(r.e.a).or_default().pending.insert(c as u32);
+            }
+            EventKind::OwnForward if strong(r.e.a) => {
+                pages.entry(r.e.a).or_default().pending.insert(r.e.c);
+            }
+            EventKind::PageProtect | EventKind::PageUnmap => {
+                if let Some(page) = info.page_of_va(r.e.a) {
+                    withdrawn.insert((c, page), r.line());
+                }
+            }
+            EventKind::OwnGrant if strong(r.e.a) => {
+                let page = r.e.a;
+                let to = r.e.b as usize;
+                let st = pages.entry(page).or_default();
+                if st.dead {
+                    continue;
+                }
+                if let Some(owner) = st.owner {
+                    if owner != c {
+                        st.dead = true;
+                        let mut excerpt = Vec::new();
+                        if let Some(l) = &st.owner_line {
+                            excerpt.push(l.clone());
+                        }
+                        excerpt.push(r.line());
+                        findings.push(Finding {
+                            detector: Detector::Protocol,
+                            slug: "grant-by-non-owner",
+                            page: Some(page),
+                            cores: vec![owner, c],
+                            t: r.t,
+                            message: format!(
+                                "core {:02} granted strong page {} away, but the protocol \
+                                 history says core {:02} owns it — the single-owner \
+                                 invariant is broken",
+                                c, page, owner
+                            ),
+                            excerpt,
+                        });
+                        continue;
+                    }
+                }
+                if info.complete && !st.pending.contains(&(to as u32)) {
+                    st.dead = true;
+                    findings.push(Finding {
+                        detector: Detector::Protocol,
+                        slug: "grant-without-request",
+                        page: Some(page),
+                        cores: vec![c, to],
+                        t: r.t,
+                        message: format!(
+                            "core {:02} granted strong page {} to core {:02}, which has no \
+                             outstanding ownership request",
+                            c, page, to
+                        ),
+                        excerpt: vec![r.line()],
+                    });
+                    continue;
+                }
+                if withdrawn.remove(&(c, page)).is_none() {
+                    st.dead = true;
+                    findings.push(Finding {
+                        detector: Detector::Protocol,
+                        slug: "grant-without-withdraw",
+                        page: Some(page),
+                        cores: vec![c, to],
+                        t: r.t,
+                        message: format!(
+                            "core {:02} granted strong page {} to core {:02} without first \
+                             withdrawing its own access (no PTE protect/unmap + TLB \
+                             shootdown before the grant)",
+                            c, page, to
+                        ),
+                        excerpt: vec![r.line()],
+                    });
+                    continue;
+                }
+                st.pending.remove(&(to as u32));
+                st.owner = Some(to);
+                st.owner_line = Some(r.line());
+            }
+            EventKind::OwnAcquired if strong(r.e.a) => {
+                let page = r.e.a;
+                let frame = r.e.b;
+                let st = pages.entry(page).or_default();
+                if st.dead {
+                    continue;
+                }
+                match st.owner {
+                    Some(owner) if owner != c => {
+                        st.dead = true;
+                        let mut excerpt = Vec::new();
+                        if let Some(l) = &st.owner_line {
+                            excerpt.push(l.clone());
+                        }
+                        excerpt.push(r.line());
+                        findings.push(Finding {
+                            detector: Detector::Protocol,
+                            slug: "acquired-not-owner",
+                            page: Some(page),
+                            cores: vec![owner, c],
+                            t: r.t,
+                            message: format!(
+                                "core {:02} completed an ownership migration of strong page \
+                                 {} but the grant history names core {:02} as owner",
+                                c, page, owner
+                            ),
+                            excerpt,
+                        });
+                        continue;
+                    }
+                    None => {
+                        st.owner = Some(c);
+                        st.owner_line = Some(r.line());
+                    }
+                    _ => {}
+                }
+                if let Some((fo, fline)) = frame_owner.get(&frame) {
+                    if *fo as usize != c {
+                        st.dead = true;
+                        findings.push(Finding {
+                            detector: Detector::Protocol,
+                            slug: "frame-registry-mismatch",
+                            page: Some(page),
+                            cores: vec![*fo as usize, c],
+                            t: r.t,
+                            message: format!(
+                                "core {:02} acquired strong page {} (frame {}), but the \
+                                 FrameOwners registry last recorded core {:02} as the \
+                                 frame's exclusive owner",
+                                c, page, frame, fo
+                            ),
+                            excerpt: vec![fline.clone(), r.line()],
+                        });
+                    }
+                }
+            }
+            EventKind::FrameOwner => {
+                if r.e.b == u32::MAX {
+                    frame_owner.remove(&r.e.a);
+                } else {
+                    frame_owner.insert(r.e.a, (r.e.b, r.line()));
+                }
+            }
+            EventKind::MailSend => {
+                *sends.entry((c, r.e.a as usize, r.e.b, r.e.c)).or_insert(0) += 1;
+            }
+            EventKind::MailRecv => {
+                let key = (r.e.a as usize, c, r.e.b, r.e.c);
+                match sends.get_mut(&key) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ if info.complete => {
+                        findings.push(Finding {
+                            detector: Detector::Protocol,
+                            slug: "recv-without-send",
+                            page: None,
+                            cores: vec![r.e.a as usize, c],
+                            t: r.t,
+                            message: format!(
+                                "core {:02} received mail (kind {}, stamp {}) from core \
+                                 {:02} with no matching send in the stream",
+                                c, r.e.b, r.e.c, r.e.a
+                            ),
+                            excerpt: vec![r.line()],
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}

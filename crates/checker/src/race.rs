@@ -1,0 +1,169 @@
+//! Vector-clock happens-before race detector for lazy-release pages.
+//!
+//! ## The happens-before model
+//!
+//! Each core carries a vector clock; three sync event kinds create edges:
+//!
+//! - `ReleaseFlush reg=R` (lock release): the lock's clock absorbs the
+//!   releaser's, then the releaser opens a new epoch.
+//! - `AcquireInv reg=R` (lock acquire): the acquirer's clock absorbs the
+//!   lock's — everything before any earlier release of `R` now
+//!   happens-before everything after this acquire.
+//! - `Barrier`: a collective instance completes when every
+//!   barrier-participating core has entered it; all clocks join and every
+//!   participant opens a new epoch. (Barrier events are stamped at entry,
+//!   and a core's post-barrier events always carry later timestamps than
+//!   every participant's entry, so processing the join at the last entry
+//!   event is sound.)
+//!
+//! Shared accesses are `SvmRead`/`SvmWrite` events, page-granular and
+//! deduplicated per sync segment by the emitting layer. For every read of
+//! a lazy-release page the detector asks: does the most recent write to
+//! that page happen-before this read? If not — no release-flush +
+//! acquire-invalidate (or barrier) path connects them — the read is
+//! guaranteed stale on the simulated non-coherent caches and a
+//! `stale-read` finding is reported.
+//!
+//! ## Documented approximations
+//!
+//! - Page granularity: two cores touching different words of one page are
+//!   treated as touching the same datum (the consistency unit *is* the
+//!   page on this hardware).
+//! - Per-segment dedup means only the first access of each (page, kind)
+//!   per segment is visible; a race whose *second* unsynchronised access
+//!   repeats within one segment is still caught via the first.
+//! - Write→write pairs are not flagged: concurrent writers to disjoint
+//!   words of a boundary page are a normal SPMD idiom (each writer's
+//!   lines flush independently through the WCB); only write→read
+//!   staleness is a consistency violation the models promise to prevent.
+//! - For the same reason, a read by a core that has itself written the
+//!   page in its current sync segment is not checked: the reader is a
+//!   co-writer of a boundary page (word-disjoint by the idiom above) and
+//!   its own words come from its own cache, which cannot be stale.
+//! - Strong-model and write-invalidate pages are skipped here — the
+//!   hardware protocol keeps them coherent and the [`crate::protocol`]
+//!   monitor checks the protocol itself.
+
+use crate::report::{Detector, Finding};
+use crate::{Rec, StreamInfo, MODEL_LAZY};
+use scc_hw::instr::EventKind;
+use std::collections::{HashMap, HashSet};
+
+fn join(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+struct LastWrite {
+    /// The writer's own epoch (`vc[w][w]`) when it wrote.
+    epoch: u64,
+    t: u64,
+    line: String,
+}
+
+pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
+    let n = info.ncores;
+    let mut findings = Vec::new();
+    if n == 0 {
+        return findings;
+    }
+    // vc[c][c] starts at 1 so that an access in a core's very first
+    // segment is still distinguishable from "never synchronised with".
+    let mut vc: Vec<Vec<u64>> = (0..n)
+        .map(|c| {
+            let mut v = vec![0u64; n];
+            v[c] = 1;
+            v
+        })
+        .collect();
+    let mut lock_vc: HashMap<u32, Vec<u64>> = HashMap::new();
+    // page -> writer core -> its most recent write.
+    let mut last_write: HashMap<u32, HashMap<usize, LastWrite>> = HashMap::new();
+    let mut bar_count = vec![0u64; n];
+    let mut bar_done = 0u64;
+    let mut flagged: HashSet<u32> = HashSet::new();
+
+    for r in recs {
+        let c = r.core;
+        match r.e.kind {
+            EventKind::ReleaseFlush => {
+                let lvc = lock_vc.entry(r.e.a).or_insert_with(|| vec![0u64; n]);
+                join(lvc, &vc[c]);
+                vc[c][c] += 1;
+            }
+            EventKind::AcquireInv => {
+                if let Some(lvc) = lock_vc.get(&r.e.a) {
+                    let lvc = lvc.clone();
+                    join(&mut vc[c], &lvc);
+                }
+            }
+            EventKind::Barrier => {
+                bar_count[c] += 1;
+                let all_in = info
+                    .barrier_cores
+                    .iter()
+                    .all(|&bc| bar_count[bc] > bar_done);
+                if all_in {
+                    bar_done += 1;
+                    let mut j = vec![0u64; n];
+                    for &bc in &info.barrier_cores {
+                        join(&mut j, &vc[bc]);
+                    }
+                    for &bc in &info.barrier_cores {
+                        vc[bc] = j.clone();
+                        vc[bc][bc] += 1;
+                    }
+                }
+            }
+            EventKind::SvmWrite if info.model(r.e.a) == Some(MODEL_LAZY) => {
+                last_write.entry(r.e.a).or_default().insert(
+                    c,
+                    LastWrite {
+                        epoch: vc[c][c],
+                        t: r.t,
+                        line: r.line(),
+                    },
+                );
+            }
+            EventKind::SvmRead if info.model(r.e.a) == Some(MODEL_LAZY) => {
+                let page = r.e.a;
+                let Some(writers) = last_write.get(&page) else {
+                    continue;
+                };
+                // A reader that wrote the page in its current segment is a
+                // co-writer of a boundary page: its own words come from its
+                // own cache and cannot be stale (see the module docs).
+                if writers.get(&c).is_some_and(|w| w.epoch == vc[c][c]) {
+                    continue;
+                }
+                // Flag against the most recent unsynchronised writer.
+                let stale = writers
+                    .iter()
+                    .filter(|(&w, lw)| w != c && vc[c][w] < lw.epoch)
+                    .max_by_key(|(&w, lw)| (lw.t, w));
+                if let Some((&w, lw)) = stale {
+                    if flagged.insert(page) {
+                        findings.push(Finding {
+                            detector: Detector::Race,
+                            slug: "stale-read",
+                            page: Some(page),
+                            cores: vec![w, c],
+                            t: r.t,
+                            message: format!(
+                                "core {:02} reads lazy-release page {} written by core {:02} \
+                                 with no happens-before path (no release-flush + \
+                                 acquire-invalidate or barrier between them): the read is \
+                                 guaranteed stale on the non-coherent caches",
+                                c, page, w
+                            ),
+                            excerpt: vec![lw.line.clone(), r.line()],
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}

@@ -1,0 +1,152 @@
+//! The checker's typed findings model and report rendering.
+
+/// Which analysis produced a finding.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Detector {
+    /// Vector-clock happens-before race detector (lazy release pages).
+    Race,
+    /// Strong-model ownership-migration protocol monitor.
+    Protocol,
+    /// Synchronization linter.
+    Lint,
+}
+
+impl Detector {
+    pub fn name(self) -> &'static str {
+        match self {
+            Detector::Race => "race",
+            Detector::Protocol => "protocol",
+            Detector::Lint => "lint",
+        }
+    }
+}
+
+/// One confirmed finding. Equality is exact — the online-sink vs
+/// offline-replay shadow test compares whole findings, excerpts included.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    pub detector: Detector,
+    /// Stable machine-readable kind, e.g. `stale-read`,
+    /// `grant-by-non-owner`, `unreleased-lock` (the `--expect` key).
+    pub slug: &'static str,
+    /// The SVM page involved, if the finding is about a page.
+    pub page: Option<u32>,
+    /// The cores involved, in role order (e.g. `[writer, reader]` for a
+    /// stale read, `[owner, granter]` for a forged grant).
+    pub cores: Vec<usize>,
+    /// Simulated-cycle timestamp of the event that confirmed the finding.
+    pub t: u64,
+    pub message: String,
+    /// Protocol-log–style lines of the events behind the finding.
+    pub excerpt: Vec<String>,
+}
+
+/// The result of one checker run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// At least one per-core ring wrapped: the stream is incomplete, and
+    /// absence-based checks (grant-without-request, recv-without-send)
+    /// were skipped.
+    pub truncated: bool,
+    /// Events lost to ring wrap (0 when `!truncated`).
+    pub lost: u64,
+    /// Events analyzed.
+    pub events: usize,
+    /// Number of cores observed in the stream.
+    pub cores: usize,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Render as JSON (hand-rolled — the workspace is offline and carries
+    /// no serde_json).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"events\": {},\n  \"cores\": {},\n  \"truncated\": {},\n  \"lost\": {},\n",
+            self.events, self.cores, self.truncated, self.lost
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"detector\": \"{}\", \"kind\": \"{}\", ",
+                f.detector.name(),
+                f.slug
+            ));
+            match f.page {
+                Some(p) => out.push_str(&format!("\"page\": {p}, ")),
+                None => out.push_str("\"page\": null, "),
+            }
+            let cores: Vec<String> = f.cores.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!("\"cores\": [{}], \"t\": {}, ", cores.join(", "), f.t));
+            out.push_str(&format!("\"message\": \"{}\", ", json_escape(&f.message)));
+            let ex: Vec<String> = f
+                .excerpt
+                .iter()
+                .map(|l| format!("\"{}\"", json_escape(l)))
+                .collect();
+            out.push_str(&format!("\"excerpt\": [{}]}}", ex.join(", ")));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render as a human-readable text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "svmcheck: {} event(s) over {} core(s)",
+            self.events, self.cores
+        ));
+        if self.truncated {
+            out.push_str(&format!(
+                " — stream TRUNCATED ({} event(s) lost to ring wrap; absence-based checks skipped)",
+                self.lost
+            ));
+        }
+        out.push('\n');
+        if self.findings.is_empty() {
+            out.push_str("no findings\n");
+            return out;
+        }
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "\nfinding {}/{}: [{}] {}\n",
+                i + 1,
+                self.findings.len(),
+                f.detector.name(),
+                f.slug
+            ));
+            let cores: Vec<String> = f.cores.iter().map(|c| format!("{c:02}")).collect();
+            out.push_str(&format!(
+                "  at cycle {} — page {} — cores {}\n",
+                f.t,
+                f.page.map_or("-".to_string(), |p| p.to_string()),
+                cores.join(", ")
+            ));
+            out.push_str(&format!("  {}\n", f.message));
+            for l in &f.excerpt {
+                out.push_str(&format!("    {l}\n"));
+            }
+        }
+        out
+    }
+}

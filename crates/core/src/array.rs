@@ -10,6 +10,19 @@ use crate::region::SvmRegion;
 use scc_kernel::Kernel;
 use std::marker::PhantomData;
 
+/// Report the SVM pages touched by an access of `bytes` bytes at `va` to
+/// the consistency checker's access stream (deduplicated per sync segment
+/// in the hardware layer; a no-op without the `trace` feature).
+#[inline]
+fn trace_access(k: &mut Kernel<'_>, va: u32, bytes: u32, write: bool) {
+    let base = scc_kernel::SVM_VA_BASE;
+    let first = (va.saturating_sub(base)) / 4096;
+    let last = (va + bytes - 1).saturating_sub(base) / 4096;
+    for page in first..=last {
+        k.hw.trace_svm_access(page, write);
+    }
+}
+
 /// Scalar types storable in an [`SvmArray`].
 pub trait SvmScalar: Copy {
     /// Encoded width in bytes (1, 2, 4 or 8).
@@ -120,12 +133,14 @@ impl<T: SvmScalar> SvmArray<T> {
     /// Read element `i` (may fault / migrate ownership).
     #[inline]
     pub fn get(&self, k: &mut Kernel<'_>, i: usize) -> T {
+        trace_access(k, self.va_of(i), T::BYTES, false);
         T::from_bits(k.vread(self.va_of(i), T::BYTES as usize))
     }
 
     /// Write element `i` (may fault / migrate ownership).
     #[inline]
     pub fn set(&self, k: &mut Kernel<'_>, i: usize, v: T) {
+        trace_access(k, self.va_of(i), T::BYTES, true);
         k.vwrite(self.va_of(i), T::BYTES as usize, v.to_bits());
     }
 
@@ -137,6 +152,7 @@ impl<T: SvmScalar> SvmArray<T> {
         if out.is_empty() {
             return;
         }
+        trace_access(k, self.va_of(offset), out.len() as u32 * T::BYTES, false);
         k.vread_block(self.va_of(offset), T::BYTES as usize, out.len(), |i, v| {
             out[i] = T::from_bits(v);
         });
@@ -149,6 +165,7 @@ impl<T: SvmScalar> SvmArray<T> {
         if vals.is_empty() {
             return;
         }
+        trace_access(k, self.va_of(offset), vals.len() as u32 * T::BYTES, true);
         k.vwrite_block(self.va_of(offset), T::BYTES as usize, vals.len(), |i| {
             vals[i].to_bits()
         });
@@ -161,6 +178,7 @@ impl<T: SvmScalar> SvmArray<T> {
             return;
         }
         let bits = v.to_bits();
+        trace_access(k, self.va_of(offset), len as u32 * T::BYTES, true);
         k.vwrite_block(self.va_of(offset), T::BYTES as usize, len, |_| bits);
     }
 }

@@ -58,4 +58,4 @@ pub use stats::{SvmStats, SvmStatsSnapshot};
 pub use svm::{
     install, PageInfo, Placement, SvmConfig, SvmConfigBuilder, SvmConfigError, SvmCtx,
 };
-pub use sync::SvmLock;
+pub use sync::{SvmLock, SyncError};

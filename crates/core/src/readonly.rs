@@ -17,6 +17,12 @@ impl SvmCtx {
     /// of every already-backed page. Pages never touched anywhere remain
     /// unmapped and are mapped read-only on their first (read) fault.
     pub fn mprotect_readonly(&self, k: &mut Kernel<'_>, region: SvmRegion) {
+        // The seal is a collective flush + invalidate + rendezvous — full
+        // barrier semantics, which the trace must reflect so the checker's
+        // happens-before model orders pre-seal writes before post-seal
+        // reads.
+        k.hw.trace(scc_hw::instr::EventKind::Barrier, 0, 0);
+        k.hw.trace_sync_reset();
         // Make our own modifications globally visible, then forget our
         // (possibly stale) tagged cache lines before re-reading through L2.
         k.hw.flush_wcb();

@@ -128,7 +128,7 @@ impl Scratchpad {
         let rel = pfn
             .checked_sub(self.base_pfn)
             .expect("frame below the shared region");
-        assert!(rel + 1 <= u16::MAX as u32, "frame beyond 16-bit scratch range");
+        assert!(rel < u16::MAX as u32, "frame beyond 16-bit scratch range");
         rel + 1
     }
 

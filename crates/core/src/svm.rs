@@ -32,6 +32,7 @@ pub struct SvmConfig {
     scratch: ScratchLocation,
     placement: Placement,
     max_pages: Option<u32>,
+    model_override: Option<Consistency>,
 }
 
 impl Default for SvmConfig {
@@ -40,6 +41,7 @@ impl Default for SvmConfig {
             scratch: ScratchLocation::Mpb,
             placement: Placement::NearToucher,
             max_pages: None,
+            model_override: None,
         }
     }
 }
@@ -64,6 +66,11 @@ impl SvmConfig {
     /// Cap on the number of SVM pages (`None` = the whole shared region).
     pub fn max_pages(&self) -> Option<u32> {
         self.max_pages
+    }
+
+    /// Consistency model forced onto every `alloc`, if any.
+    pub fn model_override(&self) -> Option<Consistency> {
+        self.model_override
     }
 }
 
@@ -98,6 +105,7 @@ pub struct SvmConfigBuilder {
     scratch: Option<ScratchLocation>,
     placement: Option<Placement>,
     max_pages: Option<u32>,
+    model_override: Option<Consistency>,
 }
 
 impl SvmConfigBuilder {
@@ -120,12 +128,22 @@ impl SvmConfigBuilder {
         self
     }
 
+    /// Force every region onto one consistency model, overriding the model
+    /// passed to `alloc`. Lets harnesses and the checker's test matrix run
+    /// an unmodified application under either model. Collective in the
+    /// SPMD sense: all cores must agree.
+    pub fn model_override(mut self, model: Consistency) -> Self {
+        self.model_override = Some(model);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SvmConfig, SvmConfigError> {
         let cfg = SvmConfig {
             scratch: self.scratch.unwrap_or(ScratchLocation::Mpb),
             placement: self.placement.unwrap_or(Placement::NearToucher),
             max_pages: self.max_pages,
+            model_override: self.model_override,
         };
         if let Some(pages) = cfg.max_pages {
             if pages == 0 {
@@ -247,6 +265,7 @@ pub struct SvmCtx {
     mbx: Mailbox,
     alloc_cursor: usize,
     pub(crate) lock_cursor: u32,
+    model_override: Option<Consistency>,
 }
 
 /// Install the SVM system on this kernel. Requires an installed mailbox
@@ -352,6 +371,7 @@ pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
         mbx: mbx.clone(),
         alloc_cursor: 0,
         lock_cursor: 0,
+        model_override: cfg.model_override,
     }
 }
 
@@ -370,6 +390,7 @@ impl SvmCtx {
     /// given consistency model (the paper's `svm_alloc`). Only address
     /// space is reserved; frames appear on first touch.
     pub fn alloc(&mut self, k: &mut Kernel<'_>, bytes: u32, model: Consistency) -> SvmRegion {
+        let model = self.model_override.unwrap_or(model);
         let idx = self.alloc_cursor;
         self.alloc_cursor += 1;
         let region = self
@@ -377,6 +398,17 @@ impl SvmCtx {
             .table
             .lock()
             .get_or_create(idx, bytes, model, self.sh.max_bytes);
+        let model_tag = match region.model {
+            Consistency::Strong => 0,
+            Consistency::LazyRelease => 1,
+            Consistency::WriteInvalidate => 2,
+        };
+        k.hw.trace3(
+            EventKind::RegionAlloc,
+            region.first_page(),
+            region.pages(),
+            model_tag,
+        );
         let c = k.hw.machine().cfg.timing.vma_reserve_per_page * u64::from(region.pages());
         k.hw.advance(c);
         scc_kernel::ram_barrier(k, "svm.alloc");
@@ -637,7 +669,12 @@ impl MailHandler for RequestHandler {
             // We no longer own the page: forward to the current owner
             // instead of making the requester re-poll the vector.
             SvmStats::bump(&sh.stats.forwards);
-            k.hw.trace(EventKind::OwnForward, p, cur.idx() as u32);
+            k.hw.trace3(
+                EventKind::OwnForward,
+                p,
+                cur.idx() as u32,
+                mail.u32_at(4),
+            );
             self.mbx.send(k, cur, MailKind::SVM_REQUEST, mail.data());
             return;
         }
@@ -677,7 +714,7 @@ struct AckHandler {
 impl MailHandler for AckHandler {
     fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
         let p = mail.u32_at(0);
-        k.hw.trace(EventKind::OwnAck, p, 0);
+        k.hw.trace(EventKind::OwnAck, p, mail.from.idx() as u32);
         self.ack.stamp.store(k.hw.now(), Ordering::Release);
         self.ack.page.store(p, Ordering::Release);
     }

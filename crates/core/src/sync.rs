@@ -5,17 +5,113 @@
 //! entering a critical section invalidates the tagged cache lines via
 //! `CL1INVMB`; leaving it flushes the write-combine buffer. The same hooks
 //! are harmless (and cheap) under the strong model, so they run always.
+//!
+//! Misuse of the primitives — re-acquiring a lock this core already
+//! holds, or releasing one it does not — is reported as a typed
+//! [`SyncError`] and recorded as an [`EventKind::SyncErr`] trace event,
+//! which the `svmcheck` synchronization linter turns into a finding. The
+//! simulated hardware state is left untouched on error, so a misbehaving
+//! kernel cannot deadlock the cluster through the error path.
 
 use crate::svm::SvmCtx;
 use scc_hw::instr::EventKind;
 use scc_hw::CoreId;
 use scc_kernel::Kernel;
+use std::sync::Arc;
+
+/// Acquire `reg` while still servicing interrupts between attempts.
+///
+/// A core waiting for an SVM lock may be the current owner of a
+/// strong-model page that another core — possibly the lock holder itself,
+/// faulting inside the critical section — needs before it can ever
+/// release the lock. The raw hardware spin (`CoreCtx::tas_lock`) never
+/// runs the mail handlers, so that cycle deadlocks; waiting through the
+/// kernel keeps the ownership protocol live, like keeping interrupts
+/// enabled while spinning on the real hardware.
+fn tas_lock_service(k: &mut Kernel<'_>, reg: CoreId) {
+    loop {
+        if k.hw.tas_try(reg) {
+            return;
+        }
+        let mach = Arc::clone(k.hw.machine());
+        k.wait_event("SVM lock", move || {
+            (!mach.tas.is_locked(reg)).then_some(((), 0))
+        });
+    }
+}
 
 /// A global SVM lock, realised by one of the SCC's test-and-set registers
 /// (as in §6.3), carrying the lazy-release cache actions.
 #[derive(Copy, Clone, Debug)]
 pub struct SvmLock {
     reg: CoreId,
+}
+
+/// Typed synchronisation-misuse error. The discriminant codes are what
+/// [`EventKind::SyncErr`] carries in its `b` payload slot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// `acquire` on a lock this core already holds (code 1).
+    AcquireReentry { reg: usize },
+    /// `release` of a lock this core does not hold — a double release or
+    /// a release without acquire (code 2).
+    ReleaseNotHeld { reg: usize },
+}
+
+impl SyncError {
+    /// The error code recorded in the [`EventKind::SyncErr`] `b` slot.
+    pub fn code(self) -> u32 {
+        match self {
+            SyncError::AcquireReentry { .. } => 1,
+            SyncError::ReleaseNotHeld { .. } => 2,
+        }
+    }
+
+    /// The test-and-set register involved.
+    pub fn reg(self) -> usize {
+        match self {
+            SyncError::AcquireReentry { reg } | SyncError::ReleaseNotHeld { reg } => reg,
+        }
+    }
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::AcquireReentry { reg } => {
+                write!(f, "acquire re-entry on held lock (reg {reg})")
+            }
+            SyncError::ReleaseNotHeld { reg } => {
+                write!(f, "release of a lock not held (reg {reg})")
+            }
+        }
+    }
+}
+
+/// Per-core bitmask of held lock registers, stored as a kernel extension
+/// (registers are core ids, so < 48 < 64 bits).
+struct HeldLocks(u64);
+
+fn held_mask(k: &mut Kernel<'_>) -> u64 {
+    if k.ext_has::<HeldLocks>() {
+        let HeldLocks(m) = k.ext_take::<HeldLocks>();
+        k.ext_restore(HeldLocks(m));
+        m
+    } else {
+        k.ext_put(HeldLocks(0));
+        0
+    }
+}
+
+fn set_held(k: &mut Kernel<'_>, reg: usize, held: bool) {
+    let mut m = held_mask(k);
+    if held {
+        m |= 1 << reg;
+    } else {
+        m &= !(1 << reg);
+    }
+    let _ = k.ext_take::<HeldLocks>();
+    k.ext_restore(HeldLocks(m));
 }
 
 impl SvmCtx {
@@ -35,6 +131,7 @@ impl SvmCtx {
     /// semantics: flush the WCB before waiting, invalidate after release.
     pub fn barrier(&self, k: &mut Kernel<'_>) {
         k.hw.trace(EventKind::Barrier, 0, 0);
+        k.hw.trace_sync_reset();
         k.hw.flush_wcb();
         scc_kernel::ram_barrier(k, "svm.barrier");
         k.hw.cl1invmb();
@@ -44,6 +141,7 @@ impl SvmCtx {
     /// and demos can exhibit the staleness that the lazy release model's
     /// hooks prevent; not part of the paper's API.
     pub fn barrier_no_invalidate_for_test(&self, k: &mut Kernel<'_>) {
+        k.hw.trace_sync_reset();
         k.hw.flush_wcb();
         scc_kernel::ram_barrier(k, "svm.barrier");
     }
@@ -52,24 +150,161 @@ impl SvmCtx {
 impl SvmLock {
     /// Enter the critical section: acquire the register, then invalidate
     /// tagged lines so all prior writers' data becomes visible.
-    pub fn acquire(&self, k: &mut Kernel<'_>) {
-        k.hw.tas_lock(self.reg);
-        k.hw.trace(EventKind::AcquireInv, self.reg.idx() as u32, 0);
+    ///
+    /// Re-acquiring a lock this core already holds would self-deadlock on
+    /// real hardware (the TAS register is already 1); it is reported as
+    /// [`SyncError::AcquireReentry`] without touching the register.
+    pub fn acquire(&self, k: &mut Kernel<'_>) -> Result<(), SyncError> {
+        let reg = self.reg.idx();
+        if held_mask(k) & (1 << reg) != 0 {
+            let err = SyncError::AcquireReentry { reg };
+            k.hw.trace(EventKind::SyncErr, reg as u32, err.code());
+            return Err(err);
+        }
+        tas_lock_service(k, self.reg);
+        set_held(k, reg, true);
+        k.hw.trace(EventKind::LockAcquire, reg as u32, 0);
+        k.hw.trace(EventKind::AcquireInv, reg as u32, 0);
+        k.hw.trace_sync_reset();
         k.hw.cl1invmb();
+        Ok(())
     }
 
     /// Leave the critical section: push out combined writes, release.
-    pub fn release(&self, k: &mut Kernel<'_>) {
-        k.hw.trace(EventKind::ReleaseFlush, self.reg.idx() as u32, 0);
+    ///
+    /// Releasing a lock this core does not hold (double release, or
+    /// release without acquire) would corrupt another core's critical
+    /// section; it is reported as [`SyncError::ReleaseNotHeld`] without
+    /// touching the register.
+    pub fn release(&self, k: &mut Kernel<'_>) -> Result<(), SyncError> {
+        let reg = self.reg.idx();
+        if held_mask(k) & (1 << reg) == 0 {
+            let err = SyncError::ReleaseNotHeld { reg };
+            k.hw.trace(EventKind::SyncErr, reg as u32, err.code());
+            return Err(err);
+        }
+        set_held(k, reg, false);
+        k.hw.trace(EventKind::ReleaseFlush, reg as u32, 0);
+        k.hw.trace_sync_reset();
         k.hw.flush_wcb();
+        k.hw.trace(EventKind::LockRelease, reg as u32, 0);
         k.hw.tas_unlock(self.reg);
+        Ok(())
     }
 
-    /// Run `f` inside the critical section.
+    /// Run `f` inside the critical section. Panics on misuse (the typed
+    /// errors exist for code that wants to handle them; `with` is the
+    /// structured path where misuse is impossible unless the same lock is
+    /// acquired again inside `f`).
     pub fn with<R>(&self, k: &mut Kernel<'_>, f: impl FnOnce(&mut Kernel<'_>) -> R) -> R {
-        self.acquire(k);
+        self.acquire(k).expect("SvmLock::with: acquire failed");
         let r = f(k);
-        self.release(k);
+        self.release(k).expect("SvmLock::with: release failed");
         r
+    }
+
+    /// Acquire the register *without* the invalidate half of the acquire
+    /// action — deliberately broken, so the `svmcheck` linter's
+    /// acquire-without-invalidate detector has something to catch. Not
+    /// part of the paper's API.
+    pub fn acquire_no_invalidate_for_test(&self, k: &mut Kernel<'_>) {
+        let reg = self.reg.idx();
+        tas_lock_service(k, self.reg);
+        set_held(k, reg, true);
+        k.hw.trace(EventKind::LockAcquire, reg as u32, 0);
+        k.hw.trace_sync_reset();
+    }
+
+    /// Release the register *without* the flush half of the release
+    /// action — deliberately broken, for the release-without-flush
+    /// detector. Not part of the paper's API.
+    pub fn release_no_flush_for_test(&self, k: &mut Kernel<'_>) {
+        let reg = self.reg.idx();
+        set_held(k, reg, false);
+        k.hw.trace_sync_reset();
+        k.hw.trace(EventKind::LockRelease, reg as u32, 0);
+        k.hw.tas_unlock(self.reg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::SccConfig;
+    use scc_kernel::Cluster;
+    use scc_mailbox::{install as mbx_install, Notify};
+
+    fn with_svm<R: Send + 'static>(
+        f: impl Fn(&mut Kernel<'_>, &mut SvmCtx) -> R + Send + Sync + 'static,
+    ) -> R {
+        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let mut res = cl
+            .run(1, move |k| {
+                let mbx = mbx_install(k, Notify::Ipi);
+                let mut svm = crate::install(k, &mbx, crate::SvmConfig::default());
+                f(k, &mut svm)
+            })
+            .unwrap();
+        res.remove(0).result
+    }
+
+    #[test]
+    fn acquire_release_round_trip_is_ok() {
+        with_svm(|k, svm| {
+            let lock = svm.lock_new(k);
+            assert_eq!(lock.acquire(k), Ok(()));
+            assert_eq!(lock.release(k), Ok(()));
+            // A second full round trip works: state is properly cleared.
+            assert_eq!(lock.acquire(k), Ok(()));
+            assert_eq!(lock.release(k), Ok(()));
+        });
+    }
+
+    #[test]
+    fn double_release_is_a_typed_error() {
+        with_svm(|k, svm| {
+            let lock = svm.lock_new(k);
+            lock.acquire(k).unwrap();
+            lock.release(k).unwrap();
+            let err = lock.release(k).unwrap_err();
+            assert!(matches!(err, SyncError::ReleaseNotHeld { .. }));
+            assert_eq!(err.code(), 2);
+        });
+    }
+
+    #[test]
+    fn release_without_acquire_is_a_typed_error() {
+        with_svm(|k, svm| {
+            let lock = svm.lock_new(k);
+            let err = lock.release(k).unwrap_err();
+            assert_eq!(err, SyncError::ReleaseNotHeld { reg: 1 });
+        });
+    }
+
+    #[test]
+    fn acquire_reentry_is_a_typed_error_and_lock_stays_usable() {
+        with_svm(|k, svm| {
+            let lock = svm.lock_new(k);
+            lock.acquire(k).unwrap();
+            let err = lock.acquire(k).unwrap_err();
+            assert!(matches!(err, SyncError::AcquireReentry { .. }));
+            assert_eq!(err.code(), 1);
+            // The failed re-entry must not have clobbered the register:
+            // the original hold is still releasable.
+            assert_eq!(lock.release(k), Ok(()));
+        });
+    }
+
+    #[test]
+    fn errors_are_per_lock_not_per_core() {
+        with_svm(|k, svm| {
+            let a = svm.lock_new(k);
+            let b = svm.lock_new(k);
+            a.acquire(k).unwrap();
+            // A different lock is unaffected by `a` being held.
+            assert_eq!(b.acquire(k), Ok(()));
+            b.release(k).unwrap();
+            a.release(k).unwrap();
+        });
     }
 }

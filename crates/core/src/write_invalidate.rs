@@ -109,6 +109,7 @@ fn grant_payload(p: u32, write: bool, version: u32, copyset: u64) -> [u8; 17] {
 
 /// The requester-side fault logic; called by the SVM fault handler for
 /// pages of a write-invalidate region.
+#[allow(clippy::too_many_arguments)] // internal fault plumbing, one call site
 pub(crate) fn wi_fault(
     sh: &Arc<SvmShared>,
     mbx: &Mailbox,

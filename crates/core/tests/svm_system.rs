@@ -226,10 +226,10 @@ fn locks_protect_a_shared_counter_lazy() {
         }
         svm.barrier(k);
         for _ in 0..rounds {
-            lock.acquire(k);
+            lock.acquire(k).unwrap();
             let v = a.get(k, 0);
             a.set(k, 0, v + 1);
-            lock.release(k);
+            lock.release(k).unwrap();
         }
         svm.barrier(k);
         a.get(k, 0)

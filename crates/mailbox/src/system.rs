@@ -235,8 +235,14 @@ impl MailboxHook {
         k.hw.write(pa + field::FLAG, 1, 0, MemAttr::MPB);
         k.hw.flush_wcb();
         sh.stats.received.fetch_add(1, Ordering::Relaxed);
-        k.hw
-            .trace(EventKind::MailRecv, sender.idx() as u32, kind as u32);
+        // The send-time stamp travels on the wire and doubles as a
+        // send/recv correlation id for the protocol checker.
+        k.hw.trace3(
+            EventKind::MailRecv,
+            sender.idx() as u32,
+            kind as u32,
+            stamp as u32,
+        );
 
         let mail = Mail::new(sender, MailKind(kind), stamp, &payload[..len]);
         let handler = sh.handlers.lock().get(&kind).cloned();
@@ -417,8 +423,12 @@ impl Mailbox {
         k.hw.write(pa + field::FLAG, 1, 1, MemAttr::MPB);
         k.hw.flush_wcb();
         sh.stats.sent.fetch_add(1, Ordering::Relaxed);
-        k.hw
-            .trace(EventKind::MailSend, dst.idx() as u32, kind.0 as u32);
+        k.hw.trace3(
+            EventKind::MailSend,
+            dst.idx() as u32,
+            kind.0 as u32,
+            stamp as u32,
+        );
         if sh.notify == Notify::Ipi {
             k.hw.send_ipi(dst);
         }

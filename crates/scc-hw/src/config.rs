@@ -157,10 +157,10 @@ impl SccConfig {
         if self.ncores == 0 || self.ncores > MAX_CORES {
             return Err(format!("ncores must be in 1..={MAX_CORES}"));
         }
-        if self.shared_bytes % (4 * PAGE_BYTES) != 0 {
+        if !self.shared_bytes.is_multiple_of(4 * PAGE_BYTES) {
             return Err("shared_bytes must be a multiple of 4 pages".into());
         }
-        if self.private_bytes_per_core % PAGE_BYTES != 0 {
+        if !self.private_bytes_per_core.is_multiple_of(PAGE_BYTES) {
             return Err("private_bytes_per_core must be page-aligned".into());
         }
         for (name, g) in [("l1", &self.l1), ("l2", &self.l2)] {
@@ -197,16 +197,22 @@ mod tests {
 
     #[test]
     fn rejects_bad_configs() {
-        let mut c = SccConfig::default();
-        c.ncores = 0;
+        let c = SccConfig {
+            ncores: 0,
+            ..SccConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SccConfig::default();
-        c.ncores = 49;
+        let c = SccConfig {
+            ncores: 49,
+            ..SccConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SccConfig::default();
-        c.private_bytes_per_core = 1000;
+        let c = SccConfig {
+            private_bytes_per_core: 1000,
+            ..SccConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SccConfig::default();

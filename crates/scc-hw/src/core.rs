@@ -92,6 +92,10 @@ pub struct CoreCtx {
     /// Structured-event ring for this core (zero-sized without the `trace`
     /// feature).
     ring: TraceRing,
+    /// Pages already reported to the ring since the last sync action
+    /// (key = `page << 1 | is_write`); see [`CoreCtx::trace_svm_access`].
+    #[cfg(feature = "trace")]
+    svm_access_memo: std::collections::HashSet<u64>,
     mach: Arc<MachineInner>,
     sched: Arc<Engine>,
     /// True under the parallel conservative engine: every globally visible
@@ -125,6 +129,8 @@ impl CoreCtx {
             quantum,
             perf: PerfCounters::default(),
             ring: TraceRing::new(&mach.cfg.trace),
+            #[cfg(feature = "trace")]
+            svm_access_memo: std::collections::HashSet::new(),
             shared_base: mach.map.shared_base(),
             priv_base,
             priv_end: priv_base + mach.map.private_bytes(),
@@ -140,6 +146,46 @@ impl CoreCtx {
     #[inline(always)]
     pub fn trace(&mut self, kind: EventKind, a: u32, b: u32) {
         self.ring.record(self.clock, kind, a, b);
+    }
+
+    /// [`CoreCtx::trace`] with the third payload slot (correlation ids,
+    /// model tags).
+    #[inline(always)]
+    pub fn trace3(&mut self, kind: EventKind, a: u32, b: u32, c: u32) {
+        self.ring.record3(self.clock, kind, a, b, c);
+    }
+
+    /// Record an SVM shared-page access for the consistency checker,
+    /// deduplicated per synchronisation segment: the first read and the
+    /// first write of each page between two sync actions are recorded,
+    /// repeats are dropped (a core's happens-before state is constant
+    /// within a segment, so the duplicates carry no extra information —
+    /// but they would swamp the rings). No-op without the `trace` feature.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    pub fn trace_svm_access(&mut self, page: u32, write: bool) {
+        #[cfg(feature = "trace")]
+        {
+            let key = ((page as u64) << 1) | write as u64;
+            if self.svm_access_memo.insert(key) {
+                let kind = if write {
+                    EventKind::SvmWrite
+                } else {
+                    EventKind::SvmRead
+                };
+                self.ring.record(self.clock, kind, page, 0);
+            }
+        }
+    }
+
+    /// Open a new synchronisation segment for the access memo: called by
+    /// the SVM layer at every acquire, release and barrier, so
+    /// [`CoreCtx::trace_svm_access`] records afresh. No-op without the
+    /// `trace` feature.
+    #[inline(always)]
+    pub fn trace_sync_reset(&mut self) {
+        #[cfg(feature = "trace")]
+        self.svm_access_memo.clear();
     }
 
     /// This core's trace ring (empty without the `trace` feature).
@@ -310,6 +356,7 @@ impl CoreCtx {
     pub fn frame_claim_exclusive(&mut self, pfn: u32) {
         if let Some(idx) = self.shared_frame_index(pfn) {
             self.mach.frame_owners.claim(idx, self.id.idx());
+            self.trace(EventKind::FrameOwner, pfn, self.id.idx() as u32);
         }
     }
 
@@ -318,6 +365,7 @@ impl CoreCtx {
     pub fn frame_transfer_exclusive(&mut self, pfn: u32, to: CoreId) {
         if let Some(idx) = self.shared_frame_index(pfn) {
             self.mach.frame_owners.claim(idx, to.idx());
+            self.trace(EventKind::FrameOwner, pfn, to.idx() as u32);
         }
     }
 
@@ -326,6 +374,7 @@ impl CoreCtx {
     pub fn frame_release_exclusive(&mut self, pfn: u32) {
         if let Some(idx) = self.shared_frame_index(pfn) {
             self.mach.frame_owners.release(idx);
+            self.trace(EventKind::FrameOwner, pfn, u32::MAX);
         }
     }
 
@@ -622,12 +671,12 @@ impl CoreCtx {
         self.advance(cost);
         self.host_order_point(); // TAS registers are always globally visible
         match self.mach.tas.test_and_set(reg) {
-            Ok(release_stamp) => {
+            Some(release_stamp) => {
                 self.perf.tas_acquires += 1;
                 self.sync_to(release_stamp + cost);
                 true
             }
-            Err(()) => {
+            None => {
                 self.perf.tas_spins += 1;
                 false
             }

@@ -225,7 +225,7 @@ impl Scheduler {
 
     /// All re-checks are in: pick the winner or declare deadlock.
     fn close_round(&self, st: &mut SchedState) {
-        if st.finalize().is_none() && st.status.iter().any(|s| *s == Status::Blocked) {
+        if st.finalize().is_none() && st.status.contains(&Status::Blocked) {
             let waiting = (0..st.clocks.len())
                 .map(|i| {
                     let why = match st.status[i] {

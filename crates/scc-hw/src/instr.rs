@@ -112,11 +112,36 @@ pub enum EventKind {
     /// Core left a blocking wait (the exporter pairs Enter/Exit into
     /// duration slices).
     BlockExit = 28,
+    /// SVM page read through an `SvmArray` accessor, deduplicated per
+    /// synchronisation segment (`a` = page).
+    SvmRead = 29,
+    /// SVM page write through an `SvmArray` accessor, deduplicated per
+    /// synchronisation segment (`a` = page).
+    SvmWrite = 30,
+    /// `SvmLock::acquire` entered: the test-and-set register was taken
+    /// (`a` = register). The matching [`EventKind::AcquireInv`] records
+    /// the invalidate half of the acquire action.
+    LockAcquire = 31,
+    /// `SvmLock::release` completed: the test-and-set register was
+    /// dropped (`a` = register). The matching
+    /// [`EventKind::ReleaseFlush`] records the flush half.
+    LockRelease = 32,
+    /// A typed synchronisation-misuse error was detected and reported
+    /// (`a` = register, `b` = error code: 1 = acquire re-entry,
+    /// 2 = release of a lock not held).
+    SyncErr = 33,
+    /// SVM region allocated (`a` = first page, `b` = page count,
+    /// `c` = consistency model: 0 strong, 1 lazy release,
+    /// 2 write-invalidate).
+    RegionAlloc = 34,
+    /// `FrameOwners` advisory registry update (`a` = frame,
+    /// `b` = new owner core, or `u32::MAX` on release).
+    FrameOwner = 35,
 }
 
 /// All kinds, in discriminant order (kept in sync with the enum; the unit
 /// tests assert the mapping).
-pub const ALL_KINDS: [EventKind; 29] = [
+pub const ALL_KINDS: [EventKind; 36] = [
     EventKind::PageFault,
     EventKind::OwnRequest,
     EventKind::OwnForward,
@@ -146,6 +171,13 @@ pub const ALL_KINDS: [EventKind; 29] = [
     EventKind::PageUnmap,
     EventKind::BlockEnter,
     EventKind::BlockExit,
+    EventKind::SvmRead,
+    EventKind::SvmWrite,
+    EventKind::LockAcquire,
+    EventKind::LockRelease,
+    EventKind::SyncErr,
+    EventKind::RegionAlloc,
+    EventKind::FrameOwner,
 ];
 
 impl EventKind {
@@ -181,6 +213,13 @@ impl EventKind {
             EventKind::PageUnmap => "page_unmap",
             EventKind::BlockEnter => "block",
             EventKind::BlockExit => "unblock",
+            EventKind::SvmRead => "svm_read",
+            EventKind::SvmWrite => "svm_write",
+            EventKind::LockAcquire => "lock_acquire",
+            EventKind::LockRelease => "lock_release",
+            EventKind::SyncErr => "sync_err",
+            EventKind::RegionAlloc => "region_alloc",
+            EventKind::FrameOwner => "frame_owner",
         }
     }
 
@@ -204,45 +243,64 @@ impl EventKind {
             EventKind::MailSend | EventKind::MailRecv => "mailbox",
             EventKind::IpiSend | EventKind::IpiRecv => "gic",
             EventKind::WcbFlush | EventKind::Cl1Invmb => "cache",
-            EventKind::AcquireInv | EventKind::ReleaseFlush | EventKind::Barrier => "sync",
+            EventKind::AcquireInv
+            | EventKind::ReleaseFlush
+            | EventKind::Barrier
+            | EventKind::LockAcquire
+            | EventKind::LockRelease
+            | EventKind::SyncErr => "sync",
             EventKind::TlbHit | EventKind::TlbMiss | EventKind::TlbShootdown => "tlb",
             EventKind::BlockEnter | EventKind::BlockExit => "exec",
+            EventKind::SvmRead | EventKind::SvmWrite | EventKind::RegionAlloc => "svm",
+            EventKind::FrameOwner => "placement",
         }
     }
 
-    /// Names of the two payload arguments; `""` marks an unused slot.
-    pub fn arg_names(self) -> (&'static str, &'static str) {
+    /// Names of the three payload arguments; `""` marks an unused slot.
+    pub fn arg_names(self) -> (&'static str, &'static str, &'static str) {
         match self {
-            EventKind::PageFault => ("va", "write"),
-            EventKind::OwnRequest => ("page", "owner"),
-            EventKind::OwnForward => ("page", "owner"),
-            EventKind::OwnGrant => ("page", "to"),
-            EventKind::OwnAck => ("page", ""),
-            EventKind::OwnAcquired => ("page", "frame"),
-            EventKind::FirstTouch => ("page", "frame"),
-            EventKind::Migrate => ("page", "frame"),
-            EventKind::ReadReplica => ("page", "version"),
-            EventKind::WiInvSend => ("page", "replicas"),
-            EventKind::WiInvRecv => ("page", ""),
-            EventKind::WiGrant => ("page", "write"),
-            EventKind::MailSend => ("dst", "kind"),
-            EventKind::MailRecv => ("src", "kind"),
-            EventKind::IpiSend => ("dst", ""),
-            EventKind::IpiRecv => ("src", ""),
-            EventKind::WcbFlush => ("line", ""),
-            EventKind::Cl1Invmb => ("", ""),
-            EventKind::AcquireInv => ("reg", ""),
-            EventKind::ReleaseFlush => ("reg", ""),
-            EventKind::Barrier => ("", ""),
-            EventKind::TlbHit => ("vpn", ""),
-            EventKind::TlbMiss => ("vpn", ""),
-            EventKind::TlbShootdown => ("vpn", ""),
-            EventKind::PageMap => ("va", "frame"),
-            EventKind::PageProtect => ("va", "flags"),
-            EventKind::PageUnmap => ("va", ""),
-            EventKind::BlockEnter => ("", ""),
-            EventKind::BlockExit => ("", ""),
+            EventKind::PageFault => ("va", "write", ""),
+            EventKind::OwnRequest => ("page", "owner", ""),
+            EventKind::OwnForward => ("page", "owner", "requester"),
+            EventKind::OwnGrant => ("page", "to", ""),
+            EventKind::OwnAck => ("page", "granter", ""),
+            EventKind::OwnAcquired => ("page", "frame", ""),
+            EventKind::FirstTouch => ("page", "frame", ""),
+            EventKind::Migrate => ("page", "frame", ""),
+            EventKind::ReadReplica => ("page", "version", ""),
+            EventKind::WiInvSend => ("page", "replicas", ""),
+            EventKind::WiInvRecv => ("page", "", ""),
+            EventKind::WiGrant => ("page", "write", ""),
+            EventKind::MailSend => ("dst", "kind", "stamp"),
+            EventKind::MailRecv => ("src", "kind", "stamp"),
+            EventKind::IpiSend => ("dst", "", ""),
+            EventKind::IpiRecv => ("src", "", ""),
+            EventKind::WcbFlush => ("line", "", ""),
+            EventKind::Cl1Invmb => ("", "", ""),
+            EventKind::AcquireInv => ("reg", "", ""),
+            EventKind::ReleaseFlush => ("reg", "", ""),
+            EventKind::Barrier => ("", "", ""),
+            EventKind::TlbHit => ("vpn", "", ""),
+            EventKind::TlbMiss => ("vpn", "", ""),
+            EventKind::TlbShootdown => ("vpn", "", ""),
+            EventKind::PageMap => ("va", "frame", ""),
+            EventKind::PageProtect => ("va", "flags", ""),
+            EventKind::PageUnmap => ("va", "", ""),
+            EventKind::BlockEnter => ("", "", ""),
+            EventKind::BlockExit => ("", "", ""),
+            EventKind::SvmRead => ("page", "", ""),
+            EventKind::SvmWrite => ("page", "", ""),
+            EventKind::LockAcquire => ("reg", "", ""),
+            EventKind::LockRelease => ("reg", "", ""),
+            EventKind::SyncErr => ("reg", "code", ""),
+            EventKind::RegionAlloc => ("page", "pages", "model"),
+            EventKind::FrameOwner => ("frame", "owner", ""),
         }
+    }
+
+    /// Inverse of [`EventKind::name`] — used by the offline trace parsers.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == name)
     }
 
     /// This kind's bit in [`TraceConfig::mask`].
@@ -272,6 +330,9 @@ pub struct TraceEvent {
     pub kind: EventKind,
     pub a: u32,
     pub b: u32,
+    /// Third payload slot — correlation ids and model tags; `0` for kinds
+    /// whose third [`EventKind::arg_names`] slot is unused.
+    pub c: u32,
 }
 
 /// Runtime trace configuration (part of [`crate::SccConfig`]). Inert
@@ -350,17 +411,24 @@ impl TraceRing {
         TraceRing::default()
     }
 
-    /// Record one event. The hot-path funnel: compiles to nothing without
-    /// the `trace` feature, and to a mask test plus a ring store with it.
+    /// Record one event (two payload slots). The hot-path funnel: compiles
+    /// to nothing without the `trace` feature, and to a mask test plus a
+    /// ring store with it.
+    #[inline(always)]
+    pub fn record(&mut self, t: u64, kind: EventKind, a: u32, b: u32) {
+        self.record3(t, kind, a, b, 0);
+    }
+
+    /// Record one event with all three payload slots.
     #[inline(always)]
     #[allow(unused_variables)]
-    pub fn record(&mut self, t: u64, kind: EventKind, a: u32, b: u32) {
+    pub fn record3(&mut self, t: u64, kind: EventKind, a: u32, b: u32, c: u32) {
         #[cfg(feature = "trace")]
         {
             if self.cap == 0 || self.mask & kind.bit() == 0 {
                 return;
             }
-            let e = TraceEvent { t, kind, a, b };
+            let e = TraceEvent { t, kind, a, b, c };
             if self.buf.len() < self.cap {
                 self.buf.push(e);
             } else {
@@ -414,16 +482,18 @@ impl TraceRing {
 // ----------------------------------------------------------------------
 
 fn push_args(out: &mut String, e: &TraceEvent) {
-    let (an, bn) = e.kind.arg_names();
+    let (an, bn, cn) = e.kind.arg_names();
     out.push('{');
-    if !an.is_empty() {
-        out.push_str(&format!("\"{an}\":{}", e.a));
-    }
-    if !bn.is_empty() {
-        if !an.is_empty() {
+    let mut any = false;
+    for (name, val) in [(an, e.a), (bn, e.b), (cn, e.c)] {
+        if name.is_empty() {
+            continue;
+        }
+        if any {
             out.push(',');
         }
-        out.push_str(&format!("\"{bn}\":{}", e.b));
+        any = true;
+        out.push_str(&format!("\"{name}\":{val}"));
     }
     out.push('}');
 }
@@ -515,21 +585,66 @@ pub fn protocol_log<'a>(per_core: impl IntoIterator<Item = (CoreId, &'a TraceRin
     all.sort_by_key(|(t, c, _)| (*t, *c));
     let mut out = String::new();
     for (t, core, e) in all {
-        let (an, bn) = e.kind.arg_names();
+        let (an, bn, cn) = e.kind.arg_names();
         out.push_str(&format!(
             "[{t:>12}] core {core:02} {}.{}",
             e.kind.category(),
             e.kind.name()
         ));
-        if !an.is_empty() {
-            out.push_str(&format!(" {an}={}", e.a));
-        }
-        if !bn.is_empty() {
-            out.push_str(&format!(" {bn}={}", e.b));
+        for (name, val) in [(an, e.a), (bn, e.b), (cn, e.c)] {
+            if !name.is_empty() {
+                out.push_str(&format!(" {name}={val}"));
+            }
         }
         out.push('\n');
     }
     out
+}
+
+// ----------------------------------------------------------------------
+// Sinks
+// ----------------------------------------------------------------------
+
+/// A consumer of the merged, time-ordered event stream — the online
+/// attachment point for analysis tools such as the `scc_checker` crate.
+///
+/// [`replay`] feeds every event from a set of per-core rings to a sink in
+/// global simulated-time order, the same order [`protocol_log`] prints.
+/// Because rings are only merged after a run completes, a sink observes
+/// exactly what an offline parse of the exported trace would — the shadow
+/// tests in the checker assert the two paths produce identical findings.
+pub trait EventSink {
+    /// One event from `core` at simulated time `event.t`.
+    fn event(&mut self, core: CoreId, event: &TraceEvent);
+
+    /// Ring-buffer truncation notice: `core` overwrote `lost` events
+    /// before the replay started, so the stream is incomplete.
+    fn truncated(&mut self, core: CoreId, lost: u64) {
+        let _ = (core, lost);
+    }
+}
+
+/// Feed every event from the per-core rings to `sink` in global
+/// simulated-time order (ties broken by core id, then by ring order —
+/// a stable sort, matching [`protocol_log`]). Reports each wrapped ring
+/// through [`EventSink::truncated`] before the first event.
+pub fn replay<'a>(
+    per_core: impl IntoIterator<Item = (CoreId, &'a TraceRing)>,
+    sink: &mut dyn EventSink,
+) {
+    let mut all: Vec<(u64, usize, TraceEvent)> = Vec::new();
+    for (core, ring) in per_core {
+        if ring.overwritten() > 0 {
+            sink.truncated(core, ring.overwritten());
+        }
+        for e in ring.events() {
+            all.push((e.t, core.idx(), e));
+        }
+    }
+    all.sort_by_key(|(t, c, _)| (*t, *c));
+    for (_, core, e) in &all {
+        sink.event(CoreId::new(*core), e);
+    }
 }
 
 #[cfg(test)]
@@ -542,8 +657,10 @@ mod tests {
             assert_eq!(*k as u8 as usize, i, "{k:?} out of order in ALL_KINDS");
             assert!(!k.name().is_empty());
             assert!(!k.category().is_empty());
+            assert_eq!(EventKind::from_name(k.name()), Some(*k));
         }
         assert!(ALL_KINDS.len() <= 64, "mask bits must fit a u64");
+        assert_eq!(EventKind::from_name("no_such_event"), None);
     }
 
     #[test]
@@ -606,6 +723,61 @@ mod tests {
 
         let log = protocol_log(pairs.iter().map(|(c, r)| (*c, *r)));
         assert!(log.contains("core 03 svm.own_request page=5 owner=2"));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn third_payload_slot_renders_when_named() {
+        let mut r = TraceRing::new(&TraceConfig::full(16));
+        r.record3(100, EventKind::RegionAlloc, 4, 2, 1);
+        r.record3(200, EventKind::MailSend, 7, 3, 123456);
+        let pairs = [(CoreId::new(0), &r)];
+        let log = protocol_log(pairs.iter().map(|(c, r)| (*c, *r)));
+        assert!(log.contains("svm.region_alloc page=4 pages=2 model=1"));
+        assert!(log.contains("mailbox.mail_send dst=7 kind=3 stamp=123456"));
+        let json = chrome_trace_json(pairs.iter().map(|(c, r)| (*c, *r)), 533);
+        assert!(json.contains("\"model\":1"));
+        assert!(json.contains("\"stamp\":123456"));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn replay_merges_rings_in_time_order() {
+        struct Collect {
+            seen: Vec<(usize, u64, EventKind)>,
+            lost: u64,
+        }
+        impl EventSink for Collect {
+            fn event(&mut self, core: CoreId, e: &TraceEvent) {
+                self.seen.push((core.idx(), e.t, e.kind));
+            }
+            fn truncated(&mut self, _core: CoreId, lost: u64) {
+                self.lost += lost;
+            }
+        }
+        let mut r0 = TraceRing::new(&TraceConfig::full(8));
+        r0.record(10, EventKind::Barrier, 0, 0);
+        r0.record(30, EventKind::Barrier, 0, 0);
+        let mut r1 = TraceRing::new(&TraceConfig::full(8));
+        r1.record(10, EventKind::Cl1Invmb, 0, 0);
+        r1.record(20, EventKind::Barrier, 0, 0);
+        let mut sink = Collect {
+            seen: Vec::new(),
+            lost: 0,
+        };
+        replay(
+            [(CoreId::new(0), &r0), (CoreId::new(1), &r1)]
+                .iter()
+                .map(|(c, r)| (*c, *r)),
+            &mut sink,
+        );
+        let order: Vec<(usize, u64)> = sink.seen.iter().map(|(c, t, _)| (*c, *t)).collect();
+        assert_eq!(
+            order,
+            vec![(0, 10), (1, 10), (1, 20), (0, 30)],
+            "global time order, ties broken by core id"
+        );
+        assert_eq!(sink.lost, 0);
     }
 
     #[cfg(not(feature = "trace"))]

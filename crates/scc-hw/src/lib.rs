@@ -59,7 +59,7 @@ pub mod topology;
 pub use crate::core::{CoreCtx, MemAttr};
 pub use config::{HostFastPaths, SccConfig};
 pub use error::HwError;
-pub use instr::{EventKind, TraceConfig, TraceEvent, TraceRing};
+pub use instr::{replay, EventKind, EventSink, TraceConfig, TraceEvent, TraceRing};
 pub use machine::Machine;
 pub use metrics::{MetricsSnapshot, MetricsSource};
 pub use perf::PerfCounters;

@@ -78,7 +78,7 @@ impl MetricsSnapshot {
         for (k, v) in &self.vals {
             out.vals.insert(k, v.saturating_sub(earlier.get(k)));
         }
-        for (k, _) in &earlier.vals {
+        for k in earlier.vals.keys() {
             out.vals.entry(k).or_insert(0);
         }
         out

@@ -152,7 +152,7 @@ impl ParEngine {
                 })
                 .min_by_key(|&i| (st.keys[i], i));
             let Some(w) = winner else {
-                if st.status.iter().any(|s| *s == Status::Blocked) {
+                if st.status.contains(&Status::Blocked) {
                     let waiting = (0..n)
                         .map(|i| {
                             let why = match st.status[i] {

@@ -121,10 +121,12 @@ mod tests {
 
     #[test]
     fn metrics_labels_cover_all_layers() {
-        let mut c = PerfCounters::default();
-        c.l1_hits = 7;
-        c.tlb_hits = 5;
-        c.fast_yields = 2;
+        let c = PerfCounters {
+            l1_hits: 7,
+            tlb_hits: 5,
+            fast_yields: 2,
+            ..PerfCounters::default()
+        };
         let m = c.metrics();
         assert_eq!(m.get("hw.l1_hits"), 7);
         assert_eq!(m.get("kernel.tlb_hits"), 5);

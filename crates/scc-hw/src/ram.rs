@@ -47,17 +47,17 @@ impl AtomicWords {
     /// Read `len` bytes (1..=8) starting at byte offset `off`, little-endian.
     #[inline]
     pub fn read(&self, off: u32, len: usize) -> u64 {
-        debug_assert!(len >= 1 && len <= 8);
+        debug_assert!((1..=8).contains(&len));
         let off = off as usize;
         assert!(
             off + len <= self.len_bytes(),
             "read of {len}B at {off:#x} out of bounds ({:#x})",
             self.len_bytes()
         );
-        if off % 4 == 0 && len == 4 {
+        if off.is_multiple_of(4) && len == 4 {
             return self.words[off / 4].load(Ordering::Relaxed) as u64;
         }
-        if off % 4 == 0 && len == 8 {
+        if off.is_multiple_of(4) && len == 8 {
             let lo = self.words[off / 4].load(Ordering::Relaxed) as u64;
             let hi = self.words[off / 4 + 1].load(Ordering::Relaxed) as u64;
             return lo | (hi << 32);
@@ -75,18 +75,18 @@ impl AtomicWords {
     /// Write the low `len` bytes (1..=8) of `val` at byte offset `off`.
     #[inline]
     pub fn write(&self, off: u32, len: usize, val: u64) {
-        debug_assert!(len >= 1 && len <= 8);
+        debug_assert!((1..=8).contains(&len));
         let off = off as usize;
         assert!(
             off + len <= self.len_bytes(),
             "write of {len}B at {off:#x} out of bounds ({:#x})",
             self.len_bytes()
         );
-        if off % 4 == 0 && len == 4 {
+        if off.is_multiple_of(4) && len == 4 {
             self.words[off / 4].store(val as u32, Ordering::Relaxed);
             return;
         }
-        if off % 4 == 0 && len == 8 {
+        if off.is_multiple_of(4) && len == 8 {
             self.words[off / 4].store(val as u32, Ordering::Relaxed);
             self.words[off / 4 + 1].store((val >> 32) as u32, Ordering::Relaxed);
             return;

@@ -33,19 +33,18 @@ impl TasBank {
 
     /// Atomically try to acquire register `reg`.
     ///
-    /// Returns `Ok(release_stamp)` when the lock was free (and is now held by
-    /// the caller); `Err(())` when it was already taken.
+    /// Returns `Some(release_stamp)` when the lock was free (and is now held
+    /// by the caller); `None` when it was already taken.
     #[inline]
-    pub fn test_and_set(&self, reg: CoreId) -> Result<u64, ()> {
+    pub fn test_and_set(&self, reg: CoreId) -> Option<u64> {
         let r = &self.regs[reg.idx()];
         let cur = r.load(Ordering::Acquire);
         if cur & LOCKED != 0 {
-            return Err(());
+            return None;
         }
-        match r.compare_exchange(cur, cur | LOCKED, Ordering::AcqRel, Ordering::Acquire) {
-            Ok(_) => Ok(cur >> 1),
-            Err(_) => Err(()),
-        }
+        r.compare_exchange(cur, cur | LOCKED, Ordering::AcqRel, Ordering::Acquire)
+            .ok()
+            .map(|_| cur >> 1)
     }
 
     /// Release register `reg`, recording the releaser's cycle stamp.
@@ -69,19 +68,19 @@ mod tests {
     fn acquire_release_cycle() {
         let b = TasBank::new();
         let r = CoreId::new(3);
-        assert_eq!(b.test_and_set(r), Ok(0));
+        assert_eq!(b.test_and_set(r), Some(0));
         assert!(b.is_locked(r));
-        assert_eq!(b.test_and_set(r), Err(()));
+        assert_eq!(b.test_and_set(r), None);
         b.release(r, 1234);
         assert!(!b.is_locked(r));
-        assert_eq!(b.test_and_set(r), Ok(1234));
+        assert_eq!(b.test_and_set(r), Some(1234));
     }
 
     #[test]
     fn registers_independent() {
         let b = TasBank::new();
-        assert!(b.test_and_set(CoreId::new(0)).is_ok());
-        assert!(b.test_and_set(CoreId::new(1)).is_ok());
+        assert!(b.test_and_set(CoreId::new(0)).is_some());
+        assert!(b.test_and_set(CoreId::new(1)).is_some());
         assert!(!b.is_locked(CoreId::new(2)));
     }
 }

@@ -753,8 +753,8 @@ mod tests {
             }
             let mut got = vec![0u64; 64];
             k.vread_block(va, 4, 64, |i, v| got[i] = v);
-            for i in 0..64usize {
-                assert_eq!(got[i], (i as u64) * 7);
+            for (i, &g) in got.iter().enumerate() {
+                assert_eq!(g, (i as u64) * 7);
             }
         })
         .unwrap();

@@ -116,16 +116,16 @@ fn wcb_overlay_and_flush_consistent() {
             }
         }
         // Overlay over a zero value must reproduce the model.
-        for i in 0..LINE_BYTES {
+        for (i, &m) in model.iter().enumerate() {
             let v = wcb.overlay(la, i, 1, 0) as u8;
-            assert_eq!(v, model[i].unwrap_or(0), "case {case}");
+            assert_eq!(v, m.unwrap_or(0), "case {case}");
         }
         let f = wcb.take().expect("dirty");
-        for i in 0..LINE_BYTES {
+        for (i, &m) in model.iter().enumerate() {
             let buffered = f.mask & (1 << i) != 0;
-            assert_eq!(buffered, model[i].is_some(), "case {case}");
+            assert_eq!(buffered, m.is_some(), "case {case}");
             if buffered {
-                assert_eq!(f.data[i], model[i].unwrap(), "case {case}");
+                assert_eq!(f.data[i], m.unwrap(), "case {case}");
             }
         }
     }
