@@ -18,7 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== clippy: workspace, trace feature =="
 cargo clippy --workspace --all-targets \
-    --features scc-hw/trace,scc-kernel/trace,scc-mailbox/trace,metalsvm/trace,scc-bench/trace,integration-tests/trace \
+    --features scc-hw/trace,scc-kernel/trace,scc-mailbox/trace,metalsvm/trace,scc-bench/trace,scc-explore/trace,integration-tests/trace \
     -- -D warnings
 
 echo "== trace feature: release build =="
@@ -69,5 +69,21 @@ cargo build -q --release -p scc-checker --bin svmcheck
 ./target/release/svmcheck --expect release-not-held results/TRACE_double_release.log
 ./target/release/svmcheck --expect acquire-without-invalidate results/TRACE_acquire_no_invalidate.log
 ./target/release/svmcheck --expect release-without-flush results/TRACE_release_no_flush.log
+
+# Schedule exploration + fault injection (DESIGN.md §10). The smoke sweep
+# runs the whole registry on fixed budgets: clean apps must stay clean
+# under the baton, sampled random seeds and a dropped-doorbell fault plan
+# (recovering via mbx.retries); all eight planted bugs — six checker
+# fixtures plus the two schedule-sensitive ones — must be found and shrunk
+# to replay files that re-trigger. Exit status 0 is exactly that gate.
+echo "== svmexplore: schedule/fault exploration smoke =="
+cargo build -q --release --features trace -p scc-explore --bin svmexplore
+./target/release/svmexplore --seeds 24 --out results \
+    --json results/EXPLORE_summary.json
+
+echo "== svmexplore: explorer suite, both feature halves =="
+cargo test -q --features trace -p integration-tests --test explore
+cargo test -q -p integration-tests --test explore
+cargo test -q -p scc-explore
 
 echo "ci/check.sh: all green"

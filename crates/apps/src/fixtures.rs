@@ -16,9 +16,10 @@ use metalsvm::{
     install as svm_install, Consistency, SvmArray, SvmConfig, SvmCtx,
 };
 use scc_hw::instr::{EventKind, TraceConfig};
-use scc_hw::{CoreId, SccConfig, TraceRing};
+use scc_hw::{CoreId, MemAttr, SccConfig, TraceRing};
 use scc_kernel::{Cluster, Kernel};
 use scc_mailbox::{install as mbx_install, Notify};
+use std::sync::Arc;
 
 /// One buggy kernel plus what the checker must say about it.
 pub struct Fixture {
@@ -79,9 +80,44 @@ pub const FIXTURES: &[Fixture] = &[
     },
 ];
 
-/// Look a fixture up by name.
+/// Schedule-sensitive fixtures: planted bugs that the default baton
+/// election order does *not* trigger. Each has exactly one racy window
+/// placed so that the loser's side runs 50 000 cycles later in virtual
+/// time — the lowest-clock-first baton serialises the windows and the run
+/// is clean, while a single baton-deviating election (e.g. under
+/// `SchedPolicy::SeededRandom`) interleaves them and the bug fires.
+///
+/// These are deliberately NOT in [`FIXTURES`]: that list's contract is
+/// "one finding under the default schedule", asserted by the checker test
+/// suite. This list's contract is the opposite (clean under baton) and is
+/// asserted by the `svmexplore` test suite. `detector`/`expect` name the
+/// outcome class `svmexplore` must reach: a checker slug for
+/// `toctou_scratchpad`, the literal `deadlock` for `lost_wakeup_barrier`
+/// (the executor, not the checker, reports deadlocks).
+pub const SCHEDULE_FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "lost_wakeup_barrier",
+        cores: 2,
+        detector: "executor",
+        expect: "deadlock",
+        run: lost_wakeup_barrier,
+    },
+    Fixture {
+        name: "toctou_scratchpad",
+        cores: 2,
+        detector: "protocol",
+        expect: "double-first-touch",
+        run: toctou_scratchpad,
+    },
+];
+
+/// Look a fixture up by name (checker fixtures first, then the
+/// schedule-sensitive set).
 pub fn fixture(name: &str) -> Option<&'static Fixture> {
-    FIXTURES.iter().find(|f| f.name == name)
+    FIXTURES
+        .iter()
+        .chain(SCHEDULE_FIXTURES.iter())
+        .find(|f| f.name == name)
 }
 
 /// Run a fixture on a fresh small machine with tracing configured,
@@ -169,4 +205,63 @@ fn release_no_flush(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
     let lock = svm.lock_new(k);
     lock.acquire(k).expect("acquire is legal");
     lock.release_no_flush_for_test(k);
+}
+
+/// A hand-rolled flag/wait "barrier" with the classic lost-wakeup bug.
+///
+/// Shared words (off-die, uncached): `flag` at +0, `waiting` at +4, `wake`
+/// at +8, wake stamp at +16. Rank 0 checks `flag`, yields (the racy
+/// window), and only *then* records itself as `waiting` before sleeping on
+/// `wake`. Rank 1 advances 50 000 cycles, sets `flag`, and wakes rank 0
+/// only if it already saw `waiting`.
+///
+/// Under the baton schedule rank 0's whole check-register-sleep sequence
+/// runs before cycle 50 000, so rank 1 always observes `waiting` and the
+/// run completes. If the scheduler elects rank 1 inside rank 0's window,
+/// rank 1 reads `waiting == 0`, skips the wakeup, and rank 0 sleeps
+/// forever → the executor reports a deadlock.
+fn lost_wakeup_barrier(k: &mut Kernel<'_>, _svm: &mut SvmCtx) {
+    let pa = k.shared.named_header("fixture.lostwake", 24, 64);
+    if k.rank() == 0 {
+        let flag = k.hw.read(pa, 4, MemAttr::UNCACHED);
+        // The racy window: checked, not yet registered as waiting.
+        k.hw.yield_now();
+        if flag == 0 {
+            k.hw.write(pa + 4, 4, 1, MemAttr::UNCACHED);
+            let mach = Arc::clone(k.hw.machine());
+            k.wait_event("lost-wakeup fixture", move || {
+                if mach.ram.read(pa + 8, 4) != 0 {
+                    Some(((), mach.ram.read(pa + 16, 8)))
+                } else {
+                    None
+                }
+            });
+        }
+    } else {
+        k.hw.advance(50_000);
+        k.hw.write(pa, 4, 1, MemAttr::UNCACHED);
+        let waiting = k.hw.read(pa + 4, 4, MemAttr::UNCACHED);
+        if waiting != 0 {
+            k.hw.write(pa + 16, 8, k.hw.now(), MemAttr::UNCACHED);
+            k.hw.write(pa + 8, 4, 1, MemAttr::UNCACHED);
+        }
+    }
+}
+
+/// Check-then-act race on the placement scratchpad: both ranks resolve the
+/// same strong page through the TEST-ONLY unlocked first-touch path
+/// (`SvmCtx::first_touch_unlocked_for_test`), rank 1 offset 50 000 cycles
+/// into the future.
+///
+/// Under the baton schedule rank 0 finishes its check→allocate→publish
+/// sequence long before rank 1 looks, so rank 1 hits the scratchpad entry
+/// and allocates nothing. A baton-deviating election inside rank 0's
+/// window lets rank 1 also see an empty entry, and both cores allocate a
+/// frame for the page → `double-first-touch` (protocol monitor).
+fn toctou_scratchpad(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let r = svm.alloc(k, 4096, Consistency::Strong);
+    if k.rank() == 1 {
+        k.hw.advance(50_000);
+    }
+    let _ = svm.first_touch_unlocked_for_test(k, r.first_page());
 }

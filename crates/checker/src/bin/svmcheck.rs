@@ -10,8 +10,10 @@
 //! back into cycles (default: the simulator's default core clock).
 //!
 //! Exit status: 0 — every file is clean (or, with `--expect`, every file
-//! reports exactly one finding of the given kind); 1 — findings (or an
-//! `--expect` mismatch); 2 — usage or I/O error.
+//! reports at least one finding of the given kind and no finding of any
+//! other kind); 1 — findings (or an `--expect` mismatch, including
+//! *additional unexpected* findings next to the expected one); 2 — usage
+//! or I/O error.
 
 use scc_checker::{parse, Checker};
 use scc_hw::SccConfig;
@@ -98,13 +100,15 @@ fn main() -> ExitCode {
         }
         match &args.expect {
             Some(slug) => {
-                let ok = report.findings.len() == 1 && report.findings[0].slug == slug;
-                if ok {
-                    println!("expect: ok — exactly one '{slug}' finding");
+                if report.expect_ok(slug) {
+                    println!(
+                        "expect: ok — {} '{slug}' finding(s), nothing else",
+                        report.findings.len()
+                    );
                 } else {
                     let got: Vec<&str> = report.findings.iter().map(|f| f.slug).collect();
                     println!(
-                        "expect: FAILED — wanted exactly one '{slug}', got [{}]",
+                        "expect: FAILED — wanted only '{slug}' findings, got [{}]",
                         got.join(", ")
                     );
                     bad = true;

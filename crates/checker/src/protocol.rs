@@ -29,6 +29,12 @@
 //! 6. `recv-without-send` — a `MailRecv` with no matching `MailSend`
 //!    (same source, destination, kind and stamp; only when the stream is
 //!    complete).
+//! 7. `double-first-touch` — two `FirstTouch` events allocating
+//!    *different frames* for the same page. The scratch-pad lock
+//!    serialises first-touch, so a correct run allocates each page's
+//!    frame exactly once globally (a later migration traces `Migrate`,
+//!    not `FirstTouch`); a second allocation is the signature of a
+//!    check-then-act race on the placement scratchpad.
 //!
 //! Ownership state is initialised lazily from positive evidence — a page
 //! whose early history predates the trace window is adopted, not flagged.
@@ -43,6 +49,8 @@ struct PageState {
     owner: Option<usize>,
     /// The event line that established the current owner (for excerpts).
     owner_line: Option<String>,
+    /// The first `FirstTouch` seen for the page: (core, frame, line).
+    touch: Option<(usize, u32, String)>,
     /// Cores with an outstanding ownership request.
     pending: HashSet<u32>,
     /// First finding already reported — stop analyzing this page.
@@ -67,7 +75,35 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
         let c = r.core;
         match r.e.kind {
             EventKind::FirstTouch if strong(r.e.a) => {
-                let st = pages.entry(r.e.a).or_default();
+                let page = r.e.a;
+                let frame = r.e.b;
+                let st = pages.entry(page).or_default();
+                if st.dead {
+                    continue;
+                }
+                match &st.touch {
+                    Some((c0, f0, line0)) if *f0 != frame => {
+                        let (c0, line0) = (*c0, line0.clone());
+                        st.dead = true;
+                        findings.push(Finding {
+                            detector: Detector::Protocol,
+                            slug: "double-first-touch",
+                            page: Some(page),
+                            cores: vec![c0, c],
+                            t: r.t,
+                            message: format!(
+                                "core {:02} first-touch allocated frame {} for strong page \
+                                 {}, but core {:02} had already allocated frame {} — the \
+                                 scratchpad check-then-act was not serialised",
+                                c, frame, page, c0, *f0
+                            ),
+                            excerpt: vec![line0, r.line()],
+                        });
+                        continue;
+                    }
+                    None => st.touch = Some((c, frame, r.line())),
+                    _ => {}
+                }
                 if st.owner.is_none() {
                     st.owner = Some(c);
                     st.owner_line = Some(r.line());

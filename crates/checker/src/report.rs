@@ -109,6 +109,15 @@ impl Report {
         out
     }
 
+    /// Verdict for `svmcheck --expect SLUG`: the expected finding kind
+    /// must be present, and *no other* kind may appear. Multiple
+    /// instances of the expected kind pass (a planted bug may fire more
+    /// than once on a long trace); any unexpected finding fails the run
+    /// — an extra bug hiding behind an expected one must not go green.
+    pub fn expect_ok(&self, slug: &str) -> bool {
+        !self.findings.is_empty() && self.findings.iter().all(|f| f.slug == slug)
+    }
+
     /// Render as a human-readable text report.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -148,5 +157,49 @@ impl Report {
             }
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(slug: &'static str) -> Finding {
+        Finding {
+            detector: Detector::Protocol,
+            slug,
+            page: Some(3),
+            cores: vec![0, 1],
+            t: 42,
+            message: "test".into(),
+            excerpt: vec![],
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            truncated: false,
+            lost: 0,
+            events: 10,
+            cores: 2,
+        }
+    }
+
+    #[test]
+    fn expect_ok_requires_the_expected_kind_and_nothing_else() {
+        // Exactly one expected finding: pass.
+        assert!(report(vec![finding("stale-read")]).expect_ok("stale-read"));
+        // Multiple instances of the expected kind: still a pass.
+        assert!(report(vec![finding("stale-read"), finding("stale-read")])
+            .expect_ok("stale-read"));
+        // No findings at all: the planted bug was missed — fail.
+        assert!(!report(vec![]).expect_ok("stale-read"));
+        // Wrong kind: fail.
+        assert!(!report(vec![finding("unreleased-lock")]).expect_ok("stale-read"));
+        // Expected kind present but an *additional unexpected* finding
+        // rides along: must fail (the historical bug this guards).
+        assert!(!report(vec![finding("stale-read"), finding("unreleased-lock")])
+            .expect_ok("stale-read"));
     }
 }

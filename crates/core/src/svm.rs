@@ -414,6 +414,39 @@ impl SvmCtx {
         scc_kernel::ram_barrier(k, "svm.alloc");
         region
     }
+
+    /// TEST-ONLY: a deliberately broken replica of the first-touch
+    /// allocation that skips the scratch-pad TAS lock, leaving a
+    /// check-then-act window (with exactly one scheduling point in it)
+    /// between reading the placement entry and publishing a frame. Under
+    /// the baton schedule the windows of different cores never overlap;
+    /// a perturbed election order can interleave them, making two cores
+    /// allocate two frames for the same page — the `double-first-touch`
+    /// signature the protocol monitor detects. Used by the
+    /// schedule-sensitive TOCTOU fixture; never called by the real fault
+    /// path.
+    pub fn first_touch_unlocked_for_test(&mut self, k: &mut Kernel<'_>, p: u32) -> u32 {
+        let sh = Arc::clone(&self.sh);
+        if let Some(pfn) = sh.scratch.read(k, p) {
+            return pfn;
+        }
+        // The racy window: check done, act not yet — and a yield point in
+        // between (the correct path holds `scratch.lock_of(p)` across it).
+        k.hw.yield_now();
+        k.hw.host_order_point();
+        let pfn = k
+            .shared
+            .frames
+            .alloc_near(k.id())
+            .expect("out of shared frames");
+        let c = k.hw.machine().cfg.timing.frame_alloc;
+        k.hw.advance(c);
+        sh.scratch.write(k, p, pfn);
+        sh.owner_write(k, p, k.id());
+        SvmStats::bump(&sh.stats.first_touch_allocs);
+        k.hw.trace(EventKind::FirstTouch, p, pfn);
+        pfn
+    }
 }
 
 // ----------------------------------------------------------------------

@@ -1,0 +1,43 @@
+//! `svm-explore`: deterministic schedule exploration and fault injection,
+//! with `svm-check` as the oracle.
+//!
+//! The simulator's conservative executor makes every run a pure function
+//! of `(program, SccConfig)` — and since PR 5 the config carries two new
+//! degrees of freedom: the election policy ([`scc_hw::SchedPolicy`]) and
+//! the fault plan ([`scc_hw::FaultPlan`]). This crate turns that into a
+//! systematic bug hunter:
+//!
+//! 1. A **registry** ([`registry`]) of applications and planted-bug
+//!    fixtures, each with its expected outcome class (clean, a specific
+//!    checker finding, or a deadlock).
+//! 2. A **runner** ([`runner`]) that executes one scenario — app ×
+//!    schedule policy × fault plan — on a fresh machine, classifies the
+//!    outcome (clean / checker findings / deadlock / panic), and collects
+//!    the mailbox resilience counters.
+//! 3. An **explorer** ([`explore`]) that sweeps seeded-random schedules
+//!    (and, for clean apps, degraded-channel fault plans) within a bounded
+//!    seed budget, and **shrinks** any trigger to a minimal reproducer.
+//! 4. A **replay format** ([`replay`]) — a small text file naming the
+//!    app, policy, fault plan and expected outcome — that `svmexplore
+//!    --replay` re-executes bit-identically.
+//!
+//! Everything is deterministic: a seed is a complete schedule description,
+//! a replay file is a complete run description, and re-running either
+//! reproduces the original outcome exactly.
+
+pub mod explore;
+pub mod registry;
+pub mod replay;
+pub mod runner;
+
+pub use explore::{explore_app, explore_registry, AppReport, ExploreConfig, Summary};
+pub use registry::{app, registry, AppRun, AppSpec, Expected};
+pub use replay::{parse_replay, render_replay};
+pub use runner::{run_scenario, trace_cfg, Outcome, Scenario};
+
+/// Was the crate built with the `trace` feature? Without it the checker
+/// oracle observes empty event rings and finding-based expectations are
+/// unverifiable.
+pub fn trace_enabled() -> bool {
+    cfg!(feature = "trace")
+}

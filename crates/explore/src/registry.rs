@@ -1,0 +1,133 @@
+//! The explorer's application registry: clean workloads that must stay
+//! clean under any schedule, and planted-bug fixtures with their expected
+//! outcome class.
+
+use metalsvm::{Consistency, SvmCtx};
+use scc_apps::dotprod::dotprod;
+use scc_apps::fixtures::{FIXTURES, SCHEDULE_FIXTURES};
+use scc_apps::histogram::{histogram, HistParams};
+use scc_apps::matmul::matmul;
+use scc_apps::pipeline::pipeline;
+use scc_apps::{laplace_svm, LaplaceParams};
+use scc_kernel::Kernel;
+use scc_mailbox::Mailbox;
+use std::sync::OnceLock;
+
+/// The outcome class a scenario is expected to reach.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// No checker finding, no deadlock, no panic.
+    Clean,
+    /// At least one checker finding with this slug.
+    Finding(&'static str),
+    /// The executor reports a deadlock.
+    Deadlock,
+}
+
+impl Expected {
+    pub fn describe(&self) -> String {
+        match self {
+            Expected::Clean => "clean".into(),
+            Expected::Finding(slug) => format!("finding {slug}"),
+            Expected::Deadlock => "deadlock".into(),
+        }
+    }
+}
+
+/// Entry point shape of a registered app (the runner installs both the
+/// mailbox and the SVM system either way).
+#[derive(Copy, Clone)]
+pub enum AppRun {
+    Svm(fn(&mut Kernel<'_>, &mut SvmCtx)),
+    Mbx(fn(&mut Kernel<'_>, &Mailbox)),
+}
+
+/// One registered application or fixture.
+pub struct AppSpec {
+    pub name: &'static str,
+    pub cores: usize,
+    pub expected: Expected,
+    /// The planted bug already fires under the default baton schedule
+    /// (the checker fixtures); no schedule search is needed.
+    pub always_triggers: bool,
+    /// The app routes enough traffic through the mailbox system that a
+    /// dropped-doorbell fault plan is guaranteed to hit it — the explorer
+    /// additionally asserts retry-based recovery (`mbx.retries > 0`) on
+    /// these.
+    pub ipi_heavy: bool,
+    pub run: AppRun,
+}
+
+fn app_dotprod(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let _ = dotprod(k, svm, 512, 2);
+}
+
+fn app_histogram(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let _ = histogram(k, svm, HistParams::tiny());
+}
+
+fn app_laplace_strong(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let _ = laplace_svm(k, svm, Consistency::Strong, LaplaceParams::tiny());
+}
+
+fn app_matmul(k: &mut Kernel<'_>, svm: &mut SvmCtx) {
+    let _ = matmul(k, svm, 12);
+}
+
+fn app_pipeline(k: &mut Kernel<'_>, mbx: &Mailbox) {
+    let _ = pipeline(k, mbx, 16);
+}
+
+fn build() -> Vec<AppSpec> {
+    let clean = |name, cores, ipi_heavy, run| AppSpec {
+        name,
+        cores,
+        expected: Expected::Clean,
+        always_triggers: false,
+        ipi_heavy,
+        run,
+    };
+    let mut apps = vec![
+        clean("dotprod", 4, false, AppRun::Svm(app_dotprod)),
+        clean("histogram", 4, false, AppRun::Svm(app_histogram)),
+        clean("laplace_strong", 4, true, AppRun::Svm(app_laplace_strong)),
+        clean("matmul", 4, false, AppRun::Svm(app_matmul)),
+        clean("pipeline", 3, true, AppRun::Mbx(app_pipeline)),
+    ];
+    for f in FIXTURES {
+        apps.push(AppSpec {
+            name: f.name,
+            cores: f.cores,
+            expected: Expected::Finding(f.expect),
+            always_triggers: true,
+            ipi_heavy: false,
+            run: AppRun::Svm(f.run),
+        });
+    }
+    for f in SCHEDULE_FIXTURES {
+        apps.push(AppSpec {
+            name: f.name,
+            cores: f.cores,
+            expected: if f.expect == "deadlock" {
+                Expected::Deadlock
+            } else {
+                Expected::Finding(f.expect)
+            },
+            always_triggers: false,
+            ipi_heavy: false,
+            run: AppRun::Svm(f.run),
+        });
+    }
+    apps
+}
+
+/// All registered apps and fixtures, in stable order.
+pub fn registry() -> &'static [AppSpec] {
+    static REGISTRY: OnceLock<Vec<AppSpec>> = OnceLock::new();
+    REGISTRY.get_or_init(build)
+}
+
+/// Look an app up by name.
+pub fn app(name: &str) -> Option<&'static AppSpec> {
+    registry().iter().find(|a| a.name == name)
+}

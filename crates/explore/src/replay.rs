@@ -1,0 +1,315 @@
+//! The replay file format: a minimal text description of one scenario
+//! plus its expected outcome, written by the shrinker and re-executed by
+//! `svmexplore --replay`.
+//!
+//! ```text
+//! # svmexplore replay
+//! app lost_wakeup_barrier
+//! policy random 7
+//! fault drop-ipi src=* dst=0 nth=0 count=1
+//! expect deadlock
+//! ```
+//!
+//! Lines: `app NAME` (required, must be in the registry), `policy baton` |
+//! `policy random SEED` | `policy bands B0,B1,...` (default baton), any
+//! number of `fault` lines, and `expect clean` | `expect finding SLUG` |
+//! `expect deadlock` (required). `#` starts a comment. Because a scenario
+//! fully determines a run, replaying the file reproduces the original
+//! outcome bit-identically.
+
+use crate::registry::{app, Expected};
+use crate::runner::Scenario;
+use scc_hw::{Fault, FaultPlan, SchedPolicy};
+
+fn opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "*".into(), |x| x.to_string())
+}
+
+fn fault_line(f: &Fault) -> String {
+    match *f {
+        Fault::DropIpi {
+            src,
+            dst,
+            nth,
+            count,
+        } => format!(
+            "fault drop-ipi src={} dst={} nth={nth} count={count}",
+            opt(src),
+            opt(dst)
+        ),
+        Fault::DelayIpi {
+            src,
+            dst,
+            nth,
+            count,
+            cycles,
+        } => format!(
+            "fault delay-ipi src={} dst={} nth={nth} count={count} cycles={cycles}",
+            opt(src),
+            opt(dst)
+        ),
+        Fault::DelayMailSlot {
+            src,
+            dst,
+            nth,
+            count,
+            cycles,
+        } => format!(
+            "fault delay-mail src={} dst={} nth={nth} count={count} cycles={cycles}",
+            opt(src),
+            opt(dst)
+        ),
+        Fault::StallTas {
+            reg,
+            nth,
+            count,
+            cycles,
+        } => format!(
+            "fault stall-tas reg={} nth={nth} count={count} cycles={cycles}",
+            opt(reg)
+        ),
+        Fault::FreezeCore { core, at, cycles } => {
+            format!("fault freeze-core core={core} at={at} cycles={cycles}")
+        }
+    }
+}
+
+/// Render a scenario + expectation as a replay file.
+pub fn render_replay(sc: &Scenario, expected: &Expected) -> String {
+    let mut out = String::from("# svmexplore replay\n");
+    out.push_str(&format!("app {}\n", sc.app.name));
+    match &sc.policy {
+        SchedPolicy::Baton => out.push_str("policy baton\n"),
+        SchedPolicy::SeededRandom { seed } => {
+            out.push_str(&format!("policy random {seed}\n"));
+        }
+        SchedPolicy::PriorityBands { bands } => {
+            let bs: Vec<String> = bands.iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!("policy bands {}\n", bs.join(",")));
+        }
+    }
+    for f in &sc.faults.faults {
+        out.push_str(&fault_line(f));
+        out.push('\n');
+    }
+    match expected {
+        Expected::Clean => out.push_str("expect clean\n"),
+        Expected::Finding(slug) => out.push_str(&format!("expect finding {slug}\n")),
+        Expected::Deadlock => out.push_str("expect deadlock\n"),
+    }
+    out
+}
+
+struct KvLine<'a> {
+    what: &'a str,
+    kvs: Vec<(&'a str, &'a str)>,
+}
+
+fn parse_kv_line(rest: &str) -> Result<KvLine<'_>, String> {
+    let mut it = rest.split_whitespace();
+    let what = it.next().ok_or("empty fault line")?;
+    let mut kvs = Vec::new();
+    for tok in it {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got '{tok}'"))?;
+        kvs.push((k, v));
+    }
+    Ok(KvLine { what, kvs })
+}
+
+fn get<'a>(kvs: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, String> {
+    kvs.iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn num<T: std::str::FromStr>(kvs: &[(&str, &str)], key: &str) -> Result<T, String> {
+    let v = get(kvs, key)?;
+    v.parse().map_err(|_| format!("bad number '{v}' for '{key}'"))
+}
+
+fn core_filter(kvs: &[(&str, &str)], key: &str) -> Result<Option<usize>, String> {
+    let v = get(kvs, key)?;
+    if v == "*" {
+        return Ok(None);
+    }
+    v.parse()
+        .map(Some)
+        .map_err(|_| format!("bad core '{v}' for '{key}'"))
+}
+
+fn parse_fault(rest: &str) -> Result<Fault, String> {
+    let l = parse_kv_line(rest)?;
+    let kvs = &l.kvs;
+    match l.what {
+        "drop-ipi" => Ok(Fault::DropIpi {
+            src: core_filter(kvs, "src")?,
+            dst: core_filter(kvs, "dst")?,
+            nth: num(kvs, "nth")?,
+            count: num(kvs, "count")?,
+        }),
+        "delay-ipi" => Ok(Fault::DelayIpi {
+            src: core_filter(kvs, "src")?,
+            dst: core_filter(kvs, "dst")?,
+            nth: num(kvs, "nth")?,
+            count: num(kvs, "count")?,
+            cycles: num(kvs, "cycles")?,
+        }),
+        "delay-mail" => Ok(Fault::DelayMailSlot {
+            src: core_filter(kvs, "src")?,
+            dst: core_filter(kvs, "dst")?,
+            nth: num(kvs, "nth")?,
+            count: num(kvs, "count")?,
+            cycles: num(kvs, "cycles")?,
+        }),
+        "stall-tas" => Ok(Fault::StallTas {
+            reg: core_filter(kvs, "reg")?,
+            nth: num(kvs, "nth")?,
+            count: num(kvs, "count")?,
+            cycles: num(kvs, "cycles")?,
+        }),
+        "freeze-core" => Ok(Fault::FreezeCore {
+            core: num(kvs, "core")?,
+            at: num(kvs, "at")?,
+            cycles: num(kvs, "cycles")?,
+        }),
+        other => Err(format!("unknown fault kind '{other}'")),
+    }
+}
+
+/// Parse a replay file back into a runnable scenario + expectation.
+pub fn parse_replay(text: &str) -> Result<(Scenario, Expected), String> {
+    let mut name: Option<&str> = None;
+    let mut policy = SchedPolicy::Baton;
+    let mut faults = Vec::new();
+    let mut expected: Option<Expected> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}", i + 1);
+        let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match key {
+            "app" => name = Some(rest),
+            "policy" => {
+                let (kind, arg) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+                policy = match kind {
+                    "baton" => SchedPolicy::Baton,
+                    "random" => SchedPolicy::SeededRandom {
+                        seed: arg
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(format!("bad seed '{arg}'")))?,
+                    },
+                    "bands" => {
+                        let mut bands = Vec::new();
+                        for b in arg.trim().split(',') {
+                            bands.push(
+                                b.parse().map_err(|_| err(format!("bad band '{b}'")))?,
+                            );
+                        }
+                        SchedPolicy::PriorityBands { bands }
+                    }
+                    other => return Err(err(format!("unknown policy '{other}'"))),
+                };
+            }
+            "fault" => faults.push(parse_fault(rest).map_err(err)?),
+            "expect" => {
+                let (kind, arg) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+                expected = Some(match kind {
+                    "clean" => Expected::Clean,
+                    "deadlock" => Expected::Deadlock,
+                    "finding" => {
+                        let slug = arg.trim();
+                        if slug.is_empty() {
+                            return Err(err("'expect finding' needs a slug".into()));
+                        }
+                        // `Expected` carries 'static slugs; replay files
+                        // are parsed a handful of times per process, so
+                        // leaking the few bytes is fine.
+                        Expected::Finding(Box::leak(slug.to_string().into_boxed_str()))
+                    }
+                    other => return Err(err(format!("unknown expectation '{other}'"))),
+                });
+            }
+            other => return Err(err(format!("unknown directive '{other}'"))),
+        }
+    }
+    let name = name.ok_or("replay file has no 'app' line")?;
+    let spec = app(name).ok_or_else(|| format!("app '{name}' is not in the registry"))?;
+    let expected = expected.ok_or("replay file has no 'expect' line")?;
+    Ok((
+        Scenario {
+            app: spec,
+            policy,
+            faults: FaultPlan { faults },
+        },
+        expected,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::Fault;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let spec = app("stale_read").expect("registry app");
+        let sc = Scenario {
+            app: spec,
+            policy: SchedPolicy::SeededRandom { seed: 99 },
+            faults: FaultPlan {
+                faults: vec![
+                    Fault::DropIpi {
+                        src: None,
+                        dst: Some(1),
+                        nth: 2,
+                        count: 3,
+                    },
+                    Fault::DelayMailSlot {
+                        src: Some(0),
+                        dst: Some(1),
+                        nth: 0,
+                        count: 1,
+                        cycles: 50_000,
+                    },
+                    Fault::FreezeCore {
+                        core: 1,
+                        at: 1_000,
+                        cycles: 40_000,
+                    },
+                ],
+            },
+        };
+        let text = render_replay(&sc, &Expected::Finding("stale-read"));
+        let (back, exp) = parse_replay(&text).expect("round trip parses");
+        assert_eq!(back.app.name, "stale_read");
+        assert_eq!(back.policy, sc.policy);
+        assert_eq!(back.faults, sc.faults);
+        assert_eq!(exp, Expected::Finding("stale-read"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_replay("app nosuchapp\nexpect clean\n").is_err());
+        assert!(parse_replay("expect clean\n").is_err());
+        assert!(parse_replay("app stale_read\n").is_err());
+        assert!(parse_replay("app stale_read\npolicy random notanum\nexpect clean\n").is_err());
+        assert!(parse_replay("app stale_read\nfault warp-core core=1\nexpect clean\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\napp stale_read # trailing\npolicy baton\nexpect deadlock\n";
+        let (sc, exp) = parse_replay(text).expect("parses");
+        assert_eq!(sc.app.name, "stale_read");
+        assert_eq!(sc.policy, SchedPolicy::Baton);
+        assert!(sc.faults.is_empty());
+        assert_eq!(exp, Expected::Deadlock);
+    }
+}

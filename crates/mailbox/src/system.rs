@@ -39,6 +39,13 @@ pub struct MailStats {
     /// Sends issued from handler context against a full slot, parked in
     /// the software outbox instead of blocking (see [`Mailbox::send`]).
     pub deferred_sends: AtomicU64,
+    /// Resilient mode only: successful re-probes — a mail recovered by
+    /// the poll fallback after its doorbell was lost, or a send slot
+    /// re-checked during backoff.
+    pub retries: AtomicU64,
+    /// Resilient mode only: backoff windows entered because a send slot
+    /// stayed full past its first probe.
+    pub timeouts: AtomicU64,
 }
 
 impl MailStats {
@@ -63,6 +70,8 @@ impl MetricsSource for MailStats {
             "mbx.deferred_sends",
             self.deferred_sends.load(Ordering::Relaxed),
         );
+        m.add("mbx.retries", self.retries.load(Ordering::Relaxed));
+        m.add("mbx.timeouts", self.timeouts.load(Ordering::Relaxed));
     }
 }
 
@@ -91,6 +100,13 @@ struct Shared {
     handlers: Mutex<HashMap<u8, Arc<dyn MailHandler>>>,
     stats: MailStats,
     mach: Arc<MachineInner>,
+    /// Degraded-channel hardening, on exactly when the machine carries a
+    /// fault plan: the tick/probe paths scan receive slots even in IPI
+    /// mode (so a dropped doorbell degrades to a slow poll) and blocking
+    /// sends use a bounded backoff spin instead of an event wait whose
+    /// wake-up may itself be the faulted signal. Off — and bit-identical
+    /// to the pre-fault-plane mailbox — on clean machines.
+    resilient: bool,
 }
 
 /// Per-core handle to the mailbox system, returned by [`install`].
@@ -125,6 +141,7 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
     // Collective: nobody may send before every participant cleared its
     // slots, or an early mail would be wiped.
     scc_kernel::ram_barrier(k, "mailbox.install");
+    let resilient = !mach.faults.is_empty();
     let sh = Arc::new(Shared {
         me,
         notify,
@@ -136,6 +153,7 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
         handlers: Mutex::new(HashMap::new()),
         stats: MailStats::default(),
         mach,
+        resilient,
     });
     k.register_hook(Arc::new(MailboxHook { sh: Arc::clone(&sh) }));
     Mailbox { sh }
@@ -149,10 +167,16 @@ impl KernelHook for MailboxHook {
             sh: Arc::clone(&self.sh),
         }
         .try_flush_outbox(k);
-        if self.sh.notify == Notify::Poll {
+        if self.sh.notify == Notify::Poll || self.sh.resilient {
             let senders = self.sh.senders.clone();
+            let fallback = self.sh.notify == Notify::Ipi;
             for s in senders {
-                self.check_slot(k, s);
+                if self.check_slot(k, s) && fallback {
+                    // Mail recovered by the poll fallback rather than its
+                    // doorbell IPI: a successful retry on a degraded
+                    // channel.
+                    self.sh.stats.retries.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -165,7 +189,9 @@ impl KernelHook for MailboxHook {
 
     fn make_wake_probe(&self, _k: &Kernel<'_>) -> Option<Box<dyn Fn() -> bool + Send + Sync>> {
         let sh = Arc::clone(&self.sh);
-        let poll = sh.notify == Notify::Poll;
+        // Incoming mail is probe-driven in polling mode, and also in
+        // resilient mode — where the covering IPI may have been dropped.
+        let scan_incoming = sh.notify == Notify::Poll || sh.resilient;
         Some(Box::new(move || {
             // A deferred send whose destination slot has drained is kernel
             // work in every notify mode (nobody raises an IPI for a slot
@@ -176,12 +202,11 @@ impl KernelHook for MailboxHook {
             if flushable {
                 return true;
             }
-            // Incoming mail is probe-driven only in polling mode (IPIs
-            // cover it otherwise).
-            poll && sh
-                .senders
-                .iter()
-                .any(|s| sh.mach.mpb.read(slot_pa(sh.me, *s), 1) != 0)
+            scan_incoming
+                && sh
+                    .senders
+                    .iter()
+                    .any(|s| sh.mach.mpb.read(slot_pa(sh.me, *s), 1) != 0)
         }))
     }
 }
@@ -340,6 +365,10 @@ impl Mailbox {
         k.hw.host_order_point();
         if sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
             sh.stats.send_stalls.fetch_add(1, Ordering::Relaxed);
+            if sh.resilient {
+                self.wait_slot_free_backoff(k, dst, pa, mpb_cost);
+                return;
+            }
             let mach = Arc::clone(&sh.mach);
             k.wait_event("mailbox slot to drain", move || {
                 if mach.mpb.read(pa + field::FLAG, 1) == 0 {
@@ -351,6 +380,46 @@ impl Mailbox {
             // Observing the freed flag costs one remote MPB read.
             k.hw.advance(mpb_cost);
         }
+    }
+
+    /// Degraded-channel variant of [`Mailbox::wait_slot_free`] (resilient
+    /// mode): the receiver's progress may depend on a doorbell the fault
+    /// plan dropped, so instead of blocking on a wake condition the
+    /// sender spins in *virtual* time with bounded exponential backoff,
+    /// servicing its own interrupts and idle work (outbox flush, fallback
+    /// slot scans) between probes. The first expired probe counts as a
+    /// timeout and each re-probe as a retry; a hard probe budget turns a
+    /// genuinely dead channel into a distinctive panic — which the
+    /// exploration harness classifies as a hang — instead of an
+    /// unbounded host spin the deadlock detector could never see.
+    fn wait_slot_free_backoff(&self, k: &mut Kernel<'_>, dst: CoreId, pa: u32, mpb_cost: u64) {
+        const BACKOFF_START: u64 = 1 << 10;
+        const BACKOFF_CAP: u64 = 1 << 20;
+        const RETRY_BUDGET: u32 = 10_000;
+        let sh = &self.sh;
+        sh.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = BACKOFF_START;
+        for _ in 0..RETRY_BUDGET {
+            k.hw.advance(backoff);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+            // Service doorbells and idle work before re-probing: the
+            // receiver may be waiting on *our* outbox or handler work.
+            k.poll_irqs();
+            k.run_idle_hooks();
+            sh.stats.retries.fetch_add(1, Ordering::Relaxed);
+            k.hw.host_order_point();
+            if sh.mach.mpb.read(pa + field::FLAG, 1) == 0 {
+                // Observing the freed flag costs one remote MPB read.
+                k.hw.advance(mpb_cost);
+                return;
+            }
+        }
+        panic!(
+            "mailbox send timeout: core {} -> {} slot never drained after {} backoff probes",
+            sh.me.idx(),
+            dst.idx(),
+            RETRY_BUDGET
+        );
     }
 
     /// Retry deferred sends without blocking: post while the head's
@@ -418,7 +487,14 @@ impl Mailbox {
             MemAttr::MPB,
         );
         k.hw.flush_wcb();
-        let stamp = k.hw.now();
+        let mut stamp = k.hw.now();
+        if sh.resilient {
+            // Injected slot-visibility delay: push the stamp — which the
+            // receiver synchronises to on pickup — into the future. Both
+            // sides trace the delayed stamp, keeping the send/recv
+            // correlation intact.
+            stamp += sh.mach.faults.mail_delay(sh.me.idx(), dst.idx());
+        }
         k.hw.write(pa + field::STAMP, 8, stamp, MemAttr::MPB);
         k.hw.write(pa + field::FLAG, 1, 1, MemAttr::MPB);
         k.hw.flush_wcb();

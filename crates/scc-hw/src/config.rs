@@ -1,5 +1,7 @@
 //! Machine configuration: memory sizes, cache geometry, clock frequencies.
 
+use crate::exec::SchedPolicy;
+use crate::faults::FaultPlan;
 use crate::instr::TraceConfig;
 use crate::timing::TimingParams;
 use crate::topology::MAX_CORES;
@@ -116,6 +118,15 @@ pub struct SccConfig {
     /// Structured-event trace configuration (simulation-invisible; inert
     /// unless the `trace` cargo feature is compiled in).
     pub trace: TraceConfig,
+    /// Election policy of the deterministic executor. `Baton` (the
+    /// default) is bit-identical to the pre-policy executor; the other
+    /// policies deliberately perturb the schedule for exploration and
+    /// require the serial engine.
+    pub sched: SchedPolicy,
+    /// Fault-injection plan (see `scc_hw::faults`). Empty by default;
+    /// a non-empty plan requires the serial engine and switches the
+    /// mailbox into its resilient (retry/backoff) mode.
+    pub faults: FaultPlan,
 }
 
 impl Default for SccConfig {
@@ -138,6 +149,8 @@ impl Default for SccConfig {
             tick_cycles: 533_000,
             host_fast: HostFastPaths::default(),
             trace: TraceConfig::default(),
+            sched: SchedPolicy::Baton,
+            faults: FaultPlan::default(),
         }
     }
 }

@@ -101,6 +101,9 @@ pub struct CoreCtx {
     /// True under the parallel conservative engine: every globally visible
     /// operation must hold the open safe window (see [`crate::par`]).
     par: bool,
+    /// Cached `!mach.cfg.faults.is_empty()` so the fault-injection hooks
+    /// cost one predictable branch on the hot paths.
+    has_faults: bool,
     /// Cached region bounds for the private/visible access classifier.
     shared_base: u32,
     priv_base: u32,
@@ -116,6 +119,7 @@ impl CoreCtx {
     ) -> Self {
         let quantum = mach.cfg.quantum_cycles;
         let par = matches!(&*sched, Engine::Parallel(_));
+        let has_faults = !mach.faults.is_empty();
         let priv_base = mach.map.private_base(id);
         CoreCtx {
             id,
@@ -137,6 +141,7 @@ impl CoreCtx {
             mach,
             sched,
             par,
+            has_faults,
         }
     }
 
@@ -231,6 +236,12 @@ impl CoreCtx {
     /// the parallel engine it publishes the segment end (and keeps running
     /// ahead).
     pub fn yield_now(&mut self) {
+        if self.has_faults {
+            // An armed freeze window makes no progress "during" it: the
+            // clock jumps past the window at this yield point, so the
+            // core loses every election until the window ends.
+            self.clock += self.mach.faults.freeze_jump(self.id.idx(), self.clock);
+        }
         self.perf.yields += 1;
         match &*self.sched {
             Engine::Serial(s) => {
@@ -666,6 +677,13 @@ impl CoreCtx {
 
     /// One attempt at the test-and-set register of `reg`'s tile.
     pub fn tas_try(&mut self, reg: CoreId) -> bool {
+        if self.has_faults {
+            // Injected mesh contention: stall before the attempt.
+            let stall = self.mach.faults.tas_stall(reg.idx());
+            if stall > 0 {
+                self.advance(stall);
+            }
+        }
         let hops = self.id.hops_to(reg);
         let cost = self.timing.tas_cost(hops);
         self.advance(cost);
@@ -726,6 +744,16 @@ impl CoreCtx {
         self.advance(cost);
         self.perf.ipis_sent += 1;
         self.trace(EventKind::IpiSend, dst.idx() as u32, 0);
+        if self.has_faults {
+            match self.mach.faults.ipi_fault(self.id.idx(), dst.idx()) {
+                crate::faults::IpiOutcome::Drop => return,
+                crate::faults::IpiOutcome::Delay(d) => {
+                    self.mach.gic.raise(self.id, dst, self.clock + d);
+                    return;
+                }
+                crate::faults::IpiOutcome::Deliver => {}
+            }
+        }
         self.mach.gic.raise(self.id, dst, self.clock);
     }
 

@@ -60,10 +60,59 @@
 //! threads simply stay asleep until they actually win. With `fast_yield`
 //! off, the historical wake-everyone protocol runs unchanged, which is what
 //! the shadow tests compare against.
+//!
+//! ## Election policies
+//!
+//! The *eligibility* rule above (runnable, or blocked with a satisfied
+//! condition) is what makes runs correct; the *choice among eligible
+//! cores* is a free parameter. [`SchedPolicy`] makes it pluggable:
+//! [`SchedPolicy::Baton`] (the default) keeps the historical
+//! minimum-clock order bit for bit, while `SeededRandom` and
+//! `PriorityBands` deliberately perturb the election so schedule-sensitive
+//! bugs surface (see `svmexplore`). Every policy is a pure function of
+//! simulated state plus, for the random policy, a per-run election
+//! counter — so any schedule is exactly replayable from the machine
+//! configuration alone. Elections only happen at yield points; the
+//! interleavings explored are precisely the legal schedules of the
+//! simulated software.
 
 use crate::error::HwError;
 use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Election policy of the deterministic executor: how the next baton
+/// holder is chosen among the eligible (runnable or satisfiable) cores.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Historical order: minimum virtual clock, ties broken by core id.
+    /// Bit-identical to the executor before policies existed.
+    #[default]
+    Baton,
+    /// Deterministic pseudo-random pick among the eligible cores, keyed
+    /// by `(seed, election counter, slot)`. Same seed, same schedule.
+    SeededRandom { seed: u64 },
+    /// Band-biased baton: lower band wins regardless of clock; within a
+    /// band, minimum clock then core id. Slots beyond the vector get
+    /// band 0. Starves high-band cores for as long as any lower-band
+    /// core stays eligible.
+    PriorityBands { bands: Vec<u8> },
+}
+
+impl SchedPolicy {
+    pub fn is_baton(&self) -> bool {
+        matches!(self, SchedPolicy::Baton)
+    }
+}
+
+/// SplitMix64 — the same generator the shim `rand` crate uses; here it
+/// hashes (seed, election, slot) into an election key.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Status {
@@ -94,6 +143,10 @@ struct SchedState {
     /// owning thread removes its box, under this scheduler's lock, before
     /// leaving `wait_blocked` by any path.
     checkers: Vec<Option<Box<dyn FnMut() -> bool + Send>>>,
+    /// Elections held so far; feeds the `SeededRandom` key stream so each
+    /// election draws a fresh deterministic value. Host-side bookkeeping
+    /// only — under `Baton` it influences nothing.
+    elections: u64,
     deadlock: Option<Arc<HwError>>,
 }
 
@@ -101,19 +154,6 @@ impl SchedState {
     fn blocked_unchecked_remaining(&self) -> bool {
         (0..self.clocks.len())
             .any(|i| self.status[i] == Status::Blocked && self.checked[i] < self.round)
-    }
-
-    /// Pick the next baton holder among runnable cores and blocked cores
-    /// whose conditions held during this round.
-    fn finalize(&mut self) -> Option<usize> {
-        let winner = (0..self.clocks.len())
-            .filter(|&i| {
-                self.status[i] == Status::Runnable
-                    || (self.status[i] == Status::Blocked && self.satisfiable[i])
-            })
-            .min_by_key(|&i| (self.clocks[i], i));
-        self.current = winner;
-        winner
     }
 }
 
@@ -126,6 +166,8 @@ pub struct Scheduler {
     cvs: Vec<Condvar>,
     /// Host fast path: direct baton hand-off when no core is blocked.
     fast_yield: bool,
+    /// Election policy (see the module docs); `Baton` by default.
+    policy: SchedPolicy,
 }
 
 /// Raised inside a core thread when the simulation deadlocks; carries the
@@ -138,6 +180,10 @@ impl Scheduler {
     }
 
     pub fn with_fast_yield(nslots: usize, fast_yield: bool) -> Arc<Self> {
+        Self::with_policy(nslots, fast_yield, SchedPolicy::Baton)
+    }
+
+    pub fn with_policy(nslots: usize, fast_yield: bool, policy: SchedPolicy) -> Arc<Self> {
         Arc::new(Scheduler {
             state: Mutex::new(SchedState {
                 clocks: vec![0; nslots],
@@ -149,11 +195,58 @@ impl Scheduler {
                 satisfiable: vec![false; nslots],
                 nblocked: 0,
                 checkers: (0..nslots).map(|_| None).collect(),
+                elections: 0,
                 deadlock: None,
             }),
             cvs: (0..nslots).map(|_| Condvar::new()).collect(),
             fast_yield,
+            policy,
         })
+    }
+
+    /// Election key for slot `i`; the eligible slot with the smallest
+    /// key wins. The `Baton` arm reproduces the historical
+    /// `(clock, id)` order exactly.
+    fn election_key(&self, st: &SchedState, i: usize) -> (u64, u64, u64) {
+        match &self.policy {
+            SchedPolicy::Baton => (0, st.clocks[i], i as u64),
+            SchedPolicy::PriorityBands { bands } => (
+                u64::from(bands.get(i).copied().unwrap_or(0)),
+                st.clocks[i],
+                i as u64,
+            ),
+            // `elections << 8` and `i < MAX_CORES` never overlap bits, so
+            // the hash input is unique per (election, slot).
+            SchedPolicy::SeededRandom { seed } => {
+                (splitmix64(seed ^ (st.elections << 8) ^ i as u64), 0, i as u64)
+            }
+        }
+    }
+
+    /// Pick the next baton holder among the slots passing `eligible`,
+    /// under the policy in force. Consumes one tick of the election
+    /// counter that feeds the `SeededRandom` key stream.
+    fn pick(
+        &self,
+        st: &mut SchedState,
+        eligible: impl Fn(&SchedState, usize) -> bool,
+    ) -> Option<usize> {
+        st.elections += 1;
+        let st: &SchedState = st;
+        (0..st.clocks.len())
+            .filter(|&i| eligible(st, i))
+            .min_by_key(|&i| self.election_key(st, i))
+    }
+
+    /// Pick the next baton holder among runnable cores and blocked cores
+    /// whose conditions held during this round.
+    fn finalize(&self, st: &mut SchedState) -> Option<usize> {
+        let winner = self.pick(st, |st, i| {
+            st.status[i] == Status::Runnable
+                || (st.status[i] == Status::Blocked && st.satisfiable[i])
+        });
+        st.current = winner;
+        winner
     }
 
     /// Wake the threads that must act on the state just produced by
@@ -225,7 +318,7 @@ impl Scheduler {
 
     /// All re-checks are in: pick the winner or declare deadlock.
     fn close_round(&self, st: &mut SchedState) {
-        if st.finalize().is_none() && st.status.contains(&Status::Blocked) {
+        if self.finalize(st).is_none() && st.status.contains(&Status::Blocked) {
             let waiting = (0..st.clocks.len())
                 .map(|i| {
                     let why = match st.status[i] {
@@ -267,11 +360,10 @@ impl Scheduler {
         debug_assert_eq!(st.current, Some(slot), "yield from a non-running core");
         st.clocks[slot] = clock;
         if self.fast_yield && st.nblocked == 0 {
-            // With nobody blocked, a round would trivially re-elect the
-            // min-clock runnable core — compute it inline instead.
-            let winner = (0..st.clocks.len())
-                .filter(|&i| st.status[i] == Status::Runnable)
-                .min_by_key(|&i| (st.clocks[i], i))
+            // With nobody blocked, a round would trivially elect among
+            // the runnable cores — compute the same winner inline.
+            let winner = self
+                .pick(&mut st, |st, i| st.status[i] == Status::Runnable)
                 .expect("the yielding core is runnable");
             if winner == slot {
                 return true; // still minimal: keep the baton
@@ -623,6 +715,149 @@ mod tests {
             order.into_inner()
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    /// Run `n` slot bodies under a specific election policy.
+    fn run_slots_policy<F>(n: usize, policy: SchedPolicy, f: F) -> Result<(), Arc<HwError>>
+    where
+        F: Fn(usize, &Scheduler) + Send + Sync,
+    {
+        let sched = Scheduler::with_policy(n, true, policy);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for slot in 0..n {
+                let sched = Arc::clone(&sched);
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    sched.wait_for_turn(slot);
+                    f(slot, &sched);
+                    sched.finish(slot);
+                }));
+            }
+            let mut failed = false;
+            for h in handles {
+                failed |= h.join().is_err();
+            }
+            if failed {
+                Err(sched.deadlock_report().expect("non-deadlock panic in test"))
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    #[test]
+    fn seeded_random_is_replayable_and_seed_sensitive() {
+        let trace_with = |seed: u64| {
+            let trace = Mutex::new(Vec::new());
+            run_slots_policy(6, SchedPolicy::SeededRandom { seed }, |slot, sched| {
+                for step in 1..=8u64 {
+                    let clk = step * 100 + slot as u64;
+                    sched.yield_now(slot, clk);
+                    trace.lock().push((slot, clk));
+                }
+            })
+            .unwrap();
+            trace.into_inner()
+        };
+        assert_eq!(trace_with(17), trace_with(17), "same seed, same schedule");
+        // Different seeds visit different interleavings: across a handful
+        // of seeds at least one must deviate from the seed-17 order.
+        let base = trace_with(17);
+        assert!(
+            (18..24u64).any(|s| trace_with(s) != base),
+            "seeds 18..24 all reproduced seed 17's schedule"
+        );
+    }
+
+    #[test]
+    fn seeded_random_still_honours_wait_conditions() {
+        // Whatever the election order, a blocked core must only run once
+        // its condition holds.
+        for seed in 0..10u64 {
+            let flag = AtomicU64::new(0);
+            run_slots_policy(3, SchedPolicy::SeededRandom { seed }, |slot, sched| {
+                if slot == 0 {
+                    for c in 1..=5u64 {
+                        sched.yield_now(0, c * 1000);
+                    }
+                    flag.store(1, Ordering::Release);
+                } else {
+                    sched.wait_blocked(slot, 10, "flag", || {
+                        (flag.load(Ordering::Acquire) != 0).then_some(())
+                    });
+                    assert_eq!(flag.load(Ordering::Acquire), 1);
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn priority_bands_starve_the_high_band() {
+        // Slot 0 is in band 1, slots 1..3 in band 0: every slot-0 step
+        // must come after all band-0 work is done, regardless of clocks.
+        let order = Mutex::new(Vec::new());
+        run_slots_policy(
+            3,
+            SchedPolicy::PriorityBands { bands: vec![1, 0, 0] },
+            |slot, sched| {
+                for step in 1..=4u64 {
+                    // Give the starved slot the *smallest* clocks so the
+                    // bias, not the clock, decides.
+                    let clk = step * if slot == 0 { 10 } else { 1000 };
+                    sched.yield_now(slot, clk + slot as u64);
+                    order.lock().push(slot);
+                }
+            },
+        )
+        .unwrap();
+        let o = order.into_inner();
+        let last_band0 = o.iter().rposition(|&s| s != 0).unwrap();
+        let first_band1 = o.iter().position(|&s| s == 0).unwrap();
+        assert!(
+            first_band1 > last_band0,
+            "band-1 slot ran while band-0 work remained: {o:?}"
+        );
+    }
+
+    #[test]
+    fn baton_policy_is_the_default_key() {
+        // `with_policy(.., Baton)` must schedule exactly like the
+        // historical constructor on a mixed yield/block workload.
+        let trace_with = |policy: SchedPolicy| {
+            let counter = AtomicU64::new(0);
+            let trace = Mutex::new(Vec::new());
+            run_slots_policy(4, policy, |slot, sched| {
+                if slot == 0 {
+                    for wave in 1..=4u64 {
+                        sched.yield_now(0, wave * 1000);
+                        trace.lock().push((0, wave * 1000));
+                        counter.store(wave, Ordering::Release);
+                    }
+                } else if slot == 1 {
+                    for wave in 1..=4u64 {
+                        sched.wait_blocked(1, wave * 900, "wave", || {
+                            (counter.load(Ordering::Acquire) >= wave).then_some(())
+                        });
+                        trace.lock().push((1, wave * 900));
+                    }
+                } else {
+                    for step in 1..=6u64 {
+                        let clk = step * 700 + slot as u64;
+                        sched.yield_now(slot, clk);
+                        trace.lock().push((slot, clk));
+                    }
+                }
+            })
+            .unwrap();
+            trace.into_inner()
+        };
+        assert_eq!(
+            trace_with(SchedPolicy::Baton),
+            trace_with(SchedPolicy::PriorityBands { bands: vec![] }),
+            "an all-zero band vector must degenerate to the baton order"
+        );
     }
 
     #[test]

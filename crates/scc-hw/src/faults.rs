@@ -1,0 +1,331 @@
+//! Deterministic fault injection: the machine-level fault plane.
+//!
+//! A [`FaultPlan`] on [`crate::SccConfig`] describes degraded-channel
+//! conditions to inject into a run: dropped or delayed GIC IPIs, delayed
+//! mailbox slot visibility, TAS acquisition stalls, and bounded core
+//! freeze windows. Every fault is charged to *simulated* cycles (or
+//! simply skips a simulated side effect), so a faulted run is exactly as
+//! deterministic and replayable as a clean one — the plan is part of the
+//! machine configuration, not a runtime random process.
+//!
+//! Injection sites live on the hot paths of `CoreCtx` and the mailbox
+//! (`send_ipi`, `tas_try`, `yield_now`, mail post), all guarded by a
+//! cached "plan is empty" flag so the default configuration pays one
+//! branch per site.
+//!
+//! Each plan entry matches a *window* of the events it applies to: the
+//! `nth` field skips that many matching events first, and `count` bounds
+//! how many consecutive matches after that are hit. Per-entry hit
+//! counters live in [`FaultState`] on the machine, so the windows are
+//! counted in the global deterministic event order of the serial
+//! executor. The parallel engine refuses non-empty plans (see
+//! `Machine::run_on`): fault windows are meaningful only against the
+//! serial reference schedule.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One fault to inject. `None` in a source/destination filter means
+/// "any core"; `reg: None` matches any TAS register.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Silently drop matching IPIs: the sender charges the raise cost and
+    /// proceeds, but the interrupt never reaches the destination GIC.
+    DropIpi {
+        src: Option<usize>,
+        dst: Option<usize>,
+        nth: u32,
+        count: u32,
+    },
+    /// Delay matching IPIs by `cycles`: the interrupt is raised with a
+    /// stamp that far in the destination's future.
+    DelayIpi {
+        src: Option<usize>,
+        dst: Option<usize>,
+        nth: u32,
+        count: u32,
+        cycles: u64,
+    },
+    /// Delay the visibility of matching mailbox slot writes by `cycles`:
+    /// the mail's stamp — which the receiver synchronises to on pickup —
+    /// is pushed into the future.
+    DelayMailSlot {
+        src: Option<usize>,
+        dst: Option<usize>,
+        nth: u32,
+        count: u32,
+        cycles: u64,
+    },
+    /// Stall matching test-and-set attempts by `cycles` before the
+    /// attempt is made (contention on the register's mesh path).
+    StallTas {
+        reg: Option<usize>,
+        nth: u32,
+        count: u32,
+        cycles: u64,
+    },
+    /// Freeze one core for `cycles` once its clock reaches `at`: applied
+    /// at the core's next yield point, which jumps its clock past the
+    /// window (the core makes no progress "during" it). One-shot.
+    FreezeCore { core: usize, at: u64, cycles: u64 },
+}
+
+/// A set of faults to inject into a run. The default (empty) plan leaves
+/// every injection site inert and bit-identical to a build without the
+/// fault plane.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// What an IPI injection site should do with a matching raise.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IpiOutcome {
+    Deliver,
+    Drop,
+    /// Deliver with the stamp pushed this many cycles into the future.
+    Delay(u64),
+}
+
+fn matches(filter: Option<usize>, v: usize) -> bool {
+    filter.is_none_or(|f| f == v)
+}
+
+/// Runtime counterpart of a [`FaultPlan`]: the plan plus one hit counter
+/// per entry, counting matching events in the deterministic global order
+/// so `nth`/`count` windows are stable across identical runs.
+pub struct FaultState {
+    plan: FaultPlan,
+    hits: Vec<AtomicU64>,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Self {
+        let hits = (0..plan.faults.len()).map(|_| AtomicU64::new(0)).collect();
+        FaultState { plan, hits }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Count a matching event against entry `idx`; `true` if it lands in
+    /// the entry's `[nth, nth + count)` window.
+    fn armed(&self, idx: usize, nth: u32, count: u32) -> bool {
+        let n = self.hits[idx].fetch_add(1, Ordering::Relaxed);
+        n >= u64::from(nth) && n < u64::from(nth) + u64::from(count)
+    }
+
+    /// Consult the plan for an IPI raise `src -> dst`. A drop beats a
+    /// delay when both are armed; multiple armed delays accumulate.
+    pub fn ipi_fault(&self, src: usize, dst: usize) -> IpiOutcome {
+        let mut delay = 0u64;
+        let mut drop = false;
+        for (idx, f) in self.plan.faults.iter().enumerate() {
+            match *f {
+                Fault::DropIpi {
+                    src: s,
+                    dst: d,
+                    nth,
+                    count,
+                } if matches(s, src) && matches(d, dst) => {
+                    drop |= self.armed(idx, nth, count);
+                }
+                Fault::DelayIpi {
+                    src: s,
+                    dst: d,
+                    nth,
+                    count,
+                    cycles,
+                } if matches(s, src) && matches(d, dst) && self.armed(idx, nth, count) => {
+                    delay += cycles;
+                }
+                _ => {}
+            }
+        }
+        if drop {
+            IpiOutcome::Drop
+        } else if delay > 0 {
+            IpiOutcome::Delay(delay)
+        } else {
+            IpiOutcome::Deliver
+        }
+    }
+
+    /// Extra cycles to add to the stamp of a mail posted `src -> dst`.
+    pub fn mail_delay(&self, src: usize, dst: usize) -> u64 {
+        let mut delay = 0u64;
+        for (idx, f) in self.plan.faults.iter().enumerate() {
+            if let Fault::DelayMailSlot {
+                src: s,
+                dst: d,
+                nth,
+                count,
+                cycles,
+            } = *f
+            {
+                if matches(s, src) && matches(d, dst) && self.armed(idx, nth, count) {
+                    delay += cycles;
+                }
+            }
+        }
+        delay
+    }
+
+    /// Extra cycles to charge before a test-and-set attempt on `reg`.
+    pub fn tas_stall(&self, reg: usize) -> u64 {
+        let mut delay = 0u64;
+        for (idx, f) in self.plan.faults.iter().enumerate() {
+            if let Fault::StallTas {
+                reg: r,
+                nth,
+                count,
+                cycles,
+            } = *f
+            {
+                if matches(r, reg) && self.armed(idx, nth, count) {
+                    delay += cycles;
+                }
+            }
+        }
+        delay
+    }
+
+    /// Cycles to jump `core`'s clock forward at a yield point with clock
+    /// `now`. Each `FreezeCore` entry fires at most once, at the first
+    /// yield at or past its `at` mark.
+    pub fn freeze_jump(&self, core: usize, now: u64) -> u64 {
+        let mut jump = 0u64;
+        for (idx, f) in self.plan.faults.iter().enumerate() {
+            if let Fault::FreezeCore { core: c, at, cycles } = *f {
+                if c == core
+                    && now >= at
+                    && self.hits[idx]
+                        .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    jump += cycles;
+                }
+            }
+        }
+        jump
+    }
+
+    /// Per-entry hit counts (matching events seen), for diagnostics.
+    pub fn hit_counts(&self) -> Vec<u64> {
+        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let fs = FaultState::new(FaultPlan::default());
+        assert!(fs.is_empty());
+        assert_eq!(fs.ipi_fault(0, 1), IpiOutcome::Deliver);
+        assert_eq!(fs.mail_delay(0, 1), 0);
+        assert_eq!(fs.tas_stall(3), 0);
+        assert_eq!(fs.freeze_jump(0, 1_000_000), 0);
+    }
+
+    #[test]
+    fn drop_window_counts_matching_events_only() {
+        let fs = FaultState::new(FaultPlan {
+            faults: vec![Fault::DropIpi {
+                src: None,
+                dst: Some(1),
+                nth: 1,
+                count: 2,
+            }],
+        });
+        // Raises to other destinations don't advance the window.
+        assert_eq!(fs.ipi_fault(0, 2), IpiOutcome::Deliver);
+        assert_eq!(fs.ipi_fault(0, 1), IpiOutcome::Deliver); // n=0 < nth
+        assert_eq!(fs.ipi_fault(2, 1), IpiOutcome::Drop); // n=1
+        assert_eq!(fs.ipi_fault(0, 1), IpiOutcome::Drop); // n=2
+        assert_eq!(fs.ipi_fault(0, 1), IpiOutcome::Deliver); // window exhausted
+        assert_eq!(fs.hit_counts(), vec![4]);
+    }
+
+    #[test]
+    fn drop_beats_delay_and_delays_accumulate() {
+        let fs = FaultState::new(FaultPlan {
+            faults: vec![
+                Fault::DelayIpi {
+                    src: None,
+                    dst: None,
+                    nth: 0,
+                    count: u32::MAX,
+                    cycles: 100,
+                },
+                Fault::DelayIpi {
+                    src: None,
+                    dst: None,
+                    nth: 0,
+                    count: u32::MAX,
+                    cycles: 11,
+                },
+                Fault::DropIpi {
+                    src: Some(0),
+                    dst: None,
+                    nth: 0,
+                    count: 1,
+                },
+            ],
+        });
+        assert_eq!(fs.ipi_fault(0, 5), IpiOutcome::Drop);
+        assert_eq!(fs.ipi_fault(0, 5), IpiOutcome::Delay(111));
+    }
+
+    #[test]
+    fn freeze_is_one_shot_and_waits_for_the_mark() {
+        let fs = FaultState::new(FaultPlan {
+            faults: vec![Fault::FreezeCore {
+                core: 2,
+                at: 5_000,
+                cycles: 40_000,
+            }],
+        });
+        assert_eq!(fs.freeze_jump(2, 4_999), 0);
+        assert_eq!(fs.freeze_jump(1, 9_000), 0); // other core
+        assert_eq!(fs.freeze_jump(2, 5_000), 40_000);
+        assert_eq!(fs.freeze_jump(2, 50_000), 0); // one-shot
+    }
+
+    #[test]
+    fn tas_and_mail_windows() {
+        let fs = FaultState::new(FaultPlan {
+            faults: vec![
+                Fault::StallTas {
+                    reg: Some(7),
+                    nth: 0,
+                    count: 2,
+                    cycles: 900,
+                },
+                Fault::DelayMailSlot {
+                    src: Some(0),
+                    dst: Some(1),
+                    nth: 0,
+                    count: 1,
+                    cycles: 50_000,
+                },
+            ],
+        });
+        assert_eq!(fs.tas_stall(7), 900);
+        assert_eq!(fs.tas_stall(6), 0);
+        assert_eq!(fs.tas_stall(7), 900);
+        assert_eq!(fs.tas_stall(7), 0);
+        assert_eq!(fs.mail_delay(0, 1), 50_000);
+        assert_eq!(fs.mail_delay(0, 1), 0);
+        assert_eq!(fs.mail_delay(1, 0), 0);
+    }
+}

@@ -43,6 +43,7 @@ pub mod config;
 pub mod core;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod gic;
 pub mod instr;
 pub mod machine;
@@ -59,6 +60,8 @@ pub mod topology;
 pub use crate::core::{CoreCtx, MemAttr};
 pub use config::{HostFastPaths, SccConfig};
 pub use error::HwError;
+pub use exec::SchedPolicy;
+pub use faults::{Fault, FaultPlan};
 pub use instr::{replay, EventKind, EventSink, TraceConfig, TraceEvent, TraceRing};
 pub use machine::Machine;
 pub use metrics::{MetricsSnapshot, MetricsSource};

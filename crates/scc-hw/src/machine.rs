@@ -5,6 +5,7 @@ use crate::config::SccConfig;
 use crate::core::CoreCtx;
 use crate::error::HwError;
 use crate::exec::{DeadlockUnwind, Scheduler};
+use crate::faults::FaultState;
 use crate::gic::Gic;
 use crate::instr::TraceRing;
 use crate::mpb::MpbArray;
@@ -36,6 +37,9 @@ pub struct MachineInner {
     /// frames, maintained by the SVM layer and consulted by the parallel
     /// engine's access classifier (unused — all zero — in serial mode).
     pub frame_owners: FrameOwners,
+    /// Runtime state of the configured fault-injection plan (empty and
+    /// inert by default).
+    pub faults: FaultState,
 }
 
 /// Per-core outcome of a [`Machine::run_on`] call.
@@ -72,6 +76,7 @@ impl Machine {
                 tas: TasBank::new(),
                 gic: Gic::new(),
                 frame_owners: FrameOwners::new(map.shared_pages()),
+                faults: FaultState::new(cfg.faults.clone()),
                 map,
                 cfg,
             }),
@@ -117,11 +122,23 @@ impl Machine {
             seen[c.idx()] = true;
         }
         let engine = Arc::new(if self.inner.cfg.host_fast.parallel {
+            // Fault windows and non-baton elections are defined against
+            // the serial reference schedule; the parallel engine replays
+            // exactly that schedule and supports nothing else.
+            assert!(
+                self.inner.cfg.sched.is_baton(),
+                "the parallel engine only replays the Baton schedule"
+            );
+            assert!(
+                self.inner.cfg.faults.is_empty(),
+                "fault injection requires the serial engine"
+            );
             Engine::Parallel(ParEngine::new(cores.len()))
         } else {
-            Engine::Serial(Scheduler::with_fast_yield(
+            Engine::Serial(Scheduler::with_policy(
                 cores.len(),
                 self.inner.cfg.host_fast.fast_yield,
+                self.inner.cfg.sched.clone(),
             ))
         });
 

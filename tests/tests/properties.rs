@@ -292,6 +292,164 @@ fn mailbox_streams_preserve_per_sender_order() {
     }
 }
 
+// ------------------------------------ line accessors and scratch pad
+
+use metalsvm::scratchpad::Scratchpad;
+use metalsvm::ScratchLocation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The line-granular fast paths (`read_line` / `write_line` /
+/// `write_line_masked`) agree with a plain byte array under any
+/// interleaving with byte-granular writes, including the first and last
+/// line of the backing store and every mask shape (empty, full, partial).
+#[test]
+fn atomic_words_line_accessors_match_byte_array() {
+    const BYTES: usize = 512;
+    const LAST_LINE: u32 = (BYTES - 32) as u32;
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x8000 + case);
+        let w = AtomicWords::new(BYTES);
+        let mut model = [0u8; BYTES];
+        let steps = 16 + rng.gen_range_u64(96);
+        for step in 0..steps {
+            // Word-aligned line offsets; the boundary lines are forced
+            // periodically so off-by-one bounds bugs cannot hide.
+            let off = match step % 7 {
+                0 => 0,
+                1 => LAST_LINE,
+                _ => rng.gen_range_u64(u64::from(LAST_LINE / 4) + 1) as u32 * 4,
+            };
+            match rng.gen_range_u64(4) {
+                0 => {
+                    // Byte-granular write interleaved with the line paths.
+                    let len = 1 + rng.gen_range_u64(8) as usize;
+                    let boff = rng.gen_range_u64((BYTES - len) as u64 + 1) as u32;
+                    let val = rng.next_u64();
+                    w.write(boff, len, val);
+                    for k in 0..len {
+                        model[boff as usize + k] = (val >> (k * 8)) as u8;
+                    }
+                }
+                1 => {
+                    let mut data = [0u8; 32];
+                    for b in data.iter_mut() {
+                        *b = rng.gen::<u32>() as u8;
+                    }
+                    w.write_line(off, &data);
+                    model[off as usize..off as usize + 32].copy_from_slice(&data);
+                }
+                _ => {
+                    let mut data = [0u8; 32];
+                    for b in data.iter_mut() {
+                        *b = rng.gen::<u32>() as u8;
+                    }
+                    let mask = match rng.gen_range_u64(4) {
+                        0 => 0,
+                        1 => u32::MAX,
+                        _ => rng.gen::<u32>(), // partial: CAS word path
+                    };
+                    w.write_line_masked(off, &data, mask);
+                    for (k, &b) in data.iter().enumerate() {
+                        if mask & (1 << k) != 0 {
+                            model[off as usize + k] = b;
+                        }
+                    }
+                }
+            }
+            let got = w.read_line(off);
+            assert_eq!(
+                &got[..],
+                &model[off as usize..off as usize + 32],
+                "case {case} step {step}"
+            );
+        }
+        // Full sweep through both read paths.
+        for i in 0..BYTES as u32 {
+            assert_eq!(w.read(i, 1) as u8, model[i as usize], "case {case} byte {i}");
+        }
+        for off in (0..=LAST_LINE).step_by(4) {
+            assert_eq!(
+                &w.read_line(off)[..],
+                &model[off as usize..off as usize + 32],
+                "case {case} line at {off}"
+            );
+        }
+    }
+}
+
+/// The 16-bit scratch-pad placement table behaves like a map from page to
+/// frame in both locations — striped across the MPBs and flat in off-die
+/// memory — including the first/last page, the 16-bit encoding limit, and
+/// stripe wrap-around (pages `p` and `p + ncores` share a core's MPB but
+/// must stay independent).
+#[test]
+fn scratchpad_matches_map_model() {
+    for loc in [ScratchLocation::Mpb, ScratchLocation::OffDie] {
+        for case in 0..4u64 {
+            let cl = Cluster::new(SccConfig::small()).unwrap();
+            cl.run(1, move |k| {
+                let ncores = k.hw.machine().cfg.ncores;
+                let pages = 2 * ncores as u32 + 5; // wraps the stripe twice
+                let offdie_pa = k.shared.named_header("prop.scratch", pages * 2, 64);
+                let base_pfn = 0x4000;
+                let pad = Scratchpad::new(loc, ncores, pages, offdie_pa, base_pfn);
+                let mach = Arc::clone(k.hw.machine());
+                let mut rng = StdRng::seed_from_u64(0x9000 + case);
+                let mut model: HashMap<u32, u32> = HashMap::new();
+                for step in 0..160u64 {
+                    let p = match step % 11 {
+                        0 => 0,
+                        1 => pages - 1,
+                        2 => 3, // stripe-wrap pair: same MPB, adjacent entries
+                        3 => 3 + ncores as u32,
+                        _ => rng.gen_range_u64(u64::from(pages)) as u32,
+                    };
+                    match rng.gen_range_u64(3) {
+                        0 | 1 => {
+                            let rel = match rng.gen_range_u64(8) {
+                                0 => u32::from(u16::MAX) - 1, // largest legal entry
+                                1 => u32::from(u16::MAX) - 2,
+                                2 => 0,
+                                _ => rng.gen_range_u64(60_000) as u32,
+                            };
+                            let pfn = base_pfn + rel;
+                            pad.write(k, p, pfn);
+                            model.insert(p, pfn);
+                        }
+                        _ => {
+                            pad.clear(k, p);
+                            model.remove(&p);
+                        }
+                    }
+                    let want = model.get(&p).copied();
+                    assert_eq!(
+                        pad.read(k, p),
+                        want,
+                        "{loc:?} case {case} step {step} page {p}"
+                    );
+                    assert_eq!(
+                        pad.peek(&mach, p),
+                        want,
+                        "peek {loc:?} case {case} step {step} page {p}"
+                    );
+                }
+                // Final sweep: no entry aliases another (the striping maps
+                // pages to distinct half-words).
+                for p in 0..pages {
+                    assert_eq!(
+                        pad.read(k, p),
+                        model.get(&p).copied(),
+                        "sweep {loc:?} case {case} page {p}"
+                    );
+                }
+            })
+            .unwrap();
+        }
+    }
+}
+
 /// RCCE messages of arbitrary sizes (across the chunk boundary) arrive
 /// byte-exact.
 #[test]
