@@ -40,6 +40,18 @@ cargo test -q -p integration-tests --test parallel_shadow
 echo "== parallel executor: shadow suite, trace feature =="
 cargo test -q --features trace -p integration-tests --test parallel_shadow
 
+# The epoch engine's determinism must hold regardless of how many host
+# threads actually run simulated cores: SCC_PAR_HOST_THREADS gates the
+# number of concurrently running cores (DESIGN.md §8), and each cap
+# produces different host interleavings of the demoted fast paths. The
+# conflict stress suite runs alongside because contended same-object races
+# are where a cap-dependent bug would surface first.
+for threads in 2 4; do
+    echo "== parallel executor: shadow + stress, SCC_PAR_HOST_THREADS=$threads =="
+    SCC_PAR_HOST_THREADS=$threads cargo test -q -p integration-tests \
+        --test parallel_shadow --test parallel_stress
+done
+
 # The svm-check consistency checker (DESIGN.md §9). The test suite covers
 # both halves of its story: with the trace feature every clean app must be
 # finding-free and every buggy fixture must yield exactly its planted

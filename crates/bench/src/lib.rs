@@ -28,6 +28,10 @@ pub struct HarnessArgs {
     pub quick: bool,
     pub iters: Option<usize>,
     pub reps: Option<usize>,
+    /// Overwrite result files even when the guard would refuse (e.g.
+    /// clobbering a multi-host-core `BENCH_parallel.json` with a
+    /// single-core rerun).
+    pub force: bool,
 }
 
 impl HarnessArgs {
@@ -35,10 +39,12 @@ impl HarnessArgs {
         let mut quick = false;
         let mut iters = None;
         let mut reps = None;
+        let mut force = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
+                "--force" => force = true,
                 "--iters" => {
                     iters = Some(
                         args.next()
@@ -56,10 +62,17 @@ impl HarnessArgs {
                     )
                 }
                 other => {
-                    panic!("unknown argument {other} (try --quick, --iters N or --reps N)")
+                    panic!(
+                        "unknown argument {other} (try --quick, --iters N, --reps N or --force)"
+                    )
                 }
             }
         }
-        HarnessArgs { quick, iters, reps }
+        HarnessArgs {
+            quick,
+            iters,
+            reps,
+            force,
+        }
     }
 }

@@ -9,6 +9,14 @@
 //!
 //! Entries are read/written uncached (one word each); allocation races are
 //! excluded by an SCC test-and-set register.
+//!
+//! Under the parallel conservative engine (DESIGN.md §8) a first-touch
+//! lookup is a globally visible read of on-die memory; it demotes to the
+//! lock-free fast path like any other order point. The hardware layer
+//! additionally tags every shared frame with an ownership epoch
+//! (`FrameOwners::epoch_of`, bumped on each claim/release), so a
+//! first-touch decision can be attributed to the ownership generation it
+//! was made under when diagnosing parallel-engine schedules.
 
 use scc_hw::mpb::MpbArray;
 use scc_hw::{CoreId, MemAttr};

@@ -226,8 +226,10 @@ impl MailboxHook {
         k.hw.advance(check_cost);
         // The raw flag peek below decides whether timed MPB accesses
         // follow; under the parallel engine it must observe the MPB at
-        // this core's deterministic position in the election order.
-        k.hw.host_order_point();
+        // this core's deterministic position in the election order. The
+        // slot's only other writer is `sender` (it sets the flag, we clear
+        // it), so the peek demotes through the per-object sequence check.
+        k.hw.host_order_point_peer(sender);
         if sh.mach.mpb.read(pa + field::FLAG, 1) == 0 {
             return false;
         }
@@ -326,8 +328,9 @@ impl Mailbox {
         if k.in_irq() {
             // Raw full-slot peek: order it (and the post that may follow)
             // into the deterministic election order under the parallel
-            // engine.
-            k.hw.host_order_point();
+            // engine. The slot's only other writer is `dst` (we set the
+            // flag, it clears it), so the peek demotes per-object.
+            k.hw.host_order_point_peer(dst);
             let backlog = !sh.outbox.lock().is_empty();
             if backlog || sh.mach.mpb.read(slot_pa(dst, sh.me) + field::FLAG, 1) != 0 {
                 // Slot full — or an earlier deferred mail must not be
@@ -362,7 +365,8 @@ impl Mailbox {
         let mpb_cost = k.hw.machine().cfg.timing.mpb_cost(sh.me.hops_to(dst));
         // Raw full-slot peek: order it (and the send that follows) into
         // the deterministic election order under the parallel engine.
-        k.hw.host_order_point();
+        // Only `dst` ever clears this flag, so the peek demotes per-object.
+        k.hw.host_order_point_peer(dst);
         if sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
             sh.stats.send_stalls.fetch_add(1, Ordering::Relaxed);
             if sh.resilient {
@@ -407,7 +411,7 @@ impl Mailbox {
             k.poll_irqs();
             k.run_idle_hooks();
             sh.stats.retries.fetch_add(1, Ordering::Relaxed);
-            k.hw.host_order_point();
+            k.hw.host_order_point_peer(dst);
             if sh.mach.mpb.read(pa + field::FLAG, 1) == 0 {
                 // Observing the freed flag costs one remote MPB read.
                 k.hw.advance(mpb_cost);
@@ -435,7 +439,7 @@ impl Mailbox {
                 }
             };
             let pa = slot_pa(dst, self.sh.me);
-            k.hw.host_order_point();
+            k.hw.host_order_point_peer(dst);
             if self.sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
                 return;
             }
@@ -506,7 +510,12 @@ impl Mailbox {
             stamp as u32,
         );
         if sh.notify == Notify::Ipi {
-            k.hw.send_ipi(dst);
+            // Configuration error, caught on the first send: IPI-mode
+            // notification cannot be replayed by the parallel executor.
+            k.hw.send_ipi(dst).expect(
+                "IPI notification is unsupported under host_fast.parallel; \
+                 configure Notify::Poll",
+            );
         }
     }
 

@@ -114,8 +114,19 @@ impl IsendReq {
         }
         let me = comm.core_of(comm.ue());
         // The raw flag peek steers timed MPB traffic: order it into the
-        // parallel engine's election sequence (no-op in serial mode).
-        k.hw.host_order_point();
+        // parallel engine's election sequence (no-op in serial mode). The
+        // READY flag's only possible writer is the receiver of the last
+        // pushed chunk — recorded in our own SENT flag, which nobody else
+        // writes — so the peek demotes through the per-object sequence
+        // check against exactly that core. Before the first push nobody
+        // can ack at all.
+        let acker = if comm.send_seq == 0 {
+            me
+        } else {
+            let sent = RcceComm::peek_flag(k.hw.machine(), me, SENT_FLAG_OFF);
+            comm.core_of(unpack_dst_len(sent.aux).0)
+        };
+        k.hw.host_order_point_peer(acker);
         let ready = RcceComm::peek_flag(k.hw.machine(), me, READY_FLAG_OFF);
         // The pipeline is free when every chunk published so far was acked.
         if ready.value != comm.send_seq {
@@ -157,7 +168,9 @@ impl IrecvReq {
             return false;
         }
         let src_core = comm.core_of(self.src);
-        k.hw.host_order_point();
+        // The sender's SENT flag is written only by the sender itself:
+        // demote the peek through the per-object sequence check.
+        k.hw.host_order_point_peer(src_core);
         let sent = RcceComm::peek_flag(k.hw.machine(), src_core, SENT_FLAG_OFF);
         let acked = comm.recv_acked[self.src];
         if sent.value <= acked {
@@ -226,7 +239,10 @@ pub fn wait_all(
         let mach = Arc::clone(k.hw.machine());
         // Snapshot the watched flags at this core's deterministic position
         // in the election order, so "changed since the snapshot" means the
-        // same thing under both executors.
+        // same thing under both executors. This one stays on the generic
+        // order point (window/floor fast paths only): the snapshot spans
+        // flags with several distinct writers, and a stale snapshot would
+        // turn the change-detection wait into a virtual-time livelock.
         k.hw.host_order_point();
         let mut watch: Vec<(CoreId, u32, u32, u32)> = Vec::new();
         if sends.iter().any(|s| !s.done) {

@@ -49,10 +49,24 @@ pub struct HostFastPaths {
     /// core when no core is blocked, skipping the decision round.
     pub fast_yield: bool,
     /// Parallel conservative execution: cores run concurrently on host
-    /// threads inside safe windows and serialise only at globally visible
-    /// operations (see DESIGN.md §8). Off by default; the serial baton
-    /// executor remains the reference oracle. Requires polling-mode
-    /// notification (no IPIs) and is validated by the shadow tests.
+    /// threads, resolving most globally visible operations lock-free
+    /// against per-object epoch/sequence counters and serialising through
+    /// the locked election path only on actual cross-core conflict (see
+    /// DESIGN.md §8). Off by default; the serial baton executor remains
+    /// the reference oracle and the replayed schedule is bit-identical
+    /// (shadow- and stress-tested).
+    ///
+    /// Constraints under this engine:
+    /// - [`CoreCtx::send_ipi`](crate::core::CoreCtx::send_ipi) returns the
+    ///   typed [`HwError::ParUnsupported`](crate::error::HwError) — an IPI
+    ///   lands at an asynchronous point of a run-ahead receiver, which
+    ///   cannot be honoured without rollback. Configure polling-mode
+    ///   notification (`Notify::Poll` in the mailbox layer) instead.
+    /// - Only the Baton schedule is replayed, and fault injection
+    ///   requires the serial engine.
+    /// - `SCC_PAR_HOST_THREADS=N` caps how many simulated cores run on
+    ///   host threads concurrently (unset or 0: one thread per core).
+    ///   The cap changes host scheduling only, never simulated results.
     pub parallel: bool,
 }
 

@@ -8,12 +8,13 @@
 
 use crate::cache::{Cache, Wcb, WcbFlush};
 use crate::config::{LINE_BYTES, PAGE_BYTES};
+use crate::error::HwError;
 use crate::instr::{EventKind, TraceRing};
 use crate::machine::MachineInner;
 use crate::par::Engine;
 use crate::perf::PerfCounters;
 use crate::ram::{Backing, MPB_PA_BASE};
-use crate::timing::TimingParams;
+use crate::timing::{pack_key, TimingParams};
 use crate::topology::{mc_coord, CoreId};
 use std::sync::Arc;
 
@@ -99,8 +100,17 @@ pub struct CoreCtx {
     mach: Arc<MachineInner>,
     sched: Arc<Engine>,
     /// True under the parallel conservative engine: every globally visible
-    /// operation must hold the open safe window (see [`crate::par`]).
+    /// operation must pass a demotion check or hold the open window (see
+    /// [`crate::par`]).
     par: bool,
+    /// Election key of the current scheduling segment (the clock published
+    /// when the previous segment ended) — the *true* current key, which may
+    /// run ahead of the engine's retired view. Parallel engine only.
+    seg_key: u64,
+    /// Demoted visible operations since the last locked engine interaction
+    /// (the running epoch length; folded into the histogram counters at
+    /// every epoch close).
+    epoch_len: u64,
     /// Cached `!mach.cfg.faults.is_empty()` so the fault-injection hooks
     /// cost one predictable branch on the hot paths.
     has_faults: bool,
@@ -108,6 +118,31 @@ pub struct CoreCtx {
     shared_base: u32,
     priv_base: u32,
     priv_end: u32,
+}
+
+/// Extend the running epoch by one demoted operation (free functions so
+/// they can run under a live borrow of `CoreCtx::sched`).
+#[inline]
+fn bump_epoch(perf: &mut PerfCounters, epoch_len: &mut u64) {
+    if *epoch_len == 0 {
+        perf.par_epochs += 1;
+    }
+    *epoch_len += 1;
+}
+
+/// Close the running epoch, folding its length into the histogram buckets.
+#[inline]
+fn close_epoch(perf: &mut PerfCounters, epoch_len: &mut u64) {
+    let n = std::mem::take(epoch_len);
+    match n {
+        0 => {}
+        1 => perf.par_epoch_len_1 += 1,
+        2..=3 => perf.par_epoch_len_2_3 += 1,
+        4..=7 => perf.par_epoch_len_4_7 += 1,
+        8..=15 => perf.par_epoch_len_8_15 += 1,
+        16..=63 => perf.par_epoch_len_16_63 += 1,
+        _ => perf.par_epoch_len_64 += 1,
+    }
 }
 
 impl CoreCtx {
@@ -141,6 +176,8 @@ impl CoreCtx {
             mach,
             sched,
             par,
+            seg_key: 0,
+            epoch_len: 0,
             has_faults,
         }
     }
@@ -251,7 +288,9 @@ impl CoreCtx {
             }
             Engine::Parallel(p) => {
                 self.perf.par_windows += 1;
+                close_epoch(&mut self.perf, &mut self.epoch_len);
                 p.yield_now(self.slot, self.clock);
+                self.seg_key = self.clock;
             }
         }
         self.next_yield = self.clock + self.quantum;
@@ -278,6 +317,9 @@ impl CoreCtx {
             Engine::Serial(s) => s.wait_blocked(self.slot, self.clock, reason, cond),
             Engine::Parallel(p) => {
                 self.perf.par_windows += 1;
+                close_epoch(&mut self.perf, &mut self.epoch_len);
+                // The block clock is the next segment's election key.
+                self.seg_key = self.clock;
                 p.wait_blocked(self.slot, self.clock, reason, cond)
             }
         };
@@ -308,14 +350,23 @@ impl CoreCtx {
         self.mach.frame_owners.owned_by(frame, self.id.idx())
     }
 
-    /// Wait for this core's safe window (parallel engine only): after this
-    /// returns, the core's election key is globally minimal and it may
-    /// perform visible operations until its segment ends. Free in
-    /// simulated time.
+    /// Order this core's next globally visible operation (parallel engine
+    /// only). Fast paths first: holding the open window or sitting at the
+    /// published floor licenses the operation lock-free (a **demoted**
+    /// order point, extending the running epoch). Otherwise this is a
+    /// **conflict**: the epoch closes and the core takes the engine lock,
+    /// returning once it holds the window. Free in simulated time.
     #[inline]
     fn host_sync(&mut self) {
         if let Engine::Parallel(p) = &*self.sched {
             self.perf.par_visible_ops += 1;
+            if p.window_open_for(self.slot) || p.at_floor(pack_key(self.seg_key, self.slot)) {
+                self.perf.par_demoted_ops += 1;
+                bump_epoch(&mut self.perf, &mut self.epoch_len);
+                return;
+            }
+            self.perf.par_conflicts += 1;
+            close_epoch(&mut self.perf, &mut self.epoch_len);
             if p.visible(self.slot) {
                 self.perf.par_horizon_stalls += 1;
             }
@@ -333,13 +384,54 @@ impl CoreCtx {
 
     /// Public order-point for host-side shared structures (bump allocators,
     /// raw flag peeks that precede timed accesses): under the parallel
-    /// engine this acquires the safe window so the caller's next host-side
-    /// effect lands in deterministic election order. No-op (and free) under
-    /// the serial executor.
+    /// engine the caller's next host-side effect lands in deterministic
+    /// election order (demoted lock-free when a fast path proves the
+    /// absence of conflict). No-op (and free) under the serial executor.
     #[inline]
     pub fn host_order_point(&mut self) {
         if self.par {
             self.host_sync();
+        }
+    }
+
+    /// Order point for a *read-only* peek of an object whose only possible
+    /// writers are this core and `writer` — a mailbox slot's flag word, an
+    /// iRCCE pipeline flag. On top of the generic window/floor fast paths,
+    /// this demotes through the per-object sequence check: when every
+    /// serially-prior write of `writer` has provably retired, the peek
+    /// cannot race anything and resolves lock-free (DESIGN.md §8). The
+    /// caller must not *write* under this order point, and must name the
+    /// object's single possible other writer. No-op under the serial
+    /// executor.
+    #[inline]
+    pub fn host_order_point_peer(&mut self, writer: CoreId) {
+        if let Engine::Parallel(p) = &*self.sched {
+            self.perf.par_visible_ops += 1;
+            let packed = pack_key(self.seg_key, self.slot);
+            if writer == self.id
+                || p.window_open_for(self.slot)
+                || p.at_floor(packed)
+                || p.peer_clear(packed, writer)
+            {
+                self.perf.par_demoted_ops += 1;
+                bump_epoch(&mut self.perf, &mut self.epoch_len);
+                return;
+            }
+            self.perf.par_conflicts += 1;
+            close_epoch(&mut self.perf, &mut self.epoch_len);
+            if p.visible(self.slot) {
+                self.perf.par_horizon_stalls += 1;
+            }
+        }
+    }
+
+    /// Fold end-of-run parallel-engine statistics into this core's perf
+    /// counters: the trailing epoch and the host nanoseconds its thread
+    /// spent parked. Called by the machine after the program returns.
+    pub(crate) fn finalize_par_stats(&mut self) {
+        close_epoch(&mut self.perf, &mut self.epoch_len);
+        if let Engine::Parallel(p) = &*self.sched {
+            self.perf.par_park_ns = p.park_ns(self.slot);
         }
     }
 
@@ -442,6 +534,7 @@ impl CoreCtx {
             }
             Backing::Mpb { .. } => {
                 self.perf.mpb_writes += 1;
+                self.mach.mpb.note_write(pa, pack_key(self.clock, self.slot));
                 self.mach.mpb.write(pa, len, val)
             }
         }
@@ -473,6 +566,7 @@ impl CoreCtx {
                 self.perf.ram_writes += 1;
             }
             Backing::Mpb { .. } => {
+                self.mach.mpb.note_write(base, pack_key(self.clock, self.slot));
                 self.mach.mpb.write_line_masked(base, &f.data, f.mask);
                 self.perf.mpb_writes += 1;
             }
@@ -731,14 +825,20 @@ impl CoreCtx {
     ///
     /// Unsupported under the parallel executor: an IPI interrupts the
     /// receiver at an *asynchronous* point in its instruction stream, which
-    /// a run-ahead receiver cannot honour without rollback. Parallel runs
-    /// must use polling-mode notification (see DESIGN.md §8).
-    pub fn send_ipi(&mut self, dst: CoreId) {
-        assert!(
-            !self.par,
-            "send_ipi is unsupported under the parallel executor; \
-             configure polling-mode notification instead"
-        );
+    /// a run-ahead receiver cannot honour without rollback. Returns
+    /// [`HwError::ParUnsupported`] (before charging any cost or raising the
+    /// doorbell) under `host_fast.parallel`; such runs must use
+    /// polling-mode notification (see DESIGN.md §8 and
+    /// [`crate::HostFastPaths::parallel`]).
+    pub fn send_ipi(&mut self, dst: CoreId) -> Result<(), HwError> {
+        if self.par {
+            return Err(HwError::ParUnsupported {
+                what: "send_ipi: an IPI lands at an asynchronous point of the \
+                       receiver, which a run-ahead receiver cannot honour; \
+                       use polling-mode notification (Notify::Poll)"
+                    .to_string(),
+            });
+        }
         let t = &self.timing;
         let cost = t.ipi_raise + t.hop_cost(self.id.hops_to(dst));
         self.advance(cost);
@@ -746,15 +846,16 @@ impl CoreCtx {
         self.trace(EventKind::IpiSend, dst.idx() as u32, 0);
         if self.has_faults {
             match self.mach.faults.ipi_fault(self.id.idx(), dst.idx()) {
-                crate::faults::IpiOutcome::Drop => return,
+                crate::faults::IpiOutcome::Drop => return Ok(()),
                 crate::faults::IpiOutcome::Delay(d) => {
                     self.mach.gic.raise(self.id, dst, self.clock + d);
-                    return;
+                    return Ok(());
                 }
                 crate::faults::IpiOutcome::Deliver => {}
             }
         }
         self.mach.gic.raise(self.id, dst, self.clock);
+        Ok(())
     }
 
     /// Cheap check for pending IPIs (one register read, free — the pin is
@@ -942,7 +1043,7 @@ mod tests {
         one_core(|c| {
             let me = c.id();
             assert!(!c.has_pending_ipi());
-            c.send_ipi(me);
+            c.send_ipi(me).unwrap();
             assert!(c.has_pending_ipi());
             let got = c.claim_ipis();
             assert_eq!(got.len(), 1);

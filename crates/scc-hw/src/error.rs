@@ -13,6 +13,13 @@ pub enum HwError {
         /// One `(core, wait_reason)` pair per blocked core.
         waiting: Vec<(usize, String)>,
     },
+    /// The requested operation cannot be honoured under the parallel
+    /// conservative executor (`host_fast.parallel`) — e.g. `send_ipi`,
+    /// whose asynchronous delivery a run-ahead receiver cannot replay.
+    ParUnsupported {
+        /// What was attempted and what to use instead.
+        what: String,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -25,6 +32,9 @@ impl fmt::Display for HwError {
                     writeln!(f, "  core {c}: waiting for {why}")?;
                 }
                 Ok(())
+            }
+            HwError::ParUnsupported { what } => {
+                write!(f, "unsupported under the parallel executor: {what}")
             }
         }
     }

@@ -75,6 +75,15 @@
 //! configuration alone. Elections only happen at yield points; the
 //! interleavings explored are precisely the legal schedules of the
 //! simulated software.
+//!
+//! ## The parallel engine replays this schedule
+//!
+//! The serial baton schedule defined here is also the *reference* for the
+//! epoch-based parallel engine ([`crate::par`], DESIGN.md §8): under
+//! `host_fast.parallel`, cores run concurrently on host threads, resolve
+//! most visible operations lock-free against per-object epoch/sequence
+//! state, and fall back to replaying exactly these baton elections on
+//! conflict. The shadow tests hold the two executors bit-identical.
 
 use crate::error::HwError;
 use parking_lot::{Condvar, Mutex};

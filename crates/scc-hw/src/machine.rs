@@ -133,7 +133,7 @@ impl Machine {
                 self.inner.cfg.faults.is_empty(),
                 "fault injection requires the serial engine"
             );
-            Engine::Parallel(ParEngine::new(cores.len()))
+            Engine::Parallel(ParEngine::new(cores))
         } else {
             Engine::Serial(Scheduler::with_policy(
                 cores.len(),
@@ -152,6 +152,7 @@ impl Machine {
                     engine.wait_for_turn(slot);
                     let mut ctx = CoreCtx::new(core, slot, inner, Arc::clone(&engine));
                     let result = f(&mut ctx);
+                    ctx.finalize_par_stats();
                     engine.finish(slot);
                     CoreResult {
                         core,

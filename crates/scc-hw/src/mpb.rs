@@ -5,14 +5,22 @@
 //! MPB pages are tagged `MPBT` in the page tables; accesses bypass the L2
 //! cache and are the target of the `CL1INVMB` instruction (see `cache.rs`).
 
-use crate::config::MPB_BYTES;
+use crate::config::{LINE_BYTES, MPB_BYTES};
 use crate::ram::{AtomicWords, MPB_PA_BASE};
 use crate::topology::CoreId;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// All 48 message-passing buffers.
 pub struct MpbArray {
     ncores: usize,
     words: AtomicWords,
+    /// Per-32-byte-line visibility stamps: the packed election key
+    /// (`crate::timing::pack_key`) of the last *timed* write landing in the
+    /// line, recorded by the memory engine. Mailbox slots span whole lines,
+    /// so this gives each slot's flag/payload a slot-granular stamp — used
+    /// by the parallel engine's diagnostics and the determinism stress
+    /// suite (the stamp stream must be bit-identical across executors).
+    stamps: Vec<AtomicU64>,
 }
 
 impl MpbArray {
@@ -20,7 +28,24 @@ impl MpbArray {
         MpbArray {
             ncores,
             words: AtomicWords::new(ncores * MPB_BYTES),
+            stamps: (0..ncores * MPB_BYTES / LINE_BYTES)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
+    }
+
+    /// Record the packed election key of a timed write covering `pa`.
+    #[inline]
+    pub fn note_write(&self, pa: u32, packed_key: u64) {
+        let line = self.flat(pa) as usize / LINE_BYTES;
+        self.stamps[line].store(packed_key, Ordering::Relaxed);
+    }
+
+    /// The visibility stamp of the 32-byte line containing `pa`: the packed
+    /// election key of the last timed write, 0 if never written.
+    #[inline]
+    pub fn stamp_of(&self, pa: u32) -> u64 {
+        self.stamps[self.flat(pa) as usize / LINE_BYTES].load(Ordering::Relaxed)
     }
 
     /// Physical address of byte `off` inside core `c`'s MPB.
@@ -99,5 +124,16 @@ mod tests {
     #[should_panic]
     fn offset_out_of_range_panics() {
         MpbArray::pa(CoreId::new(0), MPB_BYTES);
+    }
+
+    #[test]
+    fn stamps_are_line_granular() {
+        let m = MpbArray::new(2);
+        let pa = MpbArray::pa(CoreId::new(1), 64);
+        assert_eq!(m.stamp_of(pa), 0);
+        m.note_write(pa, 0xabcd);
+        // Same line: stamped; next line: untouched.
+        assert_eq!(m.stamp_of(pa + 31), 0xabcd);
+        assert_eq!(m.stamp_of(pa + 32), 0);
     }
 }

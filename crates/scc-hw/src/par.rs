@@ -35,34 +35,82 @@
 //!   operations. Its thread is notified in case it is parked in
 //!   [`ParEngine::visible`].
 //!
-//! A core reaching a visible operation calls [`ParEngine::visible`] and
-//! proceeds only once it holds the open window; it keeps the window (and
-//! the licence for further visible ops) until its segment ends. By
-//! induction over the election index, every election sees the same
-//! (key, status, satisfiability) vector as the serial scheduler, so
-//! winners, wait values, virtual clocks and traces are bit-identical.
+//! ## Epochs: lock-free demotion of order points
 //!
-//! Deadlock detection is the serial rule verbatim: an election with no
-//! winner while some slot is blocked. A blocked thread parks until it wins
-//! an election; a mid-segment thread can always run to its next engine
-//! interaction (the quantum bounds segments), so the engine adds no host
-//! deadlocks of its own.
+//! Taking the engine mutex at *every* visible operation is what made the
+//! PR 3 engine slower than serial (millions of gated ops, tens of
+//! thousands of actual stalls). The engine therefore publishes three
+//! lock-free mirrors of its election state, against which a core may
+//! *demote* an order point — resolve it without the lock — when no
+//! cross-core conflict is possible. A maximal run of demoted operations
+//! between two locked interactions is an **epoch**; its boundaries are
+//! exactly where real synchronisation happens. Election keys compare as
+//! single `u64`s via [`crate::timing::pack_key`] (clock ≪ 8 | slot).
 //!
-//! ## Memory-ordering soundness
+//! * **Open-window mirror** (`open_slot`): the slot currently holding the
+//!   window, `usize::MAX` when none. Only the owner's own thread ever
+//!   closes its window, so `open_slot == me` read with `Acquire` is a
+//!   stable licence for *any* visible operation: the `Release` store that
+//!   opened the window happened under the lock, after every serially-prior
+//!   segment retired, so all serially-prior writes are host-visible.
+//! * **Floor** (`floor`): the packed minimum of `keys` over all non-done
+//!   slots (blocked slots included — they hold the floor down), republished
+//!   at the end of every election batch. `floor == pack(my_seg_key, me)`
+//!   proves this core is the global serial minimum with no pending ends of
+//!   its own: nothing can be elected past it, no other slot's window can be
+//!   open, and no other slot can be at the floor, so the core may read
+//!   *and write* visibly without the lock. The value is stable for the
+//!   whole segment: the owner's key cannot advance while it is mid-segment
+//!   and every other key only grows.
+//! * **Published keys** (`pub_keys`): a per-slot mirror of `keys`
+//!   (`u64::MAX` once done), stored with `Release` at every retirement.
+//!   For a *read-only* peek of an object with a single known writer
+//!   (mailbox flag peeks, iRCCE pipeline flags — the per-object sequence
+//!   locks of DESIGN.md §8), `pub_keys[writer] > pack(my_seg_key, me)`
+//!   proves every serially-prior write of that writer has retired (and is
+//!   visible via the `Acquire` load) and that no serially-prior write can
+//!   still be in flight — any in-flight gated or demoted write by the
+//!   writer would pin `pub_keys[writer]` at or below its segment key,
+//!   which the frontier invariant bounds by ours. Keys are monotone, so a
+//!   single pre-read check suffices; there is no retry loop to run.
 //!
-//! All simulated memory is relaxed atomics. Every segment end and every
-//! election happens under the one engine mutex, so a visible operation in
-//! an open window happens-after all earlier-elected segments' private
-//! writes (their threads pushed the segment end — in program order after
-//! the writes — before the election that ordered them). Ownership-based
-//! classification (see `CoreCtx`) guarantees private accesses never race
-//! visible ones for protocol-correct programs.
+//! The soundness of all three rests on the **frontier invariant**: while a
+//! core is mid-segment and un-retired at key k, every election winner has
+//! key ≤ k (the minimum ranges over a set containing k), so a demoted
+//! operation can never observe a serially-*future* write; the only hazard
+//! is missing a serially-*prior* one, which is exactly what each check
+//! rules out. Checker evaluations inside elections may race floor-demoted
+//! writes, but only for blocked slots whose keys lie above the floor; such
+//! evaluations can never select the winner (the floor-holding core is
+//! runnable at the minimum), are discarded, and are recomputed in a
+//! quiescent election when they matter. All simulated memory is relaxed
+//! atomics, so the races are benign data-wise too.
+//!
+//! A core reaching a visible operation that fails all three checks calls
+//! [`ParEngine::visible`] — the **conflict** path — and proceeds once it
+//! holds the open window. Deadlock detection is the serial rule verbatim:
+//! an election with no winner while some slot is blocked.
+//!
+//! ## Host-thread throttling
+//!
+//! `SCC_PAR_HOST_THREADS=<n>` bounds how many core threads may *run*
+//! concurrently (a permit gate, re-acquired after every park). This exists
+//! for the CI determinism matrix — the schedule must be bit-identical at
+//! any thread count — and for oversubscribed hosts. Unset or `0` means
+//! one thread per simulated core.
 
 use crate::error::HwError;
 use crate::exec::DeadlockUnwind;
-use parking_lot::{Condvar, Mutex};
+use crate::timing::pack_key;
+use crate::topology::{CoreId, MAX_CORES};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// `open_slot` value when no window is open.
+const NO_SLOT: usize = usize::MAX;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Status {
@@ -103,6 +151,10 @@ struct ParState {
     /// Slot holding the open window, if any.
     open: Option<usize>,
     deadlock: Option<Arc<HwError>>,
+    /// Threads currently holding a run permit (host-thread gate).
+    running: usize,
+    /// Permit capacity, from `SCC_PAR_HOST_THREADS`.
+    max_running: usize,
 }
 
 /// The parallel conservative engine shared by all core threads of one run.
@@ -110,10 +162,36 @@ pub struct ParEngine {
     state: Mutex<ParState>,
     /// One condvar per slot; each slot's thread is its only waiter.
     cvs: Vec<Condvar>,
+    /// Waiters for a run permit (host-thread gate).
+    gate_cv: Condvar,
+    /// Lock-free mirror of `ParState::open` (`NO_SLOT` when none).
+    open_slot: AtomicUsize,
+    /// Lock-free packed minimum of `keys` over non-done slots
+    /// (`u64::MAX` when all are done).
+    floor: AtomicU64,
+    /// Lock-free per-slot mirror of `keys` (packed; `u64::MAX` once done).
+    pub_keys: Vec<AtomicU64>,
+    /// CoreId index → slot for the cores of this run (`NO_SLOT` if the
+    /// core does not participate).
+    slot_of: Vec<usize>,
+    /// Host nanoseconds each slot's thread spent parked (windows, waits,
+    /// gate) — the raw material of the bench utilisation report.
+    park_ns: Vec<AtomicU64>,
 }
 
 impl ParEngine {
-    pub fn new(nslots: usize) -> Arc<Self> {
+    pub fn new(cores: &[CoreId]) -> Arc<Self> {
+        let nslots = cores.len();
+        let mut slot_of = vec![NO_SLOT; MAX_CORES];
+        for (slot, c) in cores.iter().enumerate() {
+            slot_of[c.idx()] = slot;
+        }
+        let max_running = std::env::var("SCC_PAR_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(nslots)
+            .min(nslots.max(1));
         Arc::new(ParEngine {
             state: Mutex::new(ParState {
                 keys: vec![0; nslots],
@@ -124,15 +202,113 @@ impl ParEngine {
                 satisfiable: vec![false; nslots],
                 open: None,
                 deadlock: None,
+                running: 0,
+                max_running,
             }),
             cvs: (0..nslots).map(|_| Condvar::new()).collect(),
+            gate_cv: Condvar::new(),
+            open_slot: AtomicUsize::new(NO_SLOT),
+            floor: AtomicU64::new(pack_key(0, 0)),
+            pub_keys: (0..nslots)
+                .map(|slot| AtomicU64::new(pack_key(0, slot)))
+                .collect(),
+            slot_of,
+            park_ns: (0..nslots).map(|_| AtomicU64::new(0)).collect(),
         })
+    }
+
+    // ---- lock-free demotion checks (epoch fast paths) ----
+
+    /// Does `slot` hold the open window? A `true` answer is stable until
+    /// the slot's own thread ends its segment, and licenses any visible
+    /// operation.
+    #[inline]
+    pub fn window_open_for(&self, slot: usize) -> bool {
+        self.open_slot.load(Ordering::Acquire) == slot
+    }
+
+    /// Is `packed` (= `pack_key(seg_key, slot)`, the caller's *current*
+    /// segment key) the published global floor? A `true` answer proves the
+    /// caller is the serial minimum with nothing of its own pending and
+    /// licenses any visible operation for the rest of the segment.
+    #[inline]
+    pub fn at_floor(&self, packed: u64) -> bool {
+        self.floor.load(Ordering::Acquire) == packed
+    }
+
+    /// Per-object sequence-lock check for a *read-only* peek of an object
+    /// whose only other possible writer is core `peer`: `true` when every
+    /// serially-prior write of `peer` has retired and none can be in
+    /// flight, so the peek may resolve lock-free. Callers must handle the
+    /// writer-is-me case themselves (it is trivially clear).
+    #[inline]
+    pub fn peer_clear(&self, my_packed: u64, peer: CoreId) -> bool {
+        let slot = self.slot_of[peer.idx()];
+        if slot == NO_SLOT {
+            return true; // not part of this run: it never writes
+        }
+        self.pub_keys[slot].load(Ordering::Acquire) > my_packed
+    }
+
+    /// Host nanoseconds `slot`'s thread has spent parked so far.
+    pub fn park_ns(&self, slot: usize) -> u64 {
+        self.park_ns[slot].load(Ordering::Relaxed)
+    }
+
+    // ---- engine state maintenance (all under the mutex) ----
+
+    /// Mirror a retirement of `keys[w]`/`status[w]` into `pub_keys`.
+    #[inline]
+    fn publish_key(&self, st: &ParState, w: usize) {
+        let v = match st.status[w] {
+            Status::Done => u64::MAX,
+            _ => pack_key(st.keys[w], w),
+        };
+        self.pub_keys[w].store(v, Ordering::Release);
+    }
+
+    /// Republish the packed floor from the current `keys`/`status`.
+    fn publish_floor(&self, st: &ParState) {
+        let f = (0..st.keys.len())
+            .filter(|&i| st.status[i] != Status::Done)
+            .map(|i| pack_key(st.keys[i], i))
+            .min()
+            .unwrap_or(u64::MAX);
+        self.floor.store(f, Ordering::Release);
+    }
+
+    /// Acquire a run permit, waiting while the gate is full. Returns
+    /// immediately once a deadlock is declared (the caller re-checks).
+    fn gate_acquire(&self, st: &mut MutexGuard<'_, ParState>, slot: usize) {
+        while st.deadlock.is_none() && st.running >= st.max_running {
+            let t = Instant::now();
+            self.gate_cv.wait(st);
+            self.park_ns[slot].fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        st.running += 1;
+    }
+
+    /// Release this thread's run permit.
+    fn gate_release(&self, st: &mut ParState) {
+        st.running -= 1;
+        self.gate_cv.notify_one();
+    }
+
+    /// A core thread is about to start running its program: take a permit.
+    pub fn start(&self, slot: usize) {
+        let mut st = self.state.lock();
+        self.gate_acquire(&mut st, slot);
     }
 
     /// Replay the serial election loop until a window opens, a blocked
     /// winner is woken, the run is over, or deadlock is proven. Must be
-    /// called with no window open.
+    /// called with no window open. Republishes the floor on every return.
     fn advance_elections(&self, st: &mut ParState) {
+        self.elections_inner(st);
+        self.publish_floor(st);
+    }
+
+    fn elections_inner(&self, st: &mut ParState) {
         debug_assert!(st.open.is_none());
         let n = st.keys.len();
         while st.deadlock.is_none() {
@@ -167,6 +343,7 @@ impl ParEngine {
                     for cv in &self.cvs {
                         cv.notify_one();
                     }
+                    self.gate_cv.notify_all();
                 }
                 return; // all done, or deadlock
             };
@@ -177,23 +354,32 @@ impl ParEngine {
                 st.status[w] = Status::Runnable;
                 st.reasons[w] = "";
                 st.open = Some(w);
+                self.open_slot.store(w, Ordering::Release);
                 self.cvs[w].notify_one();
                 return;
             }
             match st.pending[w].pop_front() {
-                Some(SegEnd::Yield { next_key }) => st.keys[w] = next_key,
+                Some(SegEnd::Yield { next_key }) => {
+                    st.keys[w] = next_key;
+                    self.publish_key(st, w);
+                }
                 Some(SegEnd::Block { key, reason, checker }) => {
                     st.keys[w] = key;
                     st.status[w] = Status::Blocked;
                     st.reasons[w] = reason;
                     st.checkers[w] = Some(checker);
+                    self.publish_key(st, w);
                 }
-                Some(SegEnd::Done) => st.status[w] = Status::Done,
+                Some(SegEnd::Done) => {
+                    st.status[w] = Status::Done;
+                    self.publish_key(st, w);
+                }
                 None => {
                     // Mid-segment: open the winner's window. It may be
                     // running ahead (the notify is then lost, harmlessly)
                     // or parked in `visible`.
                     st.open = Some(w);
+                    self.open_slot.store(w, Ordering::Release);
                     self.cvs[w].notify_one();
                     return;
                 }
@@ -201,22 +387,39 @@ impl ParEngine {
         }
     }
 
+    /// Close the open window held by `slot`. Callers retire the segment
+    /// end and re-run elections right after, under the same lock.
+    #[inline]
+    fn close_window(&self, st: &mut ParState, slot: usize) {
+        debug_assert_eq!(st.open, Some(slot));
+        st.open = None;
+        self.open_slot.store(NO_SLOT, Ordering::Release);
+    }
+
     fn unwind_deadlock(&self, st: &ParState) -> ! {
         let err = st.deadlock.clone().expect("deadlock error set");
         std::panic::panic_any(DeadlockUnwind(err));
     }
 
-    /// Gate a globally visible operation: returns once this slot holds the
-    /// open window (it keeps it until the segment ends). Returns `true`
-    /// when the thread had to park — the horizon stall counter.
+    /// Gate a globally visible operation that failed every demotion check:
+    /// returns once this slot holds the open window (it keeps it until the
+    /// segment ends). Returns `true` when the thread had to park — the
+    /// horizon stall counter.
     pub fn visible(&self, slot: usize) -> bool {
         let mut st = self.state.lock();
         let mut stalled = false;
+        let mut parked = false;
         loop {
             if st.deadlock.is_some() {
                 self.unwind_deadlock(&st);
             }
             if st.open == Some(slot) {
+                if parked {
+                    // Re-take a run permit before running on.
+                    self.gate_acquire(&mut st, slot);
+                    parked = false;
+                    continue;
+                }
                 return stalled;
             }
             if st.open.is_none() {
@@ -224,7 +427,13 @@ impl ParEngine {
                 continue;
             }
             stalled = true;
+            if !parked {
+                parked = true;
+                self.gate_release(&mut st);
+            }
+            let t = Instant::now();
             self.cvs[slot].wait(&mut st);
+            self.park_ns[slot].fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 
@@ -237,8 +446,9 @@ impl ParEngine {
             self.unwind_deadlock(&st);
         }
         if st.open == Some(slot) {
-            st.open = None;
+            self.close_window(&mut st, slot);
             st.keys[slot] = next_clock;
+            self.publish_key(&st, slot);
             self.advance_elections(&mut st);
         } else {
             st.pending[slot].push_back(SegEnd::Yield { next_key: next_clock });
@@ -287,11 +497,12 @@ impl ParEngine {
         }
         if st.open == Some(slot) {
             // Retire inline: the block takes effect at the serial position.
-            st.open = None;
+            self.close_window(&mut st, slot);
             st.keys[slot] = clock;
             st.status[slot] = Status::Blocked;
             st.reasons[slot] = reason;
             st.checkers[slot] = Some(checker);
+            self.publish_key(&st, slot);
             self.advance_elections(&mut st);
         } else {
             st.pending[slot].push_back(SegEnd::Block { key: clock, reason, checker });
@@ -299,6 +510,7 @@ impl ParEngine {
                 self.advance_elections(&mut st);
             }
         }
+        let mut parked = false;
         loop {
             if st.deadlock.is_some() {
                 // Drop our checker wherever it lives before unwinding.
@@ -312,25 +524,38 @@ impl ParEngine {
             if st.open == Some(slot) && st.status[slot] == Status::Runnable && st.checkers[slot].is_some() {
                 // We won an election on a satisfied condition (the electing
                 // thread flipped us Runnable and left our checker in place).
+                if parked {
+                    self.gate_acquire(&mut st, slot);
+                    parked = false;
+                    continue;
+                }
                 st.checkers[slot] = None;
                 return result
                     .lock()
                     .take()
                     .expect("condition regressed between election and wake");
             }
+            if !parked {
+                parked = true;
+                self.gate_release(&mut st);
+            }
+            let t = Instant::now();
             self.cvs[slot].wait(&mut st);
+            self.park_ns[slot].fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 
     /// The core's program returned. Never parks.
     pub fn finish(&self, slot: usize) {
         let mut st = self.state.lock();
+        self.gate_release(&mut st);
         if st.deadlock.is_some() {
             return; // the run is over; let the thread exit normally
         }
         if st.open == Some(slot) {
-            st.open = None;
+            self.close_window(&mut st, slot);
             st.status[slot] = Status::Done;
+            self.publish_key(&st, slot);
             self.advance_elections(&mut st);
         } else {
             st.pending[slot].push_back(SegEnd::Done);
@@ -355,11 +580,11 @@ pub enum Engine {
 
 impl Engine {
     /// Block until this slot may start running (serial: holds the baton;
-    /// parallel: immediately — the first election orders everything).
+    /// parallel: holds a run permit of the host-thread gate).
     pub fn wait_for_turn(&self, slot: usize) {
         match self {
             Engine::Serial(s) => s.wait_for_turn(slot),
-            Engine::Parallel(_) => {}
+            Engine::Parallel(p) => p.start(slot),
         }
     }
 
@@ -384,6 +609,11 @@ mod tests {
     use super::*;
     use crate::exec::Scheduler;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn par_engine(n: usize) -> Arc<ParEngine> {
+        let cores: Vec<CoreId> = (0..n).map(CoreId::new).collect();
+        ParEngine::new(&cores)
+    }
 
     /// A harness running the same slot bodies under either engine. Bodies
     /// call `yield_to`, `wait`, and `visibly` — under the serial scheduler
@@ -429,7 +659,7 @@ mod tests {
         F: Fn(usize, &AnyEngine) + Send + Sync,
     {
         let eng = if parallel {
-            AnyEngine::Par(ParEngine::new(n))
+            AnyEngine::Par(par_engine(n))
         } else {
             AnyEngine::Serial(Scheduler::new(n))
         };
@@ -445,7 +675,7 @@ mod tests {
                 handles.push(s.spawn(move || {
                     match eng {
                         AnyEngine::Serial(sch) => sch.wait_for_turn(slot),
-                        AnyEngine::Par(_) => {}
+                        AnyEngine::Par(p) => p.start(slot),
                     }
                     f(slot, eng);
                     match eng {
@@ -603,5 +833,43 @@ mod tests {
             vec![(1, 5), (2, 15_000), (0, 20_000)],
             "woken waiter must precede higher-clock runnables"
         );
+    }
+
+    #[test]
+    fn floor_and_pub_keys_track_retirements() {
+        // Single slot: the floor is its packed key; retiring a yield moves
+        // both mirrors; finishing parks them at MAX.
+        let p = par_engine(2);
+        assert!(p.at_floor(pack_key(0, 0)));
+        assert!(!p.at_floor(pack_key(0, 1)));
+        p.start(0);
+        p.start(1);
+        p.yield_now(0, 100);
+        // Slot 0 queued+retired (it is the floor), floor moves to slot 1.
+        assert!(p.at_floor(pack_key(0, 1)));
+        // Slot 1's oldest key (0,1) is below a reader at (50,0): not clear.
+        assert!(!p.peer_clear(pack_key(50, 0), CoreId::new(1)));
+        p.yield_now(1, 200);
+        // Both retired: floor is slot 0 at clock 100.
+        assert!(p.at_floor(pack_key(100, 0)));
+        // Slot 1 now published at (200,1): clear for a reader at (150,0).
+        assert!(p.peer_clear(pack_key(150, 0), CoreId::new(1)));
+        assert!(!p.peer_clear(pack_key(250, 0), CoreId::new(1)));
+        // A core outside the run is always clear.
+        assert!(p.peer_clear(pack_key(9_999, 0), CoreId::new(7)));
+        p.finish(1);
+        p.finish(0);
+        // Both retired as done: published keys park at MAX, floor empties.
+        assert!(p.peer_clear(pack_key(u32::MAX as u64, 0), CoreId::new(1)));
+        assert!(p.at_floor(u64::MAX));
+    }
+
+    #[test]
+    fn gate_serialises_but_preserves_schedule() {
+        // Force a single run permit: the wave schedule must be unchanged.
+        std::env::set_var("SCC_PAR_HOST_THREADS", "1");
+        let gated = wave_trace(true);
+        std::env::remove_var("SCC_PAR_HOST_THREADS");
+        assert_eq!(gated, wave_trace(false));
     }
 }

@@ -72,11 +72,35 @@ counters! {
         /// engine (segments between scheduler interactions).
         par_windows => "exec.par.windows",
         /// Globally visible operations that had to synchronise with the
-        /// parallel engine's election order.
+        /// parallel engine's election order (demoted + conflicting).
         par_visible_ops => "exec.par.visible_ops",
         /// Visible operations that actually parked waiting for the safe
-        /// horizon (the rest found their window already open).
+        /// horizon (a subset of the conflicts).
         par_horizon_stalls => "exec.par.horizon_stalls",
+        /// Visible operations resolved lock-free by a demotion fast path
+        /// (open-window mirror, floor, or per-object sequence check).
+        par_demoted_ops => "exec.par.demoted_ops",
+        /// Visible operations that failed every demotion check and fell
+        /// back to the locked election path (actual cross-core conflicts).
+        par_conflicts => "exec.par.conflicts",
+        /// Maximal lock-free stretches of demoted operations between two
+        /// locked engine interactions.
+        par_epochs => "exec.par.epochs",
+        /// Host nanoseconds this core's thread spent parked (windows,
+        /// waits, host-thread gate) — feeds the bench utilisation report.
+        par_park_ns => "exec.par.park_ns",
+        /// Epoch-length histogram: epochs of exactly 1 demoted op.
+        par_epoch_len_1 => "exec.par.epoch_len.1",
+        /// Epochs of 2–3 demoted ops.
+        par_epoch_len_2_3 => "exec.par.epoch_len.2_3",
+        /// Epochs of 4–7 demoted ops.
+        par_epoch_len_4_7 => "exec.par.epoch_len.4_7",
+        /// Epochs of 8–15 demoted ops.
+        par_epoch_len_8_15 => "exec.par.epoch_len.8_15",
+        /// Epochs of 16–63 demoted ops.
+        par_epoch_len_16_63 => "exec.par.epoch_len.16_63",
+        /// Epochs of 64 or more demoted ops.
+        par_epoch_len_64 => "exec.par.epoch_len.64_plus",
     }
 }
 
@@ -132,7 +156,7 @@ mod tests {
         assert_eq!(m.get("kernel.tlb_hits"), 5);
         assert_eq!(m.get("exec.fast_yields"), 2);
         // One label per field.
-        assert_eq!(m.len(), 24);
+        assert_eq!(m.len(), 34);
         assert_eq!(m.get("exec.par.windows"), 0);
     }
 }

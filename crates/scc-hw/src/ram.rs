@@ -192,14 +192,23 @@ impl AtomicWords {
 /// own thread, and cross-thread ordering comes from the engine's mutex.
 pub struct FrameOwners {
     owners: Box<[AtomicU32]>,
+    /// Per-frame ownership epoch: bumped on every claim and release, so the
+    /// SVM ownership directory can tag first-touch decisions with the
+    /// ownership generation they were made under (parallel-engine
+    /// diagnostics; deterministic because same-frame transitions are
+    /// protocol-ordered).
+    epochs: Box<[AtomicU32]>,
 }
 
 impl FrameOwners {
     pub fn new(frames: usize) -> Self {
         let mut v = Vec::with_capacity(frames);
         v.resize_with(frames, || AtomicU32::new(0));
+        let mut e = Vec::with_capacity(frames);
+        e.resize_with(frames, || AtomicU32::new(0));
         FrameOwners {
             owners: v.into_boxed_slice(),
+            epochs: e.into_boxed_slice(),
         }
     }
 
@@ -220,6 +229,7 @@ impl FrameOwners {
     pub fn claim(&self, frame: usize, owner: usize) {
         if let Some(slot) = self.owners.get(frame) {
             slot.store(owner as u32 + 1, Ordering::Relaxed);
+            self.epochs[frame].fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -228,7 +238,17 @@ impl FrameOwners {
     pub fn release(&self, frame: usize) {
         if let Some(slot) = self.owners.get(frame) {
             slot.store(0, Ordering::Relaxed);
+            self.epochs[frame].fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// The ownership epoch of `frame`: how many claim/release transitions
+    /// it has gone through (0 for out-of-range frames).
+    #[inline]
+    pub fn epoch_of(&self, frame: usize) -> u32 {
+        self.epochs
+            .get(frame)
+            .map_or(0, |e| e.load(Ordering::Relaxed))
     }
 
     /// Is `owner` the registered exclusive owner of `frame`?

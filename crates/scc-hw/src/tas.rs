@@ -16,6 +16,12 @@ const LOCKED: u64 = 1;
 pub struct TasBank {
     /// bit 0: locked; bits 1..: cycle stamp of the last release.
     regs: [AtomicU64; MAX_CORES],
+    /// Per-register sequence counter: bumped on every successful acquire
+    /// and every release. The acquisition *order* of a register is part of
+    /// the deterministic schedule, so the final sequence value must be
+    /// bit-identical across executors — the determinism stress suite
+    /// asserts exactly that.
+    seqs: [AtomicU64; MAX_CORES],
 }
 
 impl Default for TasBank {
@@ -28,6 +34,7 @@ impl TasBank {
     pub fn new() -> Self {
         TasBank {
             regs: std::array::from_fn(|_| AtomicU64::new(0)),
+            seqs: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -44,13 +51,24 @@ impl TasBank {
         }
         r.compare_exchange(cur, cur | LOCKED, Ordering::AcqRel, Ordering::Acquire)
             .ok()
-            .map(|_| cur >> 1)
+            .map(|_| {
+                self.seqs[reg.idx()].fetch_add(1, Ordering::Relaxed);
+                cur >> 1
+            })
     }
 
     /// Release register `reg`, recording the releaser's cycle stamp.
     #[inline]
     pub fn release(&self, reg: CoreId, stamp: u64) {
+        self.seqs[reg.idx()].fetch_add(1, Ordering::Relaxed);
         self.regs[reg.idx()].store(stamp << 1, Ordering::Release);
+    }
+
+    /// The acquire/release sequence number of register `reg` (odd while
+    /// held, even while free — a per-register sequence lock).
+    #[inline]
+    pub fn seq(&self, reg: CoreId) -> u64 {
+        self.seqs[reg.idx()].load(Ordering::Relaxed)
     }
 
     /// Non-destructive peek: is the register currently held?
@@ -68,11 +86,15 @@ mod tests {
     fn acquire_release_cycle() {
         let b = TasBank::new();
         let r = CoreId::new(3);
+        assert_eq!(b.seq(r), 0);
         assert_eq!(b.test_and_set(r), Some(0));
         assert!(b.is_locked(r));
+        assert_eq!(b.seq(r), 1, "odd while held");
         assert_eq!(b.test_and_set(r), None);
+        assert_eq!(b.seq(r), 1, "failed probes don't bump the sequence");
         b.release(r, 1234);
         assert!(!b.is_locked(r));
+        assert_eq!(b.seq(r), 2, "even while free");
         assert_eq!(b.test_and_set(r), Some(1234));
     }
 

@@ -232,6 +232,23 @@ impl TimingParams {
     }
 }
 
+/// Pack a parallel-engine election key: the `(virtual clock, slot)` pair the
+/// baton scheduler minimises over, encoded so that a single `u64` compare is
+/// the lexicographic compare. Slots occupy the low 8 bits (`MAX_CORES` ≤ 256),
+/// clocks the remaining 56 — ample for any simulated run.
+#[inline]
+pub fn pack_key(clock: u64, slot: usize) -> u64 {
+    debug_assert!(clock < 1 << 56, "virtual clock overflows packed key");
+    debug_assert!(slot < 256, "slot overflows packed key");
+    (clock << 8) | slot as u64
+}
+
+/// Inverse of [`pack_key`].
+#[inline]
+pub fn unpack_key(packed: u64) -> (u64, usize) {
+    (packed >> 8, (packed & 0xff) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +282,13 @@ mod tests {
     fn line_costs_more_than_word() {
         let t = TimingParams::default();
         assert!(t.ddr_line_cost(3) > t.ddr_word_cost(3));
+    }
+
+    #[test]
+    fn packed_keys_order_lexicographically() {
+        assert!(pack_key(5, 7) < pack_key(5, 8));
+        assert!(pack_key(5, 255) < pack_key(6, 0));
+        assert_eq!(unpack_key(pack_key(123, 45)), (123, 45));
     }
 
     #[test]

@@ -698,7 +698,7 @@ mod tests {
         cl.run(2, move |k| {
             k.register_hook(rec2.clone());
             if k.id().idx() == 0 {
-                k.hw.send_ipi(CoreId::new(1));
+                k.hw.send_ipi(CoreId::new(1)).unwrap();
             } else {
                 // Wait until the IPI has been processed by our own hook.
                 let r = rec2.clone();

@@ -104,6 +104,21 @@ fn laplace_48core_bit_identical_parallel_vs_serial() {
         assert!(par_run.metrics.get("exec.par.windows") > 0);
         assert!(par_run.metrics.get("exec.par.visible_ops") > 0);
         assert_eq!(ser_run.metrics.get("exec.par.windows"), 0);
+        // The epoch machinery must have demoted the bulk of the order
+        // points lock-free: every visible op is either demoted or a
+        // conflict, and real workloads must be demotion-dominated.
+        let visible = par_run.metrics.get("exec.par.visible_ops");
+        let demoted = par_run.metrics.get("exec.par.demoted_ops");
+        let conflicts = par_run.metrics.get("exec.par.conflicts");
+        assert_eq!(demoted + conflicts, visible, "{}", variant.label());
+        assert!(demoted > 0, "no demoted ops ({})", variant.label());
+        assert!(par_run.metrics.get("exec.par.epochs") > 0);
+        assert!(
+            demoted >= 10 * conflicts.max(1),
+            "demotion must dominate: {demoted} demoted vs {conflicts} \
+             conflicts ({})",
+            variant.label()
+        );
     }
 }
 
@@ -227,7 +242,8 @@ fn deadlock_reports_equivalent() {
 }
 
 /// Sending an IPI under the parallel executor is a configuration error and
-/// must fail loudly, not corrupt determinism silently.
+/// must surface as a typed [`HwError::ParUnsupported`] the program can
+/// handle, not corrupt determinism silently (and not a panic, as before).
 #[test]
 fn parallel_rejects_ipis() {
     let cfg = SccConfig {
@@ -235,16 +251,40 @@ fn parallel_rejects_ipis() {
         ..SccConfig::small()
     };
     let m = Machine::new(cfg).unwrap();
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = m.run(2, |c| {
+    let errs: Vec<Option<String>> = m
+        .run(2, |c| {
             if c.id().idx() == 0 {
-                c.send_ipi(CoreId::new(1));
+                match c.send_ipi(CoreId::new(1)) {
+                    Err(HwError::ParUnsupported { what }) => Some(what),
+                    other => panic!("expected ParUnsupported, got {other:?}"),
+                }
             } else {
                 c.advance(10);
+                None
             }
-        });
-    }));
-    assert!(r.is_err(), "send_ipi must panic under the parallel executor");
+        })
+        .unwrap()
+        .into_iter()
+        .map(|r| r.result)
+        .collect();
+    let what = errs[0].as_deref().expect("core 0 must get the typed error");
+    assert!(what.contains("send_ipi"), "error names the operation: {what}");
+    assert!(errs[1].is_none());
+
+    // The serial executor still delivers the same IPI fine.
+    let m = Machine::new(SccConfig::small()).unwrap();
+    m.run(2, |c| {
+        if c.id().idx() == 0 {
+            c.send_ipi(CoreId::new(1)).unwrap();
+        } else {
+            let mach = Arc::clone(c.machine());
+            let id = c.id();
+            c.wait_until("the doorbell", move || {
+                mach.gic.has_pending(id).then_some(((), 0))
+            });
+        }
+    })
+    .unwrap();
 }
 
 /// Both executor modes agree even when nothing ever blocks: pure compute
