@@ -98,4 +98,32 @@ cargo test -q --features trace -p integration-tests --test explore
 cargo test -q -p integration-tests --test explore
 cargo test -q -p scc-explore
 
+# Configurable topology (DESIGN.md §11). The machine shape is a runtime
+# parameter; the suites above all ran the scc48 preset via the default.
+# These legs re-run the determinism-critical suites on non-SCC shapes:
+# the serial/parallel shadow comparison and the consistency checker on
+# the 128-core 8x8 mesh, and the schedule/fault exploration smoke on a
+# 64-core single-core-per-tile mesh. A topology-dependent assumption
+# (fixed 48-core tables, 64-bit core masks, hardcoded hop counts) fails
+# these legs even while every scc48 leg stays green.
+echo "== topology: parallel shadow suite on mesh8x8 (128 cores) =="
+SCC_TOPOLOGY=mesh8x8 cargo test -q -p integration-tests --test parallel_shadow
+
+echo "== topology: checker suite on mesh8x8 (128 cores), trace feature =="
+SCC_TOPOLOGY=mesh8x8 cargo test -q --features trace -p integration-tests --test checker
+
+echo "== topology: svmexplore smoke on a 64-core 8x8 mesh =="
+SCC_TOPOLOGY=8x8x1:4 ./target/release/svmexplore --seeds 8 --out results \
+    --json results/EXPLORE_mesh64.json
+
+# The 512-core acceptance: Laplace on the full mesh16x32 preset must
+# complete under the serial AND the parallel executor bit-identically,
+# with svm-check clean over both runs' event streams (the machine is big
+# enough that the SVM layer runs its sharded per-MC directories). Release
+# profile: four 512-core runs are minutes of CPU without optimisation,
+# hence the #[ignore] on the test in the dev-profile suite above.
+echo "== topology: 512-core mesh16x32 Laplace acceptance (release, trace) =="
+cargo test --release --features trace -p integration-tests \
+    --test topology_scale -- --ignored
+
 echo "ci/check.sh: all green"

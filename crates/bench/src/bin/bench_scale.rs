@@ -1,0 +1,173 @@
+//! Scaling benchmark over mesh sizes: how the two costs the topology
+//! redesign touches most — strong-model ownership migration and the
+//! all-core barrier — grow from the paper's 48-core die to a 512-core
+//! mesh. Emits `BENCH_scale.json`.
+//!
+//! Per shape:
+//!
+//! * **ownership migration**: a one-page strong-model region ping-ponged
+//!   between core 0 and the far corner of the mesh (maximum hop
+//!   distance). After the first touch every write faults, runs the
+//!   five-step ownership-transfer protocol across the full mesh diagonal
+//!   and remaps the page; the reported figure is the average simulated
+//!   cost of one such migrating write.
+//! * **barrier**: every core of the mesh joins `ram_barrier` (the
+//!   rendezvous inside `svm.barrier`); the reported figure is the average
+//!   simulated cost per barrier, maximised over the cores.
+//!
+//! All figures are simulated microseconds — deterministic per shape, so
+//! reps exist only for the host wall-clock, not the results.
+//!
+//! Usage: `cargo run -p scc-bench --release --bin bench_scale [--quick]`
+
+use std::fmt::Write as _;
+
+use metalsvm::{install as svm_install, Consistency, SvmConfig};
+use scc_bench::{HarnessArgs, Table};
+use scc_hw::{CoreId, SccConfig, Topology};
+use scc_kernel::Cluster;
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Machine for one mesh shape: enough shared memory for the mailbox slot
+/// rows of 512 receivers plus the SVM window, modest private memory.
+fn config_for(topo: Topology) -> SccConfig {
+    SccConfig {
+        private_bytes_per_core: 256 * 1024,
+        shared_bytes: 32 * 1024 * 1024,
+        ..SccConfig::default_with(topo)
+    }
+}
+
+/// Average simulated cost (us) of one ownership-migrating write between
+/// core 0 and the mesh's far corner, plus the hop distance covered.
+fn migration_us(topo: Topology, rounds: u32) -> (f64, u32) {
+    let cfg = config_for(topo);
+    let mhz = cfg.timing.core_mhz as f64;
+    let hops = topo.max_hops();
+    let origin = CoreId::from_raw(0);
+    let far = topo
+        .core_at_distance(origin, hops)
+        .expect("the far corner exists");
+    let cl = Cluster::new(cfg).expect("machine");
+    let res = cl
+        .run_on(&[origin, far], move |k| {
+            let mbx = mbx_install(k, Notify::Poll);
+            let mut svm = svm_install(k, &mbx, SvmConfig::default());
+            let region = svm.alloc(k, 4096, Consistency::Strong);
+            if k.rank() == 0 {
+                k.vwrite(region.va, 4, 1); // first touch, not counted
+                k.hw.flush_wcb();
+            }
+            svm.barrier(k);
+            // Alternate writers: every write below faults on a page the
+            // peer owns and migrates it across the whole mesh diagonal.
+            let mut mine = 0u64;
+            let mut cycles = 0u64;
+            for r in 0..rounds {
+                if r % 2 == k.rank() as u32 % 2 {
+                    let t0 = k.hw.now();
+                    k.vwrite(region.va, 4, u64::from(r) + 2);
+                    k.hw.flush_wcb();
+                    cycles += k.hw.now() - t0;
+                    mine += 1;
+                }
+                svm.barrier(k);
+            }
+            (cycles, mine)
+        })
+        .expect("migration ping-pong must not deadlock");
+    let total: u64 = res.iter().map(|r| r.result.0).sum();
+    let writes: u64 = res.iter().map(|r| r.result.1).sum();
+    (total as f64 / writes as f64 / mhz, hops)
+}
+
+/// Average simulated cost (us) of one all-core barrier, maximised over
+/// the participating cores.
+fn barrier_us(topo: Topology, barriers: u32) -> f64 {
+    let cfg = config_for(topo);
+    let mhz = cfg.timing.core_mhz as f64;
+    let n = topo.num_cores();
+    let cl = Cluster::new(cfg).expect("machine");
+    let res = cl
+        .run(n, move |k| {
+            // Warm-up: the first rendezvous pays service initialisation.
+            scc_kernel::ram_barrier(k, "bench.scale.warmup");
+            let t0 = k.hw.now();
+            for _ in 0..barriers {
+                scc_kernel::ram_barrier(k, "bench.scale");
+            }
+            k.hw.now() - t0
+        })
+        .expect("barrier loop must not deadlock");
+    let max_cycles = res.iter().map(|r| r.result).max().unwrap();
+    max_cycles as f64 / f64::from(barriers) / mhz
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let rounds = if args.quick { 8 } else { 16 };
+    let barriers = if args.quick { 4 } else { 8 };
+
+    let shapes: [(&str, Topology); 4] = [
+        ("scc48", Topology::scc48()),
+        ("mesh8x8", Topology::mesh8x8()),
+        ("mesh16x16", Topology::from_spec("16x16x1:8").expect("valid spec")),
+        ("mesh16x32", Topology::mesh16x32()),
+    ];
+
+    println!(
+        "Scaling benchmark — ownership migration ({rounds} rounds) and \
+         all-core barrier ({barriers} barriers) per mesh\n"
+    );
+    let mut t = Table::new(&[
+        "preset",
+        "cores",
+        "mesh",
+        "hops",
+        "migration (us)",
+        "barrier (us)",
+    ]);
+    let mut rows_json = String::new();
+    for (name, topo) in shapes {
+        let (mig_us, hops) = migration_us(topo, rounds);
+        let bar_us = barrier_us(topo, barriers);
+        let mesh = format!(
+            "{}x{}x{}:{}",
+            topo.mesh_x(),
+            topo.mesh_y(),
+            topo.cores_per_tile(),
+            topo.num_mcs()
+        );
+        t.row(&[
+            name.to_string(),
+            format!("{}", topo.num_cores()),
+            mesh.clone(),
+            format!("{hops}"),
+            format!("{mig_us:10.3}"),
+            format!("{bar_us:10.3}"),
+        ]);
+        println!("{}", t.render().lines().last().unwrap());
+        let _ = write!(
+            rows_json,
+            "{}    {{\"preset\": \"{name}\", \"cores\": {}, \"mesh\": \"{mesh}\", \
+             \"migration_hops\": {hops}, \"migration_us\": {mig_us:.4}, \
+             \"barrier_us\": {bar_us:.4}}}",
+            if rows_json.is_empty() { "" } else { ",\n" },
+            topo.num_cores(),
+        );
+    }
+
+    println!("\n{}", t.render());
+    println!(
+        "shape: migration cost grows with the mesh diagonal (protocol mail \
+         and the remap travel more hops); barrier cost grows with the core \
+         count (the rendezvous serialises on one off-die counter)."
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"migration_rounds\": {rounds},\n  \
+         \"barriers\": {barriers},\n  \"results\": [\n{rows_json}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("wrote BENCH_scale.json");
+}

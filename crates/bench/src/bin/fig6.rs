@@ -8,28 +8,30 @@
 //! Usage: `cargo run -p scc-bench --release --bin fig6 [--quick]`
 
 use scc_bench::{fmt_us, HarnessArgs, PingPongSetup, Table};
-use scc_hw::topology::core_at_distance;
-use scc_hw::CoreId;
+use scc_hw::{CoreId, Topology};
 use scc_mailbox::Notify;
 
 fn main() {
     let args = HarnessArgs::parse();
     let rounds = if args.quick { 50 } else { 400 };
+    let topo = Topology::from_env_or_scc48();
+    let origin = CoreId::from_raw(0);
 
     println!("Figure 6 — average latency according to the distance");
     println!("(half round-trip, simulated us; {rounds} rounds per point)\n");
     let mut t = Table::new(&["hops", "no-IPI (us)", "IPI (us)"]);
-    for hops in 0..=8u32 {
-        let partner =
-            core_at_distance(CoreId::new(0), hops).expect("partner exists for 0..=8 hops");
+    for hops in 0..=topo.max_hops() {
+        let partner = topo
+            .core_at_distance(origin, hops)
+            .expect("partner exists up to the mesh diameter");
         let poll = scc_bench::pingpong_latency_us(&PingPongSetup::pair(
-            CoreId::new(0),
+            origin,
             partner,
             Notify::Poll,
             rounds,
         ));
         let ipi = scc_bench::pingpong_latency_us(&PingPongSetup::pair(
-            CoreId::new(0),
+            origin,
             partner,
             Notify::Ipi,
             rounds,

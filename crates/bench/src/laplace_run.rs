@@ -109,6 +109,20 @@ pub fn laplace_run_host_notify(
     laplace_run_on(cfg, variant, n, p, notify, SvmConfig::default())
 }
 
+/// Like [`laplace_run_host_notify`], on an explicit machine configuration
+/// — topology, memory sizes, fast paths, tracing — instead of the
+/// default-shaped one. The scale acceptance tests use this to run the
+/// Figure 9 cells on the 512-core `mesh16x32` preset.
+pub fn laplace_run_host_on(
+    cfg: SccConfig,
+    variant: LaplaceVariant,
+    n: usize,
+    p: LaplaceParams,
+    notify: Notify,
+) -> (LaplaceRun, Vec<LaplaceCoreObs>) {
+    laplace_run_on(cfg, variant, n, p, notify, SvmConfig::default())
+}
+
 /// Like [`laplace_run`], with explicit mailbox notification strategy and
 /// SVM configuration (used by the ablation harnesses).
 pub fn laplace_run_cfg(
@@ -149,6 +163,7 @@ fn laplace_run_on(
     svm_cfg: SvmConfig,
 ) -> (LaplaceRun, Vec<LaplaceCoreObs>) {
     let mhz = cfg.timing.core_mhz as f64;
+    let chip_cores = cfg.topo.num_cores();
     let cl = Cluster::new(cfg).expect("machine");
     let res = cl
         .run(n, move |k| match variant {
@@ -182,7 +197,9 @@ fn laplace_run_on(
     let pw = scc_hw::power::PowerParams::default();
     let energy_j = res
         .iter()
-        .map(|r| scc_hw::power::estimate(&r.perf, r.clock.as_u64(), &timing, &pw).total_j())
+        .map(|r| {
+            scc_hw::power::estimate(&r.perf, r.clock.as_u64(), chip_cores, &timing, &pw).total_j()
+        })
         .sum();
     let mut metrics = MetricsSnapshot::new();
     for r in &res {

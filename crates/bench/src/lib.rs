@@ -15,8 +15,8 @@ pub mod report;
 pub mod svm_micro;
 
 pub use laplace_run::{
-    laplace_config, laplace_run, laplace_run_host, laplace_run_host_notify, laplace_run_traced,
-    LaplaceCoreObs, LaplaceRun, LaplaceVariant,
+    laplace_config, laplace_run, laplace_run_host, laplace_run_host_notify, laplace_run_host_on,
+    laplace_run_traced, LaplaceCoreObs, LaplaceRun, LaplaceVariant,
 };
 pub use pingpong::{pingpong_latency_us, PingPongSetup};
 pub use report::{fmt_us, Table};

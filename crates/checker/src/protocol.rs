@@ -18,8 +18,8 @@
 //!
 //! 1. `grant-by-non-owner` — an `OwnGrant` from a core that is not the
 //!    page's current owner (single-owner invariant).
-//! 2. `grant-without-request` — a grant to a core with no outstanding
-//!    request (only when the stream is complete).
+//! 2. `grant-without-request` — a grant to a core that never requests the
+//!    page anywhere in the stream (only when the stream is complete).
 //! 3. `grant-without-withdraw` — the granter did not protect or unmap its
 //!    own mapping (TLB shootdown) before granting the page away.
 //! 4. `acquired-not-owner` — an `OwnAcquired` on a core the grant history
@@ -38,6 +38,32 @@
 //!
 //! Ownership state is initialised lazily from positive evidence — a page
 //! whose early history predates the trace window is adopted, not flagged.
+//!
+//! ## Clock slop and deferred chain links
+//!
+//! Event stamps are per-core virtual clocks, and the baton executor runs
+//! an elected core up to a scheduling quantum ahead of its peers — so the
+//! merged `(t, core)` order the checker analyzes can locally disagree
+//! with causal order across cores. A dense ownership-grant chain (several
+//! cores bouncing one strong page within a quantum) then arrives with
+//! links transposed: core B's onward grant can carry an *earlier* stamp
+//! than the grant that made B the owner. Flagging on first sight would
+//! report false `grant-by-non-owner`/`acquired-not-owner` findings on
+//! perfectly serialised runs (observed on strong-model Laplace from 48 to
+//! 512 cores).
+//!
+//! The monitor therefore treats "actor is not the tracked owner" as
+//! *unproven* rather than wrong: the event is parked on the page's
+//! deferred list, and every time the tracked owner changes, deferred
+//! events whose actor just became owner are replayed in stamp order
+//! (cascading — an applied grant can legitimise the next). Only events
+//! still unlinked when the stream ends are reported, with their original
+//! stamps. A genuinely forged grant never links (nobody ever grants the
+//! page to the forger), so planted single-owner violations are still
+//! caught — the tolerance trades *when* they are reported, not *whether*.
+//! For the same reason the absence-based checks consult whole-stream
+//! evidence: a grant is unsolicited only if its target never requests the
+//! page, and a `MailRecv` unmatched only against the full send multiset.
 
 use crate::report::{Detector, Finding};
 use crate::{Rec, StreamInfo, MODEL_STRONG};
@@ -53,8 +79,162 @@ struct PageState {
     touch: Option<(usize, u32, String)>,
     /// Cores with an outstanding ownership request.
     pending: HashSet<u32>,
+    /// Ownership events whose actor was not the tracked owner when they
+    /// arrived in stamp order — parked until the grant chain catches up
+    /// (see "Clock slop and deferred chain links" above).
+    deferred: Vec<Held>,
     /// First finding already reported — stop analyzing this page.
     dead: bool,
+}
+
+/// An out-of-order ownership event waiting for its chain link.
+enum Held {
+    /// An `OwnGrant` whose granter was not the tracked owner. `withdrew`
+    /// records whether the granter's withdraw credit was present at defer
+    /// time — the granter's own protect/unmap shares its clock, so in
+    /// stamp order it always precedes the grant and can be consumed
+    /// immediately.
+    Grant {
+        granter: usize,
+        to: u32,
+        withdrew: bool,
+        t: u64,
+        line: String,
+    },
+    /// An `OwnAcquired` on a core the grant history did not (yet) name
+    /// as owner.
+    Acquired {
+        core: usize,
+        frame: u32,
+        t: u64,
+        line: String,
+    },
+}
+
+impl Held {
+    fn actor(&self) -> usize {
+        match self {
+            Held::Grant { granter, .. } => *granter,
+            Held::Acquired { core, .. } => *core,
+        }
+    }
+
+    fn t(&self) -> u64 {
+        match self {
+            Held::Grant { t, .. } | Held::Acquired { t, .. } => *t,
+        }
+    }
+}
+
+/// Replay deferred events that the current owner legitimises, cascading
+/// until no deferred event's actor matches the tracked owner. Applied
+/// grants run the same request/withdraw checks as in-order ones.
+fn settle(
+    page: u32,
+    st: &mut PageState,
+    info: &StreamInfo,
+    requested: &HashMap<u32, HashSet<u32>>,
+    frame_owner: &HashMap<u32, (u32, String)>,
+    frame_ever: &HashMap<u32, HashSet<u32>>,
+    findings: &mut Vec<Finding>,
+) {
+    loop {
+        if st.dead {
+            st.deferred.clear();
+            return;
+        }
+        let Some(owner) = st.owner else { return };
+        let Some(i) = st
+            .deferred
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.actor() == owner)
+            .min_by_key(|(_, h)| h.t())
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        match st.deferred.remove(i) {
+            Held::Grant {
+                granter,
+                to,
+                withdrew,
+                t,
+                line,
+            } => {
+                let ever_requested = requested
+                    .get(&page)
+                    .is_some_and(|req| req.contains(&to));
+                if info.complete && !st.pending.contains(&to) && !ever_requested {
+                    st.dead = true;
+                    findings.push(Finding {
+                        detector: Detector::Protocol,
+                        slug: "grant-without-request",
+                        page: Some(page),
+                        cores: vec![granter, to as usize],
+                        t,
+                        message: format!(
+                            "core {:02} granted strong page {} to core {:02}, which has no \
+                             outstanding ownership request",
+                            granter, page, to
+                        ),
+                        excerpt: vec![line],
+                    });
+                    continue;
+                }
+                if !withdrew {
+                    st.dead = true;
+                    findings.push(Finding {
+                        detector: Detector::Protocol,
+                        slug: "grant-without-withdraw",
+                        page: Some(page),
+                        cores: vec![granter, to as usize],
+                        t,
+                        message: format!(
+                            "core {:02} granted strong page {} to core {:02} without first \
+                             withdrawing its own access (no PTE protect/unmap + TLB \
+                             shootdown before the grant)",
+                            granter, page, to
+                        ),
+                        excerpt: vec![line],
+                    });
+                    continue;
+                }
+                st.pending.remove(&to);
+                st.owner = Some(to as usize);
+                st.owner_line = Some(line);
+            }
+            Held::Acquired {
+                core,
+                frame,
+                t,
+                line,
+            } => {
+                let ever_owned = frame_ever
+                    .get(&frame)
+                    .is_some_and(|owners| owners.contains(&(core as u32)));
+                if let Some((fo, fline)) = frame_owner.get(&frame) {
+                    if *fo as usize != core && !ever_owned {
+                        st.dead = true;
+                        findings.push(Finding {
+                            detector: Detector::Protocol,
+                            slug: "frame-registry-mismatch",
+                            page: Some(page),
+                            cores: vec![*fo as usize, core],
+                            t,
+                            message: format!(
+                                "core {:02} acquired strong page {} (frame {}), but the \
+                                 FrameOwners registry last recorded core {:02} as the \
+                                 frame's exclusive owner",
+                                core, page, frame, fo
+                            ),
+                            excerpt: vec![fline.clone(), line],
+                        });
+                    }
+                }
+            }
+        }
+    }
 }
 
 pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
@@ -70,6 +250,33 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
     let mut sends: HashMap<(usize, usize, u32, u32), u32> = HashMap::new();
 
     let strong = |page: u32| info.model(page) == Some(MODEL_STRONG);
+
+    // Whole-stream evidence for the absence-based checks (see the module
+    // docs on clock slop): every core that ever requests each page, and
+    // the full send multiset — collected up front so an event stamped
+    // behind its causal position cannot make its counterpart look absent.
+    let mut requested: HashMap<u32, HashSet<u32>> = HashMap::new();
+    // frame -> every core the FrameOwners registry ever names as its
+    // exclusive owner (the granter stamps the registry update, so it can
+    // trail the acquirer's `OwnAcquired` in the merged order).
+    let mut frame_ever: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for r in recs {
+        match r.e.kind {
+            EventKind::OwnRequest if strong(r.e.a) => {
+                requested.entry(r.e.a).or_default().insert(r.core as u32);
+            }
+            EventKind::OwnForward if strong(r.e.a) => {
+                requested.entry(r.e.a).or_default().insert(r.e.c);
+            }
+            EventKind::FrameOwner if r.e.b != u32::MAX => {
+                frame_ever.entry(r.e.a).or_default().insert(r.e.b);
+            }
+            EventKind::MailSend => {
+                *sends.entry((r.core, r.e.a as usize, r.e.b, r.e.c)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
 
     for r in recs {
         let c = r.core;
@@ -107,6 +314,7 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
                 if st.owner.is_none() {
                     st.owner = Some(c);
                     st.owner_line = Some(r.line());
+                    settle(page, st, info, &requested, &frame_owner, &frame_ever, &mut findings);
                 }
             }
             EventKind::OwnRequest if strong(r.e.a) => {
@@ -127,32 +335,24 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
                 if st.dead {
                     continue;
                 }
-                if let Some(owner) = st.owner {
-                    if owner != c {
-                        st.dead = true;
-                        let mut excerpt = Vec::new();
-                        if let Some(l) = &st.owner_line {
-                            excerpt.push(l.clone());
-                        }
-                        excerpt.push(r.line());
-                        findings.push(Finding {
-                            detector: Detector::Protocol,
-                            slug: "grant-by-non-owner",
-                            page: Some(page),
-                            cores: vec![owner, c],
-                            t: r.t,
-                            message: format!(
-                                "core {:02} granted strong page {} away, but the protocol \
-                                 history says core {:02} owns it — the single-owner \
-                                 invariant is broken",
-                                c, page, owner
-                            ),
-                            excerpt,
-                        });
-                        continue;
-                    }
+                if st.owner.is_some_and(|owner| owner != c) {
+                    // Not (yet) provably the owner — park the grant; its
+                    // withdraw credit is consumed now (same-core stamps
+                    // are monotone, so the credit is already in).
+                    let withdrew = withdrawn.remove(&(c, page)).is_some();
+                    st.deferred.push(Held::Grant {
+                        granter: c,
+                        to: r.e.b,
+                        withdrew,
+                        t: r.t,
+                        line: r.line(),
+                    });
+                    continue;
                 }
-                if info.complete && !st.pending.contains(&(to as u32)) {
+                let ever_requested = requested
+                    .get(&page)
+                    .is_some_and(|req| req.contains(&(to as u32)));
+                if info.complete && !st.pending.contains(&(to as u32)) && !ever_requested {
                     st.dead = true;
                     findings.push(Finding {
                         detector: Detector::Protocol,
@@ -190,6 +390,7 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
                 st.pending.remove(&(to as u32));
                 st.owner = Some(to);
                 st.owner_line = Some(r.line());
+                settle(page, st, info, &requested, &frame_owner, &frame_ever, &mut findings);
             }
             EventKind::OwnAcquired if strong(r.e.a) => {
                 let page = r.e.a;
@@ -200,35 +401,31 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
                 }
                 match st.owner {
                     Some(owner) if owner != c => {
-                        st.dead = true;
-                        let mut excerpt = Vec::new();
-                        if let Some(l) = &st.owner_line {
-                            excerpt.push(l.clone());
-                        }
-                        excerpt.push(r.line());
-                        findings.push(Finding {
-                            detector: Detector::Protocol,
-                            slug: "acquired-not-owner",
-                            page: Some(page),
-                            cores: vec![owner, c],
+                        // The grant that made this core owner may still be
+                        // ahead in stamp order — park the acquire with it.
+                        st.deferred.push(Held::Acquired {
+                            core: c,
+                            frame,
                             t: r.t,
-                            message: format!(
-                                "core {:02} completed an ownership migration of strong page \
-                                 {} but the grant history names core {:02} as owner",
-                                c, page, owner
-                            ),
-                            excerpt,
+                            line: r.line(),
                         });
                         continue;
                     }
                     None => {
                         st.owner = Some(c);
                         st.owner_line = Some(r.line());
+                        settle(page, st, info, &requested, &frame_owner, &frame_ever, &mut findings);
+                        if st.dead {
+                            continue;
+                        }
                     }
                     _ => {}
                 }
+                let ever_owned = frame_ever
+                    .get(&frame)
+                    .is_some_and(|owners| owners.contains(&(c as u32)));
                 if let Some((fo, fline)) = frame_owner.get(&frame) {
-                    if *fo as usize != c {
+                    if *fo as usize != c && !ever_owned {
                         st.dead = true;
                         findings.push(Finding {
                             detector: Detector::Protocol,
@@ -254,9 +451,6 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
                     frame_owner.insert(r.e.a, (r.e.b, r.line()));
                 }
             }
-            EventKind::MailSend => {
-                *sends.entry((c, r.e.a as usize, r.e.b, r.e.c)).or_insert(0) += 1;
-            }
             EventKind::MailRecv => {
                 let key = (r.e.a as usize, c, r.e.b, r.e.c);
                 match sends.get_mut(&key) {
@@ -281,6 +475,63 @@ pub fn analyze(recs: &[Rec], info: &StreamInfo) -> Vec<Finding> {
             }
             _ => {}
         }
+    }
+
+    // Deferred events that never found their chain link are real
+    // violations: nobody ever granted the page to their actor. Report the
+    // earliest per page (with its original stamp — the final sort by `t`
+    // puts it where the event happened), then stop analyzing the page,
+    // matching the one-finding-per-page contract.
+    let mut unsettled: Vec<u32> = pages
+        .iter()
+        .filter(|(_, st)| !st.dead && !st.deferred.is_empty())
+        .map(|(page, _)| *page)
+        .collect();
+    unsettled.sort_unstable();
+    for page in unsettled {
+        let st = pages.get_mut(&page).expect("page tracked");
+        st.deferred.sort_by_key(Held::t);
+        let owner = st.owner.expect("deferral implies a tracked owner");
+        let mut excerpt = Vec::new();
+        if let Some(l) = &st.owner_line {
+            excerpt.push(l.clone());
+        }
+        match &st.deferred[0] {
+            Held::Grant { granter, t, line, .. } => {
+                excerpt.push(line.clone());
+                findings.push(Finding {
+                    detector: Detector::Protocol,
+                    slug: "grant-by-non-owner",
+                    page: Some(page),
+                    cores: vec![owner, *granter],
+                    t: *t,
+                    message: format!(
+                        "core {:02} granted strong page {} away, but the protocol \
+                         history says core {:02} owns it — the single-owner \
+                         invariant is broken",
+                        granter, page, owner
+                    ),
+                    excerpt,
+                });
+            }
+            Held::Acquired { core, t, line, .. } => {
+                excerpt.push(line.clone());
+                findings.push(Finding {
+                    detector: Detector::Protocol,
+                    slug: "acquired-not-owner",
+                    page: Some(page),
+                    cores: vec![owner, *core],
+                    t: *t,
+                    message: format!(
+                        "core {:02} completed an ownership migration of strong page \
+                         {} but the grant history names core {:02} as owner",
+                        core, page, owner
+                    ),
+                    excerpt,
+                });
+            }
+        }
+        st.dead = true;
     }
     findings
 }

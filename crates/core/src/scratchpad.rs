@@ -1,11 +1,22 @@
-//! The first-touch scratch pad (§6.3).
+//! The first-touch scratch pad (§6.3) — the ownership directory mapping
+//! shared pages to backing frames.
 //!
-//! Each shared page has a 16-bit entry recording which physical frame backs
-//! it (0 = not yet allocated). The paper places this table in the on-die
-//! MPBs — "the SCC's on-die memory partly as scratch pad" — striped across
-//! the cores, and notes that relocating it to off-die memory would lift the
+//! The paper places this table in the on-die MPBs — "the SCC's on-die
+//! memory partly as scratch pad" — striped across the cores with 16-bit
+//! entries, and notes that relocating it to off-die memory would lift the
 //! 256 MByte limit at the price of slower faults. Both variants are
 //! implemented; the off-die one doubles as the A1 ablation.
+//!
+//! Neither paper variant survives large meshes: the 16-bit entry encoding
+//! caps the shared region at 64 Ki frames, and striping one lock register
+//! per core over *all* cores makes every fault a cross-die TAS round trip.
+//! The third variant, [`ScratchLocation::ShardedMc`], shards the directory
+//! per memory controller: page `p` is homed on controller `p % num_mcs`,
+//! its 32-bit entry lives in frames allocated behind that controller, and
+//! its lock is a TAS register of a core *near* that controller. Lookups,
+//! updates and lock traffic for a page all travel to the same quadrant.
+//! [`ScratchLocation::Auto`] (the default) picks the paper's MPB design
+//! on SCC-sized machines and the sharded directory beyond it.
 //!
 //! Entries are read/written uncached (one word each); allocation races are
 //! excluded by an SCC test-and-set register.
@@ -19,21 +30,54 @@
 //! was made under when diagnosing parallel-engine schedules.
 
 use scc_hw::mpb::MpbArray;
-use scc_hw::{CoreId, MemAttr};
+use scc_hw::{CoreId, MemAttr, Topology};
 use scc_kernel::Kernel;
+use std::sync::Arc;
 
 /// Bytes reserved at the top of each MPB for the scratch pad.
 pub const SCRATCH_BYTES_PER_CORE: u32 = 1024;
 /// Offset of the scratch pad inside each MPB.
 pub const SCRATCH_OFF: u32 = scc_hw::config::MPB_BYTES as u32 - SCRATCH_BYTES_PER_CORE;
 
-/// Where the scratch pad lives.
+/// Largest populated-core count for which [`ScratchLocation::Auto`] keeps
+/// the paper's MPB design (matches the mailbox system's in-MPB slot limit).
+pub const MPB_SCRATCH_CORE_LIMIT: usize = 128;
+
+/// Where the scratch pad (the page-ownership directory) lives.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ScratchLocation {
+    /// Pick [`Mpb`](Self::Mpb) on machines where it fits (the paper's
+    /// design, up to [`MPB_SCRATCH_CORE_LIMIT`] cores and 16-bit frame
+    /// indices), [`ShardedMc`](Self::ShardedMc) beyond.
+    Auto,
     /// Striped over the MPBs (the paper's design: fast, capacity-limited).
     Mpb,
     /// One flat table in off-die shared memory (unlimited, slower).
     OffDie,
+    /// Sharded per memory controller: page `p` is homed on controller
+    /// `p % num_mcs`, its 32-bit entry lives in off-die frames behind that
+    /// controller, and its lock is a TAS register of a core near it.
+    ShardedMc,
+}
+
+impl ScratchLocation {
+    /// Resolve [`Auto`](Self::Auto) against a concrete machine shape;
+    /// explicit locations pass through unchanged.
+    pub fn resolve(self, ncores: usize, pages: u32) -> ScratchLocation {
+        match self {
+            ScratchLocation::Auto => {
+                let fits_mpb = ncores <= MPB_SCRATCH_CORE_LIMIT
+                    && pages <= Scratchpad::mpb_capacity(ncores)
+                    && pages < u16::MAX as u32;
+                if fits_mpb {
+                    ScratchLocation::Mpb
+                } else {
+                    ScratchLocation::ShardedMc
+                }
+            }
+            loc => loc,
+        }
+    }
 }
 
 /// The scratch pad accessor.
@@ -46,12 +90,31 @@ pub struct Scratchpad {
     pages: u32,
     /// First frame of the shared region (entries are relative to it).
     base_pfn: u32,
+    /// `ShardedMc`: number of directory shards (= memory controllers).
+    num_mcs: u32,
+    /// `ShardedMc`: frames per shard.
+    frames_per_shard: u32,
+    /// `ShardedMc`: shard-major frame table — shard `s` owns
+    /// `shard_frames[s*frames_per_shard .. (s+1)*frames_per_shard]`,
+    /// each frame allocated behind controller `s`.
+    shard_frames: Arc<Vec<u32>>,
+    /// `ShardedMc`: lock registers grouped by home controller — the
+    /// populated cores whose nearest controller is `s`.
+    lock_groups: Arc<Vec<Vec<CoreId>>>,
 }
 
 impl Scratchpad {
     /// Capacity (pages) of the MPB variant for `ncores` cores.
     pub fn mpb_capacity(ncores: usize) -> u32 {
         ncores as u32 * SCRATCH_BYTES_PER_CORE / 2
+    }
+
+    /// Frames each shard of a [`ScratchLocation::ShardedMc`] directory
+    /// needs for `pages` entries over `num_mcs` controllers (32-bit
+    /// entries, round-robin page-to-shard assignment).
+    pub fn shard_frames_each(num_mcs: usize, pages: u32) -> u32 {
+        let entries = pages.div_ceil(num_mcs as u32);
+        (entries * 4).div_ceil(4096).max(1)
     }
 
     pub fn new(
@@ -61,13 +124,18 @@ impl Scratchpad {
         offdie_pa: u32,
         base_pfn: u32,
     ) -> Self {
-        if loc == ScratchLocation::Mpb {
-            assert!(
+        match loc {
+            ScratchLocation::Mpb => assert!(
                 pages <= Self::mpb_capacity(ncores),
                 "shared region too large for the MPB scratch pad \
-                 ({pages} pages > {}); use ScratchLocation::OffDie",
+                 ({pages} pages > {}); use ScratchLocation::ShardedMc",
                 Self::mpb_capacity(ncores)
-            );
+            ),
+            ScratchLocation::OffDie => {}
+            ScratchLocation::Auto | ScratchLocation::ShardedMc => panic!(
+                "Scratchpad::new takes a resolved flat location; \
+                 use ScratchLocation::resolve and Scratchpad::sharded"
+            ),
         }
         Scratchpad {
             loc,
@@ -75,12 +143,61 @@ impl Scratchpad {
             offdie_pa,
             pages,
             base_pfn,
+            num_mcs: 0,
+            frames_per_shard: 0,
+            shard_frames: Arc::new(Vec::new()),
+            lock_groups: Arc::new(Vec::new()),
         }
     }
 
-    /// Where this scratch pad lives.
+    /// Build the per-controller sharded directory. `shard_frames` must
+    /// hold `num_mcs * shard_frames_each(..)` zeroed frames in shard-major
+    /// order, shard `s` allocated behind controller `s`.
+    pub fn sharded(
+        topo: &Topology,
+        ncores: usize,
+        pages: u32,
+        shard_frames: Arc<Vec<u32>>,
+        base_pfn: u32,
+    ) -> Self {
+        let num_mcs = topo.num_mcs();
+        let frames_per_shard = Self::shard_frames_each(num_mcs, pages);
+        assert_eq!(
+            shard_frames.len(),
+            num_mcs * frames_per_shard as usize,
+            "sharded scratch pad frame table has the wrong shape"
+        );
+        let mut lock_groups = vec![Vec::new(); num_mcs];
+        for c in (0..ncores).map(CoreId::from_raw) {
+            lock_groups[topo.nearest_mc(c)].push(c);
+        }
+        Scratchpad {
+            loc: ScratchLocation::ShardedMc,
+            ncores: ncores as u32,
+            offdie_pa: 0,
+            pages,
+            base_pfn,
+            num_mcs: num_mcs as u32,
+            frames_per_shard,
+            shard_frames,
+            lock_groups: Arc::new(lock_groups),
+        }
+    }
+
+    /// Where this scratch pad lives (always a resolved location, never
+    /// [`ScratchLocation::Auto`]).
     pub fn location(&self) -> ScratchLocation {
         self.loc
+    }
+
+    /// Entry width in bytes: the paper's variants keep the 16-bit
+    /// representation, the sharded directory uses full 32-bit entries.
+    #[inline]
+    fn entry_size(&self) -> u32 {
+        match self.loc {
+            ScratchLocation::ShardedMc => 4,
+            _ => 2,
+        }
     }
 
     /// Physical address of page `p`'s entry.
@@ -89,31 +206,49 @@ impl Scratchpad {
         debug_assert!(p < self.pages, "page {p} beyond scratch pad");
         match self.loc {
             ScratchLocation::Mpb => {
-                let core = CoreId::new((p % self.ncores) as usize);
+                let core = CoreId::from_raw((p % self.ncores) as usize);
                 MpbArray::pa(core, (SCRATCH_OFF + (p / self.ncores) * 2) as usize)
             }
             ScratchLocation::OffDie => self.offdie_pa + p * 2,
+            ScratchLocation::ShardedMc => {
+                let shard = p % self.num_mcs;
+                let byte = (p / self.num_mcs) * 4;
+                let f = self.shard_frames
+                    [(shard * self.frames_per_shard + byte / 4096) as usize];
+                (f << 12) + (byte % 4096)
+            }
+            ScratchLocation::Auto => unreachable!("constructors resolve Auto"),
         }
     }
 
-    /// The test-and-set register protecting page `p`'s entry.
+    /// The test-and-set register protecting page `p`'s entry. Flat
+    /// variants stripe over all cores; the sharded directory stripes over
+    /// the cores nearest the page's home controller, so lock and entry
+    /// traffic share a quadrant.
     #[inline]
     pub fn lock_of(&self, p: u32) -> CoreId {
-        CoreId::new((p % self.ncores) as usize)
+        if self.loc == ScratchLocation::ShardedMc {
+            let g = &self.lock_groups[(p % self.num_mcs) as usize];
+            if !g.is_empty() {
+                return g[((p / self.num_mcs) as usize) % g.len()];
+            }
+        }
+        CoreId::from_raw((p % self.ncores) as usize)
     }
 
     /// Timed read of page `p`'s entry: `Some(pfn)` if allocated.
     pub fn read(&self, k: &mut Kernel<'_>, p: u32) -> Option<u32> {
-        let v = k.hw.read(self.entry_pa(p), 2, MemAttr::UNCACHED) as u32;
+        let v = k.hw.read(self.entry_pa(p), self.entry_size() as usize, MemAttr::UNCACHED) as u32;
         (v != 0).then(|| self.decode(v))
     }
 
     /// Raw (untimed) peek for tests and wait conditions.
     pub fn peek(&self, mach: &scc_hw::machine::MachineInner, p: u32) -> Option<u32> {
         let pa = self.entry_pa(p);
+        let sz = self.entry_size() as usize;
         let v = match mach.map.resolve(pa) {
-            scc_hw::ram::Backing::Mpb { .. } => mach.mpb.read(pa, 2),
-            scc_hw::ram::Backing::Ram { .. } => mach.ram.read(pa, 2),
+            scc_hw::ram::Backing::Mpb { .. } => mach.mpb.read(pa, sz),
+            scc_hw::ram::Backing::Ram { .. } => mach.ram.read(pa, sz),
         } as u32;
         (v != 0).then(|| self.decode(v))
     }
@@ -121,22 +256,30 @@ impl Scratchpad {
     /// Timed write of page `p`'s entry.
     pub fn write(&self, k: &mut Kernel<'_>, p: u32, pfn: u32) {
         let enc = self.encode(pfn);
-        k.hw.write(self.entry_pa(p), 2, enc as u64, MemAttr::UNCACHED);
+        k.hw.write(
+            self.entry_pa(p),
+            self.entry_size() as usize,
+            enc as u64,
+            MemAttr::UNCACHED,
+        );
     }
 
     /// Clear page `p`'s entry (used by next-touch migration).
     pub fn clear(&self, k: &mut Kernel<'_>, p: u32) {
-        k.hw.write(self.entry_pa(p), 2, 0, MemAttr::UNCACHED);
+        k.hw.write(self.entry_pa(p), self.entry_size() as usize, 0, MemAttr::UNCACHED);
     }
 
-    /// Encode a shared-region frame as a 16-bit entry. The paper stores a
-    /// "16 bit representation" from which the physical address can be
-    /// rebuilt — here: the frame index relative to the shared base, plus 1.
+    /// Encode a shared-region frame as a directory entry: the frame index
+    /// relative to the shared base, plus 1 (0 = unallocated). The paper's
+    /// variants store a "16 bit representation" from which the physical
+    /// address can be rebuilt; the sharded directory widens to 32 bits.
     fn encode(&self, pfn: u32) -> u32 {
         let rel = pfn
             .checked_sub(self.base_pfn)
             .expect("frame below the shared region");
-        assert!(rel < u16::MAX as u32, "frame beyond 16-bit scratch range");
+        if self.entry_size() == 2 {
+            assert!(rel < u16::MAX as u32, "frame beyond 16-bit scratch range");
+        }
         rel + 1
     }
 
@@ -151,6 +294,16 @@ mod tests {
 
     fn pad(loc: ScratchLocation) -> Scratchpad {
         Scratchpad::new(loc, 48, 1000, 0x100000, 0x4000)
+    }
+
+    fn sharded_pad(pages: u32) -> Scratchpad {
+        let topo = Topology::scc48();
+        let fps = Scratchpad::shard_frames_each(topo.num_mcs(), pages);
+        // Synthetic frame table: shard s at frames 0x8000 + s*0x100 ...
+        let frames: Vec<u32> = (0..topo.num_mcs() as u32)
+            .flat_map(|s| (0..fps).map(move |i| 0x8000 + s * 0x100 + i))
+            .collect();
+        Scratchpad::sharded(&topo, 48, pages, Arc::new(frames), 0x4000)
     }
 
     #[test]
@@ -200,5 +353,66 @@ mod tests {
         let s = pad(ScratchLocation::Mpb);
         assert_eq!(s.lock_of(0), CoreId::new(0));
         assert_eq!(s.lock_of(49), CoreId::new(1));
+    }
+
+    #[test]
+    fn auto_resolves_by_machine_shape() {
+        // SCC-sized: the paper's MPB design.
+        assert_eq!(ScratchLocation::Auto.resolve(48, 16384), ScratchLocation::Mpb);
+        // 512 cores: beyond the in-MPB core limit.
+        assert_eq!(ScratchLocation::Auto.resolve(512, 16384), ScratchLocation::ShardedMc);
+        // Region beyond the 16-bit frame index even at SCC size.
+        assert_eq!(ScratchLocation::Auto.resolve(48, 70000), ScratchLocation::ShardedMc);
+        // Explicit locations pass through.
+        assert_eq!(ScratchLocation::OffDie.resolve(512, 70000), ScratchLocation::OffDie);
+    }
+
+    #[test]
+    fn sharded_entries_land_in_home_shard() {
+        let s = sharded_pad(1000);
+        // Page p's entry sits in shard p % num_mcs (frames 0x8000+s*0x100).
+        for p in [0u32, 1, 2, 3, 4, 7, 999] {
+            let pa = s.entry_pa(p);
+            let shard = (pa >> 12).wrapping_sub(0x8000) / 0x100;
+            assert_eq!(shard, p % 4, "page {p}");
+        }
+        // Pages p and p+num_mcs share a shard, 4 bytes apart.
+        assert_eq!(s.entry_pa(8) - s.entry_pa(4), 4);
+    }
+
+    #[test]
+    fn sharded_entries_cross_frames_without_straddling() {
+        // 4 MCs, 9000 pages -> 2250 entries = 9000 bytes = 3 frames/shard.
+        let s = sharded_pad(9000);
+        assert_eq!(Scratchpad::shard_frames_each(4, 9000), 3);
+        // Entry 1024 of shard 0 is the first entry of the shard's 2nd frame.
+        let p = 1024 * 4;
+        assert_eq!(s.entry_pa(p) & 0xfff, 0);
+        assert_ne!(s.entry_pa(p) >> 12, s.entry_pa(p - 4) >> 12);
+    }
+
+    #[test]
+    fn sharded_encode_is_32_bit() {
+        let s = sharded_pad(1000);
+        // Far beyond the 16-bit range the flat variants enforce.
+        let pfn = 0x4000 + 70000;
+        assert_eq!(s.decode(s.encode(pfn)), pfn);
+    }
+
+    #[test]
+    fn sharded_locks_stay_near_the_home_controller() {
+        let topo = Topology::scc48();
+        let s = sharded_pad(1000);
+        for p in 0..100u32 {
+            let mc = (p % 4) as usize;
+            assert_eq!(
+                topo.nearest_mc(s.lock_of(p)),
+                mc,
+                "page {p}'s lock must live in its home quadrant"
+            );
+        }
+        // Different pages of the same shard stripe over that quadrant's
+        // cores rather than hammering one register.
+        assert_ne!(s.lock_of(0), s.lock_of(4));
     }
 }

@@ -25,8 +25,9 @@ pub enum Placement {
 }
 
 /// Configuration of the SVM system. Construct via [`SvmConfig::builder`]
-/// (validated) or [`SvmConfig::default`] (the paper's configuration:
-/// MPB scratch pad, affinity-on-first-touch, whole shared region).
+/// (validated) or [`SvmConfig::default`] (scratch pad chosen by machine
+/// shape — the paper's MPB design on SCC-sized machines —
+/// affinity-on-first-touch, whole shared region).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct SvmConfig {
     scratch: ScratchLocation,
@@ -38,7 +39,7 @@ pub struct SvmConfig {
 impl Default for SvmConfig {
     fn default() -> Self {
         SvmConfig {
-            scratch: ScratchLocation::Mpb,
+            scratch: ScratchLocation::Auto,
             placement: Placement::NearToucher,
             max_pages: None,
             model_override: None,
@@ -53,7 +54,9 @@ impl SvmConfig {
     }
 
     /// Where the first-touch scratch pad lives (§6.3; `OffDie` is the
-    /// paper's capacity/performance trade-off and our A1 ablation).
+    /// paper's capacity/performance trade-off and our A1 ablation;
+    /// `Auto`, the default, is resolved against the machine shape at
+    /// [`install`] time).
     pub fn scratch(&self) -> ScratchLocation {
         self.scratch
     }
@@ -109,7 +112,9 @@ pub struct SvmConfigBuilder {
 }
 
 impl SvmConfigBuilder {
-    /// Scratch-pad location (default: the MPB, the paper's design).
+    /// Scratch-pad location (default: [`ScratchLocation::Auto`], which
+    /// resolves to the paper's MPB design on SCC-sized machines and to
+    /// the per-controller sharded directory on large meshes).
     pub fn scratch(mut self, s: ScratchLocation) -> Self {
         self.scratch = Some(s);
         self
@@ -140,7 +145,7 @@ impl SvmConfigBuilder {
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SvmConfig, SvmConfigError> {
         let cfg = SvmConfig {
-            scratch: self.scratch.unwrap_or(ScratchLocation::Mpb),
+            scratch: self.scratch.unwrap_or(ScratchLocation::Auto),
             placement: self.placement.unwrap_or(Placement::NearToucher),
             max_pages: self.max_pages,
             model_override: self.model_override,
@@ -181,7 +186,7 @@ impl SvmShared {
     /// Timed uncached read of the owner vector.
     pub(crate) fn owner_read(&self, k: &mut Kernel<'_>, p: u32) -> Option<CoreId> {
         let v = k.hw.read(self.owner_pa + 4 * p, 4, MemAttr::UNCACHED) as u32;
-        (v != 0).then(|| CoreId::new(v as usize - 1))
+        (v != 0).then(|| CoreId::from_raw(v as usize - 1))
     }
 
     /// Timed uncached write of the owner vector.
@@ -202,12 +207,18 @@ impl SvmShared {
         let v = self.mach.ram.read(self.owner_pa + 4 * p, 4) as u32;
         PageInfo {
             page: p,
-            owner: (v != 0).then(|| CoreId::new(v as usize - 1)),
+            owner: (v != 0).then(|| CoreId::from_raw(v as usize - 1)),
             frame: self.scratch.peek(&self.mach, p),
             copyset: self.mach.ram.read(self.copyset_pa + 8 * p, 8),
             version: self.mach.ram.read(self.version_pa + 4 * p, 4) as u32,
             nt_epoch: self.page_nt[p as usize].load(Ordering::Acquire),
         }
+    }
+
+    /// Where the first-touch directory ended up after resolving the
+    /// configured [`ScratchLocation`] against the machine shape.
+    pub fn scratch_location(&self) -> ScratchLocation {
+        self.scratch.location()
     }
 
     /// Virtual address of SVM page `p`.
@@ -285,11 +296,13 @@ pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
     let version_pa = k.shared.named_header("svm.version", pages * 4, 64);
     let header_pages = scc_kernel::cluster::header_bytes(&mach) / 4096;
     let base_pfn = (mach.map.shared_base() >> 12) + header_pages;
+    let scratch_loc = cfg.scratch.resolve(mach.cfg.ncores, pages);
     let shared = Arc::clone(&k.shared);
-    let sh = shared.service_get_or_init("svm", || {
+    let frames = Arc::clone(&k.shared);
+    let sh = shared.service_get_or_init("svm", move || {
         // First core on this machine: wipe the MPB scratch areas of all
         // cores (boot-time provisioning, untimed).
-        for c in CoreId::all().take(mach.cfg.ncores) {
+        for c in (0..mach.cfg.ncores).map(CoreId::from_raw) {
             for off in (crate::scratchpad::SCRATCH_OFF..scc_hw::config::MPB_BYTES as u32)
                 .step_by(4)
             {
@@ -297,10 +310,32 @@ pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
                     .write(scc_hw::mpb::MpbArray::pa(c, off as usize), 4, 0);
             }
         }
+        let scratch = if scratch_loc == ScratchLocation::ShardedMc {
+            // Carve the directory shards out of the shared frame pool, one
+            // run of frames behind each home controller, in controller
+            // order: the result is identical no matter which core runs
+            // this init. Fresh frames are zero (all entries unallocated).
+            let topo = &mach.cfg.topo;
+            let each = Scratchpad::shard_frames_each(topo.num_mcs(), pages);
+            let mut shard_frames = Vec::with_capacity(topo.num_mcs() * each as usize);
+            for mc in 0..topo.num_mcs() {
+                for _ in 0..each {
+                    shard_frames.push(
+                        frames
+                            .frames
+                            .alloc_at(mc)
+                            .expect("shared memory exhausted allocating scratch shards"),
+                    );
+                }
+            }
+            Scratchpad::sharded(topo, mach.cfg.ncores, pages, Arc::new(shard_frames), base_pfn)
+        } else {
+            Scratchpad::new(scratch_loc, mach.cfg.ncores, pages, scratch_pa, base_pfn)
+        };
         let mut page_nt = Vec::with_capacity(pages as usize);
         page_nt.resize_with(pages as usize, || AtomicU32::new(0));
         Arc::new(SvmShared {
-            scratch: Scratchpad::new(cfg.scratch, mach.cfg.ncores, pages, scratch_pa, base_pfn),
+            scratch,
             owner_pa,
             copyset_pa,
             version_pa,
@@ -391,6 +426,17 @@ impl SvmCtx {
     /// space is reserved; frames appear on first touch.
     pub fn alloc(&mut self, k: &mut Kernel<'_>, bytes: u32, model: Consistency) -> SvmRegion {
         let model = self.model_override.unwrap_or(model);
+        // The write-invalidate copyset is a 64-bit core bitmask; the
+        // ownership-transfer models carry no such limit and scale with the
+        // mesh. Catch the overflow at allocation, not as a silent replica
+        // bookkeeping corruption at fault time.
+        assert!(
+            model != Consistency::WriteInvalidate || k.id().idx() < 64,
+            "write-invalidate regions track replicas in a 64-bit copyset; \
+             core {} cannot participate (use cores 0..64 or an \
+             ownership-transfer model)",
+            k.id().idx()
+        );
         let idx = self.alloc_cursor;
         self.alloc_cursor += 1;
         let region = self
@@ -545,7 +591,7 @@ impl SvmFaultHandler {
             }
         }
 
-        let my_mc = k.id().nearest_mc();
+        let my_mc = k.hw.topo().nearest_mc(k.id());
         let needs_migration = |pfn: u32| {
             nt_epoch > sh.page_nt[p as usize].load(Ordering::Acquire) && {
                 // Only migrate frames that are not already local.
@@ -570,7 +616,9 @@ impl SvmFaultHandler {
                 k.hw.host_order_point();
                 let pfn = match sh.placement {
                     Placement::NearToucher => k.shared.frames.alloc_near(k.id()),
-                    Placement::RoundRobin => k.shared.frames.alloc_at((p % 4) as usize),
+                    Placement::RoundRobin => {
+                        k.shared.frames.alloc_at(p as usize % k.shared.frames.num_mcs())
+                    }
                 }
                 .expect("out of shared frames");
                 let c = k.hw.machine().cfg.timing.frame_alloc;
@@ -690,7 +738,7 @@ impl MailHandler for RequestHandler {
     fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
         let sh = &self.sh;
         let p = mail.u32_at(0);
-        let requester = CoreId::new(mail.u32_at(4) as usize);
+        let requester = CoreId::from_raw(mail.u32_at(4) as usize);
         let me = k.id();
         let cur = sh.owner_read(k, p).expect("request for unowned page");
         if cur == requester {

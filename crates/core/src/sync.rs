@@ -88,30 +88,34 @@ impl std::fmt::Display for SyncError {
     }
 }
 
-/// Per-core bitmask of held lock registers, stored as a kernel extension
-/// (registers are core ids, so < 48 < 64 bits).
-struct HeldLocks(u64);
+/// Per-core bitset of held lock registers, stored as a kernel extension.
+/// Registers are core ids, which exceed 64 on large meshes, so this is a
+/// growable word vector rather than a single mask.
+struct HeldLocks(Vec<u64>);
 
-fn held_mask(k: &mut Kernel<'_>) -> u64 {
-    if k.ext_has::<HeldLocks>() {
-        let HeldLocks(m) = k.ext_take::<HeldLocks>();
-        k.ext_restore(HeldLocks(m));
-        m
-    } else {
-        k.ext_put(HeldLocks(0));
-        0
+fn is_held(k: &mut Kernel<'_>, reg: usize) -> bool {
+    if !k.ext_has::<HeldLocks>() {
+        k.ext_put(HeldLocks(Vec::new()));
+        return false;
     }
+    let HeldLocks(v) = k.ext_take::<HeldLocks>();
+    let held = v.get(reg / 64).is_some_and(|w| w & (1 << (reg % 64)) != 0);
+    k.ext_restore(HeldLocks(v));
+    held
 }
 
 fn set_held(k: &mut Kernel<'_>, reg: usize, held: bool) {
-    let mut m = held_mask(k);
-    if held {
-        m |= 1 << reg;
-    } else {
-        m &= !(1 << reg);
+    is_held(k, reg); // ensure the extension exists
+    let HeldLocks(mut v) = k.ext_take::<HeldLocks>();
+    if v.len() <= reg / 64 {
+        v.resize(reg / 64 + 1, 0);
     }
-    let _ = k.ext_take::<HeldLocks>();
-    k.ext_restore(HeldLocks(m));
+    if held {
+        v[reg / 64] |= 1 << (reg % 64);
+    } else {
+        v[reg / 64] &= !(1 << (reg % 64));
+    }
+    k.ext_restore(HeldLocks(v));
 }
 
 impl SvmCtx {
@@ -122,7 +126,7 @@ impl SvmCtx {
         // Skip register 0, which backs the RAM barrier and scratch-pad
         // slice 0, to reduce contention (correctness does not depend on
         // this: none of the users nest acquisitions).
-        let reg = CoreId::new((1 + self.lock_cursor % (ncores - 1)) as usize);
+        let reg = CoreId::from_raw((1 + self.lock_cursor % (ncores - 1)) as usize);
         self.lock_cursor += 1;
         SvmLock { reg }
     }
@@ -156,7 +160,7 @@ impl SvmLock {
     /// [`SyncError::AcquireReentry`] without touching the register.
     pub fn acquire(&self, k: &mut Kernel<'_>) -> Result<(), SyncError> {
         let reg = self.reg.idx();
-        if held_mask(k) & (1 << reg) != 0 {
+        if is_held(k, reg) {
             let err = SyncError::AcquireReentry { reg };
             k.hw.trace(EventKind::SyncErr, reg as u32, err.code());
             return Err(err);
@@ -178,7 +182,7 @@ impl SvmLock {
     /// touching the register.
     pub fn release(&self, k: &mut Kernel<'_>) -> Result<(), SyncError> {
         let reg = self.reg.idx();
-        if held_mask(k) & (1 << reg) == 0 {
+        if !is_held(k, reg) {
             let err = SyncError::ReleaseNotHeld { reg };
             k.hw.trace(EventKind::SyncErr, reg as u32, err.code());
             return Err(err);

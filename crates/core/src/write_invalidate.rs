@@ -219,7 +219,7 @@ fn invalidate_replicas(
     k.hw.trace(EventKind::WiInvSend, p, n);
     let mut m = targets;
     while m != 0 {
-        let core = CoreId::new(m.trailing_zeros() as usize);
+        let core = CoreId::from_raw(m.trailing_zeros() as usize);
         m &= m - 1;
         mbx.send(k, core, WI_INV, &p.to_le_bytes());
     }
@@ -245,7 +245,7 @@ impl WiRequestHandler {
     fn handle(&self, k: &mut Kernel<'_>, mail: Mail, write: bool) {
         let sh = &self.sh;
         let p = mail.u32_at(0);
-        let requester = CoreId::new(mail.u32_at(4) as usize);
+        let requester = CoreId::from_raw(mail.u32_at(4) as usize);
         let me = k.id();
         let cur = sh.owner_read(k, p).expect("request for unowned page");
         if cur == requester {

@@ -336,6 +336,83 @@ fn offdie_scratchpad_variant_works() {
 }
 
 #[test]
+fn default_scratch_resolves_to_mpb_on_scc48() {
+    // Bit-identity guard: on the paper's machine the Auto default must
+    // pick the MPB design, not the sharded directory.
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    cl.run(1, |k| {
+        let mbx = mbx_install(k, Notify::Ipi);
+        let svm = install(k, &mbx, SvmConfig::default());
+        assert_eq!(
+            svm.shared().scratch_location(),
+            metalsvm::ScratchLocation::Mpb
+        );
+    })
+    .unwrap();
+}
+
+#[test]
+fn sharded_scratchpad_variant_works() {
+    // The sharded per-MC directory, forced onto the 48-core machine.
+    let cl = Cluster::new(SccConfig::small()).unwrap();
+    cl.run(4, |k| {
+        let mbx = mbx_install(k, Notify::Ipi);
+        let mut svm = install(
+            k,
+            &mbx,
+            SvmConfig::builder()
+                .scratch(metalsvm::ScratchLocation::ShardedMc)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(
+            svm.shared().scratch_location(),
+            metalsvm::ScratchLocation::ShardedMc
+        );
+        let r = svm.alloc(k, 16384, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 2048);
+        let me = k.rank();
+        a.set(k, me * 512, me as u64 + 1); // 4 first touches, 4 shards
+        svm.barrier(k);
+        let peer = (me + 1) % 4;
+        assert_eq!(a.get(k, peer * 512), peer as u64 + 1);
+        svm.barrier(k);
+    })
+    .unwrap();
+}
+
+#[test]
+fn auto_picks_sharded_directory_on_a_big_mesh() {
+    // 512 cores: beyond the MPB design's limits, Auto must shard. Run a
+    // strong-model ownership migration on a handful of participants. The
+    // shared region must hold the mailbox's off-die slot rows (512
+    // receivers x 4 pages = 8 MiB) on top of the SVM window.
+    let cfg = SccConfig {
+        shared_bytes: 32 * 1024 * 1024,
+        private_bytes_per_core: 256 * 1024,
+        ..SccConfig::default_with(scc_hw::Topology::mesh16x32())
+    };
+    let cl = Cluster::new(cfg).unwrap();
+    cl.run(8, |k| {
+        let mbx = mbx_install(k, Notify::Poll);
+        let mut svm = install(k, &mbx, SvmConfig::default());
+        assert_eq!(
+            svm.shared().scratch_location(),
+            metalsvm::ScratchLocation::ShardedMc
+        );
+        let r = svm.alloc(k, 8 * 4096, Consistency::Strong);
+        let a = SvmArray::<u64>::new(r, 8 * 512);
+        let me = k.rank();
+        a.set(k, me * 512, 0xBEEF + me as u64);
+        svm.barrier(k);
+        let peer = (me + 1) % 8;
+        assert_eq!(a.get(k, peer * 512), 0xBEEF + peer as u64);
+        svm.barrier(k);
+    })
+    .unwrap();
+}
+
+#[test]
 fn staleness_without_invalidate_lazy_model() {
     // Negative test: lazy release WITHOUT the acquire-invalidate shows the
     // stale value — the bug class the consistency hooks exist to fix.

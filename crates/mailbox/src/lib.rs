@@ -3,7 +3,10 @@
 //! For each communication path between two cores, one cache-line-sized
 //! (32-byte) mailbox is reserved in the **receiver's** MPB. With 48 cores
 //! this costs 48 × 32 B = 1.5 KiB of each MPB; the remaining 6.5 KiB stay
-//! available to the RCCE allocator.
+//! available to the RCCE allocator. On meshes whose core count outgrows
+//! the MPB ([`MPB_SENDER_LIMIT`]), the slots move to per-receiver rows in
+//! shared off-die memory near each receiver's memory controller
+//! ([`mail::SlotMap`]) — same protocol, DDR access costs.
 //!
 //! The access protocol makes every mailbox a *single-reader/single-writer*
 //! channel: only the sender writes mail data and sets the send flag; only
@@ -25,10 +28,23 @@
 pub mod mail;
 pub mod system;
 
-pub use mail::{Mail, MailKind, MAX_PAYLOAD};
+pub use mail::{Mail, MailKind, SlotMap, MAX_PAYLOAD};
 pub use system::{install, MailHandler, MailStats, Mailbox, Notify};
 
-use scc_hw::topology::MAX_CORES;
+/// Largest core count whose mail slots still live in the MPB (one 32-byte
+/// line per sender, 4 KiB at the limit — leaving the RCCE flag/barrier/user
+/// areas and a useful chunk buffer in the 8 KiB MPB). Bigger machines place
+/// the slots off-die.
+pub const MPB_SENDER_LIMIT: usize = 128;
 
-/// Bytes of each MPB reserved for the mailbox system (one line per sender).
-pub const MAILBOX_REGION_BYTES: usize = MAX_CORES * 32;
+/// Bytes of each MPB reserved for the mailbox system on a machine with
+/// `ncores` cores: one line per sender when the in-MPB layout fits, zero
+/// when the slots move off-die. The RCCE allocator starts its MPB layout
+/// at this offset.
+pub fn mpb_region_bytes(ncores: usize) -> usize {
+    if ncores <= MPB_SENDER_LIMIT {
+        ncores * 32
+    } else {
+        0
+    }
+}

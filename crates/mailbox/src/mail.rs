@@ -9,8 +9,12 @@
 //! bytes 12..32 : payload
 //! ```
 
+use scc_hw::machine::MachineInner;
 use scc_hw::mpb::MpbArray;
+use scc_hw::ram::Backing;
 use scc_hw::topology::CoreId;
+use scc_hw::MemAttr;
+use std::sync::Arc;
 
 /// Maximum payload bytes per mail.
 pub const MAX_PAYLOAD: usize = 20;
@@ -64,10 +68,136 @@ impl Mail {
 }
 
 /// Physical address of the mailbox line for mails from `sender` to
-/// `receiver` (inside the receiver's MPB).
+/// `receiver` under the **in-MPB** layout (inside the receiver's MPB).
+/// Production code addresses slots through [`SlotMap`], which falls back
+/// to off-die rows when the core count outgrows the MPB.
 #[inline]
 pub fn slot_pa(receiver: CoreId, sender: CoreId) -> u32 {
     MpbArray::pa(receiver, sender.idx() * 32)
+}
+
+/// Where the per-(receiver, sender) mail slots of one machine live, and
+/// how to address them.
+///
+/// * **MPB layout** (the paper's design): one 32-byte line per sender at
+///   the bottom of each receiver's MPB. Used whenever the machine's core
+///   count fits ([`crate::MPB_SENDER_LIMIT`]); byte-identical to the
+///   original fixed layout on the `scc48` preset.
+/// * **Off-die layout**: past the limit, each receiver gets a row of
+///   `ncores` lines in shared off-die memory, its frames allocated behind
+///   the receiver's nearest memory controller. Slower (DDR instead of
+///   on-die SRAM — the access costs follow automatically from the address
+///   map) but capacity scales with the machine.
+#[derive(Clone, Debug)]
+pub struct SlotMap {
+    ncores: usize,
+    /// Off-die layout only: frame numbers, `row_pages` per receiver row,
+    /// receiver-major. `None` selects the MPB layout.
+    rows: Option<Arc<Vec<u32>>>,
+    row_pages: usize,
+}
+
+impl SlotMap {
+    /// Pages per off-die receiver row for `ncores` senders (32-byte slots
+    /// never straddle pages).
+    pub fn row_pages(ncores: usize) -> usize {
+        (ncores * 32).div_ceil(4096)
+    }
+
+    /// The in-MPB layout (core count within [`crate::MPB_SENDER_LIMIT`]).
+    pub fn mpb(ncores: usize) -> Self {
+        assert!(
+            ncores <= crate::MPB_SENDER_LIMIT,
+            "{ncores} senders do not fit the in-MPB slot layout"
+        );
+        SlotMap {
+            ncores,
+            rows: None,
+            row_pages: 0,
+        }
+    }
+
+    /// The off-die layout over previously allocated row frames
+    /// (`row_pages(ncores)` frames per receiver, receiver-major).
+    pub fn offdie(ncores: usize, frames: Arc<Vec<u32>>) -> Self {
+        let row_pages = Self::row_pages(ncores);
+        assert_eq!(frames.len(), ncores * row_pages, "row frame table size");
+        SlotMap {
+            ncores,
+            rows: Some(frames),
+            row_pages,
+        }
+    }
+
+    /// Does this map use the in-MPB layout?
+    pub fn uses_mpb(&self) -> bool {
+        self.rows.is_none()
+    }
+
+    /// Physical address of the slot for mails `sender` → `receiver`.
+    #[inline]
+    pub fn slot_pa(&self, receiver: CoreId, sender: CoreId) -> u32 {
+        match &self.rows {
+            None => slot_pa(receiver, sender),
+            Some(rows) => {
+                let byte = sender.idx() * 32;
+                let pfn = rows[receiver.idx() * self.row_pages + byte / 4096];
+                (pfn << 12) + (byte % 4096) as u32
+            }
+        }
+    }
+
+    /// The memory attribute timed slot accesses must use: `MPB` for the
+    /// on-die layout, `UNCACHED` for the off-die one (mail slots must
+    /// never be served stale from a write-back cache).
+    #[inline]
+    pub fn attr(&self) -> MemAttr {
+        match self.rows {
+            None => MemAttr::MPB,
+            Some(_) => MemAttr::UNCACHED,
+        }
+    }
+
+    /// Raw (un-timed) read of slot memory, for wait-condition peeks.
+    #[inline]
+    pub fn raw_read(&self, mach: &MachineInner, pa: u32, len: usize) -> u64 {
+        match self.rows {
+            None => mach.mpb.read(pa, len),
+            Some(_) => mach.ram.read(pa, len),
+        }
+    }
+
+    /// Raw (un-timed) write of slot memory, for install-time clearing.
+    #[inline]
+    pub fn raw_write(&self, mach: &MachineInner, pa: u32, len: usize, val: u64) {
+        match self.rows {
+            None => mach.mpb.write(pa, len, val),
+            Some(_) => mach.ram.write(pa, len, val),
+        }
+    }
+
+    /// Wire delay for `me` to observe `peer`'s update of a slot in
+    /// `receiver`'s row: the remote-MPB access cost under the on-die
+    /// layout, the DDR word cost of the row's home controller off-die.
+    pub fn probe_cost(&self, mach: &MachineInner, me: CoreId, peer: CoreId, receiver: CoreId) -> u64 {
+        let t = &mach.cfg.timing;
+        let topo = &mach.cfg.topo;
+        match self.rows {
+            None => t.mpb_cost(topo.hops(me, peer)),
+            Some(_) => {
+                let pa = self.slot_pa(receiver, CoreId::from_raw(0));
+                let Backing::Ram { mc } = mach.map.resolve(pa) else {
+                    unreachable!("off-die slot rows live in RAM");
+                };
+                t.ddr_word_cost(topo.hops_to_mc(me, mc))
+            }
+        }
+    }
+
+    /// Number of senders (== cores) this map addresses.
+    pub fn ncores(&self) -> usize {
+        self.ncores
+    }
 }
 
 /// Field offsets within a slot.

@@ -1,11 +1,11 @@
 //! The mailbox system: install, send, receive, notification strategies.
 
-use crate::mail::{field, slot_pa, Mail, MailKind, MAX_PAYLOAD};
+use crate::mail::{field, Mail, MailKind, SlotMap, MAX_PAYLOAD};
 use parking_lot::Mutex;
 use scc_hw::instr::EventKind;
 use scc_hw::machine::MachineInner;
 use scc_hw::metrics::{MetricsSnapshot, MetricsSource};
-use scc_hw::{CoreId, MemAttr};
+use scc_hw::CoreId;
 use scc_kernel::{Kernel, KernelHook};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -100,6 +100,9 @@ struct Shared {
     handlers: Mutex<HashMap<u8, Arc<dyn MailHandler>>>,
     stats: MailStats,
     mach: Arc<MachineInner>,
+    /// Where this machine's mail slots live (in-MPB or off-die rows) and
+    /// how to address them.
+    slots: SlotMap,
     /// Degraded-channel hardening, on exactly when the machine carries a
     /// fault plan: the tick/probe paths scan receive slots even in IPI
     /// mode (so a dropped doorbell degrades to a slow poll) and blocking
@@ -119,6 +122,37 @@ struct MailboxHook {
     sh: Arc<Shared>,
 }
 
+/// Build the machine's slot map: the in-MPB layout while the topology's
+/// core count fits, otherwise per-receiver off-die rows whose frames are
+/// allocated (once per cluster, memoized as a named service) behind each
+/// receiver's nearest memory controller. The row table is a pure function
+/// of the topology and the allocation happens before any other shared-frame
+/// traffic of the run, so every executor sees identical frame numbers.
+fn build_slot_map(k: &Kernel<'_>) -> SlotMap {
+    let topo = k.hw.machine().cfg.topo;
+    let ncores = topo.num_cores();
+    if crate::mpb_region_bytes(ncores) > 0 {
+        return SlotMap::mpb(ncores);
+    }
+    let shared = Arc::clone(&k.shared);
+    let frames = shared.service_get_or_init("mbx.slot_rows", || {
+        let row_pages = SlotMap::row_pages(ncores);
+        let mut rows = Vec::with_capacity(ncores * row_pages);
+        for r in 0..ncores {
+            let near = topo.nearest_mc(CoreId::from_raw(r));
+            for _ in 0..row_pages {
+                let pfn = shared
+                    .frames
+                    .alloc_at(near)
+                    .expect("shared memory exhausted allocating mailbox slot rows");
+                rows.push(pfn);
+            }
+        }
+        Arc::new(rows)
+    });
+    SlotMap::offdie(ncores, frames)
+}
+
 /// Install the mailbox system on this kernel. Clears this core's receive
 /// slots, registers the interrupt/idle hook and (in polling mode) a wake
 /// probe, and returns the send/receive handle.
@@ -131,11 +165,12 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
         .filter(|c| *c != me)
         .collect();
     let mach = Arc::clone(k.hw.machine());
+    let slots = build_slot_map(k);
     // Reset this core's receive slots (machine memory persists across runs).
-    for s in scc_hw::topology::CoreId::all() {
-        let pa = slot_pa(me, s);
+    for s in mach.cfg.topo.cores() {
+        let pa = slots.slot_pa(me, s);
         for w in 0..8 {
-            mach.mpb.write(pa + w * 4, 4, 0);
+            slots.raw_write(&mach, pa + w * 4, 4, 0);
         }
     }
     // Collective: nobody may send before every participant cleared its
@@ -153,6 +188,7 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
         handlers: Mutex::new(HashMap::new()),
         stats: MailStats::default(),
         mach,
+        slots,
         resilient,
     });
     k.register_hook(Arc::new(MailboxHook { sh: Arc::clone(&sh) }));
@@ -197,16 +233,17 @@ impl KernelHook for MailboxHook {
             // work in every notify mode (nobody raises an IPI for a slot
             // becoming free).
             let flushable = sh.outbox.lock().front().is_some_and(|m| {
-                sh.mach.mpb.read(slot_pa(m.dst, sh.me) + field::FLAG, 1) == 0
+                let pa = sh.slots.slot_pa(m.dst, sh.me) + field::FLAG;
+                sh.slots.raw_read(&sh.mach, pa, 1) == 0
             });
             if flushable {
                 return true;
             }
             scan_incoming
-                && sh
-                    .senders
-                    .iter()
-                    .any(|s| sh.mach.mpb.read(slot_pa(sh.me, *s), 1) != 0)
+                && sh.senders.iter().any(|s| {
+                    let pa = sh.slots.slot_pa(sh.me, *s);
+                    sh.slots.raw_read(&sh.mach, pa, 1) != 0
+                })
         }))
     }
 }
@@ -215,11 +252,12 @@ impl MailboxHook {
     /// Check one receive buffer; process the mail if the flag is set.
     fn check_slot(&self, k: &mut Kernel<'_>, sender: CoreId) -> bool {
         let sh = &self.sh;
-        let pa = slot_pa(sh.me, sender);
+        let pa = sh.slots.slot_pa(sh.me, sender);
+        let attr = sh.slots.attr();
         let t = &k.hw.machine().cfg.timing;
-        let (check_cost, mpb_cost, n_scan) = (
+        let (check_cost, wire_cost, n_scan) = (
             t.mbox_check,
-            t.mpb_cost(sh.me.hops_to(sender)),
+            sh.slots.probe_cost(&sh.mach, sh.me, sender, sh.me),
             sh.senders.len().max(1) as u64,
         );
         sh.stats.checks.fetch_add(1, Ordering::Relaxed);
@@ -230,11 +268,11 @@ impl MailboxHook {
         // slot's only other writer is `sender` (it sets the flag, we clear
         // it), so the peek demotes through the per-object sequence check.
         k.hw.host_order_point_peer(sender);
-        if sh.mach.mpb.read(pa + field::FLAG, 1) == 0 {
+        if sh.slots.raw_read(&sh.mach, pa + field::FLAG, 1) == 0 {
             return false;
         }
-        let stamp = sh.mach.mpb.read(pa + field::STAMP, 8);
-        let arrival = stamp + mpb_cost;
+        let stamp = sh.slots.raw_read(&sh.mach, pa + field::STAMP, 8);
+        let arrival = stamp + wire_cost;
         if k.hw.now() < arrival {
             // The core was idle when the mail arrived. In polling mode its
             // idle loop is somewhere inside a scan round of n buffers; model
@@ -247,19 +285,19 @@ impl MailboxHook {
         }
         // Read the mail through the cache path (fresh after CL1INVMB).
         k.hw.cl1invmb();
-        let kind = k.hw.read(pa + field::KIND, 1, MemAttr::MPB) as u8;
-        let len = (k.hw.read(pa + field::LEN, 2, MemAttr::MPB) as usize).min(MAX_PAYLOAD);
+        let kind = k.hw.read(pa + field::KIND, 1, attr) as u8;
+        let len = (k.hw.read(pa + field::LEN, 2, attr) as usize).min(MAX_PAYLOAD);
         let mut payload = [0u8; MAX_PAYLOAD];
-        let p0 = k.hw.read(pa + field::PAYLOAD, 8, MemAttr::MPB);
-        let p1 = k.hw.read(pa + field::PAYLOAD + 8, 8, MemAttr::MPB);
-        let p2 = k.hw.read(pa + field::PAYLOAD + 16, 4, MemAttr::MPB);
+        let p0 = k.hw.read(pa + field::PAYLOAD, 8, attr);
+        let p1 = k.hw.read(pa + field::PAYLOAD + 8, 8, attr);
+        let p2 = k.hw.read(pa + field::PAYLOAD + 16, 4, attr);
         payload[0..8].copy_from_slice(&p0.to_le_bytes());
         payload[8..16].copy_from_slice(&p1.to_le_bytes());
         payload[16..20].copy_from_slice(&(p2 as u32).to_le_bytes());
         // Free the slot: record the freed-at stamp, clear the flag, push out.
         let now = k.hw.now();
-        k.hw.write(pa + field::STAMP, 8, now, MemAttr::MPB);
-        k.hw.write(pa + field::FLAG, 1, 0, MemAttr::MPB);
+        k.hw.write(pa + field::STAMP, 8, now, attr);
+        k.hw.write(pa + field::FLAG, 1, 0, attr);
         k.hw.flush_wcb();
         sh.stats.received.fetch_add(1, Ordering::Relaxed);
         // The send-time stamp travels on the wire and doubles as a
@@ -332,7 +370,8 @@ impl Mailbox {
             // flag, it clears it), so the peek demotes per-object.
             k.hw.host_order_point_peer(dst);
             let backlog = !sh.outbox.lock().is_empty();
-            if backlog || sh.mach.mpb.read(slot_pa(dst, sh.me) + field::FLAG, 1) != 0 {
+            let flag_pa = sh.slots.slot_pa(dst, sh.me) + field::FLAG;
+            if backlog || sh.slots.raw_read(&sh.mach, flag_pa, 1) != 0 {
                 // Slot full — or an earlier deferred mail must not be
                 // overtaken (FIFO). Park it; the idle loop retries.
                 sh.stats.deferred_sends.fetch_add(1, Ordering::Relaxed);
@@ -361,28 +400,29 @@ impl Mailbox {
     /// Must not be called from handler context.
     fn wait_slot_free(&self, k: &mut Kernel<'_>, dst: CoreId) {
         let sh = &self.sh;
-        let pa = slot_pa(dst, sh.me);
-        let mpb_cost = k.hw.machine().cfg.timing.mpb_cost(sh.me.hops_to(dst));
+        let pa = sh.slots.slot_pa(dst, sh.me);
+        let wire_cost = sh.slots.probe_cost(&sh.mach, sh.me, dst, dst);
         // Raw full-slot peek: order it (and the send that follows) into
         // the deterministic election order under the parallel engine.
         // Only `dst` ever clears this flag, so the peek demotes per-object.
         k.hw.host_order_point_peer(dst);
-        if sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
+        if sh.slots.raw_read(&sh.mach, pa + field::FLAG, 1) != 0 {
             sh.stats.send_stalls.fetch_add(1, Ordering::Relaxed);
             if sh.resilient {
-                self.wait_slot_free_backoff(k, dst, pa, mpb_cost);
+                self.wait_slot_free_backoff(k, dst, pa, wire_cost);
                 return;
             }
             let mach = Arc::clone(&sh.mach);
+            let slots = sh.slots.clone();
             k.wait_event("mailbox slot to drain", move || {
-                if mach.mpb.read(pa + field::FLAG, 1) == 0 {
-                    Some(((), mach.mpb.read(pa + field::STAMP, 8)))
+                if slots.raw_read(&mach, pa + field::FLAG, 1) == 0 {
+                    Some(((), slots.raw_read(&mach, pa + field::STAMP, 8)))
                 } else {
                     None
                 }
             });
-            // Observing the freed flag costs one remote MPB read.
-            k.hw.advance(mpb_cost);
+            // Observing the freed flag costs one remote slot read.
+            k.hw.advance(wire_cost);
         }
     }
 
@@ -396,7 +436,7 @@ impl Mailbox {
     /// genuinely dead channel into a distinctive panic — which the
     /// exploration harness classifies as a hang — instead of an
     /// unbounded host spin the deadlock detector could never see.
-    fn wait_slot_free_backoff(&self, k: &mut Kernel<'_>, dst: CoreId, pa: u32, mpb_cost: u64) {
+    fn wait_slot_free_backoff(&self, k: &mut Kernel<'_>, dst: CoreId, pa: u32, wire_cost: u64) {
         const BACKOFF_START: u64 = 1 << 10;
         const BACKOFF_CAP: u64 = 1 << 20;
         const RETRY_BUDGET: u32 = 10_000;
@@ -412,9 +452,9 @@ impl Mailbox {
             k.run_idle_hooks();
             sh.stats.retries.fetch_add(1, Ordering::Relaxed);
             k.hw.host_order_point_peer(dst);
-            if sh.mach.mpb.read(pa + field::FLAG, 1) == 0 {
-                // Observing the freed flag costs one remote MPB read.
-                k.hw.advance(mpb_cost);
+            if sh.slots.raw_read(&sh.mach, pa + field::FLAG, 1) == 0 {
+                // Observing the freed flag costs one remote slot read.
+                k.hw.advance(wire_cost);
                 return;
             }
         }
@@ -438,9 +478,9 @@ impl Mailbox {
                     None => return,
                 }
             };
-            let pa = slot_pa(dst, self.sh.me);
+            let pa = self.sh.slots.slot_pa(dst, self.sh.me);
             k.hw.host_order_point_peer(dst);
-            if self.sh.mach.mpb.read(pa + field::FLAG, 1) != 0 {
+            if self.sh.slots.raw_read(&self.sh.mach, pa + field::FLAG, 1) != 0 {
                 return;
             }
             self.post(k, dst, kind, &payload[..len]);
@@ -465,30 +505,30 @@ impl Mailbox {
     /// The caller has established that the slot is free.
     fn post(&self, k: &mut Kernel<'_>, dst: CoreId, kind: MailKind, data: &[u8]) {
         let sh = &self.sh;
-        let pa = slot_pa(dst, sh.me);
+        let pa = sh.slots.slot_pa(dst, sh.me);
+        let attr = sh.slots.attr();
         // Body first (combined in the WCB), then stamp + flag, then push.
-        k.hw.write(pa + field::KIND, 1, kind.0 as u64, MemAttr::MPB);
-        k.hw
-            .write(pa + field::LEN, 2, data.len() as u64, MemAttr::MPB);
+        k.hw.write(pa + field::KIND, 1, kind.0 as u64, attr);
+        k.hw.write(pa + field::LEN, 2, data.len() as u64, attr);
         let mut payload = [0u8; MAX_PAYLOAD];
         payload[..data.len()].copy_from_slice(data);
         k.hw.write(
             pa + field::PAYLOAD,
             8,
             u64::from_le_bytes(payload[0..8].try_into().unwrap()),
-            MemAttr::MPB,
+            attr,
         );
         k.hw.write(
             pa + field::PAYLOAD + 8,
             8,
             u64::from_le_bytes(payload[8..16].try_into().unwrap()),
-            MemAttr::MPB,
+            attr,
         );
         k.hw.write(
             pa + field::PAYLOAD + 16,
             4,
             u32::from_le_bytes(payload[16..20].try_into().unwrap()) as u64,
-            MemAttr::MPB,
+            attr,
         );
         k.hw.flush_wcb();
         let mut stamp = k.hw.now();
@@ -499,8 +539,8 @@ impl Mailbox {
             // correlation intact.
             stamp += sh.mach.faults.mail_delay(sh.me.idx(), dst.idx());
         }
-        k.hw.write(pa + field::STAMP, 8, stamp, MemAttr::MPB);
-        k.hw.write(pa + field::FLAG, 1, 1, MemAttr::MPB);
+        k.hw.write(pa + field::STAMP, 8, stamp, attr);
+        k.hw.write(pa + field::FLAG, 1, 1, attr);
         k.hw.flush_wcb();
         sh.stats.sent.fetch_add(1, Ordering::Relaxed);
         k.hw.trace3(
@@ -564,6 +604,7 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mail::slot_pa;
     use scc_hw::SccConfig;
     use scc_kernel::Cluster;
 

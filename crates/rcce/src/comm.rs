@@ -1,7 +1,7 @@
 //! The RCCE communicator: UE numbering, MPB flags, the `RCCE_malloc`
 //! region, and the flag-based dissemination barrier.
 
-use crate::{BARRIER_OFF, READY_FLAG_OFF, SENT_FLAG_OFF, USER_BYTES, USER_OFF};
+use crate::MpbLayout;
 use scc_hw::mpb::MpbArray;
 use scc_hw::{CoreId, MemAttr};
 use scc_kernel::Kernel;
@@ -23,6 +23,8 @@ pub struct FlagView {
 pub struct RcceComm {
     ues: Vec<CoreId>,
     me: usize,
+    /// The MPB layout of this machine (a function of its topology).
+    layout: MpbLayout,
     /// Monotonic sequence number of this UE's chunk pipeline.
     pub(crate) send_seq: u32,
     /// Last chunk sequence acknowledged per source UE.
@@ -39,15 +41,16 @@ impl RcceComm {
         let me_core = k.id();
         let me = k.rank();
         let mach = Arc::clone(k.hw.machine());
+        let layout = MpbLayout::for_cores(mach.cfg.topo.num_cores());
         // Raw-clear this UE's own flag lines (boot-time, untimed).
-        for off in [SENT_FLAG_OFF, READY_FLAG_OFF] {
+        for off in [layout.sent_flag_off, layout.ready_flag_off] {
             let pa = MpbArray::pa(me_core, off as usize);
             for w in 0..8 {
                 mach.mpb.write(pa + w * 4, 4, 0);
             }
         }
-        for r in 0..8 {
-            let pa = MpbArray::pa(me_core, (BARRIER_OFF + r * 32) as usize);
+        for r in 0..layout.barrier_rounds {
+            let pa = MpbArray::pa(me_core, (layout.barrier_off + r * 32) as usize);
             for w in 0..8 {
                 mach.mpb.write(pa + w * 4, 4, 0);
             }
@@ -57,10 +60,17 @@ impl RcceComm {
             recv_acked: vec![0; ues.len()],
             ues,
             me,
+            layout,
             send_seq: 0,
             barrier_epoch: 0,
-            user_next: USER_OFF,
+            user_next: layout.user_off,
         }
+    }
+
+    /// The machine's MPB layout.
+    #[inline]
+    pub fn layout(&self) -> &MpbLayout {
+        &self.layout
     }
 
     /// Number of UEs.
@@ -87,7 +97,7 @@ impl RcceComm {
         let aligned = (bytes + 31) & !31;
         let off = self.user_next;
         assert!(
-            off + aligned <= USER_OFF + USER_BYTES,
+            off + aligned <= self.layout.user_off + self.layout.user_bytes,
             "RCCE user MPB region exhausted"
         );
         self.user_next += aligned;
@@ -138,7 +148,7 @@ impl RcceComm {
         pred: impl Fn(&FlagView) -> bool + Send,
     ) -> FlagView {
         let mach = Arc::clone(k.hw.machine());
-        let hops = k.id().hops_to(owner);
+        let hops = k.hw.topo().hops(k.id(), owner);
         let cost = k.hw.machine().cfg.timing.mpb_cost(hops);
         k.wait_event(reason, move || {
             let f = Self::peek_flag(&mach, owner, off);
@@ -168,14 +178,16 @@ impl RcceComm {
         }
         self.barrier_epoch += 1;
         let epoch = self.barrier_epoch;
+        let barrier_off = self.layout.barrier_off;
         let mut dist = 1usize;
         let mut round = 0u32;
         while dist < n {
+            debug_assert!(round < self.layout.barrier_rounds);
             let to = self.ues[(self.me + dist) % n];
             let from = self.ues[(self.me + n - dist) % n];
-            Self::write_flag(k, to, BARRIER_OFF + round * 32, epoch, self.me as u32);
+            Self::write_flag(k, to, barrier_off + round * 32, epoch, self.me as u32);
             let mine = k.id();
-            Self::wait_flag(k, mine, BARRIER_OFF + round * 32, "barrier round", |f| {
+            Self::wait_flag(k, mine, barrier_off + round * 32, "barrier round", |f| {
                 f.value >= epoch
             });
             let _ = from;

@@ -11,7 +11,6 @@
 //! calling core, so all copies are charged through the cache model.
 
 use crate::comm::RcceComm;
-use crate::{CHUNK_BYTES, CHUNK_OFF, READY_FLAG_OFF, SENT_FLAG_OFF};
 use scc_hw::mpb::MpbArray;
 use scc_hw::{CoreId, MemAttr};
 use scc_kernel::Kernel;
@@ -67,8 +66,8 @@ pub fn irecv(comm: &RcceComm, src: usize, va: u32, len: u32) -> IrecvReq {
 }
 
 /// Copy `len` bytes from private memory into this UE's MPB chunk buffer.
-fn fill_chunk(k: &mut Kernel<'_>, me: CoreId, va: u32, len: u32) {
-    let base = MpbArray::pa(me, CHUNK_OFF as usize);
+fn fill_chunk(k: &mut Kernel<'_>, me: CoreId, chunk_off: u32, va: u32, len: u32) {
+    let base = MpbArray::pa(me, chunk_off as usize);
     let mut off = 0;
     while off + 8 <= len {
         let v = k.vread(va + off, 8);
@@ -85,8 +84,8 @@ fn fill_chunk(k: &mut Kernel<'_>, me: CoreId, va: u32, len: u32) {
 
 /// Copy `len` bytes out of `src_core`'s MPB chunk buffer into private
 /// memory.
-fn drain_chunk(k: &mut Kernel<'_>, src_core: CoreId, va: u32, len: u32) {
-    let base = MpbArray::pa(src_core, CHUNK_OFF as usize);
+fn drain_chunk(k: &mut Kernel<'_>, src_core: CoreId, chunk_off: u32, va: u32, len: u32) {
+    let base = MpbArray::pa(src_core, chunk_off as usize);
     k.hw.cl1invmb();
     let mut off = 0;
     while off + 8 <= len {
@@ -120,14 +119,15 @@ impl IsendReq {
         // writes — so the peek demotes through the per-object sequence
         // check against exactly that core. Before the first push nobody
         // can ack at all.
+        let layout = *comm.layout();
         let acker = if comm.send_seq == 0 {
             me
         } else {
-            let sent = RcceComm::peek_flag(k.hw.machine(), me, SENT_FLAG_OFF);
+            let sent = RcceComm::peek_flag(k.hw.machine(), me, layout.sent_flag_off);
             comm.core_of(unpack_dst_len(sent.aux).0)
         };
         k.hw.host_order_point_peer(acker);
-        let ready = RcceComm::peek_flag(k.hw.machine(), me, READY_FLAG_OFF);
+        let ready = RcceComm::peek_flag(k.hw.machine(), me, layout.ready_flag_off);
         // The pipeline is free when every chunk published so far was acked.
         if ready.value != comm.send_seq {
             return false;
@@ -147,12 +147,18 @@ impl IsendReq {
         if comm.send_seq != 0 {
             k.hw.sync_to(ready.stamp);
         }
-        let chunk = (self.len - self.pos).min(CHUNK_BYTES);
-        fill_chunk(k, me, self.va + self.pos, chunk);
+        let chunk = (self.len - self.pos).min(layout.chunk_bytes());
+        fill_chunk(k, me, layout.chunk_off, self.va + self.pos, chunk);
         self.pos += chunk;
         comm.send_seq += 1;
         self.last_seq = comm.send_seq;
-        RcceComm::write_flag(k, me, SENT_FLAG_OFF, comm.send_seq, pack_dst_len(self.dst, chunk));
+        RcceComm::write_flag(
+            k,
+            me,
+            layout.sent_flag_off,
+            comm.send_seq,
+            pack_dst_len(self.dst, chunk),
+        );
         true
     }
 }
@@ -168,10 +174,11 @@ impl IrecvReq {
             return false;
         }
         let src_core = comm.core_of(self.src);
+        let layout = *comm.layout();
         // The sender's SENT flag is written only by the sender itself:
         // demote the peek through the per-object sequence check.
         k.hw.host_order_point_peer(src_core);
-        let sent = RcceComm::peek_flag(k.hw.machine(), src_core, SENT_FLAG_OFF);
+        let sent = RcceComm::peek_flag(k.hw.machine(), src_core, layout.sent_flag_off);
         let acked = comm.recv_acked[self.src];
         if sent.value <= acked {
             return false;
@@ -181,17 +188,17 @@ impl IrecvReq {
             return false;
         }
         // The chunk is for us: sync to its publication, copy it out, ack.
-        let hops = k.id().hops_to(src_core);
+        let hops = k.hw.topo().hops(k.id(), src_core);
         let wire = k.hw.machine().cfg.timing.mpb_cost(hops);
         k.hw.sync_to(sent.stamp + wire);
         assert!(
             self.pos + chunk_len <= self.len,
             "sender pushed more data than this receive expects"
         );
-        drain_chunk(k, src_core, self.va + self.pos, chunk_len);
+        drain_chunk(k, src_core, layout.chunk_off, self.va + self.pos, chunk_len);
         self.pos += chunk_len;
         comm.recv_acked[self.src] = sent.value;
-        RcceComm::write_flag(k, src_core, READY_FLAG_OFF, sent.value, comm.ue() as u32);
+        RcceComm::write_flag(k, src_core, layout.ready_flag_off, sent.value, comm.ue() as u32);
         if self.pos >= self.len {
             self.done = true;
         }
@@ -244,16 +251,17 @@ pub fn wait_all(
         // flags with several distinct writers, and a stale snapshot would
         // turn the change-detection wait into a virtual-time livelock.
         k.hw.host_order_point();
+        let layout = *comm.layout();
         let mut watch: Vec<(CoreId, u32, u32, u32)> = Vec::new();
         if sends.iter().any(|s| !s.done) {
             let me_core = comm.core_of(comm.ue());
-            let f = RcceComm::peek_flag(k.hw.machine(), me_core, READY_FLAG_OFF);
-            watch.push((me_core, READY_FLAG_OFF, f.value, f.aux));
+            let f = RcceComm::peek_flag(k.hw.machine(), me_core, layout.ready_flag_off);
+            watch.push((me_core, layout.ready_flag_off, f.value, f.aux));
         }
         for r in recvs.iter().filter(|r| !r.done) {
             let core = comm.core_of(r.src);
-            let f = RcceComm::peek_flag(k.hw.machine(), core, SENT_FLAG_OFF);
-            watch.push((core, SENT_FLAG_OFF, f.value, f.aux));
+            let f = RcceComm::peek_flag(k.hw.machine(), core, layout.sent_flag_off);
+            watch.push((core, layout.sent_flag_off, f.value, f.aux));
         }
         k.wait_event("iRCCE progress", move || {
             for (core, off, value, aux) in &watch {

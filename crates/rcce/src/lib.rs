@@ -9,8 +9,11 @@
 //!
 //! ## MPB layout per unit of execution (UE)
 //!
-//! The mailbox system owns the first 1.5 KiB of each MPB (48 slots × 32 B);
-//! RCCE manages the rest:
+//! The mailbox system owns the bottom of each MPB (one 32-byte slot per
+//! core of the topology — 1.5 KiB on the 48-core SCC, nothing when the
+//! mail slots moved off-die on big meshes); RCCE manages the rest. The
+//! concrete offsets are a runtime [`MpbLayout`] derived from the machine's
+//! topology; on the `scc48` preset it reproduces the historical layout:
 //!
 //! ```text
 //! 0    .. 1536 : mailbox system (crate scc-mailbox)
@@ -18,7 +21,8 @@
 //! 1600 .. 1664 : ready flags: (seq, stamp) acknowledgement by the receiver
 //! 1664 .. 1920 : 8 dissemination-barrier flag lines (one per round)
 //! 1920 .. 2432 : user region served by `RcceComm::mpb_alloc` (RCCE_malloc)
-//! 2432 .. 8192 : the pipeline chunk buffer (5760 B) for send/recv
+//! 2432 .. 7168 : the pipeline chunk buffer (4736 B) for send/recv
+//! 7168 .. 8192 : SVM first-touch scratch pad (crate `metalsvm`)
 //! ```
 //!
 //! All flag lines carry a cycle stamp next to the value so that virtual
@@ -36,23 +40,106 @@ pub use ircce::{irecv, isend, wait_all, IrecvReq, IsendReq};
 pub use putget::{get, put};
 pub use sendrecv::{recv, send};
 
-/// Offset of the RCCE region inside each MPB (after the mailbox area).
-pub const RCCE_OFF: u32 = scc_mailbox::MAILBOX_REGION_BYTES as u32;
-/// Offset of the per-UE send flag line.
-pub const SENT_FLAG_OFF: u32 = RCCE_OFF;
-/// Offset of the per-UE ready flag line.
-pub const READY_FLAG_OFF: u32 = RCCE_OFF + 64;
-/// Offset of the barrier flag lines (8 rounds).
-pub const BARRIER_OFF: u32 = RCCE_OFF + 128;
-/// Offset of the user (RCCE_malloc) region.
-pub const USER_OFF: u32 = BARRIER_OFF + 8 * 32;
-/// Bytes of the user region.
-pub const USER_BYTES: u32 = 512;
-/// Offset of the pipeline chunk buffer.
-pub const CHUNK_OFF: u32 = USER_OFF + USER_BYTES;
-/// First byte past the chunk buffer: the top 1 KiB of each MPB is reserved
-/// for the SVM first-touch scratch pad (crate `metalsvm`), which coexists
-/// with RCCE exactly as in MetalSVM.
-pub const CHUNK_END: u32 = scc_hw::config::MPB_BYTES as u32 - 1024;
-/// Bytes per pipeline chunk.
-pub const CHUNK_BYTES: u32 = CHUNK_END - CHUNK_OFF;
+/// The RCCE region of each core's MPB, laid out at communicator init from
+/// the machine's topology. All offsets are relative to an MPB base.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MpbLayout {
+    /// First byte after the mailbox area.
+    pub rcce_off: u32,
+    /// Per-UE send flag line: (seq, dst, stamp) of the chunk in the buffer.
+    pub sent_flag_off: u32,
+    /// Per-UE ready flag line: (seq, stamp) acknowledgement by the receiver.
+    pub ready_flag_off: u32,
+    /// First dissemination-barrier flag line (one 32-byte line per round).
+    pub barrier_off: u32,
+    /// Barrier flag lines reserved: enough for ⌈log₂ cores⌉ rounds, at
+    /// least the 8 the SCC layout always carried.
+    pub barrier_rounds: u32,
+    /// User region served by `RcceComm::mpb_alloc` (RCCE_malloc).
+    pub user_off: u32,
+    /// Bytes of the user region.
+    pub user_bytes: u32,
+    /// Pipeline chunk buffer for send/recv.
+    pub chunk_off: u32,
+    /// First byte past the chunk buffer: the top 1 KiB of each MPB stays
+    /// reserved for the SVM first-touch scratch pad (crate `metalsvm`),
+    /// which coexists with RCCE exactly as in MetalSVM.
+    pub chunk_end: u32,
+}
+
+impl MpbLayout {
+    /// Compute the layout for a machine whose **topology** has `cores`
+    /// cores (the full machine size, not the participant count — the
+    /// mailbox area below is sized the same way).
+    pub fn for_cores(cores: usize) -> MpbLayout {
+        let rcce_off = scc_mailbox::mpb_region_bytes(cores) as u32;
+        let rounds_needed = if cores <= 1 {
+            1
+        } else {
+            usize::BITS - (cores - 1).leading_zeros()
+        };
+        let barrier_rounds = rounds_needed.max(8);
+        let sent_flag_off = rcce_off;
+        let ready_flag_off = rcce_off + 64;
+        let barrier_off = rcce_off + 128;
+        let user_off = barrier_off + barrier_rounds * 32;
+        let user_bytes = 512;
+        let chunk_off = user_off + user_bytes;
+        let chunk_end = scc_hw::config::MPB_BYTES as u32 - 1024;
+        assert!(
+            chunk_off + 1024 <= chunk_end,
+            "MPB layout for {cores} cores leaves no useful chunk buffer \
+             ({chunk_off}..{chunk_end})"
+        );
+        MpbLayout {
+            rcce_off,
+            sent_flag_off,
+            ready_flag_off,
+            barrier_off,
+            barrier_rounds,
+            user_off,
+            user_bytes,
+            chunk_off,
+            chunk_end,
+        }
+    }
+
+    /// Bytes per pipeline chunk.
+    #[inline]
+    pub fn chunk_bytes(&self) -> u32 {
+        self.chunk_end - self.chunk_off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MpbLayout;
+
+    #[test]
+    fn scc48_layout_is_the_historical_one() {
+        let l = MpbLayout::for_cores(48);
+        assert_eq!(l.rcce_off, 1536);
+        assert_eq!(l.sent_flag_off, 1536);
+        assert_eq!(l.ready_flag_off, 1600);
+        assert_eq!(l.barrier_off, 1664);
+        assert_eq!(l.barrier_rounds, 8);
+        assert_eq!(l.user_off, 1920);
+        assert_eq!(l.chunk_off, 2432);
+        assert_eq!(l.chunk_end, 7168);
+        assert_eq!(l.chunk_bytes(), 4736);
+    }
+
+    #[test]
+    fn big_meshes_fit() {
+        // 128 cores: mail still in the MPB (4 KiB), smaller chunk buffer.
+        let l = MpbLayout::for_cores(128);
+        assert_eq!(l.rcce_off, 4096);
+        assert!(l.chunk_bytes() >= 1024);
+        // 512 cores: mail went off-die, RCCE owns the MPB from byte 0 and
+        // the barrier needs 9 rounds.
+        let l = MpbLayout::for_cores(512);
+        assert_eq!(l.rcce_off, 0);
+        assert_eq!(l.barrier_rounds, 9);
+        assert!(l.chunk_bytes() > 4736);
+    }
+}

@@ -64,10 +64,10 @@ mod tests {
     #[test]
     fn multi_chunk_message() {
         // Larger than one chunk buffer -> exercises the pipeline.
-        let len = crate::CHUNK_BYTES * 3 + 40;
         let cl = Cluster::new(SccConfig::small()).unwrap();
         cl.run(2, move |k| {
             let mut comm = RcceComm::init(k);
+            let len = comm.layout().chunk_bytes() * 3 + 40;
             let pages = len.div_ceil(4096);
             let va = k.kalloc_pages(pages);
             if comm.ue() == 0 {

@@ -4,7 +4,7 @@ use crate::exec::SchedPolicy;
 use crate::faults::FaultPlan;
 use crate::instr::TraceConfig;
 use crate::timing::TimingParams;
-use crate::topology::MAX_CORES;
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
 /// Cache line size of the P54C in bytes.
@@ -104,8 +104,14 @@ impl HostFastPaths {
 /// Full machine configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SccConfig {
-    /// Number of cores that exist (always 48 on real silicon; smaller values
-    /// build a cut-down die which is occasionally handy in unit tests).
+    /// The machine shape: mesh dimensions, cores per tile, memory
+    /// controllers. Defaults to the validated `scc48` paper preset (or the
+    /// shape named by the `SCC_TOPOLOGY` environment variable); every
+    /// geometric quantity — hop distances, MC assignment, routing costs —
+    /// derives from this instance.
+    pub topo: Topology,
+    /// Number of cores that are populated (at most `topo.num_cores()`;
+    /// smaller values build a cut-down die, handy in unit tests).
     pub ncores: usize,
     /// L1 data cache geometry (P54C: 8 KiB, 2-way; the other 8 KiB of the
     /// "16 KiB L1" is the instruction cache, which the model ignores).
@@ -114,8 +120,8 @@ pub struct SccConfig {
     pub l2: CacheGeom,
     /// Private off-die memory per core, in bytes.
     pub private_bytes_per_core: usize,
-    /// Shared off-die memory, in bytes (split evenly over the four memory
-    /// controllers).
+    /// Shared off-die memory, in bytes (split evenly over the topology's
+    /// memory controllers).
     pub shared_bytes: usize,
     /// Cycle cost model.
     pub timing: TimingParams,
@@ -144,9 +150,20 @@ pub struct SccConfig {
 }
 
 impl Default for SccConfig {
+    /// The `scc48` paper machine — unless the `SCC_TOPOLOGY` environment
+    /// variable names another shape (preset or `WxHxC:M` spec), in which
+    /// case that shape is fully populated instead.
     fn default() -> Self {
+        Self::default_with(Topology::from_env_or_scc48())
+    }
+}
+
+impl SccConfig {
+    /// A default configuration for an explicit topology, fully populated.
+    pub fn default_with(topo: Topology) -> Self {
         SccConfig {
-            ncores: MAX_CORES,
+            topo,
+            ncores: topo.num_cores(),
             l1: CacheGeom {
                 size: 8 * 1024,
                 assoc: 2,
@@ -167,9 +184,7 @@ impl Default for SccConfig {
             faults: FaultPlan::default(),
         }
     }
-}
 
-impl SccConfig {
     /// A configuration with a small memory footprint for unit tests.
     pub fn small() -> Self {
         SccConfig {
@@ -179,13 +194,36 @@ impl SccConfig {
         }
     }
 
+    /// `small()` for an explicit topology.
+    pub fn small_with(topo: Topology) -> Self {
+        SccConfig {
+            private_bytes_per_core: 256 * 1024,
+            shared_bytes: 4 * 1024 * 1024,
+            ..Self::default_with(topo)
+        }
+    }
+
     /// Validate internal consistency; called by `Machine::new`.
     pub fn validate(&self) -> Result<(), String> {
-        if self.ncores == 0 || self.ncores > MAX_CORES {
-            return Err(format!("ncores must be in 1..={MAX_CORES}"));
+        let max = self.topo.num_cores();
+        if self.ncores == 0 || self.ncores > max {
+            return Err(format!(
+                "ncores must be in 1..={max} on topology {}",
+                self.topo
+            ));
         }
-        if !self.shared_bytes.is_multiple_of(4 * PAGE_BYTES) {
-            return Err("shared_bytes must be a multiple of 4 pages".into());
+        let mcs = self.topo.num_mcs();
+        if !self.shared_bytes.is_multiple_of(mcs * PAGE_BYTES) {
+            return Err(format!(
+                "shared_bytes must be a multiple of {mcs} pages"
+            ));
+        }
+        let ram = self.ncores as u64 * self.private_bytes_per_core as u64 + self.shared_bytes as u64;
+        if ram >= crate::ram::MPB_PA_BASE as u64 {
+            return Err(format!(
+                "off-die RAM ({ram:#x} bytes) collides with the MPB window at {:#x}",
+                crate::ram::MPB_PA_BASE
+            ));
         }
         if !self.private_bytes_per_core.is_multiple_of(PAGE_BYTES) {
             return Err("private_bytes_per_core must be page-aligned".into());
@@ -214,6 +252,18 @@ mod tests {
     }
 
     #[test]
+    fn preset_configs_are_valid() {
+        for t in [
+            Topology::scc48(),
+            Topology::mesh8x8(),
+            Topology::mesh16x32(),
+        ] {
+            SccConfig::default_with(t).validate().unwrap();
+            SccConfig::small_with(t).validate().unwrap();
+        }
+    }
+
+    #[test]
     fn geometry_sets() {
         let g = CacheGeom {
             size: 8 * 1024,
@@ -230,9 +280,24 @@ mod tests {
         };
         assert!(c.validate().is_err());
 
+        // More cores than the topology has.
         let c = SccConfig {
             ncores: 49,
             ..SccConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        // The same count is fine on a bigger mesh.
+        let c = SccConfig {
+            ncores: 49,
+            ..SccConfig::default_with(Topology::mesh8x8())
+        };
+        assert!(c.validate().is_ok());
+
+        // RAM must stay below the MPB window.
+        let c = SccConfig {
+            private_bytes_per_core: 8 * 1024 * 1024,
+            ..SccConfig::default_with(Topology::mesh16x32())
         };
         assert!(c.validate().is_err());
 

@@ -15,7 +15,7 @@ use crate::par::Engine;
 use crate::perf::PerfCounters;
 use crate::ram::{Backing, MPB_PA_BASE};
 use crate::timing::{pack_key, TimingParams};
-use crate::topology::{mc_coord, CoreId};
+use crate::topology::{CoreId, Topology};
 use std::sync::Arc;
 
 /// Cacheability attributes of one access, normally derived from a page-table
@@ -88,6 +88,9 @@ pub struct CoreCtx {
     /// the `Arc` on the hot path.
     timing: TimingParams,
     quantum: u64,
+    /// Copy of `mach.cfg.topo` (16 bytes): hop distances feed every memory
+    /// cost, so geometry lookups must not chase the `Arc` either.
+    topo: Topology,
     /// Hardware event counters for this core.
     pub perf: PerfCounters,
     /// Structured-event ring for this core (zero-sized without the `trace`
@@ -166,6 +169,7 @@ impl CoreCtx {
             wcb: Wcb::new(),
             timing: mach.cfg.timing.clone(),
             quantum,
+            topo: mach.cfg.topo,
             perf: PerfCounters::default(),
             ring: TraceRing::new(&mach.cfg.trace),
             #[cfg(feature = "trace")]
@@ -245,6 +249,12 @@ impl CoreCtx {
     #[inline]
     pub fn id(&self) -> CoreId {
         self.id
+    }
+
+    /// The machine shape this core runs on.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
     }
 
     /// The machine this core belongs to.
@@ -490,8 +500,8 @@ impl CoreCtx {
     fn word_cost(&self, pa: u32) -> u64 {
         let t = &self.timing;
         match self.mach.map.resolve(pa) {
-            Backing::Ram { mc } => t.ddr_word_cost(self.id.tile().hops_to(mc_coord(mc))),
-            Backing::Mpb { owner } => t.mpb_cost(self.id.tile().hops_to(owner.tile())),
+            Backing::Ram { mc } => t.ddr_word_cost(self.topo.hops_to_mc(self.id, mc)),
+            Backing::Mpb { owner } => t.mpb_cost(self.topo.hops(self.id, owner)),
         }
     }
 
@@ -500,8 +510,8 @@ impl CoreCtx {
     fn line_cost(&self, pa: u32) -> u64 {
         let t = &self.timing;
         match self.mach.map.resolve(pa) {
-            Backing::Ram { mc } => t.ddr_line_cost(self.id.tile().hops_to(mc_coord(mc))),
-            Backing::Mpb { owner } => t.mpb_cost(self.id.tile().hops_to(owner.tile())),
+            Backing::Ram { mc } => t.ddr_line_cost(self.topo.hops_to_mc(self.id, mc)),
+            Backing::Mpb { owner } => t.mpb_cost(self.topo.hops(self.id, owner)),
         }
     }
 
@@ -778,7 +788,7 @@ impl CoreCtx {
                 self.advance(stall);
             }
         }
-        let hops = self.id.hops_to(reg);
+        let hops = self.topo.hops(self.id, reg);
         let cost = self.timing.tas_cost(hops);
         self.advance(cost);
         self.host_order_point(); // TAS registers are always globally visible
@@ -810,7 +820,7 @@ impl CoreCtx {
 
     /// Release a test-and-set register.
     pub fn tas_unlock(&mut self, reg: CoreId) {
-        let hops = self.id.hops_to(reg);
+        let hops = self.topo.hops(self.id, reg);
         let cost = self.timing.tas_cost(hops);
         self.advance(cost);
         self.host_order_point();
@@ -840,7 +850,7 @@ impl CoreCtx {
             });
         }
         let t = &self.timing;
-        let cost = t.ipi_raise + t.hop_cost(self.id.hops_to(dst));
+        let cost = t.ipi_raise + t.hop_cost(self.topo.hops(self.id, dst));
         self.advance(cost);
         self.perf.ipis_sent += 1;
         self.trace(EventKind::IpiSend, dst.idx() as u32, 0);
@@ -872,7 +882,7 @@ impl CoreCtx {
         let t = self.timing.clone();
         for (src, stamp) in &list {
             self.perf.ipis_received += 1;
-            let deliver = t.ipi_delivery(self.id.hops_to(*src));
+            let deliver = t.ipi_delivery(self.topo.hops(self.id, *src));
             self.sync_to(stamp + deliver);
             self.trace(EventKind::IpiRecv, src.idx() as u32, 0);
         }

@@ -4,41 +4,45 @@
 //! inter-processor interrupt at any other core. Crucially — and this is what
 //! the paper's event-driven mailbox design exploits — the receiver can read
 //! back *which* core raised the interrupt, so its handler only needs to scan
-//! that one mailbox instead of all 48.
+//! that one mailbox instead of every core's.
 //!
 //! The model keeps, per target core, a pending bitmask of source cores plus
-//! a cycle stamp per (target, source) pair for virtual-time accounting.
+//! a cycle stamp per (target, source) pair for virtual-time accounting. All
+//! state is sized at construction from the configured core count — the
+//! pending mask spans multiple 64-bit words on topologies past 64 cores.
 
-use crate::topology::{CoreId, MAX_CORES};
+use crate::topology::CoreId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Global interrupt controller state.
 pub struct Gic {
-    /// Pending source bitmask per target core.
-    pending: [AtomicU64; MAX_CORES],
+    ncores: usize,
+    /// 64-bit words per target in the pending mask.
+    words: usize,
+    /// Pending source bitmask per target core (`words` u64s each).
+    pending: Box<[AtomicU64]>,
     /// Raise stamp per (target, source).
     stamps: Box<[AtomicU64]>,
 }
 
-impl Default for Gic {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 impl Gic {
-    pub fn new() -> Self {
-        let mut stamps = Vec::with_capacity(MAX_CORES * MAX_CORES);
-        stamps.resize_with(MAX_CORES * MAX_CORES, || AtomicU64::new(0));
+    pub fn new(ncores: usize) -> Self {
+        let words = ncores.div_ceil(64);
+        let mut pending = Vec::with_capacity(ncores * words);
+        pending.resize_with(ncores * words, || AtomicU64::new(0));
+        let mut stamps = Vec::with_capacity(ncores * ncores);
+        stamps.resize_with(ncores * ncores, || AtomicU64::new(0));
         Gic {
-            pending: std::array::from_fn(|_| AtomicU64::new(0)),
+            ncores,
+            words,
+            pending: pending.into_boxed_slice(),
             stamps: stamps.into_boxed_slice(),
         }
     }
 
     #[inline]
     fn stamp_slot(&self, target: CoreId, source: CoreId) -> &AtomicU64 {
-        &self.stamps[target.idx() * MAX_CORES + source.idx()]
+        &self.stamps[target.idx() * self.ncores + source.idx()]
     }
 
     /// Raise an IPI from `source` at `target`, stamped with the sender's
@@ -48,27 +52,34 @@ impl Gic {
         // bit is guaranteed to see a stamp at least this fresh.
         self.stamp_slot(target, source)
             .fetch_max(stamp, Ordering::Release);
-        self.pending[target.idx()].fetch_or(1 << source.idx(), Ordering::Release);
+        let w = target.idx() * self.words + source.idx() / 64;
+        self.pending[w].fetch_or(1 << (source.idx() % 64), Ordering::Release);
     }
 
     /// Cheap check used at interrupt points: does `target` have anything
     /// pending?
     #[inline]
     pub fn has_pending(&self, target: CoreId) -> bool {
-        self.pending[target.idx()].load(Ordering::Acquire) != 0
+        let base = target.idx() * self.words;
+        self.pending[base..base + self.words]
+            .iter()
+            .any(|w| w.load(Ordering::Acquire) != 0)
     }
 
     /// Atomically fetch-and-clear the pending mask of `target`, returning
     /// `(source, raise_stamp)` pairs in ascending source order.
     pub fn claim(&self, target: CoreId) -> Vec<(CoreId, u64)> {
-        let mask = self.pending[target.idx()].swap(0, Ordering::AcqRel);
+        let base = target.idx() * self.words;
         let mut out = Vec::new();
-        let mut m = mask;
-        while m != 0 {
-            let src = m.trailing_zeros() as usize;
-            m &= m - 1;
-            let stamp = self.stamp_slot(target, CoreId::new(src)).load(Ordering::Acquire);
-            out.push((CoreId::new(src), stamp));
+        for wi in 0..self.words {
+            let mut m = self.pending[base + wi].swap(0, Ordering::AcqRel);
+            while m != 0 {
+                let src = wi * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                let src = CoreId::from_raw(src);
+                let stamp = self.stamp_slot(target, src).load(Ordering::Acquire);
+                out.push((src, stamp));
+            }
         }
         out
     }
@@ -80,7 +91,7 @@ mod tests {
 
     #[test]
     fn raise_and_claim() {
-        let g = Gic::new();
+        let g = Gic::new(48);
         let t = CoreId::new(5);
         assert!(!g.has_pending(t));
         g.raise(CoreId::new(1), t, 100);
@@ -94,7 +105,7 @@ mod tests {
 
     #[test]
     fn stamps_keep_max() {
-        let g = Gic::new();
+        let g = Gic::new(48);
         let t = CoreId::new(0);
         g.raise(CoreId::new(2), t, 500);
         g.raise(CoreId::new(2), t, 300); // older raise must not regress stamp
@@ -104,9 +115,31 @@ mod tests {
 
     #[test]
     fn targets_independent() {
-        let g = Gic::new();
+        let g = Gic::new(48);
         g.raise(CoreId::new(0), CoreId::new(1), 1);
         assert!(!g.has_pending(CoreId::new(2)));
         assert!(g.has_pending(CoreId::new(1)));
+    }
+
+    #[test]
+    fn sources_past_64_cores() {
+        // Multi-word pending masks: sources on both sides of the 64-bit
+        // boundary, claimed in ascending source order.
+        let g = Gic::new(512);
+        let t = CoreId::new(300);
+        g.raise(CoreId::new(511), t, 30);
+        g.raise(CoreId::new(63), t, 10);
+        g.raise(CoreId::new(64), t, 20);
+        assert!(g.has_pending(t));
+        let got = g.claim(t);
+        assert_eq!(
+            got,
+            vec![
+                (CoreId::new(63), 10),
+                (CoreId::new(64), 20),
+                (CoreId::new(511), 30),
+            ]
+        );
+        assert!(!g.has_pending(t));
     }
 }

@@ -19,6 +19,12 @@
 //! * the Global Interrupt Controller (GIC) of sccKit 1.4 that lets a core
 //!   raise a remote inter-processor interrupt carrying its source id.
 //!
+//! The machine *shape* — mesh dimensions, cores per tile, number of memory
+//! controllers — is a runtime [`Topology`] value carried by [`SccConfig`];
+//! the SCC above is the validated `scc48` preset and the default, while
+//! larger meshes (e.g. `mesh8x8` with 128 cores, `mesh16x32` with 512)
+//! exercise the same protocols at scale.
+//!
 //! ## Simulation model
 //!
 //! The simulator is *functional* — caches store real data, so a core genuinely
@@ -67,4 +73,4 @@ pub use machine::Machine;
 pub use metrics::{MetricsSnapshot, MetricsSource};
 pub use perf::PerfCounters;
 pub use timing::{Cycles, TimingParams};
-pub use topology::{CoreId, TileCoord, MAX_CORES};
+pub use topology::{CoreId, TileCoord, Topology, TopologyBuilder, TopologyError};

@@ -27,7 +27,7 @@ pub struct MachineInner {
     pub map: MemMap,
     /// Off-die DDR3 memory.
     pub ram: AtomicWords,
-    /// The 48 on-die message-passing buffers.
+    /// The per-core on-die message-passing buffers.
     pub mpb: MpbArray,
     /// Test-and-set registers.
     pub tas: TasBank,
@@ -73,8 +73,8 @@ impl Machine {
             inner: Arc::new(MachineInner {
                 ram: AtomicWords::new(map.ram_bytes()),
                 mpb: MpbArray::new(cfg.ncores),
-                tas: TasBank::new(),
-                gic: Gic::new(),
+                tas: TasBank::new(cfg.ncores),
+                gic: Gic::new(cfg.ncores),
                 frame_owners: FrameOwners::new(map.shared_pages()),
                 faults: FaultState::new(cfg.faults.clone()),
                 map,
@@ -99,7 +99,12 @@ impl Machine {
         R: Send,
         F: Fn(&mut CoreCtx) -> R + Send + Sync,
     {
-        let cores: Vec<CoreId> = (0..n).map(CoreId::new).collect();
+        let cores: Vec<CoreId> = (0..n)
+            .map(|i| {
+                CoreId::try_new(i, &self.inner.cfg.topo)
+                    .map_err(|e| HwError::BadConfig(e.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
         self.run_on(&cores, f)
     }
 
@@ -111,7 +116,7 @@ impl Machine {
         F: Fn(&mut CoreCtx) -> R + Send + Sync,
     {
         assert!(!cores.is_empty(), "need at least one core");
-        let mut seen = [false; crate::topology::MAX_CORES];
+        let mut seen = vec![false; self.inner.cfg.ncores];
         for c in cores {
             assert!(
                 c.idx() < self.inner.cfg.ncores,

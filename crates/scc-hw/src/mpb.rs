@@ -10,7 +10,7 @@ use crate::ram::{AtomicWords, MPB_PA_BASE};
 use crate::topology::CoreId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// All 48 message-passing buffers.
+/// All populated cores' message-passing buffers.
 pub struct MpbArray {
     ncores: usize,
     words: AtomicWords,
@@ -59,7 +59,7 @@ impl MpbArray {
     #[inline]
     pub fn owner_and_offset(pa: u32) -> (CoreId, usize) {
         let off = (pa - MPB_PA_BASE) as usize;
-        (CoreId::new(off / MPB_BYTES), off % MPB_BYTES)
+        (CoreId::from_raw(off / MPB_BYTES), off % MPB_BYTES)
     }
 
     #[inline]

@@ -102,7 +102,7 @@
 use crate::error::HwError;
 use crate::exec::DeadlockUnwind;
 use crate::timing::pack_key;
-use crate::topology::{CoreId, MAX_CORES};
+use crate::topology::CoreId;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -182,7 +182,8 @@ pub struct ParEngine {
 impl ParEngine {
     pub fn new(cores: &[CoreId]) -> Arc<Self> {
         let nslots = cores.len();
-        let mut slot_of = vec![NO_SLOT; MAX_CORES];
+        let max_idx = cores.iter().map(|c| c.idx()).max().unwrap_or(0);
+        let mut slot_of = vec![NO_SLOT; max_idx + 1];
         for (slot, c) in cores.iter().enumerate() {
             slot_of[c.idx()] = slot;
         }
@@ -243,7 +244,7 @@ impl ParEngine {
     /// writer-is-me case themselves (it is trivially clear).
     #[inline]
     pub fn peer_clear(&self, my_packed: u64, peer: CoreId) -> bool {
-        let slot = self.slot_of[peer.idx()];
+        let slot = self.slot_of.get(peer.idx()).copied().unwrap_or(NO_SLOT);
         if slot == NO_SLOT {
             return true; // not part of this run: it never writes
         }

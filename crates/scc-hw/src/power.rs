@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// Per-event energies in nanojoules, plus static power.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PowerParams {
-    /// Chip-level static power (W), spread over 48 cores.
+    /// Chip-level static power (W), spread evenly over the chip's cores.
     pub static_chip_w: f64,
     /// Active energy per core cycle (nJ) — pipeline + L1.
     pub core_cycle_nj: f64,
@@ -49,7 +49,8 @@ impl Default for PowerParams {
 /// Energy estimate for one core's run.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Energy {
-    /// Static share (this core's 1/48 of chip static power over the run).
+    /// Static share (this core's 1/chip_cores of chip static power over
+    /// the run — 1/48 on the SCC preset).
     pub static_j: f64,
     /// Dynamic energy from the event counters.
     pub dynamic_j: f64,
@@ -72,10 +73,18 @@ impl Energy {
 }
 
 /// Estimate one core's energy for a run of `cycles` with the given
-/// counters.
-pub fn estimate(perf: &PerfCounters, cycles: u64, t: &TimingParams, p: &PowerParams) -> Energy {
+/// counters. `chip_cores` is the total core count of the chip (the
+/// topology's, not just the populated cores) — each core carries an even
+/// share of static power.
+pub fn estimate(
+    perf: &PerfCounters,
+    cycles: u64,
+    chip_cores: usize,
+    t: &TimingParams,
+    p: &PowerParams,
+) -> Energy {
     let seconds = cycles as f64 / (t.core_mhz as f64 * 1e6);
-    let static_j = p.static_chip_w / crate::topology::MAX_CORES as f64 * seconds;
+    let static_j = p.static_chip_w / chip_cores.max(1) as f64 * seconds;
     let nj = p.core_cycle_nj * cycles as f64
         + p.l2_access_nj * (perf.l2_hits + perf.l2_misses) as f64
         + p.dram_access_nj * (perf.ram_reads + perf.ram_writes) as f64
@@ -99,7 +108,7 @@ mod tests {
     fn idle_core_sits_near_static_floor() {
         let perf = PerfCounters::default();
         let cycles = 533_000_000; // one second
-        let e = estimate(&perf, cycles, &timing(), &PowerParams::default());
+        let e = estimate(&perf, cycles, 48, &timing(), &PowerParams::default());
         let chip_w = e.avg_power_w(cycles, &timing()) * 48.0;
         // An idle (but clocked) chip must land near the paper's 25 W floor
         // plus the clock tree: comfortably inside [25, 125].
@@ -115,8 +124,14 @@ mod tests {
         let cycles = 533_000_000u64;
         perf.ram_reads = 10_000_000; // heavy DRAM traffic
         perf.ram_writes = 6_000_000;
-        let base = estimate(&PerfCounters::default(), cycles, &timing(), &PowerParams::default());
-        let hot = estimate(&perf, cycles, &timing(), &PowerParams::default());
+        let base = estimate(
+            &PerfCounters::default(),
+            cycles,
+            48,
+            &timing(),
+            &PowerParams::default(),
+        );
+        let hot = estimate(&perf, cycles, 48, &timing(), &PowerParams::default());
         assert!(hot.total_j() > base.total_j() * 1.3);
         // And the full chip under this load stays under the 125 W ceiling.
         let chip_w = hot.avg_power_w(cycles, &timing()) * 48.0;
@@ -128,6 +143,7 @@ mod tests {
         let e = estimate(
             &PerfCounters::default(),
             0,
+            48,
             &timing(),
             &PowerParams::default(),
         );

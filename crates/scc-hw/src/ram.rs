@@ -4,9 +4,10 @@
 //! (exclusively owned, safe to cache write-back) and one **shared** region
 //! reachable by everyone (cache coherence, if desired, is software's
 //! problem — that is the whole point of the paper). Each region physically
-//! lives behind one of the four memory controllers; a core's private region
-//! sits behind the controller of its quadrant, and the shared region is
-//! striped across all four controllers in four contiguous slices.
+//! lives behind one of the topology's memory controllers; a core's private
+//! region sits behind its nearest controller (the quadrant rule on the
+//! SCC), and the shared region is striped across all controllers in
+//! contiguous slices.
 //!
 //! The backing store is a flat array of `AtomicU32` words. `Relaxed`
 //! ordering is sufficient: under the deterministic executor, cross-thread
@@ -16,7 +17,7 @@
 //! hardware requires anyway.
 
 use crate::config::{SccConfig, PAGE_BYTES};
-use crate::topology::{CoreId, NUM_MCS};
+use crate::topology::CoreId;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Physical base address of the MPB window (on-die memory, see `mpb.rs`).
@@ -274,6 +275,7 @@ pub enum Backing {
 #[derive(Clone, Debug)]
 pub struct MemMap {
     ncores: usize,
+    num_mcs: u32,
     private_per_core: u32,
     shared_base: u32,
     shared_bytes: u32,
@@ -283,6 +285,9 @@ pub struct MemMap {
     private_shift: Option<u32>,
     /// Same for the per-memory-controller slice of the shared region.
     slice_shift: Option<u32>,
+    /// Nearest memory controller per core, precomputed from the topology —
+    /// `resolve` on the private region is hot and must not walk the mesh.
+    mc_of_core: Box<[u8]>,
 }
 
 fn shift_of(n: u32) -> Option<u32> {
@@ -293,14 +298,27 @@ impl MemMap {
     pub fn new(cfg: &SccConfig) -> Self {
         let private_per_core = cfg.private_bytes_per_core as u32;
         let shared_bytes = cfg.shared_bytes as u32;
+        let num_mcs = cfg.topo.num_mcs() as u32;
+        debug_assert!(cfg.topo.num_mcs() <= 256, "mc_of_core entries are u8");
+        let mc_of_core = (0..cfg.ncores)
+            .map(|i| cfg.topo.nearest_mc(CoreId::from_raw(i)) as u8)
+            .collect();
         MemMap {
             ncores: cfg.ncores,
+            num_mcs,
             private_per_core,
             shared_base: (cfg.ncores * cfg.private_bytes_per_core) as u32,
             shared_bytes,
             private_shift: shift_of(private_per_core),
-            slice_shift: shift_of(shared_bytes / NUM_MCS as u32),
+            slice_shift: shift_of(shared_bytes / num_mcs),
+            mc_of_core,
         }
+    }
+
+    /// Number of memory controllers of the configured topology.
+    #[inline]
+    pub fn num_mcs(&self) -> usize {
+        self.num_mcs as usize
     }
 
     /// Total bytes of off-die RAM.
@@ -337,14 +355,14 @@ impl MemMap {
     /// Base of the slice of the shared region behind memory controller `mc`.
     #[inline]
     pub fn shared_slice_base(&self, mc: usize) -> u32 {
-        assert!(mc < NUM_MCS);
-        self.shared_base + (self.shared_bytes / NUM_MCS as u32) * mc as u32
+        assert!(mc < self.num_mcs as usize);
+        self.shared_base + (self.shared_bytes / self.num_mcs) * mc as u32
     }
 
     /// Bytes per shared slice.
     #[inline]
     pub fn shared_slice_bytes(&self) -> u32 {
-        self.shared_bytes / NUM_MCS as u32
+        self.shared_bytes / self.num_mcs
     }
 
     /// Number of 4 KiB pages in the shared region.
@@ -364,7 +382,7 @@ impl MemMap {
                 "PA {pa:#x} beyond the last MPB"
             );
             return Backing::Mpb {
-                owner: CoreId::new(owner),
+                owner: CoreId::from_raw(owner),
             };
         }
         assert!(
@@ -373,12 +391,12 @@ impl MemMap {
             self.ram_bytes()
         );
         let mc = if pa < self.shared_base {
-            // Private region: lives behind the owner's quadrant controller.
+            // Private region: lives behind the owner's nearest controller.
             let idx = match self.private_shift {
                 Some(s) => pa >> s,
                 None => pa / self.private_per_core,
             };
-            CoreId::new(idx as usize).nearest_mc()
+            self.mc_of_core[idx as usize] as usize
         } else {
             let off = pa - self.shared_base;
             (match self.slice_shift {
@@ -386,7 +404,9 @@ impl MemMap {
                 None => off / self.shared_slice_bytes().max(1),
             }) as usize
         };
-        Backing::Ram { mc: mc.min(3) }
+        Backing::Ram {
+            mc: mc.min(self.num_mcs as usize - 1),
+        }
     }
 }
 

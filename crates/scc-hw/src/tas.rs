@@ -7,34 +7,33 @@
 //! release so that an acquiring core's clock advances past the releaser's —
 //! lock-protected critical sections stay causally ordered in simulated time.
 
-use crate::topology::{CoreId, MAX_CORES};
+use crate::topology::CoreId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const LOCKED: u64 = 1;
 
-/// The bank of 48 test-and-set registers.
+/// The bank of test-and-set registers — one per populated core, sized at
+/// construction from the configured topology (48 on the SCC preset).
 pub struct TasBank {
     /// bit 0: locked; bits 1..: cycle stamp of the last release.
-    regs: [AtomicU64; MAX_CORES],
+    regs: Box<[AtomicU64]>,
     /// Per-register sequence counter: bumped on every successful acquire
     /// and every release. The acquisition *order* of a register is part of
     /// the deterministic schedule, so the final sequence value must be
     /// bit-identical across executors — the determinism stress suite
     /// asserts exactly that.
-    seqs: [AtomicU64; MAX_CORES],
-}
-
-impl Default for TasBank {
-    fn default() -> Self {
-        Self::new()
-    }
+    seqs: Box<[AtomicU64]>,
 }
 
 impl TasBank {
-    pub fn new() -> Self {
+    pub fn new(ncores: usize) -> Self {
+        let mut regs = Vec::with_capacity(ncores);
+        regs.resize_with(ncores, || AtomicU64::new(0));
+        let mut seqs = Vec::with_capacity(ncores);
+        seqs.resize_with(ncores, || AtomicU64::new(0));
         TasBank {
-            regs: std::array::from_fn(|_| AtomicU64::new(0)),
-            seqs: std::array::from_fn(|_| AtomicU64::new(0)),
+            regs: regs.into_boxed_slice(),
+            seqs: seqs.into_boxed_slice(),
         }
     }
 
@@ -84,7 +83,7 @@ mod tests {
 
     #[test]
     fn acquire_release_cycle() {
-        let b = TasBank::new();
+        let b = TasBank::new(48);
         let r = CoreId::new(3);
         assert_eq!(b.seq(r), 0);
         assert_eq!(b.test_and_set(r), Some(0));
@@ -100,7 +99,7 @@ mod tests {
 
     #[test]
     fn registers_independent() {
-        let b = TasBank::new();
+        let b = TasBank::new(48);
         assert!(b.test_and_set(CoreId::new(0)).is_some());
         assert!(b.test_and_set(CoreId::new(1)).is_some());
         assert!(!b.is_locked(CoreId::new(2)));

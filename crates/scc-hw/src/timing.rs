@@ -234,19 +234,21 @@ impl TimingParams {
 
 /// Pack a parallel-engine election key: the `(virtual clock, slot)` pair the
 /// baton scheduler minimises over, encoded so that a single `u64` compare is
-/// the lexicographic compare. Slots occupy the low 8 bits (`MAX_CORES` ≤ 256),
-/// clocks the remaining 56 — ample for any simulated run.
+/// the lexicographic compare. Slots occupy the low 16 bits (the topology
+/// core limit is 4096), clocks the remaining 48 — ample for any simulated
+/// run. These keys are host-engine state only and never appear in traces,
+/// so the packing is free to change with the machine's scale.
 #[inline]
 pub fn pack_key(clock: u64, slot: usize) -> u64 {
-    debug_assert!(clock < 1 << 56, "virtual clock overflows packed key");
-    debug_assert!(slot < 256, "slot overflows packed key");
-    (clock << 8) | slot as u64
+    debug_assert!(clock < 1 << 48, "virtual clock overflows packed key");
+    debug_assert!(slot < 1 << 16, "slot overflows packed key");
+    (clock << 16) | slot as u64
 }
 
 /// Inverse of [`pack_key`].
 #[inline]
 pub fn unpack_key(packed: u64) -> (u64, usize) {
-    (packed >> 8, (packed & 0xff) as usize)
+    (packed >> 16, (packed & 0xffff) as usize)
 }
 
 #[cfg(test)]
@@ -287,8 +289,9 @@ mod tests {
     #[test]
     fn packed_keys_order_lexicographically() {
         assert!(pack_key(5, 7) < pack_key(5, 8));
-        assert!(pack_key(5, 255) < pack_key(6, 0));
+        assert!(pack_key(5, 511) < pack_key(6, 0));
         assert_eq!(unpack_key(pack_key(123, 45)), (123, 45));
+        assert_eq!(unpack_key(pack_key(123, 500)), (123, 500));
     }
 
     #[test]

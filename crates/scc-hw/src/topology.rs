@@ -1,83 +1,78 @@
-//! Mesh topology of the SCC: 24 tiles in a 6×4 grid, two cores per tile,
-//! four memory controllers attached at the mesh edges.
+//! Mesh topology of the simulated machine: a rectangular tile grid with a
+//! configurable number of cores per tile and memory controllers attached
+//! at the left/right mesh edges.
+//!
+//! The hardware shape is a **runtime value**, [`Topology`], constructed
+//! through a validated builder and carried by
+//! [`SccConfig`](crate::config::SccConfig). The paper's machine — the
+//! 48-core SCC, 24 tiles in a 6×4 grid with two P54C cores per tile and
+//! four DDR3 controllers at the mesh corners — is the [`Topology::scc48`]
+//! preset and the default; larger shapes such as [`Topology::mesh8x8`]
+//! (128 cores) and [`Topology::mesh16x32`] (512 cores, the DiSquawk scale)
+//! are first-class configurations, not forks.
 //!
 //! Core numbering follows the SCC convention used by RCCE: tile `t` hosts
-//! cores `2t` and `2t + 1`, tiles are numbered row-major with tile 0 at
-//! coordinate (0, 0). Under this numbering core 0 sits at (0, 0) and core 30
-//! at (3, 2) — five hops apart, matching the paper's Figure 7 setup.
+//! cores `t * cores_per_tile .. (t + 1) * cores_per_tile`, tiles are
+//! numbered row-major with tile 0 at coordinate (0, 0). Under the `scc48`
+//! preset core 0 sits at (0, 0) and core 30 at (3, 2) — five hops apart,
+//! matching the paper's Figure 7 setup.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Number of physical cores on the SCC die.
-pub const MAX_CORES: usize = 48;
-/// Mesh width in tiles.
-pub const MESH_X: u32 = 6;
-/// Mesh height in tiles.
-pub const MESH_Y: u32 = 4;
-/// Number of on-die memory controllers.
-pub const NUM_MCS: usize = 4;
+/// Hard ceiling on the number of cores any topology may declare. Bounds
+/// the per-(target, source) state of the interrupt controller and keeps
+/// core slots comfortably inside the 16-bit field of the executor's packed
+/// election keys. Well above the 512-core shapes the scalability work
+/// targets.
+pub const CORE_LIMIT: usize = 4096;
 
-/// Identifier of one P54C core (0..48).
+/// Identifier of one core (0..[`Topology::num_cores`]).
+///
+/// A `CoreId` is just an index; everything geometric about it — its tile,
+/// hop distances, its nearest memory controller — depends on the machine
+/// shape and lives on [`Topology`].
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct CoreId(pub u8);
+pub struct CoreId(u16);
 
 impl CoreId {
-    /// Construct a core id, panicking on out-of-range values.
+    /// Construct a core id validated against a topology.
+    #[inline]
+    pub fn try_new(id: usize, topo: &Topology) -> Result<CoreId, TopologyError> {
+        if id < topo.num_cores() {
+            Ok(CoreId(id as u16))
+        } else {
+            Err(TopologyError::CoreOutOfRange {
+                id,
+                cores: topo.num_cores(),
+            })
+        }
+    }
+
+    /// Construct a core id from an index that is structurally valid —
+    /// produced by decoding a physical address, a bitmask bit position, or
+    /// a loop bound that was already checked against the machine shape.
+    /// Only the absolute ceiling is (debug-)checked here; use
+    /// [`CoreId::try_new`] when the index comes from outside.
+    #[inline]
+    pub fn from_raw(id: usize) -> CoreId {
+        debug_assert!(id < CORE_LIMIT, "core id {id} beyond the absolute limit");
+        CoreId(id as u16)
+    }
+
+    /// Test-helper constructor: panics beyond the absolute core limit and
+    /// performs **no** topology check. Production code validates through
+    /// [`CoreId::try_new`] (or decodes via [`CoreId::from_raw`]).
     #[inline]
     pub fn new(id: usize) -> Self {
-        assert!(id < MAX_CORES, "core id {id} out of range");
-        CoreId(id as u8)
+        assert!(id < CORE_LIMIT, "core id {id} out of range");
+        CoreId(id as u16)
     }
 
     /// The raw index as `usize`, for table lookups.
     #[inline]
     pub fn idx(self) -> usize {
         self.0 as usize
-    }
-
-    /// The tile this core sits on.
-    #[inline]
-    pub fn tile(self) -> TileCoord {
-        let t = self.0 as u32 / 2;
-        TileCoord {
-            x: t % MESH_X,
-            y: t / MESH_X,
-        }
-    }
-
-    /// Iterator over all 48 cores.
-    pub fn all() -> impl Iterator<Item = CoreId> {
-        (0..MAX_CORES).map(|i| CoreId(i as u8))
-    }
-
-    /// Manhattan hop distance to another core's tile (XY routing).
-    #[inline]
-    pub fn hops_to(self, other: CoreId) -> u32 {
-        self.tile().hops_to(other.tile())
-    }
-
-    /// Hop distance from this core's tile to a memory controller.
-    #[inline]
-    pub fn hops_to_mc(self, mc: usize) -> u32 {
-        self.tile().hops_to(mc_coord(mc))
-    }
-
-    /// The memory controller "nearest" to this core under the default SCC
-    /// lookup-table configuration: the die is split into four quadrants of
-    /// twelve cores and each quadrant is served by the controller at its
-    /// corner.
-    #[inline]
-    pub fn nearest_mc(self) -> usize {
-        let TileCoord { x, y } = self.tile();
-        let west = x < MESH_X / 2;
-        let south = y < MESH_Y / 2;
-        match (west, south) {
-            (true, true) => 0,
-            (false, true) => 1,
-            (true, false) => 2,
-            (false, false) => 3,
-        }
     }
 }
 
@@ -101,113 +96,560 @@ pub struct TileCoord {
 }
 
 impl TileCoord {
-    /// Manhattan distance — the SCC routes packets dimension-ordered (XY),
-    /// so hop count equals the Manhattan distance.
+    /// Manhattan distance — the mesh routes packets dimension-ordered
+    /// (XY), so hop count equals the Manhattan distance.
     #[inline]
     pub fn hops_to(self, other: TileCoord) -> u32 {
         self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
     }
 }
 
-/// Mesh attach coordinate of memory controller `mc`.
-///
-/// The SCC attaches its four DDR3 controllers at the left and right edges of
-/// mesh rows 0 and 2.
-#[inline]
-pub fn mc_coord(mc: usize) -> TileCoord {
-    match mc {
-        0 => TileCoord { x: 0, y: 0 },
-        1 => TileCoord { x: MESH_X - 1, y: 0 },
-        2 => TileCoord { x: 0, y: MESH_Y - 1 },
-        3 => TileCoord {
-            x: MESH_X - 1,
-            y: MESH_Y - 1,
-        },
-        _ => panic!("memory controller {mc} out of range"),
+/// Why a topology (or a core id checked against one) is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A mesh dimension or the cores-per-tile count is zero.
+    ZeroDimension { field: &'static str },
+    /// The shape declares more cores than the absolute limit.
+    TooManyCores { cores: usize, limit: usize },
+    /// Memory controllers attach in pairs at the left/right mesh edges and
+    /// the slice math wants a power of two: `num_mcs` must be a power of
+    /// two ≥ 2 with `num_mcs / 2 ≤ mesh_y`.
+    BadMcCount { num_mcs: usize, mesh_y: u32 },
+    /// A core id does not exist on this topology.
+    CoreOutOfRange { id: usize, cores: usize },
+    /// A topology spec string (`SCC_TOPOLOGY` or `--topo`) did not parse.
+    BadSpec { spec: String },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ZeroDimension { field } => {
+                write!(f, "topology: {field} must be at least 1")
+            }
+            TopologyError::TooManyCores { cores, limit } => {
+                write!(f, "topology: {cores} cores exceed the limit of {limit}")
+            }
+            TopologyError::BadMcCount { num_mcs, mesh_y } => write!(
+                f,
+                "topology: num_mcs {num_mcs} invalid — must be a power of two \
+                 ≥ 2 with num_mcs/2 ≤ mesh_y ({mesh_y})"
+            ),
+            TopologyError::CoreOutOfRange { id, cores } => {
+                write!(f, "core id {id} out of range on a {cores}-core topology")
+            }
+            TopologyError::BadSpec { spec } => write!(
+                f,
+                "bad topology spec {spec:?}: expected a preset (scc48, mesh8x8, \
+                 mesh16x32) or WxHxC:M (e.g. 8x8x1:4)"
+            ),
+        }
     }
 }
 
-/// Find a core whose tile is exactly `hops` away from `from`, if any.
-/// Used by the Figure 6 harness to place ping-pong partners.
-pub fn core_at_distance(from: CoreId, hops: u32) -> Option<CoreId> {
-    CoreId::all().find(|c| *c != from && from.hops_to(*c) == hops)
+impl std::error::Error for TopologyError {}
+
+/// The machine shape: tile grid dimensions, cores per tile, and the number
+/// of memory controllers. Construct via [`Topology::builder`] or a preset;
+/// instances are always valid.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    mesh_x: u32,
+    mesh_y: u32,
+    cores_per_tile: u32,
+    num_mcs: u32,
+}
+
+impl Default for Topology {
+    /// The paper's machine, [`Topology::scc48`].
+    fn default() -> Self {
+        Topology::scc48()
+    }
+}
+
+impl Topology {
+    /// Start building a custom shape.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// The SCC as the paper measured it: a 6×4 tile mesh, two cores per
+    /// tile (48 cores), four DDR3 controllers at the mesh corners.
+    pub fn scc48() -> Topology {
+        Topology {
+            mesh_x: 6,
+            mesh_y: 4,
+            cores_per_tile: 2,
+            num_mcs: 4,
+        }
+    }
+
+    /// A square 8×8 mesh with two cores per tile: 128 cores, four
+    /// controllers — the first step past the SCC.
+    pub fn mesh8x8() -> Topology {
+        Topology {
+            mesh_x: 8,
+            mesh_y: 8,
+            cores_per_tile: 2,
+            num_mcs: 4,
+        }
+    }
+
+    /// A 16×32 mesh with one core per tile: 512 cores, eight controllers —
+    /// the DiSquawk scale.
+    pub fn mesh16x32() -> Topology {
+        Topology {
+            mesh_x: 16,
+            mesh_y: 32,
+            cores_per_tile: 1,
+            num_mcs: 8,
+        }
+    }
+
+    /// Look up a named preset.
+    pub fn preset(name: &str) -> Option<Topology> {
+        match name {
+            "scc48" => Some(Topology::scc48()),
+            "mesh8x8" => Some(Topology::mesh8x8()),
+            "mesh16x32" => Some(Topology::mesh16x32()),
+            _ => None,
+        }
+    }
+
+    /// Parse a shape spec: a preset name or `WxHxC:M` (mesh width × height
+    /// × cores per tile, `:M` memory controllers, e.g. `8x8x1:4`).
+    pub fn from_spec(spec: &str) -> Result<Topology, TopologyError> {
+        if let Some(t) = Topology::preset(spec) {
+            return Ok(t);
+        }
+        let bad = || TopologyError::BadSpec {
+            spec: spec.to_string(),
+        };
+        let (dims, mcs) = spec.split_once(':').ok_or_else(bad)?;
+        let parts: Vec<u32> = dims
+            .split('x')
+            .map(|p| p.parse().map_err(|_| bad()))
+            .collect::<Result<_, _>>()?;
+        let [x, y, c] = parts[..] else {
+            return Err(bad());
+        };
+        let m: u32 = mcs.parse().map_err(|_| bad())?;
+        Topology::builder()
+            .mesh(x, y)
+            .cores_per_tile(c)
+            .num_mcs(m as usize)
+            .build()
+    }
+
+    /// The shape named by the `SCC_TOPOLOGY` environment variable (preset
+    /// name or `WxHxC:M` spec), or `scc48` when unset. Panics on an
+    /// invalid value — a misconfigured environment should fail loudly, not
+    /// silently run the wrong machine.
+    pub fn from_env_or_scc48() -> Topology {
+        match std::env::var("SCC_TOPOLOGY") {
+            Ok(spec) => Topology::from_spec(&spec)
+                .unwrap_or_else(|e| panic!("SCC_TOPOLOGY: {e}")),
+            Err(_) => Topology::scc48(),
+        }
+    }
+
+    /// Mesh width in tiles.
+    #[inline]
+    pub fn mesh_x(&self) -> u32 {
+        self.mesh_x
+    }
+
+    /// Mesh height in tiles.
+    #[inline]
+    pub fn mesh_y(&self) -> u32 {
+        self.mesh_y
+    }
+
+    /// Cores per tile.
+    #[inline]
+    pub fn cores_per_tile(&self) -> u32 {
+        self.cores_per_tile
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn num_tiles(&self) -> usize {
+        (self.mesh_x * self.mesh_y) as usize
+    }
+
+    /// Number of cores.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.num_tiles() * self.cores_per_tile as usize
+    }
+
+    /// Number of memory controllers.
+    #[inline]
+    pub fn num_mcs(&self) -> usize {
+        self.num_mcs as usize
+    }
+
+    /// Iterator over all cores of this topology.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.num_cores()).map(CoreId::from_raw)
+    }
+
+    /// Validate an index into a core id of this topology.
+    #[inline]
+    pub fn try_core(&self, id: usize) -> Result<CoreId, TopologyError> {
+        CoreId::try_new(id, self)
+    }
+
+    /// The tile a core sits on.
+    #[inline]
+    pub fn tile_of(&self, core: CoreId) -> TileCoord {
+        let t = core.0 as u32 / self.cores_per_tile;
+        TileCoord {
+            x: t % self.mesh_x,
+            y: t / self.mesh_x,
+        }
+    }
+
+    /// Manhattan hop distance between two cores' tiles (XY routing).
+    #[inline]
+    pub fn hops(&self, a: CoreId, b: CoreId) -> u32 {
+        self.tile_of(a).hops_to(self.tile_of(b))
+    }
+
+    /// Mesh attach coordinate of memory controller `mc`.
+    ///
+    /// Controllers attach in pairs at the left and right mesh edges, the
+    /// pairs spread evenly over the rows — for four controllers on the
+    /// SCC's 6×4 grid this is exactly the four corners the silicon uses.
+    #[inline]
+    pub fn mc_coord(&self, mc: usize) -> TileCoord {
+        assert!(mc < self.num_mcs as usize, "memory controller {mc} out of range");
+        let pair = mc as u32 / 2;
+        let pairs = self.num_mcs / 2;
+        let y = if pairs <= 1 {
+            (self.mesh_y - 1) / 2
+        } else {
+            pair * (self.mesh_y - 1) / (pairs - 1)
+        };
+        let x = if mc.is_multiple_of(2) { 0 } else { self.mesh_x - 1 };
+        TileCoord { x, y }
+    }
+
+    /// Hop distance from a core's tile to a memory controller.
+    #[inline]
+    pub fn hops_to_mc(&self, core: CoreId, mc: usize) -> u32 {
+        self.tile_of(core).hops_to(self.mc_coord(mc))
+    }
+
+    /// The memory controller nearest to `core` (fewest hops, lowest index
+    /// on ties). On the `scc48` preset this reproduces the silicon's
+    /// lookup-table configuration: the die splits into four quadrants of
+    /// twelve cores, each served by the controller at its corner.
+    #[inline]
+    pub fn nearest_mc(&self, core: CoreId) -> usize {
+        let tile = self.tile_of(core);
+        (0..self.num_mcs as usize)
+            .min_by_key(|&mc| tile.hops_to(self.mc_coord(mc)))
+            .expect("at least one memory controller")
+    }
+
+    /// Find a core whose tile is exactly `hops` away from `from`, if any.
+    /// Used by the Figure 6 harness to place ping-pong partners.
+    pub fn core_at_distance(&self, from: CoreId, hops: u32) -> Option<CoreId> {
+        self.cores()
+            .find(|c| *c != from && self.hops(from, *c) == hops)
+    }
+
+    /// The largest hop distance between any two tiles (opposite corners).
+    #[inline]
+    pub fn max_hops(&self) -> u32 {
+        (self.mesh_x - 1) + (self.mesh_y - 1)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}:{}",
+            self.mesh_x, self.mesh_y, self.cores_per_tile, self.num_mcs
+        )
+    }
+}
+
+/// Builder for [`Topology`]; [`TopologyBuilder::build`] validates the
+/// shape and is the only way to obtain a non-preset instance.
+#[derive(Copy, Clone, Debug)]
+pub struct TopologyBuilder {
+    mesh_x: u32,
+    mesh_y: u32,
+    cores_per_tile: u32,
+    num_mcs: u32,
+}
+
+impl Default for TopologyBuilder {
+    /// Starts from the `scc48` shape; override what differs.
+    fn default() -> Self {
+        let t = Topology::scc48();
+        TopologyBuilder {
+            mesh_x: t.mesh_x,
+            mesh_y: t.mesh_y,
+            cores_per_tile: t.cores_per_tile,
+            num_mcs: t.num_mcs,
+        }
+    }
+}
+
+impl TopologyBuilder {
+    /// Set the tile grid dimensions.
+    pub fn mesh(mut self, x: u32, y: u32) -> Self {
+        self.mesh_x = x;
+        self.mesh_y = y;
+        self
+    }
+
+    /// Set the number of cores per tile.
+    pub fn cores_per_tile(mut self, n: u32) -> Self {
+        self.cores_per_tile = n;
+        self
+    }
+
+    /// Set the number of memory controllers.
+    pub fn num_mcs(mut self, n: usize) -> Self {
+        self.num_mcs = n as u32;
+        self
+    }
+
+    /// Validate and construct.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        for (field, v) in [
+            ("mesh_x", self.mesh_x),
+            ("mesh_y", self.mesh_y),
+            ("cores_per_tile", self.cores_per_tile),
+        ] {
+            if v == 0 {
+                return Err(TopologyError::ZeroDimension { field });
+            }
+        }
+        let cores = self.mesh_x as usize * self.mesh_y as usize * self.cores_per_tile as usize;
+        if cores > CORE_LIMIT {
+            return Err(TopologyError::TooManyCores {
+                cores,
+                limit: CORE_LIMIT,
+            });
+        }
+        if self.num_mcs < 2
+            || !self.num_mcs.is_power_of_two()
+            || self.num_mcs / 2 > self.mesh_y
+        {
+            return Err(TopologyError::BadMcCount {
+                num_mcs: self.num_mcs as usize,
+                mesh_y: self.mesh_y,
+            });
+        }
+        Ok(Topology {
+            mesh_x: self.mesh_x,
+            mesh_y: self.mesh_y,
+            cores_per_tile: self.cores_per_tile,
+            num_mcs: self.num_mcs,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn scc48() -> Topology {
+        Topology::scc48()
+    }
+
     #[test]
     fn core0_is_origin() {
-        assert_eq!(CoreId::new(0).tile(), TileCoord { x: 0, y: 0 });
-        assert_eq!(CoreId::new(1).tile(), TileCoord { x: 0, y: 0 });
+        let t = scc48();
+        assert_eq!(t.tile_of(CoreId::new(0)), TileCoord { x: 0, y: 0 });
+        assert_eq!(t.tile_of(CoreId::new(1)), TileCoord { x: 0, y: 0 });
     }
 
     #[test]
     fn paper_distance_core0_core30_is_5_hops() {
         // The paper's Figure 7 states cores 0 and 30 are 5 hops apart.
-        assert_eq!(CoreId::new(0).hops_to(CoreId::new(30)), 5);
+        let t = scc48();
+        assert_eq!(t.hops(CoreId::new(0), CoreId::new(30)), 5);
     }
 
     #[test]
     fn tile_numbering_row_major() {
-        assert_eq!(CoreId::new(12).tile(), TileCoord { x: 0, y: 1 });
-        assert_eq!(CoreId::new(47).tile(), TileCoord { x: 5, y: 3 });
+        let t = scc48();
+        assert_eq!(t.tile_of(CoreId::new(12)), TileCoord { x: 0, y: 1 });
+        assert_eq!(t.tile_of(CoreId::new(47)), TileCoord { x: 5, y: 3 });
     }
 
     #[test]
     fn same_tile_zero_hops() {
-        assert_eq!(CoreId::new(4).hops_to(CoreId::new(5)), 0);
+        assert_eq!(scc48().hops(CoreId::new(4), CoreId::new(5)), 0);
     }
 
     #[test]
     fn max_distance_is_8() {
         // Opposite corners of a 6x4 mesh: 5 + 3 = 8 hops.
-        let max = CoreId::all()
-            .flat_map(|a| CoreId::all().map(move |b| a.hops_to(b)))
+        let t = scc48();
+        let max = t
+            .cores()
+            .flat_map(|a| t.cores().map(move |b| (a, b)))
+            .map(|(a, b)| t.hops(a, b))
             .max()
             .unwrap();
         assert_eq!(max, 8);
+        assert_eq!(t.max_hops(), 8);
     }
 
     #[test]
     fn every_distance_up_to_8_reachable_from_core0() {
+        let t = scc48();
         for d in 0..=8 {
             assert!(
-                core_at_distance(CoreId::new(0), d).is_some(),
+                t.core_at_distance(CoreId::new(0), d).is_some(),
                 "no core at distance {d}"
             );
         }
     }
 
     #[test]
-    fn nearest_mc_quadrants() {
-        assert_eq!(CoreId::new(0).nearest_mc(), 0);
-        assert_eq!(CoreId::new(10).nearest_mc(), 1); // tile 5 = (5,0)
-        assert_eq!(CoreId::new(24).nearest_mc(), 2); // tile 12 = (0,2)
-        assert_eq!(CoreId::new(47).nearest_mc(), 3); // tile 23 = (5,3)
+    fn scc48_mcs_sit_at_the_corners() {
+        let t = scc48();
+        assert_eq!(t.mc_coord(0), TileCoord { x: 0, y: 0 });
+        assert_eq!(t.mc_coord(1), TileCoord { x: 5, y: 0 });
+        assert_eq!(t.mc_coord(2), TileCoord { x: 0, y: 3 });
+        assert_eq!(t.mc_coord(3), TileCoord { x: 5, y: 3 });
     }
 
     #[test]
-    fn nearest_mc_is_actually_nearest() {
-        for c in CoreId::all() {
-            let near = c.hops_to_mc(c.nearest_mc());
-            for mc in 0..NUM_MCS {
-                assert!(
-                    near <= c.hops_to_mc(mc),
-                    "{c:?}: mc{} ({} hops) beats nearest {} ({} hops)",
-                    mc,
-                    c.hops_to_mc(mc),
-                    c.nearest_mc(),
-                    near
-                );
+    fn nearest_mc_reproduces_the_scc_quadrant_table() {
+        // The silicon's default LUT config: the die splits into four
+        // quadrants of twelve cores. The generic argmin rule must
+        // reproduce it exactly (the 6×4 grid has no ties).
+        let t = scc48();
+        for c in t.cores() {
+            let TileCoord { x, y } = t.tile_of(c);
+            let quadrant = match (x < 3, y < 2) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (true, false) => 2,
+                (false, false) => 3,
+            };
+            assert_eq!(t.nearest_mc(c), quadrant, "{c:?} at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn nearest_mc_is_actually_nearest_on_every_preset() {
+        for t in [scc48(), Topology::mesh8x8(), Topology::mesh16x32()] {
+            for c in t.cores() {
+                let near = t.hops_to_mc(c, t.nearest_mc(c));
+                for mc in 0..t.num_mcs() {
+                    assert!(
+                        near <= t.hops_to_mc(c, mc),
+                        "{t}: {c:?}: mc{mc} ({} hops) beats nearest {} ({near} hops)",
+                        t.hops_to_mc(c, mc),
+                        t.nearest_mc(c),
+                    );
+                }
             }
         }
     }
 
     #[test]
+    fn presets_have_expected_sizes() {
+        assert_eq!(scc48().num_cores(), 48);
+        assert_eq!(Topology::mesh8x8().num_cores(), 128);
+        assert_eq!(Topology::mesh16x32().num_cores(), 512);
+        assert_eq!(Topology::mesh16x32().num_mcs(), 8);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            Topology::builder().mesh(0, 4).build(),
+            Err(TopologyError::ZeroDimension { field: "mesh_x" })
+        ));
+        assert!(matches!(
+            Topology::builder().num_mcs(3).build(),
+            Err(TopologyError::BadMcCount { .. })
+        ));
+        assert!(matches!(
+            Topology::builder().num_mcs(0).build(),
+            Err(TopologyError::BadMcCount { .. })
+        ));
+        // More MC pairs than rows to attach them to.
+        assert!(matches!(
+            Topology::builder().mesh(8, 1).num_mcs(4).build(),
+            Err(TopologyError::BadMcCount { .. })
+        ));
+        assert!(matches!(
+            Topology::builder().mesh(100, 100).cores_per_tile(2).build(),
+            Err(TopologyError::TooManyCores { .. })
+        ));
+        let t = Topology::builder()
+            .mesh(8, 8)
+            .cores_per_tile(1)
+            .num_mcs(4)
+            .build()
+            .unwrap();
+        assert_eq!(t.num_cores(), 64);
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(Topology::from_spec("scc48").unwrap(), scc48());
+        assert_eq!(
+            Topology::from_spec("8x8x1:4").unwrap(),
+            Topology::builder()
+                .mesh(8, 8)
+                .cores_per_tile(1)
+                .num_mcs(4)
+                .build()
+                .unwrap()
+        );
+        assert!(matches!(
+            Topology::from_spec("8x8:4"),
+            Err(TopologyError::BadSpec { .. })
+        ));
+        assert!(matches!(
+            Topology::from_spec("banana"),
+            Err(TopologyError::BadSpec { .. })
+        ));
+        // A structurally parseable but invalid shape surfaces the builder's
+        // typed error, not BadSpec.
+        assert!(matches!(
+            Topology::from_spec("8x8x1:3"),
+            Err(TopologyError::BadMcCount { .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_is_fallible_not_panicking() {
+        let t = scc48();
+        assert!(CoreId::try_new(47, &t).is_ok());
+        assert_eq!(
+            CoreId::try_new(48, &t),
+            Err(TopologyError::CoreOutOfRange { id: 48, cores: 48 })
+        );
+        let big = Topology::mesh16x32();
+        assert!(CoreId::try_new(511, &big).is_ok());
+        assert!(CoreId::try_new(512, &big).is_err());
+    }
+
+    #[test]
     #[should_panic]
-    fn core_id_out_of_range_panics() {
-        CoreId::new(48);
+    fn core_id_beyond_absolute_limit_panics() {
+        CoreId::new(CORE_LIMIT);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", scc48()), "6x4x2:4");
+        assert_eq!(format!("{}", CoreId::new(30)), "30");
+        assert_eq!(format!("{:?}", CoreId::new(30)), "core30");
     }
 }

@@ -140,7 +140,7 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Kernel<'_>) -> R + Send + Sync,
     {
-        let cores: Vec<CoreId> = (0..n).map(CoreId::new).collect();
+        let cores: Vec<CoreId> = (0..n).map(CoreId::from_raw).collect();
         self.run_on(&cores, body)
     }
 

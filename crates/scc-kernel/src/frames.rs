@@ -9,14 +9,16 @@
 use parking_lot::Mutex;
 use scc_hw::machine::MachineInner;
 use scc_hw::ram::Backing;
-use scc_hw::topology::{CoreId, NUM_MCS};
+use scc_hw::topology::{CoreId, Topology};
 
 /// Page-frame number (physical address >> 12).
 pub type Pfn = u32;
 
-/// Allocator for the shared off-die region, with per-controller free lists.
+/// Allocator for the shared off-die region, with one free list per memory
+/// controller of the configured topology.
 pub struct SharedFrames {
-    lists: [Mutex<Vec<Pfn>>; NUM_MCS],
+    topo: Topology,
+    lists: Vec<Mutex<Vec<Pfn>>>,
 }
 
 impl SharedFrames {
@@ -26,7 +28,9 @@ impl SharedFrames {
     /// excluded.
     pub fn new(mach: &MachineInner, reserve_prefix_bytes: u32) -> Self {
         assert_eq!(reserve_prefix_bytes % 4096, 0);
-        let lists: [Mutex<Vec<Pfn>>; NUM_MCS] = Default::default();
+        let topo = mach.cfg.topo;
+        let mut lists = Vec::with_capacity(topo.num_mcs());
+        lists.resize_with(topo.num_mcs(), || Mutex::new(Vec::new()));
         let base = mach.map.shared_base();
         let pages = mach.map.shared_pages();
         for p in (reserve_prefix_bytes / 4096) as usize..pages {
@@ -40,7 +44,12 @@ impl SharedFrames {
         for l in &lists {
             l.lock().reverse();
         }
-        SharedFrames { lists }
+        SharedFrames { topo, lists }
+    }
+
+    /// Number of memory controllers (free lists).
+    pub fn num_mcs(&self) -> usize {
+        self.lists.len()
     }
 
     /// Allocate a frame behind controller `mc`, falling back to the other
@@ -49,7 +58,7 @@ impl SharedFrames {
         if let Some(pfn) = self.lists[mc].lock().pop() {
             return Some(pfn);
         }
-        for other in 0..NUM_MCS {
+        for other in 0..self.lists.len() {
             if other != mc {
                 if let Some(pfn) = self.lists[other].lock().pop() {
                     return Some(pfn);
@@ -59,9 +68,10 @@ impl SharedFrames {
         None
     }
 
-    /// Allocate a frame near `core` (its quadrant's controller).
+    /// Allocate a frame near `core` (its nearest controller — the quadrant
+    /// rule on the SCC preset).
     pub fn alloc_near(&self, core: CoreId) -> Option<Pfn> {
-        self.alloc_at(core.nearest_mc())
+        self.alloc_at(self.topo.nearest_mc(core))
     }
 
     /// Return a frame to its home controller's free list.
@@ -73,8 +83,8 @@ impl SharedFrames {
     }
 
     /// Remaining free frames per controller (diagnostic).
-    pub fn free_counts(&self) -> [usize; NUM_MCS] {
-        std::array::from_fn(|i| self.lists[i].lock().len())
+    pub fn free_counts(&self) -> Vec<usize> {
+        self.lists.iter().map(|l| l.lock().len()).collect()
     }
 }
 

@@ -17,6 +17,7 @@ fn main() {
     let cores = 6;
     let cfg = SccConfig::small();
     let timing = cfg.timing.clone();
+    let chip_cores = cfg.topo.num_cores();
     let cl = Cluster::new(cfg).unwrap();
     let res = cl
         .run(cores, move |k| {
@@ -43,7 +44,7 @@ fn main() {
     let pw = power::PowerParams::default();
     let joules: f64 = res
         .iter()
-        .map(|r| power::estimate(&r.perf, r.clock.as_u64(), &timing, &pw).total_j())
+        .map(|r| power::estimate(&r.perf, r.clock.as_u64(), chip_cores, &timing, &pw).total_j())
         .sum();
     println!("estimated energy over the {cores} active cores: {:.3} mJ", joules * 1e3);
     let l2: u64 = res.iter().map(|r| r.perf.l2_hits).sum();

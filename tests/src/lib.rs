@@ -1,7 +1,7 @@
 //! Shared helpers for the cross-crate integration test suite.
 
 use metalsvm::{install as svm_install, SvmConfig, SvmCtx};
-use scc_hw::SccConfig;
+use scc_hw::{SccConfig, Topology};
 use scc_kernel::{Cluster, Kernel};
 use scc_mailbox::{install as mbx_install, Mailbox, Notify};
 
@@ -12,7 +12,25 @@ where
     R: Send,
     F: Fn(&mut Kernel<'_>, &Mailbox, &mut SvmCtx) -> R + Send + Sync,
 {
-    let cl = Cluster::new(SccConfig::small()).expect("machine");
+    with_stack_cfg(SccConfig::small(), n, notify, body)
+}
+
+/// [`with_stack`] on an explicit mesh shape instead of the default (or
+/// `SCC_TOPOLOGY`-selected) one.
+pub fn with_stack_on<R, F>(topo: Topology, n: usize, notify: Notify, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Kernel<'_>, &Mailbox, &mut SvmCtx) -> R + Send + Sync,
+{
+    with_stack_cfg(SccConfig::small_with(topo), n, notify, body)
+}
+
+fn with_stack_cfg<R, F>(cfg: SccConfig, n: usize, notify: Notify, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Kernel<'_>, &Mailbox, &mut SvmCtx) -> R + Send + Sync,
+{
+    let cl = Cluster::new(cfg).expect("machine");
     cl.run(n, |k| {
         let mbx = mbx_install(k, notify);
         let mut svm = svm_install(k, &mbx, SvmConfig::default());

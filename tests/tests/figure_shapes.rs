@@ -6,9 +6,13 @@
 use metalsvm::{Consistency, ScratchLocation};
 use scc_bench::pingpong::{Background, PingPongSetup};
 use scc_bench::{laplace_run, pingpong_latency_us, svm_overhead, LaplaceVariant};
-use scc_hw::topology::core_at_distance;
-use scc_hw::CoreId;
+use scc_hw::{CoreId, Topology};
 use scc_mailbox::Notify;
+
+/// Partner of core 0 at hop distance `h` on the paper's 48-core mesh.
+fn core_at_distance(from: CoreId, h: u32) -> Option<CoreId> {
+    Topology::scc48().core_at_distance(from, h)
+}
 
 // ---------------------------------------------------------------- Fig 6
 

@@ -15,8 +15,9 @@
 //! time (no wall-clock hang), and `with_stack` converts that into a
 //! panic carrying the per-core waiting report.
 
-use integration_tests::with_stack;
+use integration_tests::{with_stack, with_stack_on};
 use metalsvm::{Consistency, SvmArray};
+use scc_hw::Topology;
 use scc_mailbox::Notify;
 use std::sync::atomic::Ordering;
 
@@ -25,11 +26,13 @@ const CORES: usize = 33;
 const SLOTS: usize = 16;
 const ROUNDS: usize = 4;
 
-#[test]
-fn hot_page_storm_at_33_cores_completes_via_software_outbox() {
-    let deferred: Vec<u64> = with_stack(CORES, Notify::Ipi, |k, mbx, svm| {
-        // 16 u32 slots share one strong page: every write migrates
-        // ownership, so 33 cores generate a storm of request/grant mail.
+/// The storm body: `slots` u32 cells share one strong page, so every
+/// write migrates ownership and `n` cores generate a grant/forward mail
+/// storm. Returns each core's deferred-send count.
+fn hot_page_storm(n: usize, topo: Option<Topology>) -> Vec<u64> {
+    let body = |k: &mut scc_kernel::Kernel<'_>,
+                mbx: &scc_mailbox::Mailbox,
+                svm: &mut metalsvm::SvmCtx| {
         let r = svm.alloc(k, 4096, Consistency::Strong);
         let a = SvmArray::<u32>::new(r, SLOTS);
         svm.barrier(k);
@@ -40,18 +43,39 @@ fn hot_page_storm_at_33_cores_completes_via_software_outbox() {
             svm.barrier(k);
         }
         mbx.stats().deferred_sends.load(Ordering::Relaxed)
-    });
+    };
+    match topo {
+        Some(t) => with_stack_on(t, n, Notify::Ipi, body),
+        None => with_stack(n, Notify::Ipi, body),
+    }
+}
 
-    // The run completing at all is the headline assertion (`with_stack`
-    // panics with the executor's deadlock report otherwise). Beyond that,
-    // the defer path must actually have been exercised: if no send was
-    // ever parked, the workload no longer reproduces the pre-fix trigger
-    // and the test has silently lost its teeth.
+/// The run completing at all is the headline assertion (the helper
+/// panics with the executor's deadlock report otherwise). Beyond that,
+/// the defer path must actually have been exercised: if no send was ever
+/// parked, the workload no longer reproduces the pre-fix trigger and the
+/// test has silently lost its teeth.
+fn assert_defer_path_fired(deferred: &[u64], what: &str) {
     let total: u64 = deferred.iter().sum();
     assert!(
         total >= 1,
-        "expected the handler-context defer path to fire under a 33-core \
+        "expected the handler-context defer path to fire under a {what} \
          hot-page storm, but mbx.deferred_sends summed to 0 — the workload \
          no longer exercises the ≥32-core deadlock trigger"
     );
+}
+
+#[test]
+fn hot_page_storm_at_33_cores_completes_via_software_outbox() {
+    let deferred = hot_page_storm(CORES, None);
+    assert_defer_path_fired(&deferred, "33-core");
+}
+
+#[test]
+fn hot_page_storm_at_66_cores_on_mesh8x8_completes() {
+    // The same trigger at a non-SCC shape: 66 cores of the 8x8 mesh —
+    // past the 48-core die and past the 64-bit-mask boundary that any
+    // per-core bitmask in the stack would trip over.
+    let deferred = hot_page_storm(66, Some(Topology::mesh8x8()));
+    assert_defer_path_fired(&deferred, "66-core mesh8x8");
 }

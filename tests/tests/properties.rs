@@ -484,3 +484,116 @@ fn rcce_roundtrip_arbitrary_sizes() {
         .unwrap();
     }
 }
+
+// -------------------------------------------------------------- Topology
+
+use scc_hw::Topology;
+
+/// A random valid mesh shape. Dimensions are drawn first and the builder
+/// is the oracle: a draw it rejects (e.g. `num_mcs / 2 > mesh_y`) is
+/// simply redrawn, so every property below runs on shapes the public API
+/// actually admits — from 1x1x1:2 up past the 512-core presets.
+fn random_topology(g: &mut Gen) -> Topology {
+    loop {
+        let x = g.range(1, 24) as u32;
+        let y = g.range(1, 24) as u32;
+        let c = g.range(1, 5) as u32;
+        let m = 1usize << g.range(1, 4); // 2, 4 or 8 controllers
+        let t = Topology::builder()
+            .mesh(x, y)
+            .cores_per_tile(c)
+            .num_mcs(m)
+            .build();
+        if let Ok(t) = t {
+            return t;
+        }
+    }
+}
+
+/// A random core of `t`.
+fn random_core(g: &mut Gen, t: &Topology) -> CoreId {
+    t.try_core(g.range(0, t.num_cores() as u64) as usize)
+        .expect("drawn inside num_cores")
+}
+
+/// Hop counts are a metric on the mesh: zero on the diagonal, symmetric,
+/// triangle inequality, and never beyond the corner-to-corner diameter.
+#[test]
+fn topology_hops_form_a_metric() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(0x8000 + case);
+        let t = random_topology(&mut g);
+        for _ in 0..32 {
+            let (a, b, c) = (
+                random_core(&mut g, &t),
+                random_core(&mut g, &t),
+                random_core(&mut g, &t),
+            );
+            assert_eq!(t.hops(a, a), 0, "case {case} ({t})");
+            assert_eq!(t.hops(a, b), t.hops(b, a), "case {case} ({t})");
+            assert!(
+                t.hops(a, c) <= t.hops(a, b) + t.hops(b, c),
+                "case {case} ({t}): triangle inequality {a:?} {b:?} {c:?}"
+            );
+            assert!(
+                t.hops(a, b) <= t.max_hops(),
+                "case {case} ({t}): {a:?}->{b:?} exceeds the mesh diameter"
+            );
+        }
+    }
+}
+
+/// Tiles are numbered row-major: core `i` lives on tile `i / cores_per_tile`
+/// at `(tile % mesh_x, tile / mesh_x)`, and every coordinate stays inside
+/// the declared mesh.
+#[test]
+fn topology_tiles_are_row_major_and_in_range() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(0x8100 + case);
+        let t = random_topology(&mut g);
+        for core in t.cores() {
+            let tile = core.idx() as u32 / t.cores_per_tile();
+            let at = t.tile_of(core);
+            assert_eq!(at.x, tile % t.mesh_x(), "case {case} ({t}) core {core:?}");
+            assert_eq!(at.y, tile / t.mesh_x(), "case {case} ({t}) core {core:?}");
+            assert!(at.x < t.mesh_x() && at.y < t.mesh_y(), "case {case} ({t})");
+        }
+    }
+}
+
+/// `nearest_mc` is the argmin of `hops_to_mc` with lowest-index tie-break,
+/// and every controller sits on a valid mesh edge coordinate.
+#[test]
+fn topology_nearest_mc_is_the_argmin() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(0x8200 + case);
+        let t = random_topology(&mut g);
+        for mc in 0..t.num_mcs() {
+            let at = t.mc_coord(mc);
+            assert!(at.x < t.mesh_x() && at.y < t.mesh_y(), "case {case} ({t}) mc {mc}");
+            assert!(
+                at.x == 0 || at.x == t.mesh_x() - 1,
+                "case {case} ({t}): controller {mc} not on a left/right edge"
+            );
+        }
+        for _ in 0..16 {
+            let core = random_core(&mut g, &t);
+            let picked = t.nearest_mc(core);
+            let best = (0..t.num_mcs())
+                .min_by_key(|&mc| (t.hops_to_mc(core, mc), mc))
+                .unwrap();
+            assert_eq!(picked, best, "case {case} ({t}) core {core:?}");
+        }
+    }
+}
+
+/// Figure 7 regression: on the real 48-core die, core 0 (tile 0,0) and
+/// core 30 (tile x=3,y=2) sit five hops apart — the pair the paper's
+/// remote-MPB latency curve is plotted against.
+#[test]
+fn topology_scc48_core0_core30_is_five_hops() {
+    let t = Topology::scc48();
+    assert_eq!(t.hops(CoreId::new(0), CoreId::new(30)), 5);
+    // And the diameter of the 6x4 die is (6-1) + (4-1) = 8.
+    assert_eq!(t.max_hops(), 8);
+}
