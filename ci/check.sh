@@ -116,6 +116,28 @@ echo "== topology: svmexplore smoke on a 64-core 8x8 mesh =="
 SCC_TOPOLOGY=8x8x1:4 ./target/release/svmexplore --seeds 8 --out results \
     --json results/EXPLORE_mesh64.json
 
+# Topology-aware collectives (DESIGN.md §12). CollMode::Tree is the
+# default, so every suite above already exercised the MPB-tree barrier;
+# these legs make the comparison explicit. The agreement suite pins both
+# modes in-config (barrier-only apps bit-identical, f64 sums within
+# rounding); the mesh8x8 legs then re-run the determinism-critical
+# suites with SCC_COLL=tree spelled out — serial/parallel bit-identity
+# and svm-check cleanliness on the tree path at 128 cores — plus one
+# SCC_COLL=flat shadow leg so the escape hatch stays honest.
+echo "== collectives: flat-vs-tree agreement suite =="
+cargo test -q -p integration-tests --test collectives
+
+echo "== collectives: mesh8x8 shadow suite, SCC_COLL=tree =="
+SCC_TOPOLOGY=mesh8x8 SCC_COLL=tree cargo test -q -p integration-tests \
+    --test parallel_shadow
+
+echo "== collectives: mesh8x8 checker suite, SCC_COLL=tree, trace feature =="
+SCC_TOPOLOGY=mesh8x8 SCC_COLL=tree cargo test -q --features trace \
+    -p integration-tests --test checker
+
+echo "== collectives: scc48 shadow suite, SCC_COLL=flat (escape hatch) =="
+SCC_COLL=flat cargo test -q -p integration-tests --test parallel_shadow
+
 # The 512-core acceptance: Laplace on the full mesh16x32 preset must
 # complete under the serial AND the parallel executor bit-identically,
 # with svm-check clean over both runs' event streams (the machine is big

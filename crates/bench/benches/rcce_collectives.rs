@@ -1,9 +1,22 @@
 //! Criterion bench: RCCE collective operations on the simulator.
+//!
+//! The `*_flat` / `*_tree` pairs compare the linear root loops against
+//! the topology-aware collective tree (DESIGN.md §12) at the paper's 48
+//! cores and on the 128-core `mesh8x8` preset — host wall-clock here;
+//! `bench_scale` reports the simulated-cycle curves.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rcce::{allreduce_f64, RcceComm, ReduceOp};
-use scc_hw::SccConfig;
+use rcce::{allreduce_f64, bcast, reduce_f64, RcceComm, ReduceOp};
+use scc_hw::{CollMode, SccConfig, Topology};
 use scc_kernel::Cluster;
+
+fn cfg(topo: Topology, coll: CollMode) -> SccConfig {
+    SccConfig {
+        coll,
+        shared_bytes: 32 * 1024 * 1024,
+        ..SccConfig::small_with(topo)
+    }
+}
 
 fn bench_collectives(c: &mut Criterion) {
     let mut g = c.benchmark_group("rcce");
@@ -34,6 +47,46 @@ fn bench_collectives(c: &mut Criterion) {
             .unwrap();
         });
     });
+
+    // Flat vs tree shapes: 48 cores (full scc48 die) and 128 cores
+    // (full mesh8x8 preset), 64-double bcast and reduce.
+    for (label, topo, n) in [
+        ("48cores", Topology::scc48(), 48usize),
+        ("128cores", Topology::mesh8x8(), 128usize),
+    ] {
+        for (mode_label, mode) in [("flat", CollMode::Flat), ("tree", CollMode::Tree)] {
+            g.bench_function(&format!("bcast_{label}_64doubles_{mode_label}"), |b| {
+                b.iter(|| {
+                    let cl = Cluster::new(cfg(topo, mode)).unwrap();
+                    cl.run(n, |k| {
+                        let mut comm = RcceComm::init(k);
+                        let va = k.kalloc_pages(1);
+                        if comm.ue() == 0 {
+                            for i in 0..64u32 {
+                                k.vwrite_f64(va + i * 8, i as f64);
+                            }
+                        }
+                        bcast(k, &mut comm, 0, va, 64 * 8);
+                    })
+                    .unwrap();
+                });
+            });
+            g.bench_function(&format!("reduce_{label}_64doubles_{mode_label}"), |b| {
+                b.iter(|| {
+                    let cl = Cluster::new(cfg(topo, mode)).unwrap();
+                    cl.run(n, |k| {
+                        let mut comm = RcceComm::init(k);
+                        let va = k.kalloc_pages(1);
+                        for i in 0..64u32 {
+                            k.vwrite_f64(va + i * 8, (k.rank() + 1) as f64 + i as f64);
+                        }
+                        reduce_f64(k, &mut comm, 0, va, 64, ReduceOp::Sum);
+                    })
+                    .unwrap();
+                });
+            });
+        }
+    }
     g.finish();
 }
 

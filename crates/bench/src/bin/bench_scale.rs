@@ -1,7 +1,7 @@
-//! Scaling benchmark over mesh sizes: how the two costs the topology
-//! redesign touches most — strong-model ownership migration and the
-//! all-core barrier — grow from the paper's 48-core die to a 512-core
-//! mesh. Emits `BENCH_scale.json`.
+//! Scaling benchmark over mesh sizes: how the costs the topology redesign
+//! touches most — strong-model ownership migration and the collective
+//! layer — grow from the paper's 48-core die to a 512-core mesh. Emits
+//! `BENCH_scale.json`.
 //!
 //! Per shape:
 //!
@@ -11,29 +11,48 @@
 //!   five-step ownership-transfer protocol across the full mesh diagonal
 //!   and remaps the page; the reported figure is the average simulated
 //!   cost of one such migrating write.
-//! * **barrier**: every core of the mesh joins `ram_barrier` (the
-//!   rendezvous inside `svm.barrier`); the reported figure is the average
-//!   simulated cost per barrier, maximised over the cores.
+//! * **barrier, flat vs tree**: every core of the mesh joins
+//!   `ram_barrier` under both collective modes (`SCC_COLL=flat|tree`);
+//!   the reported figures are the average simulated cost per barrier,
+//!   maximised over the cores, plus the tree speedup. The flat rendezvous
+//!   serialises on one off-die counter; the MPB-tree barrier combines
+//!   in-tile, per quadrant, then at the root (DESIGN.md §12).
+//! * **allreduce, flat vs tree**: an 8-double RCCE `allreduce_f64` over
+//!   all cores under both modes — the linear root loop vs the log-depth
+//!   collective tree.
 //!
-//! All figures are simulated microseconds — deterministic per shape, so
-//! reps exist only for the host wall-clock, not the results.
+//! A final **checker** phase runs the traced Laplace cell on a subset of
+//! the shapes under the tree collectives and feeds the rings through all
+//! `svmcheck` detectors: the findings-vs-core-count curve of a clean run
+//! must be identically zero. (Rings are empty without the `trace`
+//! feature; the phase then only proves the no-op path.)
 //!
-//! Usage: `cargo run -p scc-bench --release --bin bench_scale [--quick]`
+//! All simulated figures are deterministic per shape — reps exist only
+//! for the host wall-clock, not the results.
+//!
+//! Usage: `cargo run -p scc-bench --release --features trace
+//!         --bin bench_scale [--quick]`
 
 use std::fmt::Write as _;
 
 use metalsvm::{install as svm_install, Consistency, SvmConfig};
-use scc_bench::{HarnessArgs, Table};
-use scc_hw::{CoreId, SccConfig, Topology};
+use scc_apps::laplace::LaplaceParams;
+use scc_bench::{laplace_run_host_on, HarnessArgs, LaplaceVariant, Table};
+use scc_hw::instr::TraceConfig;
+use scc_hw::{CollMode, CoreId, SccConfig, Topology, TraceRing};
 use scc_kernel::Cluster;
 use scc_mailbox::{install as mbx_install, Notify};
+use rcce::{allreduce_f64, RcceComm, ReduceOp};
 
 /// Machine for one mesh shape: enough shared memory for the mailbox slot
 /// rows of 512 receivers plus the SVM window, modest private memory.
-fn config_for(topo: Topology) -> SccConfig {
+/// The collective mode is pinned explicitly — this harness compares the
+/// modes, so the `SCC_COLL` escape hatch must not leak in.
+fn config_for(topo: Topology, coll: CollMode) -> SccConfig {
     SccConfig {
         private_bytes_per_core: 256 * 1024,
         shared_bytes: 32 * 1024 * 1024,
+        coll,
         ..SccConfig::default_with(topo)
     }
 }
@@ -41,7 +60,7 @@ fn config_for(topo: Topology) -> SccConfig {
 /// Average simulated cost (us) of one ownership-migrating write between
 /// core 0 and the mesh's far corner, plus the hop distance covered.
 fn migration_us(topo: Topology, rounds: u32) -> (f64, u32) {
-    let cfg = config_for(topo);
+    let cfg = config_for(topo, CollMode::Tree);
     let mhz = cfg.timing.core_mhz as f64;
     let hops = topo.max_hops();
     let origin = CoreId::from_raw(0);
@@ -81,10 +100,10 @@ fn migration_us(topo: Topology, rounds: u32) -> (f64, u32) {
     (total as f64 / writes as f64 / mhz, hops)
 }
 
-/// Average simulated cost (us) of one all-core barrier, maximised over
-/// the participating cores.
-fn barrier_us(topo: Topology, barriers: u32) -> f64 {
-    let cfg = config_for(topo);
+/// Average simulated cost (us) of one all-core barrier under `coll`,
+/// maximised over the participating cores.
+fn barrier_us(topo: Topology, barriers: u32, coll: CollMode) -> f64 {
+    let cfg = config_for(topo, coll);
     let mhz = cfg.timing.core_mhz as f64;
     let n = topo.num_cores();
     let cl = Cluster::new(cfg).expect("machine");
@@ -103,21 +122,75 @@ fn barrier_us(topo: Topology, barriers: u32) -> f64 {
     max_cycles as f64 / f64::from(barriers) / mhz
 }
 
+/// Average simulated cost (us) of one all-core 8-double RCCE allreduce
+/// under `coll`, maximised over the participating cores.
+fn allreduce_us(topo: Topology, reps: u32, coll: CollMode) -> f64 {
+    let cfg = config_for(topo, coll);
+    let mhz = cfg.timing.core_mhz as f64;
+    let n = topo.num_cores();
+    let cl = Cluster::new(cfg).expect("machine");
+    let res = cl
+        .run(n, move |k| {
+            let mut comm = RcceComm::init(k);
+            let va = k.kalloc_pages(1);
+            for i in 0..8u32 {
+                k.vwrite_f64(va + i * 8, k.rank() as f64 + i as f64);
+            }
+            // Warm-up rep pays the pipeline/flag initialisation.
+            allreduce_f64(k, &mut comm, va, 8, ReduceOp::Sum);
+            let t0 = k.hw.now();
+            for _ in 0..reps {
+                allreduce_f64(k, &mut comm, va, 8, ReduceOp::Max);
+            }
+            k.hw.now() - t0
+        })
+        .expect("allreduce must not deadlock");
+    let max_cycles = res.iter().map(|r| r.result).max().unwrap();
+    max_cycles as f64 / f64::from(reps) / mhz
+}
+
+/// Traced strong-model Laplace on `topo` under the tree collectives, fed
+/// through every `svmcheck` detector. Returns (events, findings).
+fn checker_pass(topo: Topology, p: LaplaceParams) -> (usize, usize) {
+    let cfg = SccConfig {
+        trace: if TraceRing::compiled_in() {
+            TraceConfig::full(1 << 17)
+        } else {
+            TraceConfig::disabled()
+        },
+        ..config_for(topo, CollMode::Tree)
+    };
+    let n = topo.num_cores();
+    let (_, obs) = laplace_run_host_on(cfg, LaplaceVariant::SvmStrong, n, p, Notify::Ipi);
+    let rings: Vec<(CoreId, TraceRing)> = obs.into_iter().map(|o| (o.core, o.trace)).collect();
+    let events: usize = rings.iter().map(|(_, r)| r.len()).sum();
+    let report = scc_checker::check_rings(rings.iter().map(|(c, r)| (*c, r)));
+    assert!(
+        report.findings.is_empty(),
+        "clean Laplace on {}x{} cores must be finding-free, got: {}",
+        topo.mesh_x(),
+        topo.mesh_y(),
+        report.render_text()
+    );
+    (events, report.findings.len())
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     let rounds = if args.quick { 8 } else { 16 };
     let barriers = if args.quick { 4 } else { 8 };
+    let reduces = if args.quick { 2 } else { 4 };
 
     let shapes: [(&str, Topology); 4] = [
         ("scc48", Topology::scc48()),
         ("mesh8x8", Topology::mesh8x8()),
-        ("mesh16x16", Topology::from_spec("16x16x1:8").expect("valid spec")),
+        ("mesh16x16", Topology::mesh16x16()),
         ("mesh16x32", Topology::mesh16x32()),
     ];
 
     println!(
-        "Scaling benchmark — ownership migration ({rounds} rounds) and \
-         all-core barrier ({barriers} barriers) per mesh\n"
+        "Scaling benchmark — ownership migration ({rounds} rounds), flat-vs-tree \
+         barrier ({barriers} barriers) and allreduce ({reduces} reps) per mesh\n"
     );
     let mut t = Table::new(&[
         "preset",
@@ -125,12 +198,27 @@ fn main() {
         "mesh",
         "hops",
         "migration (us)",
-        "barrier (us)",
+        "barrier flat (us)",
+        "barrier tree (us)",
+        "speedup",
+        "allreduce flat (us)",
+        "allreduce tree (us)",
     ]);
     let mut rows_json = String::new();
     for (name, topo) in shapes {
+        // Progress heartbeat on stderr: the 512-core phases are minutes
+        // of host time each on a small machine.
+        eprintln!("[bench_scale] {name}: migration...");
         let (mig_us, hops) = migration_us(topo, rounds);
-        let bar_us = barrier_us(topo, barriers);
+        eprintln!("[bench_scale] {name}: barrier flat...");
+        let bar_flat = barrier_us(topo, barriers, CollMode::Flat);
+        eprintln!("[bench_scale] {name}: barrier tree...");
+        let bar_tree = barrier_us(topo, barriers, CollMode::Tree);
+        eprintln!("[bench_scale] {name}: allreduce flat...");
+        let red_flat = allreduce_us(topo, reduces, CollMode::Flat);
+        eprintln!("[bench_scale] {name}: allreduce tree...");
+        let red_tree = allreduce_us(topo, reduces, CollMode::Tree);
+        let speedup = bar_flat / bar_tree;
         let mesh = format!(
             "{}x{}x{}:{}",
             topo.mesh_x(),
@@ -144,14 +232,20 @@ fn main() {
             mesh.clone(),
             format!("{hops}"),
             format!("{mig_us:10.3}"),
-            format!("{bar_us:10.3}"),
+            format!("{bar_flat:10.3}"),
+            format!("{bar_tree:10.3}"),
+            format!("{speedup:6.2}x"),
+            format!("{red_flat:10.3}"),
+            format!("{red_tree:10.3}"),
         ]);
         println!("{}", t.render().lines().last().unwrap());
         let _ = write!(
             rows_json,
             "{}    {{\"preset\": \"{name}\", \"cores\": {}, \"mesh\": \"{mesh}\", \
              \"migration_hops\": {hops}, \"migration_us\": {mig_us:.4}, \
-             \"barrier_us\": {bar_us:.4}}}",
+             \"barrier_flat_us\": {bar_flat:.4}, \"barrier_tree_us\": {bar_tree:.4}, \
+             \"barrier_tree_speedup\": {speedup:.3}, \
+             \"allreduce_flat_us\": {red_flat:.4}, \"allreduce_tree_us\": {red_tree:.4}}}",
             if rows_json.is_empty() { "" } else { ",\n" },
             topo.num_cores(),
         );
@@ -160,13 +254,59 @@ fn main() {
     println!("\n{}", t.render());
     println!(
         "shape: migration cost grows with the mesh diagonal (protocol mail \
-         and the remap travel more hops); barrier cost grows with the core \
-         count (the rendezvous serialises on one off-die counter)."
+         and the remap travel more hops); the flat barrier grows linearly \
+         with the core count (one off-die counter), the MPB-tree barrier \
+         logarithmically (in-tile, per-quadrant, root)."
     );
+
+    // Checker curve: findings of a clean traced run vs core count.
+    let checker_shapes: [(&str, Topology, LaplaceParams); 3] = [
+        (
+            "scc48",
+            Topology::scc48(),
+            LaplaceParams { width: 240, height: 240, iters: 2 },
+        ),
+        (
+            "mesh8x8",
+            Topology::mesh8x8(),
+            LaplaceParams { width: 256, height: 256, iters: 2 },
+        ),
+        (
+            "mesh16x32",
+            Topology::mesh16x32(),
+            LaplaceParams { width: 512, height: 512, iters: 2 },
+        ),
+    ];
+    if !TraceRing::compiled_in() {
+        eprintln!(
+            "warning: built without the `trace` feature — checker rings stay \
+             empty and the findings curve only proves the no-op path."
+        );
+    }
+    println!("\nchecker curve (traced Laplace strong, tree collectives):");
+    let mut checker_json = String::new();
+    for (name, topo, p) in checker_shapes {
+        eprintln!("[bench_scale] checker: {name}...");
+        let (events, findings) = checker_pass(topo, p);
+        println!(
+            "  {name:>9} ({:3} cores): {events:8} events, {findings} findings",
+            topo.num_cores()
+        );
+        let _ = write!(
+            checker_json,
+            "{}    {{\"preset\": \"{name}\", \"cores\": {}, \"events\": {events}, \
+             \"findings\": {findings}}}",
+            if checker_json.is_empty() { "" } else { ",\n" },
+            topo.num_cores(),
+        );
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"migration_rounds\": {rounds},\n  \
-         \"barriers\": {barriers},\n  \"results\": [\n{rows_json}\n  ]\n}}\n"
+         \"barriers\": {barriers},\n  \"allreduces\": {reduces},\n  \
+         \"trace_compiled_in\": {},\n  \"results\": [\n{rows_json}\n  ],\n  \
+         \"checker\": [\n{checker_json}\n  ]\n}}\n",
+        TraceRing::compiled_in(),
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("wrote BENCH_scale.json");

@@ -624,8 +624,15 @@ impl SvmFaultHandler {
                 let c = k.hw.machine().cfg.timing.frame_alloc;
                 k.hw.advance(c);
                 k.zero_frame_uncached(pfn);
-                sh.scratch.write(k, p, pfn);
+                // Publication order matters: the owner entry must land
+                // before the scratch entry. `ensure_frame`'s fast path
+                // reads the scratch pad *without* the TAS lock, and the
+                // strong model's `acquire_ownership` requires an owner for
+                // any page whose frame is visible — a quantum expiring
+                // between these two writes would otherwise let another
+                // core observe the frame with no owner yet.
                 sh.owner_write(k, p, k.id());
+                sh.scratch.write(k, p, pfn);
                 if _model == Consistency::WriteInvalidate {
                     let me = k.id().idx();
                     k.hw.write(sh.copyset_pa + 8 * p, 8, 1 << me, MemAttr::UNCACHED);

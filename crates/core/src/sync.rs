@@ -144,10 +144,15 @@ impl SvmCtx {
     /// A barrier *without* the acquire-side invalidation. Exists so tests
     /// and demos can exhibit the staleness that the lazy release model's
     /// hooks prevent; not part of the paper's API.
+    ///
+    /// Always the flat (RAM-spinning) barrier: the MPB-tree barrier issues
+    /// `CL1INVMB` internally to re-read its flag lines, which would
+    /// invalidate every MPBT-tagged line as a side effect — exactly the
+    /// staleness this hook exists to preserve.
     pub fn barrier_no_invalidate_for_test(&self, k: &mut Kernel<'_>) {
         k.hw.trace_sync_reset();
         k.hw.flush_wcb();
-        scc_kernel::ram_barrier(k, "svm.barrier");
+        scc_kernel::flat_ram_barrier(k, "svm.barrier");
     }
 }
 

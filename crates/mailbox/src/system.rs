@@ -173,9 +173,6 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
             slots.raw_write(&mach, pa + w * 4, 4, 0);
         }
     }
-    // Collective: nobody may send before every participant cleared its
-    // slots, or an early mail would be wiped.
-    scc_kernel::ram_barrier(k, "mailbox.install");
     let resilient = !mach.faults.is_empty();
     let sh = Arc::new(Shared {
         me,
@@ -191,7 +188,16 @@ pub fn install(k: &mut Kernel<'_>, notify: Notify) -> Mailbox {
         slots,
         resilient,
     });
+    // The doorbell hook must be live *before* the install barrier: barrier
+    // exits are skewed (the tree barrier releases cores level by level), so
+    // a fast core may send its first mail while a slow one is still parked
+    // inside the barrier — whose responsive wait claims pending IPIs. With
+    // no hook registered that claim would swallow the doorbell and strand
+    // the mail in its slot forever.
     k.register_hook(Arc::new(MailboxHook { sh: Arc::clone(&sh) }));
+    // Collective: nobody may send before every participant cleared its
+    // slots, or an early mail would be wiped.
+    scc_kernel::ram_barrier(k, "mailbox.install");
     Mailbox { sh }
 }
 

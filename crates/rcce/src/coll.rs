@@ -1,12 +1,24 @@
 //! RCCE collective operations: barrier (re-exported from the communicator),
 //! broadcast, reduce and allreduce.
 //!
-//! RCCE's collectives are simple compositions of the two-sided primitives;
-//! the broadcast/reduce trees here are the same linear loops the original
-//! library used for its small core counts.
+//! RCCE's collectives compose the two-sided primitives. Two shapes are
+//! selectable through [`scc_hw::CollMode`] (`SCC_COLL=flat|tree`):
+//!
+//! * **Flat** — the linear loops the original library used for its small
+//!   core counts: the root sends to (or receives from) every other UE in
+//!   rank order. O(n) serialised steps through the root's MPB.
+//! * **Tree** (default) — the topology-aware collective tree of DESIGN.md
+//!   §12: UEs of one tile combine first, tile leaders combine per
+//!   memory-controller quadrant, quadrant leaders meet at the root.
+//!   O(log n) depth, and every edge is between mesh-adjacent groups.
+//!
+//! Reduction folds are deterministic in both modes, but the fold *order*
+//! differs (rank order vs tree order), so flat and tree sums may differ by
+//! floating-point rounding. Broadcast payloads are bit-identical.
 
 use crate::comm::RcceComm;
 use crate::sendrecv::{recv, send};
+use scc_hw::CollMode;
 use scc_kernel::Kernel;
 
 /// The reduction operator for `reduce_f64`/`allreduce_f64`.
@@ -34,11 +46,18 @@ pub fn barrier(k: &mut Kernel<'_>, comm: &mut RcceComm) {
 
 /// Broadcast `len` bytes at private VA `va` from UE `root` to everyone.
 pub fn bcast(k: &mut Kernel<'_>, comm: &mut RcceComm, root: usize, va: u32, len: u32) {
-    let me = comm.ue();
-    let n = comm.num_ues();
-    if n == 1 {
+    if comm.num_ues() == 1 {
         return;
     }
+    match k.hw.machine().cfg.coll {
+        CollMode::Flat => bcast_flat(k, comm, root, va, len),
+        CollMode::Tree => bcast_tree(k, comm, root, va, len),
+    }
+}
+
+fn bcast_flat(k: &mut Kernel<'_>, comm: &mut RcceComm, root: usize, va: u32, len: u32) {
+    let me = comm.ue();
+    let n = comm.num_ues();
     if me == root {
         for ue in 0..n {
             if ue != root {
@@ -47,6 +66,17 @@ pub fn bcast(k: &mut Kernel<'_>, comm: &mut RcceComm, root: usize, va: u32, len:
         }
     } else {
         recv(k, comm, root, va, len);
+    }
+}
+
+fn bcast_tree(k: &mut Kernel<'_>, comm: &mut RcceComm, root: usize, va: u32, len: u32) {
+    let tree = comm.coll_tree(k, root);
+    let me = comm.ue();
+    if let Some(p) = tree.parent(me) {
+        recv(k, comm, p, va, len);
+    }
+    for c in tree.children(me) {
+        send(k, comm, *c, va, len);
     }
 }
 
@@ -60,11 +90,25 @@ pub fn reduce_f64(
     count: u32,
     op: ReduceOp,
 ) {
-    let me = comm.ue();
-    let n = comm.num_ues();
-    if n == 1 {
+    if comm.num_ues() == 1 {
         return;
     }
+    match k.hw.machine().cfg.coll {
+        CollMode::Flat => reduce_flat(k, comm, root, va, count, op),
+        CollMode::Tree => reduce_tree(k, comm, root, va, count, op),
+    }
+}
+
+fn reduce_flat(
+    k: &mut Kernel<'_>,
+    comm: &mut RcceComm,
+    root: usize,
+    va: u32,
+    count: u32,
+    op: ReduceOp,
+) {
+    let me = comm.ue();
+    let n = comm.num_ues();
     let bytes = count * 8;
     if me == root {
         // Receive into a scratch buffer and fold (deterministic UE order).
@@ -82,6 +126,47 @@ pub fn reduce_f64(
         }
     } else {
         send(k, comm, root, va, bytes);
+    }
+}
+
+fn reduce_tree(
+    k: &mut Kernel<'_>,
+    comm: &mut RcceComm,
+    root: usize,
+    va: u32,
+    count: u32,
+    op: ReduceOp,
+) {
+    let tree = comm.coll_tree(k, root);
+    let me = comm.ue();
+    let bytes = count * 8;
+    let children: Vec<usize> = tree.children(me).to_vec();
+    // The root folds in place and a leaf sends its input untouched;
+    // interior UEs fold into a private copy so their input stays
+    // unchanged (same contract as the flat loop).
+    let acc = if tree.parent(me).is_none() || children.is_empty() {
+        va
+    } else {
+        let copy = k.kalloc_pages(bytes.div_ceil(4096).max(1));
+        for i in 0..count {
+            let v = k.vread_f64(va + i * 8);
+            k.vwrite_f64(copy + i * 8, v);
+        }
+        copy
+    };
+    if !children.is_empty() {
+        let scratch = k.kalloc_pages(bytes.div_ceil(4096).max(1));
+        for c in children {
+            recv(k, comm, c, scratch, bytes);
+            for i in 0..count {
+                let mine = k.vread_f64(acc + i * 8);
+                let theirs = k.vread_f64(scratch + i * 8);
+                k.vwrite_f64(acc + i * 8, op.apply(mine, theirs));
+            }
+        }
+    }
+    if let Some(p) = tree.parent(me) {
+        send(k, comm, p, acc, bytes);
     }
 }
 
@@ -103,18 +188,23 @@ mod tests {
     use scc_hw::SccConfig;
     use scc_kernel::Cluster;
 
-    #[test]
-    fn bcast_distributes_root_data() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
-        cl.run(4, |k| {
+    fn cluster(mode: CollMode) -> Cluster {
+        let mut cfg = SccConfig::small();
+        cfg.coll = mode;
+        Cluster::new(cfg).unwrap()
+    }
+
+    fn bcast_case(mode: CollMode, n: usize, root: usize) {
+        let cl = cluster(mode);
+        cl.run(n, |k| {
             let mut comm = RcceComm::init(k);
             let va = k.kalloc_pages(1);
-            if comm.ue() == 2 {
+            if comm.ue() == root {
                 for i in 0..16u32 {
                     k.vwrite(va + i * 8, 8, 0xB0 + i as u64);
                 }
             }
-            bcast(k, &mut comm, 2, va, 128);
+            bcast(k, &mut comm, root, va, 128);
             for i in 0..16u32 {
                 assert_eq!(k.vread(va + i * 8, 8), 0xB0 + i as u64);
             }
@@ -123,9 +213,20 @@ mod tests {
     }
 
     #[test]
-    fn reduce_sums_across_ues() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
-        cl.run(3, |k| {
+    fn bcast_distributes_root_data() {
+        bcast_case(CollMode::Flat, 4, 2);
+        bcast_case(CollMode::Tree, 4, 2);
+    }
+
+    #[test]
+    fn bcast_tree_many_ues_nonzero_root() {
+        // 12 UEs span 6 tiles of the scc48 preset: a real multi-level tree.
+        bcast_case(CollMode::Tree, 12, 7);
+    }
+
+    fn reduce_case(mode: CollMode, n: usize) {
+        let cl = cluster(mode);
+        cl.run(n, |k| {
             let mut comm = RcceComm::init(k);
             let va = k.kalloc_pages(1);
             let me = comm.ue() as f64;
@@ -133,10 +234,17 @@ mod tests {
                 k.vwrite_f64(va + i * 8, me + i as f64);
             }
             reduce_f64(k, &mut comm, 0, va, 8, ReduceOp::Sum);
+            let rank_sum = (n * (n - 1) / 2) as f64;
             if comm.ue() == 0 {
                 for i in 0..8u32 {
-                    // sum over ue of (ue + i) = (0+1+2) + 3i
-                    assert_eq!(k.vread_f64(va + i * 8), 3.0 + 3.0 * i as f64);
+                    // sum over ue of (ue + i) = rank_sum + n*i — exact in
+                    // f64 for these small integers, any fold order.
+                    assert_eq!(k.vread_f64(va + i * 8), rank_sum + (n as f64) * i as f64);
+                }
+            } else {
+                // Non-roots keep their input unchanged.
+                for i in 0..8u32 {
+                    assert_eq!(k.vread_f64(va + i * 8), me + i as f64);
                 }
             }
         })
@@ -144,8 +252,18 @@ mod tests {
     }
 
     #[test]
-    fn allreduce_max_everywhere() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
+    fn reduce_sums_across_ues() {
+        reduce_case(CollMode::Flat, 3);
+        reduce_case(CollMode::Tree, 3);
+    }
+
+    #[test]
+    fn reduce_tree_many_ues() {
+        reduce_case(CollMode::Tree, 16);
+    }
+
+    fn allreduce_case(mode: CollMode) {
+        let cl = cluster(mode);
         cl.run(5, |k| {
             let mut comm = RcceComm::init(k);
             let va = k.kalloc_pages(1);
@@ -157,8 +275,14 @@ mod tests {
     }
 
     #[test]
+    fn allreduce_max_everywhere() {
+        allreduce_case(CollMode::Flat);
+        allreduce_case(CollMode::Tree);
+    }
+
+    #[test]
     fn allreduce_single_ue_noop() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
+        let cl = cluster(CollMode::Tree);
         cl.run(1, |k| {
             let mut comm = RcceComm::init(k);
             let va = k.kalloc_pages(1);
@@ -167,5 +291,29 @@ mod tests {
             assert_eq!(k.vread_f64(va), 42.0);
         })
         .unwrap();
+    }
+
+    #[test]
+    fn flat_and_tree_reductions_agree() {
+        // Same inputs through both shapes; sums of small integers are
+        // exact in f64, so the agreement is bit-exact here even though
+        // the fold orders differ.
+        let run = |mode: CollMode| -> Vec<u64> {
+            let cl = cluster(mode);
+            cl.run(9, |k| {
+                let mut comm = RcceComm::init(k);
+                let va = k.kalloc_pages(1);
+                for i in 0..4u32 {
+                    k.vwrite_f64(va + i * 8, (comm.ue() as f64) * 3.0 + i as f64);
+                }
+                allreduce_f64(k, &mut comm, va, 4, ReduceOp::Sum);
+                (0..4u32).map(|i| k.vread_f64(va + i * 8).to_bits()).collect::<Vec<u64>>()
+            })
+            .unwrap()
+            .into_iter()
+            .flat_map(|r| r.result)
+            .collect()
+        };
+        assert_eq!(run(CollMode::Flat), run(CollMode::Tree));
     }
 }

@@ -31,6 +31,10 @@ pub struct RcceComm {
     pub(crate) recv_acked: Vec<u32>,
     barrier_epoch: u32,
     user_next: u32,
+    /// Cached collective trees, one per root UE. A [`scc_hw::CollTree`] is
+    /// a pure function of the topology and the participant list, so every
+    /// UE's lazily built cache agrees without communication.
+    coll_trees: std::collections::HashMap<usize, Arc<scc_hw::CollTree>>,
 }
 
 impl RcceComm {
@@ -64,7 +68,20 @@ impl RcceComm {
             send_seq: 0,
             barrier_epoch: 0,
             user_next: layout.user_off,
+            coll_trees: std::collections::HashMap::new(),
         }
+    }
+
+    /// The topology-aware collective tree rooted at UE `root` (DESIGN.md
+    /// §12), built on first use and cached. Tree ranks are UE numbers.
+    pub(crate) fn coll_tree(&mut self, k: &Kernel<'_>, root: usize) -> Arc<scc_hw::CollTree> {
+        if let Some(t) = self.coll_trees.get(&root) {
+            return Arc::clone(t);
+        }
+        let topo = k.hw.machine().cfg.topo;
+        let t = Arc::new(scc_hw::CollTree::build(&topo, &self.ues, root));
+        self.coll_trees.insert(root, Arc::clone(&t));
+        t
     }
 
     /// The machine's MPB layout.

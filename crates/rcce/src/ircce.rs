@@ -206,13 +206,18 @@ impl IrecvReq {
     }
 }
 
+/// Pack the chunk's destination UE and byte length into the SENT flag's
+/// 32-bit aux word. 16 bits each: the chunk length is bounded by the MPB
+/// chunk buffer (< 8 KiB), and 16 bits of UE covers far beyond the
+/// 512-core meshes. (An 8-bit dst field would alias UEs ≥ 256.)
 fn pack_dst_len(dst: usize, len: u32) -> u32 {
-    debug_assert!(len <= 0xff_ffff);
-    ((dst as u32) << 24) | len
+    debug_assert!(dst <= 0xffff, "destination UE {dst} does not fit the aux word");
+    debug_assert!(len <= 0xffff, "chunk length {len} does not fit the aux word");
+    ((dst as u32) << 16) | len
 }
 
 fn unpack_dst_len(aux: u32) -> (usize, u32) {
-    ((aux >> 24) as usize, aux & 0xff_ffff)
+    ((aux >> 16) as usize, aux & 0xffff)
 }
 
 /// Drive all requests to completion, blocking responsively in between.
@@ -272,5 +277,22 @@ pub fn wait_all(
             }
             None
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: the aux word once held only 8 bits of destination UE,
+    /// which aliased UEs ≥ 256 on the 512-core mesh and deadlocked any
+    /// flat collective whose root addressed the upper half of the die.
+    #[test]
+    fn aux_word_roundtrips_high_ues() {
+        for dst in [0usize, 1, 255, 256, 511, 0xffff] {
+            for len in [0u32, 1, 31, 4224, 0xffff] {
+                assert_eq!(unpack_dst_len(pack_dst_len(dst, len)), (dst, len));
+            }
+        }
     }
 }

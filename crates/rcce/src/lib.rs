@@ -21,7 +21,8 @@
 //! 1600 .. 1664 : ready flags: (seq, stamp) acknowledgement by the receiver
 //! 1664 .. 1920 : 8 dissemination-barrier flag lines (one per round)
 //! 1920 .. 2432 : user region served by `RcceComm::mpb_alloc` (RCCE_malloc)
-//! 2432 .. 7168 : the pipeline chunk buffer (4736 B) for send/recv
+//! 2432 .. 6656 : the pipeline chunk buffer (4224 B) for send/recv
+//! 6656 .. 7168 : collective-tree flag lines (crate `scc-hw`, DESIGN.md §12)
 //! 7168 .. 8192 : SVM first-touch scratch pad (crate `metalsvm`)
 //! ```
 //!
@@ -61,9 +62,11 @@ pub struct MpbLayout {
     pub user_bytes: u32,
     /// Pipeline chunk buffer for send/recv.
     pub chunk_off: u32,
-    /// First byte past the chunk buffer: the top 1 KiB of each MPB stays
-    /// reserved for the SVM first-touch scratch pad (crate `metalsvm`),
-    /// which coexists with RCCE exactly as in MetalSVM.
+    /// First byte past the chunk buffer: above it sit the collective-tree
+    /// flag lines (`scc_hw::config::MPB_COLL_OFF`, used by the kernel's
+    /// MPB-tree barrier) and then the top 1 KiB reserved for the SVM
+    /// first-touch scratch pad (crate `metalsvm`), which coexists with
+    /// RCCE exactly as in MetalSVM.
     pub chunk_end: u32,
 }
 
@@ -85,7 +88,7 @@ impl MpbLayout {
         let user_off = barrier_off + barrier_rounds * 32;
         let user_bytes = 512;
         let chunk_off = user_off + user_bytes;
-        let chunk_end = scc_hw::config::MPB_BYTES as u32 - 1024;
+        let chunk_end = scc_hw::config::MPB_COLL_OFF as u32;
         assert!(
             chunk_off + 1024 <= chunk_end,
             "MPB layout for {cores} cores leaves no useful chunk buffer \
@@ -125,8 +128,8 @@ mod tests {
         assert_eq!(l.barrier_rounds, 8);
         assert_eq!(l.user_off, 1920);
         assert_eq!(l.chunk_off, 2432);
-        assert_eq!(l.chunk_end, 7168);
-        assert_eq!(l.chunk_bytes(), 4736);
+        assert_eq!(l.chunk_end, 6656);
+        assert_eq!(l.chunk_bytes(), 4224);
     }
 
     #[test]
@@ -140,6 +143,6 @@ mod tests {
         let l = MpbLayout::for_cores(512);
         assert_eq!(l.rcce_off, 0);
         assert_eq!(l.barrier_rounds, 9);
-        assert!(l.chunk_bytes() > 4736);
+        assert!(l.chunk_bytes() > 4224);
     }
 }

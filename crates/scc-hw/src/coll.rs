@@ -1,0 +1,436 @@
+//! Topology-aware collective fan-in tree (DESIGN.md §12).
+//!
+//! A [`CollTree`] is the pure-data shape shared by every hierarchical
+//! collective in the stack: the kernel's MPB-tree barrier
+//! (`scc_kernel::collective`) and RCCE's log-depth bcast/reduce
+//! (`rcce::coll`). It is derived from the [`Topology`] so that every edge
+//! is as cheap as the mesh allows:
+//!
+//! 1. **Tile level** — cores combine within their tile (zero mesh hops:
+//!    tile-mates share the same MPB router port).
+//! 2. **Quadrant level** — tile leaders combine within their memory
+//!    controller's region (`nearest_mc`), led by the tile leader closest
+//!    to the controller's attach point; edges are sorted
+//!    nearest-neighbour-first so fan-in traffic stays inside the
+//!    quadrant.
+//! 3. **Root level** — quadrant leaders meet at the root rank.
+//!
+//! Each grouping level is laid out as a heap-shaped tree of fan-out
+//! [`FAN`], so no level hands a node more than `FAN` children and the
+//! total over all three levels stays within [`MAX_CHILDREN`] — one MPB
+//! flag line per child plus one release line fits the 512-byte collective
+//! region ([`MPB_COLL_BYTES`](crate::config::MPB_COLL_BYTES)) every core
+//! reserves below its kernel scratchpad.
+//!
+//! Construction is a pure function of `(topology, participant list, root
+//! rank)` — rank order breaks every tie — so all participants build
+//! bit-identical trees independently, with no bootstrap communication.
+
+use crate::config::{LINE_BYTES, MPB_COLL_BYTES, MPB_COLL_OFF};
+use crate::topology::{CoreId, TileCoord, Topology};
+
+/// Fan-out of the heap layout at each grouping level. Four keeps any
+/// node's per-level fan-in a single MPB line burst while holding the
+/// within-level depth of a 64-tile quadrant at three.
+pub const FAN: usize = 4;
+
+/// Hard ceiling on the number of children any node may own across all
+/// levels: the collective MPB region holds one 32-byte arrival line per
+/// child plus one release line. The heap layout guarantees at most
+/// `3 * FAN = 12`, comfortably inside.
+pub const MAX_CHILDREN: usize = MPB_COLL_BYTES / LINE_BYTES - 1;
+
+/// Which grouping level a rank's edge to its parent belongs to (the
+/// instrumentation counters split arrivals/releases by this).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CollLevel {
+    /// Within one tile (zero hops).
+    Tile,
+    /// Tile leaders within one memory controller's region.
+    Quad,
+    /// Quadrant leaders meeting at the root rank.
+    Root,
+}
+
+impl CollLevel {
+    /// Metric-label suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollLevel::Tile => "tile",
+            CollLevel::Quad => "quad",
+            CollLevel::Root => "root",
+        }
+    }
+}
+
+/// The fan-in tree over one participant list. Indices everywhere are
+/// *ranks* — positions in the participant list — not core ids.
+#[derive(Clone, Debug)]
+pub struct CollTree {
+    cores: Vec<CoreId>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    child_slot: Vec<usize>,
+    level: Vec<CollLevel>,
+    parent_hops: Vec<u32>,
+    root: usize,
+    depth: u32,
+}
+
+impl CollTree {
+    /// Build the tree for `cores` rooted at rank `root`. Deterministic:
+    /// every participant calling with the same arguments constructs the
+    /// same tree. Panics on an empty list or an out-of-range root — both
+    /// are caller bugs, not runtime conditions.
+    pub fn build(topo: &Topology, cores: &[CoreId], root: usize) -> CollTree {
+        assert!(!cores.is_empty(), "collective tree over no participants");
+        assert!(root < cores.len(), "root rank {root} out of range");
+        let n = cores.len();
+        let mut t = CollTree {
+            cores: cores.to_vec(),
+            parent: vec![None; n],
+            children: vec![Vec::new(); n],
+            child_slot: vec![0; n],
+            level: vec![CollLevel::Root; n],
+            parent_hops: vec![0; n],
+            root,
+            depth: 0,
+        };
+
+        // Tile level: group ranks by tile (first-seen order; rank order
+        // within a group). The lowest rank leads its tile — except the
+        // root's tile, which the root leads so that bcast/reduce can be
+        // rooted at any rank without an extra relay.
+        let mut tiles: Vec<(TileCoord, Vec<usize>)> = Vec::new();
+        for (r, &core) in cores.iter().enumerate() {
+            let at = topo.tile_of(core);
+            match tiles.iter_mut().find(|(c, _)| *c == at) {
+                Some((_, members)) => members.push(r),
+                None => tiles.push((at, vec![r])),
+            }
+        }
+        let mut leaders = Vec::with_capacity(tiles.len());
+        for (_, members) in &tiles {
+            let lead = if members.contains(&root) { root } else { members[0] };
+            let mut seq = vec![lead];
+            seq.extend(members.iter().copied().filter(|&r| r != lead));
+            t.attach(topo, &seq, CollLevel::Tile);
+            leaders.push(lead);
+        }
+
+        // Quadrant level: group tile leaders by their nearest memory
+        // controller. The leader closest to the controller's attach point
+        // leads the quadrant (rank breaks ties); the rest fan in sorted
+        // nearest-first so upper heap positions go to close neighbours.
+        let mut quads: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &lead in &leaders {
+            let mc = topo.nearest_mc(cores[lead]);
+            match quads.iter_mut().find(|(m, _)| *m == mc) {
+                Some((_, leads)) => leads.push(lead),
+                None => quads.push((mc, vec![lead])),
+            }
+        }
+        let mut qleaders = Vec::with_capacity(quads.len());
+        for (mc, leads) in &quads {
+            let qlead = if leads.contains(&root) {
+                root
+            } else {
+                *leads
+                    .iter()
+                    .min_by_key(|&&r| (topo.hops_to_mc(cores[r], *mc), r))
+                    .expect("non-empty quadrant")
+            };
+            let mut seq = vec![qlead];
+            let mut rest: Vec<usize> =
+                leads.iter().copied().filter(|&r| r != qlead).collect();
+            rest.sort_by_key(|&r| (topo.hops(cores[r], cores[qlead]), r));
+            seq.extend(rest);
+            t.attach(topo, &seq, CollLevel::Quad);
+            qleaders.push(qlead);
+        }
+
+        // Root level: quadrant leaders meet at the root.
+        let mut seq = vec![root];
+        let mut rest: Vec<usize> =
+            qleaders.iter().copied().filter(|&r| r != root).collect();
+        rest.sort_by_key(|&r| (topo.hops(cores[r], cores[root]), r));
+        seq.extend(rest);
+        t.attach(topo, &seq, CollLevel::Root);
+
+        // Every rank must reach the root; record the tree depth.
+        for r in 0..n {
+            let mut d = 0u32;
+            let mut cur = r;
+            while let Some(p) = t.parent[cur] {
+                d += 1;
+                cur = p;
+                assert!(d as usize <= n, "cycle in collective tree");
+            }
+            assert_eq!(cur, root, "rank {r} does not reach the root");
+            t.depth = t.depth.max(d);
+        }
+        t
+    }
+
+    /// Lay one grouping level out as a heap: `seq[0]` is the level
+    /// leader and `seq[i]` (i ≥ 1) attaches under `seq[(i-1)/FAN]`.
+    fn attach(&mut self, topo: &Topology, seq: &[usize], level: CollLevel) {
+        for i in 1..seq.len() {
+            let child = seq[i];
+            let parent = seq[(i - 1) / FAN];
+            debug_assert!(self.parent[child].is_none(), "rank attached twice");
+            self.parent[child] = Some(parent);
+            self.level[child] = level;
+            self.parent_hops[child] = topo.hops(self.cores[child], self.cores[parent]);
+            self.child_slot[child] = self.children[parent].len();
+            self.children[parent].push(child);
+            assert!(
+                self.children[parent].len() <= MAX_CHILDREN,
+                "collective fan-in overflow: rank {parent} would own {} children",
+                self.children[parent].len()
+            );
+        }
+    }
+
+    /// Number of participants.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The root rank.
+    #[inline]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The core a rank runs on.
+    #[inline]
+    pub fn core(&self, rank: usize) -> CoreId {
+        self.cores[rank]
+    }
+
+    /// A rank's parent rank (`None` for the root).
+    #[inline]
+    pub fn parent(&self, rank: usize) -> Option<usize> {
+        self.parent[rank]
+    }
+
+    /// A rank's children, in deterministic wait order.
+    #[inline]
+    pub fn children(&self, rank: usize) -> &[usize] {
+        &self.children[rank]
+    }
+
+    /// The arrival-line slot this rank writes in its parent's MPB
+    /// (meaningless for the root, which has no parent).
+    #[inline]
+    pub fn child_slot(&self, rank: usize) -> usize {
+        self.child_slot[rank]
+    }
+
+    /// The grouping level of a rank's edge to its parent.
+    #[inline]
+    pub fn level(&self, rank: usize) -> CollLevel {
+        self.level[rank]
+    }
+
+    /// Mesh hops between a rank and its parent (0 for the root).
+    #[inline]
+    pub fn parent_hops(&self, rank: usize) -> u32 {
+        self.parent_hops[rank]
+    }
+
+    /// The longest rank→root path, in edges.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// MPB offset of the arrival line a child at `slot` writes in its
+    /// parent's collective region.
+    #[inline]
+    pub fn arrival_off(slot: usize) -> usize {
+        assert!(slot < MAX_CHILDREN);
+        MPB_COLL_OFF + slot * LINE_BYTES
+    }
+
+    /// MPB offset of the release line a parent writes in each child's
+    /// collective region (the sixteenth and last line).
+    #[inline]
+    pub fn release_off() -> usize {
+        MPB_COLL_OFF + MAX_CHILDREN * LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_cores(topo: &Topology) -> Vec<CoreId> {
+        topo.cores().collect()
+    }
+
+    fn presets() -> [Topology; 4] {
+        [
+            Topology::scc48(),
+            Topology::mesh8x8(),
+            Topology::mesh16x16(),
+            Topology::mesh16x32(),
+        ]
+    }
+
+    #[test]
+    fn every_rank_reaches_root_and_slots_are_unique() {
+        for topo in presets() {
+            let cores = all_cores(&topo);
+            let t = CollTree::build(&topo, &cores, 0);
+            assert_eq!(t.nranks(), cores.len());
+            let mut child_count = 0;
+            for r in 0..t.nranks() {
+                assert!(t.children(r).len() <= MAX_CHILDREN);
+                // Children's slots are their positions in the child list.
+                for (slot, &c) in t.children(r).iter().enumerate() {
+                    assert_eq!(t.parent(c), Some(r));
+                    assert_eq!(t.child_slot(c), slot);
+                    child_count += 1;
+                }
+            }
+            // n-1 edges: a tree.
+            assert_eq!(child_count, t.nranks() - 1);
+            assert_eq!(t.parent(t.root()), None);
+        }
+    }
+
+    #[test]
+    fn tile_edges_have_zero_hops() {
+        for topo in presets() {
+            let cores = all_cores(&topo);
+            let t = CollTree::build(&topo, &cores, 0);
+            for r in 0..t.nranks() {
+                if t.parent(r).is_some() && t.level(r) == CollLevel::Tile {
+                    assert_eq!(
+                        t.parent_hops(r),
+                        0,
+                        "tile-level edge of rank {r} leaves its tile"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quad_edges_stay_in_their_quadrant() {
+        for topo in presets() {
+            let cores = all_cores(&topo);
+            let t = CollTree::build(&topo, &cores, 0);
+            for r in 0..t.nranks() {
+                if let Some(p) = t.parent(r) {
+                    if t.level(r) == CollLevel::Quad {
+                        assert_eq!(
+                            topo.nearest_mc(t.core(r)),
+                            topo.nearest_mc(t.core(p)),
+                            "quad-level edge {r}->{p} crosses quadrants"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic_not_linear() {
+        // The point of the tree: 512 cores in a handful of levels, where
+        // the flat rendezvous takes 511 sequential off-die round trips.
+        let topo = Topology::mesh16x32();
+        let t = CollTree::build(&topo, &all_cores(&topo), 0);
+        assert!(t.depth() >= 2);
+        assert!(
+            t.depth() <= 8,
+            "512-core tree depth {} is not logarithmic",
+            t.depth()
+        );
+        let scc = Topology::scc48();
+        let t48 = CollTree::build(&scc, &all_cores(&scc), 0);
+        assert!(t48.depth() <= 6, "48-core depth {}", t48.depth());
+    }
+
+    #[test]
+    fn rooting_at_any_rank_keeps_the_root_parentless() {
+        let topo = Topology::scc48();
+        let cores = all_cores(&topo);
+        for root in [0usize, 1, 17, 30, 47] {
+            let t = CollTree::build(&topo, &cores, root);
+            assert_eq!(t.root(), root);
+            assert_eq!(t.parent(root), None);
+            // The root leads its tile and quadrant: no Tile/Quad-level
+            // edge points *from* the root upward (it has none), and every
+            // rank still reaches it.
+            for r in 0..t.nranks() {
+                let mut cur = r;
+                while let Some(p) = t.parent(cur) {
+                    cur = p;
+                }
+                assert_eq!(cur, root);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_participant_subsets_build() {
+        // Cluster::run_on boots arbitrary core subsets; the tree must not
+        // assume dense rank→core numbering.
+        let topo = Topology::scc48();
+        let cores = vec![
+            CoreId::new(30),
+            CoreId::new(0),
+            CoreId::new(47),
+            CoreId::new(1),
+            CoreId::new(31),
+        ];
+        for root in 0..cores.len() {
+            let t = CollTree::build(&topo, &cores, root);
+            assert_eq!(t.nranks(), 5);
+            let edges: usize = (0..5).map(|r| t.children(r).len()).sum();
+            assert_eq!(edges, 4);
+            // Cores 30 and 31 share a tile; their edge (whoever is the
+            // child) must be tile-level.
+            for (a, b) in [(0usize, 4usize), (4, 0)] {
+                if t.parent(a) == Some(b) {
+                    assert_eq!(t.level(a), CollLevel::Tile);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_tree_is_just_the_root() {
+        let topo = Topology::scc48();
+        let t = CollTree::build(&topo, &[CoreId::new(7)], 0);
+        assert_eq!(t.nranks(), 1);
+        assert_eq!(t.depth(), 0);
+        assert!(t.children(0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let topo = Topology::mesh8x8();
+        let cores = all_cores(&topo);
+        let a = CollTree::build(&topo, &cores, 3);
+        let b = CollTree::build(&topo, &cores, 3);
+        for r in 0..a.nranks() {
+            assert_eq!(a.parent(r), b.parent(r));
+            assert_eq!(a.children(r), b.children(r));
+            assert_eq!(a.child_slot(r), b.child_slot(r));
+        }
+    }
+
+    #[test]
+    fn line_offsets_fit_the_region() {
+        use crate::config::{MPB_BYTES, MPB_COLL_OFF};
+        assert_eq!(CollTree::arrival_off(0), MPB_COLL_OFF);
+        let last = CollTree::arrival_off(MAX_CHILDREN - 1);
+        assert!(last < CollTree::release_off());
+        assert_eq!(CollTree::release_off() + LINE_BYTES, MPB_BYTES - 1024);
+    }
+}

@@ -14,6 +14,61 @@ pub const PAGE_BYTES: usize = 4096;
 /// Size of one core's message-passing buffer in bytes.
 pub const MPB_BYTES: usize = 8192;
 
+/// Bytes of each core's MPB reserved for the kernel's hierarchical
+/// collective engine (DESIGN.md §12): sixteen 32-byte flag lines — up to
+/// fifteen per-child arrival slots plus one release line — used by the
+/// MPB-tree barrier. Carved out of the top of the buffer, directly below
+/// the 1 KiB kernel scratchpad that occupies the final kibibyte.
+pub const MPB_COLL_BYTES: usize = 512;
+
+/// Offset of the collective region inside each core's MPB (the kernel
+/// scratchpad keeps the top 1 KiB; the collective lines sit just below).
+pub const MPB_COLL_OFF: usize = MPB_BYTES - 1024 - MPB_COLL_BYTES;
+
+/// Which algorithm the kernel-level collectives (and RCCE's `coll`
+/// module) run. Selected per [`SccConfig`]; the `SCC_COLL` environment
+/// variable (`flat` or `tree`) overrides the default for a whole run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollMode {
+    /// The original flat rendezvous: every `ram_barrier` participant
+    /// serialises on one off-die RAM word behind a TAS register, and
+    /// RCCE's bcast/reduce are the linear root-loops of the original
+    /// library. O(n) off-die round trips per collective — kept as the
+    /// reference oracle and for the flat-vs-tree benchmark curves.
+    Flat,
+    /// Topology-aware hierarchical collectives (DESIGN.md §12): barriers
+    /// combine over a fan-in tree of on-die MPB flag lines derived from
+    /// the mesh shape (cores within a tile, tile leaders within their
+    /// memory-controller quadrant, quadrant leaders at the root — off-die
+    /// RAM is touched by the root only), and RCCE's bcast/reduce walk the
+    /// same tree in log depth. The default.
+    Tree,
+}
+
+impl CollMode {
+    /// Parse a `SCC_COLL` value.
+    pub fn from_name(name: &str) -> Option<CollMode> {
+        match name {
+            "flat" => Some(CollMode::Flat),
+            "tree" => Some(CollMode::Tree),
+            _ => None,
+        }
+    }
+
+    /// The mode named by the `SCC_COLL` environment variable, or `Tree`
+    /// when unset. Panics on an invalid value — a misconfigured
+    /// environment should fail loudly, not silently run the wrong
+    /// algorithm.
+    pub fn from_env_or_tree() -> CollMode {
+        match std::env::var("SCC_COLL") {
+            Ok(spec) => CollMode::from_name(&spec).unwrap_or_else(|| {
+                panic!("SCC_COLL: expected \"flat\" or \"tree\", got {spec:?}")
+            }),
+            Err(_) => CollMode::Tree,
+        }
+    }
+}
+
 /// Geometry of one cache level.
 #[derive(Copy, Clone, Debug, Serialize, Deserialize)]
 pub struct CacheGeom {
@@ -147,6 +202,11 @@ pub struct SccConfig {
     /// a non-empty plan requires the serial engine and switches the
     /// mailbox into its resilient (retry/backoff) mode.
     pub faults: FaultPlan,
+    /// Collective algorithm: hierarchical MPB-tree (`Tree`, the default)
+    /// or the original flat off-die rendezvous (`Flat`). Defaults to the
+    /// mode named by the `SCC_COLL` environment variable, `Tree` when
+    /// unset.
+    pub coll: CollMode,
 }
 
 impl Default for SccConfig {
@@ -182,6 +242,7 @@ impl SccConfig {
             trace: TraceConfig::default(),
             sched: SchedPolicy::Baton,
             faults: FaultPlan::default(),
+            coll: CollMode::from_env_or_tree(),
         }
     }
 
@@ -256,11 +317,29 @@ mod tests {
         for t in [
             Topology::scc48(),
             Topology::mesh8x8(),
+            Topology::mesh16x16(),
             Topology::mesh16x32(),
         ] {
             SccConfig::default_with(t).validate().unwrap();
             SccConfig::small_with(t).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn coll_mode_names() {
+        assert_eq!(CollMode::from_name("flat"), Some(CollMode::Flat));
+        assert_eq!(CollMode::from_name("tree"), Some(CollMode::Tree));
+        assert_eq!(CollMode::from_name("linear"), None);
+        assert_eq!(CollMode::from_name(""), None);
+    }
+
+    #[test]
+    fn coll_region_sits_below_the_scratchpad() {
+        // 16 flag lines between the RCCE chunk region and the kernel
+        // scratchpad KiB at the top of the 8 KiB buffer.
+        assert_eq!(MPB_COLL_BYTES / LINE_BYTES, 16);
+        assert_eq!(MPB_COLL_OFF, 6656);
+        assert_eq!(MPB_COLL_OFF + MPB_COLL_BYTES + 1024, MPB_BYTES);
     }
 
     #[test]

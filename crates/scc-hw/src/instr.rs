@@ -137,11 +137,18 @@ pub enum EventKind {
     /// `FrameOwners` advisory registry update (`a` = frame,
     /// `b` = new owner core, or `u32::MAX` on release).
     FrameOwner = 35,
+    /// MPB-tree collective: a child's arrival flag was observed by its
+    /// parent (`a` = child core, `b` = barrier epoch, `c` = tree level:
+    /// 0 tile, 1 quad, 2 root).
+    CollArrive = 36,
+    /// MPB-tree collective: a parent released a child (`a` = child core,
+    /// `b` = barrier epoch, `c` = tree level as in `CollArrive`).
+    CollRelease = 37,
 }
 
 /// All kinds, in discriminant order (kept in sync with the enum; the unit
 /// tests assert the mapping).
-pub const ALL_KINDS: [EventKind; 36] = [
+pub const ALL_KINDS: [EventKind; 38] = [
     EventKind::PageFault,
     EventKind::OwnRequest,
     EventKind::OwnForward,
@@ -178,6 +185,8 @@ pub const ALL_KINDS: [EventKind; 36] = [
     EventKind::SyncErr,
     EventKind::RegionAlloc,
     EventKind::FrameOwner,
+    EventKind::CollArrive,
+    EventKind::CollRelease,
 ];
 
 impl EventKind {
@@ -220,6 +229,8 @@ impl EventKind {
             EventKind::SyncErr => "sync_err",
             EventKind::RegionAlloc => "region_alloc",
             EventKind::FrameOwner => "frame_owner",
+            EventKind::CollArrive => "coll_arrive",
+            EventKind::CollRelease => "coll_release",
         }
     }
 
@@ -248,7 +259,9 @@ impl EventKind {
             | EventKind::Barrier
             | EventKind::LockAcquire
             | EventKind::LockRelease
-            | EventKind::SyncErr => "sync",
+            | EventKind::SyncErr
+            | EventKind::CollArrive
+            | EventKind::CollRelease => "sync",
             EventKind::TlbHit | EventKind::TlbMiss | EventKind::TlbShootdown => "tlb",
             EventKind::BlockEnter | EventKind::BlockExit => "exec",
             EventKind::SvmRead | EventKind::SvmWrite | EventKind::RegionAlloc => "svm",
@@ -295,6 +308,8 @@ impl EventKind {
             EventKind::SyncErr => ("reg", "code", ""),
             EventKind::RegionAlloc => ("page", "pages", "model"),
             EventKind::FrameOwner => ("frame", "owner", ""),
+            EventKind::CollArrive => ("child", "epoch", "level"),
+            EventKind::CollRelease => ("child", "epoch", "level"),
         }
     }
 

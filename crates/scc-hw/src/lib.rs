@@ -45,6 +45,7 @@
 //! a large host without touching any protocol code.
 
 pub mod cache;
+pub mod coll;
 pub mod config;
 pub mod core;
 pub mod error;
@@ -64,7 +65,8 @@ pub mod timing;
 pub mod topology;
 
 pub use crate::core::{CoreCtx, MemAttr};
-pub use config::{HostFastPaths, SccConfig};
+pub use coll::{CollLevel, CollTree};
+pub use config::{CollMode, HostFastPaths, SccConfig};
 pub use error::HwError;
 pub use exec::SchedPolicy;
 pub use faults::{Fault, FaultPlan};

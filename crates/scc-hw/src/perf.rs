@@ -101,6 +101,24 @@ counters! {
         par_epoch_len_16_63 => "exec.par.epoch_len.16_63",
         /// Epochs of 64 or more demoted ops.
         par_epoch_len_64 => "exec.par.epoch_len.64_plus",
+        /// MPB-tree barriers this core completed (DESIGN.md §12).
+        coll_barriers => "kernel.coll.barriers",
+        /// Child arrival flags observed over tile-level tree edges.
+        coll_arrive_tile => "kernel.coll.arrive.tile",
+        /// Child arrival flags observed over quadrant-level tree edges.
+        coll_arrive_quad => "kernel.coll.arrive.quad",
+        /// Child arrival flags observed over root-level tree edges.
+        coll_arrive_root => "kernel.coll.arrive.root",
+        /// Release flags written to children over tile-level edges.
+        coll_release_tile => "kernel.coll.release.tile",
+        /// Release flags written to children over quadrant-level edges.
+        coll_release_quad => "kernel.coll.release.quad",
+        /// Release flags written to children over root-level edges.
+        coll_release_root => "kernel.coll.release.root",
+        /// Mesh hops traversed by this core's own collective flag
+        /// traffic (arrival to its parent plus releases to its
+        /// children), summed over completed barriers.
+        coll_hops => "kernel.coll.hops",
     }
 }
 
@@ -156,7 +174,8 @@ mod tests {
         assert_eq!(m.get("kernel.tlb_hits"), 5);
         assert_eq!(m.get("exec.fast_yields"), 2);
         // One label per field.
-        assert_eq!(m.len(), 34);
+        assert_eq!(m.len(), 42);
         assert_eq!(m.get("exec.par.windows"), 0);
+        assert_eq!(m.get("kernel.coll.barriers"), 0);
     }
 }

@@ -141,7 +141,7 @@ impl fmt::Display for TopologyError {
             TopologyError::BadSpec { spec } => write!(
                 f,
                 "bad topology spec {spec:?}: expected a preset (scc48, mesh8x8, \
-                 mesh16x32) or WxHxC:M (e.g. 8x8x1:4)"
+                 mesh16x16, mesh16x32) or WxHxC:M (e.g. 8x8x1:4)"
             ),
         }
     }
@@ -195,6 +195,18 @@ impl Topology {
         }
     }
 
+    /// A square 16×16 mesh with one core per tile: 256 cores, eight
+    /// controllers — the midpoint between `mesh8x8` and `mesh16x32` on the
+    /// scaling curves (BENCH_scale.json records this shape).
+    pub fn mesh16x16() -> Topology {
+        Topology {
+            mesh_x: 16,
+            mesh_y: 16,
+            cores_per_tile: 1,
+            num_mcs: 8,
+        }
+    }
+
     /// A 16×32 mesh with one core per tile: 512 cores, eight controllers —
     /// the DiSquawk scale.
     pub fn mesh16x32() -> Topology {
@@ -211,6 +223,7 @@ impl Topology {
         match name {
             "scc48" => Some(Topology::scc48()),
             "mesh8x8" => Some(Topology::mesh8x8()),
+            "mesh16x16" => Some(Topology::mesh16x16()),
             "mesh16x32" => Some(Topology::mesh16x32()),
             _ => None,
         }
@@ -544,7 +557,12 @@ mod tests {
 
     #[test]
     fn nearest_mc_is_actually_nearest_on_every_preset() {
-        for t in [scc48(), Topology::mesh8x8(), Topology::mesh16x32()] {
+        for t in [
+            scc48(),
+            Topology::mesh8x8(),
+            Topology::mesh16x16(),
+            Topology::mesh16x32(),
+        ] {
             for c in t.cores() {
                 let near = t.hops_to_mc(c, t.nearest_mc(c));
                 for mc in 0..t.num_mcs() {
@@ -563,6 +581,8 @@ mod tests {
     fn presets_have_expected_sizes() {
         assert_eq!(scc48().num_cores(), 48);
         assert_eq!(Topology::mesh8x8().num_cores(), 128);
+        assert_eq!(Topology::mesh16x16().num_cores(), 256);
+        assert_eq!(Topology::mesh16x16().num_mcs(), 8);
         assert_eq!(Topology::mesh16x32().num_cores(), 512);
         assert_eq!(Topology::mesh16x32().num_mcs(), 8);
     }
@@ -602,6 +622,12 @@ mod tests {
     #[test]
     fn spec_parsing() {
         assert_eq!(Topology::from_spec("scc48").unwrap(), scc48());
+        // The named preset and the raw spec string are the same shape —
+        // BENCH_scale.json used to reach this one via "16x16x1:8" only.
+        assert_eq!(
+            Topology::from_spec("mesh16x16").unwrap(),
+            Topology::from_spec("16x16x1:8").unwrap()
+        );
         assert_eq!(
             Topology::from_spec("8x8x1:4").unwrap(),
             Topology::builder()

@@ -150,6 +150,18 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Kernel<'_>) -> R + Send + Sync,
     {
+        // Host-clear each participant's collective MPB region before any
+        // core runs: the tree barrier's arrival/release flags are epoch
+        // counters starting from zero, and a previous `run_on` on this
+        // machine may have left higher values behind. Clearing from a
+        // kernel would race an early-arriving tree child; clearing here is
+        // deterministic (no simulated core has executed yet).
+        for c in cores {
+            let base = scc_hw::mpb::MpbArray::pa(*c, scc_hw::config::MPB_COLL_OFF);
+            for w in 0..(scc_hw::config::MPB_COLL_BYTES as u32 / 4) {
+                self.machine.inner().mpb.write(base + w * 4, 4, 0);
+            }
+        }
         let participants = Arc::new(cores.to_vec());
         let shared = Arc::clone(&self.shared);
         let n = cores.len();

@@ -1,23 +1,56 @@
-//! Kernel-level collective primitives over uncached shared memory.
+//! Kernel-level collective primitives.
 //!
 //! The RCCE library and the SVM system both need a bootstrap barrier that
-//! works before their own (MPB-based) machinery is initialised. This one
-//! uses a sense-reversing counter in the shared header, serialised by an
-//! SCC test-and-set register, and stays responsive to kernel work (a core
-//! waiting here still answers ownership requests).
+//! works before their own machinery is initialised, and every SVM app
+//! synchronises through it (`SvmCtx::barrier`). Two algorithms implement
+//! it, selected by [`CollMode`] on the machine configuration (`SCC_COLL`
+//! environment variable):
+//!
+//! * [`flat_ram_barrier`] — the original rendezvous: a sense-reversing
+//!   counter in off-die shared RAM, serialised by a test-and-set
+//!   register. Every participant takes an off-die round trip through one
+//!   word, so the cost grows linearly with the core count (BENCH_scale:
+//!   29 → 792 µs from 48 → 512 cores).
+//! * [`tree_ram_barrier`] — the default: participants combine over a
+//!   topology-derived fan-in tree ([`CollTree`], DESIGN.md §12) of on-die
+//!   MPB flag lines. Cores gather within their tile, tile leaders within
+//!   their memory-controller quadrant, quadrant leaders at the root; the
+//!   release retraces the tree downward. Off-die RAM is touched by the
+//!   root alone (one publication write per barrier), so the cost grows
+//!   with the tree depth — logarithmic, not linear.
+//!
+//! Both stay responsive to kernel work: a core waiting here still answers
+//! ownership requests and mailbox traffic through [`Kernel::wait_event`].
 
 use crate::kernel::Kernel;
-use scc_hw::MemAttr;
+use scc_hw::coll::{CollLevel, CollTree};
+use scc_hw::mpb::MpbArray;
+use scc_hw::{CollMode, CoreId, MemAttr};
+#[cfg(feature = "trace")]
+use scc_hw::EventKind;
+use std::sync::Arc;
 
 /// Barrier word layout: `count: u32, sense: u32, stamp: u64` (16 bytes).
+/// The tree path reuses the same shape as `epoch: u32, pad: u32,
+/// stamp: u64` for the root's publication word.
 const BARRIER_BYTES: u32 = 16;
 
-/// A sense-reversing barrier over all participants of the cluster run.
+/// A barrier over all participants of the cluster run.
 ///
 /// `name` selects the barrier instance; every participant must call with
-/// the same name. The test-and-set register of participant 0's core
-/// serialises the counter update.
+/// the same name, and all participants must pass their barriers in the
+/// same order (it is a barrier — anything else deadlocks by definition).
+/// Dispatches on the configured [`CollMode`].
 pub fn ram_barrier(k: &mut Kernel<'_>, name: &str) {
+    match k.hw.machine().cfg.coll {
+        CollMode::Flat => flat_ram_barrier(k, name),
+        CollMode::Tree => tree_ram_barrier(k, name),
+    }
+}
+
+/// The original flat sense-reversing barrier over one off-die word,
+/// serialised by the test-and-set register of participant 0's core.
+pub fn flat_ram_barrier(k: &mut Kernel<'_>, name: &str) {
     let n = k.nranks() as u64;
     if n == 1 {
         return;
@@ -60,16 +93,234 @@ pub fn ram_barrier(k: &mut Kernel<'_>, name: &str) {
     }
 }
 
+/// Per-core state of the tree barrier, kept as a kernel extension: the
+/// fan-in tree over this run's participants (every core builds the same
+/// one — construction is deterministic), the barrier epoch, and the
+/// root's off-die publication word.
+struct CollState {
+    tree: Arc<CollTree>,
+    epoch: u32,
+    /// RAM word the root publishes each completed epoch to (`epoch: u32,
+    /// pad: u32, stamp: u64`) — the only off-die touch of the tree path.
+    publish_pa: u32,
+}
+
+/// FNV-1a, for tagging arrival/release flags with the barrier name so a
+/// mismatched collective (cores passing differently-named barriers in
+/// different orders) trips an assertion instead of silently pairing up.
+fn name_tag(name: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in name.bytes() {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn coll_state(k: &mut Kernel<'_>) -> CollState {
+    if !k.ext_has::<CollState>() {
+        let topo = *k.hw.topo();
+        let tree = Arc::new(CollTree::build(&topo, k.participants(), 0));
+        // Key the publication word by the participant set so distinct
+        // `run_on` core sets on one machine get distinct words.
+        let mut set = 0u32;
+        for c in k.participants() {
+            set = (set ^ (c.idx() as u32 + 1)).wrapping_mul(0x0100_0193);
+        }
+        k.hw.host_order_point();
+        let publish_pa =
+            k.shared
+                .named_header(&format!("kcoll.{set:08x}"), BARRIER_BYTES, 32);
+        k.ext_put(CollState {
+            tree,
+            epoch: 0,
+            publish_pa,
+        });
+    }
+    k.ext_take::<CollState>()
+}
+
+/// Timed write of one collective flag line (`value: u32, aux: u32,
+/// stamp: u64`) in `owner`'s MPB. The line goes out in one WCB flush.
+fn write_coll_flag(k: &mut Kernel<'_>, owner: CoreId, off: usize, value: u32, aux: u32) {
+    let pa = MpbArray::pa(owner, off);
+    let now = k.hw.now();
+    k.hw.write(pa + 8, 8, now, MemAttr::MPB);
+    k.hw.write(pa + 4, 4, aux as u64, MemAttr::MPB);
+    k.hw.write(pa, 4, value as u64, MemAttr::MPB);
+    k.hw.flush_wcb();
+}
+
+/// Wait until the flag line at `off` in **my own** MPB reaches `epoch`,
+/// then read it through the cache path and return `(aux, stamp)`.
+///
+/// The line's single possible writer is `writer` (a tree neighbour), so
+/// the deciding raw peek demotes through the parallel engine's per-peer
+/// sequence check instead of a global order point — the same wiring the
+/// mailbox uses for its slot probes.
+fn wait_coll_flag(
+    k: &mut Kernel<'_>,
+    writer: CoreId,
+    off: usize,
+    epoch: u32,
+    reason: &'static str,
+) -> (u32, u64) {
+    let me = k.id();
+    let pa = MpbArray::pa(me, off);
+    let mach = Arc::clone(k.hw.machine());
+    // Cost of observing the flag in my own MPB (zero hops).
+    let cost = k.hw.machine().cfg.timing.mpb_cost(0);
+    k.hw.host_order_point_peer(writer);
+    if (mach.mpb.read(pa, 4) as u32) < epoch {
+        // Not yet arrived: park responsively. The blocking path
+        // synchronises with the election order on its own.
+        k.wait_event(reason, move || {
+            ((mach.mpb.read(pa, 4) as u32) >= epoch)
+                .then(|| ((), mach.mpb.read(pa + 8, 8) + cost))
+        });
+    } else {
+        let arrival = mach.mpb.read(pa + 8, 8) + cost;
+        k.hw.sync_to(arrival);
+    }
+    // Re-read through the cache path, fresh after CL1INVMB.
+    k.hw.cl1invmb();
+    let value = k.hw.read(pa, 4, MemAttr::MPB) as u32;
+    let aux = k.hw.read(pa + 4, 4, MemAttr::MPB) as u32;
+    let stamp = k.hw.read(pa + 8, 8, MemAttr::MPB);
+    debug_assert_eq!(value, epoch, "collective flag overtook the epoch");
+    (aux, stamp)
+}
+
+fn bump_arrive(k: &mut Kernel<'_>, level: CollLevel) {
+    let c = &mut k.hw.perf;
+    match level {
+        CollLevel::Tile => c.coll_arrive_tile += 1,
+        CollLevel::Quad => c.coll_arrive_quad += 1,
+        CollLevel::Root => c.coll_arrive_root += 1,
+    }
+}
+
+fn bump_release(k: &mut Kernel<'_>, level: CollLevel) {
+    let c = &mut k.hw.perf;
+    match level {
+        CollLevel::Tile => c.coll_release_tile += 1,
+        CollLevel::Quad => c.coll_release_quad += 1,
+        CollLevel::Root => c.coll_release_root += 1,
+    }
+}
+
+/// The MPB-tree barrier (DESIGN.md §12).
+///
+/// Per epoch, rank `r` with children `c₁..cₖ` (deterministic tree order):
+///
+/// 1. **Gather** — wait for each child's arrival line in `r`'s own MPB to
+///    reach the epoch (children write their parent's line `slot(cᵢ)`).
+/// 2. **Arrive** — a non-root writes the epoch into its own slot of its
+///    parent's MPB, then waits on its release line; the root instead
+///    publishes the completed epoch (plus its cycle stamp) to the off-die
+///    word — the barrier's only RAM access.
+/// 3. **Release** — after its own release arrives (root: immediately),
+///    `r` writes the epoch into each child's release line.
+///
+/// Epochs make every line reusable without resets; `Cluster::run_on`
+/// host-clears the collective region of each participant before the run,
+/// so a fresh participant set never observes a previous run's flags.
+pub fn tree_ram_barrier(k: &mut Kernel<'_>, name: &str) {
+    if k.nranks() == 1 {
+        return;
+    }
+    let mut st = coll_state(k);
+    st.epoch += 1;
+    let epoch = st.epoch;
+    let tree = Arc::clone(&st.tree);
+    let me = k.rank();
+    let tag = name_tag(name);
+
+    // Gather: children arrive in deterministic tree order. A later child
+    // arriving first simply parks its flag; nothing waits on us yet.
+    for &c in tree.children(me) {
+        let (aux, _) = wait_coll_flag(
+            k,
+            tree.core(c),
+            CollTree::arrival_off(tree.child_slot(c)),
+            epoch,
+            "tree barrier arrival",
+        );
+        assert_eq!(
+            aux,
+            tag,
+            "collective mismatch: rank {c} arrived at a differently-named \
+             barrier (epoch {epoch}, expected {name:?})"
+        );
+        #[cfg(feature = "trace")]
+        k.hw.trace3(
+            EventKind::CollArrive,
+            tree.core(c).idx() as u32,
+            epoch,
+            tree.level(c) as u32,
+        );
+        bump_arrive(k, tree.level(c));
+    }
+
+    if let Some(p) = tree.parent(me) {
+        // Arrive at the parent, then wait for the downward release.
+        write_coll_flag(
+            k,
+            tree.core(p),
+            CollTree::arrival_off(tree.child_slot(me)),
+            epoch,
+            tag,
+        );
+        k.hw.perf.coll_hops += tree.parent_hops(me) as u64;
+        let (aux, _) = wait_coll_flag(
+            k,
+            tree.core(p),
+            CollTree::release_off(),
+            epoch,
+            "tree barrier release",
+        );
+        assert_eq!(aux, tag, "collective mismatch on release (epoch {epoch})");
+    } else {
+        // Root: every rank has arrived (transitively). Publish the epoch
+        // and its stamp to the off-die word — the tree barrier's single
+        // RAM touch, and the progress record tools can read back.
+        k.hw.write(st.publish_pa, 4, epoch as u64, MemAttr::UNCACHED);
+        let now = k.hw.now();
+        k.hw.write(st.publish_pa + 8, 8, now, MemAttr::UNCACHED);
+    }
+
+    // Release the subtree.
+    for &c in tree.children(me) {
+        write_coll_flag(k, tree.core(c), CollTree::release_off(), epoch, tag);
+        k.hw.perf.coll_hops += tree.parent_hops(c) as u64;
+        #[cfg(feature = "trace")]
+        k.hw.trace3(
+            EventKind::CollRelease,
+            tree.core(c).idx() as u32,
+            epoch,
+            tree.level(c) as u32,
+        );
+        bump_release(k, tree.level(c));
+    }
+    k.hw.perf.coll_barriers += 1;
+    k.ext_restore(st);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::Cluster;
-    use scc_hw::SccConfig;
+    use scc_hw::{SccConfig, Topology};
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    #[test]
-    fn barrier_orders_phases() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
+    fn cfg(coll: CollMode) -> SccConfig {
+        SccConfig {
+            coll,
+            ..SccConfig::small()
+        }
+    }
+
+    fn barrier_orders_phases_with(coll: CollMode) {
+        let cl = Cluster::new(cfg(coll)).unwrap();
         let phase1 = AtomicU64::new(0);
         cl.run(4, |k| {
             phase1.fetch_add(1, Ordering::Relaxed);
@@ -84,8 +335,13 @@ mod tests {
     }
 
     #[test]
-    fn barrier_reusable() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
+    fn barrier_orders_phases() {
+        barrier_orders_phases_with(CollMode::Tree);
+        barrier_orders_phases_with(CollMode::Flat);
+    }
+
+    fn barrier_reusable_with(coll: CollMode) {
+        let cl = Cluster::new(cfg(coll)).unwrap();
         cl.run(3, |k| {
             for _ in 0..10 {
                 ram_barrier(k, "reuse");
@@ -95,19 +351,26 @@ mod tests {
     }
 
     #[test]
-    fn barrier_single_core_noop() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
-        cl.run(1, |k| {
-            let t0 = k.hw.now();
-            ram_barrier(k, "solo");
-            assert_eq!(k.hw.now(), t0);
-        })
-        .unwrap();
+    fn barrier_reusable() {
+        barrier_reusable_with(CollMode::Tree);
+        barrier_reusable_with(CollMode::Flat);
     }
 
     #[test]
-    fn barrier_exit_clocks_aligned() {
-        let cl = Cluster::new(SccConfig::small()).unwrap();
+    fn barrier_single_core_noop() {
+        for coll in [CollMode::Tree, CollMode::Flat] {
+            let cl = Cluster::new(cfg(coll)).unwrap();
+            cl.run(1, |k| {
+                let t0 = k.hw.now();
+                ram_barrier(k, "solo");
+                assert_eq!(k.hw.now(), t0);
+            })
+            .unwrap();
+        }
+    }
+
+    fn barrier_exit_clocks_aligned_with(coll: CollMode) {
+        let cl = Cluster::new(cfg(coll)).unwrap();
         let res = cl
             .run(4, |k| {
                 // Skew arrival times heavily.
@@ -121,8 +384,139 @@ mod tests {
         let min = *clocks.iter().min().unwrap();
         assert!(
             max - min < 10_000,
-            "exit clocks must be close together: {clocks:?}"
+            "exit clocks must be close together ({coll:?}): {clocks:?}"
         );
-        assert!(min >= 300_000, "nobody may leave before the last arrival");
+        assert!(
+            min >= 300_000,
+            "nobody may leave before the last arrival ({coll:?})"
+        );
+    }
+
+    #[test]
+    fn barrier_exit_clocks_aligned() {
+        barrier_exit_clocks_aligned_with(CollMode::Tree);
+        barrier_exit_clocks_aligned_with(CollMode::Flat);
+    }
+
+    #[test]
+    fn tree_barrier_skips_offdie_ram_except_at_root() {
+        // The tree path's point: per barrier, exactly one core (the root)
+        // touches off-die RAM, and only with writes.
+        let cl = Cluster::new(cfg(CollMode::Tree)).unwrap();
+        let res = cl
+            .run(8, |k| {
+                // Let cluster/SVM bootstrap costs settle before sampling.
+                ram_barrier(k, "warm");
+                let before = (k.hw.perf.ram_reads, k.hw.perf.ram_writes);
+                for _ in 0..5 {
+                    ram_barrier(k, "probe");
+                }
+                let after = (k.hw.perf.ram_reads, k.hw.perf.ram_writes);
+                (
+                    k.rank(),
+                    after.0 - before.0,
+                    after.1 - before.1,
+                    k.hw.perf.coll_barriers,
+                )
+            })
+            .unwrap();
+        for r in &res {
+            let (rank, reads, writes, barriers) = r.result;
+            assert!(barriers >= 6);
+            assert_eq!(reads, 0, "rank {rank} read off-die RAM in a tree barrier");
+            if rank == 0 {
+                assert!(writes > 0, "the root must publish the epoch");
+            } else {
+                assert_eq!(writes, 0, "rank {rank} wrote off-die RAM");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_barrier_counters_cover_every_edge() {
+        let cl = Cluster::new(cfg(CollMode::Tree)).unwrap();
+        let n = 12;
+        let res = cl
+            .run(n, |k| {
+                ram_barrier(k, "count");
+                let c = &k.hw.perf;
+                (
+                    c.coll_arrive_tile + c.coll_arrive_quad + c.coll_arrive_root,
+                    c.coll_release_tile + c.coll_release_quad + c.coll_release_root,
+                )
+            })
+            .unwrap();
+        let arrivals: u64 = res.iter().map(|r| r.result.0).sum();
+        let releases: u64 = res.iter().map(|r| r.result.1).sum();
+        // A tree over n ranks has n-1 edges; each edge carries exactly one
+        // arrival and one release per barrier.
+        assert_eq!(arrivals, (n - 1) as u64);
+        assert_eq!(releases, (n - 1) as u64);
+    }
+
+    #[test]
+    fn tree_barrier_on_sparse_core_subset() {
+        // run_on with scattered cores: the tree must follow ranks, not
+        // core ids.
+        let cl = Cluster::new(cfg(CollMode::Tree)).unwrap();
+        let cores = [30usize, 0, 47, 1, 31, 16]
+            .map(scc_hw::CoreId::new)
+            .to_vec();
+        let phase = AtomicU64::new(0);
+        cl.run_on(&cores, |k| {
+            phase.fetch_add(1, Ordering::Relaxed);
+            ram_barrier(k, "sparse");
+            assert_eq!(phase.load(Ordering::Relaxed), 6);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn tree_barrier_survives_repeated_runs() {
+        // A second run_on on the same machine reuses the MPB lines; the
+        // host-side pre-clear plus fresh epochs must keep it correct.
+        let cl = Cluster::new(cfg(CollMode::Tree)).unwrap();
+        for _ in 0..3 {
+            let phase = AtomicU64::new(0);
+            cl.run(5, |k| {
+                phase.fetch_add(1, Ordering::Relaxed);
+                ram_barrier(k, "again");
+                assert_eq!(phase.load(Ordering::Relaxed), 5);
+            })
+            .unwrap();
+        }
+        // And with a different (overlapping) participant set.
+        let cores = [2usize, 7, 11].map(scc_hw::CoreId::new).to_vec();
+        cl.run_on(&cores, |k| {
+            for _ in 0..4 {
+                ram_barrier(k, "subset");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn tree_barrier_on_mesh8x8_all_cores() {
+        let topo = Topology::mesh8x8();
+        let cl = Cluster::new(SccConfig {
+            coll: CollMode::Tree,
+            ..SccConfig::small_with(topo)
+        })
+        .unwrap();
+        let phase = AtomicU64::new(0);
+        let n = topo.num_cores();
+        cl.run(n, |k| {
+            phase.fetch_add(1, Ordering::Relaxed);
+            ram_barrier(k, "mesh");
+            assert_eq!(phase.load(Ordering::Relaxed), n as u64);
+            k.hw.now()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn name_tag_distinguishes_names() {
+        assert_ne!(name_tag("svm.barrier"), name_tag("rcce.init"));
+        assert_eq!(name_tag("x"), name_tag("x"));
     }
 }

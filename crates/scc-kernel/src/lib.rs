@@ -28,7 +28,7 @@ pub mod paging;
 pub mod tlb;
 
 pub use cluster::{Cluster, ClusterShared};
-pub use collective::ram_barrier;
+pub use collective::{flat_ram_barrier, ram_barrier, tree_ram_barrier};
 pub use kernel::{Access, FaultHandler, Kernel, KernelHook};
 pub use paging::{PageFlags, PageTable, Pte};
 pub use tlb::TlbSnapshot;
