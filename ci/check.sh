@@ -82,6 +82,24 @@ cargo build -q --release -p scc-checker --bin svmcheck
 ./target/release/svmcheck --expect acquire-without-invalidate results/TRACE_acquire_no_invalidate.log
 ./target/release/svmcheck --expect release-without-flush results/TRACE_release_no_flush.log
 
+# The svm-kv service (DESIGN.md §13): the partitioned key-value store
+# over SVM with mailbox RPC. The crate suite runs the service end to end
+# on the simulated cluster (reply validation, sealed-partition rejection,
+# seed-reproducibility); the cross-crate suite holds the latency
+# histogram to its error bound against a naive model and diffs serial vs
+# parallel-executor runs bit for bit. The traced smoke then proves the
+# instrumentation free, checks every detector online, and re-parses the
+# exported protocol log with the svmcheck binary — a clean kv run under
+# strong + LRC partitions must stay finding-free offline too.
+echo "== svm-kv: service suite =="
+cargo test -q -p scc-kv
+cargo test -q -p integration-tests --test kv
+
+echo "== svm-kv: traced smoke + svmcheck offline gate =="
+cargo build -q --release --features trace -p scc-bench --bin trace_kv
+./target/release/trace_kv --quick
+./target/release/svmcheck results/TRACE_kv.log
+
 # Schedule exploration + fault injection (DESIGN.md §10). The smoke sweep
 # runs the whole registry on fixed budgets: clean apps must stay clean
 # under the baton, sampled random seeds and a dropped-doorbell fault plan

@@ -1,0 +1,237 @@
+//! svm-kv service benchmark: throughput and tail latency of the
+//! partitioned key-value store under deterministic open-loop traffic,
+//! across the three per-partition consistency strategies (strong
+//! ownership migration, lock-guarded lazy release, sealed read-only
+//! snapshots), two mesh sizes (the paper's 48-core die and the 128-core
+//! 8x8 mesh) and two key skews (uniform and Zipf 0.99). Emits
+//! `BENCH_kv.json`.
+//!
+//! All figures are **simulated**: throughput is sent requests over the
+//! virtual make-span, latencies are virtual-time microseconds measured
+//! from each request's *scheduled* open-loop arrival (so queueing delay
+//! under overload stays in the tail — see `scc_kv::gen`). The same seed
+//! reproduces every number bit for bit; reps are pointless and there are
+//! none.
+//!
+//! The refuse-to-clobber guard mirrors `BENCH_parallel.json`'s: a
+//! `--quick` rerun will not silently overwrite a recorded full-size
+//! result (pass `--force` to do it anyway).
+//!
+//! Usage: `cargo run -p scc-bench --release --bin bench_kv
+//!         [--quick] [--iters REQUESTS_PER_CLIENT] [--force]`
+
+use std::fmt::Write as _;
+
+use metalsvm::{install as svm_install, SvmConfig};
+use scc_bench::{HarnessArgs, Table};
+use scc_hw::{SccConfig, Topology};
+use scc_kernel::Cluster;
+use scc_kv::{run_kv, KvConfig, KvOutcome, LatencyHistogram, Strategy};
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Machine for one mesh shape: room for the mailbox rows of 128
+/// receivers plus the SVM window.
+fn kv_machine(topo: Topology) -> SccConfig {
+    SccConfig {
+        private_bytes_per_core: 256 * 1024,
+        shared_bytes: 32 * 1024 * 1024,
+        ..SccConfig::default_with(topo)
+    }
+}
+
+struct Row {
+    topo: &'static str,
+    cores: usize,
+    servers: usize,
+    strategy: Strategy,
+    theta: f64,
+    sent: u64,
+    served: u64,
+    rejected: u64,
+    sim_ms: f64,
+    kreq_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    mean_us: f64,
+    max_us: f64,
+}
+
+/// One full service run; everything reported is simulated and
+/// deterministic in (topology, strategy, theta, requests).
+fn run_one(
+    topo_name: &'static str,
+    topo: Topology,
+    strategy: Strategy,
+    theta: f64,
+    requests_per_client: usize,
+) -> Row {
+    let cfg = kv_machine(topo);
+    let mhz = cfg.timing.core_mhz as f64;
+    let n = topo.num_cores();
+    let servers = (n / 8).max(2);
+    let kv = KvConfig {
+        servers,
+        partitions: vec![strategy; 6],
+        keyspace_log2: 12,
+        requests_per_client,
+        mean_interarrival: 40_000,
+        zipf_theta: theta,
+        get_pct: 70,
+        scan_pct: 10,
+        scan_len: 16,
+        seed: 0x5CC4B,
+        record_requests: false,
+    };
+    let cl = Cluster::new(cfg).expect("machine");
+    let outs: Vec<KvOutcome> = cl
+        .run(n, |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = svm_install(k, &mbx, SvmConfig::default());
+            run_kv(k, &mbx, &mut svm, &kv)
+        })
+        .expect("kv service must not deadlock")
+        .into_iter()
+        .map(|r| r.result)
+        .collect();
+
+    let sent: u64 = outs.iter().map(|o| o.gets + o.puts + o.scans).sum();
+    let served: u64 = outs.iter().map(|o| o.served).sum();
+    let rejected: u64 = outs.iter().map(|o| o.rejected).sum();
+    assert_eq!(sent, served, "every sent request must be served");
+    let mut hist = LatencyHistogram::new();
+    for o in &outs {
+        hist.merge(&o.hist);
+    }
+    // Make-span over the serving/generating phase only (setup excluded).
+    let start = outs.iter().map(|o| o.start_clock).min().unwrap();
+    let end = outs.iter().map(|o| o.end_clock).max().unwrap();
+    let span_cycles = (end - start).max(1);
+    let span_s = span_cycles as f64 / (mhz * 1e6);
+    Row {
+        topo: topo_name,
+        cores: n,
+        servers,
+        strategy,
+        theta,
+        sent,
+        served,
+        rejected,
+        sim_ms: span_s * 1e3,
+        kreq_per_s: sent as f64 / span_s / 1e3,
+        p50_us: hist.p50() as f64 / mhz,
+        p99_us: hist.p99() as f64 / mhz,
+        p999_us: hist.p999() as f64 / mhz,
+        mean_us: hist.mean() / mhz,
+        max_us: hist.max() as f64 / mhz,
+    }
+}
+
+/// `"quick"` recorded in an existing `BENCH_kv.json`, if any.
+fn recorded_quick(path: &str) -> Option<bool> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let tail = text.split("\"quick\":").nth(1)?;
+    match tail.trim_start() {
+        t if t.starts_with("true") => Some(true),
+        t if t.starts_with("false") => Some(false),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let out = "BENCH_kv.json";
+    // Guard the recorded result: a full-size sweep is the meaningful one;
+    // a --quick rerun must not silently clobber it.
+    if !args.force && args.quick && recorded_quick(out) == Some(false) {
+        println!(
+            "{out} holds a full-size result; this is a --quick run. \
+             Refusing to overwrite it — pass --force to do so anyway."
+        );
+        return;
+    }
+    let requests = args.iters.unwrap_or(if args.quick { 150 } else { 1000 });
+
+    let topos = [
+        ("scc48", Topology::scc48()),
+        ("mesh8x8", Topology::mesh8x8()),
+    ];
+    let thetas = [0.0, 0.99];
+    let strategies = [Strategy::Strong, Strategy::Lrc, Strategy::Sealed];
+
+    println!(
+        "svm-kv benchmark — {} requests/client, strategies {:?}, meshes {:?}, \
+         Zipf thetas {thetas:?}",
+        requests,
+        strategies.map(Strategy::name),
+        topos.map(|(name, _)| name),
+    );
+    let mut t = Table::new(&[
+        "mesh",
+        "cores",
+        "strategy",
+        "zipf",
+        "sent",
+        "rejected",
+        "kreq/s",
+        "p50 (us)",
+        "p99 (us)",
+        "p999 (us)",
+    ]);
+    let mut rows_json = String::new();
+    for (topo_name, topo) in topos {
+        for theta in thetas {
+            for strategy in strategies {
+                let r = run_one(topo_name, topo, strategy, theta, requests);
+                t.row(&[
+                    r.topo.to_string(),
+                    format!("{}", r.cores),
+                    r.strategy.name().to_string(),
+                    format!("{:.2}", r.theta),
+                    format!("{}", r.sent),
+                    format!("{}", r.rejected),
+                    format!("{:9.1}", r.kreq_per_s),
+                    format!("{:8.2}", r.p50_us),
+                    format!("{:8.2}", r.p99_us),
+                    format!("{:8.2}", r.p999_us),
+                ]);
+                if !rows_json.is_empty() {
+                    rows_json.push_str(",\n");
+                }
+                write!(
+                    rows_json,
+                    "    {{\"mesh\": \"{}\", \"cores\": {}, \"servers\": {}, \
+                     \"strategy\": \"{}\", \"zipf_theta\": {:.2}, \"sent\": {}, \
+                     \"served\": {}, \"rejected\": {}, \"sim_ms\": {:.3}, \
+                     \"kreq_per_s\": {:.2}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                     \"p999_us\": {:.3}, \"mean_us\": {:.3}, \"max_us\": {:.3}}}",
+                    r.topo,
+                    r.cores,
+                    r.servers,
+                    r.strategy.name(),
+                    r.theta,
+                    r.sent,
+                    r.served,
+                    r.rejected,
+                    r.sim_ms,
+                    r.kreq_per_s,
+                    r.p50_us,
+                    r.p99_us,
+                    r.p999_us,
+                    r.mean_us,
+                    r.max_us,
+                )
+                .unwrap();
+            }
+        }
+    }
+    println!("\n{}", t.render());
+
+    let json = format!(
+        "{{\n  \"bench\": \"kv\",\n  \"quick\": {},\n  \
+         \"requests_per_client\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        args.quick, requests, rows_json
+    );
+    std::fs::write(out, &json).expect("write BENCH_kv.json");
+    println!("wrote {out}");
+}

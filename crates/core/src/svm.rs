@@ -168,8 +168,15 @@ pub struct SvmShared {
     /// Owner vector: one u32 per shared page (core id + 1; 0 = unowned),
     /// in off-die memory, always accessed uncached.
     owner_pa: u32,
-    /// Copyset vector (write-invalidate model): u64 bitmask per page.
+    /// Copyset vectors (write-invalidate model): a growable multi-word
+    /// bitmask of `cs_words` u64 words per page (word per 64 cores).
     copyset_pa: u32,
+    /// Words per copyset entry: `ceil(ncores / 64)`.
+    cs_words: u32,
+    /// Per-core grant-set scratch rows (write-invalidate model): the
+    /// invalidation set a write grant deposits for its requester,
+    /// `cs_words` u64 words per core.
+    grantset_pa: u32,
     /// Version vector (write-invalidate model): u32 per page.
     version_pa: u32,
     scratch: Scratchpad,
@@ -209,7 +216,9 @@ impl SvmShared {
             page: p,
             owner: (v != 0).then(|| CoreId::from_raw(v as usize - 1)),
             frame: self.scratch.peek(&self.mach, p),
-            copyset: self.mach.ram.read(self.copyset_pa + 8 * p, 8),
+            copyset: (0..self.cs_words)
+                .map(|w| self.mach.ram.read(self.copyset_pa + 8 * (self.cs_words * p + w), 8))
+                .collect(),
             version: self.mach.ram.read(self.version_pa + 4 * p, 4) as u32,
             nt_epoch: self.page_nt[p as usize].load(Ordering::Acquire),
         }
@@ -232,6 +241,17 @@ impl SvmShared {
         self.copyset_pa
     }
 
+    /// u64 words per copyset entry (`ceil(ncores / 64)`).
+    #[inline]
+    pub(crate) fn copyset_words(&self) -> u32 {
+        self.cs_words
+    }
+
+    #[inline]
+    pub(crate) fn grantset_pa(&self) -> u32 {
+        self.grantset_pa
+    }
+
     #[inline]
     pub(crate) fn version_pa(&self) -> u32 {
         self.version_pa
@@ -246,7 +266,7 @@ impl SvmShared {
 
 /// One coherent, untimed view of an SVM page's metadata, returned by
 /// [`SvmShared::page_info`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PageInfo {
     /// Global SVM page index.
     pub page: u32,
@@ -254,8 +274,9 @@ pub struct PageInfo {
     pub owner: Option<CoreId>,
     /// Backing physical frame, if allocated.
     pub frame: Option<u32>,
-    /// Write-invalidate replica bitmask (bit = core index).
-    pub copyset: u64,
+    /// Write-invalidate replica bitmask, one u64 word per 64 cores
+    /// (word `i` bit `b` = core `64*i + b`).
+    pub copyset: Vec<u64>,
     /// Write-invalidate version counter.
     pub version: u32,
     /// Next-touch epoch last applied to the page.
@@ -292,7 +313,16 @@ pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
     k.hw.host_order_point();
     let owner_pa = k.shared.named_header("svm.owner", pages * 4, 64);
     let scratch_pa = k.shared.named_header("svm.scratch", pages * 2, 64);
-    let copyset_pa = k.shared.named_header("svm.copyset", pages * 8, 64);
+    // Write-invalidate copysets are growable multi-word bitmasks sized
+    // for this machine, plus a per-core grant-set scratch row (the
+    // invalidation set handed over on a write grant — too big for a mail).
+    let cs_words = (mach.cfg.ncores as u32).div_ceil(64);
+    let copyset_pa = k.shared.named_header("svm.copyset", pages * 8 * cs_words, 64);
+    let grantset_pa = k.shared.named_header(
+        "svm.wi_grantset",
+        mach.cfg.ncores as u32 * 8 * cs_words,
+        64,
+    );
     let version_pa = k.shared.named_header("svm.version", pages * 4, 64);
     let header_pages = scc_kernel::cluster::header_bytes(&mach) / 4096;
     let base_pfn = (mach.map.shared_base() >> 12) + header_pages;
@@ -338,6 +368,8 @@ pub fn install(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: SvmConfig) -> SvmCtx {
             scratch,
             owner_pa,
             copyset_pa,
+            cs_words,
+            grantset_pa,
             version_pa,
             table: Mutex::new(RegionTable::default()),
             page_nt,
@@ -426,17 +458,11 @@ impl SvmCtx {
     /// space is reserved; frames appear on first touch.
     pub fn alloc(&mut self, k: &mut Kernel<'_>, bytes: u32, model: Consistency) -> SvmRegion {
         let model = self.model_override.unwrap_or(model);
-        // The write-invalidate copyset is a 64-bit core bitmask; the
-        // ownership-transfer models carry no such limit and scale with the
-        // mesh. Catch the overflow at allocation, not as a silent replica
-        // bookkeeping corruption at fault time.
-        assert!(
-            model != Consistency::WriteInvalidate || k.id().idx() < 64,
-            "write-invalidate regions track replicas in a 64-bit copyset; \
-             core {} cannot participate (use cores 0..64 or an \
-             ownership-transfer model)",
-            k.id().idx()
-        );
+        // The write-invalidate copyset is a growable multi-word bitmask
+        // sized for the machine at install time, so every consistency model
+        // scales with the mesh; the only participant limit left is the
+        // topology's own CORE_LIMIT, enforced with a typed error when the
+        // topology is built.
         let idx = self.alloc_cursor;
         self.alloc_cursor += 1;
         let region = self
@@ -634,8 +660,7 @@ impl SvmFaultHandler {
                 sh.owner_write(k, p, k.id());
                 sh.scratch.write(k, p, pfn);
                 if _model == Consistency::WriteInvalidate {
-                    let me = k.id().idx();
-                    k.hw.write(sh.copyset_pa + 8 * p, 8, 1 << me, MemAttr::UNCACHED);
+                    sh.copyset_write_single(k, p, k.id());
                     k.hw.write(sh.version_pa + 4 * p, 4, 0, MemAttr::UNCACHED);
                 }
                 sh.page_nt[p as usize].store(nt_epoch, Ordering::Release);

@@ -20,6 +20,23 @@
 //! window where a read grant races a concurrent invalidation: a reader
 //! whose grant carries a stale version unmaps and retries.
 //!
+//! ## Copyset representation
+//!
+//! The copyset is a **growable multi-word bitmask** (the same
+//! word-per-64-cores pattern the sync layer uses for held-lock tracking),
+//! sized for the machine at install time: `ceil(ncores / 64)` u64 words
+//! per page, in off-die memory next to the owner vector. This is what lets
+//! the model join the 128-, 256- and 512-core meshes; the only remaining
+//! participant limit is the topology's own `CORE_LIMIT`, enforced with a
+//! typed error when the topology is built.
+//!
+//! A multi-word copyset no longer fits a 20-byte protocol mail, so a write
+//! grant does not carry the invalidation set inline. Instead the owner
+//! deposits it in the requester's **grant-set scratch row** (per-core, in
+//! shared memory) before publishing the grant mail; the requester — which
+//! can have only one fault outstanding, so the row cannot be clobbered —
+//! reads the row back after the grant arrives and runs the invalidation.
+//!
 //! All protocol mails ride on the mailbox system, like the strong model's.
 
 use crate::stats::SvmStats;
@@ -40,44 +57,110 @@ pub const WI_INV_ACK: MailKind = MailKind(7);
 
 const NO_PAGE: u32 = u32::MAX;
 
-/// Per-core cells for in-flight protocol state (one outstanding fault per
-/// core, so single cells suffice).
-pub(crate) struct WiCells {
-    /// Which page's grant arrived (NO_PAGE = none), with its payload.
-    grant_page: AtomicU32,
-    grant_write: AtomicU32,
-    grant_version: AtomicU32,
-    grant_copyset: AtomicU64,
-    grant_stamp: AtomicU64,
-    /// Invalidation-acknowledgement countdown.
-    inv_page: AtomicU32,
-    inv_remaining: AtomicU32,
-    inv_stamp: AtomicU64,
-}
+/// A growable core bitmask: word `i` carries cores `64*i .. 64*i+63`,
+/// mirroring the held-lock tracking pattern in the sync layer. Backed by
+/// exactly `ceil(ncores / 64)` words when read from shared memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct CopySet(pub(crate) Vec<u64>);
 
-impl WiCells {
-    pub(crate) fn new() -> Arc<Self> {
-        Arc::new(WiCells {
-            grant_page: AtomicU32::new(NO_PAGE),
-            grant_write: AtomicU32::new(0),
-            grant_version: AtomicU32::new(0),
-            grant_copyset: AtomicU64::new(0),
-            grant_stamp: AtomicU64::new(0),
-            inv_page: AtomicU32::new(NO_PAGE),
-            inv_remaining: AtomicU32::new(0),
-            inv_stamp: AtomicU64::new(0),
+impl CopySet {
+    pub(crate) fn empty(words: usize) -> CopySet {
+        CopySet(vec![0; words])
+    }
+
+    #[cfg(test)]
+    pub(crate) fn contains(&self, core: CoreId) -> bool {
+        let i = core.idx();
+        self.0.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    pub(crate) fn insert(&mut self, core: CoreId) {
+        let i = core.idx();
+        if self.0.len() <= i / 64 {
+            self.0.resize(i / 64 + 1, 0);
+        }
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn remove(&mut self, core: CoreId) {
+        let i = core.idx();
+        if let Some(w) = self.0.get_mut(i / 64) {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of cores in the set.
+    pub(crate) fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterate the member cores in ascending id order.
+    pub(crate) fn cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.0.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut m = w;
+            std::iter::from_fn(move || {
+                (m != 0).then(|| {
+                    let bit = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    CoreId::from_raw(wi * 64 + bit)
+                })
+            })
         })
     }
 }
 
 impl SvmShared {
-    /// Timed uncached read of a page's copyset (bitmask of replica holders).
-    fn copyset_read(&self, k: &mut Kernel<'_>, p: u32) -> u64 {
-        k.hw.read(self.copyset_pa() + 8 * p, 8, MemAttr::UNCACHED)
+    /// Timed uncached read of a page's full copyset (multi-word bitmask of
+    /// replica holders).
+    pub(crate) fn copyset_read(&self, k: &mut Kernel<'_>, p: u32) -> CopySet {
+        let words = self.copyset_words();
+        let base = self.copyset_pa() + 8 * words * p;
+        let mut out = Vec::with_capacity(words as usize);
+        for w in 0..words {
+            out.push(k.hw.read(base + 8 * w, 8, MemAttr::UNCACHED));
+        }
+        CopySet(out)
     }
 
-    fn copyset_write(&self, k: &mut Kernel<'_>, p: u32, cs: u64) {
-        k.hw.write(self.copyset_pa() + 8 * p, 8, cs, MemAttr::UNCACHED);
+    pub(crate) fn copyset_write(&self, k: &mut Kernel<'_>, p: u32, cs: &CopySet) {
+        let words = self.copyset_words();
+        let base = self.copyset_pa() + 8 * words * p;
+        for w in 0..words {
+            let v = cs.0.get(w as usize).copied().unwrap_or(0);
+            k.hw.write(base + 8 * w, 8, v, MemAttr::UNCACHED);
+        }
+    }
+
+    /// Reset page `p`'s copyset to the single core `only`.
+    pub(crate) fn copyset_write_single(&self, k: &mut Kernel<'_>, p: u32, only: CoreId) {
+        let mut cs = CopySet::empty(self.copyset_words() as usize);
+        cs.insert(only);
+        self.copyset_write(k, p, &cs);
+    }
+
+    /// Deposit the invalidation set a write grant hands to `requester`
+    /// (the multi-word set no longer fits a protocol mail; see the module
+    /// docs). Must happen before the grant mail is published.
+    fn grantset_write(&self, k: &mut Kernel<'_>, requester: CoreId, cs: &CopySet) {
+        let words = self.copyset_words();
+        let base = self.grantset_pa() + 8 * words * requester.idx() as u32;
+        for w in 0..words {
+            let v = cs.0.get(w as usize).copied().unwrap_or(0);
+            k.hw.write(base + 8 * w, 8, v, MemAttr::UNCACHED);
+        }
+    }
+
+    /// Read back this core's deposited invalidation set after a write
+    /// grant arrived. Only one fault can be outstanding per core, so the
+    /// row is stable until the next grant directed at us.
+    fn grantset_read(&self, k: &mut Kernel<'_>) -> CopySet {
+        let words = self.copyset_words();
+        let base = self.grantset_pa() + 8 * words * k.id().idx() as u32;
+        let mut out = Vec::with_capacity(words as usize);
+        for w in 0..words {
+            out.push(k.hw.read(base + 8 * w, 8, MemAttr::UNCACHED));
+        }
+        CopySet(out)
     }
 
     /// Timed uncached read of a page's version counter.
@@ -91,6 +174,34 @@ impl SvmShared {
     }
 }
 
+/// Per-core cells for in-flight protocol state (one outstanding fault per
+/// core, so single cells suffice).
+pub(crate) struct WiCells {
+    /// Which page's grant arrived (NO_PAGE = none), with its payload.
+    grant_page: AtomicU32,
+    grant_write: AtomicU32,
+    grant_version: AtomicU32,
+    grant_stamp: AtomicU64,
+    /// Invalidation-acknowledgement countdown.
+    inv_page: AtomicU32,
+    inv_remaining: AtomicU32,
+    inv_stamp: AtomicU64,
+}
+
+impl WiCells {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(WiCells {
+            grant_page: AtomicU32::new(NO_PAGE),
+            grant_write: AtomicU32::new(0),
+            grant_version: AtomicU32::new(0),
+            grant_stamp: AtomicU64::new(0),
+            inv_page: AtomicU32::new(NO_PAGE),
+            inv_remaining: AtomicU32::new(0),
+            inv_stamp: AtomicU64::new(0),
+        })
+    }
+}
+
 fn req_payload(p: u32, requester: CoreId) -> [u8; 8] {
     let mut out = [0u8; 8];
     out[0..4].copy_from_slice(&p.to_le_bytes());
@@ -98,12 +209,11 @@ fn req_payload(p: u32, requester: CoreId) -> [u8; 8] {
     out
 }
 
-fn grant_payload(p: u32, write: bool, version: u32, copyset: u64) -> [u8; 17] {
-    let mut out = [0u8; 17];
+fn grant_payload(p: u32, write: bool, version: u32) -> [u8; 9] {
+    let mut out = [0u8; 9];
     out[0..4].copy_from_slice(&p.to_le_bytes());
     out[4..8].copy_from_slice(&version.to_le_bytes());
-    out[8..16].copy_from_slice(&copyset.to_le_bytes());
-    out[16] = u8::from(write);
+    out[8] = u8::from(write);
     out
 }
 
@@ -130,8 +240,9 @@ pub(crate) fn wi_fault(
                 // The owner always has the freshest data; a read-fault with
                 // ownership means our mapping was dropped (e.g. next-touch)
                 // — remap read-only if replicas exist, read-write otherwise.
-                let cs = sh.copyset_read(k, p) & !(1 << me.idx());
-                let flags = if cs == 0 {
+                let mut cs = sh.copyset_read(k, p);
+                cs.remove(me);
+                let flags = if cs.count() == 0 {
                     PageFlags::shared_rw()
                 } else {
                     PageFlags::shared_ro_mpbt()
@@ -143,11 +254,12 @@ pub(crate) fn wi_fault(
             // Owner upgrading from shared to exclusive: invalidate every
             // replica ourselves.
             k.hw.flush_wcb();
-            let cs = sh.copyset_read(k, p) & !(1 << me.idx());
+            let mut cs = sh.copyset_read(k, p);
+            cs.remove(me);
             let v = sh.version_read(k, p);
             sh.version_write(k, p, v.wrapping_add(1));
-            sh.copyset_write(k, p, 1 << me.idx());
-            invalidate_replicas(mbx, cells, k, p, cs);
+            sh.copyset_write_single(k, p, me);
+            invalidate_replicas(mbx, cells, k, p, &cs);
             // Ownership might have been granted away by our own interrupt
             // handler while we waited for the acknowledgements.
             if sh.owner_read(k, p) == Some(me) {
@@ -174,8 +286,11 @@ pub(crate) fn wi_fault(
         k.hw.advance(c);
 
         if write {
-            let cs = cells.grant_copyset.load(Ordering::Acquire);
-            invalidate_replicas(mbx, cells, k, p, cs);
+            // The granter deposited the invalidation set in our grant-set
+            // row before publishing the grant (it no longer travels in the
+            // mail; see the module docs).
+            let cs = sh.grantset_read(k);
+            invalidate_replicas(mbx, cells, k, p, &cs);
             if sh.owner_read(k, p) == Some(me) {
                 k.map_page(page_va, pfn, PageFlags::shared_rw());
                 k.hw.cl1invmb();
@@ -206,21 +321,19 @@ fn invalidate_replicas(
     cells: &Arc<WiCells>,
     k: &mut Kernel<'_>,
     p: u32,
-    copyset: u64,
+    copyset: &CopySet,
 ) {
     let me = k.id();
-    let targets = copyset & !(1 << me.idx());
-    let n = targets.count_ones();
+    let mut targets = copyset.clone();
+    targets.remove(me);
+    let n = targets.count();
     if n == 0 {
         return;
     }
     cells.inv_page.store(p, Ordering::Release);
     cells.inv_remaining.store(n, Ordering::Release);
     k.hw.trace(EventKind::WiInvSend, p, n);
-    let mut m = targets;
-    while m != 0 {
-        let core = CoreId::from_raw(m.trailing_zeros() as usize);
-        m &= m - 1;
+    for core in targets.cores() {
         mbx.send(k, core, WI_INV, &p.to_le_bytes());
     }
     let cells2 = Arc::clone(cells);
@@ -270,27 +383,35 @@ impl WiRequestHandler {
             ) {
                 k.unmap_page(va);
             }
-            let cs = sh.copyset_read(k, p) & !(1 << requester.idx()) & !(1 << me.idx());
+            let mut cs = sh.copyset_read(k, p);
+            cs.remove(requester);
+            cs.remove(me);
             let new_version = version.wrapping_add(1);
             sh.version_write(k, p, new_version);
+            // The invalidation set must be visible in the requester's
+            // grant-set row before the grant mail is — the requester reads
+            // it the moment the grant lands.
+            sh.grantset_write(k, requester, &cs);
             sh.owner_write(k, p, requester);
-            sh.copyset_write(k, p, 1 << requester.idx());
+            sh.copyset_write_single(k, p, requester);
             self.mbx.send(
                 k,
                 requester,
                 WI_GRANT,
-                &grant_payload(p, true, new_version, cs),
+                &grant_payload(p, true, new_version),
             );
         } else {
             // Stay owner, downgrade to a shared replica, extend the copyset.
             k.protect_page(va, PageFlags::shared_ro_mpbt());
-            let cs = sh.copyset_read(k, p) | (1 << requester.idx()) | (1 << me.idx());
-            sh.copyset_write(k, p, cs);
+            let mut cs = sh.copyset_read(k, p);
+            cs.insert(requester);
+            cs.insert(me);
+            sh.copyset_write(k, p, &cs);
             self.mbx.send(
                 k,
                 requester,
                 WI_GRANT,
-                &grant_payload(p, false, version, 0),
+                &grant_payload(p, false, version),
             );
         }
     }
@@ -319,12 +440,10 @@ impl MailHandler for WiGrantHandler {
     fn on_mail(&self, k: &mut Kernel<'_>, mail: Mail) {
         let d = mail.data();
         let version = u32::from_le_bytes(d[4..8].try_into().unwrap());
-        let copyset = u64::from_le_bytes(d[8..16].try_into().unwrap());
-        let write = d[16] != 0;
+        let write = d[8] != 0;
         k.hw
             .trace(EventKind::WiGrant, mail.u32_at(0), u32::from(write));
         self.cells.grant_version.store(version, Ordering::Release);
-        self.cells.grant_copyset.store(copyset, Ordering::Release);
         self.cells
             .grant_write
             .store(u32::from(write), Ordering::Release);
@@ -366,5 +485,31 @@ impl MailHandler for WiInvAckHandler {
             self.cells.inv_stamp.store(k.hw.now(), Ordering::Release);
             self.cells.inv_remaining.fetch_sub(1, Ordering::AcqRel);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copyset_grows_past_64_cores() {
+        let mut cs = CopySet::empty(1);
+        cs.insert(CoreId::from_raw(3));
+        cs.insert(CoreId::from_raw(127));
+        cs.insert(CoreId::from_raw(400));
+        assert!(cs.contains(CoreId::from_raw(3)));
+        assert!(cs.contains(CoreId::from_raw(127)));
+        assert!(cs.contains(CoreId::from_raw(400)));
+        assert!(!cs.contains(CoreId::from_raw(64)));
+        assert_eq!(cs.count(), 3);
+        let cores: Vec<usize> = cs.cores().map(|c| c.idx()).collect();
+        assert_eq!(cores, vec![3, 127, 400], "ascending id order");
+        cs.remove(CoreId::from_raw(127));
+        assert!(!cs.contains(CoreId::from_raw(127)));
+        assert_eq!(cs.count(), 2);
+        // Removing beyond the backing words is a no-op, not a panic.
+        cs.remove(CoreId::from_raw(4000));
+        assert_eq!(cs.count(), 2);
     }
 }

@@ -1,7 +1,7 @@
 //! Tests of the IVY-style write-invalidate consistency model.
 
 use metalsvm::{install, Consistency, SvmArray, SvmConfig};
-use scc_hw::SccConfig;
+use scc_hw::{CoreId, SccConfig, Topology};
 use scc_kernel::Cluster;
 use scc_mailbox::{install as mbx_install, Notify};
 
@@ -151,6 +151,54 @@ fn owner_upgrade_from_shared_works() {
     for r in &results {
         assert_eq!(*r, 20);
     }
+}
+
+#[test]
+fn copyset_spans_multiple_words_past_64_cores() {
+    // The growable multi-word copyset (second u64 word and beyond) on the
+    // 128-core mesh8x8: cores above index 63 replicate and get invalidated
+    // like any other — the old single-u64 cap is gone. Participants sit in
+    // both copyset words (3 below 64, 70/127 above).
+    let cores = [0usize, 3, 70, 127].map(CoreId::new);
+    let cl = Cluster::new(SccConfig::small_with(Topology::mesh8x8())).unwrap();
+    let results = cl
+        .run_on(&cores, |k| {
+            let mbx = mbx_install(k, Notify::Ipi);
+            let mut svm = install(k, &mbx, SvmConfig::default());
+            let r = svm.alloc(k, 4096, Consistency::WriteInvalidate);
+            let a = SvmArray::<u64>::new(r, 8);
+            if k.rank() == 0 {
+                a.set(k, 0, 1);
+                k.hw.flush_wcb();
+            }
+            svm.barrier(k);
+            let first = a.get(k, 0); // all four replicate
+            svm.barrier(k);
+            if k.id() == CoreId::new(127) {
+                a.set(k, 0, 2); // high-word writer invalidates low-word replicas
+            }
+            svm.barrier(k);
+            let second = a.get(k, 0);
+            svm.barrier(k);
+            if k.id() == CoreId::new(3) {
+                a.set(k, 0, 3); // low-word writer invalidates the high word
+            }
+            svm.barrier(k);
+            let third = a.get(k, 0);
+            svm.barrier(k);
+            (first, second, third, svm.shared().stats.snapshot().invalidations)
+        })
+        .unwrap();
+    let inv_total: u64 = results.iter().map(|r| r.result.3).sum();
+    for r in &results {
+        assert_eq!(r.result.0, 1);
+        assert_eq!(r.result.1, 2, "replicas above core 64 must see the write");
+        assert_eq!(r.result.2, 3, "high-word replicas must be invalidated");
+    }
+    assert!(
+        inv_total >= 4,
+        "both directions must have sent real invalidations: {inv_total}"
+    );
 }
 
 #[test]

@@ -40,6 +40,9 @@ impl Expected {
 pub enum AppRun {
     Svm(fn(&mut Kernel<'_>, &mut SvmCtx)),
     Mbx(fn(&mut Kernel<'_>, &Mailbox)),
+    /// Apps layered over both systems at once (the kv service runs its
+    /// RPC over the mailbox and its store over SVM).
+    SvmMbx(fn(&mut Kernel<'_>, &Mailbox, &mut SvmCtx)),
 }
 
 /// One registered application or fixture.
@@ -78,6 +81,16 @@ fn app_pipeline(k: &mut Kernel<'_>, mbx: &Mailbox) {
     let _ = pipeline(k, mbx, 16);
 }
 
+fn app_kv(k: &mut Kernel<'_>, mbx: &Mailbox, svm: &mut SvmCtx) {
+    // One server, three clients, all three partition strategies; small
+    // enough for the explorer's budgeted schedule sweeps.
+    let kv = scc_kv::KvConfig {
+        keyspace_log2: 8,
+        ..scc_kv::KvConfig::smoke(1, 40)
+    };
+    let _ = scc_kv::run_kv(k, mbx, svm, &kv);
+}
+
 fn build() -> Vec<AppSpec> {
     let clean = |name, cores, ipi_heavy, run| AppSpec {
         name,
@@ -93,6 +106,7 @@ fn build() -> Vec<AppSpec> {
         clean("laplace_strong", 4, true, AppRun::Svm(app_laplace_strong)),
         clean("matmul", 4, false, AppRun::Svm(app_matmul)),
         clean("pipeline", 3, true, AppRun::Mbx(app_pipeline)),
+        clean("kv", 4, true, AppRun::SvmMbx(app_kv)),
     ];
     for f in FIXTURES {
         apps.push(AppSpec {

@@ -118,6 +118,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             match run {
                 AppRun::Svm(f) => f(k, &mut svm),
                 AppRun::Mbx(f) => f(k, &mbx),
+                AppRun::SvmMbx(f) => f(k, &mbx, &mut svm),
             }
             let s = mbx.stats();
             (

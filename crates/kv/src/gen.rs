@@ -1,0 +1,188 @@
+//! The deterministic open-loop traffic generator.
+//!
+//! Each client core owns an independent SplitMix64 stream seeded from
+//! `(run seed, client rank)`, and draws, per request, in a fixed order:
+//! inter-arrival gap, operation, key. Every draw is a pure function of
+//! the stream state, so the same seed reproduces the same request trace
+//! on any executor — the determinism tests hold serial and parallel runs
+//! bit-identical.
+//!
+//! **Open loop:** arrivals are a Poisson process in *virtual time* —
+//! exponential inter-arrival gaps accumulated into absolute schedule
+//! times. A client that falls behind (the previous request's reply came
+//! back after the next arrival was due) does not slow the schedule down;
+//! the next request is simply issued late and its latency — measured
+//! from the *scheduled* arrival, not the send — includes the queueing
+//! delay. That is what makes tail latency honest under overload, and it
+//! is the standard open-loop correction (closed-loop generators hide
+//! exactly the tail the paper's Fig. 9 comparison is about).
+//!
+//! **Skew:** keys are ranked by a Zipf(θ) sampler (the Gray et al.
+//! closed-form used by YCSB — O(1) per draw after an O(n) ζ(n) scalar
+//! precompute, no tables), then scattered over the keyspace by a fixed
+//! odd-multiplier bijection so that "hot" ranks do not cluster into the
+//! same partition or page.
+
+/// SplitMix64 — the workspace's standard deterministic stream generator.
+#[derive(Clone, Debug)]
+pub struct Stream(u64);
+
+impl Stream {
+    pub fn new(seed: u64) -> Stream {
+        Stream(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1) with 53 bits of entropy.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Exponential inter-arrival gap with the given mean, in whole cycles
+/// (at least 1), via inverse-CDF over the stream.
+pub fn exp_gap(s: &mut Stream, mean_cycles: u64) -> u64 {
+    // 1 - u in (0, 1] so ln never sees zero.
+    let u = 1.0 - s.next_f64();
+    let gap = -(u.ln()) * mean_cycles as f64;
+    (gap as u64).max(1)
+}
+
+/// Zipf(θ) rank sampler over `n` items, rank 0 hottest. θ = 0 is uniform;
+/// θ in (0, 1) is the classic YCSB range (0.99 ≈ "high skew").
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "empty keyspace");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1): {theta}"
+        );
+        if theta == 0.0 {
+            return Zipf {
+                n,
+                theta,
+                zetan: 0.0,
+                alpha: 0.0,
+                eta: 0.0,
+            };
+        }
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 1.0 / 2f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            zetan,
+            alpha,
+            eta,
+        }
+    }
+
+    /// Draw a rank in `0..n` (0 = hottest).
+    pub fn rank(&self, s: &mut Stream) -> u64 {
+        if self.theta == 0.0 {
+            return s.next_u64() % self.n;
+        }
+        let u = s.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
+/// Scatter a Zipf rank over a power-of-two keyspace: multiplication by an
+/// odd constant is a bijection mod 2^k, so hot ranks land on unrelated
+/// keys (different partitions, different pages) instead of clustering at
+/// the bottom of partition 0.
+pub fn rank_to_key(rank: u64, keyspace_log2: u32) -> u32 {
+    (rank.wrapping_mul(0x9E37_79B1) & ((1u64 << keyspace_log2) - 1)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let mut a = Stream::new(7);
+        let mut b = Stream::new(7);
+        let mut c = Stream::new(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn exp_gap_mean_is_close() {
+        let mut s = Stream::new(42);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| exp_gap(&mut s, 1000)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((900.0..1100.0).contains(&mean), "mean {mean} far from 1000");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1024, 0.99);
+        let mut s = Stream::new(1);
+        let mut counts = vec![0u64; 1024];
+        for _ in 0..100_000 {
+            let r = z.rank(&mut s) as usize;
+            counts[r] += 1;
+        }
+        // Rank 0 must dominate and the top ten ranks must carry a large
+        // share under theta=0.99.
+        let top10: u64 = counts[..10].iter().sum();
+        assert!(counts[0] > counts[100] * 5, "rank 0 not hot: {}", counts[0]);
+        assert!(top10 > 100_000 / 4, "top-10 share too small: {top10}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(64, 0.0);
+        let mut s = Stream::new(3);
+        let mut counts = vec![0u64; 64];
+        for _ in 0..64_000 {
+            counts[z.rank(&mut s) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((500..1500).contains(&c), "rank {i} count {c} not uniform");
+        }
+    }
+
+    #[test]
+    fn rank_to_key_is_a_bijection() {
+        let log2 = 12;
+        let mut seen = vec![false; 1 << log2];
+        for r in 0..(1u64 << log2) {
+            let k = rank_to_key(r, log2 as u32) as usize;
+            assert!(!seen[k], "key {k} hit twice");
+            seen[k] = true;
+        }
+    }
+}

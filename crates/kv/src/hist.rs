@@ -1,0 +1,206 @@
+//! A fixed-footprint log-linear latency histogram (HDR-lite).
+//!
+//! Virtual-time request latencies span six orders of magnitude (a warm
+//! GET is a few hundred cycles; a SCAN that drags a strong-model page
+//! migration storm behind it is tens of millions), so a linear histogram
+//! is hopeless and a sorted vector of millions of samples is memory a
+//! 512-core run cannot afford. The classic answer is HdrHistogram's
+//! log-linear bucketing: one major bucket per power of two, each split
+//! into [`SUB_BUCKETS`] linear sub-buckets. Relative quantile error is
+//! bounded by `1 / SUB_BUCKETS` (6.25%), counts are exact, and the whole
+//! structure is a flat `u64` array — merging is element-wise addition,
+//! which makes per-core recording and post-run aggregation trivially
+//! associative (the property tests hold both bounds).
+//!
+//! Values are virtual cycles; zero is stored in its own first bucket.
+
+/// Linear sub-buckets per power-of-two major bucket. The quantile
+/// relative-error bound is `1 / SUB_BUCKETS`.
+pub const SUB_BUCKETS: usize = 16;
+
+/// Major buckets: values up to `2^63 - 1` (virtual cycles fit easily).
+const MAJORS: usize = 60;
+
+/// Log-linear latency histogram; see the module docs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Box<[u64]>,
+    total: u64,
+    /// Exact sum of recorded values (mean stays error-free).
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0u64; MAJORS * SUB_BUCKETS].into_boxed_slice(),
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `v`: major = position of the highest set bit above
+    /// the sub-bucket resolution, sub = the next `log2(SUB_BUCKETS)` bits.
+    fn index_of(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            // The first major bucket is fully linear: one count per value.
+            return v as usize;
+        }
+        let tz = SUB_BUCKETS.trailing_zeros() as usize; // log2(SUB_BUCKETS)
+        let msb = 63 - v.leading_zeros() as usize; // >= tz
+        let major = msb - tz + 1;
+        let sub = ((v >> (msb - tz)) as usize) & (SUB_BUCKETS - 1);
+        // Majors beyond the table saturate into the last row.
+        let major = major.min(MAJORS - 1);
+        major * SUB_BUCKETS + sub
+    }
+
+    /// Lower edge of bucket `i` — the smallest value mapping to it. The
+    /// reported quantile value; within `1/SUB_BUCKETS` of any member.
+    fn value_of(i: usize) -> u64 {
+        let major = i / SUB_BUCKETS;
+        let sub = (i % SUB_BUCKETS) as u64;
+        if major == 0 {
+            return sub;
+        }
+        let shift = major - 1 + SUB_BUCKETS.trailing_zeros() as usize;
+        (1u64 << shift) | (sub << (shift - SUB_BUCKETS.trailing_zeros() as usize))
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index_of(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Element-wise merge; associative and commutative by construction.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Value at quantile `q` in [0, 1]: the bucket edge below which at
+    /// least `ceil(q * count)` samples fall. 0 when empty. Matches the
+    /// naive "sorted vector, element at index ceil(q*n)-1" definition up
+    /// to the bucket resolution (the property tests pin the bound).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(i);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("p999", &self.p999())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0 / SUB_BUCKETS as f64), 0);
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+    }
+
+    #[test]
+    fn bucket_edges_round_trip() {
+        // Every bucket's lower edge must map back to that bucket.
+        for i in 0..(40 * SUB_BUCKETS) {
+            let v = LatencyHistogram::value_of(i);
+            assert_eq!(
+                LatencyHistogram::index_of(v),
+                i,
+                "edge {v} of bucket {i} must map home"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        let mut vals = Vec::new();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 5_000_000;
+            h.record(v);
+            vals.push(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = vals[((q * vals.len() as f64).ceil() as usize - 1).min(vals.len() - 1)];
+            let approx = h.quantile(q);
+            let bound = exact as f64 / SUB_BUCKETS as f64 + 1.0;
+            assert!(
+                (approx as f64 - exact as f64).abs() <= bound,
+                "q={q}: approx {approx} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+}

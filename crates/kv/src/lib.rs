@@ -1,0 +1,97 @@
+//! svm-kv: a partitioned key-value service over shared virtual memory.
+//!
+//! The SVM papers' microbenchmarks stress one page-fault protocol at a
+//! time; a key-value service stresses all of them at once, continuously,
+//! under skewed load — which is where consistency-model choice stops
+//! being a benchmark knob and becomes a data-placement decision. This
+//! crate layers a long-lived GET/PUT/SCAN service over the workspace's
+//! SVM stack:
+//!
+//! * [`rpc`] — request/reply framing in single mailbox mails with
+//!   correlation ids (kinds 8/9, above the SVM protocols' range);
+//! * [`store`] — the hash-partitioned store itself, each partition
+//!   independently choosing [`Strategy::Strong`] ownership migration,
+//!   [`Strategy::Lrc`] lock-guarded lazy release, or a read-only
+//!   [`Strategy::Sealed`] snapshot;
+//! * [`gen`] — the deterministic open-loop generator: seeded per-client
+//!   SplitMix64 streams, Zipf(θ) key skew, Poisson arrivals in virtual
+//!   time;
+//! * [`hist`] — an HDR-style log-linear latency histogram with bounded
+//!   quantile error and associative merge.
+//!
+//! Everything is deterministic by construction: the same seed reproduces
+//! the same request trace, the same reply values and the same latency
+//! histogram on the serial executor and on `ParEngine` (the tests in
+//! `tests/tests/kv.rs` diff the outcomes bit-for-bit).
+
+pub mod gen;
+pub mod hist;
+pub mod rpc;
+pub mod store;
+
+pub use gen::{exp_gap, rank_to_key, Stream, Zipf};
+pub use hist::{LatencyHistogram, SUB_BUCKETS};
+pub use rpc::{Op, Reply, Request, Status, KV_REQ, KV_RESP};
+pub use store::{initial_value, run_kv, KvConfig, KvOutcome, ReqRecord, Strategy};
+
+use scc_hw::metrics::MetricsSnapshot;
+
+/// Aggregate per-core outcomes into a `kv.*` metrics snapshot: request
+/// counters (additive) plus merged-histogram latency quantiles (set, in
+/// virtual cycles). Feed the result into the run's metric merge next to
+/// the `svm.*` / `mbx.*` / `exec.*` families.
+pub fn kv_metrics(outcomes: &[KvOutcome]) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::new();
+    let mut hist = LatencyHistogram::new();
+    for o in outcomes {
+        m.add("kv.served", o.served);
+        m.add("kv.gets", o.gets);
+        m.add("kv.puts", o.puts);
+        m.add("kv.scans", o.scans);
+        m.add("kv.rejected", o.rejected);
+        hist.merge(&o.hist);
+    }
+    m.add(
+        "kv.requests",
+        outcomes.iter().map(|o| o.gets + o.puts + o.scans).sum(),
+    );
+    m.set("kv.lat.p50", hist.p50());
+    m.set("kv.lat.p99", hist.p99());
+    m.set("kv.lat.p999", hist.p999());
+    m.set("kv.lat.max", hist.max());
+    m.set("kv.lat.mean", hist.mean() as u64);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_metrics_aggregates_and_sets_quantiles() {
+        let mut a = KvOutcome {
+            is_server: false,
+            served: 0,
+            gets: 10,
+            puts: 5,
+            scans: 1,
+            rejected: 2,
+            hist: LatencyHistogram::new(),
+            records: Vec::new(),
+            start_clock: 0,
+            end_clock: 0,
+        };
+        for v in [100u64, 200, 300, 400] {
+            a.hist.record(v);
+        }
+        let mut b = a.clone();
+        b.is_server = true;
+        b.served = 16;
+        let m = kv_metrics(&[a, b]);
+        assert_eq!(m.get("kv.requests"), 32);
+        assert_eq!(m.get("kv.served"), 16);
+        assert_eq!(m.get("kv.rejected"), 4);
+        assert!(m.get("kv.lat.p99") >= m.get("kv.lat.p50"));
+        assert!(m.get("kv.lat.max") >= m.get("kv.lat.p999"));
+    }
+}

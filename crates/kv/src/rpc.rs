@@ -1,0 +1,172 @@
+//! RPC framing: kv requests and replies as single mailbox mails.
+//!
+//! The mailbox's 32-byte line leaves [`scc_mailbox::MAX_PAYLOAD`] = 20
+//! payload bytes, which fits one request or one reply exactly — kv never
+//! needs fragmentation. Two application mail kinds are claimed above the
+//! SVM protocols' 0–7 range:
+//!
+//! * [`KV_REQ`] (kind 8), client → server:
+//!   `[op:1][corr:4][key:4][val:8]` = 17 bytes. For SCAN, `key` is the
+//!   start key and `val` carries the scan length.
+//! * [`KV_RESP`] (kind 9), server → client:
+//!   `[status:1][corr:4][val:8]` = 13 bytes. For SCAN, `val` is the
+//!   checksum (wrapping sum) of the scanned values.
+//!
+//! Neither kind registers a mail handler: requests queue in the server's
+//! inbox and are consumed by its main `recv` loop in normal kernel
+//! context, where SVM faults and partition locks are safe — the SVM
+//! protocol mails (kinds 1–7) keep their handlers and are dispatched
+//! inside the responsive waits either side. Correlation ids pair replies
+//! with requests: the client matches `recv_from(server)` mails against
+//! the id it sent, so a late or reordered reply can never be attributed
+//! to the wrong request.
+
+use scc_mailbox::{Mail, MailKind};
+
+/// Client → server request mail kind.
+pub const KV_REQ: MailKind = MailKind(8);
+/// Server → client reply mail kind.
+pub const KV_RESP: MailKind = MailKind(9);
+
+/// Operations, as wire tags and trace-event `op` arguments.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    Get = 0,
+    Put = 1,
+    Scan = 2,
+    /// Client is done; no reply. A server exits after one Stop from
+    /// every client.
+    Stop = 3,
+}
+
+impl Op {
+    fn from_wire(b: u8) -> Op {
+        match b {
+            0 => Op::Get,
+            1 => Op::Put,
+            2 => Op::Scan,
+            3 => Op::Stop,
+            _ => panic!("corrupt kv request: unknown op {b}"),
+        }
+    }
+}
+
+/// Reply status codes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    Ok = 0,
+    /// The server refused the operation (PUT against a sealed partition
+    /// that slipped past the client-side filter).
+    Rejected = 1,
+}
+
+/// A decoded request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    pub op: Op,
+    pub corr: u32,
+    pub key: u32,
+    pub val: u64,
+}
+
+impl Request {
+    pub fn encode(&self) -> [u8; 17] {
+        let mut out = [0u8; 17];
+        out[0] = self.op as u8;
+        out[1..5].copy_from_slice(&self.corr.to_le_bytes());
+        out[5..9].copy_from_slice(&self.key.to_le_bytes());
+        out[9..17].copy_from_slice(&self.val.to_le_bytes());
+        out
+    }
+
+    pub fn decode(mail: &Mail) -> Request {
+        let d = mail.data();
+        assert_eq!(d.len(), 17, "corrupt kv request length");
+        Request {
+            op: Op::from_wire(d[0]),
+            corr: u32::from_le_bytes(d[1..5].try_into().unwrap()),
+            key: u32::from_le_bytes(d[5..9].try_into().unwrap()),
+            val: u64::from_le_bytes(d[9..17].try_into().unwrap()),
+        }
+    }
+}
+
+/// A decoded reply.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    pub status: Status,
+    pub corr: u32,
+    pub val: u64,
+}
+
+impl Reply {
+    pub fn encode(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0] = self.status as u8;
+        out[1..5].copy_from_slice(&self.corr.to_le_bytes());
+        out[5..13].copy_from_slice(&self.val.to_le_bytes());
+        out
+    }
+
+    pub fn decode(mail: &Mail) -> Reply {
+        let d = mail.data();
+        assert_eq!(d.len(), 13, "corrupt kv reply length");
+        Reply {
+            status: match d[0] {
+                0 => Status::Ok,
+                1 => Status::Rejected,
+                s => panic!("corrupt kv reply: unknown status {s}"),
+            },
+            corr: u32::from_le_bytes(d[1..5].try_into().unwrap()),
+            val: u64::from_le_bytes(d[5..13].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::CoreId;
+
+    #[test]
+    fn request_round_trips() {
+        let r = Request {
+            op: Op::Scan,
+            corr: 0xDEAD_BEEF,
+            key: 12345,
+            val: 0x0102_0304_0506_0708,
+        };
+        let mail = Mail::new(CoreId::new(3), KV_REQ, 7, &r.encode());
+        assert_eq!(Request::decode(&mail), r);
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let r = Reply {
+            status: Status::Rejected,
+            corr: 42,
+            val: u64::MAX,
+        };
+        let mail = Mail::new(CoreId::new(0), KV_RESP, 9, &r.encode());
+        assert_eq!(Reply::decode(&mail), r);
+    }
+
+    #[test]
+    fn frames_fit_one_mail() {
+        let req = Request {
+            op: Op::Get,
+            corr: 0,
+            key: 0,
+            val: 0,
+        };
+        let rep = Reply {
+            status: Status::Ok,
+            corr: 0,
+            val: 0,
+        };
+        assert!(req.encode().len() <= scc_mailbox::MAX_PAYLOAD);
+        assert!(rep.encode().len() <= scc_mailbox::MAX_PAYLOAD);
+    }
+}

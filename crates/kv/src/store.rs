@@ -1,0 +1,460 @@
+//! The partitioned store and its server/client roles.
+//!
+//! One `run_kv` call is an SPMD program over all participating cores:
+//! every core walks the same collective setup (per-partition region
+//! allocation, lock creation, rank-0 fill, barrier, seal), then splits —
+//! ranks `0..servers` enter the server loop, the rest become load
+//! generators. See DESIGN.md §13 for the full protocol walk-through.
+//!
+//! ## Per-partition consistency strategies
+//!
+//! * [`Strategy::Strong`] — the partition's region uses the strong
+//!   single-owner model, and GET/PUT requests are routed to the
+//!   partition's *home server*. The home server's pages stay put while
+//!   the partition is write-hot — until a SCAN (served round-robin by
+//!   *any* server, on purpose) drags ownership across the mesh and the
+//!   next PUT migrates it back. This is the paper's Fig. 9 migration
+//!   tension, re-created as a service.
+//! * [`Strategy::Lrc`] — the region uses lazy release consistency and
+//!   requests for the partition are spread over *all* servers by key
+//!   hash; every access runs under the partition's [`metalsvm::SvmLock`],
+//!   whose acquire-invalidate / release-flush actions are exactly the
+//!   sync discipline svm-check's vector clocks require. Read-mostly
+//!   partitions stay replicated on every server between invalidations.
+//! * [`Strategy::Sealed`] — the region is filled once, then collectively
+//!   sealed read-only ([`metalsvm::SvmCtx::mprotect_readonly`]); GETs and
+//!   SCANs are served lock-free by any server from local read-only
+//!   mappings, and PUTs are refused at the *client* (counted, never
+//!   sent). Immutable snapshot serving at memory speed.
+
+use crate::gen::{exp_gap, rank_to_key, Stream, Zipf};
+use crate::hist::LatencyHistogram;
+use crate::rpc::{Op, Reply, Request, Status, KV_REQ, KV_RESP};
+use metalsvm::{Consistency, SvmArray, SvmCtx, SvmLock};
+use scc_hw::instr::EventKind;
+use scc_kernel::Kernel;
+use scc_mailbox::Mailbox;
+
+/// Consistency strategy of one partition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    Strong,
+    Lrc,
+    Sealed,
+}
+
+impl Strategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Strong => "strong",
+            Strategy::Lrc => "lrc",
+            Strategy::Sealed => "sealed",
+        }
+    }
+}
+
+/// Configuration of one `run_kv` service run.
+#[derive(Clone, Debug)]
+pub struct KvConfig {
+    /// Ranks `0..servers` serve; the rest generate load. At least one of
+    /// each.
+    pub servers: usize,
+    /// One strategy per partition; keys are spread over partitions by
+    /// `key % partitions.len()`.
+    pub partitions: Vec<Strategy>,
+    /// Total keyspace = `2^keyspace_log2` keys (power of two so the
+    /// rank-to-key scatter is a bijection).
+    pub keyspace_log2: u32,
+    /// Open-loop requests issued by each client.
+    pub requests_per_client: usize,
+    /// Mean Poisson inter-arrival gap per client, in virtual cycles.
+    pub mean_interarrival: u64,
+    /// Zipf skew θ in [0, 1): 0 uniform, 0.99 the classic "high skew".
+    pub zipf_theta: f64,
+    /// Operation mix in percent; the remainder after GETs and SCANs is
+    /// PUTs.
+    pub get_pct: u8,
+    pub scan_pct: u8,
+    /// Keys touched by one SCAN.
+    pub scan_len: u32,
+    /// Master seed; every client stream derives from it.
+    pub seed: u64,
+    /// Keep a full per-request record vector (corr, op, key, scheduled
+    /// and completed stamps) — the determinism tests diff these
+    /// bit-for-bit. Off for the million-request bench runs.
+    pub record_requests: bool,
+}
+
+impl KvConfig {
+    /// A small smoke-test shape: strong + LRC + sealed partitions.
+    pub fn smoke(servers: usize, requests_per_client: usize) -> KvConfig {
+        KvConfig {
+            servers,
+            partitions: vec![Strategy::Strong, Strategy::Lrc, Strategy::Sealed],
+            keyspace_log2: 10,
+            requests_per_client,
+            mean_interarrival: 20_000,
+            zipf_theta: 0.9,
+            get_pct: 70,
+            scan_pct: 10,
+            scan_len: 16,
+            seed: 0x5CC4B,
+            record_requests: false,
+        }
+    }
+
+    fn validate(&self, nranks: usize) {
+        assert!(self.servers >= 1, "need at least one server");
+        assert!(
+            self.servers < nranks,
+            "need at least one client ({} servers, {} cores)",
+            self.servers,
+            nranks
+        );
+        assert!(!self.partitions.is_empty(), "need at least one partition");
+        assert!(
+            (1..=26).contains(&self.keyspace_log2),
+            "keyspace_log2 out of range"
+        );
+        assert!(
+            self.get_pct as u32 + self.scan_pct as u32 <= 100,
+            "op mix exceeds 100%"
+        );
+        assert!(self.scan_len >= 1, "scan_len must be at least 1");
+        assert!(self.mean_interarrival >= 1, "mean_interarrival must be >= 1");
+    }
+}
+
+/// One per-request record (determinism evidence; `record_requests`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ReqRecord {
+    pub corr: u32,
+    pub op: u8,
+    pub key: u32,
+    /// Scheduled (open-loop) arrival, virtual cycles.
+    pub sched: u64,
+    /// Completion stamp; 0 for client-side rejections.
+    pub done: u64,
+    /// Returned value / checksum; 0 for PUTs and rejections.
+    pub val: u64,
+}
+
+/// What one core contributes back from `run_kv`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KvOutcome {
+    /// True for ranks `0..servers`.
+    pub is_server: bool,
+    /// Requests served (server) — GETs + PUTs + SCANs, not STOPs.
+    pub served: u64,
+    /// Client-side issue counts.
+    pub gets: u64,
+    pub puts: u64,
+    pub scans: u64,
+    /// PUTs refused client-side against sealed partitions.
+    pub rejected: u64,
+    /// Client-side end-to-end latency (from *scheduled* arrival).
+    pub hist: LatencyHistogram,
+    /// Per-request records (empty unless `record_requests`).
+    pub records: Vec<ReqRecord>,
+    /// Virtual clock when this core started issuing / serving.
+    pub start_clock: u64,
+    /// Virtual clock when this core finished.
+    pub end_clock: u64,
+}
+
+/// Deterministic initial value of `key` (checked by GET validation).
+pub fn initial_value(key: u32) -> u64 {
+    let mut s = Stream::new(0xF111_0000_0000_0000 ^ u64::from(key));
+    s.next_u64()
+}
+
+struct Partition {
+    region: metalsvm::SvmRegion,
+    array: SvmArray<u64>,
+    lock: SvmLock,
+    strategy: Strategy,
+}
+
+/// The whole service: collective setup, then role split. Returns this
+/// core's contribution. Requires an installed mailbox and SVM system.
+pub fn run_kv(k: &mut Kernel<'_>, mbx: &Mailbox, svm: &mut SvmCtx, cfg: &KvConfig) -> KvOutcome {
+    cfg.validate(k.nranks());
+    let nparts = cfg.partitions.len();
+    let keyspace = 1u64 << cfg.keyspace_log2;
+    let keys_per_part = keyspace.div_ceil(nparts as u64) as usize;
+
+    // --- Collective setup: regions, locks, fill, seal -------------------
+    let parts: Vec<Partition> = cfg
+        .partitions
+        .iter()
+        .map(|&strategy| {
+            let model = match strategy {
+                Strategy::Strong => Consistency::Strong,
+                // Sealed partitions live under LRC until the seal; the
+                // fill-then-barrier gives the seal a clean base.
+                Strategy::Lrc | Strategy::Sealed => Consistency::LazyRelease,
+            };
+            let bytes = (keys_per_part * 8) as u32;
+            let region = svm.alloc(k, bytes, model);
+            Partition {
+                region,
+                array: SvmArray::<u64>::new(region, keys_per_part),
+                lock: svm.lock_new(k),
+                strategy,
+            }
+        })
+        .collect();
+
+    if k.rank() == 0 {
+        // Rank 0 loads every key's initial value; the barrier below is
+        // the release/acquire edge that publishes the fill to everyone.
+        for key in 0..keyspace as u32 {
+            let p = key as usize % nparts;
+            let idx = key as usize / nparts;
+            parts[p].array.set(k, idx, initial_value(key));
+        }
+        k.hw.flush_wcb();
+    }
+    svm.barrier(k);
+    for part in &parts {
+        if part.strategy == Strategy::Sealed {
+            svm.mprotect_readonly(k, part.region);
+        }
+    }
+    svm.barrier(k);
+
+    // --- Role split -----------------------------------------------------
+    let nclients = k.nranks() - cfg.servers;
+    let start_clock = k.hw.now();
+    let mut out = if k.rank() < cfg.servers {
+        serve(k, mbx, &parts, nclients, keys_per_part)
+    } else {
+        generate(k, mbx, cfg, &parts)
+    };
+    out.start_clock = start_clock;
+
+    // Everyone regroups before results are read off: the barrier also
+    // publishes the final store contents for any post-run validation.
+    svm.barrier(k);
+    scc_kernel::ram_barrier(k, "kv.done");
+    out.end_clock = k.hw.now();
+    out
+}
+
+/// Execute one operation against the partitioned store (server side,
+/// normal kernel context — faults and locks are safe here).
+fn apply(k: &mut Kernel<'_>, parts: &[Partition], req: &Request, keys_per_part: usize) -> Reply {
+    let nparts = parts.len();
+    let p = req.key as usize % nparts;
+    let part = &parts[p];
+    let idx = req.key as usize / nparts;
+    match (req.op, part.strategy) {
+        (Op::Get, Strategy::Lrc) => {
+            let val = part.lock.with(k, |k| part.array.get(k, idx));
+            Reply { status: Status::Ok, corr: req.corr, val }
+        }
+        (Op::Get, _) => {
+            let val = part.array.get(k, idx);
+            Reply { status: Status::Ok, corr: req.corr, val }
+        }
+        (Op::Put, Strategy::Sealed) => Reply {
+            status: Status::Rejected,
+            corr: req.corr,
+            val: 0,
+        },
+        (Op::Put, Strategy::Lrc) => {
+            part.lock.with(k, |k| part.array.set(k, idx, req.val));
+            Reply { status: Status::Ok, corr: req.corr, val: 0 }
+        }
+        (Op::Put, Strategy::Strong) => {
+            part.array.set(k, idx, req.val);
+            Reply { status: Status::Ok, corr: req.corr, val: 0 }
+        }
+        (Op::Scan, strategy) => {
+            let len = (req.val as usize).max(1);
+            let end = (idx + len).min(keys_per_part);
+            let sum = |k: &mut Kernel<'_>| {
+                let mut acc = 0u64;
+                for i in idx..end {
+                    acc = acc.wrapping_add(part.array.get(k, i));
+                }
+                acc
+            };
+            let val = if strategy == Strategy::Lrc {
+                part.lock.with(k, sum)
+            } else {
+                sum(k)
+            };
+            Reply { status: Status::Ok, corr: req.corr, val }
+        }
+        (Op::Stop, _) => unreachable!("Stop is consumed by the server loop"),
+    }
+}
+
+/// The server main loop: drain requests until every client said Stop.
+fn serve(
+    k: &mut Kernel<'_>,
+    mbx: &Mailbox,
+    parts: &[Partition],
+    nclients: usize,
+    keys_per_part: usize,
+) -> KvOutcome {
+    let mut stops = 0usize;
+    let mut served = 0u64;
+    while stops < nclients {
+        let mail = mbx.recv(k);
+        debug_assert_eq!(mail.kind, KV_REQ, "unexpected mail kind in kv server");
+        let req = Request::decode(&mail);
+        if req.op == Op::Stop {
+            stops += 1;
+            continue;
+        }
+        let reply = apply(k, parts, &req, keys_per_part);
+        served += 1;
+        mbx.send(k, mail.from, KV_RESP, &reply.encode());
+    }
+    KvOutcome {
+        is_server: true,
+        served,
+        gets: 0,
+        puts: 0,
+        scans: 0,
+        rejected: 0,
+        hist: LatencyHistogram::new(),
+        records: Vec::new(),
+        start_clock: 0,
+        end_clock: 0,
+    }
+}
+
+/// The open-loop client: draw, pace, issue, match the reply, record.
+fn generate(k: &mut Kernel<'_>, mbx: &Mailbox, cfg: &KvConfig, parts: &[Partition]) -> KvOutcome {
+    let nparts = parts.len();
+    let keyspace = 1u64 << cfg.keyspace_log2;
+    // Stream seed mixes the run seed with this client's rank through one
+    // SplitMix64 step so neighbouring ranks get unrelated streams.
+    let mut stream = Stream::new(
+        Stream::new(cfg.seed ^ (k.rank() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64(),
+    );
+    let zipf = Zipf::new(keyspace, cfg.zipf_theta);
+    let participants = k.participants().to_vec();
+    let servers = &participants[..cfg.servers];
+
+    let mut hist = LatencyHistogram::new();
+    let mut records = Vec::new();
+    let (mut gets, mut puts, mut scans, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    let mut t_next = k.hw.now();
+
+    for seq in 0..cfg.requests_per_client {
+        // Fixed draw order: gap, op, key — the determinism contract.
+        t_next += exp_gap(&mut stream, cfg.mean_interarrival);
+        let op_draw = (stream.next_u64() % 100) as u8;
+        let key = rank_to_key(zipf.rank(&mut stream), cfg.keyspace_log2);
+        let p = key as usize % nparts;
+        let strategy = parts[p].strategy;
+        let op = if op_draw < cfg.get_pct {
+            Op::Get
+        } else if op_draw < cfg.get_pct + cfg.scan_pct {
+            Op::Scan
+        } else {
+            Op::Put
+        };
+        let corr = seq as u32;
+
+        // Open-loop pacing: idle until the scheduled arrival if we are
+        // early; if we are late, the lateness is queueing delay and stays
+        // in the measured latency.
+        let now = k.hw.now();
+        if now < t_next {
+            k.hw.advance(t_next - now);
+        }
+
+        k.hw.trace3(EventKind::KvReq, op as u8 as u32, key, corr);
+        if op == Op::Put && strategy == Strategy::Sealed {
+            // Refused at the client: a sealed partition never sees PUTs.
+            rejected += 1;
+            if cfg.record_requests {
+                records.push(ReqRecord {
+                    corr,
+                    op: op as u8,
+                    key,
+                    sched: t_next,
+                    done: 0,
+                    val: 0,
+                });
+            }
+            continue;
+        }
+
+        let req = Request {
+            op,
+            corr,
+            key,
+            val: match op {
+                Op::Put => initial_value(key) ^ u64::from(corr),
+                Op::Scan => u64::from(cfg.scan_len),
+                _ => 0,
+            },
+        };
+        let server = match (op, strategy) {
+            // SCANs deliberately rotate over every server so snapshot
+            // reads and migration storms reach non-home cores.
+            (Op::Scan, _) => servers[corr as usize % servers.len()],
+            (_, Strategy::Strong) => servers[p % servers.len()],
+            // Key-hashed spread; same key, same server — replicas warm up.
+            _ => servers[(Stream::new(u64::from(key)).next_u64() as usize) % servers.len()],
+        };
+        mbx.send(k, server, KV_REQ, &req.encode());
+        let reply = Reply::decode(&mbx.recv_from(k, server));
+        assert_eq!(reply.corr, corr, "correlation mismatch");
+        debug_assert_eq!(reply.status, Status::Ok);
+        match op {
+            Op::Get => gets += 1,
+            Op::Put => puts += 1,
+            Op::Scan => scans += 1,
+            Op::Stop => unreachable!(),
+        }
+
+        let done = k.hw.now();
+        let latency = done - t_next;
+        hist.record(latency);
+        k.hw.trace3(
+            EventKind::KvResp,
+            op as u8 as u32,
+            u32::try_from(latency).unwrap_or(u32::MAX),
+            corr,
+        );
+        if cfg.record_requests {
+            records.push(ReqRecord {
+                corr,
+                op: op as u8,
+                key,
+                sched: t_next,
+                done,
+                val: reply.val,
+            });
+        }
+    }
+
+    let stop = Request {
+        op: Op::Stop,
+        corr: u32::MAX,
+        key: 0,
+        val: 0,
+    };
+    for &srv in servers {
+        mbx.send(k, srv, KV_REQ, &stop.encode());
+    }
+    KvOutcome {
+        is_server: false,
+        served: 0,
+        gets,
+        puts,
+        scans,
+        rejected,
+        hist,
+        records,
+        start_clock: 0,
+        end_clock: 0,
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end tests of the kv service on the full simulated stack.
+
+use metalsvm::{install, SvmConfig};
+use scc_hw::SccConfig;
+use scc_kv::{initial_value, run_kv, KvConfig, KvOutcome, Op, Strategy};
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Boot `n` cores, run the service, return per-core outcomes.
+fn run_service(n: usize, cfg: &KvConfig) -> Vec<KvOutcome> {
+    let cl = scc_kernel::Cluster::new(SccConfig::small()).unwrap();
+    cl.run(n, |k| {
+        let mbx = mbx_install(k, Notify::Ipi);
+        let mut svm = install(k, &mbx, SvmConfig::default());
+        run_kv(k, &mbx, &mut svm, cfg)
+    })
+    .unwrap()
+    .into_iter()
+    .map(|r| r.result)
+    .collect()
+}
+
+#[test]
+fn get_only_run_returns_initial_values_everywhere() {
+    let cfg = KvConfig {
+        get_pct: 100,
+        scan_pct: 0,
+        requests_per_client: 120,
+        record_requests: true,
+        ..KvConfig::smoke(2, 120)
+    };
+    let outs = run_service(6, &cfg);
+    let clients: Vec<_> = outs.iter().filter(|o| !o.is_server).collect();
+    assert_eq!(clients.len(), 4);
+    for o in &clients {
+        assert_eq!(o.gets, 120);
+        assert_eq!(o.puts + o.scans + o.rejected, 0);
+        assert_eq!(o.hist.count(), 120);
+        assert_eq!(o.records.len(), 120);
+        for r in &o.records {
+            assert_eq!(
+                r.val,
+                initial_value(r.key),
+                "GET of key {} returned a wrong value",
+                r.key
+            );
+            assert!(r.done >= r.sched, "completion precedes scheduled arrival");
+        }
+    }
+    let served: u64 = outs.iter().map(|o| o.served).sum();
+    assert_eq!(served, 4 * 120);
+}
+
+#[test]
+fn mixed_ops_balance_and_sealed_puts_are_rejected() {
+    let cfg = KvConfig::smoke(2, 400);
+    let outs = run_service(6, &cfg);
+    let sent: u64 = outs.iter().map(|o| o.gets + o.puts + o.scans).sum();
+    let served: u64 = outs.iter().map(|o| o.served).sum();
+    let rejected: u64 = outs.iter().map(|o| o.rejected).sum();
+    assert_eq!(sent, served, "every sent request must be served");
+    assert_eq!(sent + rejected, 4 * 400, "all draws accounted for");
+    assert!(
+        rejected > 0,
+        "a 20% PUT share over a 1/3-sealed keyspace must reject some"
+    );
+    let hist_count: u64 = outs.iter().map(|o| o.hist.count()).sum();
+    assert_eq!(hist_count, sent, "one latency sample per served request");
+}
+
+#[test]
+fn scans_checksum_the_sealed_partition() {
+    // Scan-only traffic against a single sealed partition: every reply is
+    // the wrapping sum of `scan_len` (or fewer, at the tail) initial
+    // values, independently recomputable here.
+    let cfg = KvConfig {
+        partitions: vec![Strategy::Sealed],
+        get_pct: 0,
+        scan_pct: 100,
+        scan_len: 8,
+        keyspace_log2: 8,
+        requests_per_client: 60,
+        record_requests: true,
+        ..KvConfig::smoke(1, 60)
+    };
+    let outs = run_service(3, &cfg);
+    for o in outs.iter().filter(|o| !o.is_server) {
+        assert_eq!(o.scans, 60);
+        for r in &o.records {
+            assert_eq!(r.op, Op::Scan as u8);
+            let mut want = 0u64;
+            for key in r.key..(r.key + 8).min(1 << 8) {
+                want = want.wrapping_add(initial_value(key));
+            }
+            assert_eq!(r.val, want, "scan at {} returned a wrong checksum", r.key);
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_outcome_across_runs() {
+    let cfg = KvConfig {
+        record_requests: true,
+        ..KvConfig::smoke(2, 150)
+    };
+    let a = run_service(6, &cfg);
+    let b = run_service(6, &cfg);
+    assert_eq!(a, b, "same seed must reproduce the run bit-for-bit");
+    let c = run_service(
+        6,
+        &KvConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        },
+    );
+    assert_ne!(a, c, "a different seed must change the trace");
+}

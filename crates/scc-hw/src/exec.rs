@@ -88,7 +88,15 @@
 use crate::error::HwError;
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a parked core thread sleeps before the watchdog logs one
+/// "parked too long" observation. Pure diagnostics: the thread goes right
+/// back to waiting, the schedule is unaffected. Generous enough that no
+/// healthy run — including 512-core release CI legs — ever trips it.
+const PARK_WATCHDOG_DEFAULT: Duration = Duration::from_secs(10);
 
 /// Election policy of the deterministic executor: how the next baton
 /// holder is chosen among the eligible (runnable or satisfiable) cores.
@@ -177,6 +185,15 @@ pub struct Scheduler {
     fast_yield: bool,
     /// Election policy (see the module docs); `Baton` by default.
     policy: SchedPolicy,
+    /// Parked-too-long watchdog period, in milliseconds. Every condvar
+    /// park in the baton hand-off waits with this timeout; expiry bumps
+    /// `park_watchdog` and logs, then goes back to sleep. Exists to leave
+    /// evidence if the one-off 512-core host-side stall (ROADMAP open
+    /// item 2 — suspected lost wakeup) ever recurs.
+    park_timeout_ms: AtomicU64,
+    /// Number of times any parked thread slept a full watchdog period
+    /// without being woken. Exported as the `exec.park_watchdog` metric.
+    park_watchdog: AtomicU64,
 }
 
 /// Raised inside a core thread when the simulation deadlocks; carries the
@@ -210,7 +227,40 @@ impl Scheduler {
             cvs: (0..nslots).map(|_| Condvar::new()).collect(),
             fast_yield,
             policy,
+            park_timeout_ms: AtomicU64::new(PARK_WATCHDOG_DEFAULT.as_millis() as u64),
+            park_watchdog: AtomicU64::new(0),
         })
+    }
+
+    /// Override the parked-too-long watchdog period (tests use a few
+    /// milliseconds to make the watchdog observable without a real stall).
+    pub fn set_park_timeout(&self, timeout: Duration) {
+        self.park_timeout_ms
+            .store(timeout.as_millis().max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// How many watchdog periods expired with a thread still parked.
+    /// Nonzero in a healthy run means a wakeup took suspiciously long —
+    /// the lost-wakeup evidence ROADMAP open item 2 asks for.
+    pub fn park_watchdog_count(&self) -> u64 {
+        self.park_watchdog.load(Ordering::Relaxed)
+    }
+
+    /// Park `slot`'s thread on its condvar until notified, with the
+    /// watchdog riding along: a full timeout without a wakeup increments
+    /// `park_watchdog`, logs the scheduler state, and resumes waiting.
+    /// Callers re-check their wake condition in a loop around this, so a
+    /// spurious return is harmless — the watchdog changes no schedule.
+    fn park(&self, st: &mut parking_lot::MutexGuard<'_, SchedState>, slot: usize) {
+        let timeout = Duration::from_millis(self.park_timeout_ms.load(Ordering::Relaxed));
+        if self.cvs[slot].wait_for(st, timeout).timed_out() {
+            let n = self.park_watchdog.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "[exec] park watchdog #{n}: slot {slot} parked > {timeout:?} \
+                 (current={:?}, round={}, nblocked={}, reason={:?})",
+                st.current, st.round, st.nblocked, st.reasons[slot]
+            );
+        }
     }
 
     /// Election key for slot `i`; the eligible slot with the smallest
@@ -354,7 +404,7 @@ impl Scheduler {
             if st.deadlock.is_some() {
                 self.unwind_deadlock(&st);
             }
-            self.cvs[slot].wait(&mut st);
+            self.park(&mut st, slot);
         }
     }
 
@@ -383,7 +433,7 @@ impl Scheduler {
                 if st.deadlock.is_some() {
                     self.unwind_deadlock(&st);
                 }
-                self.cvs[slot].wait(&mut st);
+                self.park(&mut st, slot);
             }
             return true;
         }
@@ -392,7 +442,7 @@ impl Scheduler {
             if st.deadlock.is_some() {
                 self.unwind_deadlock(&st);
             }
-            self.cvs[slot].wait(&mut st);
+            self.park(&mut st, slot);
         }
         self.fast_yield
     }
@@ -450,7 +500,7 @@ impl Scheduler {
                     continue;
                 }
             }
-            self.cvs[slot].wait(&mut st);
+            self.park(&mut st, slot);
         }
     }
 
@@ -510,7 +560,7 @@ impl Scheduler {
                     .take()
                     .expect("condition regressed between election and wake");
             }
-            self.cvs[slot].wait(&mut st);
+            self.park(&mut st, slot);
         }
     }
 
@@ -645,6 +695,63 @@ mod tests {
         // Slot 2 (clock 400) must come before slot 1 (clock 500), and both
         // before slot 0 (clock 10000).
         assert_eq!(o, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn park_watchdog_counts_long_parks_without_changing_the_schedule() {
+        // Slot 1 parks while slot 0 sits on the baton through a host-side
+        // sleep several watchdog periods long; the watchdog must tick, and
+        // the run must still complete normally with the same hand-offs.
+        let sched = Scheduler::new(2);
+        sched.set_park_timeout(Duration::from_millis(5));
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for slot in 0..2 {
+                let sched = Arc::clone(&sched);
+                let order = &order;
+                s.spawn(move || {
+                    sched.wait_for_turn(slot);
+                    if slot == 0 {
+                        // Hold the baton in host time; the parked slot 1
+                        // rides through multiple watchdog expiries.
+                        std::thread::sleep(Duration::from_millis(40));
+                        sched.yield_now(0, 1000);
+                        order.lock().push(0);
+                    } else {
+                        sched.yield_now(1, 100);
+                        order.lock().push(1);
+                    }
+                    sched.finish(slot);
+                });
+            }
+        });
+        assert_eq!(
+            *order.lock(),
+            vec![1, 0],
+            "watchdog expiries must not perturb the baton order"
+        );
+        assert!(
+            sched.park_watchdog_count() >= 1,
+            "a 40ms park under a 5ms watchdog must be observed"
+        );
+    }
+
+    #[test]
+    fn park_watchdog_stays_zero_on_healthy_hand_offs() {
+        let sched = Scheduler::new(2);
+        std::thread::scope(|s| {
+            for slot in 0..2 {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    sched.wait_for_turn(slot);
+                    for i in 0..100u64 {
+                        sched.yield_now(slot, (i + 1) * 10 + slot as u64);
+                    }
+                    sched.finish(slot);
+                });
+            }
+        });
+        assert_eq!(sched.park_watchdog_count(), 0);
     }
 
     #[test]

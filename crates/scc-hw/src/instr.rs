@@ -144,11 +144,18 @@ pub enum EventKind {
     /// MPB-tree collective: a parent released a child (`a` = child core,
     /// `b` = barrier epoch, `c` = tree level as in `CollArrive`).
     CollRelease = 37,
+    /// svm-kv: a client issued a request (`a` = op: 0 GET / 1 PUT /
+    /// 2 SCAN, `b` = key, `c` = correlation id).
+    KvReq = 38,
+    /// svm-kv: the matching reply completed at the client
+    /// (`a` = op, `b` = virtual-time latency in cycles, saturated at
+    /// `u32::MAX`, `c` = correlation id).
+    KvResp = 39,
 }
 
 /// All kinds, in discriminant order (kept in sync with the enum; the unit
 /// tests assert the mapping).
-pub const ALL_KINDS: [EventKind; 38] = [
+pub const ALL_KINDS: [EventKind; 40] = [
     EventKind::PageFault,
     EventKind::OwnRequest,
     EventKind::OwnForward,
@@ -187,6 +194,8 @@ pub const ALL_KINDS: [EventKind; 38] = [
     EventKind::FrameOwner,
     EventKind::CollArrive,
     EventKind::CollRelease,
+    EventKind::KvReq,
+    EventKind::KvResp,
 ];
 
 impl EventKind {
@@ -231,6 +240,8 @@ impl EventKind {
             EventKind::FrameOwner => "frame_owner",
             EventKind::CollArrive => "coll_arrive",
             EventKind::CollRelease => "coll_release",
+            EventKind::KvReq => "kv_req",
+            EventKind::KvResp => "kv_resp",
         }
     }
 
@@ -266,6 +277,7 @@ impl EventKind {
             EventKind::BlockEnter | EventKind::BlockExit => "exec",
             EventKind::SvmRead | EventKind::SvmWrite | EventKind::RegionAlloc => "svm",
             EventKind::FrameOwner => "placement",
+            EventKind::KvReq | EventKind::KvResp => "kv",
         }
     }
 
@@ -310,6 +322,8 @@ impl EventKind {
             EventKind::FrameOwner => ("frame", "owner", ""),
             EventKind::CollArrive => ("child", "epoch", "level"),
             EventKind::CollRelease => ("child", "epoch", "level"),
+            EventKind::KvReq => ("op", "key", "corr"),
+            EventKind::KvResp => ("op", "latency", "corr"),
         }
     }
 

@@ -188,6 +188,14 @@ impl Machine {
             if let Some(err) = engine.deadlock_report() {
                 return Err((*err).clone());
             }
+            // The park watchdog lives in the scheduler, not in any one
+            // core's context; fold its count into the first result so it
+            // reaches the metrics registry as `exec.park_watchdog`.
+            if let Engine::Serial(sched) = &*engine {
+                if let Some(first) = out.first_mut() {
+                    first.perf.park_watchdog += sched.park_watchdog_count();
+                }
+            }
             Ok(out)
         })
     }

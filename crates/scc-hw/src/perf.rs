@@ -68,6 +68,11 @@ counters! {
         /// protocol (direct hand-off or inline election — no sleeper
         /// wakeups).
         fast_yields => "exec.fast_yields",
+        /// Parked-too-long watchdog expiries in the serial baton
+        /// executor's condvar hand-off: a thread slept a full watchdog
+        /// period without a wakeup. Nonzero is lost-wakeup evidence
+        /// (the one-off 512-core host-side stall, ROADMAP open item 2).
+        park_watchdog => "exec.park_watchdog",
         /// Safe windows this core executed under the parallel conservative
         /// engine (segments between scheduler interactions).
         par_windows => "exec.par.windows",
@@ -174,7 +179,7 @@ mod tests {
         assert_eq!(m.get("kernel.tlb_hits"), 5);
         assert_eq!(m.get("exec.fast_yields"), 2);
         // One label per field.
-        assert_eq!(m.len(), 42);
+        assert_eq!(m.len(), 43);
         assert_eq!(m.get("exec.par.windows"), 0);
         assert_eq!(m.get("kernel.coll.barriers"), 0);
     }

@@ -32,10 +32,13 @@ struct HeaderArena {
 /// Bytes of the shared region reserved for system structures.
 pub fn header_bytes(mach: &MachineInner) -> u32 {
     // Ownership vector (4 B/page) + first-touch fallback table (2 B/page)
-    // + copyset (8 B/page) + version (4 B/page) + barriers/locks, rounded
-    // up to whole pages.
+    // + version (4 B/page) + multi-word copyset (8 B/page per 64 cores)
+    // + per-core grant-set scratch rows + barriers/locks, rounded up to
+    // whole pages.
     let pages = mach.map.shared_pages() as u32;
-    let want = pages * 20 + 64 * 1024;
+    let ncores = mach.cfg.ncores as u32;
+    let cs_words = ncores.div_ceil(64);
+    let want = pages * (10 + 8 * cs_words) + ncores * 8 * cs_words + 64 * 1024;
     (want + 4095) & !4095
 }
 

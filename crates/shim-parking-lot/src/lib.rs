@@ -62,6 +62,16 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a timed wait (mirrors `parking_lot::WaitTimeoutResult`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
 #[derive(Default)]
 pub struct Condvar {
     inner: sync::Condvar,
@@ -81,6 +91,22 @@ impl Condvar {
                 .wait(inner)
                 .unwrap_or_else(PoisonError::into_inner),
         );
+    }
+
+    /// Wait with a timeout, parking_lot style: returns a result whose
+    /// `timed_out()` is true when the wait expired without a notification.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(res.timed_out())
     }
 
     pub fn notify_one(&self) {
@@ -114,6 +140,17 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0, "lock must survive a panicking holder");
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut g = pair.0.lock();
+        let res = pair.1.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        drop(g);
+        // The guard must still be usable after the timed-out wait.
+        let _g2 = pair.0.lock();
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Cross-crate kv suite: latency-histogram properties against a naive
+//! sorted-vector model, and bit-identical service determinism across the
+//! serial baton executor and the parallel conservative executor.
+
+use metalsvm::{install as svm_install, SvmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scc_hw::{HostFastPaths, SccConfig};
+use scc_kernel::Cluster;
+use scc_kv::{run_kv, KvConfig, KvOutcome, LatencyHistogram, Strategy, SUB_BUCKETS};
+use scc_mailbox::{install as mbx_install, Notify};
+
+/// Naive model: exact quantile of a sorted sample vector, same definition
+/// as the histogram's ("smallest value with at least ceil(q*n) at or
+/// below it").
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[idx]
+}
+
+/// Property: for arbitrary samples and quantiles, the histogram answer is
+/// within one sub-bucket (1/16 relative) of the sorted-vector model.
+#[test]
+fn histogram_quantiles_match_naive_model_within_bound() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..40 {
+        let n = 1 + rng.gen_range_u64(3999);
+        // Mix distribution shapes: small values, wide uniform, log-uniform.
+        let mut vals: Vec<u64> = (0..n)
+            .map(|_| match case % 3 {
+                0 => rng.gen_range_u64(100),
+                1 => rng.gen_range_u64(10_000_000),
+                _ => {
+                    let e = rng.gen_range_u64(40) as u32;
+                    rng.gen_range_u64(2u64.pow(e) + 1)
+                }
+            })
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for _ in 0..16 {
+            let q = 0.001 + rng.gen::<f64>() * 0.998;
+            let exact = exact_quantile(&vals, q);
+            let approx = h.quantile(q);
+            let bound = exact as f64 / SUB_BUCKETS as f64 + 1.0;
+            assert!(
+                (approx as f64 - exact as f64).abs() <= bound,
+                "case {case}, n {n}, q {q}: histogram {approx} vs model {exact} \
+                 (bound {bound})"
+            );
+        }
+        assert_eq!(h.count(), vals.len() as u64);
+        assert_eq!(h.max(), *vals.last().unwrap());
+    }
+}
+
+/// Property: merge is associative and commutative, and merging shards
+/// equals recording everything into one histogram.
+#[test]
+fn histogram_merge_is_associative_and_lossless() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..20 {
+        let shards: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                (0..rng.gen_range_u64(500))
+                    .map(|_| rng.gen_range_u64(1_000_000))
+                    .collect()
+            })
+            .collect();
+        let hs: Vec<LatencyHistogram> = shards
+            .iter()
+            .map(|vs| {
+                let mut h = LatencyHistogram::new();
+                for &v in vs {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+
+        // ((a + b) + c)
+        let mut left = hs[0].clone();
+        left.merge(&hs[1]);
+        left.merge(&hs[2]);
+        // (a + (b + c))
+        let mut bc = hs[1].clone();
+        bc.merge(&hs[2]);
+        let mut right = hs[0].clone();
+        right.merge(&bc);
+        // (c + b + a) — commutativity
+        let mut rev = hs[2].clone();
+        rev.merge(&hs[1]);
+        rev.merge(&hs[0]);
+        // Everything recorded into one histogram directly.
+        let mut all = LatencyHistogram::new();
+        for vs in &shards {
+            for &v in vs {
+                all.record(v);
+            }
+        }
+        assert_eq!(left, right, "merge must be associative");
+        assert_eq!(left, rev, "merge must be commutative");
+        assert_eq!(left, all, "merging shards must equal direct recording");
+    }
+}
+
+/// One kv service run under the given executor mode; full per-request
+/// records on so the comparison is bit-for-bit.
+fn kv_run(host_fast: HostFastPaths, seed: u64) -> Vec<KvOutcome> {
+    let cfg = SccConfig {
+        host_fast,
+        ..SccConfig::small()
+    };
+    let kv = KvConfig {
+        servers: 2,
+        partitions: vec![Strategy::Strong, Strategy::Lrc, Strategy::Sealed],
+        keyspace_log2: 10,
+        requests_per_client: 200,
+        mean_interarrival: 25_000,
+        zipf_theta: 0.9,
+        get_pct: 60,
+        scan_pct: 15,
+        scan_len: 12,
+        seed,
+        record_requests: true,
+    };
+    let cl = Cluster::new(cfg).expect("machine");
+    cl.run(8, |k| {
+        // The parallel executor does not support IPIs; both sides poll so
+        // the comparison is apples to apples.
+        let mbx = mbx_install(k, Notify::Poll);
+        let mut svm = svm_install(k, &mbx, SvmConfig::default());
+        run_kv(k, &mbx, &mut svm, &kv)
+    })
+    .expect("kv service must not deadlock")
+    .into_iter()
+    .map(|r| r.result)
+    .collect()
+}
+
+/// The determinism contract: the same seed must produce bit-identical
+/// request traces (every corr/op/key/sched/done stamp), reply values and
+/// latency histograms under the serial baton executor and the parallel
+/// conservative executor.
+#[test]
+fn kv_service_bit_identical_parallel_vs_serial() {
+    let serial = kv_run(HostFastPaths::default(), 0xD00D);
+    let parallel = kv_run(HostFastPaths::parallel(), 0xD00D);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(s, p, "core {i} diverged between executors");
+    }
+    // And a different seed must actually change the trace (the comparison
+    // above is not vacuous).
+    let other = kv_run(HostFastPaths::default(), 0xD00E);
+    assert_ne!(serial, other);
+}
