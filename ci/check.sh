@@ -116,6 +116,26 @@ cargo test -q --features trace -p integration-tests --test explore
 cargo test -q -p integration-tests --test explore
 cargo test -q -p scc-explore
 
+# Coverage-guided schedule fuzzing (DESIGN.md §16). The bounded smoke
+# campaign must find both planted schedule bugs, keep every clean app
+# free of false findings, and beat the blind sweep on total executions
+# to find them — `--bench` asserts all of that plus the 64-core leg
+# (corpus growth, zero false findings on 8x8x1:4) and exits non-zero
+# otherwise. Fixed seed, ≤200 executions per app; the whole leg is
+# seconds. The property/determinism suites ride along: fault-plan
+# round-trips, counter windows, and the two-process reproducibility
+# check (which spawns the svmfuzz binary itself).
+echo "== svmfuzz: fuzzing suite, both feature halves =="
+cargo test -q --features trace -p scc-explore
+cargo test -q -p scc-explore
+
+echo "== svmfuzz: bounded smoke + blind-sweep benchmark (scc48 + mesh64) =="
+cargo build -q --release --features trace -p scc-explore --bin svmfuzz
+./target/release/svmfuzz --execs 200 --seed 2 --out results \
+    --json results/FUZZ_summary.json
+./target/release/svmfuzz --bench results/BENCH_fuzz.json --execs 40 --seed 2 \
+    --out results
+
 # Configurable topology (DESIGN.md §11). The machine shape is a runtime
 # parameter; the suites above all ran the scc48 preset via the default.
 # These legs re-run the determinism-critical suites on non-SCC shapes:

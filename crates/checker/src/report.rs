@@ -71,7 +71,63 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+impl Finding {
+    /// The finding's identity for deduplication on the fuzzing path:
+    /// detector, slug, page and role-ordered cores — everything that
+    /// distinguishes two *distinct* bugs, and nothing that merely varies
+    /// between two reproductions of the same one (timestamps, excerpt
+    /// text). Two schedules that trip the same protocol violation on the
+    /// same page with the same cores count as one finding in a corpus.
+    pub fn dedup_key(&self) -> (Detector, &'static str, Option<u32>, &[usize]) {
+        (self.detector, self.slug, self.page, &self.cores)
+    }
+}
+
 impl Report {
+    /// Deterministic 64-bit fingerprint of the finding *set* (dedup keys,
+    /// sorted): the oracle-side half of svm-fuzz's replayability story.
+    /// Two runs — in the same process or across processes — report the
+    /// same fingerprint iff they found the same set of distinct bugs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut keys: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let cores: Vec<String> = f.cores.iter().map(|c| c.to_string()).collect();
+                format!(
+                    "{}:{}:{}:{}",
+                    f.detector.name(),
+                    f.slug,
+                    f.page.map_or(-1i64, i64::from),
+                    cores.join(",")
+                )
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        // FNV-1a over the sorted keys: stable across platforms and
+        // processes (no RandomState).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for k in &keys {
+            for b in k.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The distinct finding slugs, sorted — the coarse classification the
+    /// fuzz loop logs per execution.
+    pub fn slugs(&self) -> Vec<&'static str> {
+        let mut s: Vec<&'static str> = self.findings.iter().map(|f| f.slug).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
     /// Render as JSON (hand-rolled — the workspace is offline and carries
     /// no serde_json).
     pub fn to_json(&self) -> String {
@@ -184,6 +240,21 @@ mod tests {
             events: 10,
             cores: 2,
         }
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_and_dedups_reproductions() {
+        let a = report(vec![finding("stale-read"), finding("unreleased-lock")]);
+        let b = report(vec![finding("unreleased-lock"), finding("stale-read")]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "order must not matter");
+        // The same bug firing twice is one distinct finding.
+        let c = report(vec![finding("stale-read"), finding("stale-read")]);
+        let d = report(vec![finding("stale-read")]);
+        assert_eq!(c.fingerprint(), d.fingerprint());
+        // Different sets fingerprint differently.
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert_ne!(report(vec![]).fingerprint(), d.fingerprint());
+        assert_eq!(a.slugs(), vec!["stale-read", "unreleased-lock"]);
     }
 
     #[test]

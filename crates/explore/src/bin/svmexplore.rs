@@ -19,7 +19,8 @@
 //! misbehaved, or the replay diverged; 2 — usage or I/O error.
 
 use scc_explore::{
-    app, explore_app, explore_registry, parse_replay, run_scenario, ExploreConfig, Summary,
+    app, explore_app, explore_registry, parse_replay_full, run_scenario, ExploreConfig,
+    ReplayError, Summary,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -72,7 +73,14 @@ fn silence_panics() {
 fn run_replay(path: &PathBuf) -> Result<bool, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let (sc, expected) = parse_replay(&text)?;
+    let parsed = parse_replay_full(&text).map_err(|e| e.to_string())?;
+    // A replay only reproduces on the mesh it was recorded on: refuse to
+    // run one against the wrong SCC_TOPOLOGY instead of silently
+    // diverging (wrong core ids, missed fault filters, other elections).
+    if let Err(e @ ReplayError::TopologyMismatch { .. }) = parsed.verify_topology() {
+        return Err(e.to_string());
+    }
+    let (sc, expected) = (parsed.scenario, parsed.expected);
     println!(
         "replaying {} — app {}, expecting {}",
         path.display(),

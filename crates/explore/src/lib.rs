@@ -25,15 +25,23 @@
 //! a replay file is a complete run description, and re-running either
 //! reproduces the original outcome exactly.
 
+pub mod corpus;
+pub mod coverage;
 pub mod explore;
+pub mod fuzz;
+pub mod mutate;
 pub mod registry;
 pub mod replay;
 pub mod runner;
 
+pub use corpus::{Corpus, CorpusEntry, Plan};
+pub use coverage::{Coverage, GlobalCoverage};
 pub use explore::{explore_app, explore_registry, AppReport, ExploreConfig, Summary};
+pub use fuzz::{fuzz_app, fuzz_registry, FuzzAppReport, FuzzConfig, FuzzSummary};
+pub use mutate::Rng;
 pub use registry::{app, registry, AppRun, AppSpec, Expected};
-pub use replay::{parse_replay, render_replay};
-pub use runner::{run_scenario, trace_cfg, Outcome, Scenario};
+pub use replay::{parse_replay, parse_replay_full, render_replay, ParsedReplay, ReplayError};
+pub use runner::{run_scenario, run_scenario_traced, trace_cfg, Outcome, Scenario};
 
 /// Was the crate built with the `trace` feature? Without it the checker
 /// oracle observes empty event rings and finding-based expectations are

@@ -1,0 +1,354 @@
+//! The fuzzer's mutation engine: deterministic, bounded perturbations of
+//! a [`Plan`] (schedule policy × fault plan).
+//!
+//! Two constraints shape the operators:
+//!
+//! * **Determinism** — the only randomness is the [`Rng`] passed in (a
+//!   SplitMix64 stream), so a fuzz campaign is a pure function of its
+//!   master seed; the determinism suite runs two processes and demands
+//!   identical corpora.
+//! * **Bounded magnitudes** — fault plans must *perturb* a clean app, not
+//!   destroy it. An unbounded `DropIpi` count exhausts the mailbox retry
+//!   budget and panics a correctly-synchronized program, which would read
+//!   as a false finding. Drops stay small, delays stay well under the
+//!   retry horizon, and plans are capped at [`MAX_FAULTS`] entries.
+
+use crate::corpus::Plan;
+use scc_hw::{Fault, SchedPolicy};
+
+/// SplitMix64 PRNG: tiny, deterministic, splittable by construction —
+/// `Rng::new(seed ^ tag)` derives an independent stream per app or per
+/// worker process.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0). Modulo bias is irrelevant at fuzzing's
+    /// `n` ≪ 2⁶⁴.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, s: &'a [T]) -> &'a T {
+        &s[self.below(s.len() as u64) as usize]
+    }
+}
+
+/// Maximum fault entries per plan. Deep stacks of faults mostly saturate
+/// the recovery paths instead of finding new interleavings.
+pub const MAX_FAULTS: usize = 4;
+
+/// Upper bound on injected delay/stall cycles. The mailbox send path
+/// retries ~10⁴ times before declaring a hang; delays must stay far below
+/// the point where a clean app's progress stalls past that budget.
+const MAX_DELAY_CYCLES: u64 = 400_000;
+
+/// Upper bound on consecutive dropped IPIs — the resilient mailbox
+/// recovers from a few dropped doorbells by polling, but a long streak
+/// on a small app turns into a spurious hang.
+const MAX_DROP_COUNT: u32 = 3;
+
+fn clamp_cycles(c: u64) -> u64 {
+    c.clamp(1_000, MAX_DELAY_CYCLES)
+}
+
+/// `Some(core)` with probability 2/3, else `None` (= any core).
+fn core_filter(rng: &mut Rng, ncores: usize) -> Option<usize> {
+    if rng.chance(2, 3) {
+        Some(rng.below(ncores as u64) as usize)
+    } else {
+        None
+    }
+}
+
+/// Generate one random fault with bounded magnitudes.
+fn random_fault(rng: &mut Rng, ncores: usize) -> Fault {
+    match rng.below(5) {
+        0 => Fault::DropIpi {
+            src: core_filter(rng, ncores),
+            dst: core_filter(rng, ncores),
+            nth: rng.below(8) as u32,
+            count: 1 + rng.below(u64::from(MAX_DROP_COUNT)) as u32,
+        },
+        1 => Fault::DelayIpi {
+            src: core_filter(rng, ncores),
+            dst: core_filter(rng, ncores),
+            nth: rng.below(8) as u32,
+            count: 1 + rng.below(2) as u32,
+            cycles: clamp_cycles(1_000 << rng.below(9)),
+        },
+        2 => Fault::DelayMailSlot {
+            src: core_filter(rng, ncores),
+            dst: core_filter(rng, ncores),
+            nth: rng.below(8) as u32,
+            count: 1 + rng.below(2) as u32,
+            cycles: clamp_cycles(1_000 << rng.below(9)),
+        },
+        3 => Fault::StallTas {
+            reg: core_filter(rng, ncores),
+            nth: rng.below(8) as u32,
+            count: 1 + rng.below(2) as u32,
+            cycles: clamp_cycles(1_000 << rng.below(9)),
+        },
+        _ => Fault::FreezeCore {
+            core: rng.below(ncores as u64) as usize,
+            at: rng.below(200_000),
+            cycles: clamp_cycles(10_000 << rng.below(6)),
+        },
+    }
+}
+
+/// Shift a fault's `nth` window start by ±Δ and/or widen its `count`.
+fn perturb_window(rng: &mut Rng, f: &mut Fault) {
+    let delta = rng.below(4) as u32;
+    let widen = rng.chance(1, 3);
+    let mut shift = |nth: &mut u32| {
+        if rng.chance(1, 2) {
+            *nth = nth.saturating_add(delta);
+        } else {
+            *nth = nth.saturating_sub(delta);
+        }
+    };
+    match f {
+        Fault::DropIpi { nth, count, .. } => {
+            shift(nth);
+            if widen {
+                *count = (*count + 1).min(MAX_DROP_COUNT);
+            }
+        }
+        Fault::DelayIpi { nth, count, .. }
+        | Fault::DelayMailSlot { nth, count, .. }
+        | Fault::StallTas { nth, count, .. } => {
+            shift(nth);
+            if widen {
+                *count = (*count + 1).min(4);
+            }
+        }
+        Fault::FreezeCore { at, .. } => {
+            // The freeze window is positioned in cycles, not event counts.
+            let d = 10_000u64 * u64::from(delta);
+            *at = if rng.chance(1, 2) {
+                at.saturating_add(d)
+            } else {
+                at.saturating_sub(d)
+            };
+        }
+    }
+}
+
+/// Scale a fault's delay cycles by ×2 or ÷2 (clamped).
+fn scale_cycles(rng: &mut Rng, f: &mut Fault) {
+    let up = rng.chance(1, 2);
+    let scale = |c: &mut u64| *c = clamp_cycles(if up { *c * 2 } else { *c / 2 });
+    match f {
+        Fault::DelayIpi { cycles, .. }
+        | Fault::DelayMailSlot { cycles, .. }
+        | Fault::StallTas { cycles, .. }
+        | Fault::FreezeCore { cycles, .. } => scale(cycles),
+        Fault::DropIpi { .. } => {}
+    }
+}
+
+/// A pure schedule probe: a fresh `SeededRandom` election order and no
+/// faults. The fuzz loop runs a handful of these before the feedback
+/// loop takes over — while the corpus holds nothing but the baseline
+/// there is no coverage gradient to exploit, and a blind schedule draw
+/// is the cheapest way to seed one (it is exactly what the blind
+/// seed-sweep baseline does, so the fuzzer never starts slower).
+pub fn schedule_probe(rng: &mut Rng) -> Plan {
+    Plan {
+        policy: SchedPolicy::SeededRandom {
+            seed: rng.next_u64() >> 16,
+        },
+        faults: Default::default(),
+    }
+}
+
+/// Mutate `base` into a new candidate plan. `peer` (another corpus entry,
+/// when the corpus has one) enables the splice/crossover operators.
+/// `ncores` bounds core-targeting faults and the band vector.
+pub fn mutate(rng: &mut Rng, base: &Plan, peer: Option<&Plan>, ncores: usize) -> Plan {
+    let mut plan = base.clone();
+    // Apply 1–2 operators per candidate: single steps keep the coverage
+    // gradient readable; an occasional double step jumps further.
+    let steps = 1 + rng.below(2);
+    for _ in 0..steps {
+        match rng.below(10) {
+            // — schedule operators —
+            0 => {
+                // Fresh seed: an entirely new election sequence.
+                plan.policy = SchedPolicy::SeededRandom {
+                    seed: rng.next_u64() >> 16,
+                };
+            }
+            1 => {
+                // Tweak: a nearby seed diverges late, probing the
+                // neighborhood of a schedule that earned coverage.
+                plan.policy = match plan.policy {
+                    SchedPolicy::SeededRandom { seed } => SchedPolicy::SeededRandom {
+                        seed: seed ^ (1 << rng.below(16)),
+                    },
+                    _ => SchedPolicy::SeededRandom {
+                        seed: 1 + rng.below(1 << 16),
+                    },
+                };
+            }
+            2 => {
+                // Priority bands: structured starvation instead of noise.
+                let bands: Vec<u8> =
+                    (0..ncores).map(|_| rng.below(3) as u8).collect();
+                plan.policy = SchedPolicy::PriorityBands { bands };
+            }
+            3 => {
+                // Bump one band entry (or fall back to fresh bands).
+                plan.policy = match plan.policy {
+                    SchedPolicy::PriorityBands { mut bands } => {
+                        if !bands.is_empty() {
+                            let i = rng.below(bands.len() as u64) as usize;
+                            bands[i] = (bands[i] + 1) % 3;
+                        }
+                        SchedPolicy::PriorityBands { bands }
+                    }
+                    _ => SchedPolicy::PriorityBands {
+                        bands: (0..ncores).map(|_| rng.below(3) as u8).collect(),
+                    },
+                };
+            }
+            // — fault operators —
+            4 | 5 => {
+                if plan.faults.faults.len() < MAX_FAULTS {
+                    plan.faults.faults.push(random_fault(rng, ncores));
+                }
+            }
+            6 => {
+                if !plan.faults.faults.is_empty() {
+                    let i = rng.below(plan.faults.faults.len() as u64) as usize;
+                    plan.faults.faults.remove(i);
+                }
+            }
+            7 => {
+                if !plan.faults.faults.is_empty() {
+                    let i = rng.below(plan.faults.faults.len() as u64) as usize;
+                    perturb_window(rng, &mut plan.faults.faults[i]);
+                }
+            }
+            8 => {
+                if !plan.faults.faults.is_empty() {
+                    let i = rng.below(plan.faults.faults.len() as u64) as usize;
+                    scale_cycles(rng, &mut plan.faults.faults[i]);
+                }
+            }
+            // — corpus crossover —
+            _ => {
+                if let Some(p) = peer {
+                    if rng.chance(1, 2) && !p.faults.faults.is_empty() {
+                        // Splice: graft one of the peer's faults in.
+                        let f = rng.pick(&p.faults.faults).clone();
+                        if plan.faults.faults.len() < MAX_FAULTS {
+                            plan.faults.faults.push(f);
+                        }
+                    } else {
+                        // Crossover: this plan's faults under the peer's
+                        // schedule (or vice-versa half the time).
+                        plan.policy = p.policy.clone();
+                    }
+                }
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_hw::FaultPlan;
+
+    fn baseline() -> Plan {
+        Plan {
+            policy: SchedPolicy::Baton,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_spreads() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], xs[1]);
+        let mut c = Rng::new(43);
+        assert_ne!(xs[0], c.next_u64(), "different seeds diverge");
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let base = baseline();
+        let mut r1 = Rng::new(7);
+        let mut r2 = Rng::new(7);
+        for _ in 0..50 {
+            let a = mutate(&mut r1, &base, None, 4);
+            let b = mutate(&mut r2, &base, None, 4);
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.faults, b.faults);
+        }
+    }
+
+    #[test]
+    fn magnitudes_stay_bounded() {
+        let mut rng = Rng::new(1);
+        let mut plan = baseline();
+        for _ in 0..2_000 {
+            plan = mutate(&mut rng, &plan, Some(&plan.clone()), 4);
+            assert!(plan.faults.faults.len() <= MAX_FAULTS);
+            for f in &plan.faults.faults {
+                match *f {
+                    Fault::DropIpi { count, .. } => {
+                        assert!(count <= MAX_DROP_COUNT, "drop count {count}")
+                    }
+                    Fault::DelayIpi { cycles, .. }
+                    | Fault::DelayMailSlot { cycles, .. }
+                    | Fault::StallTas { cycles, .. }
+                    | Fault::FreezeCore { cycles, .. } => {
+                        assert!(cycles <= MAX_DELAY_CYCLES, "cycles {cycles}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_actually_moves() {
+        // Over a handful of candidates the plan must leave the baseline —
+        // a fuzzer whose mutator is a no-op finds nothing.
+        let base = baseline();
+        let mut rng = Rng::new(3);
+        let moved = (0..10)
+            .map(|_| mutate(&mut rng, &base, None, 4))
+            .any(|p| p.policy != base.policy || p.faults != base.faults);
+        assert!(moved);
+    }
+}

@@ -5,21 +5,26 @@
 //! ```text
 //! # svmexplore replay
 //! app lost_wakeup_barrier
+//! topology 6x4x2:4
 //! policy random 7
 //! fault drop-ipi src=* dst=0 nth=0 count=1
 //! expect deadlock
 //! ```
 //!
-//! Lines: `app NAME` (required, must be in the registry), `policy baton` |
+//! Lines: `app NAME` (required, must be in the registry), `topology SPEC`
+//! (the mesh the scenario was recorded on), `policy baton` |
 //! `policy random SEED` | `policy bands B0,B1,...` (default baton), any
 //! number of `fault` lines, and `expect clean` | `expect finding SLUG` |
 //! `expect deadlock` (required). `#` starts a comment. Because a scenario
-//! fully determines a run, replaying the file reproduces the original
-//! outcome bit-identically.
+//! fully determines a run *on a given machine shape*, replaying the file
+//! reproduces the original outcome bit-identically — on a different
+//! topology all bets are off (core ids shift, fault filters miss, the
+//! election order changes), which is why [`ParsedReplay::verify_topology`]
+//! turns that silent divergence into a typed error.
 
 use crate::registry::{app, Expected};
 use crate::runner::Scenario;
-use scc_hw::{Fault, FaultPlan, SchedPolicy};
+use scc_hw::{Fault, FaultPlan, SchedPolicy, Topology};
 
 fn opt(v: Option<usize>) -> String {
     v.map_or_else(|| "*".into(), |x| x.to_string())
@@ -74,10 +79,72 @@ fn fault_line(f: &Fault) -> String {
     }
 }
 
-/// Render a scenario + expectation as a replay file.
+/// Why a replay file cannot be (safely) replayed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The file didn't parse (message carries line and reason).
+    Parse(String),
+    /// The file records a different machine shape than `SCC_TOPOLOGY`
+    /// currently selects. Replaying anyway would not reproduce the run —
+    /// core ids shift, fault filters miss, elections diverge — so this is
+    /// an error, not a warning.
+    TopologyMismatch {
+        recorded: Topology,
+        active: Topology,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Parse(m) => write!(f, "{m}"),
+            ReplayError::TopologyMismatch { recorded, active } => write!(
+                f,
+                "replay was recorded on topology {recorded} but the active \
+                 topology is {active}; set SCC_TOPOLOGY={recorded} to replay it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A fully parsed replay file: the runnable scenario, the expected
+/// outcome class, and the machine shape the file was recorded on (absent
+/// in files written before topology recording).
+pub struct ParsedReplay {
+    pub scenario: Scenario,
+    pub expected: Expected,
+    pub topology: Option<Topology>,
+}
+
+impl ParsedReplay {
+    /// Check the recorded topology against the one `SCC_TOPOLOGY`
+    /// currently selects (what the replayed run will actually use).
+    /// Files without a topology line pass vacuously — they predate
+    /// recording and there is nothing to check.
+    pub fn verify_topology(&self) -> Result<(), ReplayError> {
+        self.verify_topology_against(Topology::from_env_or_scc48())
+    }
+
+    /// [`ParsedReplay::verify_topology`] against an explicit shape.
+    pub fn verify_topology_against(&self, active: Topology) -> Result<(), ReplayError> {
+        match self.topology {
+            Some(recorded) if recorded != active => {
+                Err(ReplayError::TopologyMismatch { recorded, active })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Render a scenario + expectation as a replay file. Records the active
+/// topology so a later replay on a different mesh fails loudly instead of
+/// silently diverging.
 pub fn render_replay(sc: &Scenario, expected: &Expected) -> String {
     let mut out = String::from("# svmexplore replay\n");
     out.push_str(&format!("app {}\n", sc.app.name));
+    out.push_str(&format!("topology {}\n", Topology::from_env_or_scc48()));
     match &sc.policy {
         SchedPolicy::Baton => out.push_str("policy baton\n"),
         SchedPolicy::SeededRandom { seed } => {
@@ -180,8 +247,23 @@ fn parse_fault(rest: &str) -> Result<Fault, String> {
 }
 
 /// Parse a replay file back into a runnable scenario + expectation.
+/// Compatibility wrapper over [`parse_replay_full`] that drops the
+/// topology record — callers that replay must use the full form and
+/// [`ParsedReplay::verify_topology`].
 pub fn parse_replay(text: &str) -> Result<(Scenario, Expected), String> {
+    parse_replay_full(text)
+        .map(|p| (p.scenario, p.expected))
+        .map_err(|e| e.to_string())
+}
+
+/// Parse a replay file, including its recorded topology.
+pub fn parse_replay_full(text: &str) -> Result<ParsedReplay, ReplayError> {
+    parse_replay_inner(text).map_err(ReplayError::Parse)
+}
+
+fn parse_replay_inner(text: &str) -> Result<ParsedReplay, String> {
     let mut name: Option<&str> = None;
+    let mut topology: Option<Topology> = None;
     let mut policy = SchedPolicy::Baton;
     let mut faults = Vec::new();
     let mut expected: Option<Expected> = None;
@@ -195,6 +277,12 @@ pub fn parse_replay(text: &str) -> Result<(Scenario, Expected), String> {
         let rest = rest.trim();
         match key {
             "app" => name = Some(rest),
+            "topology" => {
+                topology = Some(
+                    Topology::from_spec(rest)
+                        .map_err(|e| err(format!("bad topology: {e}")))?,
+                );
+            }
             "policy" => {
                 let (kind, arg) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
                 policy = match kind {
@@ -242,14 +330,15 @@ pub fn parse_replay(text: &str) -> Result<(Scenario, Expected), String> {
     let name = name.ok_or("replay file has no 'app' line")?;
     let spec = app(name).ok_or_else(|| format!("app '{name}' is not in the registry"))?;
     let expected = expected.ok_or("replay file has no 'expect' line")?;
-    Ok((
-        Scenario {
+    Ok(ParsedReplay {
+        scenario: Scenario {
             app: spec,
             policy,
             faults: FaultPlan { faults },
         },
         expected,
-    ))
+        topology,
+    })
 }
 
 #[cfg(test)]
@@ -301,6 +390,58 @@ mod tests {
         assert!(parse_replay("app stale_read\n").is_err());
         assert!(parse_replay("app stale_read\npolicy random notanum\nexpect clean\n").is_err());
         assert!(parse_replay("app stale_read\nfault warp-core core=1\nexpect clean\n").is_err());
+    }
+
+    #[test]
+    fn topology_is_recorded_and_verified() {
+        let spec = app("stale_read").expect("registry app");
+        let sc = Scenario {
+            app: spec,
+            policy: SchedPolicy::Baton,
+            faults: FaultPlan::default(),
+        };
+        let text = render_replay(&sc, &Expected::Clean);
+        let parsed = parse_replay_full(&text).expect("parses");
+        let recorded = parsed.topology.expect("render records the topology");
+
+        // Same shape: ok. Different shape: typed mismatch, both ways.
+        assert_eq!(parsed.verify_topology_against(recorded), Ok(()));
+        let other = if recorded == Topology::scc48() {
+            Topology::mesh8x8()
+        } else {
+            Topology::scc48()
+        };
+        match parsed.verify_topology_against(other) {
+            Err(ReplayError::TopologyMismatch { recorded: r, active }) => {
+                assert_eq!(r, recorded);
+                assert_eq!(active, other);
+            }
+            o => panic!("expected TopologyMismatch, got {o:?}"),
+        }
+        // The message tells the user how to fix it.
+        let msg = ReplayError::TopologyMismatch {
+            recorded,
+            active: other,
+        }
+        .to_string();
+        assert!(msg.contains("SCC_TOPOLOGY"), "actionable message: {msg}");
+    }
+
+    #[test]
+    fn files_without_topology_still_verify() {
+        let text = "app stale_read\npolicy baton\nexpect deadlock\n";
+        let parsed = parse_replay_full(text).expect("parses");
+        assert_eq!(parsed.topology, None);
+        assert_eq!(parsed.verify_topology_against(Topology::mesh16x16()), Ok(()));
+    }
+
+    #[test]
+    fn bad_topology_line_is_a_parse_error() {
+        let text = "app stale_read\ntopology 6x4x2\nexpect clean\n";
+        match parse_replay_full(text) {
+            Err(ReplayError::Parse(m)) => assert!(m.contains("topology"), "{m}"),
+            o => panic!("expected parse error, got {:?}", o.is_ok()),
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Execute one scenario — app × schedule policy × fault plan — on a fresh
 //! machine and classify the outcome.
 
+use crate::coverage::Coverage;
 use crate::registry::{AppRun, AppSpec, Expected};
 use metalsvm::{install as svm_install, SvmConfig};
 use scc_checker::{check_rings, Finding};
@@ -79,6 +80,16 @@ impl Outcome {
     }
 }
 
+/// Election-budget livelock guard for every explored/fuzzed scenario.
+/// Non-baton policies can livelock spin-synchronized apps — a
+/// `PriorityBands` schedule starves the core a spinner waits on, forever
+/// — which presents as a wedged host process, not a detectable deadlock.
+/// The registry workloads finish within a few hundred thousand elections
+/// (see the `baseline_runs_fit_far_under_the_livelock_budget` test), so
+/// a two-million budget is pure headroom for legitimate runs while
+/// bounding a livelocked one to well under a second.
+pub const LIVELOCK_ELECTION_BUDGET: u64 = 2_000_000;
+
 /// The trace configuration every scenario runs under: big enough rings
 /// that the small registry workloads never wrap (a wrapped ring weakens
 /// the checker's absence-based rules).
@@ -102,10 +113,21 @@ fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
 /// Run one scenario on a fresh machine and classify the outcome. Fully
 /// deterministic: the same scenario always returns the same outcome.
 pub fn run_scenario(sc: &Scenario) -> Outcome {
+    run_scenario_traced(sc).0
+}
+
+/// Like [`run_scenario`], but also accumulates the run's protocol-event
+/// [`Coverage`] from the per-core rings (the fuzzer's feedback signal).
+/// Deadlocked and panicked runs lose their rings to the unwinding
+/// cluster, so their coverage is empty — the outcome itself is the
+/// interesting part there. Without the `trace` feature the rings are
+/// empty and coverage is always zero.
+pub fn run_scenario_traced(sc: &Scenario) -> (Outcome, Coverage) {
     let cfg = SccConfig {
         sched: sc.policy.clone(),
         faults: sc.faults.clone(),
         trace: trace_cfg(),
+        election_budget: Some(LIVELOCK_ELECTION_BUDGET),
         ..SccConfig::small()
     };
     let spec = sc.app;
@@ -128,11 +150,13 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         })
     }));
     match caught {
-        Err(p) => Outcome::Panic(panic_msg(p)),
-        Ok(Err(e)) => Outcome::Deadlock(e.to_string()),
+        Err(p) => (Outcome::Panic(panic_msg(p)), Coverage::new()),
+        Ok(Err(e)) => (Outcome::Deadlock(e.to_string()), Coverage::new()),
         Ok(Ok(rs)) => {
+            let mut cov = Coverage::new();
+            scc_hw::tap(rs.iter().map(|r| (r.core, &r.trace)), &mut cov);
             let report = check_rings(rs.iter().map(|r| (r.core, &r.trace)));
-            if report.findings.is_empty() {
+            let outcome = if report.findings.is_empty() {
                 let (mut retries, mut timeouts) = (0u64, 0u64);
                 for r in &rs {
                     retries += r.result.0;
@@ -144,7 +168,8 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 }
             } else {
                 Outcome::Findings(report.findings)
-            }
+            };
+            (outcome, cov)
         }
     }
 }

@@ -1,0 +1,209 @@
+//! Property tests over the fault plane (satellite of the fuzzing PR):
+//!
+//! * every `FaultPlan` the mutation engine can produce round-trips
+//!   through the replay-file serialization bit-exactly, and
+//! * counter-windowed faults fire on exactly the events inside their
+//!   `[nth, nth + count)` window, over seeded random topologies and
+//!   event streams.
+//!
+//! Both properties are seeded (SplitMix64) so a failure reproduces.
+
+use scc_explore::{
+    app, mutate::mutate, mutate::schedule_probe, parse_replay_full, render_replay, Expected,
+    Plan, Rng, Scenario,
+};
+use scc_hw::faults::{FaultState, IpiOutcome};
+use scc_hw::{Fault, FaultPlan, Topology};
+
+/// Generate a plan the way the fuzzer does: a chain of 1..=6 mutation
+/// steps away from the baseline (or a schedule probe), so every operator
+/// — and therefore every `Fault` variant and policy shape — appears over
+/// enough iterations.
+fn random_plan(rng: &mut Rng, ncores: usize) -> Plan {
+    let mut plan = if rng.chance(1, 4) {
+        schedule_probe(rng)
+    } else {
+        Plan::baseline()
+    };
+    let peer = mutate(rng, &plan, None, ncores);
+    for _ in 0..1 + rng.below(6) {
+        plan = mutate(rng, &plan, Some(&peer), ncores);
+    }
+    plan
+}
+
+#[test]
+fn every_mutated_plan_round_trips_through_replay() {
+    let spec = app("dotprod").expect("dotprod is registered");
+    let mut rng = Rng::new(0xF4_0175);
+    for i in 0..400 {
+        let plan = random_plan(&mut rng, spec.cores);
+        let sc = Scenario {
+            app: spec,
+            policy: plan.policy.clone(),
+            faults: plan.faults.clone(),
+        };
+        let text = render_replay(&sc, &Expected::Clean);
+        let parsed = parse_replay_full(&text)
+            .unwrap_or_else(|e| panic!("iteration {i}: replay parse failed: {e}\n{text}"));
+        assert_eq!(
+            parsed.scenario.policy, plan.policy,
+            "iteration {i}: policy drifted through serialization\n{text}"
+        );
+        assert_eq!(
+            parsed.scenario.faults, plan.faults,
+            "iteration {i}: fault plan drifted through serialization\n{text}"
+        );
+        assert_eq!(parsed.expected, Expected::Clean);
+        parsed
+            .verify_topology()
+            .expect("freshly rendered replay must match the active topology");
+    }
+}
+
+#[test]
+fn hand_built_fault_variants_round_trip_through_replay() {
+    // One entry per variant with deliberately awkward field values:
+    // unset filters next to set ones, zero-width prefixes, windows at
+    // u32 boundaries, and the largest delay the mutator can emit.
+    let faults = vec![
+        Fault::DropIpi { src: None, dst: Some(0), nth: 0, count: 1 },
+        Fault::DropIpi { src: Some(3), dst: None, nth: u32::MAX - 1, count: 1 },
+        Fault::DelayIpi { src: None, dst: None, nth: 7, count: 2, cycles: 400_000 },
+        Fault::DelayMailSlot { src: Some(1), dst: Some(2), nth: 1, count: 3, cycles: 1_000 },
+        Fault::StallTas { reg: None, nth: 0, count: 2, cycles: 12_345 },
+        Fault::StallTas { reg: Some(5), nth: 2, count: 1, cycles: 99_999 },
+        Fault::FreezeCore { core: 2, at: 150_000, cycles: 640_000 },
+    ];
+    let spec = app("dotprod").expect("dotprod is registered");
+    let sc = Scenario {
+        app: spec,
+        policy: Default::default(),
+        faults: FaultPlan { faults: faults.clone() },
+    };
+    let text = render_replay(&sc, &Expected::Clean);
+    let parsed = parse_replay_full(&text).expect("replay must parse");
+    assert_eq!(parsed.scenario.faults.faults, faults, "\n{text}");
+}
+
+/// A valid random topology: dimensions small enough to stay under the
+/// core limit, `num_mcs` a power of two ≥ 2 with `num_mcs / 2 <= mesh_y`.
+fn random_topology(rng: &mut Rng) -> Topology {
+    loop {
+        let x = 1 + rng.below(8) as u32;
+        let y = 1 + rng.below(8) as u32;
+        let c = 1 + rng.below(2) as u32;
+        let m = if y >= 2 && rng.chance(1, 2) { 4 } else { 2 };
+        let spec = format!("{x}x{y}x{c}:{m}");
+        if let Ok(t) = Topology::from_spec(&spec) {
+            return t;
+        }
+    }
+}
+
+/// Reference model of one `[nth, nth + count)` window: the k-th matching
+/// event (0-based) is hit iff `nth <= k < nth + count`.
+fn window_hit(k: u64, nth: u32, count: u32) -> bool {
+    k >= u64::from(nth) && k < u64::from(nth) + u64::from(count)
+}
+
+#[test]
+fn counter_windows_fire_exactly_within_their_bounds() {
+    let mut rng = Rng::new(0xD00F);
+    for _ in 0..60 {
+        let topo = random_topology(&mut rng);
+        let n = topo.num_cores();
+        let nth = rng.below(6) as u32;
+        let count = 1 + rng.below(4) as u32;
+        let cycles = 1_000 + rng.below(10_000);
+        // A source filter half the time; `None` matches every core.
+        let src_filter = rng.chance(1, 2).then(|| rng.below(n as u64) as usize);
+
+        let st = FaultState::new(FaultPlan {
+            faults: vec![
+                Fault::DropIpi { src: src_filter, dst: None, nth, count },
+                Fault::DelayMailSlot { src: None, dst: None, nth, count, cycles },
+                Fault::StallTas { reg: src_filter, nth, count, cycles },
+            ],
+        });
+
+        // Feed a deterministic random event stream and count matches per
+        // entry exactly as the window semantics promise: only matching
+        // events advance an entry's counter.
+        let (mut ipi_matches, mut mail_matches) = (0u64, 0u64);
+        let mut tas_matches = vec![0u64; n];
+        for _ in 0..events_for(nth, count) {
+            let src = rng.below(n as u64) as usize;
+            let dst = rng.below(n as u64) as usize;
+            let outcome = st.ipi_fault(src, dst);
+            if src_filter.is_none_or(|f| f == src) {
+                let hit = window_hit(ipi_matches, nth, count);
+                assert_eq!(
+                    outcome == IpiOutcome::Drop,
+                    hit,
+                    "IPI {src}->{dst}: match #{ipi_matches} vs window [{nth}, {nth}+{count})"
+                );
+                ipi_matches += 1;
+            } else {
+                assert_eq!(outcome, IpiOutcome::Deliver, "filtered-out IPI must pass");
+            }
+
+            let delay = st.mail_delay(src, dst);
+            let hit = window_hit(mail_matches, nth, count);
+            assert_eq!(delay, if hit { cycles } else { 0 }, "mail match #{mail_matches}");
+            mail_matches += 1;
+
+            // TAS windows count per-register matches when filtered.
+            let reg = rng.below(n as u64) as usize;
+            let stall = st.tas_stall(reg);
+            if src_filter.is_none_or(|f| f == reg) {
+                // With `reg: None` every attempt matches, so the counter
+                // is global; with a filter only that register advances it.
+                let k = if src_filter.is_some() {
+                    tas_matches[reg]
+                } else {
+                    tas_matches.iter().sum()
+                };
+                let hit = window_hit(k, nth, count);
+                assert_eq!(stall, if hit { cycles } else { 0 }, "TAS reg {reg} match #{k}");
+                tas_matches[reg] += 1;
+            } else {
+                assert_eq!(stall, 0, "filtered-out TAS attempt must not stall");
+            }
+        }
+        // The stream was long enough to see the window open and close.
+        assert!(mail_matches > u64::from(nth) + u64::from(count));
+    }
+}
+
+/// Enough events to drive every counter past `nth + count` even when a
+/// source filter thins the matching stream.
+fn events_for(nth: u32, count: u32) -> u64 {
+    (u64::from(nth) + u64::from(count) + 4) * 20
+}
+
+#[test]
+fn freeze_core_fires_once_at_or_past_its_mark() {
+    let mut rng = Rng::new(0xFE_E2E);
+    for _ in 0..40 {
+        let topo = random_topology(&mut rng);
+        let n = topo.num_cores();
+        let core = rng.below(n as u64) as usize;
+        let at = 10_000 + rng.below(100_000);
+        let cycles = 1_000 + rng.below(50_000);
+        let st = FaultState::new(FaultPlan {
+            faults: vec![Fault::FreezeCore { core, at, cycles }],
+        });
+        // Yields before the mark never fire, on any core.
+        assert_eq!(st.freeze_jump(core, at - 1), 0);
+        let other = (core + 1) % n.max(2);
+        if other != core && other < n {
+            assert_eq!(st.freeze_jump(other, at + 1), 0, "wrong core must not freeze");
+        }
+        // First yield at/past the mark fires exactly once...
+        assert_eq!(st.freeze_jump(core, at + rng.below(1_000)), cycles);
+        // ...and the entry is spent for the rest of the run.
+        assert_eq!(st.freeze_jump(core, at + 2_000), 0);
+        assert_eq!(st.freeze_jump(core, u64::MAX), 0);
+    }
+}

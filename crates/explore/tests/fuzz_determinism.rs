@@ -1,0 +1,137 @@
+//! Fuzzing determinism suite: a campaign is a pure function of its
+//! master seed. Two *separate host processes* running the same seed and
+//! budget must produce the identical coverage bitmap fingerprint,
+//! finding set, and on-disk corpus — otherwise the multi-process fan-out
+//! (`svmfuzz --jobs N`) could not shard work without breaking
+//! replayability.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("svmfuzz_determinism_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Run the real `svmfuzz` binary to completion and return its JSON
+/// summary. Corpus and findings land under `dir`.
+fn run_campaign(dir: &Path) -> String {
+    let json = dir.join("FUZZ.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_svmfuzz"))
+        .args(["--execs", "30", "--seed", "7"])
+        .arg("--out")
+        .arg(dir)
+        .arg("--corpus")
+        .arg(dir.join("corpus"))
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("svmfuzz must spawn");
+    assert!(
+        out.status.success(),
+        "svmfuzz failed (status {:?}):\n{}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(&json).expect("summary JSON must exist")
+}
+
+/// Every value of a quoted JSON field, in document order.
+fn field_values<'a>(json: &'a str, field: &str) -> Vec<&'a str> {
+    let needle = format!("\"{field}\": \"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest.find('"').expect("quoted field value must close");
+        out.push(&rest[..end]);
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// Sorted `(file name, contents)` pairs of a corpus directory.
+fn corpus_listing(dir: &Path) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("corpus dir must exist")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read_to_string(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn same_seed_reproduces_bitwise_across_two_processes() {
+    let (dir_a, dir_b) = (scratch("a"), scratch("b"));
+    let json_a = run_campaign(&dir_a);
+    let json_b = run_campaign(&dir_b);
+
+    // The summary fingerprint folds every app's coverage bitmap
+    // fingerprint, bit count, corpus size, find exec, and finding-set
+    // fingerprint — one mismatch anywhere and these diverge.
+    let fp_a = field_values(&json_a, "fingerprint");
+    let fp_b = field_values(&json_b, "fingerprint");
+    assert!(!fp_a.is_empty(), "summary must carry a fingerprint:\n{json_a}");
+    assert_eq!(fp_a, fp_b, "campaign fingerprints diverged");
+
+    // Belt and braces: the per-app coverage and finding-set fingerprints
+    // must agree pairwise too (a compensating double-error could in
+    // principle cancel inside one folded hash).
+    for field in ["coverage_fp", "findings_fp"] {
+        let a = field_values(&json_a, field);
+        let b = field_values(&json_b, field);
+        assert!(!a.is_empty(), "expected at least one {field} in:\n{json_a}");
+        assert_eq!(a, b, "{field} diverged between processes");
+    }
+
+    // The on-disk corpora are content-hash-named replay files; identical
+    // campaigns must write identical file sets with identical bytes.
+    assert_eq!(
+        corpus_listing(&dir_a.join("corpus")),
+        corpus_listing(&dir_b.join("corpus")),
+        "on-disk corpus diverged between processes"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Without `trace` the rings are empty, coverage never grows, and two
+/// seeds can legitimately tie — the sensitivity check needs the signal.
+#[cfg(feature = "trace")]
+#[test]
+fn different_seeds_change_the_campaign() {
+    // Guard against the fingerprint being insensitive (e.g. hashing an
+    // empty set everywhere): a different master seed must change it.
+    let dir = scratch("c");
+    let json_a = run_campaign(&dir);
+    let json_b = {
+        let d2 = scratch("d");
+        let json = d2.join("FUZZ.json");
+        let out = Command::new(env!("CARGO_BIN_EXE_svmfuzz"))
+            .args(["--execs", "30", "--seed", "8"])
+            .arg("--out")
+            .arg(&d2)
+            .arg("--json")
+            .arg(&json)
+            .output()
+            .expect("svmfuzz must spawn");
+        assert!(out.status.success());
+        let s = std::fs::read_to_string(&json).unwrap();
+        let _ = std::fs::remove_dir_all(&d2);
+        s
+    };
+    let fp_a = field_values(&json_a, "fingerprint");
+    let fp_b = field_values(&json_b, "fingerprint");
+    assert_ne!(fp_a, fp_b, "master seed must steer the campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -198,6 +198,14 @@ pub struct SccConfig {
     /// policies deliberately perturb the schedule for exploration and
     /// require the serial engine.
     pub sched: SchedPolicy,
+    /// Election-budget livelock guard of the serial executor: abort the
+    /// run with `HwError::ElectionBudget` once this many schedule
+    /// decisions have been consumed. `None` (the default) is unbounded.
+    /// Schedule explorers set a generous budget because non-baton
+    /// policies can livelock spin-synchronized programs (a starved core
+    /// never sets the flag a spinning lower-band core waits on), which no
+    /// deadlock detector can observe.
+    pub election_budget: Option<u64>,
     /// Fault-injection plan (see `scc_hw::faults`). Empty by default;
     /// a non-empty plan requires the serial engine and switches the
     /// mailbox into its resilient (retry/backoff) mode.
@@ -241,6 +249,7 @@ impl SccConfig {
             host_fast: HostFastPaths::default(),
             trace: TraceConfig::default(),
             sched: SchedPolicy::Baton,
+            election_budget: None,
             faults: FaultPlan::default(),
             coll: CollMode::from_env_or_tree(),
         }

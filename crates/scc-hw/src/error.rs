@@ -20,6 +20,24 @@ pub enum HwError {
         /// What was attempted and what to use instead.
         what: String,
     },
+    /// The serial executor's election-budget livelock guard fired: the
+    /// run consumed its whole schedule-decision budget without finishing.
+    /// Distinct from [`HwError::Deadlock`] — at least one core was still
+    /// runnable, it just never let the others make progress (e.g. a
+    /// `PriorityBands` schedule starving the core a spin-wait depends on).
+    ElectionBudget {
+        /// Elections consumed when the guard fired.
+        elections: u64,
+    },
+    /// A core program panicked mid-run. The executor declares the run
+    /// over so parked peers unwind instead of waiting forever on a baton
+    /// nobody holds; the original panic payload is re-raised by
+    /// [`crate::Machine::run_on`], so callers normally see that panic,
+    /// not this error.
+    CorePanicked {
+        /// The executor slot whose program panicked.
+        slot: usize,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -36,6 +54,16 @@ impl fmt::Display for HwError {
             HwError::ParUnsupported { what } => {
                 write!(f, "unsupported under the parallel executor: {what}")
             }
+            HwError::ElectionBudget { elections } => write!(
+                f,
+                "election budget exceeded after {elections} schedule decisions — \
+                 livelock under the active schedule policy (a runnable core \
+                 never let the rest make progress)"
+            ),
+            HwError::CorePanicked { slot } => write!(
+                f,
+                "core program on executor slot {slot} panicked; the run was aborted"
+            ),
         }
     }
 }

@@ -98,6 +98,21 @@ use std::time::Duration;
 /// healthy run — including 512-core release CI legs — ever trips it.
 const PARK_WATCHDOG_DEFAULT: Duration = Duration::from_secs(10);
 
+/// The watchdog period every new [`Scheduler`] starts with: the
+/// `SCC_PARK_WATCHDOG_MS` environment variable when set (host-side
+/// diagnostics only — it cannot change any simulated result), otherwise
+/// [`PARK_WATCHDOG_DEFAULT`]. The regression suite shrinks it to a few
+/// milliseconds to make watchdog ticks observable without a real stall.
+fn park_watchdog_default_ms() -> u64 {
+    match std::env::var("SCC_PARK_WATCHDOG_MS") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("SCC_PARK_WATCHDOG_MS: expected milliseconds, got {v:?}"))
+            .max(1),
+        Err(_) => PARK_WATCHDOG_DEFAULT.as_millis() as u64,
+    }
+}
+
 /// Election policy of the deterministic executor: how the next baton
 /// holder is chosen among the eligible (runnable or satisfiable) cores.
 #[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -194,6 +209,15 @@ pub struct Scheduler {
     /// Number of times any parked thread slept a full watchdog period
     /// without being woken. Exported as the `exec.park_watchdog` metric.
     park_watchdog: AtomicU64,
+    /// Livelock guard: abort the run once this many elections have been
+    /// consumed (0 = unbounded, the default). Non-baton policies can
+    /// *livelock* a spin-synchronized program — `PriorityBands` starves a
+    /// flag-setting core for as long as a lower-band core spin-waits on
+    /// the flag — which no deadlock detector can see (the spinner is
+    /// runnable forever). Schedule explorers set a generous budget so a
+    /// livelocked run unwinds with [`HwError::ElectionBudget`] instead of
+    /// hanging the host.
+    election_budget: AtomicU64,
 }
 
 /// Raised inside a core thread when the simulation deadlocks; carries the
@@ -227,9 +251,42 @@ impl Scheduler {
             cvs: (0..nslots).map(|_| Condvar::new()).collect(),
             fast_yield,
             policy,
-            park_timeout_ms: AtomicU64::new(PARK_WATCHDOG_DEFAULT.as_millis() as u64),
+            park_timeout_ms: AtomicU64::new(park_watchdog_default_ms()),
             park_watchdog: AtomicU64::new(0),
+            election_budget: AtomicU64::new(0),
         })
+    }
+
+    /// Arm (or disarm, with `None`) the election-budget livelock guard.
+    /// Call before the core threads start; the budget is read on every
+    /// yield.
+    pub fn set_election_budget(&self, budget: Option<u64>) {
+        self.election_budget
+            .store(budget.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Elections consumed so far (schedule decisions; grows with run
+    /// length under every policy).
+    pub fn elections(&self) -> u64 {
+        self.state.lock().elections
+    }
+
+    /// Declare livelock and unwind everyone once the election budget is
+    /// spent. Called with the baton held, on the only running thread —
+    /// parked threads observe `st.deadlock` on wake and unwind too.
+    fn check_election_budget(&self, st: &mut parking_lot::MutexGuard<'_, SchedState>) {
+        let budget = self.election_budget.load(Ordering::Relaxed);
+        if budget != 0 && st.elections > budget && st.deadlock.is_none() {
+            st.deadlock = Some(Arc::new(HwError::ElectionBudget {
+                elections: st.elections,
+            }));
+            for cv in &self.cvs {
+                cv.notify_one();
+            }
+        }
+        if st.deadlock.is_some() {
+            self.unwind_deadlock(st);
+        }
     }
 
     /// Override the parked-too-long watchdog period (tests use a few
@@ -417,6 +474,10 @@ impl Scheduler {
     pub fn yield_now(&self, slot: usize, clock: u64) -> bool {
         let mut st = self.state.lock();
         debug_assert_eq!(st.current, Some(slot), "yield from a non-running core");
+        // Every livelock passes through here unboundedly often (a core
+        // that never yields cannot be scheduled around), so this is the
+        // one place the election-budget guard needs to fire.
+        self.check_election_budget(&mut st);
         st.clocks[slot] = clock;
         if self.fast_yield && st.nblocked == 0 {
             // With nobody blocked, a round would trivially elect among
@@ -561,6 +622,26 @@ impl Scheduler {
                     .expect("condition regressed between election and wake");
             }
             self.park(&mut st, slot);
+        }
+    }
+
+    /// This slot's program is unwinding on a panic of its own (not a
+    /// scheduler-initiated [`DeadlockUnwind`]). The panicking thread dies
+    /// holding the baton, so declare the run over: parked peers observe
+    /// `st.deadlock` on wake and unwind instead of waiting forever.
+    /// [`crate::Machine::run_on`] re-raises the original panic payload,
+    /// which takes priority over this report.
+    pub fn abort(&self, slot: usize) {
+        let mut st = self.state.lock();
+        st.status[slot] = Status::Done;
+        if st.current == Some(slot) {
+            st.current = None;
+        }
+        if st.deadlock.is_none() {
+            st.deadlock = Some(Arc::new(HwError::CorePanicked { slot }));
+        }
+        for cv in &self.cvs {
+            cv.notify_one();
         }
     }
 

@@ -199,6 +199,72 @@ pub const ALL_KINDS: [EventKind; 40] = [
 ];
 
 impl EventKind {
+    /// Number of event kinds in the taxonomy (the coverage accumulators
+    /// size their transition tables from this).
+    pub const COUNT: usize = ALL_KINDS.len();
+
+    /// Stable ordinal of this kind: its discriminant, an index into
+    /// [`ALL_KINDS`]. Transition-coverage signals (svm-fuzz) encode pairs
+    /// of ordinals, so these must never be renumbered — append new kinds
+    /// at the end of the enum only.
+    #[inline]
+    pub const fn ordinal(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`EventKind::ordinal`].
+    #[inline]
+    pub fn from_ordinal(o: u8) -> Option<EventKind> {
+        ALL_KINDS.get(o as usize).copied()
+    }
+
+    /// The SVM page (or frame, for [`EventKind::FrameOwner`]) an event is
+    /// about, when its payload names one — the per-page key of the
+    /// transition-coverage signal. `None` for kinds whose payload is not
+    /// page-shaped (mail traffic, cache maintenance, kv ops...).
+    #[inline]
+    pub fn page_key(self, e: &TraceEvent) -> Option<u32> {
+        match self {
+            EventKind::OwnRequest
+            | EventKind::OwnForward
+            | EventKind::OwnGrant
+            | EventKind::OwnAck
+            | EventKind::OwnAcquired
+            | EventKind::FirstTouch
+            | EventKind::Migrate
+            | EventKind::ReadReplica
+            | EventKind::WiInvSend
+            | EventKind::WiInvRecv
+            | EventKind::WiGrant
+            | EventKind::SvmRead
+            | EventKind::SvmWrite
+            | EventKind::RegionAlloc
+            | EventKind::FrameOwner => Some(e.a),
+            _ => None,
+        }
+    }
+
+    /// The *other* core an event names, when its payload carries one —
+    /// the core-pair key of the transition-coverage signal. The emitting
+    /// core is implicit (rings are per-core), so `(emitter, peer, kind)`
+    /// identifies one directed protocol edge.
+    #[inline]
+    pub fn peer_core(self, e: &TraceEvent) -> Option<u32> {
+        match self {
+            // Mail and doorbell traffic: `a` is the other endpoint.
+            EventKind::MailSend
+            | EventKind::MailRecv
+            | EventKind::IpiSend
+            | EventKind::IpiRecv => Some(e.a),
+            // Ownership migration: `b` names the believed owner / new
+            // owner / granter.
+            EventKind::OwnRequest | EventKind::OwnGrant | EventKind::OwnAck => Some(e.b),
+            // Collective tree edges: `a` is the child core.
+            EventKind::CollArrive | EventKind::CollRelease => Some(e.a),
+            _ => None,
+        }
+    }
+
     /// Event name as it appears in the Chrome trace and the protocol log.
     pub fn name(self) -> &'static str {
         match self {
@@ -653,6 +719,41 @@ pub trait EventSink {
     }
 }
 
+/// A consumer of per-core event streams in *ring order* — the attachment
+/// point for coverage accumulators (svm-fuzz's transition-coverage
+/// signal), alongside the checker's globally-merged [`EventSink`].
+///
+/// Unlike [`replay`], [`tap`] feeds each core's ring separately and in
+/// the order events were recorded, without the global merge sort: a
+/// transition signal is defined over each core's own event sequence (plus
+/// per-page and per-core-pair keys carried in the payloads), so the
+/// merge's O(n log n) and its allocation are pure waste on the fuzzing
+/// hot loop. Without the `trace` feature every ring is empty and a tap
+/// costs nothing — the fuzzer degrades to blind exploration.
+pub trait CoverageSink {
+    /// Called once before `core`'s events, in ring (chronological) order.
+    fn begin_core(&mut self, core: CoreId) {
+        let _ = core;
+    }
+
+    /// One event from `core`, in ring order.
+    fn event(&mut self, core: CoreId, event: &TraceEvent);
+}
+
+/// Feed every event from the per-core rings to `sink`, core by core in
+/// iteration order, each core's events in ring (chronological) order.
+pub fn tap<'a>(
+    per_core: impl IntoIterator<Item = (CoreId, &'a TraceRing)>,
+    sink: &mut dyn CoverageSink,
+) {
+    for (core, ring) in per_core {
+        sink.begin_core(core);
+        for e in ring.events() {
+            sink.event(core, &e);
+        }
+    }
+}
+
 /// Feed every event from the per-core rings to `sink` in global
 /// simulated-time order (ties broken by core id, then by ring order —
 /// a stable sort, matching [`protocol_log`]). Reports each wrapped ring
@@ -690,6 +791,73 @@ mod tests {
         }
         assert!(ALL_KINDS.len() <= 64, "mask bits must fit a u64");
         assert_eq!(EventKind::from_name("no_such_event"), None);
+    }
+
+    #[test]
+    fn ordinals_round_trip_and_stay_dense() {
+        assert_eq!(EventKind::COUNT, ALL_KINDS.len());
+        for k in ALL_KINDS {
+            assert_eq!(EventKind::from_ordinal(k.ordinal()), Some(k));
+            assert!((k.ordinal() as usize) < EventKind::COUNT);
+        }
+        assert_eq!(EventKind::from_ordinal(EventKind::COUNT as u8), None);
+    }
+
+    #[test]
+    fn payload_keys_follow_arg_names() {
+        // Every kind claiming a page key must name its first payload slot
+        // "page" (or "frame" for the advisory registry); every peer kind
+        // must name a core-shaped slot. Guards the classification against
+        // taxonomy growth: a new kind with a `page` arg that forgets to
+        // extend `page_key` fails here.
+        for k in ALL_KINDS {
+            let e = TraceEvent { t: 0, kind: k, a: 7, b: 9, c: 0 };
+            let (an, bn, _) = k.arg_names();
+            if let Some(p) = k.page_key(&e) {
+                assert_eq!(p, 7, "{k:?}: page key must come from slot a");
+                assert!(
+                    an == "page" || an == "frame",
+                    "{k:?}: page-keyed but slot a is {an:?}"
+                );
+            } else {
+                assert_ne!(an, "page", "{k:?}: has a page arg but no page key");
+            }
+            if let Some(peer) = k.peer_core(&e) {
+                assert!(
+                    (peer == 7 && matches!(an, "dst" | "src" | "child"))
+                        || (peer == 9 && matches!(bn, "owner" | "to" | "granter")),
+                    "{k:?}: peer key does not match its arg names"
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn tap_feeds_rings_in_ring_order() {
+        struct Collect(Vec<(usize, u64)>, usize);
+        impl CoverageSink for Collect {
+            fn begin_core(&mut self, _core: CoreId) {
+                self.1 += 1;
+            }
+            fn event(&mut self, core: CoreId, e: &TraceEvent) {
+                self.0.push((core.idx(), e.t));
+            }
+        }
+        let mut r0 = TraceRing::new(&TraceConfig::full(8));
+        r0.record(30, EventKind::Barrier, 0, 0);
+        r0.record(10, EventKind::Barrier, 0, 0); // ring order, not time order
+        let mut r1 = TraceRing::new(&TraceConfig::full(8));
+        r1.record(20, EventKind::Cl1Invmb, 0, 0);
+        let mut sink = Collect(Vec::new(), 0);
+        tap(
+            [(CoreId::new(0), &r0), (CoreId::new(1), &r1)]
+                .iter()
+                .map(|(c, r)| (*c, *r)),
+            &mut sink,
+        );
+        assert_eq!(sink.0, vec![(0, 30), (0, 10), (1, 20)]);
+        assert_eq!(sink.1, 2, "begin_core once per ring");
     }
 
     #[test]

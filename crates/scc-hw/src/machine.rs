@@ -140,11 +140,15 @@ impl Machine {
             );
             Engine::Parallel(ParEngine::new(cores))
         } else {
-            Engine::Serial(Scheduler::with_policy(
-                cores.len(),
-                self.inner.cfg.host_fast.fast_yield,
-                self.inner.cfg.sched.clone(),
-            ))
+            Engine::Serial({
+                let sched = Scheduler::with_policy(
+                    cores.len(),
+                    self.inner.cfg.host_fast.fast_yield,
+                    self.inner.cfg.sched.clone(),
+                );
+                sched.set_election_budget(self.inner.cfg.election_budget);
+                sched
+            })
         });
 
         std::thread::scope(|s| {
@@ -156,7 +160,22 @@ impl Machine {
                 handles.push(s.spawn(move || {
                     engine.wait_for_turn(slot);
                     let mut ctx = CoreCtx::new(core, slot, inner, Arc::clone(&engine));
-                    let result = f(&mut ctx);
+                    // A program panic (assertion failure, mailbox retry
+                    // exhaustion) would otherwise kill this thread while
+                    // it holds the baton, parking every peer forever —
+                    // abort the engine so they unwind, then re-raise.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || f(&mut ctx),
+                    ));
+                    let result = match result {
+                        Ok(r) => r,
+                        Err(p) => {
+                            if p.downcast_ref::<DeadlockUnwind>().is_none() {
+                                engine.abort(slot);
+                            }
+                            std::panic::resume_unwind(p);
+                        }
+                    };
                     ctx.finalize_par_stats();
                     engine.finish(slot);
                     CoreResult {
@@ -194,6 +213,7 @@ impl Machine {
             if let Engine::Serial(sched) = &*engine {
                 if let Some(first) = out.first_mut() {
                     first.perf.park_watchdog += sched.park_watchdog_count();
+                    first.perf.elections += sched.elections();
                 }
             }
             Ok(out)
@@ -261,6 +281,29 @@ mod tests {
             .unwrap()
             .result;
         assert_eq!(v, 0xCAFE);
+    }
+
+    #[test]
+    fn core_panic_unwinds_peers_instead_of_wedging() {
+        // Core 1 panics while cores 0 and 2 are parked on conditions that
+        // will never hold. Without the abort path the panicking thread
+        // dies holding the baton and the peers park forever; with it the
+        // run unwinds and the original payload propagates.
+        let m = Machine::new(SccConfig::small()).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(3, |c| {
+                if c.id().idx() == 1 {
+                    panic!("planted core-program panic");
+                }
+                c.wait_until::<()>("a flag that is never written", || None);
+            })
+        }));
+        let payload = caught.expect_err("the planted panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("planted core-program panic"), "got: {msg}");
     }
 
     #[test]

@@ -570,6 +570,22 @@ impl ParEngine {
     pub fn deadlock_report(&self) -> Option<Arc<HwError>> {
         self.state.lock().deadlock.clone()
     }
+
+    /// This slot's program is unwinding on a panic of its own. Declare
+    /// the run over so gate waiters, window waiters, and election parks
+    /// all unwind; the original panic payload is re-raised by
+    /// [`crate::Machine::run_on`] and takes priority over this report.
+    pub fn abort(&self, slot: usize) {
+        let mut st = self.state.lock();
+        st.status[slot] = Status::Done;
+        if st.deadlock.is_none() {
+            st.deadlock = Some(Arc::new(HwError::CorePanicked { slot }));
+        }
+        for cv in &self.cvs {
+            cv.notify_one();
+        }
+        self.gate_cv.notify_all();
+    }
 }
 
 /// The executor behind a [`crate::CoreCtx`]: the serial baton scheduler or
@@ -601,6 +617,15 @@ impl Engine {
         match self {
             Engine::Serial(s) => s.finish(slot),
             Engine::Parallel(p) => p.finish(slot),
+        }
+    }
+
+    /// The slot's program panicked: declare the run over so parked peers
+    /// unwind instead of waiting on a thread that no longer exists.
+    pub fn abort(&self, slot: usize) {
+        match self {
+            Engine::Serial(s) => s.abort(slot),
+            Engine::Parallel(p) => p.abort(slot),
         }
     }
 }

@@ -73,6 +73,12 @@ counters! {
         /// period without a wakeup. Nonzero is lost-wakeup evidence
         /// (the one-off 512-core host-side stall, ROADMAP open item 2).
         park_watchdog => "exec.park_watchdog",
+        /// Schedule decisions consumed by the serial executor over the
+        /// whole run (folded into the first core's counters, like
+        /// `exec.park_watchdog`). Sizes the election-budget livelock
+        /// guard: a healthy registry app finishes in well under a million
+        /// elections.
+        elections => "exec.elections",
         /// Safe windows this core executed under the parallel conservative
         /// engine (segments between scheduler interactions).
         par_windows => "exec.par.windows",
@@ -179,7 +185,7 @@ mod tests {
         assert_eq!(m.get("kernel.tlb_hits"), 5);
         assert_eq!(m.get("exec.fast_yields"), 2);
         // One label per field.
-        assert_eq!(m.len(), 43);
+        assert_eq!(m.len(), 44);
         assert_eq!(m.get("exec.par.windows"), 0);
         assert_eq!(m.get("kernel.coll.barriers"), 0);
     }

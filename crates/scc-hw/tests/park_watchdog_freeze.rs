@@ -1,0 +1,85 @@
+//! Regression coverage for `exec.park_watchdog` (ROADMAP open item 2):
+//! the parked-too-long forensics counter must tick while a peer is
+//! frozen out by a fault plan and the host is slow to hand the baton
+//! back — and the run must still complete with the right results.
+//!
+//! The one-off 512-core stall this pins down looked exactly like this:
+//! one core parked through several watchdog periods with the rest of the
+//! machine healthy, the counter climbing, and progress resuming on its
+//! own. The test recreates that shape deterministically: a `FreezeCore`
+//! window jumps core 1 far ahead in virtual time, so it parks until core
+//! 0 — whose program burns *host* milliseconds between yields — catches
+//! up or finishes. With `SCC_PARK_WATCHDOG_MS` shrunk to 2 ms those
+//! parks cross multiple watchdog periods.
+//!
+//! Own integration-test binary: the watchdog period is read from the
+//! environment when the scheduler is built, and nothing else may race
+//! that variable.
+
+use scc_hw::{Fault, FaultPlan, Machine, MemAttr, SccConfig};
+use std::time::Duration;
+
+#[test]
+fn watchdog_ticks_under_a_frozen_core_while_progress_continues() {
+    // Must be set before the Machine builds its scheduler.
+    std::env::set_var("SCC_PARK_WATCHDOG_MS", "2");
+
+    let cfg = SccConfig {
+        faults: FaultPlan {
+            // One-shot: at core 1's first yield at/past clock 1 000, its
+            // clock jumps 50 000 000 cycles — far beyond anything core 0
+            // reaches — so core 1 stays parked until core 0 finishes.
+            faults: vec![Fault::FreezeCore {
+                core: 1,
+                at: 1_000,
+                cycles: 50_000_000,
+            }],
+        },
+        ..SccConfig::small()
+    };
+    let m = Machine::new(cfg).unwrap();
+    let shared = m.inner().map.shared_base();
+
+    let res = m
+        .run(2, |c| {
+            if c.id().idx() == 1 {
+                // Advance to the freeze mark and yield into the trap.
+                c.advance(2_000);
+                c.yield_now();
+                // We only get here once core 0 is done; the freeze must
+                // have jumped us past its window.
+                assert!(c.now() >= 50_000_000, "freeze window not applied");
+                c.write(shared + 8, 4, 2, MemAttr::UNCACHED);
+                2u64
+            } else {
+                // Burn host time between yields while core 1 is parked:
+                // each sleep spans several 2 ms watchdog periods.
+                for _ in 0..3 {
+                    std::thread::sleep(Duration::from_millis(7));
+                    c.advance(10_000);
+                    c.yield_now();
+                }
+                c.write(shared, 4, 1, MemAttr::UNCACHED);
+                1u64
+            }
+        })
+        .unwrap();
+
+    // Progress continued: both programs ran to completion and their
+    // writes landed.
+    assert_eq!(res[0].result, 1);
+    assert_eq!(res[1].result, 2);
+    assert_eq!(m.inner().ram.read(shared, 4), 1);
+    assert_eq!(m.inner().ram.read(shared + 8, 4), 2);
+
+    // The forensics counter climbed: core 1 parked through at least one
+    // full watchdog period (21 ms of host sleeps against a 2 ms period
+    // leaves a wide margin for scheduler noise). The count is folded
+    // into the first result's perf block, like `exec.park_watchdog`'s
+    // metrics path expects.
+    let ticks: u64 = res.iter().map(|r| r.perf.park_watchdog).sum();
+    assert!(
+        ticks >= 1,
+        "expected watchdog ticks during the frozen-core park, got {ticks}"
+    );
+}
